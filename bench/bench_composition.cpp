@@ -1,0 +1,98 @@
+// Ablation G: layered mechanisms through the same pipeline.
+//
+// ComposedMechanism makes a protection *stack* a first-class Mechanism,
+// so the framework can sweep and configure it like any single layer.
+// The bench fixes the discretization stage (grid 200 m, the Geo-I
+// paper's "remap to a coarse alphabet") and sweeps the noise stage's ε,
+// then compares three designs at a common privacy bound:
+//   noise alone  |  grid alone  |  noise + grid.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/loglinear_model.h"
+#include "io/table.h"
+#include "lppm/composed.h"
+#include "lppm/geo_ind.h"
+#include "lppm/grid_cloaking.h"
+#include "metrics/area_coverage.h"
+#include "metrics/poi_retrieval.h"
+
+namespace {
+
+using namespace locpriv;
+
+core::SystemDefinition composed_system() {
+  core::SystemDefinition def;
+  def.mechanism_factory = [] {
+    std::vector<std::unique_ptr<lppm::Mechanism>> stages;
+    stages.push_back(std::make_unique<lppm::GeoIndistinguishability>());
+    stages.push_back(std::make_unique<lppm::GridCloaking>(200.0));
+    return std::make_unique<lppm::ComposedMechanism>(std::move(stages));
+  };
+  def.sweep = {"0.epsilon", 1e-4, 1.0, 21, lppm::Scale::kLog};
+  def.privacy = std::make_shared<metrics::PoiRetrieval>();
+  def.utility = std::make_shared<metrics::AreaCoverage>();
+  return def;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation G: mechanism composition (Geo-I + grid remap) ===\n\n";
+
+  const trace::Dataset data = bench::standard_taxi_dataset();
+  core::ExperimentConfig cfg = bench::standard_experiment();
+  cfg.trials = 2;
+
+  const double privacy_bound = 0.5;
+  io::Table table({"design", "swept knob", "configured value", "predicted Ut at Pr<=0.5",
+                   "measured Pr", "measured Ut"});
+
+  struct Design {
+    const char* label;
+    core::SystemDefinition def;
+  };
+  std::vector<Design> designs;
+  designs.push_back({"geo-i alone", bench::paper_system(21)});
+  {
+    core::SystemDefinition grid_def;
+    grid_def.mechanism_factory = [] { return std::make_unique<lppm::GridCloaking>(); };
+    grid_def.sweep = {"cell_size", 10.0, 20'000.0, 21, lppm::Scale::kLog};
+    grid_def.privacy = std::make_shared<metrics::PoiRetrieval>();
+    grid_def.utility = std::make_shared<metrics::AreaCoverage>();
+    designs.push_back({"grid alone", std::move(grid_def)});
+  }
+  designs.push_back({"geo-i + grid(200m)", composed_system()});
+
+  for (Design& design : designs) {
+    try {
+      core::Framework framework(std::move(design.def));
+      framework.model_phase(data, cfg);
+      const std::vector<core::Objective> objective{
+          {core::Axis::kPrivacy, core::Sense::kAtMost, privacy_bound}};
+      const core::Configuration result = framework.configure(objective);
+      if (!result.feasible) {
+        table.add_row({design.label, framework.definition().sweep.parameter, "-", "-", "-",
+                       "infeasible"});
+        continue;
+      }
+      const core::SweepPoint measured =
+          core::evaluate_point(framework.definition(), data, result.recommended, 3, 77);
+      table.add_row({design.label, framework.definition().sweep.parameter,
+                     io::Table::num(result.recommended, 3),
+                     io::Table::num(result.predicted_utility, 3),
+                     io::Table::num(measured.privacy_mean, 3),
+                     io::Table::num(measured.utility_mean, 3)});
+    } catch (const std::exception& e) {
+      table.add_row({design.label, "-", "-", "-", "-", e.what()});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nreading: the composed stack is swept through the identical pipeline by\n"
+               "naming its staged knob ('0.epsilon'); at the same privacy bound the\n"
+               "designs can now be compared on measured utility like any two LPPMs.\n";
+  return 0;
+}

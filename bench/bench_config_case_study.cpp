@@ -1,0 +1,81 @@
+// Section 2/3 worked example: "to guarantee 10% privacy, configuring
+// eps = 0.01 ensures 80% utility."
+//
+// The bench replays the full designer workflow: fit the model (step 2),
+// state the privacy objective "at most 10 % of POIs retrievable" plus a
+// utility floor (step 3), invert for epsilon, then *measure* the actual
+// metrics at the recommended epsilon to verify the configuration honors
+// the objectives on real (synthetic) data — the paper's promise.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/loglinear_model.h"
+#include "io/table.h"
+
+int main() {
+  using namespace locpriv;
+  using core::Axis;
+  using core::Sense;
+
+  std::cout << "=== Case study: configuring GEO-I from objectives ===\n\n";
+
+  const trace::Dataset data = bench::standard_taxi_dataset();
+  core::Framework framework(bench::paper_system());
+  framework.model_phase(data, bench::standard_experiment());
+  const core::LppmModel& model = framework.model();
+
+  // The paper's objective is 10 % POI retrieval. Our synthetic curves
+  // have the same shape but different absolute levels, so we pose the
+  // analogous objective at a retrieval level inside our fitted span,
+  // plus a utility floor, exactly like the paper's joint reading.
+  const double pr_lo = std::min(model.privacy.metric_at_low, model.privacy.metric_at_high);
+  const double pr_hi = std::max(model.privacy.metric_at_low, model.privacy.metric_at_high);
+  const double pr_target = pr_lo + 0.25 * (pr_hi - pr_lo);
+  const double ut_at_pr_target =
+      model.utility.predict(model.privacy.invert(pr_target, model.scale), model.scale);
+  const double ut_target = ut_at_pr_target - 0.05;  // a floor the target point clears
+
+  std::cout << "objectives: " << model.privacy_metric << " <= " << io::Table::num(pr_target, 3)
+            << "  AND  " << model.utility_metric << " >= " << io::Table::num(ut_target, 3)
+            << "\n(paper: poi retrieval <= 0.10 and ~80 % utility at eps = 0.01)\n\n";
+
+  const std::vector<core::Objective> objectives{
+      {Axis::kPrivacy, Sense::kAtMost, pr_target},
+      {Axis::kUtility, Sense::kAtLeast, ut_target},
+  };
+  const core::Configuration cfg = framework.configure(objectives);
+  if (!cfg.feasible) {
+    std::cout << "INFEASIBLE: " << cfg.diagnosis << "\n";
+    return 1;
+  }
+
+  std::cout << "feasible epsilon interval: [" << io::Table::num(cfg.interval.lo, 3) << ", "
+            << io::Table::num(cfg.interval.hi, 3) << "]\n";
+  std::cout << "recommended epsilon: " << io::Table::num(cfg.recommended, 3)
+            << "  (paper recommended 0.01 for its dataset)\n\n";
+
+  // Measure reality at the recommendation.
+  const core::SweepPoint measured =
+      core::evaluate_point(framework.definition(), data, cfg.recommended, 5, 20'16);
+
+  io::Table table({"quantity", "model prediction", "measured", "objective"});
+  table.add_row({model.privacy_metric, io::Table::num(cfg.predicted_privacy, 3),
+                 io::Table::num(measured.privacy_mean, 3),
+                 "<= " + io::Table::num(pr_target, 3)});
+  table.add_row({model.utility_metric, io::Table::num(cfg.predicted_utility, 3),
+                 io::Table::num(measured.utility_mean, 3),
+                 ">= " + io::Table::num(ut_target, 3)});
+  table.print(std::cout);
+
+  const double slack = 0.08;  // sampling noise allowance
+  const bool privacy_ok = measured.privacy_mean <= pr_target + slack;
+  const bool utility_ok = measured.utility_mean >= ut_target - slack;
+  std::cout << "\nverification: privacy objective honored: " << (privacy_ok ? "PASS" : "FAIL")
+            << "; utility objective honored: " << (utility_ok ? "PASS" : "FAIL") << "\n";
+  std::cout << "model vs measured gap: |dPr| = "
+            << io::Table::num(std::abs(cfg.predicted_privacy - measured.privacy_mean), 2)
+            << ", |dUt| = "
+            << io::Table::num(std::abs(cfg.predicted_utility - measured.utility_mean), 2) << "\n";
+  return privacy_ok && utility_ok ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+// Ablation D: metric modularity — "by using different metrics, a system
+// designer is able to fine-tune her LPPM according to her expected
+// privacy and utility guarantees."
+//
+// The same sweep pipeline is re-run with each privacy metric crossed
+// with each utility metric; every pairing yields its own invertible
+// model. The table shows the fitted slopes/R^2 per pairing.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/loglinear_model.h"
+#include "io/table.h"
+#include "metrics/registry.h"
+
+int main() {
+  using namespace locpriv;
+
+  std::cout << "=== Ablation D: swapping privacy/utility metrics ===\n\n";
+
+  const trace::Dataset data = bench::standard_taxi_dataset();
+
+  // mean-distortion enters through the log transform: the raw metric is
+  // scale-free (2/eps spans four decades) and violates the linear-metric
+  // assumption of Eq. 2 — ln(1 + distortion) restores it.
+  const char* privacy_metrics[] = {"poi-retrieval", "reidentification-rate",
+                                   "spatial-entropy-gain"};
+  const char* utility_metrics[] = {"area-coverage-f1", "cell-hit-ratio", "log-mean-distortion"};
+
+  io::Table table({"privacy metric", "utility metric", "Pr slope", "Pr R^2", "Ut slope",
+                   "Ut R^2", "status"});
+  std::size_t fitted = 0;
+  std::size_t total = 0;
+  for (const char* pm : privacy_metrics) {
+    for (const char* um : utility_metrics) {
+      ++total;
+      core::SystemDefinition def = bench::paper_system(17);
+      def.privacy = std::shared_ptr<const metrics::Metric>(metrics::create_metric(pm));
+      def.utility = std::shared_ptr<const metrics::Metric>(metrics::create_metric(um));
+      core::ExperimentConfig cfg = bench::standard_experiment();
+      cfg.trials = 2;
+      try {
+        const core::SweepResult sweep = core::run_sweep(def, data, cfg);
+        const core::LppmModel model = core::fit_loglinear_model(sweep);
+        ++fitted;
+        table.add_row({pm, um, io::Table::num(model.privacy.fit.slope, 3),
+                       io::Table::num(model.privacy.fit.r_squared, 2),
+                       io::Table::num(model.utility.fit.slope, 3),
+                       io::Table::num(model.utility.fit.r_squared, 2), "fitted"});
+      } catch (const std::exception& e) {
+        table.add_row({pm, um, "-", "-", "-", "-", std::string("no fit: ") + e.what()});
+      }
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\n" << fitted << "/" << total
+            << " metric pairings produced an invertible model through the same\n"
+               "unchanged pipeline — the framework's modularity claim.\n";
+  std::cout << "modularity check (all pairings fit): " << (fitted == total ? "PASS" : "FAIL")
+            << "\n";
+  return 0;
+}

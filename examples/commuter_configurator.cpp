@@ -1,0 +1,81 @@
+// Scenario: a commuting app wants location-based recommendations without
+// exposing where its users live and work. This example drives the
+// framework with the *re-identification* privacy metric and the
+// *cell-hit-ratio* utility metric (the "right city block" reading of the
+// paper), demonstrates offline/online separation via model persistence,
+// and closes the loop with a home/work inference audit.
+#include <iostream>
+#include <vector>
+
+#include "attack/homework.h"
+#include "core/model_store.h"
+#include "core/pipeline.h"
+#include "io/table.h"
+#include "metrics/cell_hit.h"
+#include "metrics/reident_metric.h"
+#include "synth/scenario.h"
+
+int main() {
+  using namespace locpriv;
+
+  synth::CommuterScenarioConfig scenario;
+  scenario.user_count = 8;
+  scenario.commuter.days = 2;
+  const trace::Dataset commuters = synth::make_commuter_dataset(scenario, 321);
+  std::cout << "population: " << commuters.size() << " commuters over 2 days\n\n";
+
+  // System definition with swapped metrics (the paper's modularity).
+  core::SystemDefinition def = core::make_geo_i_system(19);
+  def.privacy = std::make_shared<metrics::ReidentificationRate>();
+  def.utility = std::make_shared<metrics::CellHitRatio>();
+
+  // --- Offline: model once, persist to disk. ---
+  core::Framework offline(std::move(def));
+  core::ExperimentConfig experiment;
+  experiment.trials = 2;
+  offline.model_phase(commuters, experiment);
+  const std::string model_path = "/tmp/locpriv_commuter_model.json";
+  core::save_model(model_path, offline.model());
+  std::cout << "offline model saved to " << model_path << "\n";
+
+  // --- Online: load the model, configure without any re-sweeping. ---
+  core::Framework online(core::make_geo_i_system(19));
+  online.install_model(core::load_model(model_path));
+
+  const std::vector<core::Objective> objectives{
+      {core::Axis::kPrivacy, core::Sense::kAtMost, 0.5},   // <=50 % users re-linkable
+  };
+  const core::Configuration cfg = online.configure(objectives);
+  if (!cfg.feasible) {
+    std::cout << "objectives infeasible: " << cfg.diagnosis << "\n";
+    return 1;
+  }
+  std::cout << "configured epsilon = " << cfg.recommended << " (predicted re-ident "
+            << cfg.predicted_privacy << ", cell-hit " << cfg.predicted_utility << ")\n\n";
+
+  // --- Deploy and audit: can an attacker still find home/work? ---
+  const auto mechanism = online.configure_mechanism(objectives);
+  const trace::Dataset protected_d = mechanism->protect_dataset(commuters, 8);
+
+  std::size_t home_hits = 0;
+  std::size_t work_hits = 0;
+  const attack::HomeWorkConfig hw_cfg;
+  for (std::size_t i = 0; i < commuters.size(); ++i) {
+    // Ground truth from the clean trace, inference from the protected one.
+    const attack::HomeWorkResult truth = attack::infer_home_work(commuters[i], hw_cfg);
+    const attack::HomeWorkResult guess = attack::infer_home_work(protected_d[i], hw_cfg);
+    if (truth.home && attack::location_hit(guess.home, *truth.home, 300.0)) ++home_hits;
+    if (truth.work && attack::location_hit(guess.work, *truth.work, 300.0)) ++work_hits;
+  }
+
+  io::Table audit({"inference on protected data", "recovered", "out of"});
+  audit.add_row({"home location (within 300 m)", std::to_string(home_hits),
+                 std::to_string(commuters.size())});
+  audit.add_row({"work location (within 300 m)", std::to_string(work_hits),
+                 std::to_string(commuters.size())});
+  audit.print(std::cout);
+
+  std::cout << "\nwith the configured protection, home/work inference degrades while\n"
+               "recommendations keep hitting the right city block at the predicted rate.\n";
+  return 0;
+}

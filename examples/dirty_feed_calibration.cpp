@@ -1,0 +1,61 @@
+// Scenario: the calibration dataset comes from a real GPS feed — with
+// teleport glitches, receiver outages and stuck fixes. Calibrating the
+// framework on the dirty feed biases the model (glitches read as huge
+// noise, inflating measured "privacy"); cleaning first restores it.
+// The example quantifies the bias by fitting Eq. 2 three ways: on the
+// pristine feed (reference), on the dirty feed, and on the cleaned feed.
+#include <cmath>
+#include <iostream>
+
+#include "core/pipeline.h"
+#include "io/table.h"
+#include "synth/faults.h"
+#include "synth/scenario.h"
+#include "trace/cleaning.h"
+
+int main() {
+  using namespace locpriv;
+
+  synth::TaxiScenarioConfig scenario;
+  scenario.driver_count = 10;
+  const trace::Dataset pristine = synth::make_taxi_dataset(scenario, 2016);
+
+  synth::FaultConfig faults;
+  faults.glitch_probability = 0.03;
+  faults.outage_probability = 0.002;
+  faults.duplicate_probability = 0.02;
+  const trace::Dataset dirty = synth::inject_faults(pristine, faults, 9);
+
+  trace::CleaningStats stats;
+  const trace::Dataset cleaned = trace::clean_dataset(dirty, trace::CleaningConfig{}, &stats);
+  std::cout << "feed: " << pristine.total_events() << " pristine events; fault injection left "
+            << dirty.total_events() << "; cleaning kept " << stats.kept() << " ("
+            << stats.speed_rejected << " glitches, " << stats.duplicates_dropped
+            << " stuck fixes removed)\n\n";
+
+  core::ExperimentConfig experiment;
+  experiment.trials = 2;
+
+  io::Table table({"calibration data", "Pr slope", "Pr intercept", "Pr R^2",
+                   "eps for Pr<=0.5"});
+  auto fit_and_report = [&](const char* label, const trace::Dataset& data) {
+    core::Framework framework(core::make_geo_i_system(21));
+    const core::LppmModel& model = framework.model_phase(data, experiment);
+    std::string eps = "-";
+    if (model.privacy.metric_reachable(0.5)) {
+      eps = io::Table::num(model.privacy.invert(0.5, model.scale), 3);
+    }
+    table.add_row({label, io::Table::num(model.privacy.fit.slope, 3),
+                   io::Table::num(model.privacy.fit.intercept, 3),
+                   io::Table::num(model.privacy.fit.r_squared, 3), eps});
+  };
+  fit_and_report("pristine (reference)", pristine);
+  fit_and_report("dirty (glitches in)", dirty);
+  fit_and_report("cleaned", cleaned);
+  table.print(std::cout);
+
+  std::cout << "\nreading: calibrate on what you will actually protect — and if the feed\n"
+               "is dirty, clean it first or the fitted model (and every epsilon derived\n"
+               "from it) inherits the sensor faults.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Scenario: which LPPM should I even use? Before tuning a parameter, a
+// designer can compare mechanisms at operating points that the framework
+// makes commensurable: configure *each* mechanism for the same privacy
+// objective, then compare the utility each one retains.
+//
+// This is the kind of question the paper's modular framework enables:
+// the pipeline is identical for every mechanism, only the knob differs.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "io/table.h"
+#include "lppm/registry.h"
+#include "metrics/area_coverage.h"
+#include "metrics/poi_retrieval.h"
+#include "synth/scenario.h"
+
+int main() {
+  using namespace locpriv;
+
+  synth::TaxiScenarioConfig scenario;
+  scenario.driver_count = 8;
+  const trace::Dataset data = synth::make_taxi_dataset(scenario, 4242);
+  std::cout << "comparing LPPMs on " << data.size() << " drivers, common objective: "
+            << "POI retrieval <= 0.40\n\n";
+
+  struct Candidate {
+    const char* mechanism;
+    const char* parameter;
+    double lo, hi;
+  };
+  const Candidate candidates[] = {
+      {"geo-indistinguishability", "epsilon", 1e-4, 1.0},
+      {"gaussian-perturbation", "sigma", 1.0, 20'000.0},
+      {"grid-cloaking", "cell_size", 10.0, 20'000.0},
+      {"promesse", "alpha", 10.0, 5'000.0},
+  };
+  const std::vector<core::Objective> objective{
+      {core::Axis::kPrivacy, core::Sense::kAtMost, 0.40},
+  };
+
+  io::Table table({"mechanism", "knob", "configured value", "predicted Ut", "measured Pr",
+                   "measured Ut", "status"});
+  for (const Candidate& c : candidates) {
+    core::SystemDefinition def;
+    const std::string name = c.mechanism;
+    def.mechanism_factory = [name] { return lppm::create_mechanism(name); };
+    def.sweep = {c.parameter, c.lo, c.hi, 19, lppm::Scale::kLog};
+    def.privacy = std::make_shared<metrics::PoiRetrieval>();
+    def.utility = std::make_shared<metrics::AreaCoverage>();
+
+    try {
+      core::Framework framework(std::move(def));
+      core::ExperimentConfig experiment;
+      experiment.trials = 2;
+      framework.model_phase(data, experiment);
+      const core::Configuration cfg = framework.configure(objective);
+      if (!cfg.feasible) {
+        table.add_row({c.mechanism, c.parameter, "-", "-", "-", "-", "infeasible"});
+        continue;
+      }
+      const core::SweepPoint measured =
+          core::evaluate_point(framework.definition(), data, cfg.recommended, 3, 555);
+      table.add_row({c.mechanism, c.parameter, io::Table::num(cfg.recommended, 3),
+                     io::Table::num(cfg.predicted_utility, 3),
+                     io::Table::num(measured.privacy_mean, 3),
+                     io::Table::num(measured.utility_mean, 3), "configured"});
+    } catch (const std::exception& e) {
+      table.add_row({c.mechanism, c.parameter, "-", "-", "-", "-",
+                     std::string("error: ") + e.what()});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nreading: at equal privacy, the mechanism with the highest measured\n"
+               "utility is the better release choice for this workload.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "attack/adaptive.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace locpriv::attack {
+
+double estimate_noise_scale(const trace::Trace& t, double plausible_speed_mps) {
+  if (t.size() < 2) return 0.0;
+  std::vector<double> displacements;
+  displacements.reserve(t.size() - 1);
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    displacements.push_back(geo::distance(t[i - 1].location, t[i].location));
+  }
+  // Human traces dwell much of the time, so the lower quartile of
+  // consecutive displacements falls inside stays, where true movement is
+  // ~0 and any displacement is protection noise (plus GPS jitter). The
+  // estimate is therefore biased high only for traces that never stop —
+  // acceptable for an adversary erring toward wider tolerance. GPS-level
+  // jitter at walking speeds is written off via a small allowance.
+  const double quiet = stats::quantile(displacements, 0.25);
+  const double allowance = 2.0 * plausible_speed_mps;  // ~2 s of drift within a fix
+  return std::max(0.0, quiet - allowance);
+}
+
+PoiAttackResult run_adaptive_attack(const trace::Trace& actual,
+                                    const trace::Trace& protected_trace,
+                                    const AdaptiveAttackConfig& cfg) {
+  const double noise = estimate_noise_scale(protected_trace, cfg.plausible_speed_mps);
+  PoiAttackConfig tuned = cfg.poi;
+  tuned.adversary.max_distance_m =
+      std::max(tuned.adversary.max_distance_m, cfg.tolerance_factor * noise);
+  tuned.adversary.merge_radius_m =
+      std::max(tuned.adversary.merge_radius_m, cfg.tolerance_factor * noise / 2.0);
+  tuned.match_radius_m = std::max(tuned.match_radius_m, cfg.tolerance_factor * noise);
+  return run_poi_attack(actual, protected_trace, tuned);
+}
+
+}  // namespace locpriv::attack

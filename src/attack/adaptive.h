@@ -1,0 +1,38 @@
+// Noise-adaptive POI adversary.
+//
+// A fixed extraction tolerance is the naive adversary's weakness: when
+// the defender adds 150 m of noise and the adversary keeps looking for
+// 200 m-tight clusters, extraction fails even though the stays are still
+// visible at a coarser scale. A realistic adversary first *estimates*
+// the noise scale from the protected data itself (consecutive-report
+// displacement carries it: reports 10 s apart cannot be 300 m apart at
+// city speeds) and widens its stay tolerance accordingly.
+#pragma once
+
+#include "attack/poi_attack.h"
+#include "trace/trace.h"
+
+namespace locpriv::attack {
+
+/// Estimates the per-report noise scale (meters) of a protected trace
+/// from the lower quartile of consecutive displacements (which falls in
+/// stays, where displacement is pure noise), minus a small allowance of
+/// ~2 s drift at `plausible_speed_mps`. 0 for traces with < 2 events.
+[[nodiscard]] double estimate_noise_scale(const trace::Trace& t,
+                                          double plausible_speed_mps = 15.0);
+
+struct AdaptiveAttackConfig {
+  PoiAttackConfig poi;
+  /// The adversary's stay tolerance becomes
+  /// max(base, tolerance_factor * estimated_noise); match radius widens
+  /// by the same amount.
+  double tolerance_factor = 2.0;
+  double plausible_speed_mps = 15.0;
+};
+
+/// POI attack with per-trace tolerance adaptation.
+[[nodiscard]] PoiAttackResult run_adaptive_attack(const trace::Trace& actual,
+                                                  const trace::Trace& protected_trace,
+                                                  const AdaptiveAttackConfig& cfg);
+
+}  // namespace locpriv::attack

@@ -1,0 +1,94 @@
+#include "attack/homework.h"
+
+#include <map>
+#include <vector>
+
+namespace locpriv::attack {
+namespace {
+
+constexpr trace::Timestamp kDay = 24 * 3600;
+
+/// Seconds of [start, end) that fall inside the daily window [w0, w1)
+/// hours, where the window may wrap midnight.
+trace::Timestamp overlap_with_daily_window(trace::Timestamp start, trace::Timestamp end, int w0_h,
+                                           int w1_h) {
+  if (start >= end) return 0;
+  trace::Timestamp total = 0;
+  // Walk whole days covered by [start, end).
+  for (trace::Timestamp day = start / kDay; day * kDay < end; ++day) {
+    const trace::Timestamp day_base = day * kDay;
+    auto add_window = [&](trace::Timestamp w_lo, trace::Timestamp w_hi) {
+      const trace::Timestamp lo = std::max(start, day_base + w_lo);
+      const trace::Timestamp hi = std::min(end, day_base + w_hi);
+      if (hi > lo) total += hi - lo;
+    };
+    const trace::Timestamp w0 = static_cast<trace::Timestamp>(w0_h) * 3600;
+    const trace::Timestamp w1 = static_cast<trace::Timestamp>(w1_h) * 3600;
+    if (w0_h <= w1_h) {
+      add_window(w0, w1);
+    } else {
+      add_window(w0, kDay);   // evening part
+      add_window(0, w1);      // morning part
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+HomeWorkResult infer_home_work(const trace::Trace& t, const HomeWorkConfig& cfg) {
+  const std::vector<poi::StayPoint> stays = poi::extract_stay_points(t, cfg.extractor);
+
+  // Cluster stays exactly like extract_pois does, but keep per-cluster
+  // night/office dwell tallies.
+  struct Cluster {
+    std::vector<poi::StayPoint> stays;
+    geo::Point centroid{0, 0};
+    trace::Timestamp night_dwell = 0;
+    trace::Timestamp office_dwell = 0;
+  };
+  std::vector<Cluster> clusters;
+  for (const poi::StayPoint& s : stays) {
+    Cluster* target = nullptr;
+    for (Cluster& c : clusters) {
+      if (geo::distance(c.centroid, s.center) <= cfg.extractor.merge_radius_m) {
+        target = &c;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      clusters.emplace_back();
+      target = &clusters.back();
+    }
+    target->stays.push_back(s);
+    geo::Point sum{0, 0};
+    for (const poi::StayPoint& m : target->stays) sum += m.center;
+    target->centroid = sum / static_cast<double>(target->stays.size());
+    target->night_dwell +=
+        overlap_with_daily_window(s.start, s.end, cfg.night_start_h, cfg.night_end_h);
+    target->office_dwell +=
+        overlap_with_daily_window(s.start, s.end, cfg.office_start_h, cfg.office_end_h);
+  }
+
+  HomeWorkResult r;
+  trace::Timestamp best_night = 0;
+  trace::Timestamp best_office = 0;
+  for (const Cluster& c : clusters) {
+    if (c.night_dwell > best_night) {
+      best_night = c.night_dwell;
+      r.home = c.centroid;
+    }
+    if (c.office_dwell > best_office) {
+      best_office = c.office_dwell;
+      r.work = c.centroid;
+    }
+  }
+  return r;
+}
+
+bool location_hit(const std::optional<geo::Point>& inferred, geo::Point truth,
+                  double tolerance_m) {
+  return inferred.has_value() && geo::distance(*inferred, truth) <= tolerance_m;
+}
+
+}  // namespace locpriv::attack

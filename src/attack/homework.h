@@ -1,0 +1,39 @@
+// Home/work inference — the canonical "new knowledge from location
+// records" attack the paper's introduction motivates.
+//
+// Heuristic: among the user's POIs, home is the one with the most dwell
+// time during night hours, work the one with the most dwell during
+// office hours. Operates on stay points so that dwell can be attributed
+// to time-of-day windows.
+#pragma once
+
+#include <optional>
+
+#include "poi/staypoint.h"
+#include "trace/trace.h"
+
+namespace locpriv::attack {
+
+struct HomeWorkConfig {
+  poi::ExtractorConfig extractor;
+  int night_start_h = 22;  ///< night window [night_start, night_end) wraps midnight
+  int night_end_h = 6;
+  int office_start_h = 9;
+  int office_end_h = 17;
+};
+
+struct HomeWorkResult {
+  std::optional<geo::Point> home;
+  std::optional<geo::Point> work;
+};
+
+/// Infers home and work places from a (possibly protected) trace.
+/// Timestamps are interpreted modulo 24 h from t = 0.
+[[nodiscard]] HomeWorkResult infer_home_work(const trace::Trace& t, const HomeWorkConfig& cfg);
+
+/// Convenience for evaluation: did the inference land within
+/// `tolerance_m` of the true place? False when nothing was inferred.
+[[nodiscard]] bool location_hit(const std::optional<geo::Point>& inferred, geo::Point truth,
+                                double tolerance_m);
+
+}  // namespace locpriv::attack

@@ -1,0 +1,39 @@
+#include "attack/interpolation.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace locpriv::attack {
+
+trace::Trace interpolate_gaps(const trace::Trace& t, trace::Timestamp step_s,
+                              trace::Timestamp max_gap_s) {
+  if (step_s <= 0) throw std::invalid_argument("interpolate_gaps: step must be > 0");
+  if (max_gap_s < step_s) throw std::invalid_argument("interpolate_gaps: max_gap < step");
+  std::vector<trace::Event> events;
+  events.reserve(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) {
+      const trace::Event& prev = t[i - 1];
+      const trace::Event& curr = t[i];
+      const trace::Timestamp gap = curr.time - prev.time;
+      if (gap > max_gap_s) {
+        for (trace::Timestamp ts = prev.time + step_s; ts < curr.time; ts += step_s) {
+          const double frac =
+              static_cast<double>(ts - prev.time) / static_cast<double>(gap);
+          events.push_back({ts, geo::lerp(prev.location, curr.location, frac)});
+        }
+      }
+    }
+    events.push_back(t[i]);
+  }
+  return {t.user_id(), std::move(events)};
+}
+
+PoiAttackResult run_interpolation_attack(const trace::Trace& actual,
+                                         const trace::Trace& protected_trace,
+                                         const InterpolationAttackConfig& cfg) {
+  return run_poi_attack(actual, interpolate_gaps(protected_trace, cfg.step_s, cfg.max_gap_s),
+                        cfg.poi);
+}
+
+}  // namespace locpriv::attack

@@ -1,0 +1,32 @@
+// Interpolation adversary — the counter to report suppression.
+//
+// Dropout withholds reports, but movement is continuous: an adversary
+// linearly interpolates across the gaps at the original cadence and runs
+// the POI attack on the densified trace. Stays survive suppression
+// almost entirely (interpolating between two points at the same place
+// reconstructs the dwell), which is why suppression alone is a weak POI
+// defense — a claim this attack makes testable.
+#pragma once
+
+#include "attack/poi_attack.h"
+#include "trace/trace.h"
+
+namespace locpriv::attack {
+
+/// Fills gaps longer than `max_gap_s` with linearly interpolated reports
+/// every `step_s` seconds. Requires step_s > 0 and max_gap_s >= step_s.
+[[nodiscard]] trace::Trace interpolate_gaps(const trace::Trace& t, trace::Timestamp step_s,
+                                            trace::Timestamp max_gap_s);
+
+struct InterpolationAttackConfig {
+  PoiAttackConfig poi;
+  trace::Timestamp step_s = 60;      ///< reconstruction cadence
+  trace::Timestamp max_gap_s = 120;  ///< gaps beyond this get densified
+};
+
+/// POI attack with gap interpolation preprocessing.
+[[nodiscard]] PoiAttackResult run_interpolation_attack(const trace::Trace& actual,
+                                                       const trace::Trace& protected_trace,
+                                                       const InterpolationAttackConfig& cfg);
+
+}  // namespace locpriv::attack

@@ -1,0 +1,19 @@
+#include "attack/poi_attack.h"
+
+namespace locpriv::attack {
+
+PoiAttackResult run_poi_attack(const trace::Trace& actual, const trace::Trace& protected_trace,
+                               const PoiAttackConfig& cfg) {
+  return run_poi_attack(poi::extract_pois(actual, cfg.ground_truth), protected_trace, cfg);
+}
+
+PoiAttackResult run_poi_attack(const std::vector<poi::Poi>& actual_pois,
+                               const trace::Trace& protected_trace, const PoiAttackConfig& cfg) {
+  PoiAttackResult r;
+  r.actual_pois = actual_pois;
+  r.retrieved_pois = poi::extract_pois(protected_trace, cfg.adversary);
+  r.match = poi::match_pois(r.actual_pois, r.retrieved_pois, cfg.match_radius_m);
+  return r;
+}
+
+}  // namespace locpriv::attack

@@ -1,0 +1,45 @@
+// POI-retrieval attack: the adversary behind the paper's privacy metric.
+//
+// The adversary sees only the protected trace, runs stay-point POI
+// extraction on it, and tries to recover the user's actual points of
+// interest. The privacy metric is the fraction of actual POIs it
+// retrieves.
+#pragma once
+
+#include "poi/matching.h"
+#include "poi/staypoint.h"
+#include "trace/trace.h"
+
+namespace locpriv::attack {
+
+struct PoiAttackConfig {
+  /// Extraction the *defender* would run on clean data to enumerate the
+  /// ground-truth POIs.
+  poi::ExtractorConfig ground_truth;
+  /// Extraction the *adversary* runs on protected data. Kept separate:
+  /// a realistic adversary widens the spatial tolerance to counter noise.
+  poi::ExtractorConfig adversary;
+  /// An actual POI counts as retrieved when an adversary POI lies within
+  /// this distance of it.
+  double match_radius_m = 200.0;
+};
+
+/// Outcome of one attack on one user.
+struct PoiAttackResult {
+  std::vector<poi::Poi> actual_pois;
+  std::vector<poi::Poi> retrieved_pois;
+  poi::MatchResult match;
+};
+
+/// Runs the attack end to end for one user.
+[[nodiscard]] PoiAttackResult run_poi_attack(const trace::Trace& actual,
+                                             const trace::Trace& protected_trace,
+                                             const PoiAttackConfig& cfg);
+
+/// Attack with precomputed ground truth (the expensive extraction on the
+/// actual trace is sweep-invariant, so callers cache it).
+[[nodiscard]] PoiAttackResult run_poi_attack(const std::vector<poi::Poi>& actual_pois,
+                                             const trace::Trace& protected_trace,
+                                             const PoiAttackConfig& cfg);
+
+}  // namespace locpriv::attack

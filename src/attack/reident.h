@@ -1,0 +1,46 @@
+// Re-identification attack: link anonymized protected traces back to
+// known users via POI fingerprints.
+//
+// Threat model: the adversary holds historical (unprotected) traces with
+// identities, receives a pseudonymized protected dataset, and matches
+// each protected trace to the historical user whose POI set is closest.
+// The privacy metric is the fraction of users correctly re-linked.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "poi/staypoint.h"
+#include "trace/dataset.h"
+
+namespace locpriv::attack {
+
+struct ReidentConfig {
+  poi::ExtractorConfig ground_truth;  ///< extraction on historical data
+  poi::ExtractorConfig adversary;     ///< extraction on protected data
+  /// Fingerprint distance uses each user's top-k POIs by dwell time.
+  std::size_t top_k = 5;
+};
+
+struct ReidentResult {
+  /// linked[i] = index into `historical` chosen for protected trace i
+  /// (size_t(-1) when the protected trace exposed no POIs at all).
+  std::vector<std::size_t> linked;
+  std::size_t correct = 0;
+  double accuracy = 0.0;  ///< correct / dataset size
+};
+
+/// Runs the linkage. `historical` and `protected_traces` must be the
+/// same users in the same order (the evaluation knows the ground truth;
+/// the adversary of course does not use the order).
+[[nodiscard]] ReidentResult run_reident_attack(const trace::Dataset& historical,
+                                               const trace::Dataset& protected_traces,
+                                               const ReidentConfig& cfg);
+
+/// Asymmetric chamfer-style distance between two POI fingerprints: mean
+/// distance from each of `a`'s POIs to its nearest POI in `b`.
+/// Infinity when either side is empty.
+[[nodiscard]] double fingerprint_distance(const std::vector<poi::Poi>& a,
+                                          const std::vector<poi::Poi>& b);
+
+}  // namespace locpriv::attack

@@ -1,0 +1,43 @@
+#include "attack/smoothing.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace locpriv::attack {
+
+trace::Trace moving_average(const trace::Trace& t, std::size_t window) {
+  if (window == 0) throw std::invalid_argument("moving_average: window must be >= 1");
+  if (window == 1 || t.size() <= 1) return t;
+
+  const std::size_t n = t.size();
+  const std::size_t half = window / 2;
+  // Prefix sums for O(n) windowed means.
+  std::vector<geo::Point> prefix(n + 1, geo::Point{0, 0});
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + t[i].location;
+
+  std::vector<trace::Event> smoothed;
+  smoothed.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(n - 1, i + half);
+    const auto count = static_cast<double>(hi - lo + 1);
+    const geo::Point mean = (prefix[hi + 1] - prefix[lo]) / count;
+    smoothed.push_back({t[i].time, mean});
+  }
+  return {t.user_id(), std::move(smoothed)};
+}
+
+PoiAttackResult run_smoothing_attack(const trace::Trace& actual,
+                                     const trace::Trace& protected_trace,
+                                     const SmoothingAttackConfig& cfg) {
+  return run_poi_attack(actual, moving_average(protected_trace, cfg.window), cfg.poi);
+}
+
+PoiAttackResult run_smoothing_attack(const std::vector<poi::Poi>& actual_pois,
+                                     const trace::Trace& protected_trace,
+                                     const SmoothingAttackConfig& cfg) {
+  return run_poi_attack(actual_pois, moving_average(protected_trace, cfg.window), cfg.poi);
+}
+
+}  // namespace locpriv::attack

@@ -1,0 +1,36 @@
+// Smoothing adversary — the classic counter to independent per-report
+// noise.
+//
+// Geo-I perturbs every report independently, but consecutive reports of
+// a *stay* share the same true location, so averaging a window of w
+// protected reports shrinks the noise by ~sqrt(w). An adversary that
+// smooths before extracting POIs therefore retrieves more than the naive
+// one, and a sound configuration framework must calibrate against this
+// stronger adversary (bench_smoothing_adversary quantifies the gap).
+#pragma once
+
+#include "attack/poi_attack.h"
+#include "trace/trace.h"
+
+namespace locpriv::attack {
+
+/// Centered moving average over a window of `window` reports (clamped at
+/// the trace ends). window >= 1; 1 = identity.
+[[nodiscard]] trace::Trace moving_average(const trace::Trace& t, std::size_t window);
+
+struct SmoothingAttackConfig {
+  PoiAttackConfig poi;       ///< the downstream POI attack
+  std::size_t window = 9;    ///< smoothing window (reports)
+};
+
+/// POI attack with smoothing preprocessing.
+[[nodiscard]] PoiAttackResult run_smoothing_attack(const trace::Trace& actual,
+                                                   const trace::Trace& protected_trace,
+                                                   const SmoothingAttackConfig& cfg);
+
+/// Variant with precomputed ground truth (see run_poi_attack overloads).
+[[nodiscard]] PoiAttackResult run_smoothing_attack(const std::vector<poi::Poi>& actual_pois,
+                                                   const trace::Trace& protected_trace,
+                                                   const SmoothingAttackConfig& cfg);
+
+}  // namespace locpriv::attack

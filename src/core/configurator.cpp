@@ -1,0 +1,117 @@
+#include "core/configurator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace locpriv::core {
+
+std::string Objective::describe(const LppmModel& model) const {
+  std::ostringstream os;
+  os << (axis == Axis::kPrivacy ? model.privacy_metric : model.utility_metric)
+     << (sense == Sense::kAtMost ? " <= " : " >= ") << value;
+  return os.str();
+}
+
+Configurator::Configurator(LppmModel model) : model_(std::move(model)) {
+  if (model_.privacy.fit.slope == 0.0 || model_.utility.fit.slope == 0.0) {
+    throw std::invalid_argument(
+        "Configurator: a zero-slope axis is not invertible (metric does not respond to the "
+        "parameter on the fitted interval)");
+  }
+}
+
+ParamInterval Configurator::solve(const Objective& objective) const {
+  const AxisModel& axis = objective.axis == Axis::kPrivacy ? model_.privacy : model_.utility;
+  // Constraint in model space: intercept + slope * x {<=,>=} value.
+  const double boundary_x = (objective.value - axis.fit.intercept) / axis.fit.slope;
+  const double slope = axis.fit.slope;
+
+  // Which side of boundary_x satisfies the constraint.
+  //   slope > 0, <=  : x <= boundary
+  //   slope > 0, >=  : x >= boundary
+  //   slope < 0, <=  : x >= boundary
+  //   slope < 0, >=  : x <= boundary
+  const bool upper_bounded = (slope > 0.0) == (objective.sense == Sense::kAtMost);
+
+  const double x_low = model_x(model_.param_low, model_.scale);
+  const double x_high = model_x(model_.param_high, model_.scale);
+  double lo_x = x_low;
+  double hi_x = x_high;
+  if (upper_bounded) {
+    hi_x = std::min(hi_x, boundary_x);
+  } else {
+    lo_x = std::max(lo_x, boundary_x);
+  }
+  if (lo_x > hi_x) return {1.0, 0.0};  // canonical empty interval
+  return {from_model_x(lo_x, model_.scale), from_model_x(hi_x, model_.scale)};
+}
+
+Configuration Configurator::configure_with_margin(std::span<const Objective> objectives,
+                                                  double z) const {
+  if (!(z >= 0.0)) throw std::invalid_argument("configure_with_margin: z must be >= 0");
+  std::vector<Objective> tightened(objectives.begin(), objectives.end());
+  for (Objective& obj : tightened) {
+    const double sigma = obj.axis == Axis::kPrivacy ? model_.privacy.fit.residual_stddev
+                                                    : model_.utility.fit.residual_stddev;
+    const double margin = z * sigma;
+    obj.value += obj.sense == Sense::kAtMost ? -margin : margin;
+  }
+  Configuration cfg = configure(tightened);
+  cfg.diagnosis = "(with z=" + std::to_string(z) + " residual margin) " + cfg.diagnosis;
+  return cfg;
+}
+
+Configuration Configurator::configure(std::span<const Objective> objectives) const {
+  Configuration out;
+  ParamInterval feasible{model_.param_low, model_.param_high};
+  std::ostringstream diag;
+
+  for (const Objective& obj : objectives) {
+    const ParamInterval piece = solve(obj);
+    if (piece.empty()) {
+      out.feasible = false;
+      diag << "objective '" << obj.describe(model_) << "' cannot be met anywhere in the model's "
+           << "validity range [" << model_.param_low << ", " << model_.param_high << "]";
+      out.diagnosis = diag.str();
+      return out;
+    }
+    const double new_lo = std::max(feasible.lo, piece.lo);
+    const double new_hi = std::min(feasible.hi, piece.hi);
+    if (new_lo > new_hi) {
+      out.feasible = false;
+      diag << "objective '" << obj.describe(model_) << "' conflicts with the preceding "
+           << "objectives: it requires " << model_.parameter << " in [" << piece.lo << ", "
+           << piece.hi << "] but the intersection so far is [" << feasible.lo << ", "
+           << feasible.hi << "]";
+      out.diagnosis = diag.str();
+      return out;
+    }
+    feasible = {new_lo, new_hi};
+  }
+
+  out.feasible = true;
+  out.interval = feasible;
+
+  // Recommend the feasible edge that is best for utility; the metric's
+  // declared direction says which way "better" points.
+  const double ut_at_lo = model_.utility.predict(feasible.lo, model_.scale);
+  const double ut_at_hi = model_.utility.predict(feasible.hi, model_.scale);
+  const bool higher_is_better =
+      model_.utility_direction == metrics::Direction::kHigherIsMoreUseful;
+  const bool hi_edge_better = higher_is_better ? ut_at_hi >= ut_at_lo : ut_at_hi <= ut_at_lo;
+  out.recommended = hi_edge_better ? feasible.hi : feasible.lo;
+  out.predicted_privacy = model_.privacy.predict(out.recommended, model_.scale);
+  out.predicted_utility = model_.utility.predict(out.recommended, model_.scale);
+
+  diag << "feasible " << model_.parameter << " in [" << feasible.lo << ", " << feasible.hi
+       << "]; recommended " << out.recommended << " (predicted " << model_.privacy_metric << " = "
+       << out.predicted_privacy << ", " << model_.utility_metric << " = " << out.predicted_utility
+       << ")";
+  out.diagnosis = diag.str();
+  return out;
+}
+
+}  // namespace locpriv::core

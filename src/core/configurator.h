@@ -1,0 +1,86 @@
+// Step 3: configuration by model inversion.
+//
+// "Finally, the LPPM configuration (i.e. the value of p_i) is computed
+// by inverting the f function, using the specified privacy and utility
+// objectives." Each objective constrains the parameter to a half-line
+// (in model space); the configurator intersects those constraints with
+// the model's validity range and recommends a value — or explains
+// precisely why no value exists.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/loglinear_model.h"
+
+namespace locpriv::core {
+
+/// Which fitted axis an objective constrains.
+enum class Axis { kPrivacy, kUtility };
+
+/// Inequality sense of an objective.
+enum class Sense {
+  kAtMost,   ///< metric <= value (e.g. "at most 10 % of POIs retrieved")
+  kAtLeast,  ///< metric >= value (e.g. "at least 80 % cell hits")
+};
+
+/// One designer objective, e.g. {kPrivacy, kAtMost, 0.10}.
+struct Objective {
+  Axis axis = Axis::kPrivacy;
+  Sense sense = Sense::kAtMost;
+  double value = 0.0;
+
+  [[nodiscard]] std::string describe(const LppmModel& model) const;
+};
+
+/// A closed parameter interval; empty when lo > hi.
+struct ParamInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  [[nodiscard]] bool empty() const { return !(lo <= hi); }
+  [[nodiscard]] bool contains(double v) const { return v >= lo && v <= hi; }
+};
+
+/// The configurator's answer.
+struct Configuration {
+  bool feasible = false;
+  ParamInterval interval;         ///< all parameter values meeting every objective
+  double recommended = 0.0;       ///< a specific choice within the interval
+  double predicted_privacy = 0.0; ///< model predictions at `recommended`
+  double predicted_utility = 0.0;
+  std::string diagnosis;          ///< human-readable explanation (esp. on infeasibility)
+};
+
+/// Inverts a fitted model against designer objectives.
+class Configurator {
+ public:
+  /// Throws std::invalid_argument if the model's axes are degenerate
+  /// (zero slope cannot be inverted).
+  explicit Configurator(LppmModel model);
+
+  [[nodiscard]] const LppmModel& model() const { return model_; }
+
+  /// Computes the feasible interval and a recommendation. With an empty
+  /// objective list the whole validity range is feasible. The
+  /// recommendation maximizes the utility metric's "better" direction
+  /// within the feasible interval.
+  [[nodiscard]] Configuration configure(std::span<const Objective> objectives) const;
+
+  /// Parameter interval satisfying a single objective (already
+  /// intersected with the model validity range).
+  [[nodiscard]] ParamInterval solve(const Objective& objective) const;
+
+  /// Configuration with a safety margin: each objective is tightened by
+  /// z * residual_stddev of its axis fit before inversion, so the
+  /// recommendation keeps holding under the model's residual scatter
+  /// (z = 1.645 ≈ one-sided 95 %). A designer promising "at most 10 %"
+  /// to users should configure with margin, not at the nominal boundary.
+  [[nodiscard]] Configuration configure_with_margin(std::span<const Objective> objectives,
+                                                    double z = 1.645) const;
+
+ private:
+  LppmModel model_;
+};
+
+}  // namespace locpriv::core

@@ -1,0 +1,145 @@
+#include "core/experiment.h"
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "stats/online.h"
+#include "stats/rng.h"
+
+namespace locpriv::core {
+
+std::vector<double> SweepResult::parameter_values() const {
+  std::vector<double> v;
+  v.reserve(points.size());
+  for (const SweepPoint& p : points) v.push_back(p.parameter_value);
+  return v;
+}
+
+std::vector<double> SweepResult::privacy_values() const {
+  std::vector<double> v;
+  v.reserve(points.size());
+  for (const SweepPoint& p : points) v.push_back(p.privacy_mean);
+  return v;
+}
+
+std::vector<double> SweepResult::utility_values() const {
+  std::vector<double> v;
+  v.reserve(points.size());
+  for (const SweepPoint& p : points) v.push_back(p.utility_mean);
+  return v;
+}
+
+std::vector<double> SweepResult::model_xs() const {
+  std::vector<double> v;
+  v.reserve(points.size());
+  for (const SweepPoint& p : points) v.push_back(model_x(p.parameter_value, scale));
+  return v;
+}
+
+SweepPoint evaluate_point(const SystemDefinition& system, const trace::Dataset& data,
+                          double parameter_value, std::size_t trials, std::uint64_t seed) {
+  if (trials == 0) throw std::invalid_argument("evaluate_point: need at least one trial");
+  const std::unique_ptr<lppm::Mechanism> mechanism = system.mechanism_factory();
+  mechanism->set_parameter(system.sweep.parameter, parameter_value);
+
+  stats::OnlineMoments pr;
+  stats::OnlineMoments ut;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const trace::Dataset protected_data =
+        mechanism->protect_dataset(data, stats::derive_seed(seed, trial));
+    pr.add(system.privacy->evaluate(data, protected_data));
+    ut.add(system.utility->evaluate(data, protected_data));
+  }
+
+  SweepPoint point;
+  point.parameter_value = parameter_value;
+  point.privacy_mean = pr.mean();
+  point.privacy_stddev = trials >= 2 ? pr.stddev() : 0.0;
+  point.utility_mean = ut.mean();
+  point.utility_stddev = trials >= 2 ? ut.stddev() : 0.0;
+  return point;
+}
+
+std::vector<PerUserPoint> evaluate_point_per_user(const SystemDefinition& system,
+                                                  const trace::Dataset& data,
+                                                  double parameter_value, std::uint64_t seed) {
+  const auto* privacy = dynamic_cast<const metrics::TraceMetric*>(system.privacy.get());
+  const auto* utility = dynamic_cast<const metrics::TraceMetric*>(system.utility.get());
+  if (privacy == nullptr || utility == nullptr) {
+    throw std::invalid_argument(
+        "evaluate_point_per_user: both metrics must be trace-level (per-user); "
+        "dataset-level metrics have no per-user decomposition");
+  }
+  const std::unique_ptr<lppm::Mechanism> mechanism = system.mechanism_factory();
+  mechanism->set_parameter(system.sweep.parameter, parameter_value);
+  const trace::Dataset protected_data = mechanism->protect_dataset(data, seed);
+
+  std::vector<PerUserPoint> out;
+  out.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.push_back({data[i].user_id(), privacy->evaluate_trace(data[i], protected_data[i]),
+                   utility->evaluate_trace(data[i], protected_data[i])});
+  }
+  return out;
+}
+
+SweepResult run_sweep(const SystemDefinition& system, const trace::Dataset& data,
+                      const ExperimentConfig& config) {
+  system.validate();
+  if (data.empty()) throw std::invalid_argument("run_sweep: empty dataset");
+
+  const std::vector<double> values = sweep_values(system.sweep);
+
+  SweepResult result;
+  {
+    const std::unique_ptr<lppm::Mechanism> probe = system.mechanism_factory();
+    result.mechanism_name = probe->name();
+  }
+  result.parameter = system.sweep.parameter;
+  result.scale = system.sweep.scale;
+  result.privacy_metric = system.privacy->name();
+  result.utility_metric = system.utility->name();
+  result.privacy_direction = system.privacy->direction();
+  result.utility_direction = system.utility->direction();
+  result.points.resize(values.size());
+
+  std::size_t threads = config.threads != 0 ? config.threads : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  threads = std::min(threads, values.size());
+
+  // Work-stealing over point indices. Each point derives an independent
+  // seed from (root, point index), so the outcome is schedule-invariant.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= values.size() || failed.load()) return;
+      try {
+        result.points[i] = evaluate_point(system, data, values[i], config.trials,
+                                          stats::derive_seed(config.seed, i));
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true);
+        return;
+      }
+    }
+  };
+
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return result;
+}
+
+}  // namespace locpriv::core

@@ -1,0 +1,81 @@
+// Step 2 (data collection): automated experiments sweeping the LPPM
+// parameter and measuring (Pr, Ut) at every point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/system_definition.h"
+#include "trace/dataset.h"
+
+namespace locpriv::core {
+
+struct ExperimentConfig {
+  /// Independent protection repetitions per sweep point; the reported
+  /// value is the mean (stddev kept for error bars).
+  std::size_t trials = 3;
+  /// Root seed; per-(point, trial) streams are derived deterministically.
+  std::uint64_t seed = 42;
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  std::size_t threads = 0;
+};
+
+/// Measurements at one sweep point.
+struct SweepPoint {
+  double parameter_value = 0.0;
+  double privacy_mean = 0.0;
+  double privacy_stddev = 0.0;
+  double utility_mean = 0.0;
+  double utility_stddev = 0.0;
+};
+
+/// A completed sweep: the raw material of the modeling phase.
+struct SweepResult {
+  std::string mechanism_name;
+  std::string parameter;
+  lppm::Scale scale = lppm::Scale::kLog;
+  std::string privacy_metric;
+  std::string utility_metric;
+  metrics::Direction privacy_direction = metrics::Direction::kLowerIsMorePrivate;
+  metrics::Direction utility_direction = metrics::Direction::kHigherIsMoreUseful;
+  std::vector<SweepPoint> points;  ///< ordered by ascending parameter value
+
+  [[nodiscard]] std::vector<double> parameter_values() const;
+  [[nodiscard]] std::vector<double> privacy_values() const;
+  [[nodiscard]] std::vector<double> utility_values() const;
+  /// Parameter values in model space (ln for log-scale sweeps).
+  [[nodiscard]] std::vector<double> model_xs() const;
+};
+
+/// Runs the sweep for `system` over `data`. Deterministic in
+/// config.seed regardless of thread count: every (point, trial) pair
+/// derives its own seed and results are reduced in index order.
+/// Throws std::invalid_argument on malformed system or empty data.
+[[nodiscard]] SweepResult run_sweep(const SystemDefinition& system, const trace::Dataset& data,
+                                    const ExperimentConfig& config = {});
+
+/// Evaluates (Pr, Ut) at a single parameter value, averaging `trials`
+/// protections — the primitive run_sweep parallelizes, also used
+/// directly by the greedy baseline.
+[[nodiscard]] SweepPoint evaluate_point(const SystemDefinition& system, const trace::Dataset& data,
+                                        double parameter_value, std::size_t trials,
+                                        std::uint64_t seed);
+
+/// One user's metric values at a parameter value.
+struct PerUserPoint {
+  std::string user_id;
+  double privacy = 0.0;
+  double utility = 0.0;
+};
+
+/// Per-user breakdown of a single evaluation (one protection pass) —
+/// the input to bootstrap confidence intervals and per-user fairness
+/// analysis. Requires both metrics to be trace-level (TraceMetric);
+/// dataset-level metrics like re-identification have no per-user
+/// decomposition and cause std::invalid_argument.
+[[nodiscard]] std::vector<PerUserPoint> evaluate_point_per_user(const SystemDefinition& system,
+                                                                const trace::Dataset& data,
+                                                                double parameter_value,
+                                                                std::uint64_t seed);
+
+}  // namespace locpriv::core

@@ -1,0 +1,103 @@
+#include "core/greedy.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/experiment.h"
+#include "stats/rng.h"
+
+namespace locpriv::core {
+namespace {
+
+/// Signed violation of one objective: 0 when satisfied, positive
+/// magnitude = how far the measured value is on the wrong side.
+double violation(const Objective& obj, double privacy, double utility, double tolerance) {
+  const double measured = obj.axis == Axis::kPrivacy ? privacy : utility;
+  const double slack = tolerance * std::abs(obj.value);
+  if (obj.sense == Sense::kAtMost) return std::max(0.0, measured - obj.value - slack);
+  return std::max(0.0, obj.value - measured - slack);
+}
+
+}  // namespace
+
+GreedyResult greedy_configure(const SystemDefinition& system, const trace::Dataset& data,
+                              std::span<const Objective> objectives, const GreedyConfig& cfg) {
+  system.validate();
+  if (cfg.max_iterations == 0) throw std::invalid_argument("greedy_configure: zero iterations");
+
+  // Search in model space over the sweep range.
+  double lo_x = model_x(system.sweep.min_value, system.sweep.scale);
+  double hi_x = model_x(system.sweep.max_value, system.sweep.scale);
+
+  GreedyResult result;
+  double best_violation = std::numeric_limits<double>::infinity();
+
+  for (std::size_t iter = 0; iter < cfg.max_iterations; ++iter) {
+    const double x = (lo_x + hi_x) / 2.0;
+    const double param = from_model_x(x, system.sweep.scale);
+    const SweepPoint point = evaluate_point(system, data, param, cfg.trials_per_evaluation,
+                                            stats::derive_seed(cfg.seed, iter));
+    ++result.evaluations;
+
+    double total_violation = 0.0;
+    const Objective* worst = nullptr;
+    double worst_violation = 0.0;
+    for (const Objective& obj : objectives) {
+      const double v = violation(obj, point.privacy_mean, point.utility_mean, cfg.tolerance);
+      total_violation += v;
+      // Privacy violations dominate: treat any privacy violation as
+      // worse than any utility violation.
+      const double priority = (obj.axis == Axis::kPrivacy ? 1e6 : 1.0) * v;
+      if (v > 0.0 && (worst == nullptr || priority > worst_violation)) {
+        worst = &obj;
+        worst_violation = priority;
+      }
+    }
+
+    const bool met = total_violation == 0.0;
+    result.history.push_back({param, point.privacy_mean, point.utility_mean, met});
+    if (total_violation < best_violation) {
+      best_violation = total_violation;
+      result.parameter_value = param;
+      result.privacy = point.privacy_mean;
+      result.utility = point.utility_mean;
+    }
+    if (met) {
+      result.converged = true;
+      // Keep refining toward better utility? ALP stops at satisfaction;
+      // so do we.
+      break;
+    }
+
+    // Move toward satisfying the worst violated objective. Whether the
+    // metric increases or decreases with the parameter is unknown a
+    // priori; probe direction from the two most recent evaluations when
+    // available, else assume increasing (true for retrieval/coverage
+    // against ε-like noise parameters).
+    double slope_sign = 1.0;
+    if (result.history.size() >= 2) {
+      const GreedyStep& prev = result.history[result.history.size() - 2];
+      const GreedyStep& curr = result.history.back();
+      const double dm = (worst->axis == Axis::kPrivacy ? curr.privacy - prev.privacy
+                                                       : curr.utility - prev.utility);
+      const double dx = model_x(curr.parameter_value, system.sweep.scale) -
+                        model_x(prev.parameter_value, system.sweep.scale);
+      if (dx != 0.0 && dm != 0.0) slope_sign = (dm / dx) > 0.0 ? 1.0 : -1.0;
+    }
+    const double measured = worst->axis == Axis::kPrivacy ? result.history.back().privacy
+                                                          : result.history.back().utility;
+    const bool need_lower_metric = worst->sense == Sense::kAtMost && measured > worst->value;
+    // To lower the metric, move against the slope; to raise it, move with it.
+    const bool move_up = need_lower_metric ? slope_sign < 0.0 : slope_sign > 0.0;
+    if (move_up) {
+      lo_x = x;
+    } else {
+      hi_x = x;
+    }
+    if (hi_x - lo_x < 1e-12) break;
+  }
+  return result;
+}
+
+}  // namespace locpriv::core

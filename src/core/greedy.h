@@ -1,0 +1,56 @@
+// Greedy iterative configuration — the ALP-style baseline.
+//
+// The paper positions prior art (ALP, Primault et al. SRDS'16) as "a
+// greedy solution to possibly make the configuration parameters converge"
+// toward metric targets, in contrast with the formal inverted model. This
+// baseline reproduces that strategy: multiplicative bisection on the
+// parameter driven by *actual* (expensive) metric evaluations, so the
+// comparison in bench_greedy_vs_model is evaluations-vs-evaluations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/configurator.h"
+#include "core/system_definition.h"
+#include "trace/dataset.h"
+
+namespace locpriv::core {
+
+struct GreedyConfig {
+  std::size_t max_iterations = 20;
+  std::size_t trials_per_evaluation = 1;
+  std::uint64_t seed = 42;
+  /// Stop once every objective is met with this relative slack.
+  double tolerance = 0.0;
+};
+
+struct GreedyStep {
+  double parameter_value = 0.0;
+  double privacy = 0.0;
+  double utility = 0.0;
+  bool objectives_met = false;
+};
+
+struct GreedyResult {
+  bool converged = false;
+  double parameter_value = 0.0;  ///< best value found
+  double privacy = 0.0;
+  double utility = 0.0;
+  std::size_t evaluations = 0;   ///< dataset-protection evaluations spent
+  std::vector<GreedyStep> history;
+};
+
+/// Runs greedy search over the system's sweep range for the given
+/// objectives. The search walks in model space (log space for ε-like
+/// parameters): it starts at the range midpoint and bisects toward the
+/// violated objective, preferring to fix privacy violations first (a
+/// privacy guarantee is a hard constraint; utility is the optimization
+/// target).
+[[nodiscard]] GreedyResult greedy_configure(const SystemDefinition& system,
+                                            const trace::Dataset& data,
+                                            std::span<const Objective> objectives,
+                                            const GreedyConfig& cfg = {});
+
+}  // namespace locpriv::core

@@ -1,0 +1,89 @@
+#include "core/loglinear_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace locpriv::core {
+
+double AxisModel::predict(double param, lppm::Scale scale) const {
+  // Tolerate endpoint rounding from exp/log round-trips.
+  const double slack = 1e-9 * (param_high - param_low);
+  if (param < param_low - slack || param > param_high + slack) {
+    throw std::domain_error("AxisModel::predict: parameter " + std::to_string(param) +
+                            " outside validity range [" + std::to_string(param_low) + ", " +
+                            std::to_string(param_high) + "]");
+  }
+  return fit.predict(model_x(std::clamp(param, param_low, param_high), scale));
+}
+
+double AxisModel::invert(double metric, lppm::Scale scale) const {
+  if (!metric_reachable(metric)) {
+    throw std::domain_error("AxisModel::invert: metric value " + std::to_string(metric) +
+                            " outside fitted span [" +
+                            std::to_string(std::min(metric_at_low, metric_at_high)) + ", " +
+                            std::to_string(std::max(metric_at_low, metric_at_high)) + "]");
+  }
+  return from_model_x(fit.invert(metric), scale);
+}
+
+bool AxisModel::metric_reachable(double metric) const {
+  const double lo = std::min(metric_at_low, metric_at_high);
+  const double hi = std::max(metric_at_low, metric_at_high);
+  const double slack = 1e-9 * (hi - lo + 1.0);
+  return metric >= lo - slack && metric <= hi + slack;
+}
+
+namespace {
+
+AxisModel fit_axis(const std::vector<double>& xs, const std::vector<double>& ys,
+                   const std::vector<double>& params, const SaturationOptions& opts) {
+  const ActiveInterval interval = detect_active_interval(xs, ys, opts);
+  const std::size_t n = interval.point_count();
+  if (n < 2) throw std::runtime_error("fit_axis: non-saturated interval too small to fit");
+
+  const std::vector<double> x_window(xs.begin() + static_cast<std::ptrdiff_t>(interval.first),
+                                     xs.begin() + static_cast<std::ptrdiff_t>(interval.last + 1));
+  const std::vector<double> y_window(ys.begin() + static_cast<std::ptrdiff_t>(interval.first),
+                                     ys.begin() + static_cast<std::ptrdiff_t>(interval.last + 1));
+
+  AxisModel axis;
+  axis.fit = stats::fit_linear(x_window, y_window);
+  axis.param_low = params[interval.first];
+  axis.param_high = params[interval.last];
+  axis.metric_at_low = axis.fit.predict(interval.x_low);
+  axis.metric_at_high = axis.fit.predict(interval.x_high);
+  return axis;
+}
+
+}  // namespace
+
+LppmModel fit_loglinear_model(const SweepResult& sweep, const SaturationOptions& opts) {
+  if (sweep.points.size() < 3) {
+    throw std::invalid_argument("fit_loglinear_model: need at least 3 sweep points");
+  }
+  const std::vector<double> xs = sweep.model_xs();
+  const std::vector<double> params = sweep.parameter_values();
+
+  LppmModel model;
+  model.mechanism_name = sweep.mechanism_name;
+  model.parameter = sweep.parameter;
+  model.scale = sweep.scale;
+  model.privacy_metric = sweep.privacy_metric;
+  model.utility_metric = sweep.utility_metric;
+  model.privacy_direction = sweep.privacy_direction;
+  model.utility_direction = sweep.utility_direction;
+  model.privacy = fit_axis(xs, sweep.privacy_values(), params, opts);
+  model.utility = fit_axis(xs, sweep.utility_values(), params, opts);
+
+  model.param_low = std::max(model.privacy.param_low, model.utility.param_low);
+  model.param_high = std::min(model.privacy.param_high, model.utility.param_high);
+  if (!(model.param_low < model.param_high)) {
+    throw std::runtime_error(
+        "fit_loglinear_model: privacy and utility respond on disjoint parameter ranges");
+  }
+  return model;
+}
+
+}  // namespace locpriv::core

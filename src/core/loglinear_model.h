@@ -1,0 +1,65 @@
+// Step 2 (model fitting): the invertible relationship of Eq. 2.
+//
+//   Pr = a + b · ln(p)     (on the non-saturated interval)
+//   Ut = α + β · ln(p)
+//
+// Each axis is a linear fit against the model-space transform of the
+// parameter (ln for log-scale parameters like ε, identity for linear
+// ones), valid over the detected non-saturated interval. Inversion of
+// either axis recovers the parameter — the heart of step 3.
+#pragma once
+
+#include <string>
+
+#include "core/experiment.h"
+#include "core/saturation.h"
+#include "stats/regression.h"
+
+namespace locpriv::core {
+
+/// One metric axis of the model.
+struct AxisModel {
+  stats::LinearFit fit;        ///< metric = intercept + slope * model_x(param)
+  double param_low = 0.0;      ///< validity range (parameter units)
+  double param_high = 0.0;
+  double metric_at_low = 0.0;  ///< fitted metric values at the range edges
+  double metric_at_high = 0.0;
+
+  /// Predicted metric at a parameter value. Throws std::domain_error
+  /// when `param` is outside the validity range — the model is explicit
+  /// about where it is meaningless (the saturated zones).
+  [[nodiscard]] double predict(double param, lppm::Scale scale) const;
+
+  /// Inverse prediction: the parameter achieving `metric`. Throws
+  /// std::domain_error when `metric` is outside the fitted span
+  /// (saturation: no parameter in range achieves it).
+  [[nodiscard]] double invert(double metric, lppm::Scale scale) const;
+
+  /// True when `metric` lies within the fitted metric span.
+  [[nodiscard]] bool metric_reachable(double metric) const;
+};
+
+/// The full fitted model for one (mechanism, parameter, Pr, Ut) system.
+struct LppmModel {
+  std::string mechanism_name;
+  std::string parameter;
+  lppm::Scale scale = lppm::Scale::kLog;
+  std::string privacy_metric;
+  std::string utility_metric;
+  metrics::Direction privacy_direction = metrics::Direction::kLowerIsMorePrivate;
+  metrics::Direction utility_direction = metrics::Direction::kHigherIsMoreUseful;
+  AxisModel privacy;
+  AxisModel utility;
+  /// Joint validity interval (intersection of the two axes' ranges).
+  double param_low = 0.0;
+  double param_high = 0.0;
+};
+
+/// Fits the model on a completed sweep: detects each metric's
+/// non-saturated interval, fits each axis on its own interval, and
+/// records the joint validity range. Throws std::runtime_error when the
+/// intervals are disjoint or a fit degenerates.
+[[nodiscard]] LppmModel fit_loglinear_model(const SweepResult& sweep,
+                                            const SaturationOptions& opts = {});
+
+}  // namespace locpriv::core

@@ -1,0 +1,177 @@
+#include "core/model_store.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "io/csv.h"
+
+namespace locpriv::core {
+namespace {
+
+const char* scale_name(lppm::Scale s) { return s == lppm::Scale::kLog ? "log" : "linear"; }
+
+lppm::Scale scale_from(const std::string& s) {
+  if (s == "log") return lppm::Scale::kLog;
+  if (s == "linear") return lppm::Scale::kLinear;
+  throw std::runtime_error("model json: bad scale '" + s + "'");
+}
+
+const char* direction_name(metrics::Direction d) {
+  switch (d) {
+    case metrics::Direction::kHigherIsMorePrivate: return "higher-is-more-private";
+    case metrics::Direction::kLowerIsMorePrivate: return "lower-is-more-private";
+    case metrics::Direction::kHigherIsMoreUseful: return "higher-is-more-useful";
+    case metrics::Direction::kLowerIsMoreUseful: return "lower-is-more-useful";
+  }
+  throw std::logic_error("direction_name: unreachable");
+}
+
+metrics::Direction direction_from(const std::string& s) {
+  if (s == "higher-is-more-private") return metrics::Direction::kHigherIsMorePrivate;
+  if (s == "lower-is-more-private") return metrics::Direction::kLowerIsMorePrivate;
+  if (s == "higher-is-more-useful") return metrics::Direction::kHigherIsMoreUseful;
+  if (s == "lower-is-more-useful") return metrics::Direction::kLowerIsMoreUseful;
+  throw std::runtime_error("model json: bad direction '" + s + "'");
+}
+
+io::JsonValue axis_to_json(const AxisModel& axis) {
+  io::JsonObject o;
+  o["slope"] = axis.fit.slope;
+  o["intercept"] = axis.fit.intercept;
+  o["r_squared"] = axis.fit.r_squared;
+  o["residual_stddev"] = axis.fit.residual_stddev;
+  o["n"] = axis.fit.n;
+  o["param_low"] = axis.param_low;
+  o["param_high"] = axis.param_high;
+  o["metric_at_low"] = axis.metric_at_low;
+  o["metric_at_high"] = axis.metric_at_high;
+  return o;
+}
+
+AxisModel axis_from_json(const io::JsonValue& j) {
+  AxisModel axis;
+  axis.fit.slope = j.at("slope").as_number();
+  axis.fit.intercept = j.at("intercept").as_number();
+  axis.fit.r_squared = j.at("r_squared").as_number();
+  axis.fit.residual_stddev = j.at("residual_stddev").as_number();
+  axis.fit.n = static_cast<std::size_t>(j.at("n").as_number());
+  axis.param_low = j.at("param_low").as_number();
+  axis.param_high = j.at("param_high").as_number();
+  axis.metric_at_low = j.at("metric_at_low").as_number();
+  axis.metric_at_high = j.at("metric_at_high").as_number();
+  return axis;
+}
+
+}  // namespace
+
+io::JsonValue model_to_json(const LppmModel& model) {
+  io::JsonObject o;
+  o["format"] = "locpriv-model/1";
+  o["mechanism"] = model.mechanism_name;
+  o["parameter"] = model.parameter;
+  o["scale"] = scale_name(model.scale);
+  o["privacy_metric"] = model.privacy_metric;
+  o["utility_metric"] = model.utility_metric;
+  o["privacy_direction"] = direction_name(model.privacy_direction);
+  o["utility_direction"] = direction_name(model.utility_direction);
+  o["privacy"] = axis_to_json(model.privacy);
+  o["utility"] = axis_to_json(model.utility);
+  o["param_low"] = model.param_low;
+  o["param_high"] = model.param_high;
+  return o;
+}
+
+LppmModel model_from_json(const io::JsonValue& json) {
+  if (!json.contains("format") || json.at("format").as_string() != "locpriv-model/1") {
+    throw std::runtime_error("model json: missing or unsupported format tag");
+  }
+  LppmModel model;
+  model.mechanism_name = json.at("mechanism").as_string();
+  model.parameter = json.at("parameter").as_string();
+  model.scale = scale_from(json.at("scale").as_string());
+  model.privacy_metric = json.at("privacy_metric").as_string();
+  model.utility_metric = json.at("utility_metric").as_string();
+  model.privacy_direction = direction_from(json.at("privacy_direction").as_string());
+  model.utility_direction = direction_from(json.at("utility_direction").as_string());
+  model.privacy = axis_from_json(json.at("privacy"));
+  model.utility = axis_from_json(json.at("utility"));
+  model.param_low = json.at("param_low").as_number();
+  model.param_high = json.at("param_high").as_number();
+  return model;
+}
+
+io::JsonValue sweep_to_json(const SweepResult& sweep) {
+  io::JsonObject o;
+  o["format"] = "locpriv-sweep/1";
+  o["mechanism"] = sweep.mechanism_name;
+  o["parameter"] = sweep.parameter;
+  o["scale"] = scale_name(sweep.scale);
+  o["privacy_metric"] = sweep.privacy_metric;
+  o["utility_metric"] = sweep.utility_metric;
+  o["privacy_direction"] = direction_name(sweep.privacy_direction);
+  o["utility_direction"] = direction_name(sweep.utility_direction);
+  io::JsonArray points;
+  for (const SweepPoint& p : sweep.points) {
+    io::JsonObject po;
+    po["parameter_value"] = p.parameter_value;
+    po["privacy_mean"] = p.privacy_mean;
+    po["privacy_stddev"] = p.privacy_stddev;
+    po["utility_mean"] = p.utility_mean;
+    po["utility_stddev"] = p.utility_stddev;
+    points.emplace_back(std::move(po));
+  }
+  o["points"] = std::move(points);
+  return o;
+}
+
+SweepResult sweep_from_json(const io::JsonValue& json) {
+  if (!json.contains("format") || json.at("format").as_string() != "locpriv-sweep/1") {
+    throw std::runtime_error("sweep json: missing or unsupported format tag");
+  }
+  SweepResult sweep;
+  sweep.mechanism_name = json.at("mechanism").as_string();
+  sweep.parameter = json.at("parameter").as_string();
+  sweep.scale = scale_from(json.at("scale").as_string());
+  sweep.privacy_metric = json.at("privacy_metric").as_string();
+  sweep.utility_metric = json.at("utility_metric").as_string();
+  sweep.privacy_direction = direction_from(json.at("privacy_direction").as_string());
+  sweep.utility_direction = direction_from(json.at("utility_direction").as_string());
+  for (const io::JsonValue& pj : json.at("points").as_array()) {
+    SweepPoint p;
+    p.parameter_value = pj.at("parameter_value").as_number();
+    p.privacy_mean = pj.at("privacy_mean").as_number();
+    p.privacy_stddev = pj.at("privacy_stddev").as_number();
+    p.utility_mean = pj.at("utility_mean").as_number();
+    p.utility_stddev = pj.at("utility_stddev").as_number();
+    sweep.points.push_back(p);
+  }
+  return sweep;
+}
+
+void save_model(const std::string& path, const LppmModel& model) {
+  io::write_json_file(path, model_to_json(model));
+}
+
+std::vector<std::vector<std::string>> sweep_to_csv_rows(const SweepResult& sweep) {
+  auto fmt = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    return std::string(buf);
+  };
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({sweep.parameter, sweep.privacy_metric, sweep.privacy_metric + "_stddev",
+                  sweep.utility_metric, sweep.utility_metric + "_stddev"});
+  for (const SweepPoint& p : sweep.points) {
+    rows.push_back({fmt(p.parameter_value), fmt(p.privacy_mean), fmt(p.privacy_stddev),
+                    fmt(p.utility_mean), fmt(p.utility_stddev)});
+  }
+  return rows;
+}
+
+void save_sweep_csv(const std::string& path, const SweepResult& sweep) {
+  io::write_csv_file(path, sweep_to_csv_rows(sweep));
+}
+
+LppmModel load_model(const std::string& path) { return model_from_json(io::read_json_file(path)); }
+
+}  // namespace locpriv::core

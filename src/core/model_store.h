@@ -1,0 +1,33 @@
+// Model persistence: the whole point of the offline analysis is that the
+// fitted model outlives the sweep. Models serialize to JSON so a sweep
+// run once can configure deployments forever after.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/loglinear_model.h"
+#include "io/json.h"
+
+namespace locpriv::core {
+
+/// LppmModel <-> JSON.
+[[nodiscard]] io::JsonValue model_to_json(const LppmModel& model);
+[[nodiscard]] LppmModel model_from_json(const io::JsonValue& json);
+
+/// SweepResult <-> JSON (kept alongside models for provenance).
+[[nodiscard]] io::JsonValue sweep_to_json(const SweepResult& sweep);
+[[nodiscard]] SweepResult sweep_from_json(const io::JsonValue& json);
+
+/// File convenience; throws std::runtime_error on I/O or schema errors.
+void save_model(const std::string& path, const LppmModel& model);
+[[nodiscard]] LppmModel load_model(const std::string& path);
+
+/// Sweep -> CSV rows (header + one row per point), for plotting tools.
+/// Columns: parameter_value, privacy_mean, privacy_stddev, utility_mean,
+/// utility_stddev.
+[[nodiscard]] std::vector<std::vector<std::string>> sweep_to_csv_rows(const SweepResult& sweep);
+void save_sweep_csv(const std::string& path, const SweepResult& sweep);
+
+}  // namespace locpriv::core

@@ -1,0 +1,51 @@
+#include "core/pipeline.h"
+
+#include <stdexcept>
+
+namespace locpriv::core {
+
+Framework::Framework(SystemDefinition definition) : definition_(std::move(definition)) {
+  definition_.validate();
+}
+
+const LppmModel& Framework::model_phase(const trace::Dataset& data, const ExperimentConfig& config,
+                                        const SaturationOptions& saturation) {
+  sweep_ = run_sweep(definition_, data, config);
+  model_ = fit_loglinear_model(*sweep_, saturation);
+  return *model_;
+}
+
+void Framework::install_model(LppmModel model) { model_ = std::move(model); }
+
+const SweepResult& Framework::sweep() const {
+  if (!sweep_) throw std::logic_error("Framework::sweep: no sweep has been run");
+  return *sweep_;
+}
+
+const LppmModel& Framework::model() const {
+  if (!model_) throw std::logic_error("Framework::model: no model available (run model_phase)");
+  return *model_;
+}
+
+Configuration Framework::configure(std::span<const Objective> objectives) const {
+  return Configurator(model()).configure(objectives);
+}
+
+Configuration Framework::configure_with_margin(std::span<const Objective> objectives,
+                                               double z) const {
+  return Configurator(model()).configure_with_margin(objectives, z);
+}
+
+std::unique_ptr<lppm::Mechanism> Framework::configure_mechanism(
+    std::span<const Objective> objectives) const {
+  const Configuration cfg = configure(objectives);
+  if (!cfg.feasible) {
+    throw std::runtime_error("Framework::configure_mechanism: infeasible objectives — " +
+                             cfg.diagnosis);
+  }
+  std::unique_ptr<lppm::Mechanism> mechanism = definition_.mechanism_factory();
+  mechanism->set_parameter(definition_.sweep.parameter, cfg.recommended);
+  return mechanism;
+}
+
+}  // namespace locpriv::core

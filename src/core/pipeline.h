@@ -1,0 +1,64 @@
+// The three-step facade: define -> model -> configure.
+//
+// Framework is the library's front door: hand it a SystemDefinition
+// (step 1), call model_phase() on a dataset (step 2), then configure()
+// against objectives (step 3). The intermediate sweep and model stay
+// accessible for inspection and persistence.
+#pragma once
+
+#include <optional>
+
+#include "core/configurator.h"
+#include "core/experiment.h"
+#include "core/loglinear_model.h"
+#include "core/system_definition.h"
+
+namespace locpriv::core {
+
+class Framework {
+ public:
+  /// Step 1. Validates the definition eagerly.
+  explicit Framework(SystemDefinition definition);
+
+  [[nodiscard]] const SystemDefinition& definition() const { return definition_; }
+
+  /// Step 2: runs the sweep and fits the model. Returns the fitted
+  /// model; sweep data remains available via sweep().
+  const LppmModel& model_phase(const trace::Dataset& data, const ExperimentConfig& config = {},
+                               const SaturationOptions& saturation = {});
+
+  /// Installs a previously persisted model, skipping the sweep (the
+  /// offline/online split the paper's workflow implies).
+  void install_model(LppmModel model);
+
+  /// True once a model is available (fitted or installed).
+  [[nodiscard]] bool has_model() const { return model_.has_value(); }
+
+  /// The sweep from the last model_phase(); throws std::logic_error if
+  /// none was run in this process.
+  [[nodiscard]] const SweepResult& sweep() const;
+
+  /// The current model; throws std::logic_error when none is available.
+  [[nodiscard]] const LppmModel& model() const;
+
+  /// Step 3. Throws std::logic_error when no model is available.
+  [[nodiscard]] Configuration configure(std::span<const Objective> objectives) const;
+
+  /// Step 3 with a residual-noise safety margin (see
+  /// Configurator::configure_with_margin).
+  [[nodiscard]] Configuration configure_with_margin(std::span<const Objective> objectives,
+                                                    double z = 1.645) const;
+
+  /// Step 3 + instantiation: configures and returns a mechanism with the
+  /// recommended parameter applied. Throws std::runtime_error when the
+  /// objectives are infeasible (message carries the diagnosis).
+  [[nodiscard]] std::unique_ptr<lppm::Mechanism> configure_mechanism(
+      std::span<const Objective> objectives) const;
+
+ private:
+  SystemDefinition definition_;
+  std::optional<SweepResult> sweep_;
+  std::optional<LppmModel> model_;
+};
+
+}  // namespace locpriv::core

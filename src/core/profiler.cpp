@@ -1,0 +1,77 @@
+#include "core/profiler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "trace/features.h"
+
+namespace locpriv::core {
+
+const std::vector<std::string>& property_names() {
+  static const std::vector<std::string> kNames = {
+      "event_count",       "duration_h",        "path_length_km", "radius_of_gyration_km",
+      "extent_km",         "mean_speed_mps",    "median_interval_s", "stationary_ratio",
+      "poi_count",         "poi_dwell_fraction"};
+  return kNames;
+}
+
+std::vector<std::vector<double>> per_user_properties(const trace::Dataset& data,
+                                                     const poi::ExtractorConfig& poi_cfg) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(data.size());
+  for (const trace::Trace& t : data) {
+    const trace::TraceFeatures f = trace::compute_features(t);
+    const std::vector<poi::Poi> pois = poi::extract_pois(t, poi_cfg);
+    double dwell = 0.0;
+    for (const poi::Poi& p : pois) dwell += static_cast<double>(p.total_duration);
+    const double dwell_fraction = f.duration_s > 0.0 ? dwell / f.duration_s : 0.0;
+    rows.push_back({static_cast<double>(f.event_count), f.duration_s / 3600.0,
+                    f.path_length_m / 1000.0, f.radius_of_gyration_m / 1000.0,
+                    f.extent_diagonal_m / 1000.0, f.mean_speed_mps, f.median_interval_s,
+                    f.stationary_ratio, static_cast<double>(pois.size()), dwell_fraction});
+  }
+  return rows;
+}
+
+std::vector<double> dataset_properties(const trace::Dataset& data,
+                                       const poi::ExtractorConfig& poi_cfg) {
+  if (data.empty()) throw std::invalid_argument("dataset_properties: empty dataset");
+  const std::vector<std::vector<double>> rows = per_user_properties(data, poi_cfg);
+  std::vector<double> means(property_names().size(), 0.0);
+  for (const auto& row : rows) {
+    for (std::size_t j = 0; j < means.size(); ++j) means[j] += row[j];
+  }
+  for (double& m : means) m /= static_cast<double>(rows.size());
+  return means;
+}
+
+std::vector<RankedProperty> rank_properties(const trace::Dataset& data,
+                                            const poi::ExtractorConfig& poi_cfg,
+                                            double variance_goal) {
+  const std::vector<std::vector<double>> rows = per_user_properties(data, poi_cfg);
+  const stats::PcaResult model = stats::pca(rows, /*standardize=*/true);
+  const std::vector<double> importance = stats::variable_importance(model, variance_goal);
+
+  std::vector<RankedProperty> ranked;
+  ranked.reserve(importance.size());
+  for (std::size_t j = 0; j < importance.size(); ++j) {
+    ranked.push_back({property_names()[j], importance[j]});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedProperty& a, const RankedProperty& b) {
+              return a.importance > b.importance;
+            });
+  return ranked;
+}
+
+std::vector<std::string> select_properties(const trace::Dataset& data, std::size_t k,
+                                           const poi::ExtractorConfig& poi_cfg) {
+  std::vector<RankedProperty> ranked = rank_properties(data, poi_cfg);
+  if (ranked.size() > k) ranked.resize(k);
+  std::vector<std::string> names;
+  names.reserve(ranked.size());
+  for (const RankedProperty& r : ranked) names.push_back(r.name);
+  return names;
+}
+
+}  // namespace locpriv::core

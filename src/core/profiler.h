@@ -1,0 +1,50 @@
+// Dataset profiling and PCA-based property selection (step 1 support).
+//
+// "The properties of the dataset d_i that are likely to influence
+// privacy and utility metrics ... are soundly chosen using a principal
+// component analysis." The profiler computes a battery of candidate
+// properties per user, aggregates them to dataset level, and ranks them
+// by PCA importance so a designer keeps only the leading ones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "poi/staypoint.h"
+#include "stats/pca.h"
+#include "trace/dataset.h"
+
+namespace locpriv::core {
+
+/// Candidate per-user property names, fixed order. The matrix returned
+/// by per_user_properties() has one column per entry.
+[[nodiscard]] const std::vector<std::string>& property_names();
+
+/// Per-user property matrix (one row per user, columns = property_names()).
+/// Properties: event_count, duration_h, path_length_km,
+/// radius_of_gyration_km, extent_km, mean_speed_mps, median_interval_s,
+/// stationary_ratio, poi_count, poi_dwell_fraction.
+[[nodiscard]] std::vector<std::vector<double>> per_user_properties(
+    const trace::Dataset& data, const poi::ExtractorConfig& poi_cfg = {});
+
+/// Dataset-level property vector: the per-user mean of each property.
+[[nodiscard]] std::vector<double> dataset_properties(const trace::Dataset& data,
+                                                     const poi::ExtractorConfig& poi_cfg = {});
+
+/// A ranked property.
+struct RankedProperty {
+  std::string name;
+  double importance = 0.0;  ///< PCA importance score (see stats::variable_importance)
+};
+
+/// PCA over the per-user matrix, returning properties sorted by
+/// descending importance. Requires >= 2 users.
+[[nodiscard]] std::vector<RankedProperty> rank_properties(const trace::Dataset& data,
+                                                          const poi::ExtractorConfig& poi_cfg = {},
+                                                          double variance_goal = 0.9);
+
+/// Convenience: names of the top-k properties by importance.
+[[nodiscard]] std::vector<std::string> select_properties(const trace::Dataset& data, std::size_t k,
+                                                         const poi::ExtractorConfig& poi_cfg = {});
+
+}  // namespace locpriv::core

@@ -1,0 +1,84 @@
+#include "core/refinement.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/rng.h"
+
+namespace locpriv::core {
+namespace {
+
+/// Union of two index intervals (assumed overlapping or adjacent is not
+/// required — the hull is what we want: "where anything responds").
+ActiveInterval hull(const ActiveInterval& a, const ActiveInterval& b,
+                    std::span<const double> xs) {
+  ActiveInterval out;
+  out.first = std::min(a.first, b.first);
+  out.last = std::max(a.last, b.last);
+  out.x_low = xs[out.first];
+  out.x_high = xs[out.last];
+  return out;
+}
+
+void merge_points(SweepResult& into, const SweepResult& from) {
+  into.points.insert(into.points.end(), from.points.begin(), from.points.end());
+  std::sort(into.points.begin(), into.points.end(),
+            [](const SweepPoint& a, const SweepPoint& b) {
+              return a.parameter_value < b.parameter_value;
+            });
+  // Deduplicate near-identical parameter values (re-swept endpoints).
+  const auto last = std::unique(into.points.begin(), into.points.end(),
+                                [](const SweepPoint& a, const SweepPoint& b) {
+                                  return std::abs(a.parameter_value - b.parameter_value) <=
+                                         1e-12 * (1.0 + std::abs(a.parameter_value));
+                                });
+  into.points.erase(last, into.points.end());
+}
+
+}  // namespace
+
+RefinedSweep run_refined_sweep(const SystemDefinition& system, const trace::Dataset& data,
+                               const RefinementConfig& config) {
+  SystemDefinition current = system;
+  RefinedSweep out;
+
+  SweepResult sweep = run_sweep(current, data, config.experiment);
+  out.total_evaluations += sweep.points.size() * config.experiment.trials;
+  out.merged = sweep;
+  out.final_round = sweep;
+  out.final_low = current.sweep.min_value;
+  out.final_high = current.sweep.max_value;
+
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    const std::vector<double> xs = sweep.model_xs();
+    const ActiveInterval pr =
+        detect_active_interval(xs, sweep.privacy_values(), config.saturation);
+    const ActiveInterval ut =
+        detect_active_interval(xs, sweep.utility_values(), config.saturation);
+    const ActiveInterval joint = hull(pr, ut, xs);
+    if (joint.point_count() >= sweep.points.size()) break;  // nothing to zoom into
+
+    // Widen by the margin in model space, clamped to the original range.
+    const double span = joint.x_high - joint.x_low;
+    const double lo_x = std::max(model_x(system.sweep.min_value, system.sweep.scale),
+                                 joint.x_low - config.interval_margin * span);
+    const double hi_x = std::min(model_x(system.sweep.max_value, system.sweep.scale),
+                                 joint.x_high + config.interval_margin * span);
+    if (!(lo_x < hi_x)) break;
+
+    current.sweep.min_value = from_model_x(lo_x, system.sweep.scale);
+    current.sweep.max_value = from_model_x(hi_x, system.sweep.scale);
+
+    ExperimentConfig exp = config.experiment;
+    exp.seed = stats::derive_seed(config.experiment.seed, round + 1);
+    sweep = run_sweep(current, data, exp);
+    out.total_evaluations += sweep.points.size() * exp.trials;
+    out.final_round = sweep;
+    out.final_low = current.sweep.min_value;
+    out.final_high = current.sweep.max_value;
+    merge_points(out.merged, sweep);
+  }
+  return out;
+}
+
+}  // namespace locpriv::core

@@ -1,0 +1,46 @@
+// Adaptive sweep refinement — two-stage experiment design.
+//
+// A uniform sweep over four decades of ε spends most of its points in
+// the saturated zones where nothing happens; the model is then fitted on
+// the few points that landed in the transition. Refinement re-invests
+// the point budget: run a coarse sweep, detect the active interval, and
+// re-sweep *that interval* at full resolution, repeating if asked.
+// The final result merges all measured points (sorted, deduplicated), so
+// the saturation boundaries remain visible while the transition carries
+// the density the regression needs.
+#pragma once
+
+#include "core/experiment.h"
+#include "core/saturation.h"
+
+namespace locpriv::core {
+
+struct RefinementConfig {
+  ExperimentConfig experiment;
+  SaturationOptions saturation;
+  /// Refinement rounds after the initial coarse sweep. 0 = plain sweep.
+  std::size_t rounds = 1;
+  /// Widen the detected interval by this fraction (in model space) before
+  /// re-sweeping, so the refit still sees the saturation shoulders.
+  double interval_margin = 0.25;
+};
+
+struct RefinedSweep {
+  SweepResult merged;            ///< all points from every round
+  SweepResult final_round;       ///< just the last refinement sweep
+  std::size_t total_evaluations = 0;
+  double final_low = 0.0;        ///< last re-swept interval (parameter units)
+  double final_high = 0.0;
+};
+
+/// Runs the adaptive procedure. The refined interval tracks the joint
+/// (privacy ∪ utility in intersection) active region: the interval where
+/// *either* metric still responds, intersected with validity of both
+/// model axes happens at fit time. Throws like run_sweep on malformed
+/// input; degenerates gracefully to the plain sweep when detection
+/// collapses (fully flat metrics).
+[[nodiscard]] RefinedSweep run_refined_sweep(const SystemDefinition& system,
+                                             const trace::Dataset& data,
+                                             const RefinementConfig& config = {});
+
+}  // namespace locpriv::core

@@ -1,0 +1,97 @@
+#include "core/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace locpriv::core {
+namespace {
+
+std::string num(double v, int precision = 4) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+  return buf;
+}
+
+void render_sweep(std::ostringstream& os, const SweepResult& sweep) {
+  os << "## Sweep\n\n";
+  os << "- mechanism: `" << sweep.mechanism_name << "`\n";
+  os << "- parameter: `" << sweep.parameter << "` ("
+     << (sweep.scale == lppm::Scale::kLog ? "log" : "linear") << " scale)\n";
+  os << "- privacy metric: `" << sweep.privacy_metric << "`\n";
+  os << "- utility metric: `" << sweep.utility_metric << "`\n\n";
+  os << "| " << sweep.parameter << " | " << sweep.privacy_metric << " | stddev | "
+     << sweep.utility_metric << " | stddev |\n";
+  os << "|---|---|---|---|---|\n";
+  for (const SweepPoint& p : sweep.points) {
+    os << "| " << num(p.parameter_value, 3) << " | " << num(p.privacy_mean, 3) << " | "
+       << num(p.privacy_stddev, 2) << " | " << num(p.utility_mean, 3) << " | "
+       << num(p.utility_stddev, 2) << " |\n";
+  }
+  os << "\n";
+}
+
+void render_model(std::ostringstream& os, const LppmModel& model) {
+  os << "## Fitted model (Eq. 2 form)\n\n";
+  os << "```\n";
+  os << model.privacy_metric << " = " << num(model.privacy.fit.intercept) << " + "
+     << num(model.privacy.fit.slope) << " * ln(" << model.parameter << ")\n";
+  os << model.utility_metric << " = " << num(model.utility.fit.intercept) << " + "
+     << num(model.utility.fit.slope) << " * ln(" << model.parameter << ")\n";
+  os << "```\n\n";
+  os << "| axis | R^2 | residual stddev | validity (" << model.parameter << ") | metric span |\n";
+  os << "|---|---|---|---|---|\n";
+  os << "| privacy | " << num(model.privacy.fit.r_squared, 3) << " | "
+     << num(model.privacy.fit.residual_stddev, 2) << " | [" << num(model.privacy.param_low, 3)
+     << ", " << num(model.privacy.param_high, 3) << "] | [" << num(model.privacy.metric_at_low, 3)
+     << ", " << num(model.privacy.metric_at_high, 3) << "] |\n";
+  os << "| utility | " << num(model.utility.fit.r_squared, 3) << " | "
+     << num(model.utility.fit.residual_stddev, 2) << " | [" << num(model.utility.param_low, 3)
+     << ", " << num(model.utility.param_high, 3) << "] | [" << num(model.utility.metric_at_low, 3)
+     << ", " << num(model.utility.metric_at_high, 3) << "] |\n\n";
+  os << "Joint validity: `" << model.parameter << "` in [" << num(model.param_low, 3) << ", "
+     << num(model.param_high, 3) << "].\n\n";
+}
+
+void render_configuration(std::ostringstream& os, const Configuration& cfg,
+                          std::span<const Objective> objectives, const LppmModel* model) {
+  os << "## Configuration decision\n\n";
+  if (!objectives.empty() && model != nullptr) {
+    os << "Objectives:\n\n";
+    for (const Objective& obj : objectives) {
+      os << "- " << obj.describe(*model) << "\n";
+    }
+    os << "\n";
+  }
+  if (cfg.feasible) {
+    os << "**Feasible.** Parameter interval [" << num(cfg.interval.lo, 4) << ", "
+       << num(cfg.interval.hi, 4) << "]; recommended value **" << num(cfg.recommended, 4)
+       << "** (predicted privacy " << num(cfg.predicted_privacy, 3) << ", predicted utility "
+       << num(cfg.predicted_utility, 3) << ").\n\n";
+  } else {
+    os << "**Infeasible.** " << cfg.diagnosis << "\n\n";
+  }
+}
+
+}  // namespace
+
+std::string render_markdown_report(const ReportInputs& inputs) {
+  std::ostringstream os;
+  os << "# " << inputs.title << "\n\n";
+  if (inputs.sweep != nullptr) render_sweep(os, *inputs.sweep);
+  if (inputs.model != nullptr) render_model(os, *inputs.model);
+  if (inputs.configuration != nullptr) {
+    render_configuration(os, *inputs.configuration, inputs.objectives, inputs.model);
+  }
+  return os.str();
+}
+
+void write_markdown_report(const std::string& path, const ReportInputs& inputs) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_markdown_report: cannot open " + path);
+  out << render_markdown_report(inputs);
+  if (!out) throw std::runtime_error("write_markdown_report: write failed for " + path);
+}
+
+}  // namespace locpriv::core

@@ -1,0 +1,33 @@
+// Markdown experiment reports — the artifact a system designer files
+// after running the framework: what was swept, what the model says, what
+// configuration was chosen and why (or why nothing satisfies the
+// objectives).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/configurator.h"
+#include "core/experiment.h"
+#include "core/loglinear_model.h"
+
+namespace locpriv::core {
+
+struct ReportInputs {
+  const SweepResult* sweep = nullptr;       ///< optional: raw sweep section
+  const LppmModel* model = nullptr;         ///< optional: fitted-model section
+  /// Optional: the configuration decision, with the objectives it answers.
+  const Configuration* configuration = nullptr;
+  std::span<const Objective> objectives;
+  std::string title = "LPPM configuration report";
+};
+
+/// Renders the report as GitHub-flavored markdown. Sections for which
+/// the input is null are omitted; an all-null input still yields a
+/// valid (if empty) document.
+[[nodiscard]] std::string render_markdown_report(const ReportInputs& inputs);
+
+/// Writes the report to a file; throws std::runtime_error on I/O failure.
+void write_markdown_report(const std::string& path, const ReportInputs& inputs);
+
+}  // namespace locpriv::core

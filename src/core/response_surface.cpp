@@ -1,0 +1,83 @@
+#include "core/response_surface.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace locpriv::core {
+namespace {
+
+std::vector<double> features_of(double parameter_value, const std::vector<double>& properties,
+                                lppm::Scale scale) {
+  std::vector<double> row;
+  row.reserve(1 + properties.size());
+  row.push_back(model_x(parameter_value, scale));
+  row.insert(row.end(), properties.begin(), properties.end());
+  return row;
+}
+
+}  // namespace
+
+std::pair<double, double> ResponseSurface::predict(double parameter_value,
+                                                   const std::vector<double>& properties) const {
+  if (properties.size() != property_names.size()) {
+    throw std::invalid_argument("ResponseSurface::predict: property arity mismatch");
+  }
+  const std::vector<double> row = features_of(parameter_value, properties, scale);
+  return {privacy.predict(row), utility.predict(row)};
+}
+
+double ResponseSurface::invert(Axis axis, double metric_value,
+                               const std::vector<double>& properties) const {
+  if (properties.size() != property_names.size()) {
+    throw std::invalid_argument("ResponseSurface::invert: property arity mismatch");
+  }
+  const stats::MultipleFit& fit = axis == Axis::kPrivacy ? privacy : utility;
+  // metric = beta0 + beta1 * x + sum_j beta_{j+2} d_j  =>  solve for x.
+  const double coeff = fit.beta.at(1);
+  if (std::abs(coeff) < 1e-12) {
+    throw std::domain_error("ResponseSurface::invert: parameter coefficient is ~0");
+  }
+  double offset = fit.beta.at(0);
+  for (std::size_t j = 0; j < properties.size(); ++j) offset += fit.beta.at(j + 2) * properties[j];
+  return from_model_x((metric_value - offset) / coeff, scale);
+}
+
+ResponseSurface fit_response_surface(const std::vector<SurfaceObservation>& obs,
+                                     const std::vector<std::string>& property_names,
+                                     const std::string& parameter, lppm::Scale scale) {
+  if (obs.empty()) throw std::invalid_argument("fit_response_surface: no observations");
+  for (const SurfaceObservation& o : obs) {
+    if (o.properties.size() != property_names.size()) {
+      throw std::invalid_argument("fit_response_surface: property arity mismatch");
+    }
+  }
+
+  std::vector<std::vector<double>> rows;
+  std::vector<double> pr;
+  std::vector<double> ut;
+  rows.reserve(obs.size());
+  pr.reserve(obs.size());
+  ut.reserve(obs.size());
+  for (const SurfaceObservation& o : obs) {
+    rows.push_back(features_of(o.parameter_value, o.properties, scale));
+    pr.push_back(o.privacy);
+    ut.push_back(o.utility);
+  }
+
+  ResponseSurface surface;
+  surface.parameter = parameter;
+  surface.scale = scale;
+  surface.property_names = property_names;
+  surface.privacy = stats::fit_multiple(rows, pr);
+  surface.utility = stats::fit_multiple(rows, ut);
+  surface.param_low = obs.front().parameter_value;
+  surface.param_high = obs.front().parameter_value;
+  for (const SurfaceObservation& o : obs) {
+    surface.param_low = std::min(surface.param_low, o.parameter_value);
+    surface.param_high = std::max(surface.param_high, o.parameter_value);
+  }
+  return surface;
+}
+
+}  // namespace locpriv::core

@@ -1,0 +1,57 @@
+// Multi-input extension of the model: (Pr, Ut) = f(p, d_1..d_m).
+//
+// The paper's general form (Eq. 1) takes both configuration parameters
+// and dataset properties. The response surface fits each metric as a
+// linear function of the model-space parameter plus dataset-property
+// features, and inverts over the parameter with the properties held at
+// a dataset's measured values — so one offline fit transfers across
+// datasets instead of re-sweeping each one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/configurator.h"
+#include "core/loglinear_model.h"
+#include "stats/regression.h"
+
+namespace locpriv::core {
+
+/// One observation for surface fitting: a sweep point on some dataset.
+struct SurfaceObservation {
+  double parameter_value = 0.0;
+  std::vector<double> properties;  ///< dataset properties d_1..d_m
+  double privacy = 0.0;
+  double utility = 0.0;
+};
+
+/// The fitted surface.
+struct ResponseSurface {
+  std::string parameter;
+  lppm::Scale scale = lppm::Scale::kLog;
+  std::vector<std::string> property_names;
+  stats::MultipleFit privacy;   ///< beta over [model_x(p), d_1..d_m]
+  stats::MultipleFit utility;
+  double param_low = 0.0;       ///< parameter range covered by the data
+  double param_high = 0.0;
+
+  /// Predicted (Pr, Ut) at a parameter value for a dataset with the
+  /// given properties. Throws std::invalid_argument on arity mismatch.
+  [[nodiscard]] std::pair<double, double> predict(double parameter_value,
+                                                  const std::vector<double>& properties) const;
+
+  /// Inverts the privacy (axis == kPrivacy) or utility surface over the
+  /// parameter with properties fixed. Throws std::domain_error when the
+  /// parameter coefficient is ~0.
+  [[nodiscard]] double invert(Axis axis, double metric_value,
+                              const std::vector<double>& properties) const;
+};
+
+/// Fits the surface by multiple OLS. Requires more observations than
+/// features and consistent property arity; throws otherwise.
+[[nodiscard]] ResponseSurface fit_response_surface(const std::vector<SurfaceObservation>& obs,
+                                                   const std::vector<std::string>& property_names,
+                                                   const std::string& parameter,
+                                                   lppm::Scale scale);
+
+}  // namespace locpriv::core

@@ -1,0 +1,57 @@
+#include "core/sweep.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace locpriv::core {
+
+std::vector<double> sweep_values(const SweepSpec& spec) {
+  if (!(spec.min_value < spec.max_value)) {
+    throw std::invalid_argument("sweep_values: min must be < max");
+  }
+  if (spec.point_count < 2) throw std::invalid_argument("sweep_values: need at least 2 points");
+  if (spec.scale == lppm::Scale::kLog && !(spec.min_value > 0.0)) {
+    throw std::invalid_argument("sweep_values: log sweep requires min > 0");
+  }
+  std::vector<double> values;
+  values.reserve(spec.point_count);
+  const std::size_t n = spec.point_count;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+    if (spec.scale == lppm::Scale::kLog) {
+      values.push_back(std::exp(std::log(spec.min_value) +
+                                t * (std::log(spec.max_value) - std::log(spec.min_value))));
+    } else {
+      values.push_back(spec.min_value + t * (spec.max_value - spec.min_value));
+    }
+  }
+  // Pin the endpoints exactly (exp/log round-trips wobble in the last ulp).
+  values.front() = spec.min_value;
+  values.back() = spec.max_value;
+  return values;
+}
+
+SweepSpec full_range_sweep(const lppm::Mechanism& mechanism, const std::string& parameter,
+                           std::size_t point_count) {
+  for (const lppm::ParameterSpec& p : mechanism.parameters()) {
+    if (p.name == parameter) {
+      return {parameter, p.min_value, p.max_value, point_count, p.scale};
+    }
+  }
+  throw std::invalid_argument("full_range_sweep: mechanism '" + mechanism.name() +
+                              "' has no parameter '" + parameter + "'");
+}
+
+double model_x(double value, lppm::Scale scale) {
+  if (scale == lppm::Scale::kLog) {
+    if (!(value > 0.0)) throw std::domain_error("model_x: log scale requires value > 0");
+    return std::log(value);
+  }
+  return value;
+}
+
+double from_model_x(double x, lppm::Scale scale) {
+  return scale == lppm::Scale::kLog ? std::exp(x) : x;
+}
+
+}  // namespace locpriv::core

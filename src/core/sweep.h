@@ -1,0 +1,40 @@
+// Parameter sweep specification — which knob to explore and how.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lppm/mechanism.h"
+
+namespace locpriv::core {
+
+/// One-dimensional sweep over a mechanism parameter.
+struct SweepSpec {
+  std::string parameter;    ///< mechanism parameter name
+  double min_value = 0.0;
+  double max_value = 0.0;
+  std::size_t point_count = 20;
+  lppm::Scale scale = lppm::Scale::kLog;
+};
+
+/// The sweep grid: `point_count` values from min to max, spaced linearly
+/// or geometrically per `scale`. Requires min < max (min > 0 for log
+/// scale) and point_count >= 2; throws std::invalid_argument otherwise.
+[[nodiscard]] std::vector<double> sweep_values(const SweepSpec& spec);
+
+/// Builds a SweepSpec covering a mechanism parameter's full declared
+/// range with its declared scale. Throws std::invalid_argument when the
+/// mechanism has no such parameter.
+[[nodiscard]] SweepSpec full_range_sweep(const lppm::Mechanism& mechanism,
+                                         const std::string& parameter,
+                                         std::size_t point_count = 20);
+
+/// The model-space transform of a parameter value: ln(v) for log-scale
+/// sweeps (the paper's Eq. 2 models metrics against ln ε), identity for
+/// linear ones.
+[[nodiscard]] double model_x(double value, lppm::Scale scale);
+
+/// Inverse of model_x.
+[[nodiscard]] double from_model_x(double x, lppm::Scale scale);
+
+}  // namespace locpriv::core

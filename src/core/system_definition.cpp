@@ -1,0 +1,55 @@
+#include "core/system_definition.h"
+
+#include <stdexcept>
+
+#include "lppm/geo_ind.h"
+#include "metrics/area_coverage.h"
+#include "metrics/poi_retrieval.h"
+
+namespace locpriv::core {
+
+void SystemDefinition::validate() const {
+  if (!mechanism_factory) {
+    throw std::invalid_argument("SystemDefinition: mechanism_factory is empty");
+  }
+  if (!privacy) throw std::invalid_argument("SystemDefinition: privacy metric is null");
+  if (!utility) throw std::invalid_argument("SystemDefinition: utility metric is null");
+  if (!metrics::is_privacy_direction(privacy->direction())) {
+    throw std::invalid_argument("SystemDefinition: metric '" + privacy->name() +
+                                "' is not a privacy metric");
+  }
+  if (metrics::is_privacy_direction(utility->direction())) {
+    throw std::invalid_argument("SystemDefinition: metric '" + utility->name() +
+                                "' is not a utility metric");
+  }
+  // Instantiate once to check the swept parameter exists and the range
+  // is inside the declared bounds.
+  const std::unique_ptr<lppm::Mechanism> m = mechanism_factory();
+  if (!m) throw std::invalid_argument("SystemDefinition: factory produced a null mechanism");
+  bool found = false;
+  for (const lppm::ParameterSpec& p : m->parameters()) {
+    if (p.name == sweep.parameter) {
+      found = true;
+      if (sweep.min_value < p.min_value || sweep.max_value > p.max_value) {
+        throw std::invalid_argument("SystemDefinition: sweep range exceeds parameter bounds of '" +
+                                    sweep.parameter + "'");
+      }
+    }
+  }
+  if (!found) {
+    throw std::invalid_argument("SystemDefinition: mechanism '" + m->name() +
+                                "' has no parameter '" + sweep.parameter + "'");
+  }
+}
+
+SystemDefinition make_geo_i_system(std::size_t sweep_points) {
+  SystemDefinition def;
+  def.mechanism_factory = [] { return std::make_unique<lppm::GeoIndistinguishability>(); };
+  def.sweep = {lppm::GeoIndistinguishability::kEpsilon, 1e-4, 1.0, sweep_points,
+               lppm::Scale::kLog};
+  def.privacy = std::make_shared<metrics::PoiRetrieval>();
+  def.utility = std::make_shared<metrics::AreaCoverage>();
+  return def;
+}
+
+}  // namespace locpriv::core

@@ -1,0 +1,46 @@
+// Step 1 of the framework: define the system under study.
+//
+// "First, the system needs to be defined: (1) the objective metrics for
+// privacy (Pr) and utility (Ut), (2) the LPPM configuration parameters
+// p_i and their range of values, and (3) the properties of the dataset
+// d_i likely to influence the metrics."
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sweep.h"
+#include "lppm/mechanism.h"
+#include "metrics/metric.h"
+
+namespace locpriv::core {
+
+/// Produces fresh mechanism instances so sweep points can be evaluated
+/// concurrently (Mechanism::set_parameter mutates, so instances are not
+/// shared across threads).
+using MechanismFactory = std::function<std::unique_ptr<lppm::Mechanism>()>;
+
+/// The system under configuration.
+struct SystemDefinition {
+  MechanismFactory mechanism_factory;
+  SweepSpec sweep;                                   ///< the parameter p and its range
+  std::shared_ptr<const metrics::Metric> privacy;    ///< Pr
+  std::shared_ptr<const metrics::Metric> utility;    ///< Ut
+  /// Names of dataset properties d_i to record alongside the sweep
+  /// (resolved by the DatasetProfiler); may be empty, as in the paper's
+  /// GEO-I illustration ("no dataset properties is considered").
+  std::vector<std::string> dataset_properties;
+
+  /// Validates the definition (non-null factory/metrics, metric
+  /// directions on the right axes); throws std::invalid_argument with a
+  /// precise message when malformed.
+  void validate() const;
+};
+
+/// Convenience: the paper's illustration system — Geo-I swept over ε ∈
+/// [1e-4, 1] (Figure 1's range), POI retrieval as Pr, area-coverage as Ut.
+[[nodiscard]] SystemDefinition make_geo_i_system(std::size_t sweep_points = 25);
+
+}  // namespace locpriv::core

@@ -1,0 +1,80 @@
+#include "core/tradeoff.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace locpriv::core {
+
+std::vector<TradeoffPoint> to_tradeoff_points(const SweepResult& sweep) {
+  const double pr_sign =
+      sweep.privacy_direction == metrics::Direction::kHigherIsMorePrivate ? 1.0 : -1.0;
+  const double ut_sign =
+      sweep.utility_direction == metrics::Direction::kHigherIsMoreUseful ? 1.0 : -1.0;
+  std::vector<TradeoffPoint> points;
+  points.reserve(sweep.points.size());
+  for (const SweepPoint& p : sweep.points) {
+    points.push_back({p.parameter_value, pr_sign * p.privacy_mean, ut_sign * p.utility_mean});
+  }
+  return points;
+}
+
+std::vector<TradeoffPoint> pareto_front(std::vector<TradeoffPoint> points) {
+  // Sort by descending utility; walk keeping points whose privacy
+  // strictly improves on everything seen (classic 2-d skyline).
+  std::sort(points.begin(), points.end(), [](const TradeoffPoint& a, const TradeoffPoint& b) {
+    if (a.utility_goodness != b.utility_goodness) return a.utility_goodness > b.utility_goodness;
+    return a.privacy_goodness > b.privacy_goodness;
+  });
+  std::vector<TradeoffPoint> front;
+  double best_privacy = -std::numeric_limits<double>::infinity();
+  for (const TradeoffPoint& p : points) {
+    if (p.privacy_goodness > best_privacy) {
+      front.push_back(p);
+      best_privacy = p.privacy_goodness;
+    }
+  }
+  std::reverse(front.begin(), front.end());  // ascending utility
+  return front;
+}
+
+double tradeoff_auc(const std::vector<TradeoffPoint>& points) {
+  if (points.size() < 2) throw std::invalid_argument("tradeoff_auc: need at least 2 points");
+  double pr_lo = points[0].privacy_goodness;
+  double pr_hi = pr_lo;
+  double ut_lo = points[0].utility_goodness;
+  double ut_hi = ut_lo;
+  for (const TradeoffPoint& p : points) {
+    pr_lo = std::min(pr_lo, p.privacy_goodness);
+    pr_hi = std::max(pr_hi, p.privacy_goodness);
+    ut_lo = std::min(ut_lo, p.utility_goodness);
+    ut_hi = std::max(ut_hi, p.utility_goodness);
+  }
+  if (!(pr_hi > pr_lo) || !(ut_hi > ut_lo)) {
+    throw std::invalid_argument("tradeoff_auc: zero spread on an axis");
+  }
+
+  std::vector<TradeoffPoint> front = pareto_front(points);
+  // Normalize and integrate privacy over utility by the trapezoid rule,
+  // treating the front as a step-down curve extended to the [0, 1] edges
+  // (privacy of the best-privacy point holds down to utility 0; beyond
+  // the last front point privacy is 0).
+  auto norm_pr = [&](double v) { return (v - pr_lo) / (pr_hi - pr_lo); };
+  auto norm_ut = [&](double v) { return (v - ut_lo) / (ut_hi - ut_lo); };
+
+  double area = 0.0;
+  double prev_ut = 0.0;
+  double prev_pr = norm_pr(front.front().privacy_goodness);  // best privacy extends left
+  for (const TradeoffPoint& p : front) {
+    const double ut = norm_ut(p.utility_goodness);
+    const double pr = norm_pr(p.privacy_goodness);
+    // Step curve: privacy level prev_pr holds over [prev_ut, ut].
+    area += (ut - prev_ut) * prev_pr;
+    prev_ut = ut;
+    prev_pr = pr;
+  }
+  area += (1.0 - prev_ut) * prev_pr;  // tail to utility 1 at the last level
+  return area;
+}
+
+}  // namespace locpriv::core

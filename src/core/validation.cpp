@@ -1,0 +1,71 @@
+#include "core/validation.h"
+
+#include <cmath>
+#include <utility>
+#include <stdexcept>
+
+namespace locpriv::core {
+namespace {
+
+/// RMSE of model predictions against a sweep's measured means, over the
+/// sweep points inside the model's validity interval.
+std::pair<double, double> prediction_rmse(const LppmModel& model, const SweepResult& sweep) {
+  double pr_sse = 0.0;
+  double ut_sse = 0.0;
+  std::size_t n = 0;
+  for (const SweepPoint& p : sweep.points) {
+    if (p.parameter_value < model.param_low || p.parameter_value > model.param_high) continue;
+    const double pr_hat = model.privacy.predict(p.parameter_value, model.scale);
+    const double ut_hat = model.utility.predict(p.parameter_value, model.scale);
+    pr_sse += (pr_hat - p.privacy_mean) * (pr_hat - p.privacy_mean);
+    ut_sse += (ut_hat - p.utility_mean) * (ut_hat - p.utility_mean);
+    ++n;
+  }
+  if (n == 0) throw std::runtime_error("cross_validate: no test points inside validity interval");
+  return {std::sqrt(pr_sse / static_cast<double>(n)), std::sqrt(ut_sse / static_cast<double>(n))};
+}
+
+}  // namespace
+
+CrossValidationReport cross_validate(const SystemDefinition& system, const trace::Dataset& data,
+                                     std::size_t folds, const ExperimentConfig& config,
+                                     const SaturationOptions& saturation) {
+  if (folds < 2) throw std::invalid_argument("cross_validate: need at least 2 folds");
+  if (data.size() < folds) {
+    throw std::invalid_argument("cross_validate: need at least one user per fold");
+  }
+
+  CrossValidationReport report;
+  for (std::size_t fold = 0; fold < folds; ++fold) {
+    trace::Dataset train;
+    trace::Dataset test;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      (i % folds == fold ? test : train).add(data[i]);
+    }
+
+    ExperimentConfig fold_config = config;
+    fold_config.seed = config.seed;  // same grid/noise across folds: paired comparison
+
+    const SweepResult train_sweep = run_sweep(system, train, fold_config);
+    const LppmModel model = fit_loglinear_model(train_sweep, saturation);
+    const SweepResult test_sweep = run_sweep(system, test, fold_config);
+    const auto [pr_rmse, ut_rmse] = prediction_rmse(model, test_sweep);
+
+    FoldReport fr;
+    fr.fold = fold;
+    fr.train_users = train.size();
+    fr.test_users = test.size();
+    fr.privacy_rmse = pr_rmse;
+    fr.utility_rmse = ut_rmse;
+    fr.privacy_r_squared = model.privacy.fit.r_squared;
+    fr.utility_r_squared = model.utility.fit.r_squared;
+    report.folds.push_back(fr);
+    report.mean_privacy_rmse += pr_rmse;
+    report.mean_utility_rmse += ut_rmse;
+  }
+  report.mean_privacy_rmse /= static_cast<double>(folds);
+  report.mean_utility_rmse /= static_cast<double>(folds);
+  return report;
+}
+
+}  // namespace locpriv::core

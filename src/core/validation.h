@@ -1,0 +1,43 @@
+// Model validation: does the fitted model generalize beyond the users it
+// was fitted on? K-fold cross-validation over users — fit on k-1 folds,
+// measure prediction error on the held-out fold — quantifies that, which
+// the poster leaves implicit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/loglinear_model.h"
+#include "core/system_definition.h"
+#include "trace/dataset.h"
+
+namespace locpriv::core {
+
+/// Per-fold outcome.
+struct FoldReport {
+  std::size_t fold = 0;
+  std::size_t train_users = 0;
+  std::size_t test_users = 0;
+  double privacy_rmse = 0.0;   ///< RMSE of Pr predictions on the held-out fold
+  double utility_rmse = 0.0;
+  double privacy_r_squared = 0.0;  ///< train-side fit quality, for contrast
+  double utility_r_squared = 0.0;
+};
+
+struct CrossValidationReport {
+  std::vector<FoldReport> folds;
+  double mean_privacy_rmse = 0.0;
+  double mean_utility_rmse = 0.0;
+};
+
+/// Splits `data` into `folds` user folds (round-robin), and for each:
+/// runs the sweep on the training users, fits the model, sweeps the test
+/// users, and scores prediction RMSE over the model's validity interval.
+/// Deterministic in config.seed. Requires folds >= 2 and at least
+/// `folds` users.
+[[nodiscard]] CrossValidationReport cross_validate(const SystemDefinition& system,
+                                                   const trace::Dataset& data, std::size_t folds,
+                                                   const ExperimentConfig& config = {},
+                                                   const SaturationOptions& saturation = {});
+
+}  // namespace locpriv::core

@@ -1,0 +1,57 @@
+#include "geo/bbox.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace locpriv::geo {
+
+BoundingBox::BoundingBox(Point a, Point b)
+    : min_{std::min(a.x, b.x), std::min(a.y, b.y)},
+      max_{std::max(a.x, b.x), std::max(a.y, b.y)},
+      initialized_(true) {}
+
+void BoundingBox::extend(Point p) {
+  if (!initialized_) {
+    min_ = max_ = p;
+    initialized_ = true;
+    return;
+  }
+  min_.x = std::min(min_.x, p.x);
+  min_.y = std::min(min_.y, p.y);
+  max_.x = std::max(max_.x, p.x);
+  max_.y = std::max(max_.y, p.y);
+}
+
+void BoundingBox::extend(const BoundingBox& other) {
+  if (other.empty()) return;
+  extend(other.min_);
+  extend(other.max_);
+}
+
+bool BoundingBox::contains(Point p) const {
+  return initialized_ && p.x >= min_.x && p.x <= max_.x && p.y >= min_.y && p.y <= max_.y;
+}
+
+bool BoundingBox::intersects(const BoundingBox& other) const {
+  if (empty() || other.empty()) return false;
+  return min_.x <= other.max_.x && other.min_.x <= max_.x &&
+         min_.y <= other.max_.y && other.min_.y <= max_.y;
+}
+
+BoundingBox BoundingBox::inflated(double margin) const {
+  if (empty()) throw std::logic_error("BoundingBox::inflated on empty box");
+  return {{min_.x - margin, min_.y - margin}, {max_.x + margin, max_.y + margin}};
+}
+
+double BoundingBox::diagonal() const {
+  return empty() ? 0.0 : std::hypot(width(), height());
+}
+
+BoundingBox bounding_box(std::span<const Point> pts) {
+  BoundingBox box;
+  for (const Point p : pts) box.extend(p);
+  return box;
+}
+
+}  // namespace locpriv::geo

@@ -1,0 +1,48 @@
+// Axis-aligned bounding boxes over planar points.
+#pragma once
+
+#include <span>
+
+#include "geo/point.h"
+
+namespace locpriv::geo {
+
+/// Axis-aligned rectangle in the planar frame. An empty box (no point ever
+/// added) reports empty() and has zero area; all queries on it are defined.
+class BoundingBox {
+ public:
+  BoundingBox() = default;
+  /// Box spanning the two corner points (in any order).
+  BoundingBox(Point a, Point b);
+
+  /// Grows the box to cover `p`.
+  void extend(Point p);
+  /// Grows the box to cover another box.
+  void extend(const BoundingBox& other);
+
+  [[nodiscard]] bool empty() const { return !initialized_; }
+  [[nodiscard]] bool contains(Point p) const;
+  [[nodiscard]] bool intersects(const BoundingBox& other) const;
+
+  /// Box inflated by `margin` meters on every side. Requires !empty().
+  [[nodiscard]] BoundingBox inflated(double margin) const;
+
+  [[nodiscard]] Point min() const { return min_; }
+  [[nodiscard]] Point max() const { return max_; }
+  [[nodiscard]] Point center() const { return (min_ + max_) / 2.0; }
+  [[nodiscard]] double width() const { return empty() ? 0.0 : max_.x - min_.x; }
+  [[nodiscard]] double height() const { return empty() ? 0.0 : max_.y - min_.y; }
+  [[nodiscard]] double area() const { return width() * height(); }
+  /// Length of the diagonal, meters — a scale for "extent of the data".
+  [[nodiscard]] double diagonal() const;
+
+ private:
+  Point min_{0, 0};
+  Point max_{0, 0};
+  bool initialized_ = false;
+};
+
+/// Tightest box covering all points in `pts` (empty box for empty input).
+[[nodiscard]] BoundingBox bounding_box(std::span<const Point> pts);
+
+}  // namespace locpriv::geo

@@ -1,0 +1,93 @@
+#include "geo/geohash.h"
+
+#include <stdexcept>
+
+namespace locpriv::geo {
+namespace {
+
+constexpr const char* kBase32 = "0123456789bcdefghjkmnpqrstuvwxyz";
+
+int base32_index(char c) {
+  for (int i = 0; i < 32; ++i) {
+    if (kBase32[i] == c) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string geohash_encode(LatLng c, int precision) {
+  if (!c.is_valid()) throw std::invalid_argument("geohash_encode: invalid coordinate");
+  if (precision < 1 || precision > kMaxGeohashPrecision) {
+    throw std::invalid_argument("geohash_encode: precision outside [1, 12]");
+  }
+  double lat_lo = -90.0;
+  double lat_hi = 90.0;
+  double lng_lo = -180.0;
+  double lng_hi = 180.0;
+  std::string hash;
+  hash.reserve(static_cast<std::size_t>(precision));
+  int bit = 0;
+  int current = 0;
+  bool even_bit = true;  // geohash interleaves: even bits refine longitude
+  while (hash.size() < static_cast<std::size_t>(precision)) {
+    if (even_bit) {
+      const double mid = (lng_lo + lng_hi) / 2.0;
+      if (c.lng >= mid) {
+        current = (current << 1) | 1;
+        lng_lo = mid;
+      } else {
+        current <<= 1;
+        lng_hi = mid;
+      }
+    } else {
+      const double mid = (lat_lo + lat_hi) / 2.0;
+      if (c.lat >= mid) {
+        current = (current << 1) | 1;
+        lat_lo = mid;
+      } else {
+        current <<= 1;
+        lat_hi = mid;
+      }
+    }
+    even_bit = !even_bit;
+    if (++bit == 5) {
+      hash.push_back(kBase32[current]);
+      bit = 0;
+      current = 0;
+    }
+  }
+  return hash;
+}
+
+GeohashCell geohash_decode(const std::string& hash) {
+  if (hash.empty()) throw std::invalid_argument("geohash_decode: empty hash");
+  if (hash.size() > kMaxGeohashPrecision) {
+    throw std::invalid_argument("geohash_decode: hash longer than 12 characters");
+  }
+  double lat_lo = -90.0;
+  double lat_hi = 90.0;
+  double lng_lo = -180.0;
+  double lng_hi = 180.0;
+  bool even_bit = true;
+  for (const char c : hash) {
+    const int index = base32_index(c);
+    if (index < 0) {
+      throw std::invalid_argument(std::string("geohash_decode: invalid character '") + c + "'");
+    }
+    for (int bit = 4; bit >= 0; --bit) {
+      const int value = (index >> bit) & 1;
+      if (even_bit) {
+        const double mid = (lng_lo + lng_hi) / 2.0;
+        (value != 0 ? lng_lo : lng_hi) = mid;
+      } else {
+        const double mid = (lat_lo + lat_hi) / 2.0;
+        (value != 0 ? lat_lo : lat_hi) = mid;
+      }
+      even_bit = !even_bit;
+    }
+  }
+  return {{lat_lo, lng_lo}, {lat_hi, lng_hi}};
+}
+
+}  // namespace locpriv::geo

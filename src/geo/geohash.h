@@ -1,0 +1,38 @@
+// Geohash encoding/decoding (base-32, Niemeyer).
+//
+// Geohashes are the de-facto spatial bucketing alphabet of LBS backends:
+// truncating a hash generalizes a position to a lat/lng-aligned cell
+// whose extent depends on the precision (and latitude). The library uses
+// them both as an interchange format and as the cell system of
+// GeohashCloaking — cloaking in the coordinate system a real service
+// would actually index by, unlike the planar Grid.
+#pragma once
+
+#include <string>
+
+#include "geo/latlng.h"
+
+namespace locpriv::geo {
+
+/// Maximum supported precision (12 chars ≈ 3.7 cm × 1.8 cm cells).
+inline constexpr int kMaxGeohashPrecision = 12;
+
+/// Encodes a coordinate at the given precision (1..12 characters).
+/// Throws std::invalid_argument for an invalid coordinate or precision.
+[[nodiscard]] std::string geohash_encode(LatLng c, int precision);
+
+/// Bounding box of a geohash cell, as {south-west, north-east} corners.
+struct GeohashCell {
+  LatLng south_west;
+  LatLng north_east;
+
+  [[nodiscard]] LatLng center() const {
+    return {(south_west.lat + north_east.lat) / 2.0, (south_west.lng + north_east.lng) / 2.0};
+  }
+};
+
+/// Decodes a geohash to its cell. Throws std::invalid_argument on an
+/// empty hash, invalid characters, or length beyond the maximum.
+[[nodiscard]] GeohashCell geohash_decode(const std::string& hash);
+
+}  // namespace locpriv::geo

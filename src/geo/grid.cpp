@@ -1,0 +1,66 @@
+#include "geo/grid.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace locpriv::geo {
+
+Grid::Grid(double cell_size_m, Point origin) : cell_size_(cell_size_m), origin_(origin) {
+  if (!(cell_size_m > 0.0)) {
+    throw std::invalid_argument("Grid: cell size must be positive");
+  }
+}
+
+CellIndex Grid::cell_of(Point p) const {
+  return {static_cast<std::int64_t>(std::floor((p.x - origin_.x) / cell_size_)),
+          static_cast<std::int64_t>(std::floor((p.y - origin_.y) / cell_size_))};
+}
+
+Point Grid::cell_center(CellIndex c) const {
+  return {origin_.x + (static_cast<double>(c.col) + 0.5) * cell_size_,
+          origin_.y + (static_cast<double>(c.row) + 0.5) * cell_size_};
+}
+
+BoundingBox Grid::cell_bounds(CellIndex c) const {
+  const Point lo{origin_.x + static_cast<double>(c.col) * cell_size_,
+                 origin_.y + static_cast<double>(c.row) * cell_size_};
+  return {lo, {lo.x + cell_size_, lo.y + cell_size_}};
+}
+
+CellSet Grid::covered_cells(std::span<const Point> pts) const {
+  CellSet cells;
+  cells.reserve(pts.size() / 4 + 1);
+  for (const Point p : pts) cells.insert(cell_of(p));
+  return cells;
+}
+
+std::size_t Grid::coverage_count(std::span<const Point> pts) const {
+  return covered_cells(pts).size();
+}
+
+std::size_t intersection_size(const CellSet& a, const CellSet& b) {
+  const CellSet& small = a.size() <= b.size() ? a : b;
+  const CellSet& large = a.size() <= b.size() ? b : a;
+  std::size_t n = 0;
+  for (const CellIndex c : small) n += large.contains(c) ? 1 : 0;
+  return n;
+}
+
+double jaccard(const CellSet& a, const CellSet& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const std::size_t inter = intersection_size(a, b);
+  const std::size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double f1_score(const CellSet& actual, const CellSet& predicted) {
+  if (actual.empty() && predicted.empty()) return 1.0;
+  if (actual.empty() || predicted.empty()) return 0.0;
+  const double inter = static_cast<double>(intersection_size(actual, predicted));
+  const double precision = inter / static_cast<double>(predicted.size());
+  const double recall = inter / static_cast<double>(actual.size());
+  if (precision + recall == 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+}  // namespace locpriv::geo

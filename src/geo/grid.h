@@ -1,0 +1,90 @@
+// Uniform grid over a planar extent — the "city block" raster.
+//
+// The paper's utility objective is phrased at city-block granularity:
+// protected locations should still fall in the block of the actual
+// location. The Grid rasterizes planar points into square cells of a
+// configurable size (default 115 m ≈ a San Francisco block) and supports
+// set operations over covered cells, which the area-coverage utility
+// metric is built on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/point.h"
+
+namespace locpriv::geo {
+
+/// Integer cell coordinates of a grid cell.
+struct CellIndex {
+  std::int64_t col = 0;
+  std::int64_t row = 0;
+  friend constexpr bool operator==(CellIndex, CellIndex) = default;
+};
+
+/// Packs a CellIndex into a single 64-bit key (32 bits per axis, offset
+/// binary). Collision-free for |col|,|row| < 2^31, i.e. grids far larger
+/// than the Earth at meter resolution.
+struct CellIndexHash {
+  [[nodiscard]] std::size_t operator()(CellIndex c) const noexcept {
+    const std::uint64_t key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.col)) << 32) |
+                              static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.row));
+    // splitmix64 finalizer: cheap and well distributed.
+    std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};
+
+using CellSet = std::unordered_set<CellIndex, CellIndexHash>;
+
+/// Infinite uniform grid of square cells anchored at a configurable origin.
+class Grid {
+ public:
+  /// `cell_size_m` must be strictly positive; throws std::invalid_argument
+  /// otherwise. `origin` is the corner of cell (0, 0).
+  explicit Grid(double cell_size_m, Point origin = {0.0, 0.0});
+
+  [[nodiscard]] double cell_size() const { return cell_size_; }
+  [[nodiscard]] Point origin() const { return origin_; }
+
+  /// Cell containing `p`. Points exactly on a boundary belong to the cell
+  /// to their upper-right (floor semantics).
+  [[nodiscard]] CellIndex cell_of(Point p) const;
+
+  /// Center point of a cell.
+  [[nodiscard]] Point cell_center(CellIndex c) const;
+
+  /// Bounding box of a cell.
+  [[nodiscard]] BoundingBox cell_bounds(CellIndex c) const;
+
+  /// Snaps `p` to the center of its cell — the core of grid cloaking.
+  [[nodiscard]] Point snap(Point p) const { return cell_center(cell_of(p)); }
+
+  /// The set of distinct cells covered by `pts`.
+  [[nodiscard]] CellSet covered_cells(std::span<const Point> pts) const;
+
+  /// Number of distinct cells covered by `pts`.
+  [[nodiscard]] std::size_t coverage_count(std::span<const Point> pts) const;
+
+ private:
+  double cell_size_;
+  Point origin_;
+};
+
+/// |a ∩ b|.
+[[nodiscard]] std::size_t intersection_size(const CellSet& a, const CellSet& b);
+
+/// Jaccard similarity |a ∩ b| / |a ∪ b|; 1.0 when both sets are empty
+/// (two empty coverages are identical).
+[[nodiscard]] double jaccard(const CellSet& a, const CellSet& b);
+
+/// F1 score of `predicted` against `actual` cell sets; 1.0 when both are
+/// empty, 0.0 when exactly one is.
+[[nodiscard]] double f1_score(const CellSet& actual, const CellSet& predicted);
+
+}  // namespace locpriv::geo

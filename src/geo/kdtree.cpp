@@ -1,0 +1,84 @@
+#include "geo/kdtree.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace locpriv::geo {
+
+KdTree::KdTree(std::span<const Point> points) : points_(points.begin(), points.end()) {
+  if (points_.empty()) throw std::invalid_argument("KdTree: empty point set");
+  nodes_.reserve(points_.size());
+  std::vector<std::size_t> indices(points_.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  root_ = build(indices, 0, indices.size(), /*split_on_x=*/true);
+}
+
+int KdTree::build(std::vector<std::size_t>& indices, std::size_t lo, std::size_t hi,
+                  bool split_on_x) {
+  if (lo >= hi) return -1;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  std::nth_element(indices.begin() + static_cast<std::ptrdiff_t>(lo),
+                   indices.begin() + static_cast<std::ptrdiff_t>(mid),
+                   indices.begin() + static_cast<std::ptrdiff_t>(hi),
+                   [&](std::size_t a, std::size_t b) {
+                     return split_on_x ? points_[a].x < points_[b].x : points_[a].y < points_[b].y;
+                   });
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back({indices[mid], -1, -1, split_on_x});
+  // Children are built after the parent is appended; indices stay valid
+  // because nodes_ never reallocates past its reserve (one node per point).
+  const int left = build(indices, lo, mid, !split_on_x);
+  const int right = build(indices, mid + 1, hi, !split_on_x);
+  nodes_[static_cast<std::size_t>(node_index)].left = left;
+  nodes_[static_cast<std::size_t>(node_index)].right = right;
+  return node_index;
+}
+
+std::size_t KdTree::nearest(Point query) const {
+  std::size_t best = nodes_[static_cast<std::size_t>(root_)].point_index;
+  double best_sq = distance_sq(query, points_[best]);
+  nearest_impl(root_, query, best, best_sq);
+  return best;
+}
+
+void KdTree::nearest_impl(int node, Point query, std::size_t& best, double& best_sq) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const Point p = points_[n.point_index];
+  const double d_sq = distance_sq(query, p);
+  if (d_sq < best_sq || (d_sq == best_sq && n.point_index < best)) {
+    best_sq = d_sq;
+    best = n.point_index;
+  }
+  const double axis_delta = n.split_on_x ? query.x - p.x : query.y - p.y;
+  const int near_child = axis_delta <= 0.0 ? n.left : n.right;
+  const int far_child = axis_delta <= 0.0 ? n.right : n.left;
+  nearest_impl(near_child, query, best, best_sq);
+  // Only cross the splitting plane when the hypersphere reaches it.
+  if (axis_delta * axis_delta <= best_sq) {
+    nearest_impl(far_child, query, best, best_sq);
+  }
+}
+
+std::vector<std::size_t> KdTree::within_radius(Point query, double radius) const {
+  if (!(radius >= 0.0)) throw std::invalid_argument("KdTree::within_radius: negative radius");
+  std::vector<std::size_t> out;
+  radius_impl(root_, query, radius * radius, out);
+  return out;
+}
+
+void KdTree::radius_impl(int node, Point query, double radius_sq,
+                         std::vector<std::size_t>& out) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const Point p = points_[n.point_index];
+  if (distance_sq(query, p) <= radius_sq) out.push_back(n.point_index);
+  const double axis_delta = n.split_on_x ? query.x - p.x : query.y - p.y;
+  const int near_child = axis_delta <= 0.0 ? n.left : n.right;
+  const int far_child = axis_delta <= 0.0 ? n.right : n.left;
+  radius_impl(near_child, query, radius_sq, out);
+  if (axis_delta * axis_delta <= radius_sq) radius_impl(far_child, query, radius_sq, out);
+}
+
+}  // namespace locpriv::geo

@@ -1,0 +1,53 @@
+// Static 2-d k-d tree for nearest-neighbor queries over planar points.
+//
+// The LBS simulation answers "nearest site to this location" for every
+// report; linear scans are fine for dozens of sites but not for the
+// city-scale catalogs the examples sweep. Built once over a fixed point
+// set; queries are logarithmic in practice.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace locpriv::geo {
+
+class KdTree {
+ public:
+  /// Builds over a copy of `points`. Throws std::invalid_argument on an
+  /// empty input (a nearest-neighbor structure over nothing is a bug).
+  explicit KdTree(std::span<const Point> points);
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+  /// Index (into the original span) of the nearest point to `query`.
+  /// Ties resolve to the lowest index encountered on the search path.
+  [[nodiscard]] std::size_t nearest(Point query) const;
+
+  /// Indices of all points within `radius` meters of `query`, unordered.
+  [[nodiscard]] std::vector<std::size_t> within_radius(Point query, double radius) const;
+
+  /// Access to the stored point for an index returned by a query.
+  [[nodiscard]] Point point(std::size_t index) const { return points_[index]; }
+
+ private:
+  struct Node {
+    std::size_t point_index = 0;
+    int left = -1;    ///< child node indices; -1 = none
+    int right = -1;
+    bool split_on_x = true;
+  };
+
+  int build(std::vector<std::size_t>& indices, std::size_t lo, std::size_t hi, bool split_on_x);
+  void nearest_impl(int node, Point query, std::size_t& best, double& best_sq) const;
+  void radius_impl(int node, Point query, double radius_sq,
+                   std::vector<std::size_t>& out) const;
+
+  std::vector<Point> points_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace locpriv::geo

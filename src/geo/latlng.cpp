@@ -1,0 +1,57 @@
+#include "geo/latlng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace locpriv::geo {
+
+double haversine_distance(LatLng a, LatLng b) {
+  const double phi1 = deg2rad(a.lat);
+  const double phi2 = deg2rad(b.lat);
+  const double dphi = deg2rad(b.lat - a.lat);
+  const double dlam = deg2rad(b.lng - a.lng);
+  const double sin_dphi = std::sin(dphi / 2.0);
+  const double sin_dlam = std::sin(dlam / 2.0);
+  const double h = sin_dphi * sin_dphi + std::cos(phi1) * std::cos(phi2) * sin_dlam * sin_dlam;
+  // Clamp against rounding before the sqrt: h can exceed 1 by an ulp for
+  // antipodal-ish inputs.
+  const double c = 2.0 * std::asin(std::sqrt(std::clamp(h, 0.0, 1.0)));
+  return kEarthRadiusMeters * c;
+}
+
+double equirectangular_distance(LatLng a, LatLng b) {
+  const double mean_lat = deg2rad((a.lat + b.lat) / 2.0);
+  const double dx = deg2rad(b.lng - a.lng) * std::cos(mean_lat);
+  const double dy = deg2rad(b.lat - a.lat);
+  return kEarthRadiusMeters * std::hypot(dx, dy);
+}
+
+LatLng destination(LatLng origin, double bearing_rad, double distance_m) {
+  const double delta = distance_m / kEarthRadiusMeters;  // angular distance
+  const double phi1 = deg2rad(origin.lat);
+  const double lam1 = deg2rad(origin.lng);
+  const double sin_phi2 = std::sin(phi1) * std::cos(delta) +
+                          std::cos(phi1) * std::sin(delta) * std::cos(bearing_rad);
+  const double phi2 = std::asin(std::clamp(sin_phi2, -1.0, 1.0));
+  const double y = std::sin(bearing_rad) * std::sin(delta) * std::cos(phi1);
+  const double x = std::cos(delta) - std::sin(phi1) * sin_phi2;
+  const double lam2 = lam1 + std::atan2(y, x);
+  double lng = rad2deg(lam2);
+  // Normalize longitude to [-180, 180].
+  if (lng > 180.0) lng -= 360.0;
+  if (lng < -180.0) lng += 360.0;
+  return {rad2deg(phi2), lng};
+}
+
+double initial_bearing(LatLng a, LatLng b) {
+  const double phi1 = deg2rad(a.lat);
+  const double phi2 = deg2rad(b.lat);
+  const double dlam = deg2rad(b.lng - a.lng);
+  const double y = std::sin(dlam) * std::cos(phi2);
+  const double x = std::cos(phi1) * std::sin(phi2) - std::sin(phi1) * std::cos(phi2) * std::cos(dlam);
+  double theta = std::atan2(y, x);
+  if (theta < 0) theta += 2.0 * kPi;
+  return theta;
+}
+
+}  // namespace locpriv::geo

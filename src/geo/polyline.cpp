@@ -1,0 +1,124 @@
+#include "geo/polyline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace locpriv::geo {
+
+double path_length(std::span<const Point> pts) {
+  double total = 0.0;
+  for (std::size_t i = 1; i < pts.size(); ++i) total += distance(pts[i - 1], pts[i]);
+  return total;
+}
+
+std::vector<double> cumulative_lengths(std::span<const Point> pts) {
+  std::vector<double> cum;
+  cum.reserve(pts.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (i > 0) total += distance(pts[i - 1], pts[i]);
+    cum.push_back(total);
+  }
+  return cum;
+}
+
+Point point_at_arclength(std::span<const Point> pts, double s) {
+  if (pts.empty()) throw std::invalid_argument("point_at_arclength: empty path");
+  if (pts.size() == 1 || s <= 0.0) return pts.front();
+  double walked = 0.0;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const double seg = distance(pts[i - 1], pts[i]);
+    if (walked + seg >= s) {
+      const double t = seg > 0.0 ? (s - walked) / seg : 0.0;
+      return lerp(pts[i - 1], pts[i], t);
+    }
+    walked += seg;
+  }
+  return pts.back();
+}
+
+std::vector<Point> resample_by_arclength(std::span<const Point> pts, double step_m) {
+  if (!(step_m > 0.0)) throw std::invalid_argument("resample_by_arclength: step must be positive");
+  if (pts.empty()) return {};
+  if (pts.size() == 1) return {pts.front()};
+  std::vector<Point> out;
+  out.push_back(pts.front());
+  const double total = path_length(pts);
+  for (double s = step_m; s < total; s += step_m) {
+    out.push_back(point_at_arclength(pts, s));
+  }
+  out.push_back(pts.back());
+  return out;
+}
+
+Point centroid(std::span<const Point> pts) {
+  if (pts.empty()) throw std::invalid_argument("centroid: empty point set");
+  Point sum{0, 0};
+  for (const Point p : pts) sum += p;
+  return sum / static_cast<double>(pts.size());
+}
+
+double diameter(std::span<const Point> pts) {
+  double best = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      best = std::max(best, distance_sq(pts[i], pts[j]));
+    }
+  }
+  return std::sqrt(best);
+}
+
+double point_segment_distance(Point p, Point a, Point b) {
+  const Point ab = b - a;
+  const double len_sq = ab.x * ab.x + ab.y * ab.y;
+  if (len_sq == 0.0) return distance(p, a);
+  const double t = std::clamp(((p.x - a.x) * ab.x + (p.y - a.y) * ab.y) / len_sq, 0.0, 1.0);
+  return distance(p, {a.x + t * ab.x, a.y + t * ab.y});
+}
+
+namespace {
+
+void douglas_peucker(std::span<const Point> pts, std::size_t lo, std::size_t hi, double tolerance,
+                     std::vector<std::size_t>& keep) {
+  // Invariant: lo is already in `keep`; hi will be appended by the caller
+  // chain's terminal case. Recurse on the farthest outlier.
+  double max_dist = 0.0;
+  std::size_t max_index = lo;
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    const double d = point_segment_distance(pts[i], pts[lo], pts[hi]);
+    if (d > max_dist) {
+      max_dist = d;
+      max_index = i;
+    }
+  }
+  if (max_dist > tolerance) {
+    douglas_peucker(pts, lo, max_index, tolerance, keep);
+    keep.push_back(max_index);
+    douglas_peucker(pts, max_index, hi, tolerance, keep);
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> simplify_indices(std::span<const Point> pts, double tolerance_m) {
+  if (!(tolerance_m >= 0.0)) throw std::invalid_argument("simplify_indices: negative tolerance");
+  std::vector<std::size_t> keep;
+  if (pts.empty()) return keep;
+  keep.push_back(0);
+  if (pts.size() > 1) {
+    douglas_peucker(pts, 0, pts.size() - 1, tolerance_m, keep);
+    keep.push_back(pts.size() - 1);
+  }
+  return keep;
+}
+
+double radius_of_gyration(std::span<const Point> pts) {
+  if (pts.size() < 2) return 0.0;
+  const Point c = centroid(pts);
+  double sum_sq = 0.0;
+  for (const Point p : pts) sum_sq += distance_sq(p, c);
+  return std::sqrt(sum_sq / static_cast<double>(pts.size()));
+}
+
+}  // namespace locpriv::geo

@@ -1,0 +1,52 @@
+// Operations on planar point sequences (paths).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace locpriv::geo {
+
+/// Total Euclidean length of the path through `pts`, meters.
+[[nodiscard]] double path_length(std::span<const Point> pts);
+
+/// Cumulative arc length at each vertex: result[0] = 0,
+/// result[i] = length of the path up to pts[i]. Empty input -> empty.
+[[nodiscard]] std::vector<double> cumulative_lengths(std::span<const Point> pts);
+
+/// Point at arc-length position `s` along the path (clamped to the ends).
+/// Requires a non-empty path.
+[[nodiscard]] Point point_at_arclength(std::span<const Point> pts, double s);
+
+/// Resamples the path to vertices spaced exactly `step_m` apart in arc
+/// length (the first and last original vertices are always kept). This is
+/// the geometric core of Promesse-style speed smoothing: uniform spatial
+/// sampling erases the dwell-time signal that betrays stops.
+/// Requires step_m > 0; a path shorter than step_m yields its endpoints.
+[[nodiscard]] std::vector<Point> resample_by_arclength(std::span<const Point> pts, double step_m);
+
+/// Centroid (mean) of the points. Requires a non-empty span.
+[[nodiscard]] Point centroid(std::span<const Point> pts);
+
+/// Maximum pairwise distance (diameter) of the point set, O(n^2).
+/// Intended for the small per-stay windows of POI extraction.
+[[nodiscard]] double diameter(std::span<const Point> pts);
+
+/// Radius of gyration: RMS distance of points to their centroid — a
+/// standard mobility "spread" feature. 0 for fewer than 2 points.
+[[nodiscard]] double radius_of_gyration(std::span<const Point> pts);
+
+/// Perpendicular distance from `p` to the segment [a, b] (endpoint
+/// distance when the projection falls outside the segment).
+[[nodiscard]] double point_segment_distance(Point p, Point a, Point b);
+
+/// Douglas-Peucker polyline simplification: returns the indices of the
+/// retained vertices (always including the endpoints), in order. A
+/// vertex is kept when it deviates more than `tolerance_m` from the
+/// simplified segment through its neighbors. Requires tolerance >= 0;
+/// empty input -> empty result.
+[[nodiscard]] std::vector<std::size_t> simplify_indices(std::span<const Point> pts,
+                                                        double tolerance_m);
+
+}  // namespace locpriv::geo

@@ -1,0 +1,30 @@
+#include "geo/projection.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace locpriv::geo {
+
+LocalProjection::LocalProjection(LatLng reference) : reference_(reference) {
+  if (!reference.is_valid()) {
+    throw std::invalid_argument("LocalProjection: invalid reference coordinate");
+  }
+  cos_ref_lat_ = std::cos(deg2rad(reference.lat));
+  if (cos_ref_lat_ < 1e-6) {
+    throw std::invalid_argument("LocalProjection: reference too close to a pole");
+  }
+}
+
+Point LocalProjection::to_plane(LatLng c) const {
+  const double x = deg2rad(c.lng - reference_.lng) * cos_ref_lat_ * kEarthRadiusMeters;
+  const double y = deg2rad(c.lat - reference_.lat) * kEarthRadiusMeters;
+  return {x, y};
+}
+
+LatLng LocalProjection::to_geo(Point p) const {
+  const double lat = reference_.lat + rad2deg(p.y / kEarthRadiusMeters);
+  const double lng = reference_.lng + rad2deg(p.x / (kEarthRadiusMeters * cos_ref_lat_));
+  return {lat, lng};
+}
+
+}  // namespace locpriv::geo

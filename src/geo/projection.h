@@ -1,0 +1,36 @@
+// Local tangent-plane projection between geographic and planar frames.
+#pragma once
+
+#include "geo/latlng.h"
+#include "geo/point.h"
+
+namespace locpriv::geo {
+
+/// Equirectangular local projection around a reference coordinate.
+///
+/// Maps LatLng to an East-North plane (meters) and back. Within the extent
+/// of a metropolitan area (tens of km) the distortion is far below the
+/// noise scales this library studies, and the projection is exactly
+/// invertible, which the protection mechanisms rely on: they perturb in
+/// the plane and project back.
+class LocalProjection {
+ public:
+  /// Creates a projection tangent at `reference`. Throws std::invalid_argument
+  /// if the reference is not a valid coordinate or lies on a pole (where
+  /// the east axis degenerates).
+  explicit LocalProjection(LatLng reference);
+
+  /// Geographic -> planar (meters east/north of the reference).
+  [[nodiscard]] Point to_plane(LatLng c) const;
+
+  /// Planar -> geographic.
+  [[nodiscard]] LatLng to_geo(Point p) const;
+
+  [[nodiscard]] LatLng reference() const { return reference_; }
+
+ private:
+  LatLng reference_;
+  double cos_ref_lat_;
+};
+
+}  // namespace locpriv::geo

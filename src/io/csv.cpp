@@ -1,0 +1,94 @@
+#include "io/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace locpriv::io {
+
+CsvRow parse_csv_line(const std::string& line) {
+  CsvRow fields;
+  std::string field;
+  bool in_quotes = false;
+  std::size_t end = line.size();
+  if (end > 0 && line[end - 1] == '\r') --end;  // tolerate CRLF input
+
+  for (std::size_t i = 0; i < end; ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < end && line[i + 1] == '"') {
+          field.push_back('"');  // escaped quote
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+std::vector<CsvRow> read_csv(std::istream& in) {
+  std::vector<CsvRow> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == "\r") continue;
+    rows.push_back(parse_csv_line(line));
+  }
+  return rows;
+}
+
+std::vector<CsvRow> read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv_file: cannot open " + path);
+  return read_csv(in);
+}
+
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+}  // namespace
+
+std::string format_csv_row(const CsvRow& row) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) os << ',';
+    if (needs_quoting(row[i])) {
+      os << '"';
+      for (const char c : row[i]) {
+        if (c == '"') os << '"';
+        os << c;
+      }
+      os << '"';
+    } else {
+      os << row[i];
+    }
+  }
+  return os.str();
+}
+
+void write_csv(std::ostream& out, const std::vector<CsvRow>& rows) {
+  for (const CsvRow& row : rows) out << format_csv_row(row) << '\n';
+}
+
+void write_csv_file(const std::string& path, const std::vector<CsvRow>& rows) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_csv_file: cannot open " + path);
+  write_csv(out, rows);
+}
+
+}  // namespace locpriv::io

@@ -1,0 +1,34 @@
+// Minimal CSV reading/writing (RFC-4180-ish: quoted fields, escaped
+// quotes, CRLF tolerance). No external dependencies.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace locpriv::io {
+
+using CsvRow = std::vector<std::string>;
+
+/// Parses one CSV line into fields. Handles double-quoted fields with
+/// embedded commas/quotes ("" unescapes to "). Trailing \r is stripped.
+[[nodiscard]] CsvRow parse_csv_line(const std::string& line);
+
+/// Reads all rows from a stream; blank lines are skipped.
+[[nodiscard]] std::vector<CsvRow> read_csv(std::istream& in);
+
+/// Reads all rows from a file. Throws std::runtime_error if the file
+/// cannot be opened.
+[[nodiscard]] std::vector<CsvRow> read_csv_file(const std::string& path);
+
+/// Serializes one row, quoting fields that need it.
+[[nodiscard]] std::string format_csv_row(const CsvRow& row);
+
+/// Writes rows to a stream.
+void write_csv(std::ostream& out, const std::vector<CsvRow>& rows);
+
+/// Writes rows to a file. Throws std::runtime_error on failure to open.
+void write_csv_file(const std::string& path, const std::vector<CsvRow>& rows);
+
+}  // namespace locpriv::io

@@ -1,0 +1,70 @@
+// Minimal JSON value model, parser and writer.
+//
+// Scope: model persistence (ModelStore) and experiment-result export —
+// objects, arrays, strings, doubles, booleans, null. Not a general JSON
+// library: numbers are doubles, no \uXXXX surrogate pairs beyond BMP.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace locpriv::io {
+
+class JsonValue;
+
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// A JSON value (tagged union). Accessors throw std::runtime_error when
+/// the value holds a different type — misuse is a programming error in
+/// the persistence layer and should fail loudly.
+class JsonValue {
+ public:
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(int i) : value_(static_cast<double>(i)) {}
+  JsonValue(std::size_t i) : value_(static_cast<double>(i)) {}
+  JsonValue(const char* s) : value_(std::string(s)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(JsonArray a) : value_(std::move(a)) {}
+  JsonValue(JsonObject o) : value_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(value_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] const JsonObject& as_object() const;
+
+  /// Object member access; throws if not an object or key missing.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  /// True when this is an object containing `key`.
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> value_;
+};
+
+/// Serializes with 2-space indentation and stable (map-ordered) keys.
+[[nodiscard]] std::string to_json(const JsonValue& value);
+
+/// Parses a JSON document. Throws std::runtime_error with position info
+/// on malformed input or trailing garbage.
+[[nodiscard]] JsonValue parse_json(const std::string& text);
+
+/// File helpers; throw std::runtime_error on I/O failure.
+void write_json_file(const std::string& path, const JsonValue& value);
+[[nodiscard]] JsonValue read_json_file(const std::string& path);
+
+}  // namespace locpriv::io

@@ -1,0 +1,68 @@
+#include "lppm/composed.h"
+
+#include <stdexcept>
+
+#include "stats/rng.h"
+
+namespace locpriv::lppm {
+
+ComposedMechanism::ComposedMechanism(std::vector<std::unique_ptr<Mechanism>> stages)
+    : stages_(std::move(stages)) {
+  if (stages_.empty()) throw std::invalid_argument("ComposedMechanism: empty stage list");
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (!stages_[i]) throw std::invalid_argument("ComposedMechanism: null stage");
+    if (i > 0) name_ += "+";
+    name_ += stages_[i]->name();
+    for (const ParameterSpec& spec : stages_[i]->parameters()) {
+      ParameterSpec prefixed = spec;
+      prefixed.name = std::to_string(i) + "." + spec.name;
+      specs_.push_back(std::move(prefixed));
+    }
+  }
+}
+
+const std::string& ComposedMechanism::name() const { return name_; }
+
+const std::vector<ParameterSpec>& ComposedMechanism::parameters() const { return specs_; }
+
+std::pair<Mechanism*, std::string> ComposedMechanism::resolve(const std::string& param) const {
+  const std::size_t dot = param.find('.');
+  if (dot == std::string::npos) {
+    throw std::invalid_argument(name_ + ": parameter '" + param +
+                                "' must be prefixed with a stage index, e.g. '0.epsilon'");
+  }
+  std::size_t stage_index = 0;
+  try {
+    std::size_t consumed = 0;
+    stage_index = std::stoul(param.substr(0, dot), &consumed);
+    if (consumed != dot) throw std::invalid_argument("trailing characters");
+  } catch (const std::exception&) {
+    throw std::invalid_argument(name_ + ": bad stage prefix in '" + param + "'");
+  }
+  if (stage_index >= stages_.size()) {
+    throw std::invalid_argument(name_ + ": stage index " + std::to_string(stage_index) +
+                                " out of range (have " + std::to_string(stages_.size()) +
+                                " stages)");
+  }
+  return {stages_[stage_index].get(), param.substr(dot + 1)};
+}
+
+void ComposedMechanism::set_parameter(const std::string& param, double value) {
+  const auto [stage, inner] = resolve(param);
+  stage->set_parameter(inner, value);
+}
+
+double ComposedMechanism::parameter(const std::string& param) const {
+  const auto [stage, inner] = resolve(param);
+  return stage->parameter(inner);
+}
+
+trace::Trace ComposedMechanism::protect(const trace::Trace& input, std::uint64_t seed) const {
+  trace::Trace current = input;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    current = stages_[i]->protect(current, stats::derive_seed(seed, i));
+  }
+  return current;
+}
+
+}  // namespace locpriv::lppm

@@ -1,0 +1,42 @@
+#include "lppm/dropout.h"
+
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace locpriv::lppm {
+
+ReleaseDropout::ReleaseDropout()
+    : ParameterizedMechanism({ParameterSpec{
+          .name = kKeepProbability,
+          .min_value = 0.02,
+          .max_value = 1.0,
+          .default_value = 0.5,
+          .scale = Scale::kLinear,
+          .unit = "",
+          .description = "probability that a report is published at all"}}) {}
+
+ReleaseDropout::ReleaseDropout(double keep_probability) : ReleaseDropout() {
+  set_parameter(kKeepProbability, keep_probability);
+}
+
+const std::string& ReleaseDropout::name() const {
+  static const std::string kName = "release-dropout";
+  return kName;
+}
+
+trace::Trace ReleaseDropout::protect(const trace::Trace& input, std::uint64_t seed) const {
+  const double keep = keep_probability();
+  stats::Rng rng(seed);
+  std::vector<trace::Event> kept;
+  kept.reserve(input.size());
+  for (const trace::Event& e : input) {
+    if (rng.bernoulli(keep)) kept.push_back(e);
+  }
+  // Guarantee a non-empty release: an entirely empty trace would make
+  // paired metrics degenerate; keep the first report as a floor.
+  if (kept.empty() && !input.empty()) kept.push_back(input.front());
+  return {input.user_id(), std::move(kept)};
+}
+
+}  // namespace locpriv::lppm

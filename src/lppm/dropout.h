@@ -1,0 +1,30 @@
+// Report suppression ("dropout"): each location report is independently
+// published with probability `keep_probability`, otherwise withheld.
+//
+// Two roles in the suite: (a) a realistic baseline — suppression is the
+// oldest location-privacy knob (publish less); (b) the only built-in
+// mechanism whose parameter sweeps on a *linear* scale, exercising the
+// framework's Scale::kLinear path end to end.
+#pragma once
+
+#include "lppm/mechanism.h"
+
+namespace locpriv::lppm {
+
+class ReleaseDropout final : public ParameterizedMechanism {
+ public:
+  /// Parameter "keep_probability" in [0.02, 1.0], default 0.5, linear
+  /// scale. The floor keeps at least a sliver of data so downstream
+  /// metrics stay defined.
+  ReleaseDropout();
+  explicit ReleaseDropout(double keep_probability);
+
+  [[nodiscard]] const std::string& name() const override;
+  [[nodiscard]] trace::Trace protect(const trace::Trace& input, std::uint64_t seed) const override;
+
+  [[nodiscard]] double keep_probability() const { return parameter(kKeepProbability); }
+
+  static constexpr const char* kKeepProbability = "keep_probability";
+};
+
+}  // namespace locpriv::lppm

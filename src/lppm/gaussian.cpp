@@ -1,0 +1,33 @@
+#include "lppm/gaussian.h"
+
+#include "stats/rng.h"
+
+namespace locpriv::lppm {
+
+GaussianPerturbation::GaussianPerturbation()
+    : ParameterizedMechanism({ParameterSpec{.name = kSigma,
+                                            .min_value = 0.1,
+                                            .max_value = 100'000.0,
+                                            .default_value = 100.0,
+                                            .scale = Scale::kLog,
+                                            .unit = "m",
+                                            .description = "per-axis stddev of the noise"}}) {}
+
+GaussianPerturbation::GaussianPerturbation(double sigma_m) : GaussianPerturbation() {
+  set_parameter(kSigma, sigma_m);
+}
+
+const std::string& GaussianPerturbation::name() const {
+  static const std::string kName = "gaussian-perturbation";
+  return kName;
+}
+
+trace::Trace GaussianPerturbation::protect(const trace::Trace& input, std::uint64_t seed) const {
+  const double s = sigma();
+  stats::Rng rng(seed);
+  return input.map_locations([&](const trace::Event& e) {
+    return geo::Point{e.location.x + rng.normal(0.0, s), e.location.y + rng.normal(0.0, s)};
+  });
+}
+
+}  // namespace locpriv::lppm

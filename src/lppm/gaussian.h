@@ -1,0 +1,26 @@
+// Gaussian perturbation baseline: isotropic normal noise per report.
+// The simplest "add noise" comparator; unlike Geo-I it carries no formal
+// differential-privacy guarantee, which is exactly why it is a useful
+// baseline for the framework's mechanism-agnostic analysis.
+#pragma once
+
+#include "lppm/mechanism.h"
+
+namespace locpriv::lppm {
+
+class GaussianPerturbation final : public ParameterizedMechanism {
+ public:
+  /// Parameter "sigma" in meters (per-axis stddev), default 100,
+  /// log-sweepable over [0.1, 100000].
+  GaussianPerturbation();
+  explicit GaussianPerturbation(double sigma_m);
+
+  [[nodiscard]] const std::string& name() const override;
+  [[nodiscard]] trace::Trace protect(const trace::Trace& input, std::uint64_t seed) const override;
+
+  [[nodiscard]] double sigma() const { return parameter(kSigma); }
+
+  static constexpr const char* kSigma = "sigma";
+};
+
+}  // namespace locpriv::lppm

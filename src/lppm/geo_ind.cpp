@@ -1,0 +1,35 @@
+#include "lppm/geo_ind.h"
+
+#include "stats/rng.h"
+
+namespace locpriv::lppm {
+
+GeoIndistinguishability::GeoIndistinguishability()
+    : ParameterizedMechanism({ParameterSpec{
+          .name = kEpsilon,
+          .min_value = 1e-5,
+          .max_value = 10.0,
+          .default_value = 0.01,
+          .scale = Scale::kLog,
+          .unit = "1/m",
+          .description = "privacy budget per meter; noise scale is 2/epsilon"}}) {}
+
+GeoIndistinguishability::GeoIndistinguishability(double epsilon) : GeoIndistinguishability() {
+  set_parameter(kEpsilon, epsilon);
+}
+
+const std::string& GeoIndistinguishability::name() const {
+  static const std::string kName = "geo-indistinguishability";
+  return kName;
+}
+
+trace::Trace GeoIndistinguishability::protect(const trace::Trace& input,
+                                              std::uint64_t seed) const {
+  const double eps = epsilon();
+  stats::Rng rng(seed);
+  return input.map_locations([&](const trace::Event& e) {
+    return e.location + stats::sample_planar_laplace(rng, eps);
+  });
+}
+
+}  // namespace locpriv::lppm

@@ -1,0 +1,38 @@
+#include "lppm/geohash_cloaking.h"
+
+#include <cmath>
+
+#include "geo/geohash.h"
+
+namespace locpriv::lppm {
+
+GeohashCloaking::GeohashCloaking(geo::LocalProjection projection)
+    : ParameterizedMechanism({ParameterSpec{.name = kPrecision,
+                                            .min_value = 1.0,
+                                            .max_value = 12.0,
+                                            .default_value = 6.0,
+                                            .scale = Scale::kLinear,
+                                            .unit = "chars",
+                                            .description = "geohash truncation length"}}),
+      projection_(projection) {}
+
+GeohashCloaking::GeohashCloaking(geo::LocalProjection projection, int precision)
+    : GeohashCloaking(projection) {
+  set_parameter(kPrecision, static_cast<double>(precision));
+}
+
+const std::string& GeohashCloaking::name() const {
+  static const std::string kName = "geohash-cloaking";
+  return kName;
+}
+
+trace::Trace GeohashCloaking::protect(const trace::Trace& input, std::uint64_t /*seed*/) const {
+  const int precision = static_cast<int>(std::lround(parameter(kPrecision)));
+  return input.map_locations([&](const trace::Event& e) {
+    const geo::LatLng c = projection_.to_geo(e.location);
+    const geo::GeohashCell cell = geo::geohash_decode(geo::geohash_encode(c, precision));
+    return projection_.to_plane(cell.center());
+  });
+}
+
+}  // namespace locpriv::lppm

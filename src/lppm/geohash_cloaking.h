@@ -1,0 +1,37 @@
+// Geohash cloaking: report the center of the geohash cell at a chosen
+// precision — spatial generalization in the alphabet real LBS backends
+// index by.
+//
+// Unlike GridCloaking's square planar cells, geohash cells are
+// lat/lng-aligned rectangles whose metric size depends on precision
+// (~5 km x 5 km at 5 chars, ~150 m x 150 m at 7) and latitude. The
+// mechanism needs a LocalProjection to hop between the library's planar
+// frame and geographic coordinates; the projection reference is part of
+// its configuration.
+#pragma once
+
+#include "geo/projection.h"
+#include "lppm/mechanism.h"
+
+namespace locpriv::lppm {
+
+class GeohashCloaking final : public ParameterizedMechanism {
+ public:
+  /// Parameter "precision" in characters, linear scale over [1, 12],
+  /// default 6 (~1.2 km x 0.6 km cells). Non-integer sweep values are
+  /// rounded at protect() time so the generic sweep machinery works.
+  explicit GeohashCloaking(geo::LocalProjection projection);
+  GeohashCloaking(geo::LocalProjection projection, int precision);
+
+  [[nodiscard]] const std::string& name() const override;
+  [[nodiscard]] trace::Trace protect(const trace::Trace& input, std::uint64_t seed) const override;
+
+  [[nodiscard]] const geo::LocalProjection& projection() const { return projection_; }
+
+  static constexpr const char* kPrecision = "precision";
+
+ private:
+  geo::LocalProjection projection_;
+};
+
+}  // namespace locpriv::lppm

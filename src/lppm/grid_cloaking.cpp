@@ -1,0 +1,30 @@
+#include "lppm/grid_cloaking.h"
+
+#include "geo/grid.h"
+
+namespace locpriv::lppm {
+
+GridCloaking::GridCloaking()
+    : ParameterizedMechanism({ParameterSpec{.name = kCellSize,
+                                            .min_value = 1.0,
+                                            .max_value = 50'000.0,
+                                            .default_value = 200.0,
+                                            .scale = Scale::kLog,
+                                            .unit = "m",
+                                            .description = "edge of the cloaking cell"}}) {}
+
+GridCloaking::GridCloaking(double cell_size_m) : GridCloaking() {
+  set_parameter(kCellSize, cell_size_m);
+}
+
+const std::string& GridCloaking::name() const {
+  static const std::string kName = "grid-cloaking";
+  return kName;
+}
+
+trace::Trace GridCloaking::protect(const trace::Trace& input, std::uint64_t /*seed*/) const {
+  const geo::Grid grid(cell_size());
+  return input.map_locations([&](const trace::Event& e) { return grid.snap(e.location); });
+}
+
+}  // namespace locpriv::lppm

@@ -1,0 +1,25 @@
+// Spatial cloaking by grid discretization: every report snaps to the
+// center of its grid cell. Deterministic (no randomness to seed) —
+// k-anonymity-style spatial generalization reduced to its simplest form.
+#pragma once
+
+#include "lppm/mechanism.h"
+
+namespace locpriv::lppm {
+
+class GridCloaking final : public ParameterizedMechanism {
+ public:
+  /// Parameter "cell_size" in meters, default 200, log-sweepable over
+  /// [1, 50000].
+  GridCloaking();
+  explicit GridCloaking(double cell_size_m);
+
+  [[nodiscard]] const std::string& name() const override;
+  [[nodiscard]] trace::Trace protect(const trace::Trace& input, std::uint64_t seed) const override;
+
+  [[nodiscard]] double cell_size() const { return parameter(kCellSize); }
+
+  static constexpr const char* kCellSize = "cell_size";
+};
+
+}  // namespace locpriv::lppm

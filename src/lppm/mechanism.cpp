@@ -1,0 +1,55 @@
+#include "lppm/mechanism.h"
+
+#include <stdexcept>
+
+#include "stats/rng.h"
+
+namespace locpriv::lppm {
+
+trace::Dataset Mechanism::protect_dataset(const trace::Dataset& input, std::uint64_t seed) const {
+  trace::Dataset out;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    out.add(protect(input[i], stats::derive_seed(seed, i)));
+  }
+  return out;
+}
+
+ParameterizedMechanism::ParameterizedMechanism(std::vector<ParameterSpec> specs)
+    : specs_(std::move(specs)) {
+  for (const ParameterSpec& spec : specs_) {
+    if (!(spec.min_value <= spec.max_value)) {
+      throw std::invalid_argument("ParameterSpec '" + spec.name + "': min > max");
+    }
+    if (!spec.in_range(spec.default_value)) {
+      throw std::invalid_argument("ParameterSpec '" + spec.name + "': default outside range");
+    }
+    if (!values_.emplace(spec.name, spec.default_value).second) {
+      throw std::invalid_argument("ParameterSpec '" + spec.name + "': duplicate name");
+    }
+  }
+}
+
+void ParameterizedMechanism::set_parameter(const std::string& param, double value) {
+  const auto it = values_.find(param);
+  if (it == values_.end()) {
+    throw std::invalid_argument(name() + ": unknown parameter '" + param + "'");
+  }
+  for (const ParameterSpec& spec : specs_) {
+    if (spec.name == param && !spec.in_range(value)) {
+      throw std::out_of_range(name() + ": parameter '" + param + "' = " + std::to_string(value) +
+                              " outside [" + std::to_string(spec.min_value) + ", " +
+                              std::to_string(spec.max_value) + "]");
+    }
+  }
+  it->second = value;
+}
+
+double ParameterizedMechanism::parameter(const std::string& param) const {
+  const auto it = values_.find(param);
+  if (it == values_.end()) {
+    throw std::invalid_argument(name() + ": unknown parameter '" + param + "'");
+  }
+  return it->second;
+}
+
+}  // namespace locpriv::lppm

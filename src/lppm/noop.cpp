@@ -1,0 +1,14 @@
+#include "lppm/noop.h"
+
+namespace locpriv::lppm {
+
+const std::string& NoopMechanism::name() const {
+  static const std::string kName = "noop";
+  return kName;
+}
+
+trace::Trace NoopMechanism::protect(const trace::Trace& input, std::uint64_t /*seed*/) const {
+  return input;
+}
+
+}  // namespace locpriv::lppm

@@ -1,0 +1,18 @@
+// Identity mechanism — no protection. Anchors the privacy/utility
+// extremes in comparisons and doubles as a null object where a
+// Mechanism is required.
+#pragma once
+
+#include "lppm/mechanism.h"
+
+namespace locpriv::lppm {
+
+class NoopMechanism final : public ParameterizedMechanism {
+ public:
+  NoopMechanism() : ParameterizedMechanism({}) {}
+
+  [[nodiscard]] const std::string& name() const override;
+  [[nodiscard]] trace::Trace protect(const trace::Trace& input, std::uint64_t seed) const override;
+};
+
+}  // namespace locpriv::lppm

@@ -1,0 +1,158 @@
+#include "lppm/online.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "geo/grid.h"
+#include "lppm/dropout.h"
+#include "lppm/gaussian.h"
+#include "lppm/geo_ind.h"
+#include "lppm/grid_cloaking.h"
+#include "lppm/noop.h"
+#include "lppm/temporal_cloaking.h"
+
+namespace locpriv::lppm {
+namespace {
+
+class GeoIndSession final : public StreamSession {
+ public:
+  GeoIndSession(double epsilon, std::uint64_t seed) : epsilon_(epsilon), rng_(seed) {}
+  std::optional<trace::Event> report(const trace::Event& e) override {
+    return trace::Event{e.time, e.location + stats::sample_planar_laplace(rng_, epsilon_)};
+  }
+
+ private:
+  double epsilon_;
+  stats::Rng rng_;
+};
+
+class GaussianSession final : public StreamSession {
+ public:
+  GaussianSession(double sigma, std::uint64_t seed) : sigma_(sigma), rng_(seed) {}
+  std::optional<trace::Event> report(const trace::Event& e) override {
+    return trace::Event{e.time, {e.location.x + rng_.normal(0.0, sigma_),
+                                 e.location.y + rng_.normal(0.0, sigma_)}};
+  }
+
+ private:
+  double sigma_;
+  stats::Rng rng_;
+};
+
+class GridSession final : public StreamSession {
+ public:
+  explicit GridSession(double cell_size) : grid_(cell_size) {}
+  std::optional<trace::Event> report(const trace::Event& e) override {
+    return trace::Event{e.time, grid_.snap(e.location)};
+  }
+
+ private:
+  geo::Grid grid_;
+};
+
+class TemporalSession final : public StreamSession {
+ public:
+  explicit TemporalSession(trace::Timestamp window) : window_(window) {}
+  std::optional<trace::Event> report(const trace::Event& e) override {
+    trace::Timestamp q = e.time / window_;
+    if (e.time % window_ != 0 && e.time < 0) --q;
+    return trace::Event{q * window_, e.location};
+  }
+
+ private:
+  trace::Timestamp window_;
+};
+
+class DropoutSession final : public StreamSession {
+ public:
+  DropoutSession(double keep, std::uint64_t seed) : keep_(keep), rng_(seed) {}
+  std::optional<trace::Event> report(const trace::Event& e) override {
+    if (!rng_.bernoulli(keep_)) return std::nullopt;
+    return e;
+  }
+
+ private:
+  double keep_;
+  stats::Rng rng_;
+};
+
+class NoopSession final : public StreamSession {
+ public:
+  std::optional<trace::Event> report(const trace::Event& e) override { return e; }
+};
+
+}  // namespace
+
+std::unique_ptr<StreamSession> make_stream_session(const Mechanism& mechanism,
+                                                   std::uint64_t seed) {
+  const std::string& name = mechanism.name();
+  if (name == "geo-indistinguishability") {
+    return std::make_unique<GeoIndSession>(
+        mechanism.parameter(GeoIndistinguishability::kEpsilon), seed);
+  }
+  if (name == "gaussian-perturbation") {
+    return std::make_unique<GaussianSession>(mechanism.parameter(GaussianPerturbation::kSigma),
+                                             seed);
+  }
+  if (name == "grid-cloaking") {
+    return std::make_unique<GridSession>(mechanism.parameter(GridCloaking::kCellSize));
+  }
+  if (name == "temporal-cloaking") {
+    return std::make_unique<TemporalSession>(
+        static_cast<trace::Timestamp>(mechanism.parameter(TemporalCloaking::kWindow)));
+  }
+  if (name == "release-dropout") {
+    return std::make_unique<DropoutSession>(mechanism.parameter(ReleaseDropout::kKeepProbability),
+                                            seed);
+  }
+  if (name == "noop") return std::make_unique<NoopSession>();
+  throw std::invalid_argument("make_stream_session: mechanism '" + name +
+                              "' has no streaming semantics (it needs the whole trajectory)");
+}
+
+GeoIndBudget::GeoIndBudget(double eps_per_report, double budget, trace::Timestamp window_s)
+    : eps_per_report_(eps_per_report), budget_(budget), window_s_(window_s) {
+  if (!(eps_per_report > 0.0)) throw std::invalid_argument("GeoIndBudget: eps must be > 0");
+  if (!(budget > 0.0)) throw std::invalid_argument("GeoIndBudget: budget must be > 0");
+  if (window_s <= 0) throw std::invalid_argument("GeoIndBudget: window must be > 0");
+}
+
+void GeoIndBudget::evict(trace::Timestamp now) const {
+  const trace::Timestamp cutoff = now - window_s_;
+  const auto first_kept = std::upper_bound(consumed_.begin(), consumed_.end(), cutoff);
+  consumed_.erase(consumed_.begin(), first_kept);
+}
+
+double GeoIndBudget::spent(trace::Timestamp now) const {
+  evict(now);
+  return static_cast<double>(consumed_.size()) * eps_per_report_;
+}
+
+bool GeoIndBudget::can_consume(trace::Timestamp now) const {
+  return spent(now) + eps_per_report_ <= budget_ + 1e-12;
+}
+
+bool GeoIndBudget::try_consume(trace::Timestamp now) {
+  if (!consumed_.empty() && now < consumed_.back()) {
+    throw std::invalid_argument("GeoIndBudget: reports must arrive in time order");
+  }
+  if (!can_consume(now)) return false;
+  consumed_.push_back(now);
+  return true;
+}
+
+BudgetedGeoIndSession::BudgetedGeoIndSession(double epsilon, GeoIndBudget budget,
+                                             std::uint64_t seed)
+    : epsilon_(epsilon), budget_(std::move(budget)), rng_(seed) {
+  if (!(epsilon > 0.0)) throw std::invalid_argument("BudgetedGeoIndSession: epsilon must be > 0");
+}
+
+std::optional<trace::Event> BudgetedGeoIndSession::report(const trace::Event& e) {
+  if (!budget_.try_consume(e.time)) {
+    ++suppressed_;
+    return std::nullopt;
+  }
+  return trace::Event{e.time, e.location + stats::sample_planar_laplace(rng_, epsilon_)};
+}
+
+}  // namespace locpriv::lppm

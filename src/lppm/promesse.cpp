@@ -1,0 +1,44 @@
+#include "lppm/promesse.h"
+
+#include <vector>
+
+#include "geo/polyline.h"
+
+namespace locpriv::lppm {
+
+Promesse::Promesse()
+    : ParameterizedMechanism({ParameterSpec{.name = kAlpha,
+                                            .min_value = 1.0,
+                                            .max_value = 10'000.0,
+                                            .default_value = 100.0,
+                                            .scale = Scale::kLog,
+                                            .unit = "m",
+                                            .description = "uniform spatial resampling distance"}}) {}
+
+Promesse::Promesse(double alpha_m) : Promesse() { set_parameter(kAlpha, alpha_m); }
+
+const std::string& Promesse::name() const {
+  static const std::string kName = "promesse";
+  return kName;
+}
+
+trace::Trace Promesse::protect(const trace::Trace& input, std::uint64_t /*seed*/) const {
+  if (input.size() < 2) return input;
+  const std::vector<geo::Point> resampled = geo::resample_by_arclength(input.points(), alpha());
+  const trace::Timestamp t0 = input.front().time;
+  const trace::Timestamp span = input.duration();
+  std::vector<trace::Event> events;
+  events.reserve(resampled.size());
+  const std::size_t n = resampled.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const trace::Timestamp t =
+        n > 1 ? t0 + static_cast<trace::Timestamp>(
+                         static_cast<double>(span) * static_cast<double>(i) /
+                         static_cast<double>(n - 1))
+              : t0;
+    events.push_back({t, resampled[i]});
+  }
+  return {input.user_id(), std::move(events)};
+}
+
+}  // namespace locpriv::lppm

@@ -1,0 +1,30 @@
+// Promesse-style speed smoothing (Primault et al.) — hides POIs by
+// erasing the dwell-time signal rather than by adding spatial noise.
+//
+// The trace's geometry is resampled to points exactly `alpha` meters
+// apart along the path, and timestamps are re-assigned uniformly over the
+// original time span. A stay (many reports at one place) collapses to at
+// most one resampled vertex, so stop detection finds nothing, while the
+// spatial shape of the route is preserved to within alpha.
+#pragma once
+
+#include "lppm/mechanism.h"
+
+namespace locpriv::lppm {
+
+class Promesse final : public ParameterizedMechanism {
+ public:
+  /// Parameter "alpha" in meters (resampling distance), default 100,
+  /// log-sweepable over [1, 10000].
+  Promesse();
+  explicit Promesse(double alpha_m);
+
+  [[nodiscard]] const std::string& name() const override;
+  [[nodiscard]] trace::Trace protect(const trace::Trace& input, std::uint64_t seed) const override;
+
+  [[nodiscard]] double alpha() const { return parameter(kAlpha); }
+
+  static constexpr const char* kAlpha = "alpha";
+};
+
+}  // namespace locpriv::lppm

@@ -1,0 +1,20 @@
+// Name-based mechanism factory, so tools (benches, examples, the
+// greedy/model configurators) can be mechanism-agnostic.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lppm/mechanism.h"
+
+namespace locpriv::lppm {
+
+/// Names of all built-in mechanisms.
+[[nodiscard]] std::vector<std::string> mechanism_names();
+
+/// Creates a mechanism by name with default parameters. Throws
+/// std::invalid_argument for an unknown name (message lists valid names).
+[[nodiscard]] std::unique_ptr<Mechanism> create_mechanism(const std::string& name);
+
+}  // namespace locpriv::lppm

@@ -1,0 +1,39 @@
+#include "lppm/simplification.h"
+
+#include <vector>
+
+#include "geo/polyline.h"
+
+namespace locpriv::lppm {
+
+PathSimplification::PathSimplification()
+    : ParameterizedMechanism({ParameterSpec{.name = kTolerance,
+                                            .min_value = 1.0,
+                                            .max_value = 10'000.0,
+                                            .default_value = 100.0,
+                                            .scale = Scale::kLog,
+                                            .unit = "m",
+                                            .description =
+                                                "Douglas-Peucker deviation tolerance"}}) {}
+
+PathSimplification::PathSimplification(double tolerance_m) : PathSimplification() {
+  set_parameter(kTolerance, tolerance_m);
+}
+
+const std::string& PathSimplification::name() const {
+  static const std::string kName = "path-simplification";
+  return kName;
+}
+
+trace::Trace PathSimplification::protect(const trace::Trace& input,
+                                         std::uint64_t /*seed*/) const {
+  if (input.size() < 3) return input;
+  const std::vector<geo::Point> pts = input.points();
+  const std::vector<std::size_t> keep = geo::simplify_indices(pts, tolerance());
+  std::vector<trace::Event> events;
+  events.reserve(keep.size());
+  for (const std::size_t i : keep) events.push_back(input[i]);
+  return {input.user_id(), std::move(events)};
+}
+
+}  // namespace locpriv::lppm

@@ -1,0 +1,31 @@
+// Path-simplification LPPM: release only the Douglas-Peucker skeleton of
+// the trajectory.
+//
+// Dropping every report within `tolerance` of the simplified path hides
+// fine-grained movement (hesitations, small detours, the jitter inside a
+// stay) while preserving the route's coarse geometry — a
+// generalization-style defense that also compresses the release. Like
+// Promesse it changes the event count, exercising the metrics'
+// nearest-in-time pairing path.
+#pragma once
+
+#include "lppm/mechanism.h"
+
+namespace locpriv::lppm {
+
+class PathSimplification final : public ParameterizedMechanism {
+ public:
+  /// Parameter "tolerance" in meters, default 100, log-sweepable over
+  /// [1, 10000].
+  PathSimplification();
+  explicit PathSimplification(double tolerance_m);
+
+  [[nodiscard]] const std::string& name() const override;
+  [[nodiscard]] trace::Trace protect(const trace::Trace& input, std::uint64_t seed) const override;
+
+  [[nodiscard]] double tolerance() const { return parameter(kTolerance); }
+
+  static constexpr const char* kTolerance = "tolerance";
+};
+
+}  // namespace locpriv::lppm

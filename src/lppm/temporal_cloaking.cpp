@@ -1,0 +1,39 @@
+#include "lppm/temporal_cloaking.h"
+
+#include <cmath>
+#include <vector>
+
+namespace locpriv::lppm {
+
+TemporalCloaking::TemporalCloaking()
+    : ParameterizedMechanism({ParameterSpec{.name = kWindow,
+                                            .min_value = 1.0,
+                                            .max_value = 86'400.0,
+                                            .default_value = 900.0,
+                                            .scale = Scale::kLog,
+                                            .unit = "s",
+                                            .description = "timestamp rounding window"}}) {}
+
+TemporalCloaking::TemporalCloaking(double window_s) : TemporalCloaking() {
+  set_parameter(kWindow, window_s);
+}
+
+const std::string& TemporalCloaking::name() const {
+  static const std::string kName = "temporal-cloaking";
+  return kName;
+}
+
+trace::Trace TemporalCloaking::protect(const trace::Trace& input, std::uint64_t /*seed*/) const {
+  const auto w = static_cast<trace::Timestamp>(window());
+  std::vector<trace::Event> events;
+  events.reserve(input.size());
+  for (const trace::Event& e : input) {
+    // floor division that also handles negative timestamps
+    trace::Timestamp q = e.time / w;
+    if (e.time % w != 0 && e.time < 0) --q;
+    events.push_back({q * w, e.location});
+  }
+  return {input.user_id(), std::move(events)};
+}
+
+}  // namespace locpriv::lppm

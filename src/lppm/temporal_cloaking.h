@@ -1,0 +1,27 @@
+// Temporal cloaking: timestamps are rounded down to a window boundary,
+// hiding *when* within the window a place was visited. Locations are
+// untouched; this mechanism exists to exercise the framework on a knob
+// that trades a different resource (temporal precision) than the
+// spatial mechanisms do.
+#pragma once
+
+#include "lppm/mechanism.h"
+
+namespace locpriv::lppm {
+
+class TemporalCloaking final : public ParameterizedMechanism {
+ public:
+  /// Parameter "window" in seconds, default 900 (15 min), log-sweepable
+  /// over [1, 86400].
+  TemporalCloaking();
+  explicit TemporalCloaking(double window_s);
+
+  [[nodiscard]] const std::string& name() const override;
+  [[nodiscard]] trace::Trace protect(const trace::Trace& input, std::uint64_t seed) const override;
+
+  [[nodiscard]] double window() const { return parameter(kWindow); }
+
+  static constexpr const char* kWindow = "window";
+};
+
+}  // namespace locpriv::lppm

@@ -1,0 +1,28 @@
+#include "metrics/area_coverage.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "geo/grid.h"
+
+namespace locpriv::metrics {
+
+AreaCoverage::AreaCoverage(double cell_size_m, Flavor flavor)
+    : cell_size_m_(cell_size_m), flavor_(flavor) {
+  if (!(cell_size_m > 0.0)) throw std::invalid_argument("AreaCoverage: cell size must be > 0");
+  name_ = flavor == Flavor::kF1 ? "area-coverage-f1" : "area-coverage-jaccard";
+}
+
+const std::string& AreaCoverage::name() const { return name_; }
+
+double AreaCoverage::evaluate_trace(const trace::Trace& actual,
+                                    const trace::Trace& protected_trace) const {
+  const geo::Grid grid(cell_size_m_);
+  const std::vector<geo::Point> actual_pts = actual.points();
+  const std::vector<geo::Point> prot_pts = protected_trace.points();
+  const geo::CellSet a = grid.covered_cells(actual_pts);
+  const geo::CellSet p = grid.covered_cells(prot_pts);
+  return flavor_ == Flavor::kF1 ? geo::f1_score(a, p) : geo::jaccard(a, p);
+}
+
+}  // namespace locpriv::metrics

@@ -1,0 +1,22 @@
+#include "metrics/dtw_metric.h"
+
+#include <vector>
+
+namespace locpriv::metrics {
+
+DtwDistortion::DtwDistortion(stats::DtwOptions options) : options_(options) {}
+
+const std::string& DtwDistortion::name() const {
+  static const std::string kName = "dtw-distortion";
+  return kName;
+}
+
+double DtwDistortion::evaluate_trace(const trace::Trace& actual,
+                                     const trace::Trace& protected_trace) const {
+  if (actual.empty() || protected_trace.empty()) return 0.0;
+  const std::vector<geo::Point> a = actual.points();
+  const std::vector<geo::Point> p = protected_trace.points();
+  return stats::dtw(a, p, options_).normalized_cost();
+}
+
+}  // namespace locpriv::metrics

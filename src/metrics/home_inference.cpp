@@ -1,0 +1,25 @@
+#include "metrics/home_inference.h"
+
+#include <stdexcept>
+
+namespace locpriv::metrics {
+
+HomeInferenceRate::HomeInferenceRate(attack::HomeWorkConfig cfg, double tolerance_m)
+    : cfg_(cfg), tolerance_m_(tolerance_m) {
+  if (!(tolerance_m > 0.0)) throw std::invalid_argument("HomeInferenceRate: tolerance must be > 0");
+}
+
+const std::string& HomeInferenceRate::name() const {
+  static const std::string kName = "home-inference-rate";
+  return kName;
+}
+
+double HomeInferenceRate::evaluate_trace(const trace::Trace& actual,
+                                         const trace::Trace& protected_trace) const {
+  const attack::HomeWorkResult truth = attack::infer_home_work(actual, cfg_);
+  if (!truth.home.has_value()) return 0.0;
+  const attack::HomeWorkResult guess = attack::infer_home_work(protected_trace, cfg_);
+  return attack::location_hit(guess.home, *truth.home, tolerance_m_) ? 1.0 : 0.0;
+}
+
+}  // namespace locpriv::metrics

@@ -1,0 +1,31 @@
+#include "metrics/metric.h"
+
+#include <stdexcept>
+
+namespace locpriv::metrics {
+
+void require_paired(const trace::Dataset& actual, const trace::Dataset& protected_data) {
+  if (actual.size() != protected_data.size()) {
+    throw std::invalid_argument("metric: datasets have different sizes");
+  }
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (actual[i].user_id() != protected_data[i].user_id()) {
+      throw std::invalid_argument("metric: user mismatch at index " + std::to_string(i) + " ('" +
+                                  actual[i].user_id() + "' vs '" + protected_data[i].user_id() +
+                                  "')");
+    }
+  }
+}
+
+double TraceMetric::evaluate(const trace::Dataset& actual,
+                             const trace::Dataset& protected_data) const {
+  require_paired(actual, protected_data);
+  if (actual.empty()) throw std::invalid_argument("metric: empty dataset");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    sum += evaluate_trace(actual[i], protected_data[i]);
+  }
+  return sum / static_cast<double>(actual.size());
+}
+
+}  // namespace locpriv::metrics

@@ -1,0 +1,65 @@
+// The metric framework — the modularity hinge of the paper.
+//
+// "By using different metrics, a system designer is able to fine-tune
+// her LPPM according to her expected privacy and utility guarantees."
+// A Metric scores a protected dataset against its actual counterpart.
+// The framework never hardcodes which metric it models: any Metric can
+// be placed on either axis of the (Pr, Ut) model.
+#pragma once
+
+#include <string>
+
+#include "trace/dataset.h"
+#include "trace/trace.h"
+
+namespace locpriv::metrics {
+
+/// Which way "better" points for a metric value.
+enum class Direction {
+  kHigherIsMorePrivate,   ///< e.g. spatial entropy gain
+  kLowerIsMorePrivate,    ///< e.g. POI retrieval: retrieved fraction
+  kHigherIsMoreUseful,    ///< e.g. area-coverage F1
+  kLowerIsMoreUseful,     ///< e.g. mean distortion in meters
+};
+
+/// True for the privacy-axis directions.
+[[nodiscard]] constexpr bool is_privacy_direction(Direction d) {
+  return d == Direction::kHigherIsMorePrivate || d == Direction::kLowerIsMorePrivate;
+}
+
+/// A dataset-level evaluation metric.
+class Metric {
+ public:
+  virtual ~Metric() = default;
+
+  /// Stable identifier, e.g. "poi-retrieval".
+  [[nodiscard]] virtual const std::string& name() const = 0;
+
+  [[nodiscard]] virtual Direction direction() const = 0;
+
+  /// Scores `protected_data` against `actual`. Both datasets must pair
+  /// users positionally (same ids, same order) — implementations throw
+  /// std::invalid_argument otherwise.
+  [[nodiscard]] virtual double evaluate(const trace::Dataset& actual,
+                                        const trace::Dataset& protected_data) const = 0;
+};
+
+/// Base for metrics that score each user independently; the dataset
+/// score is the mean over users (the paper evaluates "for each user" and
+/// reports the aggregate).
+class TraceMetric : public Metric {
+ public:
+  /// Per-user score.
+  [[nodiscard]] virtual double evaluate_trace(const trace::Trace& actual,
+                                              const trace::Trace& protected_trace) const = 0;
+
+  /// Mean of per-user scores; verifies the datasets pair up.
+  [[nodiscard]] double evaluate(const trace::Dataset& actual,
+                                const trace::Dataset& protected_data) const override;
+};
+
+/// Throws std::invalid_argument unless the datasets have identical user
+/// ids in identical order. Shared by all metrics.
+void require_paired(const trace::Dataset& actual, const trace::Dataset& protected_data);
+
+}  // namespace locpriv::metrics

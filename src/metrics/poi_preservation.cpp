@@ -1,0 +1,17 @@
+#include "metrics/poi_preservation.h"
+
+namespace locpriv::metrics {
+
+PoiPreservation::PoiPreservation(attack::PoiAttackConfig cfg) : cfg_(cfg) {}
+
+const std::string& PoiPreservation::name() const {
+  static const std::string kName = "poi-preservation";
+  return kName;
+}
+
+double PoiPreservation::evaluate_trace(const trace::Trace& actual,
+                                       const trace::Trace& protected_trace) const {
+  return attack::run_poi_attack(actual, protected_trace, cfg_).match.recall;
+}
+
+}  // namespace locpriv::metrics

@@ -1,0 +1,31 @@
+// POI preservation — the same quantity as PoiRetrieval, read from the
+// other side of the table.
+//
+// For the *adversary*, retrieving POIs from protected data is the privacy
+// loss; for a *consenting* application (a running log, a travel diary,
+// venue check-in analytics), the user's meaningful places surviving
+// protection is the product. Whether POI recoverability is Pr or Ut is a
+// designer's declaration, not a property of the number — registering it
+// on both axes is the sharpest demonstration of the paper's metric
+// modularity.
+#pragma once
+
+#include "attack/poi_attack.h"
+#include "metrics/metric.h"
+
+namespace locpriv::metrics {
+
+class PoiPreservation final : public TraceMetric {
+ public:
+  explicit PoiPreservation(attack::PoiAttackConfig cfg = {});
+
+  [[nodiscard]] const std::string& name() const override;
+  [[nodiscard]] Direction direction() const override { return Direction::kHigherIsMoreUseful; }
+  [[nodiscard]] double evaluate_trace(const trace::Trace& actual,
+                                      const trace::Trace& protected_trace) const override;
+
+ private:
+  attack::PoiAttackConfig cfg_;
+};
+
+}  // namespace locpriv::metrics

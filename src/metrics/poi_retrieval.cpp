@@ -1,0 +1,17 @@
+#include "metrics/poi_retrieval.h"
+
+namespace locpriv::metrics {
+
+PoiRetrieval::PoiRetrieval(attack::PoiAttackConfig cfg) : cfg_(cfg) {}
+
+const std::string& PoiRetrieval::name() const {
+  static const std::string kName = "poi-retrieval";
+  return kName;
+}
+
+double PoiRetrieval::evaluate_trace(const trace::Trace& actual,
+                                    const trace::Trace& protected_trace) const {
+  return attack::run_poi_attack(actual, protected_trace, cfg_).match.recall;
+}
+
+}  // namespace locpriv::metrics

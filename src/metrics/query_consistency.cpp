@@ -1,0 +1,46 @@
+#include "metrics/query_consistency.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace locpriv::metrics {
+
+NearestPoiConsistency::NearestPoiConsistency(std::vector<geo::Point> sites)
+    : sites_(std::move(sites)),
+      index_(sites_.empty() ? throw std::invalid_argument(
+                                  "NearestPoiConsistency: empty site catalog")
+                            : std::span<const geo::Point>(sites_)) {}
+
+const std::string& NearestPoiConsistency::name() const {
+  static const std::string kName = "nearest-poi-consistency";
+  return kName;
+}
+
+double NearestPoiConsistency::evaluate_trace(const trace::Trace& actual,
+                                             const trace::Trace& protected_trace) const {
+  if (actual.empty() || protected_trace.empty()) return 0.0;
+  std::size_t hits = 0;
+  if (actual.size() == protected_trace.size()) {
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+      if (index_.nearest(actual[i].location) == index_.nearest(protected_trace[i].location)) {
+        ++hits;
+      }
+    }
+  } else {
+    // Nearest-in-time pairing, as in the other cardinality-tolerant metrics.
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+      const trace::Timestamp t = actual[i].time;
+      while (j + 1 < protected_trace.size() &&
+             std::llabs(protected_trace[j + 1].time - t) <= std::llabs(protected_trace[j].time - t)) {
+        ++j;
+      }
+      if (index_.nearest(actual[i].location) == index_.nearest(protected_trace[j].location)) {
+        ++hits;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(actual.size());
+}
+
+}  // namespace locpriv::metrics

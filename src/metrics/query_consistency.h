@@ -1,0 +1,36 @@
+// LBS query consistency: does the location-based service still return
+// the same answer when queried from the protected location?
+//
+// Models the paper's motivating LBS use case directly: each report is a
+// "nearest point of interest" query against a fixed site catalog; the
+// metric is the fraction of reports whose nearest site is unchanged
+// under protection. Higher = more useful.
+#pragma once
+
+#include <vector>
+
+#include "geo/kdtree.h"
+#include "geo/point.h"
+#include "metrics/metric.h"
+
+namespace locpriv::metrics {
+
+class NearestPoiConsistency final : public TraceMetric {
+ public:
+  /// `sites` is the service's POI catalog (e.g. restaurants). Throws
+  /// std::invalid_argument when empty.
+  explicit NearestPoiConsistency(std::vector<geo::Point> sites);
+
+  [[nodiscard]] const std::string& name() const override;
+  [[nodiscard]] Direction direction() const override { return Direction::kHigherIsMoreUseful; }
+  [[nodiscard]] double evaluate_trace(const trace::Trace& actual,
+                                      const trace::Trace& protected_trace) const override;
+
+  [[nodiscard]] const std::vector<geo::Point>& sites() const { return sites_; }
+
+ private:
+  std::vector<geo::Point> sites_;
+  geo::KdTree index_;  ///< nearest-site queries in O(log n)
+};
+
+}  // namespace locpriv::metrics

@@ -1,0 +1,69 @@
+#include "metrics/registry.h"
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+#include "metrics/area_coverage.h"
+#include "metrics/cell_hit.h"
+#include "metrics/distortion.h"
+#include "metrics/dtw_metric.h"
+#include "metrics/poi_preservation.h"
+#include "metrics/poi_retrieval.h"
+#include "metrics/home_inference.h"
+#include "metrics/reident_metric.h"
+#include "metrics/spatial_entropy.h"
+#include "metrics/transform.h"
+#include "metrics/trip_length.h"
+#include "metrics/worst_case.h"
+
+namespace locpriv::metrics {
+namespace {
+
+using Factory = std::function<std::unique_ptr<Metric>()>;
+
+const std::map<std::string, Factory>& factories() {
+  static const std::map<std::string, Factory> kFactories = {
+      {"poi-retrieval", [] { return std::make_unique<PoiRetrieval>(); }},
+      {"poi-preservation", [] { return std::make_unique<PoiPreservation>(); }},
+      {"poi-retrieval-worst-case", [] { return std::make_unique<WorstCasePoiRetrieval>(); }},
+      {"area-coverage-f1", [] { return std::make_unique<AreaCoverage>(); }},
+      {"area-coverage-jaccard",
+       [] { return std::make_unique<AreaCoverage>(115.0, AreaCoverage::Flavor::kJaccard); }},
+      {"cell-hit-ratio", [] { return std::make_unique<CellHitRatio>(); }},
+      {"dtw-distortion", [] { return std::make_unique<DtwDistortion>(); }},
+      {"log-dtw-distortion",
+       [] { return std::make_unique<LogTransformedMetric>(std::make_unique<DtwDistortion>()); }},
+      {"mean-distortion", [] { return std::make_unique<MeanDistortion>(); }},
+      {"log-mean-distortion",
+       [] { return std::make_unique<LogTransformedMetric>(std::make_unique<MeanDistortion>()); }},
+      {"reidentification-rate", [] { return std::make_unique<ReidentificationRate>(); }},
+      {"home-inference-rate", [] { return std::make_unique<HomeInferenceRate>(); }},
+      {"trip-length-error", [] { return std::make_unique<TripLengthError>(); }},
+      {"log-trip-length-error",
+       [] { return std::make_unique<LogTransformedMetric>(std::make_unique<TripLengthError>()); }},
+      {"spatial-entropy-gain", [] { return std::make_unique<SpatialEntropyGain>(); }},
+  };
+  return kFactories;
+}
+
+}  // namespace
+
+std::vector<std::string> metric_names() {
+  std::vector<std::string> names;
+  names.reserve(factories().size());
+  for (const auto& [name, factory] : factories()) names.push_back(name);
+  return names;
+}
+
+std::unique_ptr<Metric> create_metric(const std::string& name) {
+  const auto it = factories().find(name);
+  if (it == factories().end()) {
+    std::string msg = "create_metric: unknown metric '" + name + "'; valid names:";
+    for (const std::string& n : metric_names()) msg += " " + n;
+    throw std::invalid_argument(msg);
+  }
+  return it->second();
+}
+
+}  // namespace locpriv::metrics

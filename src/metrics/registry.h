@@ -1,0 +1,20 @@
+// Name-based metric factory with default configurations, mirroring the
+// mechanism registry so experiment tooling stays fully declarative.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/metric.h"
+
+namespace locpriv::metrics {
+
+/// Names of all built-in metrics.
+[[nodiscard]] std::vector<std::string> metric_names();
+
+/// Creates a metric by name with default parameters. Throws
+/// std::invalid_argument for an unknown name (message lists valid names).
+[[nodiscard]] std::unique_ptr<Metric> create_metric(const std::string& name);
+
+}  // namespace locpriv::metrics

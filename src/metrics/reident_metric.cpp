@@ -1,0 +1,18 @@
+#include "metrics/reident_metric.h"
+
+namespace locpriv::metrics {
+
+ReidentificationRate::ReidentificationRate(attack::ReidentConfig cfg) : cfg_(cfg) {}
+
+const std::string& ReidentificationRate::name() const {
+  static const std::string kName = "reidentification-rate";
+  return kName;
+}
+
+double ReidentificationRate::evaluate(const trace::Dataset& actual,
+                                      const trace::Dataset& protected_data) const {
+  require_paired(actual, protected_data);
+  return attack::run_reident_attack(actual, protected_data, cfg_).accuracy;
+}
+
+}  // namespace locpriv::metrics

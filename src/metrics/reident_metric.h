@@ -1,0 +1,27 @@
+// Re-identification rate as a privacy metric: the fraction of users an
+// adversary links back to their historical traces. Inherently a
+// dataset-level metric (linkage is competitive across users), so it
+// implements Metric directly rather than TraceMetric.
+#pragma once
+
+#include "attack/reident.h"
+#include "metrics/metric.h"
+
+namespace locpriv::metrics {
+
+class ReidentificationRate final : public Metric {
+ public:
+  explicit ReidentificationRate(attack::ReidentConfig cfg = {});
+
+  [[nodiscard]] const std::string& name() const override;
+  [[nodiscard]] Direction direction() const override {
+    return Direction::kLowerIsMorePrivate;
+  }
+  [[nodiscard]] double evaluate(const trace::Dataset& actual,
+                                const trace::Dataset& protected_data) const override;
+
+ private:
+  attack::ReidentConfig cfg_;
+};
+
+}  // namespace locpriv::metrics

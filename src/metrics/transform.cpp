@@ -1,0 +1,24 @@
+#include "metrics/transform.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace locpriv::metrics {
+
+LogTransformedMetric::LogTransformedMetric(std::unique_ptr<const Metric> inner)
+    : inner_(std::move(inner)) {
+  if (!inner_) throw std::invalid_argument("LogTransformedMetric: null inner metric");
+  name_ = "log-" + inner_->name();
+}
+
+double LogTransformedMetric::evaluate(const trace::Dataset& actual,
+                                      const trace::Dataset& protected_data) const {
+  const double v = inner_->evaluate(actual, protected_data);
+  if (v < 0.0) {
+    throw std::domain_error("LogTransformedMetric: inner metric '" + inner_->name() +
+                            "' returned a negative value (" + std::to_string(v) + ")");
+  }
+  return std::log1p(v);
+}
+
+}  // namespace locpriv::metrics

@@ -1,0 +1,24 @@
+#include "metrics/trip_length.h"
+
+#include <cmath>
+#include <vector>
+
+#include "geo/polyline.h"
+
+namespace locpriv::metrics {
+
+const std::string& TripLengthError::name() const {
+  static const std::string kName = "trip-length-error";
+  return kName;
+}
+
+double TripLengthError::evaluate_trace(const trace::Trace& actual,
+                                       const trace::Trace& protected_trace) const {
+  const std::vector<geo::Point> a = actual.points();
+  const std::vector<geo::Point> p = protected_trace.points();
+  const double actual_len = geo::path_length(a);
+  if (actual_len <= 0.0) return 0.0;
+  return std::abs(geo::path_length(p) - actual_len) / actual_len;
+}
+
+}  // namespace locpriv::metrics

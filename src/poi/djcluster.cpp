@@ -1,0 +1,78 @@
+#include "poi/djcluster.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "geo/kdtree.h"
+
+namespace locpriv::poi {
+
+std::vector<Poi> extract_pois_djcluster(const trace::Trace& t, const DjClusterConfig& cfg) {
+  if (!(cfg.eps_m > 0.0)) throw std::invalid_argument("djcluster: eps must be > 0");
+  if (cfg.min_pts < 2) throw std::invalid_argument("djcluster: min_pts must be >= 2");
+  const std::size_t n = t.size();
+  if (n == 0) return {};
+
+  const std::vector<geo::Point> pts = t.points();
+  const geo::KdTree index(pts);
+
+  // Identify core points.
+  std::vector<std::vector<std::size_t>> neighborhoods(n);
+  std::vector<bool> is_core(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    neighborhoods[i] = index.within_radius(pts[i], cfg.eps_m);
+    is_core[i] = neighborhoods[i].size() >= cfg.min_pts;
+  }
+
+  // Flood-fill connected components of core points; attach borders.
+  constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> cluster_of(n, kUnassigned);
+  std::size_t cluster_count = 0;
+  std::vector<std::size_t> stack;
+  for (std::size_t seed = 0; seed < n; ++seed) {
+    if (!is_core[seed] || cluster_of[seed] != kUnassigned) continue;
+    const std::size_t cluster = cluster_count++;
+    stack.assign(1, seed);
+    cluster_of[seed] = cluster;
+    while (!stack.empty()) {
+      const std::size_t i = stack.back();
+      stack.pop_back();
+      for (const std::size_t j : neighborhoods[i]) {
+        if (cluster_of[j] != kUnassigned) continue;
+        cluster_of[j] = cluster;            // border or core: joins the cluster
+        if (is_core[j]) stack.push_back(j); // only cores extend the frontier
+      }
+    }
+  }
+
+  // Aggregate clusters into POIs. Dwell attribution: each point carries
+  // the gap to its successor (last point contributes nothing).
+  struct Accumulator {
+    geo::Point sum{0, 0};
+    std::size_t count = 0;
+    trace::Timestamp dwell = 0;
+  };
+  std::vector<Accumulator> acc(cluster_count);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = cluster_of[i];
+    if (c == kUnassigned) continue;
+    acc[c].sum += pts[i];
+    ++acc[c].count;
+    if (i + 1 < n) acc[c].dwell += t[i + 1].time - t[i].time;
+  }
+
+  std::vector<Poi> pois;
+  pois.reserve(cluster_count);
+  for (const Accumulator& a : acc) {
+    Poi p;
+    p.center = a.sum / static_cast<double>(a.count);
+    p.visit_count = a.count;
+    p.total_duration = a.dwell;
+    pois.push_back(p);
+  }
+  std::sort(pois.begin(), pois.end(),
+            [](const Poi& a, const Poi& b) { return a.visit_count > b.visit_count; });
+  return pois;
+}
+
+}  // namespace locpriv::poi

@@ -1,0 +1,34 @@
+// DJ-Cluster POI extraction (Zhou et al.), the density-based alternative
+// to the stay-point algorithm — and the extractor used in several of the
+// paper authors' own works.
+//
+// A point is a *core* point when at least `min_pts` points (itself
+// included) lie within `eps_m` of it; clusters are the connected
+// components of core points under the eps neighborhood relation, with
+// border points attached to the cluster of a core neighbor. Unlike the
+// stay-point algorithm it ignores timestamps entirely, so it finds
+// places revisited across gaps — at the price of needing a density
+// threshold instead of a dwell threshold.
+#pragma once
+
+#include <vector>
+
+#include "poi/poi.h"
+#include "trace/trace.h"
+
+namespace locpriv::poi {
+
+struct DjClusterConfig {
+  double eps_m = 100.0;       ///< neighborhood radius
+  std::size_t min_pts = 10;   ///< density threshold (points)
+};
+
+/// Runs DJ-Cluster over the trace's locations. Returns POIs (cluster
+/// centroids) ordered by descending support (points in cluster); the
+/// Poi::total_duration field holds the summed inter-report dwell of the
+/// cluster's points, visit_count the point count.
+/// Throws std::invalid_argument on non-positive eps or min_pts < 2.
+[[nodiscard]] std::vector<Poi> extract_pois_djcluster(const trace::Trace& t,
+                                                      const DjClusterConfig& cfg);
+
+}  // namespace locpriv::poi

@@ -1,0 +1,32 @@
+#include "poi/matching.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace locpriv::poi {
+
+MatchResult match_pois(const std::vector<Poi>& actual, const std::vector<Poi>& retrieved,
+                       double match_radius_m) {
+  if (!(match_radius_m >= 0.0)) throw std::invalid_argument("match_pois: negative match radius");
+  MatchResult r;
+  r.actual_count = actual.size();
+  if (actual.empty()) return r;
+
+  double distance_sum = 0.0;
+  for (const Poi& a : actual) {
+    double nearest = std::numeric_limits<double>::infinity();
+    for (const Poi& p : retrieved) {
+      nearest = std::min(nearest, geo::distance(a.center, p.center));
+    }
+    if (nearest <= match_radius_m) {
+      ++r.retrieved_count;
+      distance_sum += nearest;
+    }
+  }
+  r.recall = static_cast<double>(r.retrieved_count) / static_cast<double>(r.actual_count);
+  r.mean_match_distance_m =
+      r.retrieved_count > 0 ? distance_sum / static_cast<double>(r.retrieved_count) : 0.0;
+  return r;
+}
+
+}  // namespace locpriv::poi

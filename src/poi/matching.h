@@ -1,0 +1,29 @@
+// POI matching: how many of the actual POIs does a protected trace still
+// reveal? The paper's privacy metric is the retrieved fraction.
+#pragma once
+
+#include <vector>
+
+#include "poi/poi.h"
+
+namespace locpriv::poi {
+
+/// Result of matching `retrieved` POIs against `actual` ones.
+struct MatchResult {
+  std::size_t actual_count = 0;
+  std::size_t retrieved_count = 0;  ///< actual POIs with a retrieved POI nearby
+  /// retrieved_count / actual_count; 0 when there are no actual POIs
+  /// (nothing to leak means nothing leaked).
+  double recall = 0.0;
+  /// Mean distance from each matched actual POI to its nearest retrieved
+  /// POI (0 when none matched).
+  double mean_match_distance_m = 0.0;
+};
+
+/// Greedy nearest matching: an actual POI counts as retrieved when some
+/// retrieved POI lies within `match_radius_m`. Each retrieved POI can
+/// witness any number of actual POIs (the attack only needs existence).
+[[nodiscard]] MatchResult match_pois(const std::vector<Poi>& actual,
+                                     const std::vector<Poi>& retrieved, double match_radius_m);
+
+}  // namespace locpriv::poi

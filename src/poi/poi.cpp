@@ -1,0 +1,24 @@
+#include "poi/poi.h"
+
+#include <stdexcept>
+
+namespace locpriv::poi {
+
+Poi merge_stays(const std::vector<StayPoint>& stays) {
+  if (stays.empty()) throw std::invalid_argument("merge_stays: empty stay list");
+  Poi p;
+  double weight_sum = 0.0;
+  geo::Point weighted{0, 0};
+  for (const StayPoint& s : stays) {
+    // Weight by duration, with a 1 s floor so zero-length stays still count.
+    const double w = static_cast<double>(std::max<trace::Timestamp>(s.duration(), 1));
+    weighted += s.center * w;
+    weight_sum += w;
+    p.total_duration += s.duration();
+    ++p.visit_count;
+  }
+  p.center = weighted / weight_sum;
+  return p;
+}
+
+}  // namespace locpriv::poi

@@ -1,0 +1,32 @@
+// Point-of-interest model: a meaningful place where a user made
+// significant stops.
+#pragma once
+
+#include <vector>
+
+#include "geo/point.h"
+#include "trace/event.h"
+
+namespace locpriv::poi {
+
+/// A contiguous stay detected in a trace.
+struct StayPoint {
+  geo::Point center;               ///< centroid of the stay's reports
+  trace::Timestamp start = 0;
+  trace::Timestamp end = 0;
+  std::size_t event_count = 0;
+
+  [[nodiscard]] trace::Timestamp duration() const { return end - start; }
+};
+
+/// A POI: one or more stays aggregated at (roughly) the same place.
+struct Poi {
+  geo::Point center;               ///< duration-weighted centroid of stays
+  trace::Timestamp total_duration = 0;
+  std::size_t visit_count = 0;     ///< number of merged stays
+};
+
+/// Duration-weighted merge of stays into one Poi. Requires non-empty input.
+[[nodiscard]] Poi merge_stays(const std::vector<StayPoint>& stays);
+
+}  // namespace locpriv::poi

@@ -1,0 +1,76 @@
+#include "poi/staypoint.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace locpriv::poi {
+
+std::vector<StayPoint> extract_stay_points(const trace::Trace& t, const ExtractorConfig& cfg) {
+  if (!(cfg.max_distance_m > 0.0)) {
+    throw std::invalid_argument("extract_stay_points: max_distance must be > 0");
+  }
+  if (cfg.min_duration_s <= 0) {
+    throw std::invalid_argument("extract_stay_points: min_duration must be > 0");
+  }
+
+  std::vector<StayPoint> stays;
+  const std::size_t n = t.size();
+  std::size_t i = 0;
+  while (i < n) {
+    // Grow the window while reports stay near the anchor location.
+    const geo::Point anchor = t[i].location;
+    std::size_t j = i + 1;
+    while (j < n && geo::distance(anchor, t[j].location) <= cfg.max_distance_m) ++j;
+    // Window [i, j) ended; significant if it lasted long enough.
+    const trace::Timestamp dwell = t[j - 1].time - t[i].time;
+    if (j - i >= 2 && dwell >= cfg.min_duration_s) {
+      geo::Point sum{0, 0};
+      for (std::size_t k = i; k < j; ++k) sum += t[k].location;
+      stays.push_back({sum / static_cast<double>(j - i), t[i].time, t[j - 1].time, j - i});
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return stays;
+}
+
+std::vector<Poi> extract_pois(const trace::Trace& t, const ExtractorConfig& cfg) {
+  if (!(cfg.merge_radius_m >= 0.0)) {
+    throw std::invalid_argument("extract_pois: merge_radius must be >= 0");
+  }
+  const std::vector<StayPoint> stays = extract_stay_points(t, cfg);
+
+  // Greedy agglomeration: each stay joins the first cluster whose running
+  // centroid is within merge_radius, else starts a new cluster. For the
+  // handful of stays per trace this is plenty.
+  std::vector<std::vector<StayPoint>> clusters;
+  std::vector<geo::Point> centroids;
+  for (const StayPoint& s : stays) {
+    bool placed = false;
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+      if (geo::distance(centroids[c], s.center) <= cfg.merge_radius_m) {
+        clusters[c].push_back(s);
+        // Running unweighted centroid of member stays.
+        geo::Point sum{0, 0};
+        for (const StayPoint& m : clusters[c]) sum += m.center;
+        centroids[c] = sum / static_cast<double>(clusters[c].size());
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      clusters.push_back({s});
+      centroids.push_back(s.center);
+    }
+  }
+
+  std::vector<Poi> pois;
+  pois.reserve(clusters.size());
+  for (const auto& cluster : clusters) pois.push_back(merge_stays(cluster));
+  std::sort(pois.begin(), pois.end(),
+            [](const Poi& a, const Poi& b) { return a.total_duration > b.total_duration; });
+  return pois;
+}
+
+}  // namespace locpriv::poi

@@ -1,0 +1,31 @@
+// Stay-point extraction and POI clustering.
+//
+// Two-phase pipeline, as in the POI-attack literature the paper builds
+// on: (1) detect contiguous stays — maximal windows whose reports remain
+// within `max_distance_m` of the window's anchor for at least
+// `min_duration_s`; (2) agglomerate stays whose centroids are within
+// `merge_radius_m` into POIs.
+#pragma once
+
+#include <vector>
+
+#include "poi/poi.h"
+#include "trace/trace.h"
+
+namespace locpriv::poi {
+
+struct ExtractorConfig {
+  double max_distance_m = 200.0;          ///< stay spatial tolerance
+  trace::Timestamp min_duration_s = 900;  ///< 15 min significant-stop threshold
+  double merge_radius_m = 100.0;          ///< stays closer than this merge into one POI
+};
+
+/// Detects stays in chronological order. Deterministic, O(n) amortized.
+[[nodiscard]] std::vector<StayPoint> extract_stay_points(const trace::Trace& t,
+                                                         const ExtractorConfig& cfg);
+
+/// Full pipeline: stays -> merged POIs, ordered by descending total
+/// duration (most significant place first).
+[[nodiscard]] std::vector<Poi> extract_pois(const trace::Trace& t, const ExtractorConfig& cfg);
+
+}  // namespace locpriv::poi

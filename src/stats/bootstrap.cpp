@@ -1,0 +1,73 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+
+namespace locpriv::stats {
+
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> sample, double confidence,
+                                     std::size_t resamples, std::uint64_t seed) {
+  if (sample.empty()) throw std::invalid_argument("bootstrap_mean_ci: empty sample");
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::invalid_argument("bootstrap_mean_ci: confidence outside (0, 1)");
+  }
+  if (resamples == 0) throw std::invalid_argument("bootstrap_mean_ci: zero resamples");
+
+  ConfidenceInterval ci;
+  ci.point_estimate = mean(sample);
+  if (sample.size() == 1) {
+    ci.lower = ci.upper = sample[0];
+    return ci;
+  }
+
+  Rng rng(seed);
+  std::vector<double> means;
+  means.reserve(resamples);
+  const std::size_t n = sample.size();
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += sample[rng.uniform_index(n)];
+    means.push_back(sum / static_cast<double>(n));
+  }
+  const double alpha = 1.0 - confidence;
+  ci.lower = quantile(means, alpha / 2.0);
+  ci.upper = quantile(means, 1.0 - alpha / 2.0);
+  return ci;
+}
+
+namespace {
+
+/// Average ranks (1-based) with ties shared.
+std::vector<double> ranks_of(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("spearman: size mismatch");
+  if (xs.size() < 2) throw std::invalid_argument("spearman: need at least 2 samples");
+  const std::vector<double> rx = ranks_of(xs);
+  const std::vector<double> ry = ranks_of(ys);
+  return pearson(rx, ry);
+}
+
+}  // namespace locpriv::stats

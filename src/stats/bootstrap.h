@@ -1,0 +1,37 @@
+// Bootstrap resampling — nonparametric confidence intervals for the
+// per-user metric means the sweep reports. The paper plots bare curves;
+// a production harness should say how trustworthy each point is.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace locpriv::stats {
+
+/// A two-sided confidence interval for a statistic.
+struct ConfidenceInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double point_estimate = 0.0;
+
+  [[nodiscard]] double width() const { return upper - lower; }
+  [[nodiscard]] bool contains(double v) const { return v >= lower && v <= upper; }
+};
+
+/// Percentile-bootstrap CI for the mean of `sample`.
+/// `confidence` in (0, 1) (e.g. 0.95); `resamples` >= 100 recommended.
+/// Deterministic in `seed`. Requires a non-empty sample; a single-point
+/// sample yields a degenerate interval at that value.
+[[nodiscard]] ConfidenceInterval bootstrap_mean_ci(std::span<const double> sample,
+                                                   double confidence = 0.95,
+                                                   std::size_t resamples = 1000,
+                                                   std::uint64_t seed = 42);
+
+/// Spearman rank correlation of two equal-length samples — the
+/// monotonicity check behind "metric responds to the parameter"
+/// (robust to the nonlinearity that defeats Pearson on raw eps).
+/// Requires n >= 2; returns 0 when either sample is constant.
+/// Ties receive average ranks.
+[[nodiscard]] double spearman(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace locpriv::stats

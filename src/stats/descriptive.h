@@ -1,0 +1,46 @@
+// Descriptive statistics over spans of doubles.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace locpriv::stats {
+
+/// Arithmetic mean. Requires a non-empty span.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (divides by n-1). Requires n >= 2.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Sample standard deviation. Requires n >= 2.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1]. Requires a non-empty span.
+/// Does not require the input to be sorted (copies and sorts internally).
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Median (quantile 0.5).
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Five-number-plus summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< 0 when count < 2
+};
+
+/// Computes the summary; count 0 yields an all-zero summary.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Requires n >= 2 and nonzero variance in both; returns 0 when either
+/// sample is constant (correlation is undefined; 0 is the conventional
+/// "no signal" answer for feature screening).
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace locpriv::stats

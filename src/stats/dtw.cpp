@@ -1,0 +1,75 @@
+#include "stats/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace locpriv::stats {
+
+DtwResult dtw(std::span<const geo::Point> a, std::span<const geo::Point> b,
+              const DtwOptions& options) {
+  if (a.empty() || b.empty()) throw std::invalid_argument("dtw: empty sequence");
+  if (!(options.band_fraction > 0.0 && options.band_fraction <= 1.0)) {
+    throw std::invalid_argument("dtw: band_fraction outside (0, 1]");
+  }
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  // Band half-width; must at least cover the diagonal slope |n - m|.
+  const auto band = static_cast<std::ptrdiff_t>(std::max(
+      options.band_fraction * static_cast<double>(std::max(n, m)),
+      static_cast<double>(n > m ? n - m : m - n) + 1.0));
+
+  // cost[i][j] = best cumulative cost ending at (i, j); rolling rows.
+  // steps[i][j] tracks alignment length for normalization — kept as a
+  // full matrix of uint32 (n*m fits easily at trace scales).
+  std::vector<double> prev(m, inf);
+  std::vector<double> curr(m, inf);
+  std::vector<std::vector<std::uint32_t>> steps(n, std::vector<std::uint32_t>(m, 0));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto di = static_cast<std::ptrdiff_t>(i);
+    const std::size_t j_lo = static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, di - band));
+    const std::size_t j_hi = std::min(m - 1, i + static_cast<std::size_t>(band));
+    std::fill(curr.begin(), curr.end(), inf);
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      const double d = geo::distance(a[i], b[j]);
+      if (i == 0 && j == 0) {
+        curr[0] = d;
+        steps[0][0] = 1;
+        continue;
+      }
+      double best = inf;
+      std::uint32_t best_steps = 0;
+      if (i > 0 && prev[j] < best) {
+        best = prev[j];
+        best_steps = steps[i - 1][j];
+      }
+      if (j > 0 && curr[j - 1] < best) {
+        best = curr[j - 1];
+        best_steps = steps[i][j - 1];
+      }
+      if (i > 0 && j > 0 && prev[j - 1] < best) {
+        best = prev[j - 1];
+        best_steps = steps[i - 1][j - 1];
+      }
+      if (best == inf) continue;  // outside the band's reachable set
+      curr[j] = best + d;
+      steps[i][j] = best_steps + 1;
+    }
+    std::swap(prev, curr);
+  }
+
+  DtwResult result;
+  result.total_cost = prev[m - 1];
+  result.path_length = steps[n - 1][m - 1];
+  if (!std::isfinite(result.total_cost)) {
+    throw std::runtime_error("dtw: band too narrow to align the sequences");
+  }
+  return result;
+}
+
+}  // namespace locpriv::stats

@@ -1,0 +1,39 @@
+// Dynamic Time Warping over planar point sequences.
+//
+// The standard trajectory-similarity measure: aligns two sequences that
+// traverse the same route at different speeds or sampling rates, which
+// is exactly what mechanism like Promesse produce (same geometry, new
+// timestamps). The per-step normalized cost is a speed-invariant
+// distortion measure the timestamp-paired metrics cannot provide.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "geo/point.h"
+
+namespace locpriv::stats {
+
+struct DtwOptions {
+  /// Sakoe-Chiba band half-width as a fraction of the longer sequence
+  /// length; 1.0 = unconstrained. Constraining both bounds the runtime
+  /// and forbids degenerate alignments.
+  double band_fraction = 1.0;
+};
+
+struct DtwResult {
+  double total_cost = 0.0;       ///< sum of matched-pair distances, meters
+  std::size_t path_length = 0;   ///< number of alignment steps
+  /// total_cost / path_length — mean per-step distance, meters.
+  [[nodiscard]] double normalized_cost() const {
+    return path_length > 0 ? total_cost / static_cast<double>(path_length) : 0.0;
+  }
+};
+
+/// Computes DTW between two non-empty sequences with Euclidean ground
+/// distance. Throws std::invalid_argument on empty inputs or a band
+/// fraction outside (0, 1].
+[[nodiscard]] DtwResult dtw(std::span<const geo::Point> a, std::span<const geo::Point> b,
+                            const DtwOptions& options = {});
+
+}  // namespace locpriv::stats

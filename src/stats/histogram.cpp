@@ -1,0 +1,51 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace locpriv::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+  if (bins == 0) throw std::invalid_argument("Histogram: need at least one bin");
+}
+
+void Histogram::add(double x) {
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+  ++counts_[bin < counts_.size() ? bin : counts_.size() - 1];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (const double x : xs) add(x);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+double Histogram::probability(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+double Histogram::entropy() const {
+  double h = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double p = probability(b);
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace locpriv::stats

@@ -1,0 +1,46 @@
+// Small dense matrix — just enough linear algebra for OLS and PCA.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace locpriv::stats {
+
+/// Row-major dense matrix of doubles. Sized at construction; throws on
+/// out-of-range access in at(); operator() is unchecked for hot loops.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Construction from nested initializer lists; all rows must have the
+  /// same length (throws std::invalid_argument otherwise).
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] Matrix transpose() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] std::vector<double> operator*(const std::vector<double>& v) const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b for square A by Gaussian elimination with partial
+/// pivoting. Throws std::runtime_error when A is (numerically) singular.
+[[nodiscard]] std::vector<double> solve_linear_system(Matrix a, std::vector<double> b);
+
+}  // namespace locpriv::stats

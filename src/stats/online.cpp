@@ -1,0 +1,84 @@
+#include "stats/online.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace locpriv::stats {
+
+void OnlineMoments::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineMoments::merge(const OnlineMoments& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double OnlineMoments::mean() const {
+  if (n_ == 0) throw std::logic_error("OnlineMoments::mean: no samples");
+  return mean_;
+}
+
+double OnlineMoments::variance() const {
+  if (n_ < 2) throw std::logic_error("OnlineMoments::variance: need at least 2 samples");
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineMoments::stddev() const { return std::sqrt(variance()); }
+
+double OnlineMoments::min() const {
+  if (n_ == 0) throw std::logic_error("OnlineMoments::min: no samples");
+  return min_;
+}
+
+double OnlineMoments::max() const {
+  if (n_ == 0) throw std::logic_error("OnlineMoments::max: no samples");
+  return max_;
+}
+
+void OnlineCovariance::add(double x, double y) {
+  ++n_;
+  const double dx = x - mean_x_;
+  mean_x_ += dx / static_cast<double>(n_);
+  mean_y_ += (y - mean_y_) / static_cast<double>(n_);
+  c_ += dx * (y - mean_y_);
+}
+
+double OnlineCovariance::covariance() const {
+  if (n_ < 2) throw std::logic_error("OnlineCovariance::covariance: need at least 2 samples");
+  return c_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineCovariance::mean_x() const {
+  if (n_ == 0) throw std::logic_error("OnlineCovariance::mean_x: no samples");
+  return mean_x_;
+}
+
+double OnlineCovariance::mean_y() const {
+  if (n_ == 0) throw std::logic_error("OnlineCovariance::mean_y: no samples");
+  return mean_y_;
+}
+
+}  // namespace locpriv::stats

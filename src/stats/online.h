@@ -1,0 +1,51 @@
+// Streaming (single-pass) statistics accumulators.
+#pragma once
+
+#include <cstddef>
+
+namespace locpriv::stats {
+
+/// Welford online mean/variance accumulator — numerically stable single
+/// pass, mergeable (parallel reduction friendly).
+class OnlineMoments {
+ public:
+  void add(double x);
+  /// Merges another accumulator (Chan et al. pairwise update).
+  void merge(const OnlineMoments& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  /// Requires count() >= 1.
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance; requires count() >= 2.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Streaming covariance of paired samples (x, y).
+class OnlineCovariance {
+ public:
+  void add(double x, double y);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  /// Unbiased sample covariance; requires count() >= 2.
+  [[nodiscard]] double covariance() const;
+  [[nodiscard]] double mean_x() const;
+  [[nodiscard]] double mean_y() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_x_ = 0.0;
+  double mean_y_ = 0.0;
+  double c_ = 0.0;
+};
+
+}  // namespace locpriv::stats

@@ -1,0 +1,166 @@
+#include "stats/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace locpriv::stats {
+
+EigenDecomposition jacobi_eigen(Matrix a, int max_sweeps) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) throw std::invalid_argument("jacobi_eigen: matrix must be square");
+  Matrix v = Matrix::identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Off-diagonal Frobenius norm: convergence test.
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    }
+    if (off < 1e-22) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::abs(a(p, q)) < 1e-300) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * a(p, q));
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = a(i, i);
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) { return diag[i] > diag[j]; });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = diag[order[j]];
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+PcaResult pca(const std::vector<std::vector<double>>& observations, bool standardize) {
+  const std::size_t n = observations.size();
+  if (n < 2) throw std::invalid_argument("pca: need at least 2 observations");
+  const std::size_t d = observations.front().size();
+  if (d == 0) throw std::invalid_argument("pca: zero-width observations");
+  for (const auto& row : observations) {
+    if (row.size() != d) throw std::invalid_argument("pca: ragged observation rows");
+  }
+
+  PcaResult result;
+  result.means.assign(d, 0.0);
+  result.scales.assign(d, 1.0);
+  for (const auto& row : observations) {
+    for (std::size_t j = 0; j < d; ++j) result.means[j] += row[j];
+  }
+  for (double& m : result.means) m /= static_cast<double>(n);
+
+  if (standardize) {
+    std::vector<double> var(d, 0.0);
+    for (const auto& row : observations) {
+      for (std::size_t j = 0; j < d; ++j) {
+        const double c = row[j] - result.means[j];
+        var[j] += c * c;
+      }
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      const double sd = std::sqrt(var[j] / static_cast<double>(n - 1));
+      result.scales[j] = sd > 1e-12 ? sd : 1.0;  // constant columns stay unscaled
+    }
+  }
+
+  // Covariance (or correlation, when standardized) matrix.
+  Matrix cov(d, d);
+  for (const auto& row : observations) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const double ci = (row[i] - result.means[i]) / result.scales[i];
+      for (std::size_t j = i; j < d; ++j) {
+        const double cj = (row[j] - result.means[j]) / result.scales[j];
+        cov(i, j) += ci * cj;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      cov(i, j) /= static_cast<double>(n - 1);
+      cov(j, i) = cov(i, j);
+    }
+  }
+
+  EigenDecomposition eig = jacobi_eigen(std::move(cov));
+  result.eigenvalues = std::move(eig.values);
+  result.components = std::move(eig.vectors);
+
+  double total = 0.0;
+  for (const double v : result.eigenvalues) total += std::max(v, 0.0);
+  result.explained_variance.resize(d, 0.0);
+  if (total > 0.0) {
+    for (std::size_t j = 0; j < d; ++j) {
+      result.explained_variance[j] = std::max(result.eigenvalues[j], 0.0) / total;
+    }
+  }
+  return result;
+}
+
+std::vector<double> project(const PcaResult& model, const std::vector<double>& observation,
+                            std::size_t k) {
+  const std::size_t d = model.means.size();
+  if (observation.size() != d) throw std::invalid_argument("project: dimension mismatch");
+  k = std::min(k, d);
+  std::vector<double> out(k, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < d; ++i) {
+      acc += ((observation[i] - model.means[i]) / model.scales[i]) * model.components(i, j);
+    }
+    out[j] = acc;
+  }
+  return out;
+}
+
+std::vector<double> variable_importance(const PcaResult& model, double variance_goal) {
+  const std::size_t d = model.means.size();
+  std::vector<double> importance(d, 0.0);
+  double covered = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    if (covered >= variance_goal && j > 0) break;
+    const double weight = model.explained_variance[j];
+    for (std::size_t i = 0; i < d; ++i) {
+      importance[i] += weight * std::abs(model.components(i, j));
+    }
+    covered += weight;
+  }
+  return importance;
+}
+
+}  // namespace locpriv::stats

@@ -1,0 +1,54 @@
+// Principal component analysis.
+//
+// Step 1 of the framework selects dataset properties d_i "soundly chosen
+// using a principal component analysis": profile many candidate
+// properties, run PCA on the standardized profile matrix, and keep the
+// properties that dominate the leading components.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace locpriv::stats {
+
+/// Eigendecomposition of a symmetric matrix, eigenvalues descending.
+struct EigenDecomposition {
+  std::vector<double> values;  ///< eigenvalues, largest first
+  Matrix vectors;              ///< column j is the eigenvector for values[j]
+};
+
+/// Jacobi rotation eigensolver for symmetric matrices. Robust for the
+/// small (d x d, d <= ~50) covariance matrices PCA produces here.
+/// Throws std::invalid_argument for non-square input.
+[[nodiscard]] EigenDecomposition jacobi_eigen(Matrix symmetric, int max_sweeps = 64);
+
+/// PCA result over an n x d observation matrix.
+struct PcaResult {
+  std::vector<double> eigenvalues;          ///< descending
+  Matrix components;                        ///< d x d, column j = j-th component
+  std::vector<double> explained_variance;   ///< fraction per component, sums to 1
+  std::vector<double> means;                ///< column means used for centering
+  std::vector<double> scales;               ///< column stddevs (1.0 where constant)
+};
+
+/// Runs PCA on `observations` (n rows, d columns). When `standardize` is
+/// true each column is z-scored first (the right choice when properties
+/// have incommensurate units, as dataset properties do). Requires n >= 2
+/// and consistent row widths.
+[[nodiscard]] PcaResult pca(const std::vector<std::vector<double>>& observations,
+                            bool standardize = true);
+
+/// Projects one observation onto the first `k` principal components.
+[[nodiscard]] std::vector<double> project(const PcaResult& model,
+                                          const std::vector<double>& observation, std::size_t k);
+
+/// Importance score of each original variable: sum over the leading
+/// components (covering `variance_goal` of total variance) of
+/// |loading| weighted by explained variance. Used to rank dataset
+/// properties for step 1.
+[[nodiscard]] std::vector<double> variable_importance(const PcaResult& model,
+                                                      double variance_goal = 0.9);
+
+}  // namespace locpriv::stats

@@ -1,0 +1,95 @@
+#include "stats/regression.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+#include "stats/matrix.h"
+
+namespace locpriv::stats {
+
+double LinearFit::invert(double y) const {
+  if (slope == 0.0) throw std::domain_error("LinearFit::invert: zero slope is not invertible");
+  return (y - intercept) / slope;
+}
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("fit_linear: size mismatch");
+  const std::size_t n = x.size();
+  if (n < 2) throw std::invalid_argument("fit_linear: need at least 2 points");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) throw std::invalid_argument("fit_linear: x has zero variance");
+  LinearFit fit;
+  fit.n = n;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  double sse = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = y[i] - fit.predict(x[i]);
+    sse += r * r;
+  }
+  fit.r_squared = syy == 0.0 ? 1.0 : 1.0 - sse / syy;
+  fit.residual_stddev = n > 2 ? std::sqrt(sse / static_cast<double>(n - 2)) : 0.0;
+  return fit;
+}
+
+double MultipleFit::predict(std::span<const double> features) const {
+  if (features.size() + 1 != beta.size()) {
+    throw std::invalid_argument("MultipleFit::predict: feature count mismatch");
+  }
+  double acc = beta[0];
+  for (std::size_t j = 0; j < features.size(); ++j) acc += beta[j + 1] * features[j];
+  return acc;
+}
+
+MultipleFit fit_multiple(const std::vector<std::vector<double>>& rows, std::span<const double> y) {
+  const std::size_t n = rows.size();
+  if (n == 0 || y.size() != n) throw std::invalid_argument("fit_multiple: bad shapes");
+  const std::size_t k = rows.front().size();
+  for (const auto& r : rows) {
+    if (r.size() != k) throw std::invalid_argument("fit_multiple: ragged feature rows");
+  }
+  if (n <= k) throw std::invalid_argument("fit_multiple: need more observations than features");
+
+  // Design matrix with a leading column of ones.
+  Matrix design(n, k + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    design(i, 0) = 1.0;
+    for (std::size_t j = 0; j < k; ++j) design(i, j + 1) = rows[i][j];
+  }
+  const Matrix xt = design.transpose();
+  const Matrix xtx = xt * design;
+  std::vector<double> xty(k + 1, 0.0);
+  for (std::size_t j = 0; j < k + 1; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += design(i, j) * y[i];
+    xty[j] = acc;
+  }
+  MultipleFit fit;
+  fit.n = n;
+  fit.beta = solve_linear_system(xtx, std::move(xty));
+
+  const double my = mean(y);
+  double sse = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pred = fit.predict(rows[i]);
+    sse += (y[i] - pred) * (y[i] - pred);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  fit.r_squared = syy == 0.0 ? 1.0 : 1.0 - sse / syy;
+  return fit;
+}
+
+}  // namespace locpriv::stats

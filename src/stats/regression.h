@@ -1,0 +1,50 @@
+// Ordinary least squares — the fitting engine of the modeling phase.
+//
+// The paper's Eq. 2 is a simple linear regression of each metric on
+// ln(epsilon) over the non-saturated interval; the multiple-regression
+// variant supports the framework's multi-parameter extension
+// (Pr, Ut) = f(p_1..p_n, d_1..d_m).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace locpriv::stats {
+
+/// Result of a simple (one predictor) OLS fit y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;       ///< coefficient of determination
+  double residual_stddev = 0.0; ///< sqrt(SSE / (n-2)); 0 when n == 2
+  std::size_t n = 0;
+
+  /// Predicted y at x.
+  [[nodiscard]] double predict(double x) const { return intercept + slope * x; }
+  /// Inverse prediction: the x that yields y. Requires slope != 0
+  /// (throws std::domain_error otherwise) — this is the "invertible
+  /// function" requirement of the framework.
+  [[nodiscard]] double invert(double y) const;
+};
+
+/// Fits y = a + b x by least squares. Requires >= 2 points and nonzero
+/// variance in x (throws std::invalid_argument otherwise).
+[[nodiscard]] LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// Result of a multiple OLS fit y = beta0 + sum_j beta_j x_j.
+struct MultipleFit {
+  std::vector<double> beta;  ///< beta[0] is the intercept
+  double r_squared = 0.0;
+  std::size_t n = 0;
+
+  /// Predicted y for a feature row (without the leading 1).
+  [[nodiscard]] double predict(std::span<const double> features) const;
+};
+
+/// Fits multiple linear regression via the normal equations. `rows` is
+/// n x k (each inner vector one observation's features), `y` length n.
+/// Requires n > k and a non-singular design (throws otherwise).
+[[nodiscard]] MultipleFit fit_multiple(const std::vector<std::vector<double>>& rows,
+                                       std::span<const double> y);
+
+}  // namespace locpriv::stats

@@ -1,0 +1,71 @@
+#include "synth/city.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace locpriv::synth {
+
+CityModel::CityModel(const CityConfig& config, std::uint64_t seed) : config_(config) {
+  if (!(config.half_extent_m > 0.0)) throw std::invalid_argument("CityModel: extent must be > 0");
+  if (!(config.block_size_m > 0.0)) throw std::invalid_argument("CityModel: block size must be > 0");
+  if (config.site_count == 0) throw std::invalid_argument("CityModel: need at least one site");
+  const std::size_t clusters = std::max<std::size_t>(1, config.cluster_count);
+
+  stats::Rng rng(seed);
+  // District centers: uniform, but kept away from the hard boundary so
+  // district spread does not pile up on the clamp edge.
+  std::vector<geo::Point> centers;
+  centers.reserve(clusters);
+  const double margin = std::min(config.cluster_stddev_m, config.half_extent_m / 2.0);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    centers.push_back({rng.uniform(-config.half_extent_m + margin, config.half_extent_m - margin),
+                       rng.uniform(-config.half_extent_m + margin, config.half_extent_m - margin)});
+  }
+
+  sites_.reserve(config.site_count);
+  cumulative_weight_.reserve(config.site_count);
+  double total = 0.0;
+  for (std::size_t k = 0; k < config.site_count; ++k) {
+    const geo::Point center = centers[k % clusters];
+    const geo::Point loc = clamp({center.x + rng.normal(0.0, config.cluster_stddev_m),
+                                  center.y + rng.normal(0.0, config.cluster_stddev_m)});
+    const double weight = std::pow(1.0 + static_cast<double>(k), -config.popularity_skew);
+    sites_.push_back({loc, weight});
+    total += weight;
+    cumulative_weight_.push_back(total);
+  }
+}
+
+geo::BoundingBox CityModel::extent() const {
+  return {{-config_.half_extent_m, -config_.half_extent_m},
+          {config_.half_extent_m, config_.half_extent_m}};
+}
+
+std::size_t CityModel::sample_site(stats::Rng& rng) const {
+  const double u = rng.uniform(0.0, cumulative_weight_.back());
+  const auto it = std::lower_bound(cumulative_weight_.begin(), cumulative_weight_.end(), u);
+  return static_cast<std::size_t>(it - cumulative_weight_.begin());
+}
+
+std::size_t CityModel::sample_site_excluding(stats::Rng& rng, std::size_t exclude) const {
+  if (sites_.size() < 2) {
+    throw std::logic_error("CityModel::sample_site_excluding: need at least two sites");
+  }
+  for (;;) {
+    const std::size_t s = sample_site(rng);
+    if (s != exclude) return s;
+  }
+}
+
+geo::Point CityModel::random_location(stats::Rng& rng) const {
+  return {rng.uniform(-config_.half_extent_m, config_.half_extent_m),
+          rng.uniform(-config_.half_extent_m, config_.half_extent_m)};
+}
+
+geo::Point CityModel::clamp(geo::Point p) const {
+  const double h = config_.half_extent_m;
+  return {std::clamp(p.x, -h, h), std::clamp(p.y, -h, h)};
+}
+
+}  // namespace locpriv::synth

@@ -1,0 +1,66 @@
+// Synthetic city model.
+//
+// Substitution note (see DESIGN.md): the paper evaluates on the
+// cabspotting San Francisco taxi dataset, which we cannot redistribute.
+// The CityModel reproduces the spatial structure that drives the paper's
+// curves: a bounded metropolitan extent (~10 km), city blocks (~115 m),
+// and clustered points of interest where users make significant stops.
+#pragma once
+
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/point.h"
+#include "stats/rng.h"
+
+namespace locpriv::synth {
+
+/// A place where users stop (restaurant, home, office, taxi stand...).
+struct Site {
+  geo::Point location;
+  double popularity = 1.0;  ///< relative visit weight, > 0
+};
+
+/// Parameters of the synthetic city.
+struct CityConfig {
+  double half_extent_m = 5'000.0;  ///< city spans [-h, h]^2
+  double block_size_m = 115.0;     ///< city-block edge (SF-like)
+  std::size_t site_count = 60;     ///< number of POI sites
+  std::size_t cluster_count = 6;   ///< sites cluster into this many districts
+  double cluster_stddev_m = 600.0; ///< spatial spread of a district
+  /// Zipf-ish popularity skew: site k (by creation order) gets weight
+  /// 1 / (1 + k)^popularity_skew. 0 = uniform.
+  double popularity_skew = 0.8;
+};
+
+/// Immutable synthetic city: an extent plus weighted stop sites arranged
+/// in districts. All randomness comes from the seed — same seed, same city.
+class CityModel {
+ public:
+  /// Throws std::invalid_argument on non-positive extent/block/site count.
+  CityModel(const CityConfig& config, std::uint64_t seed);
+
+  [[nodiscard]] const CityConfig& config() const { return config_; }
+  [[nodiscard]] const std::vector<Site>& sites() const { return sites_; }
+  [[nodiscard]] geo::BoundingBox extent() const;
+
+  /// Samples a site index by popularity weight.
+  [[nodiscard]] std::size_t sample_site(stats::Rng& rng) const;
+
+  /// Samples a site index by popularity, excluding `exclude` (requires
+  /// at least two sites).
+  [[nodiscard]] std::size_t sample_site_excluding(stats::Rng& rng, std::size_t exclude) const;
+
+  /// Uniform location within the extent (used for non-POI waypoints).
+  [[nodiscard]] geo::Point random_location(stats::Rng& rng) const;
+
+  /// Clamps a point into the city extent.
+  [[nodiscard]] geo::Point clamp(geo::Point p) const;
+
+ private:
+  CityConfig config_;
+  std::vector<Site> sites_;
+  std::vector<double> cumulative_weight_;  ///< prefix sums for sampling
+};
+
+}  // namespace locpriv::synth

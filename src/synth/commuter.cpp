@@ -1,0 +1,62 @@
+#include "synth/commuter.h"
+
+#include <stdexcept>
+
+namespace locpriv::synth {
+
+trace::Trace commuter_trace(const CityModel& city, const std::string& user_id,
+                            const CommuterConfig& cfg, std::uint64_t seed) {
+  if (cfg.days == 0) throw std::invalid_argument("commuter_trace: need at least one day");
+  if (city.sites().size() < 3) {
+    throw std::invalid_argument("commuter_trace: city needs at least 3 sites (home/work/errand)");
+  }
+  stats::Rng rng(seed);
+  const std::size_t home_site = city.sample_site(rng);
+  const std::size_t work_site = city.sample_site_excluding(rng, home_site);
+  const geo::Point home = city.sites()[home_site].location;
+  const geo::Point work = city.sites()[work_site].location;
+
+  constexpr trace::Timestamp kDay = 24 * 3600;
+  trace::Trace t(user_id);
+
+  for (std::size_t day = 0; day < cfg.days; ++day) {
+    const trace::Timestamp day_start = static_cast<trace::Timestamp>(day) * kDay;
+    // Morning at home until the commute leaves. Offsets jitter by +-20 min.
+    const auto jitter = [&] { return static_cast<trace::Timestamp>(rng.uniform(-1200.0, 1200.0)); };
+    const trace::Timestamp leave_home = day_start + cfg.work_start_s + jitter() - 1800;
+    if (t.empty()) t.append({day_start, home});
+    const trace::Timestamp morning = leave_home - t.back().time;
+    if (morning > 0) append_stay(t, home, morning, cfg.movement, rng);
+
+    travel(t, work, cfg.movement, rng);
+
+    // Work block, possibly interrupted by a lunchtime errand.
+    const trace::Timestamp work_end = t.back().time + cfg.work_duration_s;
+    if (rng.bernoulli(cfg.errand_probability)) {
+      const trace::Timestamp first_half = cfg.work_duration_s / 2;
+      append_stay(t, work, first_half, cfg.movement, rng);
+      const std::size_t errand_site = city.sample_site_excluding(rng, work_site);
+      travel(t, city.sites()[errand_site].location, cfg.movement, rng);
+      append_stay(t, t.back().location, cfg.errand_duration_s, cfg.movement, rng);
+      travel(t, work, cfg.movement, rng);
+      const trace::Timestamp remaining = work_end - t.back().time;
+      if (remaining > 0) append_stay(t, work, remaining, cfg.movement, rng);
+    } else {
+      append_stay(t, work, cfg.work_duration_s, cfg.movement, rng);
+    }
+
+    // Optional evening activity, then home for the night.
+    if (rng.bernoulli(cfg.evening_out_probability)) {
+      const std::size_t out_site = city.sample_site_excluding(rng, home_site);
+      travel(t, city.sites()[out_site].location, cfg.movement, rng);
+      append_stay(t, t.back().location, cfg.evening_out_duration_s, cfg.movement, rng);
+    }
+    travel(t, home, cfg.movement, rng);
+    const trace::Timestamp day_end = day_start + kDay;
+    const trace::Timestamp night = day_end - t.back().time;
+    if (night > 0) append_stay(t, home, night, cfg.movement, rng);
+  }
+  return t;
+}
+
+}  // namespace locpriv::synth

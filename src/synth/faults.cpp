@@ -1,0 +1,62 @@
+#include "synth/faults.h"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace locpriv::synth {
+namespace {
+
+void validate(const FaultConfig& cfg) {
+  for (const double p :
+       {cfg.glitch_probability, cfg.outage_probability, cfg.duplicate_probability}) {
+    if (p < 0.0 || p > 1.0) {
+      throw std::invalid_argument("inject_faults: probability outside [0, 1]");
+    }
+  }
+  if (cfg.glitch_probability > 0.0 && !(cfg.glitch_radius_m > 0.0)) {
+    throw std::invalid_argument("inject_faults: glitch radius must be > 0");
+  }
+  if (cfg.outage_probability > 0.0 && cfg.outage_duration_s <= 0) {
+    throw std::invalid_argument("inject_faults: outage duration must be > 0");
+  }
+}
+
+}  // namespace
+
+trace::Trace inject_faults(const trace::Trace& t, const FaultConfig& cfg, std::uint64_t seed) {
+  validate(cfg);
+  stats::Rng rng(seed);
+  std::vector<trace::Event> events;
+  events.reserve(t.size());
+  trace::Timestamp outage_until = std::numeric_limits<trace::Timestamp>::min();
+  for (const trace::Event& e : t) {
+    if (e.time < outage_until) continue;  // receiver dark
+    if (cfg.outage_probability > 0.0 && rng.bernoulli(cfg.outage_probability)) {
+      outage_until = e.time + cfg.outage_duration_s;
+      continue;  // the report that triggered the outage is lost too
+    }
+    trace::Event out = e;
+    if (cfg.glitch_probability > 0.0 && rng.bernoulli(cfg.glitch_probability)) {
+      out.location = rng.uniform_disk(cfg.glitch_radius_m);
+    }
+    events.push_back(out);
+    if (cfg.duplicate_probability > 0.0 && rng.bernoulli(cfg.duplicate_probability)) {
+      events.push_back(out);
+    }
+  }
+  return {t.user_id(), std::move(events)};
+}
+
+trace::Dataset inject_faults(const trace::Dataset& d, const FaultConfig& cfg,
+                             std::uint64_t seed) {
+  trace::Dataset out;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    out.add(inject_faults(d[i], cfg, stats::derive_seed(seed, i)));
+  }
+  return out;
+}
+
+}  // namespace locpriv::synth

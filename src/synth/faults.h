@@ -1,0 +1,45 @@
+// Data-quality fault injection.
+//
+// Real GPS feeds are dirty: receivers glitch to impossible positions,
+// tunnels cause outages, duplicated fixes repeat timestamps. A pipeline
+// that only ever sees clean synthetic data silently over-fits to it, so
+// the fault injector corrupts traces in controlled, seeded ways and the
+// robustness tests assert the framework degrades gracefully rather than
+// crashing or silently mis-measuring.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/dataset.h"
+#include "trace/trace.h"
+
+namespace locpriv::synth {
+
+struct FaultConfig {
+  /// Probability a report is replaced by a teleport glitch: a position
+  /// uniformly within `glitch_radius_m` of the city origin (mimicking a
+  /// cold-start fix or multipath jump).
+  double glitch_probability = 0.0;
+  double glitch_radius_m = 50'000.0;
+  /// Probability an *outage* starts at a report: it and the following
+  /// reports are dropped until `outage_duration_s` has elapsed.
+  double outage_probability = 0.0;
+  trace::Timestamp outage_duration_s = 1'800;
+  /// Probability a report is duplicated (same timestamp, same position —
+  /// a stuck receiver emitting repeated fixes).
+  double duplicate_probability = 0.0;
+};
+
+/// Applies the configured faults to a trace. Deterministic in `seed`.
+/// Chronological order is preserved; the result may be shorter (outages)
+/// or longer (duplicates) than the input. Throws std::invalid_argument
+/// on probabilities outside [0, 1] or non-positive durations/radii when
+/// the corresponding fault is enabled.
+[[nodiscard]] trace::Trace inject_faults(const trace::Trace& t, const FaultConfig& cfg,
+                                         std::uint64_t seed);
+
+/// Applies inject_faults per user with derived seeds.
+[[nodiscard]] trace::Dataset inject_faults(const trace::Dataset& d, const FaultConfig& cfg,
+                                           std::uint64_t seed);
+
+}  // namespace locpriv::synth

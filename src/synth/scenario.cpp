@@ -1,0 +1,70 @@
+#include "synth/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace locpriv::synth {
+namespace {
+
+std::string indexed_id(const char* prefix, std::size_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s-%03zu", prefix, i);
+  return buf;
+}
+
+}  // namespace
+
+trace::Dataset make_taxi_dataset(const TaxiScenarioConfig& cfg, std::uint64_t seed) {
+  const CityModel city(cfg.city, stats::derive_seed(seed, 0));
+  stats::Rng variation(stats::derive_seed(seed, 0x7a51));
+  trace::Dataset d;
+  for (std::size_t i = 0; i < cfg.driver_count; ++i) {
+    TaxiConfig driver = cfg.taxi;
+    driver.movement.report_interval_s = static_cast<trace::Timestamp>(variation.uniform(
+        static_cast<double>(cfg.min_report_interval_s),
+        static_cast<double>(cfg.max_report_interval_s) + 1.0));
+    driver.movement.gps_noise_m = variation.uniform(cfg.min_gps_noise_m, cfg.max_gps_noise_m);
+    driver.stand_count =
+        cfg.min_stands + variation.uniform_index(cfg.max_stands - cfg.min_stands + 1);
+    const double idle_factor = std::exp(
+        variation.uniform(-std::log(cfg.idle_spread), std::log(cfg.idle_spread)));
+    driver.min_idle_s = std::max<trace::Timestamp>(
+        60, static_cast<trace::Timestamp>(static_cast<double>(driver.min_idle_s) * idle_factor));
+    driver.max_idle_s = std::max(
+        driver.min_idle_s,
+        static_cast<trace::Timestamp>(static_cast<double>(driver.max_idle_s) * idle_factor));
+    d.add(taxi_trace(city, indexed_id("cab", i), driver, stats::derive_seed(seed, i + 1)));
+  }
+  return d;
+}
+
+trace::Dataset make_mixed_dataset(const MixedScenarioConfig& cfg, std::uint64_t seed) {
+  const CityModel city(cfg.city, stats::derive_seed(seed, 0));
+  trace::Dataset d;
+  std::uint64_t stream = 1;
+  for (std::size_t i = 0; i < cfg.taxi_count; ++i) {
+    d.add(taxi_trace(city, indexed_id("cab", i), cfg.taxi, stats::derive_seed(seed, stream++)));
+  }
+  for (std::size_t i = 0; i < cfg.commuter_count; ++i) {
+    d.add(commuter_trace(city, indexed_id("user", i), cfg.commuter,
+                         stats::derive_seed(seed, stream++)));
+  }
+  for (std::size_t i = 0; i < cfg.wanderer_count; ++i) {
+    d.add(random_waypoint_trace(city, indexed_id("walk", i), cfg.wanderer_duration_s,
+                                cfg.wanderer_movement, stats::derive_seed(seed, stream++)));
+  }
+  return d;
+}
+
+trace::Dataset make_commuter_dataset(const CommuterScenarioConfig& cfg, std::uint64_t seed) {
+  const CityModel city(cfg.city, stats::derive_seed(seed, 0));
+  trace::Dataset d;
+  for (std::size_t i = 0; i < cfg.user_count; ++i) {
+    d.add(commuter_trace(city, indexed_id("user", i), cfg.commuter,
+                         stats::derive_seed(seed, i + 1)));
+  }
+  return d;
+}
+
+}  // namespace locpriv::synth

@@ -1,0 +1,77 @@
+// One-call dataset builders used by tests, examples and benches.
+#pragma once
+
+#include <cstdint>
+
+#include "synth/city.h"
+#include "synth/commuter.h"
+#include "synth/taxi.h"
+#include "trace/dataset.h"
+
+namespace locpriv::synth {
+
+/// The standard evaluation scenario: a city plus a fleet of taxi drivers,
+/// mirroring the paper's cabspotting setup at laptop scale.
+///
+/// Heterogeneity: real fleets differ per driver (sampling rate, idle
+/// habits, number of haunts, shift length). That spread is what makes
+/// dataset-level privacy curves transition gradually with the noise
+/// scale instead of snapping at one threshold, so the generator draws
+/// per-driver variations from the ranges below. Set a range's bounds
+/// equal to disable that dimension.
+struct TaxiScenarioConfig {
+  CityConfig city;
+  TaxiConfig taxi;
+  std::size_t driver_count = 20;
+
+  /// Per-driver report interval drawn uniformly from this range (s).
+  trace::Timestamp min_report_interval_s = 30;
+  trace::Timestamp max_report_interval_s = 120;
+  /// Per-driver stand count drawn uniformly from [min, max].
+  std::size_t min_stands = 1;
+  std::size_t max_stands = 5;
+  /// Per-driver idle-duration multiplier drawn log-uniformly from
+  /// [1/idle_spread, idle_spread]; fragile short idles and robust long
+  /// ones coexist in the fleet.
+  double idle_spread = 4.0;
+  /// Per-driver GPS noise drawn uniformly from this range (m).
+  double min_gps_noise_m = 3.0;
+  double max_gps_noise_m = 15.0;
+};
+
+/// Builds the taxi dataset. User ids are "cab-000", "cab-001", ...
+/// Deterministic in `seed`; per-driver streams derived with derive_seed.
+[[nodiscard]] trace::Dataset make_taxi_dataset(const TaxiScenarioConfig& cfg, std::uint64_t seed);
+
+/// A commuter-population scenario exercising recurring home/work POIs.
+struct CommuterScenarioConfig {
+  CityConfig city;
+  CommuterConfig commuter;
+  std::size_t user_count = 20;
+};
+
+/// Builds the commuter dataset. User ids are "user-000", ...
+[[nodiscard]] trace::Dataset make_commuter_dataset(const CommuterScenarioConfig& cfg,
+                                                   std::uint64_t seed);
+
+/// A mixed urban population over ONE shared city: taxis, commuters and
+/// random-waypoint wanderers in configurable proportions — the
+/// heterogeneous-dataset scenario step 1's property analysis is about.
+struct MixedScenarioConfig {
+  CityConfig city;
+  TaxiConfig taxi;
+  CommuterConfig commuter;
+  MovementConfig wanderer_movement;
+  std::size_t taxi_count = 5;
+  std::size_t commuter_count = 5;
+  std::size_t wanderer_count = 5;
+  trace::Timestamp wanderer_duration_s = 8 * 3600;
+};
+
+/// Builds the mixed dataset. Ids: "cab-XXX", "user-XXX", "walk-XXX".
+/// All three groups move through the same CityModel instance (derived
+/// from `seed` stream 0, like the other builders).
+[[nodiscard]] trace::Dataset make_mixed_dataset(const MixedScenarioConfig& cfg,
+                                                std::uint64_t seed);
+
+}  // namespace locpriv::synth

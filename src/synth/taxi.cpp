@@ -1,0 +1,47 @@
+#include "synth/taxi.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace locpriv::synth {
+
+trace::Trace taxi_trace(const CityModel& city, const std::string& user_id, const TaxiConfig& cfg,
+                        std::uint64_t seed) {
+  if (cfg.stand_count == 0) throw std::invalid_argument("taxi_trace: need at least one stand");
+  if (cfg.min_idle_s <= 0 || cfg.max_idle_s < cfg.min_idle_s) {
+    throw std::invalid_argument("taxi_trace: bad idle bounds");
+  }
+  stats::Rng rng(seed);
+
+  // The driver's personal stands: repeated long stops -> their POIs.
+  std::vector<geo::Point> stands;
+  stands.reserve(cfg.stand_count);
+  for (std::size_t i = 0; i < cfg.stand_count; ++i) {
+    stands.push_back(city.sites()[city.sample_site(rng)].location);
+  }
+
+  trace::Trace t(user_id);
+  t.append({0, stands[0]});
+  while (t.back().time < cfg.shift_duration_s) {
+    // Idle at the nearest-sampled stand.
+    const geo::Point stand = stands[rng.uniform_index(stands.size())];
+    travel(t, stand, cfg.movement, rng);
+    const auto idle = static_cast<trace::Timestamp>(
+        rng.uniform(static_cast<double>(cfg.min_idle_s), static_cast<double>(cfg.max_idle_s)));
+    append_stay(t, stand, idle, cfg.movement, rng);
+
+    if (rng.bernoulli(cfg.fare_probability)) {
+      // Fare: pickup at a popular site, dropoff at another.
+      const std::size_t pickup = city.sample_site(rng);
+      const std::size_t dropoff = city.sample_site_excluding(rng, pickup);
+      travel(t, city.sites()[pickup].location, cfg.movement, rng);
+      // Brief boarding pause (30-120 s), too short to count as a POI stay.
+      append_stay(t, t.back().location, static_cast<trace::Timestamp>(rng.uniform(30.0, 120.0)),
+                  cfg.movement, rng);
+      travel(t, city.sites()[dropoff].location, cfg.movement, rng);
+    }
+  }
+  return t.between(0, cfg.shift_duration_s);
+}
+
+}  // namespace locpriv::synth

@@ -1,0 +1,31 @@
+// Taxi mobility model — the cabspotting-style workload of the paper's
+// evaluation: trip chains between pickup/dropoff sites, with idle waits
+// at taxi stands between fares.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "synth/city.h"
+#include "synth/walker.h"
+#include "trace/trace.h"
+
+namespace locpriv::synth {
+
+struct TaxiConfig {
+  MovementConfig movement;
+  trace::Timestamp shift_duration_s = 10 * 3600;  ///< one driver shift
+  std::size_t stand_count = 3;        ///< taxi stands the driver idles at
+  trace::Timestamp min_idle_s = 10 * 60;
+  trace::Timestamp max_idle_s = 50 * 60;
+  double fare_probability = 0.75;     ///< otherwise reposition to a stand
+};
+
+/// Generates one taxi driver's shift: repeated (idle at stand, drive to
+/// pickup, drive to dropoff) cycles. Stand locations are per-driver
+/// (drawn from city sites) so each driver has recurring significant
+/// stops — the POIs the attack tries to retrieve.
+[[nodiscard]] trace::Trace taxi_trace(const CityModel& city, const std::string& user_id,
+                                      const TaxiConfig& cfg, std::uint64_t seed);
+
+}  // namespace locpriv::synth

@@ -1,0 +1,119 @@
+#include "synth/walker.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geo/latlng.h"  // kPi
+
+namespace locpriv::synth {
+namespace {
+
+geo::Point jittered(geo::Point p, double noise_m, stats::Rng& rng) {
+  if (noise_m <= 0.0) return p;
+  return {p.x + rng.normal(0.0, noise_m), p.y + rng.normal(0.0, noise_m)};
+}
+
+}  // namespace
+
+trace::Timestamp append_leg(trace::Trace& t, geo::Point destination, const MovementConfig& cfg,
+                            stats::Rng& rng) {
+  if (t.empty()) throw std::invalid_argument("append_leg: trace must be seeded with a start event");
+  if (!(cfg.speed_mps > 0.0)) throw std::invalid_argument("append_leg: speed must be > 0");
+  if (cfg.report_interval_s <= 0) throw std::invalid_argument("append_leg: interval must be > 0");
+
+  const geo::Point start = t.back().location;
+  trace::Timestamp now = t.back().time;
+  const double distance = geo::distance(start, destination);
+  const double speed =
+      cfg.speed_mps * std::max(0.1, 1.0 + cfg.speed_jitter * (rng.uniform() * 2.0 - 1.0));
+  const double travel_s = distance / speed;
+  const auto steps = static_cast<trace::Timestamp>(
+      std::ceil(travel_s / static_cast<double>(cfg.report_interval_s)));
+
+  for (trace::Timestamp k = 1; k <= steps; ++k) {
+    const double frac = std::min(
+        1.0, static_cast<double>(k * cfg.report_interval_s) / std::max(travel_s, 1e-9));
+    now += cfg.report_interval_s;
+    t.append({now, jittered(geo::lerp(start, destination, frac), cfg.gps_noise_m, rng)});
+  }
+  return now;
+}
+
+trace::Timestamp travel(trace::Trace& t, geo::Point destination, const MovementConfig& cfg,
+                        stats::Rng& rng) {
+  return cfg.manhattan_streets ? append_leg_manhattan(t, destination, cfg, rng)
+                               : append_leg(t, destination, cfg, rng);
+}
+
+trace::Timestamp append_leg_manhattan(trace::Trace& t, geo::Point destination,
+                                      const MovementConfig& cfg, stats::Rng& rng) {
+  if (t.empty()) {
+    throw std::invalid_argument("append_leg_manhattan: trace must be seeded with a start event");
+  }
+  const geo::Point start = t.back().location;
+  const geo::Point corner = rng.bernoulli(0.5) ? geo::Point{destination.x, start.y}
+                                               : geo::Point{start.x, destination.y};
+  append_leg(t, corner, cfg, rng);
+  return append_leg(t, destination, cfg, rng);
+}
+
+trace::Timestamp append_stay(trace::Trace& t, geo::Point where, trace::Timestamp duration_s,
+                             const MovementConfig& cfg, stats::Rng& rng) {
+  if (cfg.report_interval_s <= 0) throw std::invalid_argument("append_stay: interval must be > 0");
+  if (duration_s < 0) throw std::invalid_argument("append_stay: negative duration");
+  trace::Timestamp now = t.empty() ? 0 : t.back().time;
+  const trace::Timestamp end = now + duration_s;
+  if (t.empty()) {
+    t.append({now, jittered(where, cfg.gps_noise_m, rng)});
+  }
+  while (now + cfg.report_interval_s <= end) {
+    now += cfg.report_interval_s;
+    t.append({now, jittered(where, cfg.gps_noise_m, rng)});
+  }
+  return now;
+}
+
+trace::Trace random_waypoint_trace(const CityModel& city, const std::string& user_id,
+                                   trace::Timestamp total_duration_s, const MovementConfig& cfg,
+                                   std::uint64_t seed) {
+  stats::Rng rng(seed);
+  trace::Trace t(user_id);
+  t.append({0, city.random_location(rng)});
+  while (t.back().time < total_duration_s) {
+    append_leg(t, city.random_location(rng), cfg, rng);
+    // Short pause at the waypoint: 1-5 minutes.
+    const auto pause = static_cast<trace::Timestamp>(rng.uniform(60.0, 300.0));
+    append_stay(t, t.back().location, pause, cfg, rng);
+  }
+  return t.between(0, total_duration_s);
+}
+
+trace::Trace levy_flight_trace(const CityModel& city, const std::string& user_id,
+                               trace::Timestamp total_duration_s, const MovementConfig& cfg,
+                               double alpha, std::uint64_t seed) {
+  if (!(alpha > 1.0 && alpha <= 3.0)) {
+    throw std::invalid_argument("levy_flight_trace: alpha must be in (1, 3]");
+  }
+  stats::Rng rng(seed);
+  trace::Trace t(user_id);
+  t.append({0, city.random_location(rng)});
+  const double min_step = 50.0;
+  const double max_step = 2.0 * city.config().half_extent_m;
+  while (t.back().time < total_duration_s) {
+    // Inverse-CDF sample of a truncated Pareto step length.
+    const double u = rng.uniform_open0();
+    const double a1 = 1.0 - alpha;
+    const double lo = std::pow(min_step, a1);
+    const double hi = std::pow(max_step, a1);
+    const double step = std::pow(lo + u * (hi - lo), 1.0 / a1);
+    const double heading = rng.uniform(0.0, 2.0 * geo::kPi);
+    const geo::Point dest = city.clamp({t.back().location.x + step * std::cos(heading),
+                                        t.back().location.y + step * std::sin(heading)});
+    append_leg(t, dest, cfg, rng);
+    const auto pause = static_cast<trace::Timestamp>(rng.uniform(60.0, 600.0));
+    append_stay(t, t.back().location, pause, cfg, rng);
+  }
+  return t.between(0, total_duration_s);
+}
+
+}  // namespace locpriv::synth

@@ -1,0 +1,59 @@
+// Movement primitives and simple mobility models (random waypoint,
+// Lévy flight). Building blocks for the commuter and taxi generators and
+// useful standalone for stress workloads.
+#pragma once
+
+#include <cstdint>
+
+#include "synth/city.h"
+#include "trace/trace.h"
+
+namespace locpriv::synth {
+
+/// Shared sampling parameters for generated movement.
+struct MovementConfig {
+  double speed_mps = 10.0;         ///< cruise speed (city driving ~ 36 km/h)
+  double speed_jitter = 0.2;       ///< relative per-leg speed variation
+  trace::Timestamp report_interval_s = 60;  ///< GPS sampling period (cabspotting-like)
+  double gps_noise_m = 5.0;        ///< per-report sensor noise (stddev per axis)
+  bool manhattan_streets = false;  ///< rectilinear (grid-street) legs instead of straight lines
+};
+
+/// Travels to `destination` honoring cfg.manhattan_streets.
+trace::Timestamp travel(trace::Trace& t, geo::Point destination, const MovementConfig& cfg,
+                        stats::Rng& rng);
+
+/// Appends reports for straight-line travel from the trace's last
+/// location to `destination`, advancing time at the configured speed.
+/// The trace must be non-empty. Returns the arrival timestamp.
+trace::Timestamp append_leg(trace::Trace& t, geo::Point destination, const MovementConfig& cfg,
+                            stats::Rng& rng);
+
+/// Like append_leg, but travels rectilinearly (Manhattan geometry): one
+/// axis first, then the other, axis order randomized per leg — a cheap
+/// approximation of grid street networks that lengthens paths by the L1
+/// factor and puts right angles in trajectories, like urban GPS data.
+trace::Timestamp append_leg_manhattan(trace::Trace& t, geo::Point destination,
+                                      const MovementConfig& cfg, stats::Rng& rng);
+
+/// Appends reports for a stationary stay of `duration_s` at `where`
+/// (jittered by GPS noise), starting after the trace's last event.
+trace::Timestamp append_stay(trace::Trace& t, geo::Point where, trace::Timestamp duration_s,
+                             const MovementConfig& cfg, stats::Rng& rng);
+
+/// Random-waypoint trace: repeatedly picks a uniform waypoint in the
+/// city, travels there, and pauses briefly. `total_duration_s` bounds the
+/// generated time span. Deterministic in (city seed, seed).
+[[nodiscard]] trace::Trace random_waypoint_trace(const CityModel& city, const std::string& user_id,
+                                                 trace::Timestamp total_duration_s,
+                                                 const MovementConfig& cfg, std::uint64_t seed);
+
+/// Lévy-flight trace: step lengths follow a truncated power law
+/// (exponent `alpha` in (1, 3]), headings uniform. Models the
+/// heavy-tailed displacement statistics reported for human mobility.
+[[nodiscard]] trace::Trace levy_flight_trace(const CityModel& city, const std::string& user_id,
+                                             trace::Timestamp total_duration_s,
+                                             const MovementConfig& cfg, double alpha,
+                                             std::uint64_t seed);
+
+}  // namespace locpriv::synth

@@ -1,0 +1,47 @@
+#include "trace/cleaning.h"
+
+namespace locpriv::trace {
+
+Trace clean_trace(const Trace& t, const CleaningConfig& cfg, CleaningStats* stats_out) {
+  CleaningStats stats;
+  stats.input_events = t.size();
+  Trace out(t.user_id());
+  for (const Event& e : t) {
+    if (!out.empty()) {
+      const Event& prev = out.back();
+      if (cfg.drop_duplicates && e.time == prev.time && e.location == prev.location) {
+        ++stats.duplicates_dropped;
+        continue;
+      }
+      if (cfg.max_speed_mps > 0.0) {
+        const double dt = static_cast<double>(e.time - prev.time);
+        const double dist = geo::distance(e.location, prev.location);
+        // Simultaneous reports at different places are also speed
+        // violations (infinite speed).
+        if ((dt <= 0.0 && dist > 0.0) || (dt > 0.0 && dist / dt > cfg.max_speed_mps)) {
+          ++stats.speed_rejected;
+          continue;
+        }
+      }
+    }
+    out.append(e);
+  }
+  if (stats_out != nullptr) *stats_out = stats;
+  return out;
+}
+
+Dataset clean_dataset(const Dataset& d, const CleaningConfig& cfg, CleaningStats* stats_out) {
+  CleaningStats total;
+  Dataset out;
+  for (const Trace& t : d) {
+    CleaningStats one;
+    out.add(clean_trace(t, cfg, &one));
+    total.input_events += one.input_events;
+    total.speed_rejected += one.speed_rejected;
+    total.duplicates_dropped += one.duplicates_dropped;
+  }
+  if (stats_out != nullptr) *stats_out = total;
+  return out;
+}
+
+}  // namespace locpriv::trace

@@ -1,0 +1,36 @@
+#include "trace/dataset.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace locpriv::trace {
+
+void Dataset::add(Trace t) {
+  for (const Trace& existing : traces_) {
+    if (existing.user_id() == t.user_id()) {
+      throw std::invalid_argument("Dataset::add: duplicate user id '" + t.user_id() + "'");
+    }
+  }
+  traces_.push_back(std::move(t));
+}
+
+const Trace* Dataset::find(const std::string& user_id) const {
+  for (const Trace& t : traces_) {
+    if (t.user_id() == user_id) return &t;
+  }
+  return nullptr;
+}
+
+std::size_t Dataset::total_events() const {
+  std::size_t n = 0;
+  for (const Trace& t : traces_) n += t.size();
+  return n;
+}
+
+geo::BoundingBox Dataset::bounds() const {
+  geo::BoundingBox box;
+  for (const Trace& t : traces_) box.extend(t.bounds());
+  return box;
+}
+
+}  // namespace locpriv::trace

@@ -1,0 +1,52 @@
+// A dataset: many users' traces, the unit the framework protects and
+// evaluates.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "trace/trace.h"
+
+namespace locpriv::trace {
+
+/// Invariant: user ids are unique. Traces keep insertion order so that
+/// parallel evaluation can index users stably.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Adds a trace; throws std::invalid_argument on duplicate user id.
+  void add(Trace t);
+
+  [[nodiscard]] bool empty() const { return traces_.empty(); }
+  [[nodiscard]] std::size_t size() const { return traces_.size(); }
+  [[nodiscard]] const Trace& operator[](std::size_t i) const { return traces_[i]; }
+
+  [[nodiscard]] auto begin() const { return traces_.begin(); }
+  [[nodiscard]] auto end() const { return traces_.end(); }
+
+  /// Finds a trace by user id (nullptr when absent).
+  [[nodiscard]] const Trace* find(const std::string& user_id) const;
+
+  /// Total number of events across all traces.
+  [[nodiscard]] std::size_t total_events() const;
+
+  /// Bounding box over every location in the dataset.
+  [[nodiscard]] geo::BoundingBox bounds() const;
+
+  /// Applies `fn(const Trace&) -> Trace` to every trace — the shape of
+  /// protecting a whole dataset with an LPPM.
+  template <typename Fn>
+  [[nodiscard]] Dataset map(Fn&& fn) const {
+    Dataset out;
+    for (const Trace& t : traces_) out.add(fn(t));
+    return out;
+  }
+
+ private:
+  std::vector<Trace> traces_;
+};
+
+}  // namespace locpriv::trace

@@ -1,0 +1,24 @@
+// The atom of mobility data: a timestamped location report.
+#pragma once
+
+#include <cstdint>
+
+#include "geo/point.h"
+
+namespace locpriv::trace {
+
+/// Seconds since an arbitrary epoch (the library never interprets
+/// absolute dates; only differences matter).
+using Timestamp = std::int64_t;
+
+/// One location report. Locations live in the local planar frame
+/// (meters); conversion from geographic coordinates happens at the I/O
+/// boundary (see trace_io.h).
+struct Event {
+  Timestamp time = 0;
+  geo::Point location;
+
+  friend constexpr bool operator==(const Event&, const Event&) = default;
+};
+
+}  // namespace locpriv::trace

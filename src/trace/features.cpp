@@ -1,0 +1,39 @@
+#include "trace/features.h"
+
+#include <vector>
+
+#include "geo/polyline.h"
+#include "stats/descriptive.h"
+
+namespace locpriv::trace {
+
+TraceFeatures compute_features(const Trace& t) {
+  TraceFeatures f;
+  f.event_count = t.size();
+  if (t.empty()) return f;
+
+  const std::vector<geo::Point> pts = t.points();
+  f.duration_s = static_cast<double>(t.duration());
+  f.path_length_m = geo::path_length(pts);
+  f.radius_of_gyration_m = geo::radius_of_gyration(pts);
+  f.extent_diagonal_m = t.bounds().diagonal();
+  f.mean_speed_mps = f.duration_s > 0.0 ? f.path_length_m / f.duration_s : 0.0;
+
+  if (t.size() >= 2) {
+    std::vector<double> intervals;
+    intervals.reserve(t.size() - 1);
+    std::size_t slow_pairs = 0;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      const double dt = static_cast<double>(t[i].time - t[i - 1].time);
+      intervals.push_back(dt);
+      const double d = geo::distance(t[i - 1].location, t[i].location);
+      const double speed = dt > 0.0 ? d / dt : 0.0;
+      if (speed < 1.0) ++slow_pairs;
+    }
+    f.median_interval_s = stats::median(intervals);
+    f.stationary_ratio = static_cast<double>(slow_pairs) / static_cast<double>(t.size() - 1);
+  }
+  return f;
+}
+
+}  // namespace locpriv::trace

@@ -1,0 +1,25 @@
+// Per-trace mobility features — inputs to the dataset profiler (step 1
+// of the framework) and to synthetic-data validation.
+#pragma once
+
+#include "trace/trace.h"
+
+namespace locpriv::trace {
+
+/// Scalar features of one trace. All distances in meters, durations in
+/// seconds, speeds in m/s.
+struct TraceFeatures {
+  std::size_t event_count = 0;
+  double duration_s = 0.0;
+  double path_length_m = 0.0;
+  double radius_of_gyration_m = 0.0;
+  double extent_diagonal_m = 0.0;   ///< bounding-box diagonal
+  double mean_speed_mps = 0.0;      ///< path length / duration (0 if instantaneous)
+  double median_interval_s = 0.0;   ///< median inter-report gap
+  double stationary_ratio = 0.0;    ///< fraction of consecutive pairs moving < 1 m/s
+};
+
+/// Computes all features; an empty trace yields all zeros.
+[[nodiscard]] TraceFeatures compute_features(const Trace& t);
+
+}  // namespace locpriv::trace

@@ -1,0 +1,65 @@
+#include "trace/resample.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace locpriv::trace {
+
+Trace downsample(const Trace& t, Timestamp min_interval_s) {
+  if (min_interval_s <= 0) throw std::invalid_argument("downsample: interval must be positive");
+  Trace out(t.user_id());
+  Timestamp last = 0;
+  bool first = true;
+  for (const Event& e : t) {
+    if (first || e.time - last >= min_interval_s) {
+      out.append(e);
+      last = e.time;
+      first = false;
+    }
+  }
+  return out;
+}
+
+std::vector<Trace> split_by_gap(const Trace& t, Timestamp max_gap_s) {
+  if (max_gap_s <= 0) throw std::invalid_argument("split_by_gap: gap must be positive");
+  std::vector<Trace> pieces;
+  if (t.empty()) return pieces;
+  std::size_t piece_index = 0;
+  Trace current(t.user_id() + "#" + std::to_string(piece_index));
+  for (const Event& e : t) {
+    if (!current.empty() && e.time - current.back().time > max_gap_s) {
+      pieces.push_back(std::move(current));
+      ++piece_index;
+      current = Trace(t.user_id() + "#" + std::to_string(piece_index));
+    }
+    current.append(e);
+  }
+  pieces.push_back(std::move(current));
+  return pieces;
+}
+
+std::vector<Trace> split_by_window(const Trace& t, Timestamp window_s) {
+  if (window_s <= 0) throw std::invalid_argument("split_by_window: window must be positive");
+  std::vector<Trace> pieces;
+  if (t.empty()) return pieces;
+  const Timestamp start = t.front().time;
+  Trace current(t.user_id() + "#0");
+  Timestamp current_window = 0;
+  for (const Event& e : t) {
+    const Timestamp window = (e.time - start) / window_s;
+    if (window != current_window && !current.empty()) {
+      pieces.push_back(std::move(current));
+      current = Trace(t.user_id() + "#" + std::to_string(window));
+      current_window = window;
+    }
+    current.append(e);
+  }
+  if (!current.empty()) pieces.push_back(std::move(current));
+  return pieces;
+}
+
+Dataset downsample(const Dataset& d, Timestamp min_interval_s) {
+  return d.map([&](const Trace& t) { return downsample(t, min_interval_s); });
+}
+
+}  // namespace locpriv::trace

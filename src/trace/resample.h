@@ -1,0 +1,28 @@
+// Temporal restructuring of traces: downsampling, gap splitting,
+// windowing.
+#pragma once
+
+#include <vector>
+
+#include "trace/dataset.h"
+#include "trace/trace.h"
+
+namespace locpriv::trace {
+
+/// Keeps at most one event per `min_interval_s` window (the first of each
+/// window). Requires min_interval_s > 0.
+[[nodiscard]] Trace downsample(const Trace& t, Timestamp min_interval_s);
+
+/// Splits a trace where consecutive events are more than `max_gap_s`
+/// apart; each piece keeps the original user id suffixed with "#k".
+/// Requires max_gap_s > 0.
+[[nodiscard]] std::vector<Trace> split_by_gap(const Trace& t, Timestamp max_gap_s);
+
+/// Splits into fixed windows of `window_s` seconds aligned to the trace
+/// start. Empty windows are omitted. Requires window_s > 0.
+[[nodiscard]] std::vector<Trace> split_by_window(const Trace& t, Timestamp window_s);
+
+/// Applies downsample() to every trace of a dataset.
+[[nodiscard]] Dataset downsample(const Dataset& d, Timestamp min_interval_s);
+
+}  // namespace locpriv::trace

@@ -1,0 +1,52 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace locpriv::trace {
+
+Trace::Trace(std::string user_id, std::vector<Event> events)
+    : user_id_(std::move(user_id)), events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) { return a.time < b.time; });
+}
+
+void Trace::append(Event e) {
+  if (!events_.empty() && e.time < events_.back().time) {
+    throw std::invalid_argument("Trace::append: event is older than the trace tail");
+  }
+  events_.push_back(e);
+}
+
+void Trace::insert(Event e) {
+  const auto pos = std::upper_bound(events_.begin(), events_.end(), e.time,
+                                    [](Timestamp t, const Event& ev) { return t < ev.time; });
+  events_.insert(pos, e);
+}
+
+Timestamp Trace::duration() const {
+  return events_.size() < 2 ? 0 : events_.back().time - events_.front().time;
+}
+
+std::vector<geo::Point> Trace::points() const {
+  std::vector<geo::Point> pts;
+  pts.reserve(events_.size());
+  for (const Event& e : events_) pts.push_back(e.location);
+  return pts;
+}
+
+geo::BoundingBox Trace::bounds() const {
+  geo::BoundingBox box;
+  for (const Event& e : events_) box.extend(e.location);
+  return box;
+}
+
+Trace Trace::between(Timestamp t0, Timestamp t1) const {
+  Trace out(user_id_);
+  for (const Event& e : events_) {
+    if (e.time >= t0 && e.time <= t1) out.events_.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace locpriv::trace

@@ -1,0 +1,71 @@
+// A mobility trace: one user's chronologically ordered location reports.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "trace/event.h"
+
+namespace locpriv::trace {
+
+/// Invariant: events are sorted by nondecreasing timestamp. Enforced at
+/// every mutation; bulk construction sorts once.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::string user_id) : user_id_(std::move(user_id)) {}
+  /// Bulk constructor; sorts the events by time (stable, preserving the
+  /// relative order of simultaneous reports).
+  Trace(std::string user_id, std::vector<Event> events);
+
+  [[nodiscard]] const std::string& user_id() const { return user_id_; }
+  void set_user_id(std::string id) { user_id_ = std::move(id); }
+
+  /// Appends an event; throws std::invalid_argument if it would violate
+  /// time ordering (use insert() for out-of-order arrivals).
+  void append(Event e);
+  /// Inserts keeping chronological order (O(n) worst case).
+  void insert(Event e);
+
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] const Event& operator[](std::size_t i) const { return events_[i]; }
+  [[nodiscard]] const Event& front() const { return events_.front(); }
+  [[nodiscard]] const Event& back() const { return events_.back(); }
+  [[nodiscard]] std::span<const Event> events() const { return events_; }
+
+  [[nodiscard]] auto begin() const { return events_.begin(); }
+  [[nodiscard]] auto end() const { return events_.end(); }
+
+  /// Total time span covered, seconds (0 for < 2 events).
+  [[nodiscard]] Timestamp duration() const;
+
+  /// Copies of just the locations, in order.
+  [[nodiscard]] std::vector<geo::Point> points() const;
+
+  /// Tightest bounding box over the locations.
+  [[nodiscard]] geo::BoundingBox bounds() const;
+
+  /// The sub-trace with events in [t0, t1] (inclusive).
+  [[nodiscard]] Trace between(Timestamp t0, Timestamp t1) const;
+
+  /// Replaces every location through `fn(event) -> Point`, keeping
+  /// timestamps — the shape of a location-perturbing LPPM.
+  template <typename Fn>
+  [[nodiscard]] Trace map_locations(Fn&& fn) const {
+    Trace out(user_id_);
+    out.events_.reserve(events_.size());
+    for (const Event& e : events_) out.events_.push_back({e.time, fn(e)});
+    return out;
+  }
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+
+ private:
+  std::string user_id_;
+  std::vector<Event> events_;
+};
+
+}  // namespace locpriv::trace

@@ -1,0 +1,33 @@
+// Dataset (de)serialization.
+//
+// Canonical CSV schema, one event per row:
+//   user,timestamp,x,y          (planar meters; header required)
+// and a geographic variant compatible with cabspotting-style exports:
+//   user,timestamp,lat,lng      (projected through a LocalProjection)
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "geo/projection.h"
+#include "trace/dataset.h"
+
+namespace locpriv::trace {
+
+/// Writes the planar CSV schema (header + one row per event).
+void write_dataset_csv(std::ostream& out, const Dataset& d);
+void write_dataset_csv_file(const std::string& path, const Dataset& d);
+
+/// Reads the planar CSV schema. Throws std::runtime_error on schema or
+/// parse errors (with the offending line number).
+[[nodiscard]] Dataset read_dataset_csv(std::istream& in);
+[[nodiscard]] Dataset read_dataset_csv_file(const std::string& path);
+
+/// Writes the geographic schema, un-projecting through `proj`.
+void write_dataset_geo_csv(std::ostream& out, const Dataset& d, const geo::LocalProjection& proj);
+
+/// Reads the geographic schema, projecting through `proj`.
+[[nodiscard]] Dataset read_dataset_geo_csv(std::istream& in, const geo::LocalProjection& proj);
+
+}  // namespace locpriv::trace

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "attack/homework.h"
+#include "attack/interpolation.h"
+#include "attack/poi_attack.h"
+#include "attack/reident.h"
+#include "attack/adaptive.h"
+#include "attack/smoothing.h"
+#include "lppm/dropout.h"
+#include "lppm/geo_ind.h"
+#include "synth/scenario.h"
+#include "test_util.h"
+
+namespace locpriv::attack {
+namespace {
+
+TEST(PoiAttack, RetrievesEverythingFromUnprotectedData) {
+  const trace::Trace t = testutil::two_stop_trace("u", {0, 0}, {0, 3000});
+  const PoiAttackResult r = run_poi_attack(t, t, PoiAttackConfig{});
+  EXPECT_EQ(r.actual_pois.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.match.recall, 1.0);
+}
+
+TEST(PoiAttack, HeavyNoiseDefeatsAttack) {
+  const trace::Trace t = testutil::two_stop_trace("u", {0, 0}, {0, 3000});
+  const lppm::GeoIndistinguishability strong(1e-4);  // ~20 km mean noise
+  const trace::Trace protected_t = strong.protect(t, 7);
+  const PoiAttackResult r = run_poi_attack(t, protected_t, PoiAttackConfig{});
+  EXPECT_LE(r.match.recall, 0.5);  // overwhelmingly defeated
+}
+
+TEST(PoiAttack, LightNoiseLeaksPois) {
+  const trace::Trace t = testutil::two_stop_trace("u", {0, 0}, {0, 3000});
+  const lppm::GeoIndistinguishability weak(1.0);  // ~2 m mean noise
+  const trace::Trace protected_t = weak.protect(t, 7);
+  const PoiAttackResult r = run_poi_attack(t, protected_t, PoiAttackConfig{});
+  EXPECT_DOUBLE_EQ(r.match.recall, 1.0);
+}
+
+TEST(PoiAttack, PrecomputedGroundTruthMatchesFullRun) {
+  const trace::Trace t = testutil::two_stop_trace("u", {0, 0}, {0, 3000});
+  const PoiAttackConfig cfg;
+  const lppm::GeoIndistinguishability mech(0.05);
+  const trace::Trace protected_t = mech.protect(t, 9);
+  const PoiAttackResult full = run_poi_attack(t, protected_t, cfg);
+  const auto gt = poi::extract_pois(t, cfg.ground_truth);
+  const PoiAttackResult cached = run_poi_attack(gt, protected_t, cfg);
+  EXPECT_EQ(full.match.recall, cached.match.recall);
+  EXPECT_EQ(full.actual_pois.size(), cached.actual_pois.size());
+}
+
+TEST(HomeWork, InfersHomeFromNightAndWorkFromDay) {
+  // Build a day: home 0h-8h, work 9h-17h, home 18h-24h.
+  const geo::Point home{0, 0};
+  const geo::Point work{0, 5000};
+  trace::Trace t("u");
+  trace::Timestamp now = 0;
+  for (; now <= 8 * 3600; now += 300) t.append({now, home});
+  for (now = 9 * 3600; now <= 17 * 3600; now += 300) t.append({now, work});
+  for (now = 18 * 3600; now <= 24 * 3600 - 1; now += 300) t.append({now, home});
+
+  const HomeWorkResult r = infer_home_work(t, HomeWorkConfig{});
+  ASSERT_TRUE(r.home.has_value());
+  ASSERT_TRUE(r.work.has_value());
+  EXPECT_LT(geo::distance(*r.home, home), 150.0);
+  EXPECT_LT(geo::distance(*r.work, work), 150.0);
+  EXPECT_TRUE(location_hit(r.home, home, 200.0));
+  EXPECT_FALSE(location_hit(r.home, work, 200.0));
+}
+
+TEST(HomeWork, NothingInferredFromEmptyTrace) {
+  const HomeWorkResult r = infer_home_work(trace::Trace("u"), HomeWorkConfig{});
+  EXPECT_FALSE(r.home.has_value());
+  EXPECT_FALSE(r.work.has_value());
+  EXPECT_FALSE(location_hit(r.home, {0, 0}, 1e9));
+}
+
+TEST(HomeWork, NightWindowWrapsMidnight) {
+  // Only a 23h-1h stay: inside the default 22h-6h night window.
+  trace::Trace t("u");
+  for (trace::Timestamp now = 23 * 3600; now <= 25 * 3600; now += 300) {
+    t.append({now, {700, 700}});
+  }
+  const HomeWorkResult r = infer_home_work(t, HomeWorkConfig{});
+  ASSERT_TRUE(r.home.has_value());
+  EXPECT_LT(geo::distance(*r.home, {700, 700}), 150.0);
+  EXPECT_FALSE(r.work.has_value());  // no office-hours dwell
+}
+
+TEST(Reident, PerfectLinkageOnCleanData) {
+  const trace::Dataset d = testutil::two_stop_dataset(6);
+  const ReidentResult r = run_reident_attack(d, d, ReidentConfig{});
+  EXPECT_EQ(r.correct, 6u);
+  EXPECT_DOUBLE_EQ(r.accuracy, 1.0);
+}
+
+TEST(Reident, HeavyNoiseBreaksLinkage) {
+  const trace::Dataset d = testutil::two_stop_dataset(6);
+  const lppm::GeoIndistinguishability strong(2e-4);
+  const trace::Dataset protected_d = strong.protect_dataset(d, 3);
+  const ReidentResult r = run_reident_attack(d, protected_d, ReidentConfig{});
+  EXPECT_LT(r.accuracy, 0.7);
+}
+
+TEST(Reident, SizeMismatchThrows) {
+  const trace::Dataset a = testutil::two_stop_dataset(3);
+  const trace::Dataset b = testutil::two_stop_dataset(2);
+  EXPECT_THROW(run_reident_attack(a, b, ReidentConfig{}), std::invalid_argument);
+}
+
+TEST(Reident, FingerprintDistanceProperties) {
+  const std::vector<poi::Poi> a{{{0, 0}, 100, 1}, {{100, 0}, 100, 1}};
+  const std::vector<poi::Poi> b{{{0, 0}, 100, 1}};
+  EXPECT_DOUBLE_EQ(fingerprint_distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(fingerprint_distance(a, b), 50.0);  // (0 + 100)/2
+  EXPECT_TRUE(std::isinf(fingerprint_distance({}, b)));
+  EXPECT_TRUE(std::isinf(fingerprint_distance(a, {})));
+}
+
+TEST(Smoothing, MovingAverageReducesIndependentNoise) {
+  const trace::Trace clean = testutil::stationary_trace("u", {0, 0}, 30'000, 10);
+  const lppm::GeoIndistinguishability mech(0.02);  // ~100 m mean noise
+  const trace::Trace noisy = mech.protect(clean, 3);
+  const trace::Trace smoothed = moving_average(noisy, 9);
+  auto mean_error = [&](const trace::Trace& t) {
+    double sum = 0.0;
+    for (const trace::Event& e : t) sum += geo::distance(e.location, {0, 0});
+    return sum / static_cast<double>(t.size());
+  };
+  // A 9-wide average shrinks the noise by about a factor 3.
+  EXPECT_LT(mean_error(smoothed), mean_error(noisy) / 2.0);
+}
+
+TEST(Smoothing, WindowOneIsIdentityAndZeroThrows) {
+  const trace::Trace t = testutil::two_stop_trace("u", {0, 0}, {0, 2000});
+  EXPECT_EQ(moving_average(t, 1), t);
+  EXPECT_THROW((void)moving_average(t, 0), std::invalid_argument);
+  EXPECT_TRUE(moving_average(trace::Trace("u"), 5).empty());
+}
+
+TEST(Smoothing, PreservesTimestampsAndLength) {
+  const trace::Trace t = testutil::two_stop_trace("u", {0, 0}, {0, 2000});
+  const trace::Trace s = moving_average(t, 7);
+  ASSERT_EQ(s.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(s[i].time, t[i].time);
+}
+
+TEST(Smoothing, AttackBeatsNaiveAdversaryUnderModerateNoise) {
+  // In the transition zone the smoothing adversary retrieves at least as
+  // much as the naive one — the gap bench_smoothing_adversary quantifies.
+  const trace::Dataset d = testutil::two_stop_dataset(6);
+  const lppm::GeoIndistinguishability mech(0.012);
+  std::size_t naive_total = 0;
+  std::size_t smooth_total = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const trace::Trace protected_t = mech.protect(d[i], 100 + i);
+    const PoiAttackConfig poi_cfg;
+    naive_total += run_poi_attack(d[i], protected_t, poi_cfg).match.retrieved_count;
+    SmoothingAttackConfig cfg;
+    cfg.window = 9;
+    smooth_total += run_smoothing_attack(d[i], protected_t, cfg).match.retrieved_count;
+  }
+  EXPECT_GE(smooth_total, naive_total);
+}
+
+TEST(Adaptive, NoiseEstimateTracksGeoIndScale) {
+  const trace::Trace clean = testutil::stationary_trace("u", {0, 0}, 60'000, 60);
+  EXPECT_NEAR(estimate_noise_scale(clean), 0.0, 1.0);
+  const lppm::GeoIndistinguishability mech(0.01);  // ~200 m mean noise
+  const trace::Trace noisy = mech.protect(clean, 3);
+  const double estimate = estimate_noise_scale(noisy);
+  // Median consecutive displacement of independent planar-Laplace pairs
+  // lands in the noise-scale ballpark (same order, not exact).
+  EXPECT_GT(estimate, 100.0);
+  EXPECT_LT(estimate, 800.0);
+}
+
+TEST(Adaptive, EmptyAndTinyTraces) {
+  EXPECT_DOUBLE_EQ(estimate_noise_scale(trace::Trace("u")), 0.0);
+  trace::Trace one("u");
+  one.append({0, {0, 0}});
+  EXPECT_DOUBLE_EQ(estimate_noise_scale(one), 0.0);
+}
+
+TEST(Adaptive, AttackOutperformsFixedToleranceUnderHeavyNoise) {
+  // Noise well above the naive 200 m tolerance: fixed extraction finds
+  // nothing, adaptive extraction widens and recovers at least as much.
+  const trace::Trace t = testutil::two_stop_trace("u", {0, 0}, {0, 8000}, 7200);
+  const lppm::GeoIndistinguishability mech(0.004);  // ~500 m mean noise
+  const trace::Trace protected_t = mech.protect(t, 5);
+  const PoiAttackConfig naive_cfg;
+  const double naive = run_poi_attack(t, protected_t, naive_cfg).match.recall;
+  AdaptiveAttackConfig adaptive_cfg;
+  const double adaptive = run_adaptive_attack(t, protected_t, adaptive_cfg).match.recall;
+  EXPECT_GE(adaptive, naive);
+}
+
+TEST(Interpolation, FillsGapsAtRequestedCadence) {
+  trace::Trace t("u");
+  t.append({0, {0, 0}});
+  t.append({600, {600, 0}});
+  const trace::Trace filled = interpolate_gaps(t, 60, 120);
+  ASSERT_EQ(filled.size(), 11u);  // 0, 60, ..., 540, 600
+  EXPECT_EQ(filled[5].time, 300);
+  EXPECT_NEAR(filled[5].location.x, 300.0, 1e-9);
+  EXPECT_THROW((void)interpolate_gaps(t, 0, 120), std::invalid_argument);
+  EXPECT_THROW((void)interpolate_gaps(t, 60, 30), std::invalid_argument);
+}
+
+TEST(Interpolation, SmallGapsUntouched) {
+  const trace::Trace t = testutil::stationary_trace("u", {0, 0}, 600, 60);
+  EXPECT_EQ(interpolate_gaps(t, 60, 120), t);
+}
+
+TEST(Interpolation, DefeatsDropoutOnStays) {
+  // Dropout suppresses 70 % of reports; interpolation reconstructs the
+  // dwell and the POI attack recovers what suppression hid.
+  const trace::Trace t = testutil::two_stop_trace("u", {0, 0}, {0, 3000});
+  const lppm::ReleaseDropout dropout(0.3);
+  const trace::Trace thinned = dropout.protect(t, 11);
+  const PoiAttackConfig naive_cfg;
+  const double naive = run_poi_attack(t, thinned, naive_cfg).match.recall;
+  InterpolationAttackConfig cfg;
+  const double reconstructed = run_interpolation_attack(t, thinned, cfg).match.recall;
+  EXPECT_GE(reconstructed, naive);
+  EXPECT_DOUBLE_EQ(reconstructed, 1.0);
+}
+
+TEST(Reident, RealisticTaxiScenarioDegradesWithNoise) {
+  synth::TaxiScenarioConfig cfg;
+  cfg.driver_count = 8;
+  const trace::Dataset d = synth::make_taxi_dataset(cfg, 5);
+  const lppm::GeoIndistinguishability weak(0.5);
+  const lppm::GeoIndistinguishability strong(3e-4);
+  const double acc_weak =
+      run_reident_attack(d, weak.protect_dataset(d, 1), ReidentConfig{}).accuracy;
+  const double acc_strong =
+      run_reident_attack(d, strong.protect_dataset(d, 1), ReidentConfig{}).accuracy;
+  EXPECT_GE(acc_weak, acc_strong);
+  EXPECT_GT(acc_weak, 0.5);  // light noise: most drivers re-identified
+}
+
+}  // namespace
+}  // namespace locpriv::attack

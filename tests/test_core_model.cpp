@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/loglinear_model.h"
+#include "core/response_surface.h"
+#include "stats/rng.h"
+
+namespace locpriv::core {
+namespace {
+
+/// Builds a synthetic sweep with the paper's exact Eq. 2 shape:
+/// Pr = clamp(a + b ln eps, 0, pr_cap), Ut = clamp(alpha + beta ln eps, ut_floor, 1).
+SweepResult paper_shaped_sweep(double a = 0.84, double b = 0.17, double alpha = 1.21,
+                               double beta = 0.09, double noise = 0.0,
+                               std::size_t points = 41) {
+  SweepResult sweep;
+  sweep.mechanism_name = "geo-indistinguishability";
+  sweep.parameter = "epsilon";
+  sweep.scale = lppm::Scale::kLog;
+  sweep.privacy_metric = "poi-retrieval";
+  sweep.utility_metric = "area-coverage-f1";
+  stats::Rng rng(7);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(points - 1);
+    const double eps = std::exp(std::log(1e-4) + t * (std::log(1.0) - std::log(1e-4)));
+    SweepPoint p;
+    p.parameter_value = eps;
+    p.privacy_mean = std::clamp(a + b * std::log(eps) + noise * rng.normal(), 0.0, 0.45);
+    p.utility_mean = std::clamp(alpha + beta * std::log(eps) + noise * rng.normal(), 0.2, 1.0);
+    sweep.points.push_back(p);
+  }
+  return sweep;
+}
+
+TEST(LogLinearModel, RecoversPaperCoefficients) {
+  const SweepResult sweep = paper_shaped_sweep();
+  const LppmModel model = fit_loglinear_model(sweep);
+  // Fit on the unsaturated interval must recover a, b, alpha, beta.
+  EXPECT_NEAR(model.privacy.fit.slope, 0.17, 0.01);
+  EXPECT_NEAR(model.privacy.fit.intercept, 0.84, 0.05);
+  EXPECT_NEAR(model.utility.fit.slope, 0.09, 0.01);
+  EXPECT_NEAR(model.utility.fit.intercept, 1.21, 0.06);
+  EXPECT_GT(model.privacy.fit.r_squared, 0.98);
+  EXPECT_GT(model.utility.fit.r_squared, 0.98);
+}
+
+TEST(LogLinearModel, PaperWorkedExampleHolds) {
+  // eps = 0.01 => Pr ≈ 0.057 (<= 10 %), Ut ≈ 0.80.
+  const LppmModel model = fit_loglinear_model(paper_shaped_sweep());
+  EXPECT_NEAR(model.privacy.predict(0.01, model.scale), 0.0572, 0.02);
+  EXPECT_NEAR(model.utility.predict(0.01, model.scale), 0.7955, 0.02);
+}
+
+TEST(LogLinearModel, RobustToMeasurementNoise) {
+  const LppmModel model = fit_loglinear_model(paper_shaped_sweep(0.84, 0.17, 1.21, 0.09, 0.01));
+  EXPECT_NEAR(model.privacy.fit.slope, 0.17, 0.03);
+  EXPECT_NEAR(model.utility.fit.slope, 0.09, 0.03);
+}
+
+TEST(LogLinearModel, ValidityRangeExcludesSaturation) {
+  const LppmModel model = fit_loglinear_model(paper_shaped_sweep());
+  // Privacy saturates at 0 below eps ≈ exp(-0.84/0.17) ≈ 0.0072 and at
+  // 0.45 above eps ≈ exp((0.45-0.84)/0.17) ≈ 0.10.
+  EXPECT_GT(model.privacy.param_low, 0.001);
+  EXPECT_LT(model.privacy.param_high, 0.5);
+  EXPECT_LT(model.param_low, model.param_high);
+}
+
+TEST(LogLinearModel, PredictThrowsOutsideValidity) {
+  const LppmModel model = fit_loglinear_model(paper_shaped_sweep());
+  EXPECT_THROW((void)model.privacy.predict(model.privacy.param_low / 10.0, model.scale),
+               std::domain_error);
+  EXPECT_THROW((void)model.privacy.predict(model.privacy.param_high * 10.0, model.scale),
+               std::domain_error);
+}
+
+TEST(LogLinearModel, InvertRoundTrips) {
+  const LppmModel model = fit_loglinear_model(paper_shaped_sweep());
+  const double eps_mid = std::sqrt(model.param_low * model.param_high);
+  const double pr = model.privacy.predict(eps_mid, model.scale);
+  EXPECT_NEAR(model.privacy.invert(pr, model.scale), eps_mid, 1e-9 * eps_mid);
+  const double ut = model.utility.predict(eps_mid, model.scale);
+  EXPECT_NEAR(model.utility.invert(ut, model.scale), eps_mid, 1e-9 * eps_mid);
+}
+
+TEST(LogLinearModel, InvertThrowsForUnreachableMetric) {
+  const LppmModel model = fit_loglinear_model(paper_shaped_sweep());
+  EXPECT_THROW((void)model.privacy.invert(0.99, model.scale), std::domain_error);
+  EXPECT_FALSE(model.privacy.metric_reachable(0.99));
+  EXPECT_TRUE(model.privacy.metric_reachable(
+      (model.privacy.metric_at_low + model.privacy.metric_at_high) / 2.0));
+}
+
+TEST(LogLinearModel, TooFewPointsThrows) {
+  SweepResult tiny = paper_shaped_sweep();
+  tiny.points.resize(2);
+  EXPECT_THROW(fit_loglinear_model(tiny), std::invalid_argument);
+}
+
+TEST(LogLinearModel, MetadataPropagates) {
+  const LppmModel model = fit_loglinear_model(paper_shaped_sweep());
+  EXPECT_EQ(model.mechanism_name, "geo-indistinguishability");
+  EXPECT_EQ(model.parameter, "epsilon");
+  EXPECT_EQ(model.privacy_metric, "poi-retrieval");
+  EXPECT_EQ(model.utility_metric, "area-coverage-f1");
+}
+
+TEST(ResponseSurface, FitsMultiDatasetObservations) {
+  // Pr = 0.8 + 0.15 ln(eps) + 0.05 d1; Ut = 1.2 + 0.1 ln(eps) - 0.02 d1.
+  std::vector<SurfaceObservation> obs;
+  for (const double d1 : {0.0, 1.0, 2.0}) {
+    for (double lg = -8.0; lg <= -1.0; lg += 0.5) {
+      SurfaceObservation o;
+      o.parameter_value = std::exp(lg);
+      o.properties = {d1};
+      o.privacy = 0.8 + 0.15 * lg + 0.05 * d1;
+      o.utility = 1.2 + 0.1 * lg - 0.02 * d1;
+      obs.push_back(o);
+    }
+  }
+  const ResponseSurface s =
+      fit_response_surface(obs, {"density"}, "epsilon", lppm::Scale::kLog);
+  EXPECT_NEAR(s.privacy.beta[0], 0.8, 1e-9);
+  EXPECT_NEAR(s.privacy.beta[1], 0.15, 1e-9);
+  EXPECT_NEAR(s.privacy.beta[2], 0.05, 1e-9);
+  const auto [pr, ut] = s.predict(0.01, {1.0});
+  EXPECT_NEAR(pr, 0.8 + 0.15 * std::log(0.01) + 0.05, 1e-9);
+  EXPECT_NEAR(ut, 1.2 + 0.1 * std::log(0.01) - 0.02, 1e-9);
+}
+
+TEST(ResponseSurface, InvertSolvesForParameter) {
+  std::vector<SurfaceObservation> obs;
+  for (const double d1 : {0.0, 2.0}) {
+    for (double lg = -8.0; lg <= -1.0; lg += 0.5) {
+      obs.push_back({std::exp(lg), {d1}, 0.8 + 0.15 * lg + 0.05 * d1, 1.2 + 0.1 * lg});
+    }
+  }
+  const ResponseSurface s =
+      fit_response_surface(obs, {"density"}, "epsilon", lppm::Scale::kLog);
+  // Target Pr = 0.1 with d1 = 1: ln eps = (0.1 - 0.85)/0.15 = -5.
+  const double eps = s.invert(Axis::kPrivacy, 0.1, {1.0});
+  EXPECT_NEAR(std::log(eps), -5.0, 1e-6);
+  // Arity mismatch rejected.
+  EXPECT_THROW((void)s.invert(Axis::kPrivacy, 0.1, {}), std::invalid_argument);
+}
+
+TEST(ResponseSurface, Validation) {
+  EXPECT_THROW(fit_response_surface({}, {}, "p", lppm::Scale::kLog), std::invalid_argument);
+  std::vector<SurfaceObservation> bad{{0.01, {1.0}, 0.1, 0.9}, {0.02, {}, 0.1, 0.9}};
+  EXPECT_THROW(fit_response_surface(bad, {"d"}, "p", lppm::Scale::kLog), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace locpriv::core

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/profiler.h"
+#include "synth/scenario.h"
+#include "test_util.h"
+
+namespace locpriv::core {
+namespace {
+
+TEST(Profiler, PropertyNamesStable) {
+  const auto& names = property_names();
+  EXPECT_EQ(names.size(), 10u);
+  EXPECT_EQ(names[0], "event_count");
+  EXPECT_NE(std::find(names.begin(), names.end(), "poi_count"), names.end());
+}
+
+TEST(Profiler, PerUserMatrixShape) {
+  const trace::Dataset d = testutil::two_stop_dataset(4);
+  const auto rows = per_user_properties(d);
+  ASSERT_EQ(rows.size(), 4u);
+  for (const auto& row : rows) EXPECT_EQ(row.size(), property_names().size());
+}
+
+TEST(Profiler, PropertiesReflectTraceStructure) {
+  const trace::Dataset d = testutil::two_stop_dataset(2);
+  const auto rows = per_user_properties(d);
+  // Column 8 = poi_count: two-stop traces have 2 POIs.
+  EXPECT_DOUBLE_EQ(rows[0][8], 2.0);
+  // Column 7 = stationary_ratio: mostly dwelling.
+  EXPECT_GT(rows[0][7], 0.5);
+}
+
+TEST(Profiler, DatasetPropertiesAreColumnMeans) {
+  const trace::Dataset d = testutil::two_stop_dataset(3);
+  const auto rows = per_user_properties(d);
+  const auto means = dataset_properties(d);
+  ASSERT_EQ(means.size(), property_names().size());
+  double expected = 0.0;
+  for (const auto& row : rows) expected += row[0];
+  expected /= 3.0;
+  EXPECT_NEAR(means[0], expected, 1e-9);
+  EXPECT_THROW(dataset_properties(trace::Dataset{}), std::invalid_argument);
+}
+
+TEST(Profiler, RankPropertiesCoversAllAndSorts) {
+  synth::TaxiScenarioConfig cfg;
+  cfg.driver_count = 8;
+  const trace::Dataset d = synth::make_taxi_dataset(cfg, 3);
+  const auto ranked = rank_properties(d);
+  ASSERT_EQ(ranked.size(), property_names().size());
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].importance, ranked[i].importance);
+  }
+}
+
+TEST(Profiler, SelectTopK) {
+  synth::TaxiScenarioConfig cfg;
+  cfg.driver_count = 6;
+  const trace::Dataset d = synth::make_taxi_dataset(cfg, 3);
+  const auto top3 = select_properties(d, 3);
+  EXPECT_EQ(top3.size(), 3u);
+  const auto all = select_properties(d, 100);
+  EXPECT_EQ(all.size(), property_names().size());
+}
+
+}  // namespace
+}  // namespace locpriv::core

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/saturation.h"
+
+namespace locpriv::core {
+namespace {
+
+/// A saturating S-curve: flat at 0 below x=-2, linear middle, flat at 1
+/// above x=2 — the shape of Figure 1's metrics against ln eps.
+std::vector<double> scurve(const std::vector<double>& xs) {
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(std::clamp(0.25 * (x + 2.0), 0.0, 1.0));
+  return ys;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  std::vector<double> xs;
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back(lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1));
+  }
+  return xs;
+}
+
+TEST(Saturation, FindsMiddleOfSCurve) {
+  const std::vector<double> xs = linspace(-6.0, 6.0, 25);
+  const ActiveInterval iv = detect_active_interval(xs, scurve(xs));
+  // The active region is about [-2, 2]; allow one grid point of slack.
+  EXPECT_NEAR(iv.x_low, -2.0, 0.6);
+  EXPECT_NEAR(iv.x_high, 2.0, 0.6);
+  EXPECT_GE(iv.point_count(), 6u);
+}
+
+TEST(Saturation, FullyLinearCurveKeepsEverything) {
+  const std::vector<double> xs = linspace(0.0, 10.0, 11);
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(2.0 * x + 1.0);
+  const ActiveInterval iv = detect_active_interval(xs, ys);
+  EXPECT_EQ(iv.first, 0u);
+  EXPECT_EQ(iv.last, 10u);
+}
+
+TEST(Saturation, FlatCurveCollapsesGracefully) {
+  const std::vector<double> xs = linspace(0.0, 10.0, 11);
+  const std::vector<double> ys(11, 0.5);
+  const ActiveInterval iv = detect_active_interval(xs, ys);
+  EXPECT_EQ(iv.point_count(), 2u);  // degenerate but well-formed
+}
+
+TEST(Saturation, DecreasingCurveWorksToo) {
+  const std::vector<double> xs = linspace(-6.0, 6.0, 25);
+  std::vector<double> ys = scurve(xs);
+  for (double& y : ys) y = 1.0 - y;  // mirror
+  const ActiveInterval iv = detect_active_interval(xs, ys);
+  EXPECT_NEAR(iv.x_low, -2.0, 0.6);
+  EXPECT_NEAR(iv.x_high, 2.0, 0.6);
+}
+
+TEST(Saturation, NoisyFlatTailsAreExcluded) {
+  const std::vector<double> xs = linspace(-8.0, 8.0, 33);
+  std::vector<double> ys = scurve(xs);
+  // Add tiny wiggle in the tails (1 % of peak slope).
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    if (xs[i] < -3.0 || xs[i] > 3.0) ys[i] += ((i % 2 == 0) ? 1.0 : -1.0) * 1e-4;
+  }
+  const ActiveInterval iv = detect_active_interval(xs, ys);
+  EXPECT_GE(iv.x_low, -3.1);
+  EXPECT_LE(iv.x_high, 3.1);
+}
+
+TEST(Saturation, FlatFractionControlsStrictness) {
+  const std::vector<double> xs = linspace(-6.0, 6.0, 49);
+  // Gentle sigmoid: tanh has slowly decaying slope, so a stricter
+  // threshold yields a narrower interval.
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(std::tanh(x));
+  const ActiveInterval loose = detect_active_interval(xs, ys, {0.05});
+  const ActiveInterval strict = detect_active_interval(xs, ys, {0.5});
+  EXPECT_LT(strict.point_count(), loose.point_count());
+}
+
+TEST(Saturation, Validation) {
+  const std::vector<double> xs{0, 1, 2};
+  const std::vector<double> ys{0, 1};
+  EXPECT_THROW((void)detect_active_interval(xs, ys), std::invalid_argument);
+  const std::vector<double> two{0, 1};
+  EXPECT_THROW((void)detect_active_interval(two, two), std::invalid_argument);
+  const std::vector<double> unsorted{0, 2, 1};
+  EXPECT_THROW((void)detect_active_interval(unsorted, xs), std::invalid_argument);
+  EXPECT_THROW((void)detect_active_interval(xs, xs, {0.0}), std::invalid_argument);
+  EXPECT_THROW((void)detect_active_interval(xs, xs, {1.0}), std::invalid_argument);
+}
+
+TEST(Saturation, IntersectOverlapping) {
+  const std::vector<double> xs = linspace(0.0, 10.0, 11);
+  const ActiveInterval a{2, 8, xs[2], xs[8]};
+  const ActiveInterval b{5, 10, xs[5], xs[10]};
+  const ActiveInterval c = intersect(a, b, xs);
+  EXPECT_EQ(c.first, 5u);
+  EXPECT_EQ(c.last, 8u);
+  EXPECT_DOUBLE_EQ(c.x_low, xs[5]);
+}
+
+TEST(Saturation, IntersectDisjointThrows) {
+  const std::vector<double> xs = linspace(0.0, 10.0, 11);
+  const ActiveInterval a{0, 3, xs[0], xs[3]};
+  const ActiveInterval b{7, 10, xs[7], xs[10]};
+  EXPECT_THROW((void)intersect(a, b, xs), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace locpriv::core

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/tradeoff.h"
+
+namespace locpriv::core {
+namespace {
+
+SweepResult retrieval_sweep() {
+  SweepResult s;
+  s.privacy_metric = "poi-retrieval";
+  s.utility_metric = "area-coverage-f1";
+  s.privacy_direction = metrics::Direction::kLowerIsMorePrivate;
+  s.utility_direction = metrics::Direction::kHigherIsMoreUseful;
+  // Classic trade-off: retrieval and coverage both rise with eps.
+  s.points.push_back({0.001, 0.0, 0.0, 0.2, 0.0});
+  s.points.push_back({0.01, 0.1, 0.0, 0.5, 0.0});
+  s.points.push_back({0.1, 0.5, 0.0, 0.9, 0.0});
+  s.points.push_back({1.0, 1.0, 0.0, 1.0, 0.0});
+  return s;
+}
+
+TEST(Tradeoff, DirectionsOrientGoodness) {
+  const auto points = to_tradeoff_points(retrieval_sweep());
+  ASSERT_EQ(points.size(), 4u);
+  // Lower retrieval = more private -> negated.
+  EXPECT_DOUBLE_EQ(points[0].privacy_goodness, 0.0);
+  EXPECT_DOUBLE_EQ(points[3].privacy_goodness, -1.0);
+  EXPECT_DOUBLE_EQ(points[0].utility_goodness, 0.2);
+}
+
+TEST(Tradeoff, ParetoFrontOnMonotoneCurveKeepsEverything) {
+  // A strict trade-off curve: every point is Pareto-optimal.
+  const auto points = to_tradeoff_points(retrieval_sweep());
+  const auto front = pareto_front(points);
+  EXPECT_EQ(front.size(), 4u);
+  // Ascending utility order.
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GT(front[i].utility_goodness, front[i - 1].utility_goodness);
+    EXPECT_LT(front[i].privacy_goodness, front[i - 1].privacy_goodness);
+  }
+}
+
+TEST(Tradeoff, DominatedPointsRemoved) {
+  std::vector<TradeoffPoint> points{
+      {1, 0.9, 0.1},
+      {2, 0.5, 0.5},
+      {3, 0.4, 0.4},  // dominated by point 2
+      {4, 0.1, 0.9},
+      {5, 0.05, 0.05},  // dominated by everything
+  };
+  const auto front = pareto_front(points);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_DOUBLE_EQ(front[0].privacy_goodness, 0.9);
+  EXPECT_DOUBLE_EQ(front[1].privacy_goodness, 0.5);
+  EXPECT_DOUBLE_EQ(front[2].privacy_goodness, 0.1);
+}
+
+TEST(Tradeoff, TiesOnUtilityKeepBestPrivacy) {
+  std::vector<TradeoffPoint> points{{1, 0.9, 0.5}, {2, 0.3, 0.5}};
+  const auto front = pareto_front(points);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_DOUBLE_EQ(front[0].privacy_goodness, 0.9);
+}
+
+TEST(Tradeoff, AucBoundsAndOrdering) {
+  // An ideal mechanism (a point with both = max) scores higher than a
+  // strict diagonal trade-off.
+  std::vector<TradeoffPoint> diagonal{{1, 1.0, 0.0}, {2, 0.5, 0.5}, {3, 0.0, 1.0}};
+  std::vector<TradeoffPoint> ideal{{1, 1.0, 0.0}, {2, 1.0, 1.0}, {3, 0.0, 1.0}};
+  const double auc_diag = tradeoff_auc(diagonal);
+  const double auc_ideal = tradeoff_auc(ideal);
+  EXPECT_GT(auc_ideal, auc_diag);
+  EXPECT_GE(auc_diag, 0.0);
+  EXPECT_LE(auc_ideal, 1.0);
+  // Ideal front: full square.
+  EXPECT_NEAR(auc_ideal, 1.0, 1e-9);
+}
+
+TEST(Tradeoff, AucValidation) {
+  EXPECT_THROW((void)tradeoff_auc({}), std::invalid_argument);
+  std::vector<TradeoffPoint> flat{{1, 0.5, 0.1}, {2, 0.5, 0.9}};
+  EXPECT_THROW((void)tradeoff_auc(flat), std::invalid_argument);  // zero privacy spread
+}
+
+TEST(Tradeoff, AucFromRealisticSweepShape) {
+  const auto points = to_tradeoff_points(retrieval_sweep());
+  const double auc = tradeoff_auc(points);
+  EXPECT_GT(auc, 0.0);
+  EXPECT_LT(auc, 1.0);
+}
+
+}  // namespace
+}  // namespace locpriv::core

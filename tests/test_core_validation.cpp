@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/validation.h"
+#include "synth/scenario.h"
+#include "test_util.h"
+
+namespace locpriv::core {
+namespace {
+
+SystemDefinition fast_system() {
+  SystemDefinition def = make_geo_i_system(11);
+  return def;
+}
+
+ExperimentConfig fast_config() {
+  ExperimentConfig cfg;
+  cfg.trials = 1;
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(CrossValidation, ReportsEveryFoldWithSaneNumbers) {
+  synth::TaxiScenarioConfig scenario;
+  scenario.driver_count = 8;
+  scenario.taxi.shift_duration_s = 5 * 3600;
+  const trace::Dataset data = synth::make_taxi_dataset(scenario, 77);
+
+  const CrossValidationReport report = cross_validate(fast_system(), data, 4, fast_config());
+  ASSERT_EQ(report.folds.size(), 4u);
+  for (const FoldReport& f : report.folds) {
+    EXPECT_EQ(f.train_users, 6u);
+    EXPECT_EQ(f.test_users, 2u);
+    EXPECT_GE(f.privacy_rmse, 0.0);
+    EXPECT_GE(f.utility_rmse, 0.0);
+    // Held-out error on a homogeneous-ish population stays bounded.
+    EXPECT_LT(f.privacy_rmse, 0.5);
+    EXPECT_LT(f.utility_rmse, 0.5);
+  }
+  EXPECT_GT(report.mean_privacy_rmse, 0.0);
+  EXPECT_LT(report.mean_privacy_rmse, 0.5);
+}
+
+TEST(CrossValidation, DeterministicInSeed) {
+  synth::TaxiScenarioConfig scenario;
+  scenario.driver_count = 6;
+  scenario.taxi.shift_duration_s = 4 * 3600;
+  const trace::Dataset data = synth::make_taxi_dataset(scenario, 3);
+  const CrossValidationReport a = cross_validate(fast_system(), data, 3, fast_config());
+  const CrossValidationReport b = cross_validate(fast_system(), data, 3, fast_config());
+  EXPECT_DOUBLE_EQ(a.mean_privacy_rmse, b.mean_privacy_rmse);
+  EXPECT_DOUBLE_EQ(a.mean_utility_rmse, b.mean_utility_rmse);
+}
+
+TEST(CrossValidation, Validation) {
+  const trace::Dataset data = testutil::two_stop_dataset(3);
+  EXPECT_THROW((void)cross_validate(fast_system(), data, 1, fast_config()),
+               std::invalid_argument);
+  EXPECT_THROW((void)cross_validate(fast_system(), data, 4, fast_config()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace locpriv::core

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "geo/geohash.h"
+#include "stats/rng.h"
+
+namespace locpriv::geo {
+namespace {
+
+TEST(Geohash, KnownReferenceValues) {
+  // Canonical examples from the geohash literature.
+  EXPECT_EQ(geohash_encode({57.64911, 10.40744}, 11), "u4pruydqqvj");
+  EXPECT_EQ(geohash_encode({37.7749, -122.4194}, 6), "9q8yyk");
+  EXPECT_EQ(geohash_encode({0.0, 0.0}, 1), "s");
+}
+
+TEST(Geohash, DecodeCellContainsOriginal) {
+  const LatLng c{48.8566, 2.3522};
+  for (int precision = 1; precision <= 12; ++precision) {
+    const GeohashCell cell = geohash_decode(geohash_encode(c, precision));
+    EXPECT_LE(cell.south_west.lat, c.lat) << precision;
+    EXPECT_GE(cell.north_east.lat, c.lat) << precision;
+    EXPECT_LE(cell.south_west.lng, c.lng) << precision;
+    EXPECT_GE(cell.north_east.lng, c.lng) << precision;
+  }
+}
+
+TEST(Geohash, CellsShrinkWithPrecision) {
+  const LatLng c{-33.8688, 151.2093};
+  double prev_width = 361.0;
+  for (int precision = 1; precision <= 8; ++precision) {
+    const GeohashCell cell = geohash_decode(geohash_encode(c, precision));
+    const double width = cell.north_east.lng - cell.south_west.lng;
+    EXPECT_LT(width, prev_width) << precision;
+    prev_width = width;
+  }
+}
+
+TEST(Geohash, RoundTripCenterStable) {
+  // Encoding a cell's center at the same precision returns the same hash.
+  stats::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const LatLng c{rng.uniform(-85.0, 85.0), rng.uniform(-180.0, 180.0)};
+    const std::string hash = geohash_encode(c, 7);
+    const LatLng center = geohash_decode(hash).center();
+    EXPECT_EQ(geohash_encode(center, 7), hash) << hash;
+  }
+}
+
+TEST(Geohash, PrefixPropertyHolds) {
+  // Truncating a hash gives the containing coarser cell.
+  const LatLng c{51.5074, -0.1278};
+  const std::string fine = geohash_encode(c, 9);
+  for (int precision = 1; precision < 9; ++precision) {
+    EXPECT_EQ(geohash_encode(c, precision), fine.substr(0, static_cast<std::size_t>(precision)));
+  }
+}
+
+TEST(Geohash, Validation) {
+  EXPECT_THROW((void)geohash_encode({91.0, 0.0}, 6), std::invalid_argument);
+  EXPECT_THROW((void)geohash_encode({0.0, 0.0}, 0), std::invalid_argument);
+  EXPECT_THROW((void)geohash_encode({0.0, 0.0}, 13), std::invalid_argument);
+  EXPECT_THROW((void)geohash_decode(""), std::invalid_argument);
+  EXPECT_THROW((void)geohash_decode("abai"), std::invalid_argument);  // 'a','i' invalid
+  EXPECT_THROW((void)geohash_decode("u4pruydqqvjjj"), std::invalid_argument);  // 13 chars
+}
+
+}  // namespace
+}  // namespace locpriv::geo

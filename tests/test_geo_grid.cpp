@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/grid.h"
+
+namespace locpriv::geo {
+namespace {
+
+TEST(BoundingBox, EmptyByDefault) {
+  const BoundingBox box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_DOUBLE_EQ(box.area(), 0.0);
+  EXPECT_DOUBLE_EQ(box.diagonal(), 0.0);
+  EXPECT_FALSE(box.contains({0, 0}));
+}
+
+TEST(BoundingBox, ExtendGrowsToCoverPoints) {
+  BoundingBox box;
+  box.extend({1, 2});
+  EXPECT_FALSE(box.empty());
+  EXPECT_TRUE(box.contains({1, 2}));
+  box.extend({-3, 5});
+  EXPECT_TRUE(box.contains({0, 3}));
+  EXPECT_DOUBLE_EQ(box.width(), 4.0);
+  EXPECT_DOUBLE_EQ(box.height(), 3.0);
+}
+
+TEST(BoundingBox, CornerOrderIrrelevant) {
+  const BoundingBox a({0, 0}, {2, 3});
+  const BoundingBox b({2, 3}, {0, 0});
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+}
+
+TEST(BoundingBox, IntersectsAndDisjoint) {
+  const BoundingBox a({0, 0}, {10, 10});
+  const BoundingBox b({5, 5}, {15, 15});
+  const BoundingBox c({20, 20}, {30, 30});
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.intersects(a));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_FALSE(a.intersects(BoundingBox{}));
+}
+
+TEST(BoundingBox, InflatedAddsMargin) {
+  const BoundingBox a({0, 0}, {2, 2});
+  const BoundingBox big = a.inflated(1.0);
+  EXPECT_TRUE(big.contains({-0.5, -0.5}));
+  EXPECT_DOUBLE_EQ(big.width(), 4.0);
+  EXPECT_THROW((void)BoundingBox{}.inflated(1.0), std::logic_error);
+}
+
+TEST(BoundingBox, FromSpan) {
+  const std::vector<Point> pts{{0, 0}, {5, -2}, {3, 7}};
+  const BoundingBox box = bounding_box(pts);
+  EXPECT_DOUBLE_EQ(box.min().x, 0.0);
+  EXPECT_DOUBLE_EQ(box.min().y, -2.0);
+  EXPECT_DOUBLE_EQ(box.max().x, 5.0);
+  EXPECT_DOUBLE_EQ(box.max().y, 7.0);
+}
+
+TEST(Grid, RejectsNonPositiveCellSize) {
+  EXPECT_THROW(Grid(0.0), std::invalid_argument);
+  EXPECT_THROW(Grid(-1.0), std::invalid_argument);
+}
+
+TEST(Grid, CellOfUsesFloorSemantics) {
+  const Grid g(100.0);
+  EXPECT_EQ(g.cell_of({0, 0}), (CellIndex{0, 0}));
+  EXPECT_EQ(g.cell_of({99.99, 99.99}), (CellIndex{0, 0}));
+  EXPECT_EQ(g.cell_of({100.0, 0.0}), (CellIndex{1, 0}));
+  EXPECT_EQ(g.cell_of({-0.01, 0.0}), (CellIndex{-1, 0}));
+  EXPECT_EQ(g.cell_of({-100.0, -100.0}), (CellIndex{-1, -1}));
+}
+
+TEST(Grid, SnapGoesToCellCenter) {
+  const Grid g(100.0);
+  EXPECT_EQ(g.snap({10, 20}), (Point{50, 50}));
+  EXPECT_EQ(g.snap({-10, -20}), (Point{-50, -50}));
+}
+
+TEST(Grid, SnapIsIdempotent) {
+  const Grid g(115.0);
+  const Point once = g.snap({1234.5, -987.6});
+  EXPECT_EQ(g.snap(once), once);
+}
+
+TEST(Grid, OriginShiftsCells) {
+  const Grid g(100.0, {50.0, 50.0});
+  EXPECT_EQ(g.cell_of({60, 60}), (CellIndex{0, 0}));
+  EXPECT_EQ(g.cell_of({40, 40}), (CellIndex{-1, -1}));
+}
+
+TEST(Grid, CellBoundsContainCellPoints) {
+  const Grid g(115.0);
+  const Point p{333.3, -777.7};
+  const CellIndex c = g.cell_of(p);
+  EXPECT_TRUE(g.cell_bounds(c).contains(p));
+  EXPECT_TRUE(g.cell_bounds(c).contains(g.cell_center(c)));
+}
+
+TEST(Grid, CoverageCountsDistinctCells) {
+  const Grid g(100.0);
+  const std::vector<Point> pts{{10, 10}, {20, 20}, {150, 10}, {10, 150}};
+  EXPECT_EQ(g.coverage_count(pts), 3u);
+}
+
+TEST(CellSetOps, JaccardIdenticalSetsIsOne) {
+  const Grid g(100.0);
+  const std::vector<Point> pts{{10, 10}, {150, 10}, {250, 10}};
+  const CellSet a = g.covered_cells(pts);
+  EXPECT_DOUBLE_EQ(jaccard(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(f1_score(a, a), 1.0);
+}
+
+TEST(CellSetOps, EmptySetsConventions) {
+  const CellSet empty;
+  CellSet one;
+  one.insert({0, 0});
+  EXPECT_DOUBLE_EQ(jaccard(empty, empty), 1.0);
+  EXPECT_DOUBLE_EQ(f1_score(empty, empty), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard(empty, one), 0.0);
+  EXPECT_DOUBLE_EQ(f1_score(empty, one), 0.0);
+  EXPECT_DOUBLE_EQ(f1_score(one, empty), 0.0);
+}
+
+TEST(CellSetOps, PartialOverlap) {
+  CellSet a;
+  a.insert({0, 0});
+  a.insert({1, 0});
+  CellSet b;
+  b.insert({1, 0});
+  b.insert({2, 0});
+  EXPECT_DOUBLE_EQ(intersection_size(a, b), 1u);
+  EXPECT_DOUBLE_EQ(jaccard(a, b), 1.0 / 3.0);
+  // precision = recall = 1/2 -> F1 = 1/2.
+  EXPECT_DOUBLE_EQ(f1_score(a, b), 0.5);
+}
+
+TEST(CellSetOps, F1AsymmetricSizes) {
+  CellSet actual;
+  for (int i = 0; i < 10; ++i) actual.insert({i, 0});
+  CellSet pred;
+  pred.insert({0, 0});
+  // precision 1, recall 0.1 -> F1 = 2*0.1/1.1.
+  EXPECT_NEAR(f1_score(actual, pred), 2.0 * 0.1 / 1.1, 1e-12);
+}
+
+TEST(CellIndexHash, DistinctCellsHashDifferently) {
+  const CellIndexHash h;
+  EXPECT_NE(h({0, 0}), h({0, 1}));
+  EXPECT_NE(h({1, 0}), h({0, 1}));
+  EXPECT_NE(h({-1, -1}), h({1, 1}));
+}
+
+}  // namespace
+}  // namespace locpriv::geo

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "geo/kdtree.h"
+#include "stats/rng.h"
+
+namespace locpriv::geo {
+namespace {
+
+std::size_t brute_nearest(std::span<const Point> pts, Point q) {
+  std::size_t best = 0;
+  double best_sq = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const double d = distance_sq(q, pts[i]);
+    if (d < best_sq) {
+      best_sq = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+TEST(KdTree, RejectsEmptyInput) {
+  EXPECT_THROW(KdTree(std::span<const Point>{}), std::invalid_argument);
+}
+
+TEST(KdTree, SinglePoint) {
+  const std::vector<Point> pts{{3, 4}};
+  const KdTree tree(pts);
+  EXPECT_EQ(tree.nearest({100, 100}), 0u);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.point(0), (Point{3, 4}));
+}
+
+TEST(KdTree, NearestOnSmallFixture) {
+  const std::vector<Point> pts{{0, 0}, {10, 0}, {0, 10}, {10, 10}, {5, 5}};
+  const KdTree tree(pts);
+  EXPECT_EQ(tree.nearest({1, 1}), 0u);
+  EXPECT_EQ(tree.nearest({9, 1}), 1u);
+  EXPECT_EQ(tree.nearest({4.9, 5.2}), 4u);
+  EXPECT_EQ(tree.nearest({100, 100}), 3u);
+}
+
+TEST(KdTree, NearestMatchesBruteForceOnRandomData) {
+  stats::Rng rng(11);
+  std::vector<Point> pts;
+  for (int i = 0; i < 500; ++i) pts.push_back({rng.uniform(-5000, 5000), rng.uniform(-5000, 5000)});
+  const KdTree tree(pts);
+  for (int q = 0; q < 300; ++q) {
+    const Point query{rng.uniform(-6000, 6000), rng.uniform(-6000, 6000)};
+    const std::size_t expected = brute_nearest(pts, query);
+    const std::size_t got = tree.nearest(query);
+    // Ties are possible with random doubles only at measure zero; require
+    // equal distance rather than equal index to be safe.
+    EXPECT_DOUBLE_EQ(distance_sq(query, pts[got]), distance_sq(query, pts[expected]));
+  }
+}
+
+TEST(KdTree, WithinRadiusMatchesBruteForce) {
+  stats::Rng rng(13);
+  std::vector<Point> pts;
+  for (int i = 0; i < 300; ++i) pts.push_back({rng.uniform(-1000, 1000), rng.uniform(-1000, 1000)});
+  const KdTree tree(pts);
+  for (const double radius : {0.0, 50.0, 200.0, 3000.0}) {
+    const Point query{rng.uniform(-1000, 1000), rng.uniform(-1000, 1000)};
+    std::vector<std::size_t> got = tree.within_radius(query, radius);
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (distance(query, pts[i]) <= radius) expected.push_back(i);
+    }
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "radius " << radius;
+  }
+}
+
+TEST(KdTree, WithinRadiusRejectsNegative) {
+  const std::vector<Point> pts{{0, 0}};
+  const KdTree tree(pts);
+  EXPECT_THROW((void)tree.within_radius({0, 0}, -1.0), std::invalid_argument);
+}
+
+TEST(KdTree, DuplicatePointsHandled) {
+  const std::vector<Point> pts{{1, 1}, {1, 1}, {2, 2}};
+  const KdTree tree(pts);
+  const std::size_t n = tree.nearest({1, 1});
+  EXPECT_TRUE(n == 0u || n == 1u);
+  EXPECT_EQ(tree.within_radius({1, 1}, 0.1).size(), 2u);
+}
+
+}  // namespace
+}  // namespace locpriv::geo

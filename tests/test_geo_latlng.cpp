@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geo/latlng.h"
+#include "geo/projection.h"
+
+namespace locpriv::geo {
+namespace {
+
+TEST(LatLng, ValidityBounds) {
+  EXPECT_TRUE((LatLng{0, 0}).is_valid());
+  EXPECT_TRUE((LatLng{90, 180}).is_valid());
+  EXPECT_TRUE((LatLng{-90, -180}).is_valid());
+  EXPECT_FALSE((LatLng{90.01, 0}).is_valid());
+  EXPECT_FALSE((LatLng{0, 180.01}).is_valid());
+  EXPECT_FALSE((LatLng{-91, 0}).is_valid());
+}
+
+TEST(Haversine, ZeroForIdenticalPoints) {
+  const LatLng sf{37.7749, -122.4194};
+  EXPECT_DOUBLE_EQ(haversine_distance(sf, sf), 0.0);
+}
+
+TEST(Haversine, KnownCityPairDistance) {
+  // San Francisco <-> Los Angeles: ~559 km great-circle.
+  const LatLng sf{37.7749, -122.4194};
+  const LatLng la{34.0522, -118.2437};
+  EXPECT_NEAR(haversine_distance(sf, la), 559'000.0, 6'000.0);
+}
+
+TEST(Haversine, OneDegreeLatitudeIsAbout111Km) {
+  EXPECT_NEAR(haversine_distance({0, 0}, {1, 0}), 111'195.0, 100.0);
+}
+
+TEST(Haversine, Symmetric) {
+  const LatLng a{48.8566, 2.3522};
+  const LatLng b{51.5074, -0.1278};
+  EXPECT_DOUBLE_EQ(haversine_distance(a, b), haversine_distance(b, a));
+}
+
+TEST(Haversine, StableForTinySeparation) {
+  const LatLng a{37.0, -122.0};
+  const LatLng b{37.0 + 1e-7, -122.0};  // ~1.1 cm
+  const double d = haversine_distance(a, b);
+  EXPECT_GT(d, 0.005);
+  EXPECT_LT(d, 0.05);
+}
+
+TEST(Equirectangular, MatchesHaversineAtCityScale) {
+  const LatLng a{37.7749, -122.4194};
+  const LatLng b{37.8049, -122.2711};  // Oakland, ~13.5 km
+  const double h = haversine_distance(a, b);
+  const double e = equirectangular_distance(a, b);
+  EXPECT_NEAR(e / h, 1.0, 1e-3);
+}
+
+TEST(Destination, RoundTripsWithBearing) {
+  const LatLng origin{37.7749, -122.4194};
+  const LatLng north = destination(origin, 0.0, 5'000.0);
+  EXPECT_NEAR(haversine_distance(origin, north), 5'000.0, 1.0);
+  EXPECT_GT(north.lat, origin.lat);
+  const LatLng east = destination(origin, kPi / 2.0, 5'000.0);
+  EXPECT_GT(east.lng, origin.lng);
+  EXPECT_NEAR(east.lat, origin.lat, 1e-3);
+}
+
+TEST(Destination, NormalizesLongitudeAcrossAntimeridian) {
+  const LatLng fiji{-17.7, 179.9};
+  const LatLng east = destination(fiji, kPi / 2.0, 50'000.0);
+  EXPECT_TRUE(east.is_valid());
+  EXPECT_LT(east.lng, 0.0);  // wrapped to the negative side
+}
+
+TEST(InitialBearing, CardinalDirections) {
+  EXPECT_NEAR(initial_bearing({0, 0}, {1, 0}), 0.0, 1e-9);            // north
+  EXPECT_NEAR(initial_bearing({0, 0}, {0, 1}), kPi / 2.0, 1e-9);     // east
+  EXPECT_NEAR(initial_bearing({0, 0}, {-1, 0}), kPi, 1e-9);          // south
+  EXPECT_NEAR(initial_bearing({0, 0}, {0, -1}), 3 * kPi / 2.0, 1e-9); // west
+}
+
+TEST(Projection, RoundTripIsExact) {
+  const LocalProjection proj({37.7749, -122.4194});
+  const LatLng c{37.80, -122.40};
+  const LatLng back = proj.to_geo(proj.to_plane(c));
+  EXPECT_NEAR(back.lat, c.lat, 1e-12);
+  EXPECT_NEAR(back.lng, c.lng, 1e-12);
+}
+
+TEST(Projection, ReferenceMapsToOrigin) {
+  const LatLng ref{45.0, 5.0};
+  const LocalProjection proj(ref);
+  const Point p = proj.to_plane(ref);
+  EXPECT_DOUBLE_EQ(p.x, 0.0);
+  EXPECT_DOUBLE_EQ(p.y, 0.0);
+}
+
+TEST(Projection, DistancesMatchHaversineAtCityScale) {
+  const LatLng ref{37.7749, -122.4194};
+  const LocalProjection proj(ref);
+  const LatLng a{37.78, -122.41};
+  const LatLng b{37.75, -122.45};
+  const double planar = distance(proj.to_plane(a), proj.to_plane(b));
+  const double sphere = haversine_distance(a, b);
+  EXPECT_NEAR(planar / sphere, 1.0, 2e-3);
+}
+
+TEST(Projection, RejectsInvalidReference) {
+  EXPECT_THROW(LocalProjection({91.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(LocalProjection({90.0, 0.0}), std::invalid_argument);  // pole
+}
+
+TEST(Projection, NorthOffsetIsLatitudeOnly) {
+  const LocalProjection proj({40.0, -3.0});
+  const Point p = proj.to_plane({40.01, -3.0});
+  EXPECT_NEAR(p.x, 0.0, 1e-9);
+  EXPECT_NEAR(p.y, 0.01 * kEarthRadiusMeters * kPi / 180.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace locpriv::geo

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "geo/polyline.h"
+
+namespace locpriv::geo {
+namespace {
+
+TEST(PathLength, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(path_length({}), 0.0);
+  const std::vector<Point> one{{3, 4}};
+  EXPECT_DOUBLE_EQ(path_length(one), 0.0);
+}
+
+TEST(PathLength, SumsSegments) {
+  const std::vector<Point> pts{{0, 0}, {3, 4}, {3, 10}};
+  EXPECT_DOUBLE_EQ(path_length(pts), 5.0 + 6.0);
+}
+
+TEST(CumulativeLengths, MonotoneAndMatchesTotal) {
+  const std::vector<Point> pts{{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  const std::vector<double> cum = cumulative_lengths(pts);
+  ASSERT_EQ(cum.size(), 4u);
+  EXPECT_DOUBLE_EQ(cum[0], 0.0);
+  EXPECT_DOUBLE_EQ(cum[3], path_length(pts));
+  for (std::size_t i = 1; i < cum.size(); ++i) EXPECT_GE(cum[i], cum[i - 1]);
+}
+
+TEST(PointAtArclength, EndpointsAndMidpoints) {
+  const std::vector<Point> pts{{0, 0}, {10, 0}};
+  EXPECT_EQ(point_at_arclength(pts, -1.0), (Point{0, 0}));
+  EXPECT_EQ(point_at_arclength(pts, 0.0), (Point{0, 0}));
+  EXPECT_EQ(point_at_arclength(pts, 5.0), (Point{5, 0}));
+  EXPECT_EQ(point_at_arclength(pts, 10.0), (Point{10, 0}));
+  EXPECT_EQ(point_at_arclength(pts, 99.0), (Point{10, 0}));
+}
+
+TEST(PointAtArclength, WalksMultipleSegments) {
+  const std::vector<Point> pts{{0, 0}, {10, 0}, {10, 10}};
+  const Point p = point_at_arclength(pts, 15.0);
+  EXPECT_DOUBLE_EQ(p.x, 10.0);
+  EXPECT_DOUBLE_EQ(p.y, 5.0);
+}
+
+TEST(PointAtArclength, ThrowsOnEmpty) {
+  EXPECT_THROW((void)point_at_arclength({}, 0.0), std::invalid_argument);
+}
+
+TEST(ResampleByArclength, UniformSpacing) {
+  const std::vector<Point> pts{{0, 0}, {100, 0}};
+  const std::vector<Point> out = resample_by_arclength(pts, 10.0);
+  ASSERT_EQ(out.size(), 11u);  // 0,10,...,90 plus endpoint
+  for (std::size_t i = 1; i + 1 < out.size(); ++i) {
+    EXPECT_NEAR(distance(out[i - 1], out[i]), 10.0, 1e-9);
+  }
+  EXPECT_EQ(out.back(), (Point{100, 0}));
+}
+
+TEST(ResampleByArclength, CollapsesStationaryCluster) {
+  // 50 reports at the same spot then a move: the stop contributes no arc
+  // length, so it survives as at most one vertex — the Promesse effect.
+  std::vector<Point> pts(50, Point{0, 0});
+  pts.push_back({500, 0});
+  const std::vector<Point> out = resample_by_arclength(pts, 100.0);
+  EXPECT_LE(out.size(), 7u);
+  EXPECT_EQ(out.front(), (Point{0, 0}));
+  EXPECT_EQ(out.back(), (Point{500, 0}));
+}
+
+TEST(ResampleByArclength, EdgeCases) {
+  EXPECT_TRUE(resample_by_arclength({}, 10.0).empty());
+  const std::vector<Point> one{{1, 1}};
+  EXPECT_EQ(resample_by_arclength(one, 10.0).size(), 1u);
+  EXPECT_THROW((void)resample_by_arclength(one, 0.0), std::invalid_argument);
+  // Path shorter than the step: endpoints only.
+  const std::vector<Point> shortpath{{0, 0}, {1, 0}};
+  EXPECT_EQ(resample_by_arclength(shortpath, 10.0).size(), 2u);
+}
+
+TEST(Centroid, MeanOfPoints) {
+  const std::vector<Point> pts{{0, 0}, {2, 0}, {1, 3}};
+  const Point c = centroid(pts);
+  EXPECT_DOUBLE_EQ(c.x, 1.0);
+  EXPECT_DOUBLE_EQ(c.y, 1.0);
+  EXPECT_THROW((void)centroid({}), std::invalid_argument);
+}
+
+TEST(Diameter, MaxPairwiseDistance) {
+  const std::vector<Point> pts{{0, 0}, {3, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(diameter(pts), 5.0);
+  EXPECT_DOUBLE_EQ(diameter({}), 0.0);
+  const std::vector<Point> one{{1, 1}};
+  EXPECT_DOUBLE_EQ(diameter(one), 0.0);
+}
+
+TEST(PointSegmentDistance, ProjectionAndEndpointCases) {
+  // Perpendicular foot inside the segment.
+  EXPECT_DOUBLE_EQ(point_segment_distance({5, 3}, {0, 0}, {10, 0}), 3.0);
+  // Beyond the ends: distance to the nearer endpoint.
+  EXPECT_DOUBLE_EQ(point_segment_distance({-3, 4}, {0, 0}, {10, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({13, 4}, {0, 0}, {10, 0}), 5.0);
+  // Degenerate segment.
+  EXPECT_DOUBLE_EQ(point_segment_distance({3, 4}, {0, 0}, {0, 0}), 5.0);
+}
+
+TEST(Simplify, KeepsEndpointsAndSalientCorner) {
+  const std::vector<Point> pts{{0, 0}, {10, 1}, {20, 0}, {30, 100}, {40, 0}};
+  const std::vector<std::size_t> keep = simplify_indices(pts, 10.0);
+  // The 1 m wiggle at index 1 vanishes, the 100 m spike at 3 stays.
+  ASSERT_GE(keep.size(), 3u);
+  EXPECT_EQ(keep.front(), 0u);
+  EXPECT_EQ(keep.back(), 4u);
+  EXPECT_NE(std::find(keep.begin(), keep.end(), 3u), keep.end());
+  EXPECT_EQ(std::find(keep.begin(), keep.end(), 1u), keep.end());
+}
+
+TEST(Simplify, ZeroToleranceKeepsAllNonCollinear) {
+  const std::vector<Point> pts{{0, 0}, {10, 5}, {20, 0}};
+  EXPECT_EQ(simplify_indices(pts, 0.0).size(), 3u);
+}
+
+TEST(Simplify, CollinearCollapsesToEndpoints) {
+  std::vector<Point> pts;
+  for (int i = 0; i <= 20; ++i) pts.push_back({i * 10.0, 0.0});
+  const std::vector<std::size_t> keep = simplify_indices(pts, 0.5);
+  ASSERT_EQ(keep.size(), 2u);
+  EXPECT_EQ(keep[0], 0u);
+  EXPECT_EQ(keep[1], 20u);
+}
+
+TEST(Simplify, IndicesAreStrictlyIncreasing) {
+  std::vector<Point> pts;
+  for (int i = 0; i < 40; ++i) pts.push_back({i * 25.0, (i % 7) * 30.0});
+  const std::vector<std::size_t> keep = simplify_indices(pts, 20.0);
+  for (std::size_t k = 1; k < keep.size(); ++k) EXPECT_LT(keep[k - 1], keep[k]);
+}
+
+TEST(Simplify, EdgeCases) {
+  EXPECT_TRUE(simplify_indices({}, 10.0).empty());
+  const std::vector<Point> one{{1, 1}};
+  EXPECT_EQ(simplify_indices(one, 10.0).size(), 1u);
+  const std::vector<Point> two{{0, 0}, {5, 5}};
+  EXPECT_EQ(simplify_indices(two, 10.0).size(), 2u);
+  EXPECT_THROW((void)simplify_indices(two, -1.0), std::invalid_argument);
+}
+
+TEST(RadiusOfGyration, ZeroForConstant) {
+  const std::vector<Point> pts(5, Point{7, -2});
+  EXPECT_DOUBLE_EQ(radius_of_gyration(pts), 0.0);
+}
+
+TEST(RadiusOfGyration, SymmetricPair) {
+  const std::vector<Point> pts{{-1, 0}, {1, 0}};
+  EXPECT_DOUBLE_EQ(radius_of_gyration(pts), 1.0);
+}
+
+TEST(RadiusOfGyration, GrowsWithSpread) {
+  const std::vector<Point> tight{{0, 0}, {10, 0}, {0, 10}, {10, 10}};
+  std::vector<Point> wide;
+  for (const Point p : tight) wide.push_back(p * 10.0);
+  EXPECT_NEAR(radius_of_gyration(wide), 10.0 * radius_of_gyration(tight), 1e-9);
+}
+
+}  // namespace
+}  // namespace locpriv::geo

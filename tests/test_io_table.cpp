@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "io/table.h"
+
+namespace locpriv::io {
+namespace {
+
+TEST(Table, RejectsEmptyHeaderAndBadRows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, PrintsHeaderSeparatorAndRows) {
+  Table t({"eps", "privacy"});
+  t.add_row({"0.01", "0.06"});
+  t.add_row({"0.1", "0.45"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("eps"), std::string::npos);
+  EXPECT_NE(out.find("0.45"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, ColumnsAreAligned) {
+  Table t({"name", "v"});
+  t.add_row({"short", "1"});
+  t.add_row({"a-much-longer-name", "2"});
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream lines(os.str());
+  std::string header;
+  std::string sep;
+  std::string r1;
+  std::string r2;
+  std::getline(lines, header);
+  std::getline(lines, sep);
+  std::getline(lines, r1);
+  std::getline(lines, r2);
+  // Numeric column is right-aligned: both value characters land at the
+  // same column, the line end.
+  EXPECT_EQ(r1.size(), r2.size());
+  EXPECT_EQ(r1.back(), '1');
+  EXPECT_EQ(r2.back(), '2');
+}
+
+TEST(Table, NumFormatsSignificantDigits) {
+  EXPECT_EQ(Table::num(0.012345, 3), "0.0123");
+  EXPECT_EQ(Table::num(1234.0, 4), "1234");
+  EXPECT_EQ(Table::num(0.5), "0.5");
+}
+
+}  // namespace
+}  // namespace locpriv::io

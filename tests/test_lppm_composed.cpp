@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "geo/grid.h"
+#include "lppm/composed.h"
+#include "lppm/dropout.h"
+#include "lppm/geo_ind.h"
+#include "lppm/grid_cloaking.h"
+#include "lppm/noop.h"
+#include "test_util.h"
+
+namespace locpriv::lppm {
+namespace {
+
+std::unique_ptr<ComposedMechanism> geoind_then_grid() {
+  std::vector<std::unique_ptr<Mechanism>> stages;
+  stages.push_back(std::make_unique<GeoIndistinguishability>(0.05));
+  stages.push_back(std::make_unique<GridCloaking>(200.0));
+  return std::make_unique<ComposedMechanism>(std::move(stages));
+}
+
+TEST(Composed, NameConcatenatesStages) {
+  EXPECT_EQ(geoind_then_grid()->name(), "geo-indistinguishability+grid-cloaking");
+}
+
+TEST(Composed, ParametersArePrefixed) {
+  const auto mech = geoind_then_grid();
+  ASSERT_EQ(mech->parameters().size(), 2u);
+  EXPECT_EQ(mech->parameters()[0].name, "0.epsilon");
+  EXPECT_EQ(mech->parameters()[1].name, "1.cell_size");
+  EXPECT_DOUBLE_EQ(mech->parameter("0.epsilon"), 0.05);
+  EXPECT_DOUBLE_EQ(mech->parameter("1.cell_size"), 200.0);
+}
+
+TEST(Composed, SetParameterRoutesToStage) {
+  const auto mech = geoind_then_grid();
+  mech->set_parameter("0.epsilon", 0.5);
+  EXPECT_DOUBLE_EQ(mech->parameter("0.epsilon"), 0.5);
+  EXPECT_THROW(mech->set_parameter("epsilon", 0.5), std::invalid_argument);   // no prefix
+  EXPECT_THROW(mech->set_parameter("7.epsilon", 0.5), std::invalid_argument); // bad stage
+  EXPECT_THROW(mech->set_parameter("x.epsilon", 0.5), std::invalid_argument); // bad prefix
+  EXPECT_THROW(mech->set_parameter("0.sigma", 0.5), std::invalid_argument);   // wrong inner
+}
+
+TEST(Composed, OutputsLieOnGridCenters) {
+  // Geo-I then grid: the final output must sit exactly on cell centers.
+  const auto mech = geoind_then_grid();
+  const trace::Trace input = testutil::two_stop_trace("u", {0, 0}, {0, 3000});
+  const trace::Trace out = mech->protect(input, 9);
+  const geo::Grid grid(200.0);
+  for (const trace::Event& e : out) {
+    EXPECT_EQ(e.location, grid.cell_center(grid.cell_of(e.location)));
+  }
+}
+
+TEST(Composed, NoiseSurvivesThroughTheStack) {
+  // User 10 m from a cell boundary with 40 m mean noise: a large share
+  // of noisy draws land in a neighboring cell, so composed outputs
+  // differ from the plain grid-snap of the input.
+  const auto composed = geoind_then_grid();
+  const GridCloaking plain(200.0);
+  const trace::Trace input = testutil::stationary_trace("u", {10, 10}, 30'000, 10);
+  const trace::Trace a = composed->protect(input, 3);
+  const trace::Trace b = plain.protect(input, 3);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].location != b[i].location) ++moved;
+  }
+  EXPECT_GT(moved, a.size() / 10);
+}
+
+TEST(Composed, DeterministicInSeedWithIndependentStageStreams) {
+  const auto mech = geoind_then_grid();
+  const trace::Trace input = testutil::two_stop_trace("u", {0, 0}, {0, 2000});
+  EXPECT_EQ(mech->protect(input, 4), mech->protect(input, 4));
+  EXPECT_NE(mech->protect(input, 4), mech->protect(input, 5));
+}
+
+TEST(Composed, DropoutThenNoiseShrinksTrace) {
+  std::vector<std::unique_ptr<Mechanism>> stages;
+  stages.push_back(std::make_unique<ReleaseDropout>(0.5));
+  stages.push_back(std::make_unique<GeoIndistinguishability>(0.05));
+  const ComposedMechanism mech(std::move(stages));
+  const trace::Trace input = testutil::stationary_trace("u", {0, 0}, 30'000, 10);
+  const trace::Trace out = mech.protect(input, 7);
+  EXPECT_LT(out.size(), input.size());
+  EXPECT_GT(out.size(), input.size() / 4);
+}
+
+TEST(Composed, Validation) {
+  EXPECT_THROW(ComposedMechanism(std::vector<std::unique_ptr<Mechanism>>{}),
+               std::invalid_argument);
+  std::vector<std::unique_ptr<Mechanism>> with_null;
+  with_null.push_back(nullptr);
+  EXPECT_THROW(ComposedMechanism(std::move(with_null)), std::invalid_argument);
+}
+
+TEST(Composed, SingleStageBehavesLikeInner) {
+  std::vector<std::unique_ptr<Mechanism>> stages;
+  stages.push_back(std::make_unique<NoopMechanism>());
+  const ComposedMechanism mech(std::move(stages));
+  const trace::Trace input = testutil::two_stop_trace("u", {0, 0}, {0, 2000});
+  EXPECT_EQ(mech.protect(input, 1), input);
+  EXPECT_EQ(mech.name(), "noop");
+}
+
+}  // namespace
+}  // namespace locpriv::lppm

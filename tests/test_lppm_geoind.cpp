@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "lppm/geo_ind.h"
+#include "stats/online.h"
+#include "stats/rng.h"
+#include "test_util.h"
+
+namespace locpriv::lppm {
+namespace {
+
+TEST(GeoInd, DeclaresEpsilonParameter) {
+  const GeoIndistinguishability mech;
+  ASSERT_EQ(mech.parameters().size(), 1u);
+  const ParameterSpec& spec = mech.parameters()[0];
+  EXPECT_EQ(spec.name, "epsilon");
+  EXPECT_EQ(spec.scale, Scale::kLog);
+  EXPECT_EQ(spec.unit, "1/m");
+  EXPECT_DOUBLE_EQ(mech.epsilon(), spec.default_value);
+}
+
+TEST(GeoInd, SetParameterValidation) {
+  GeoIndistinguishability mech;
+  mech.set_parameter("epsilon", 0.5);
+  EXPECT_DOUBLE_EQ(mech.epsilon(), 0.5);
+  EXPECT_THROW(mech.set_parameter("epsilon", 100.0), std::out_of_range);
+  EXPECT_THROW(mech.set_parameter("sigma", 1.0), std::invalid_argument);
+  EXPECT_THROW((void)mech.parameter("nope"), std::invalid_argument);
+  EXPECT_THROW(GeoIndistinguishability(-1.0), std::out_of_range);
+}
+
+TEST(GeoInd, PreservesStructure) {
+  const GeoIndistinguishability mech(0.01);
+  const trace::Trace input = testutil::line_trace("u", {0, 0}, {5000, 0}, 3600);
+  const trace::Trace out = mech.protect(input, 42);
+  ASSERT_EQ(out.size(), input.size());
+  EXPECT_EQ(out.user_id(), "u");
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].time, input[i].time);  // timestamps untouched
+    EXPECT_NE(out[i].location, input[i].location);  // locations perturbed
+  }
+}
+
+TEST(GeoInd, DeterministicInSeed) {
+  const GeoIndistinguishability mech(0.01);
+  const trace::Trace input = testutil::stationary_trace("u", {0, 0}, 600);
+  EXPECT_EQ(mech.protect(input, 7), mech.protect(input, 7));
+  EXPECT_NE(mech.protect(input, 7), mech.protect(input, 8));
+}
+
+TEST(GeoInd, MeanDisplacementIsTwoOverEpsilon) {
+  for (const double eps : {0.005, 0.01, 0.05}) {
+    const GeoIndistinguishability mech(eps);
+    const trace::Trace input = testutil::stationary_trace("u", {0, 0}, 60'000, 10);
+    const trace::Trace out = mech.protect(input, 99);
+    stats::OnlineMoments disp;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      disp.add(geo::distance(out[i].location, input[i].location));
+    }
+    EXPECT_NEAR(disp.mean(), 2.0 / eps, 0.06 * (2.0 / eps)) << "eps = " << eps;
+  }
+}
+
+TEST(GeoInd, NoiseIsUnbiased) {
+  const GeoIndistinguishability mech(0.02);
+  const trace::Trace input = testutil::stationary_trace("u", {500, -500}, 120'000, 10);
+  const trace::Trace out = mech.protect(input, 3);
+  stats::OnlineMoments dx;
+  stats::OnlineMoments dy;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    dx.add(out[i].location.x - input[i].location.x);
+    dy.add(out[i].location.y - input[i].location.y);
+  }
+  // Mean offset ~0 vs noise scale 100 m.
+  EXPECT_NEAR(dx.mean(), 0.0, 4.0);
+  EXPECT_NEAR(dy.mean(), 0.0, 4.0);
+}
+
+TEST(GeoInd, LowerEpsilonMeansMoreNoise) {
+  const trace::Trace input = testutil::stationary_trace("u", {0, 0}, 30'000, 10);
+  double prev_mean = 0.0;
+  for (const double eps : {0.1, 0.01, 0.001}) {
+    const GeoIndistinguishability mech(eps);
+    const trace::Trace out = mech.protect(input, 5);
+    stats::OnlineMoments disp;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      disp.add(geo::distance(out[i].location, input[i].location));
+    }
+    EXPECT_GT(disp.mean(), prev_mean);
+    prev_mean = disp.mean();
+  }
+}
+
+TEST(GeoInd, ProtectDatasetDerivesPerUserSeeds) {
+  const GeoIndistinguishability mech(0.01);
+  trace::Dataset d;
+  // Two identical users: per-user seed derivation must give them
+  // different noise.
+  d.add(testutil::stationary_trace("a", {0, 0}, 600));
+  d.add(testutil::stationary_trace("b", {0, 0}, 600));
+  const trace::Dataset out = mech.protect_dataset(d, 1);
+  EXPECT_NE(out[0].points(), out[1].points());
+  EXPECT_EQ(out[0].user_id(), "a");
+}
+
+TEST(GeoInd, EmptyTraceHandled) {
+  const GeoIndistinguishability mech(0.01);
+  const trace::Trace out = mech.protect(trace::Trace("u"), 1);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(out.user_id(), "u");
+}
+
+// Parameterized sanity sweep: displacement quantiles follow the analytic
+// radius CDF across epsilons.
+class GeoIndQuantileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeoIndQuantileSweep, MedianDisplacementMatchesAnalyticQuantile) {
+  const double eps = GetParam();
+  const GeoIndistinguishability mech(eps);
+  const trace::Trace input = testutil::stationary_trace("u", {0, 0}, 80'000, 10);
+  const trace::Trace out = mech.protect(input, 1234);
+  std::vector<double> disp;
+  disp.reserve(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    disp.push_back(geo::distance(out[i].location, input[i].location));
+  }
+  std::nth_element(disp.begin(), disp.begin() + disp.size() / 2, disp.end());
+  const double median = disp[disp.size() / 2];
+  const double analytic = stats::planar_laplace_radius_quantile(eps, 0.5);
+  EXPECT_NEAR(median, analytic, 0.08 * analytic) << "eps = " << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsilonRange, GeoIndQuantileSweep,
+                         ::testing::Values(0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.5));
+
+}  // namespace
+}  // namespace locpriv::lppm

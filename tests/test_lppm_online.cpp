@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "lppm/online.h"
+#include "lppm/registry.h"
+#include "stats/online.h"
+#include "test_util.h"
+
+namespace locpriv::lppm {
+namespace {
+
+TEST(StreamSession, GeoIndStreamMatchesNoiseScale) {
+  const auto mech = create_mechanism("geo-indistinguishability");
+  mech->set_parameter("epsilon", 0.01);
+  const auto session = make_stream_session(*mech, 5);
+  stats::OnlineMoments disp;
+  for (int i = 0; i < 5000; ++i) {
+    const trace::Event e{i * 60, {0, 0}};
+    const auto out = session->report(e);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->time, e.time);
+    disp.add(geo::distance(out->location, e.location));
+  }
+  EXPECT_NEAR(disp.mean(), 200.0, 12.0);  // 2/eps
+}
+
+TEST(StreamSession, StreamEqualsBatchForDeterministicMechanisms) {
+  // Grid cloaking has no randomness: streaming event-by-event must give
+  // exactly the batch result.
+  const auto mech = create_mechanism("grid-cloaking");
+  const trace::Trace input = testutil::line_trace("u", {0, 0}, {2000, 0}, 1200);
+  const trace::Trace batch = mech->protect(input, 1);
+  const auto session = make_stream_session(*mech, 1);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const auto out = session->report(input[i]);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, batch[i]);
+  }
+}
+
+TEST(StreamSession, TemporalCloakingRoundsDownInStream) {
+  const auto mech = create_mechanism("temporal-cloaking");
+  mech->set_parameter("window", 600.0);
+  const auto session = make_stream_session(*mech, 1);
+  const auto out = session->report({1199, {1, 1}});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->time, 600);
+}
+
+TEST(StreamSession, DropoutSuppressesSomeReports) {
+  const auto mech = create_mechanism("release-dropout");
+  mech->set_parameter("keep_probability", 0.4);
+  const auto session = make_stream_session(*mech, 9);
+  int kept = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (session->report({i, {0, 0}}).has_value()) ++kept;
+  }
+  EXPECT_NEAR(kept / static_cast<double>(n), 0.4, 0.03);
+}
+
+TEST(StreamSession, NoopPassesThrough) {
+  const auto mech = create_mechanism("noop");
+  const auto session = make_stream_session(*mech, 1);
+  const trace::Event e{42, {7, 8}};
+  EXPECT_EQ(session->report(e), e);
+}
+
+TEST(StreamSession, PromesseHasNoStreamingSemantics) {
+  const auto mech = create_mechanism("promesse");
+  EXPECT_THROW((void)make_stream_session(*mech, 1), std::invalid_argument);
+}
+
+TEST(GeoIndBudget, TracksSlidingWindowSpend) {
+  GeoIndBudget budget(0.01, 0.05, 3600);  // 5 reports per hour
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(budget.try_consume(i * 60));
+  EXPECT_NEAR(budget.spent(300), 0.05, 1e-12);
+  EXPECT_FALSE(budget.can_consume(300));
+  EXPECT_FALSE(budget.try_consume(301));
+  // One hour after the first report, its epsilon expires.
+  EXPECT_TRUE(budget.can_consume(3601));
+  EXPECT_TRUE(budget.try_consume(3601));
+}
+
+TEST(GeoIndBudget, Validation) {
+  EXPECT_THROW(GeoIndBudget(0.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(GeoIndBudget(0.1, 0.0, 10), std::invalid_argument);
+  EXPECT_THROW(GeoIndBudget(0.1, 1.0, 0), std::invalid_argument);
+  GeoIndBudget budget(0.01, 1.0, 10);
+  EXPECT_TRUE(budget.try_consume(100));
+  EXPECT_THROW(budget.try_consume(50), std::invalid_argument);  // out of order
+}
+
+TEST(BudgetedSession, PerturbsThenSuppresssWhenBudgetExhausted) {
+  // Budget for exactly 3 reports per 1000 s window.
+  BudgetedGeoIndSession session(0.01, GeoIndBudget(0.01, 0.03, 1000), 3);
+  int delivered = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (session.report({i * 10, {0, 0}}).has_value()) ++delivered;
+  }
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(session.suppressed_count(), 7u);
+  // After the window slides, reports flow again.
+  EXPECT_TRUE(session.report({2000, {0, 0}}).has_value());
+}
+
+TEST(BudgetedSession, DeliveredReportsArePerturbed) {
+  BudgetedGeoIndSession session(0.05, GeoIndBudget(0.05, 10.0, 1000), 7);
+  const trace::Event e{0, {100, 100}};
+  const auto out = session.report(e);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_NE(out->location, e.location);
+  EXPECT_EQ(out->time, e.time);
+}
+
+}  // namespace
+}  // namespace locpriv::lppm

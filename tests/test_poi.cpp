@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "poi/matching.h"
+#include "poi/staypoint.h"
+#include "test_util.h"
+
+namespace locpriv::poi {
+namespace {
+
+const ExtractorConfig kCfg{};  // 200 m, 15 min, merge 100 m
+
+TEST(StayPoints, FindsSingleLongStay) {
+  const trace::Trace t = testutil::stationary_trace("u", {500, 500}, 3600);
+  const auto stays = extract_stay_points(t, kCfg);
+  ASSERT_EQ(stays.size(), 1u);
+  EXPECT_NEAR(stays[0].center.x, 500.0, 1e-9);
+  EXPECT_EQ(stays[0].start, 0);
+  EXPECT_EQ(stays[0].end, 3600);
+  EXPECT_EQ(stays[0].duration(), 3600);
+}
+
+TEST(StayPoints, IgnoresShortStops) {
+  // 10-minute stop < 15-minute threshold.
+  const trace::Trace t = testutil::stationary_trace("u", {0, 0}, 600);
+  EXPECT_TRUE(extract_stay_points(t, kCfg).empty());
+}
+
+TEST(StayPoints, IgnoresContinuousMovement) {
+  // Fast line: 5 km in 30 min, each minute moves ~167 m but drifts out of
+  // the 200 m tolerance within 2 reports.
+  const trace::Trace t = testutil::line_trace("u", {0, 0}, {5000, 0}, 1800);
+  EXPECT_TRUE(extract_stay_points(t, kCfg).empty());
+}
+
+TEST(StayPoints, FindsBothStopsOfCommute) {
+  const trace::Trace t = testutil::two_stop_trace("u", {0, 0}, {0, 3000});
+  const auto stays = extract_stay_points(t, kCfg);
+  ASSERT_EQ(stays.size(), 2u);
+  EXPECT_NEAR(stays[0].center.y, 0.0, 20.0);
+  EXPECT_NEAR(stays[1].center.y, 3000.0, 20.0);
+}
+
+TEST(StayPoints, ToleratesJitterWithinRadius) {
+  // Stationary but wobbling ±50 m: still one stay under the 200 m limit.
+  trace::Trace t("u");
+  for (trace::Timestamp ts = 0; ts <= 1800; ts += 60) {
+    const double wobble = (ts / 60 % 2 == 0) ? 50.0 : -50.0;
+    t.append({ts, {wobble, 0}});
+  }
+  const auto stays = extract_stay_points(t, kCfg);
+  ASSERT_EQ(stays.size(), 1u);
+  EXPECT_NEAR(stays[0].center.x, 0.0, 10.0);
+}
+
+TEST(StayPoints, Validation) {
+  const trace::Trace t = testutil::stationary_trace("u", {0, 0}, 3600);
+  ExtractorConfig bad = kCfg;
+  bad.max_distance_m = 0.0;
+  EXPECT_THROW(extract_stay_points(t, bad), std::invalid_argument);
+  bad = kCfg;
+  bad.min_duration_s = 0;
+  EXPECT_THROW(extract_stay_points(t, bad), std::invalid_argument);
+}
+
+TEST(StayPoints, EmptyTrace) {
+  EXPECT_TRUE(extract_stay_points(trace::Trace("u"), kCfg).empty());
+}
+
+TEST(MergeStays, DurationWeightedCentroid) {
+  const StayPoint long_stay{{0, 0}, 0, 3000, 10};
+  const StayPoint short_stay{{100, 0}, 4000, 5000, 5};
+  const Poi p = merge_stays({long_stay, short_stay});
+  EXPECT_EQ(p.visit_count, 2u);
+  EXPECT_EQ(p.total_duration, 4000);
+  // Weighted 3000:1000 -> centroid at 25.
+  EXPECT_NEAR(p.center.x, 25.0, 1e-9);
+  EXPECT_THROW((void)merge_stays({}), std::invalid_argument);
+}
+
+TEST(ExtractPois, MergesRepeatVisits) {
+  // Two separate stays at the same place (e.g. home, two nights) make a
+  // single POI with visit_count 2.
+  trace::Trace t("u");
+  trace::Timestamp now = 0;
+  for (; now <= 1800; now += 60) t.append({now, {0, 0}});
+  // Move far away and back.
+  for (; now <= 3600; now += 60) t.append({now, {5000, 0}});
+  for (; now <= 5400; now += 60) t.append({now, {0, 0}});
+  const auto pois = extract_pois(t, kCfg);
+  ASSERT_EQ(pois.size(), 2u);  // home (2 visits) + away stop
+  const Poi& home = pois[0];   // sorted by dwell: home has ~2x dwell
+  EXPECT_EQ(home.visit_count, 2u);
+  EXPECT_NEAR(home.center.x, 0.0, 30.0);
+}
+
+TEST(ExtractPois, SortsByDescendingDwell) {
+  trace::Trace t("u");
+  trace::Timestamp now = 0;
+  for (; now <= 900; now += 60) t.append({now, {0, 0}});         // 15 min
+  for (; now <= 1200; now += 60) t.append({now, {5000, 0}});     // travel-ish
+  for (; now <= 9000; now += 60) t.append({now, {10000, 0}});    // ~2 h
+  const auto pois = extract_pois(t, kCfg);
+  ASSERT_GE(pois.size(), 2u);
+  EXPECT_GE(pois[0].total_duration, pois[1].total_duration);
+  EXPECT_NEAR(pois[0].center.x, 10000.0, 30.0);
+}
+
+TEST(MatchPois, PerfectRetrieval) {
+  const std::vector<Poi> actual{{{0, 0}, 100, 1}, {{1000, 0}, 100, 1}};
+  const MatchResult r = match_pois(actual, actual, 200.0);
+  EXPECT_EQ(r.actual_count, 2u);
+  EXPECT_EQ(r.retrieved_count, 2u);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_match_distance_m, 0.0);
+}
+
+TEST(MatchPois, RadiusBoundary) {
+  const std::vector<Poi> actual{{{0, 0}, 100, 1}};
+  const std::vector<Poi> near{{{199, 0}, 100, 1}};
+  const std::vector<Poi> far{{{201, 0}, 100, 1}};
+  EXPECT_DOUBLE_EQ(match_pois(actual, near, 200.0).recall, 1.0);
+  EXPECT_DOUBLE_EQ(match_pois(actual, far, 200.0).recall, 0.0);
+}
+
+TEST(MatchPois, EmptyCases) {
+  const std::vector<Poi> some{{{0, 0}, 100, 1}};
+  // No actual POIs: nothing to leak.
+  EXPECT_DOUBLE_EQ(match_pois({}, some, 200.0).recall, 0.0);
+  // No retrieved POIs: perfect privacy.
+  EXPECT_DOUBLE_EQ(match_pois(some, {}, 200.0).recall, 0.0);
+  EXPECT_THROW((void)match_pois(some, some, -1.0), std::invalid_argument);
+}
+
+TEST(MatchPois, MeanDistanceOfMatches) {
+  const std::vector<Poi> actual{{{0, 0}, 100, 1}, {{1000, 0}, 100, 1}};
+  const std::vector<Poi> retrieved{{{50, 0}, 100, 1}, {{1150, 0}, 100, 1}};
+  const MatchResult r = match_pois(actual, retrieved, 200.0);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+  EXPECT_NEAR(r.mean_match_distance_m, 100.0, 1e-9);
+}
+
+TEST(MatchPois, OneRetrievedCanWitnessMany) {
+  // A single retrieved POI between two actual POIs within radius of both.
+  const std::vector<Poi> actual{{{0, 0}, 100, 1}, {{300, 0}, 100, 1}};
+  const std::vector<Poi> retrieved{{{150, 0}, 100, 1}};
+  EXPECT_DOUBLE_EQ(match_pois(actual, retrieved, 200.0).recall, 1.0);
+}
+
+}  // namespace
+}  // namespace locpriv::poi

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "poi/djcluster.h"
+#include "poi/matching.h"
+#include "poi/staypoint.h"
+#include "test_util.h"
+
+namespace locpriv::poi {
+namespace {
+
+TEST(DjCluster, FindsDensePlaces) {
+  const trace::Trace t = testutil::two_stop_trace("u", {0, 0}, {0, 3000});
+  const auto pois = extract_pois_djcluster(t, DjClusterConfig{});
+  ASSERT_EQ(pois.size(), 2u);
+  // Each stop contributes ~31 reports; sorted by support.
+  EXPECT_GE(pois[0].visit_count, 20u);
+  const double y0 = pois[0].center.y;
+  const double y1 = pois[1].center.y;
+  EXPECT_TRUE((std::abs(y0) < 100 && std::abs(y1 - 3000) < 100) ||
+              (std::abs(y1) < 100 && std::abs(y0 - 3000) < 100));
+}
+
+TEST(DjCluster, IgnoresSparseTravelPoints) {
+  // Pure movement: consecutive reports ~167 m apart, so no point has
+  // min_pts neighbors within 100 m.
+  const trace::Trace t = testutil::line_trace("u", {0, 0}, {10'000, 0}, 3600);
+  EXPECT_TRUE(extract_pois_djcluster(t, DjClusterConfig{}).empty());
+}
+
+TEST(DjCluster, FindsRevisitsAcrossGaps) {
+  // Two visits to the same place separated by a long absence; the
+  // stay-point algorithm reports two stays (merged later), DJ-Cluster
+  // sees one dense cluster directly. Each visit: 8 reports (< min_pts
+  // alone with min_pts=12, together 16 >= 12).
+  trace::Trace t("u");
+  trace::Timestamp now = 0;
+  for (int i = 0; i < 8; ++i, now += 60) t.append({now, {0, 0}});
+  for (int i = 0; i < 20; ++i, now += 60) {
+    t.append({now, {static_cast<double>(1000 + i * 400), 0}});
+  }
+  for (int i = 0; i < 8; ++i, now += 60) t.append({now, {0, 0}});
+  DjClusterConfig cfg;
+  cfg.min_pts = 12;
+  const auto pois = extract_pois_djcluster(t, cfg);
+  ASSERT_EQ(pois.size(), 1u);
+  EXPECT_EQ(pois[0].visit_count, 16u);
+  EXPECT_NEAR(pois[0].center.x, 0.0, 1.0);
+}
+
+TEST(DjCluster, EmptyTraceAndValidation) {
+  EXPECT_TRUE(extract_pois_djcluster(trace::Trace("u"), DjClusterConfig{}).empty());
+  const trace::Trace t = testutil::stationary_trace("u", {0, 0}, 600);
+  DjClusterConfig bad;
+  bad.eps_m = 0.0;
+  EXPECT_THROW((void)extract_pois_djcluster(t, bad), std::invalid_argument);
+  bad = {};
+  bad.min_pts = 1;
+  EXPECT_THROW((void)extract_pois_djcluster(t, bad), std::invalid_argument);
+}
+
+TEST(DjCluster, AgreesWithStayPointsOnCleanCommute) {
+  // Both extractors should locate the same two places on clean data.
+  const trace::Trace t = testutil::two_stop_trace("u", {0, 0}, {0, 3000});
+  const auto dj = extract_pois_djcluster(t, DjClusterConfig{});
+  const auto sp = extract_pois(t, ExtractorConfig{});
+  ASSERT_EQ(dj.size(), sp.size());
+  const MatchResult cross = match_pois(sp, dj, 100.0);
+  EXPECT_DOUBLE_EQ(cross.recall, 1.0);
+}
+
+TEST(DjCluster, DwellAttributedToClusters) {
+  const trace::Trace t = testutil::two_stop_trace("u", {0, 0}, {0, 3000});
+  const auto pois = extract_pois_djcluster(t, DjClusterConfig{});
+  ASSERT_EQ(pois.size(), 2u);
+  // Each stop spans 1800 s of dwell (plus edge gaps).
+  EXPECT_GT(pois[0].total_duration, 1500);
+  EXPECT_GT(pois[1].total_duration, 1500);
+}
+
+}  // namespace
+}  // namespace locpriv::poi

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/bootstrap.h"
+#include "stats/rng.h"
+
+namespace locpriv::stats {
+namespace {
+
+TEST(Bootstrap, IntervalCoversTheMean) {
+  Rng rng(3);
+  std::vector<double> sample;
+  for (int i = 0; i < 200; ++i) sample.push_back(rng.normal(5.0, 2.0));
+  const ConfidenceInterval ci = bootstrap_mean_ci(sample, 0.95, 2000, 7);
+  EXPECT_LT(ci.lower, ci.upper);
+  EXPECT_TRUE(ci.contains(ci.point_estimate));
+  // The true mean should be within (or a hair outside) the 95 % CI —
+  // allow half a width of slack so a borderline draw cannot flake.
+  EXPECT_GT(5.0, ci.lower - ci.width() / 2.0);
+  EXPECT_LT(5.0, ci.upper + ci.width() / 2.0);
+  // Width should be around 2 * 1.96 * 2/sqrt(200) ≈ 0.55.
+  EXPECT_NEAR(ci.width(), 0.55, 0.25);
+}
+
+TEST(Bootstrap, NarrowsWithSampleSize) {
+  Rng rng(5);
+  std::vector<double> small;
+  std::vector<double> large;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.normal(0.0, 1.0);
+    if (i < 50) small.push_back(x);
+    large.push_back(x);
+  }
+  const ConfidenceInterval ci_small = bootstrap_mean_ci(small, 0.95, 1000, 1);
+  const ConfidenceInterval ci_large = bootstrap_mean_ci(large, 0.95, 1000, 1);
+  EXPECT_GT(ci_small.width(), ci_large.width() * 3.0);
+}
+
+TEST(Bootstrap, DeterministicInSeed) {
+  const std::vector<double> sample{1, 2, 3, 4, 5, 6};
+  const ConfidenceInterval a = bootstrap_mean_ci(sample, 0.9, 500, 11);
+  const ConfidenceInterval b = bootstrap_mean_ci(sample, 0.9, 500, 11);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(Bootstrap, DegenerateAndInvalidInputs) {
+  const std::vector<double> one{3.5};
+  const ConfidenceInterval ci = bootstrap_mean_ci(one);
+  EXPECT_DOUBLE_EQ(ci.lower, 3.5);
+  EXPECT_DOUBLE_EQ(ci.upper, 3.5);
+  EXPECT_THROW((void)bootstrap_mean_ci({}), std::invalid_argument);
+  const std::vector<double> two{1.0, 2.0};
+  EXPECT_THROW((void)bootstrap_mean_ci(two, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)bootstrap_mean_ci(two, 0.95, 0), std::invalid_argument);
+}
+
+TEST(Spearman, PerfectMonotoneRelationsScoreOne) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> cubes{1, 8, 27, 64, 125};     // nonlinear but monotone
+  std::vector<double> inverted{5, 4, 3, 2, 1};
+  EXPECT_NEAR(spearman(xs, cubes), 1.0, 1e-12);
+  EXPECT_NEAR(spearman(xs, inverted), -1.0, 1e-12);
+}
+
+TEST(Spearman, TiesGetAverageRanks) {
+  const std::vector<double> xs{1, 2, 2, 3};
+  const std::vector<double> ys{10, 20, 20, 30};
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Spearman, ConstantSampleScoresZero) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> c{7, 7, 7};
+  EXPECT_DOUBLE_EQ(spearman(xs, c), 0.0);
+}
+
+TEST(Spearman, Validation) {
+  const std::vector<double> xs{1, 2};
+  const std::vector<double> ys{1};
+  EXPECT_THROW((void)spearman(xs, ys), std::invalid_argument);
+  const std::vector<double> one{1};
+  EXPECT_THROW((void)spearman(one, one), std::invalid_argument);
+}
+
+TEST(Spearman, RobustToOutliersUnlikePearson) {
+  // Monotone data with one extreme outlier: Spearman stays 1.
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{1, 2, 3, 4, 1e9};
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace locpriv::stats

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/histogram.h"
+#include "stats/online.h"
+
+namespace locpriv::stats {
+namespace {
+
+TEST(Descriptive, MeanAndVariance) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Descriptive, ThrowsOnDegenerateInput) {
+  EXPECT_THROW((void)mean({}), std::invalid_argument);
+  const std::vector<double> one{1.0};
+  EXPECT_THROW((void)variance(one), std::invalid_argument);
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Descriptive, QuantileInterpolatesAndClamps) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_THROW((void)quantile(xs, 1.5), std::invalid_argument);
+}
+
+TEST(Descriptive, QuantileIgnoresInputOrder) {
+  const std::vector<double> xs{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Descriptive, SummaryFields) {
+  const std::vector<double> xs{5, 1, 3, 2, 4};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_GT(s.stddev, 0.0);
+}
+
+TEST(Descriptive, SummaryEmptyIsAllZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Descriptive, PearsonPerfectAndAnticorrelated) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> up{2, 4, 6, 8};
+  std::vector<double> down{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(xs, down), -1.0, 1e-12);
+}
+
+TEST(Descriptive, PearsonConstantSampleIsZero) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> c{5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(xs, c), 0.0);
+}
+
+TEST(OnlineMoments, MatchesBatchStatistics) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  OnlineMoments m;
+  for (const double x : xs) m.add(x);
+  EXPECT_EQ(m.count(), xs.size());
+  EXPECT_NEAR(m.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(m.variance(), variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(m.min(), 2.0);
+  EXPECT_DOUBLE_EQ(m.max(), 9.0);
+}
+
+TEST(OnlineMoments, MergeEqualsSinglePass) {
+  OnlineMoments a;
+  OnlineMoments b;
+  OnlineMoments whole;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i - 3.0;
+    (i < 20 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineMoments, MergeWithEmptySides) {
+  OnlineMoments empty;
+  OnlineMoments some;
+  some.add(1.0);
+  some.add(3.0);
+  OnlineMoments copy = some;
+  copy.merge(empty);
+  EXPECT_EQ(copy.count(), 2u);
+  empty.merge(some);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(OnlineMoments, ThrowsWithoutSamples) {
+  const OnlineMoments m;
+  EXPECT_THROW((void)m.mean(), std::logic_error);
+  EXPECT_THROW((void)m.min(), std::logic_error);
+}
+
+TEST(OnlineCovariance, MatchesClosedForm) {
+  OnlineCovariance c;
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 5, 9};
+  for (std::size_t i = 0; i < xs.size(); ++i) c.add(xs[i], ys[i]);
+  // Sample covariance computed by hand: mean_x=2.5, mean_y=5.
+  double expected = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) expected += (xs[i] - 2.5) * (ys[i] - 5.0);
+  expected /= 3.0;
+  EXPECT_NEAR(c.covariance(), expected, 1e-12);
+}
+
+TEST(Histogram, BinsAndOutOfRange) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);    // bin 0
+  h.add(9.99);   // bin 4
+  h.add(-1.0);   // underflow
+  h.add(10.0);   // overflow (hi is exclusive)
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, EntropyUniformVsPeaked) {
+  Histogram uniform(0, 4, 4);
+  for (int b = 0; b < 4; ++b) uniform.add(b + 0.5);
+  EXPECT_NEAR(uniform.entropy(), std::log(4.0), 1e-12);
+
+  Histogram peaked(0, 4, 4);
+  for (int i = 0; i < 4; ++i) peaked.add(0.5);
+  EXPECT_DOUBLE_EQ(peaked.entropy(), 0.0);
+  EXPECT_GT(uniform.entropy(), peaked.entropy());
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace locpriv::stats

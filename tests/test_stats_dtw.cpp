@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/dtw.h"
+
+namespace locpriv::stats {
+namespace {
+
+using geo::Point;
+
+TEST(Dtw, IdenticalSequencesCostZero) {
+  const std::vector<Point> a{{0, 0}, {10, 0}, {20, 0}};
+  const DtwResult r = dtw(a, a);
+  EXPECT_DOUBLE_EQ(r.total_cost, 0.0);
+  EXPECT_EQ(r.path_length, 3u);
+  EXPECT_DOUBLE_EQ(r.normalized_cost(), 0.0);
+}
+
+TEST(Dtw, ConstantOffsetCostsOffsetPerStep) {
+  const std::vector<Point> a{{0, 0}, {10, 0}, {20, 0}};
+  std::vector<Point> b;
+  for (const Point p : a) b.push_back({p.x, p.y + 5.0});
+  const DtwResult r = dtw(a, b);
+  EXPECT_DOUBLE_EQ(r.normalized_cost(), 5.0);
+}
+
+TEST(Dtw, SpeedInvariance) {
+  // Same route, one sequence sampled twice as densely: DTW aligns them
+  // at (near) zero cost, where index pairing would see large errors.
+  std::vector<Point> coarse;
+  std::vector<Point> fine;
+  for (int i = 0; i <= 10; ++i) coarse.push_back({i * 100.0, 0.0});
+  for (int i = 0; i <= 20; ++i) fine.push_back({i * 50.0, 0.0});
+  const DtwResult r = dtw(coarse, fine);
+  // Residual: odd fine samples sit 50 m from their matched coarse sample
+  // (~10 of ~21 path steps) -> ~24 m/step; index pairing would see the
+  // sequences diverge by up to 500 m. Bound: strictly below half the
+  // fine step.
+  EXPECT_LT(r.normalized_cost(), 25.0);
+  EXPECT_GT(r.normalized_cost(), 0.0);
+}
+
+TEST(Dtw, SymmetricInArguments) {
+  const std::vector<Point> a{{0, 0}, {100, 0}, {100, 100}};
+  const std::vector<Point> b{{0, 10}, {50, 0}, {110, 0}, {100, 90}};
+  EXPECT_DOUBLE_EQ(dtw(a, b).total_cost, dtw(b, a).total_cost);
+}
+
+TEST(Dtw, SingleElementSequences) {
+  const std::vector<Point> one{{0, 0}};
+  const std::vector<Point> many{{3, 4}, {6, 8}};
+  const DtwResult r = dtw(one, many);
+  EXPECT_DOUBLE_EQ(r.total_cost, 5.0 + 10.0);
+  EXPECT_EQ(r.path_length, 2u);
+}
+
+TEST(Dtw, BandConstraintBoundsAlignment) {
+  std::vector<Point> a;
+  std::vector<Point> b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back({i * 10.0, 0.0});
+    b.push_back({i * 10.0, 1.0});
+  }
+  const DtwResult unconstrained = dtw(a, b);
+  const DtwResult banded = dtw(a, b, {.band_fraction = 0.1});
+  // Diagonal-aligned data: the band changes nothing.
+  EXPECT_DOUBLE_EQ(banded.total_cost, unconstrained.total_cost);
+}
+
+TEST(Dtw, Validation) {
+  const std::vector<Point> a{{0, 0}};
+  EXPECT_THROW((void)dtw({}, a), std::invalid_argument);
+  EXPECT_THROW((void)dtw(a, {}), std::invalid_argument);
+  EXPECT_THROW((void)dtw(a, a, {.band_fraction = 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)dtw(a, a, {.band_fraction = 1.5}), std::invalid_argument);
+}
+
+TEST(Dtw, CheaperPathPreferredOverGreedy) {
+  // A detour sequence: DTW should match the detour point to its nearest
+  // neighbor rather than distribute cost.
+  const std::vector<Point> a{{0, 0}, {10, 0}, {20, 0}};
+  const std::vector<Point> b{{0, 0}, {10, 30}, {20, 0}};
+  const DtwResult r = dtw(a, b);
+  EXPECT_DOUBLE_EQ(r.total_cost, 30.0);  // only the detour pays
+}
+
+}  // namespace
+}  // namespace locpriv::stats

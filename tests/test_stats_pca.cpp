@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/pca.h"
+#include "stats/rng.h"
+
+namespace locpriv::stats {
+namespace {
+
+TEST(JacobiEigen, DiagonalMatrix) {
+  const Matrix m{{3, 0}, {0, 1}};
+  const EigenDecomposition eig = jacobi_eigen(m);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-12);
+}
+
+TEST(JacobiEigen, KnownSymmetricMatrix) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  const Matrix m{{2, 1}, {1, 2}};
+  const EigenDecomposition eig = jacobi_eigen(m);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  const double v0 = eig.vectors(0, 0);
+  const double v1 = eig.vectors(1, 0);
+  EXPECT_NEAR(std::abs(v0), 1.0 / std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(v0, v1, 1e-9);
+}
+
+TEST(JacobiEigen, EigenvectorsSatisfyDefinition) {
+  const Matrix m{{4, 1, 0}, {1, 3, 1}, {0, 1, 2}};
+  const EigenDecomposition eig = jacobi_eigen(m);
+  for (std::size_t j = 0; j < 3; ++j) {
+    std::vector<double> v(3);
+    for (std::size_t i = 0; i < 3; ++i) v[i] = eig.vectors(i, j);
+    const std::vector<double> mv = m * v;
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_NEAR(mv[i], eig.values[j] * v[i], 1e-9) << "eigenpair " << j;
+    }
+  }
+}
+
+TEST(JacobiEigen, RejectsNonSquare) {
+  EXPECT_THROW(jacobi_eigen(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Pca, ExplainedVarianceSumsToOne) {
+  Rng rng(5);
+  std::vector<std::vector<double>> obs;
+  for (int i = 0; i < 100; ++i) {
+    obs.push_back({rng.normal(0, 1), rng.normal(0, 2), rng.normal(0, 0.5)});
+  }
+  const PcaResult r = pca(obs);
+  double total = 0.0;
+  for (const double v : r.explained_variance) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Eigenvalues are sorted descending.
+  for (std::size_t j = 1; j < r.eigenvalues.size(); ++j) {
+    EXPECT_LE(r.eigenvalues[j], r.eigenvalues[j - 1] + 1e-12);
+  }
+}
+
+TEST(Pca, FindsDominantDirection) {
+  // Points along the line y = 2x with tiny noise: the first component
+  // must explain nearly everything, and align with (1, 2)/sqrt(5) in
+  // unstandardized coordinates.
+  Rng rng(9);
+  std::vector<std::vector<double>> obs;
+  for (int i = 0; i < 300; ++i) {
+    const double t = rng.normal(0, 1);
+    obs.push_back({t + rng.normal(0, 0.01), 2 * t + rng.normal(0, 0.01)});
+  }
+  const PcaResult r = pca(obs, /*standardize=*/false);
+  EXPECT_GT(r.explained_variance[0], 0.99);
+  const double ratio = r.components(1, 0) / r.components(0, 0);
+  EXPECT_NEAR(ratio, 2.0, 0.05);
+}
+
+TEST(Pca, StandardizationEqualizesScales) {
+  // Column 1 has 100x the scale of column 0 but identical correlation
+  // structure; standardized PCA should weight them equally.
+  Rng rng(11);
+  std::vector<std::vector<double>> obs;
+  for (int i = 0; i < 300; ++i) {
+    const double t = rng.normal(0, 1);
+    obs.push_back({t + rng.normal(0, 0.1), 100.0 * (t + rng.normal(0, 0.1))});
+  }
+  const PcaResult r = pca(obs, /*standardize=*/true);
+  EXPECT_NEAR(std::abs(r.components(0, 0)), std::abs(r.components(1, 0)), 0.05);
+}
+
+TEST(Pca, ConstantColumnHandled) {
+  std::vector<std::vector<double>> obs;
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) obs.push_back({rng.normal(0, 1), 42.0});
+  const PcaResult r = pca(obs);
+  // Constant column contributes zero variance; first component is the
+  // varying column.
+  EXPECT_NEAR(r.explained_variance[0], 1.0, 1e-9);
+}
+
+TEST(Pca, Validation) {
+  EXPECT_THROW((void)pca({}), std::invalid_argument);
+  EXPECT_THROW((void)pca({{1.0}}), std::invalid_argument);
+  EXPECT_THROW((void)pca({{1.0, 2.0}, {1.0}}), std::invalid_argument);
+}
+
+TEST(Pca, ProjectReducesDimension) {
+  Rng rng(13);
+  std::vector<std::vector<double>> obs;
+  for (int i = 0; i < 100; ++i) {
+    obs.push_back({rng.normal(0, 3), rng.normal(0, 1), rng.normal(0, 0.1)});
+  }
+  const PcaResult r = pca(obs);
+  const std::vector<double> proj = project(r, obs.front(), 2);
+  EXPECT_EQ(proj.size(), 2u);
+  EXPECT_THROW(project(r, {1.0}, 2), std::invalid_argument);
+}
+
+TEST(Pca, VariableImportanceRanksSignalAboveNoise) {
+  // Column 0 drives two correlated copies (columns 1); column 2 is tiny
+  // independent noise. Importance of col 2 must rank below 0 and 1 when
+  // PCA runs unstandardized (standardization would equalize pure-noise
+  // columns by design).
+  Rng rng(17);
+  std::vector<std::vector<double>> obs;
+  for (int i = 0; i < 400; ++i) {
+    const double t = rng.normal(0, 1);
+    obs.push_back({t, t + rng.normal(0, 0.05), rng.normal(0, 0.05)});
+  }
+  const PcaResult r = pca(obs, /*standardize=*/false);
+  const std::vector<double> imp = variable_importance(r, 0.9);
+  EXPECT_GT(imp[0], imp[2]);
+  EXPECT_GT(imp[1], imp[2]);
+}
+
+}  // namespace
+}  // namespace locpriv::stats

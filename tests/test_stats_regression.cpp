@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/matrix.h"
+#include "stats/regression.h"
+#include "stats/rng.h"
+
+namespace locpriv::stats {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 7.0);
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(Matrix({{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeAndMultiply) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix at = a.transpose();
+  EXPECT_DOUBLE_EQ(at(0, 1), 3.0);
+  const Matrix prod = a * at;
+  EXPECT_DOUBLE_EQ(prod(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(prod(0, 1), 11.0);
+  EXPECT_DOUBLE_EQ(prod(1, 1), 25.0);
+  EXPECT_THROW((void)(a * Matrix(3, 3)), std::invalid_argument);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const std::vector<double> v{1, 1};
+  const std::vector<double> out = a * v;
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+  EXPECT_DOUBLE_EQ(out[1], 7.0);
+}
+
+TEST(SolveLinear, TwoByTwo) {
+  const Matrix a{{2, 1}, {1, 3}};
+  const std::vector<double> x = solve_linear_system(a, {5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  const Matrix a{{0, 1}, {1, 0}};
+  const std::vector<double> x = solve_linear_system(a, {2, 3});
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+TEST(SolveLinear, SingularThrows) {
+  const Matrix a{{1, 2}, {2, 4}};
+  EXPECT_THROW((void)solve_linear_system(a, {1, 2}), std::runtime_error);
+}
+
+TEST(FitLinear, ExactLine) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{3, 5, 7, 9};  // y = 1 + 2x
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.residual_stddev, 0.0, 1e-9);
+}
+
+TEST(FitLinear, PredictAndInvertAreInverse) {
+  const std::vector<double> x{0, 1, 2, 3};
+  const std::vector<double> y{1, 3, 5, 7};
+  const LinearFit fit = fit_linear(x, y);
+  for (const double v : {0.5, 1.7, 2.9}) {
+    EXPECT_NEAR(fit.invert(fit.predict(v)), v, 1e-12);
+  }
+}
+
+TEST(FitLinear, ZeroSlopeInvertThrows) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{4, 4, 4};
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_THROW((void)fit.invert(4.0), std::domain_error);
+}
+
+TEST(FitLinear, NoisyDataRecoversCoefficients) {
+  Rng rng(3);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    const double xi = rng.uniform(-5.0, 5.0);
+    x.push_back(xi);
+    y.push_back(0.84 + 0.17 * xi + rng.normal(0.0, 0.02));
+  }
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 0.17, 0.005);
+  EXPECT_NEAR(fit.intercept, 0.84, 0.005);
+  EXPECT_GT(fit.r_squared, 0.98);
+  EXPECT_NEAR(fit.residual_stddev, 0.02, 0.005);
+}
+
+TEST(FitLinear, Validation) {
+  const std::vector<double> one{1};
+  EXPECT_THROW((void)fit_linear(one, one), std::invalid_argument);
+  const std::vector<double> x{1, 1, 1};
+  const std::vector<double> y{1, 2, 3};
+  EXPECT_THROW((void)fit_linear(x, y), std::invalid_argument);  // zero x variance
+  const std::vector<double> xs{1, 2};
+  EXPECT_THROW((void)fit_linear(xs, y), std::invalid_argument);  // size mismatch
+}
+
+TEST(FitMultiple, ExactPlane) {
+  // y = 2 + 3 a - 0.5 b on a grid.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (double a = 0; a < 4; ++a) {
+    for (double b = 0; b < 4; ++b) {
+      rows.push_back({a, b});
+      y.push_back(2.0 + 3.0 * a - 0.5 * b);
+    }
+  }
+  const MultipleFit fit = fit_multiple(rows, y);
+  ASSERT_EQ(fit.beta.size(), 3u);
+  EXPECT_NEAR(fit.beta[0], 2.0, 1e-9);
+  EXPECT_NEAR(fit.beta[1], 3.0, 1e-9);
+  EXPECT_NEAR(fit.beta[2], -0.5, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.predict(std::vector<double>{1.0, 2.0}), 4.0, 1e-9);
+}
+
+TEST(FitMultiple, Validation) {
+  std::vector<std::vector<double>> rows{{1, 2}, {3, 4}};
+  std::vector<double> y{1, 2};
+  EXPECT_THROW((void)fit_multiple(rows, y), std::invalid_argument);  // n <= k
+  rows = {{1, 2}, {3}};
+  EXPECT_THROW((void)fit_multiple(rows, y), std::invalid_argument);  // ragged
+  EXPECT_THROW((void)fit_multiple({}, {}), std::invalid_argument);
+}
+
+TEST(FitMultiple, NoisyRecovery) {
+  Rng rng(7);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.uniform(-2, 2);
+    const double b = rng.uniform(-2, 2);
+    rows.push_back({a, b});
+    y.push_back(1.0 + 0.5 * a + 2.0 * b + rng.normal(0, 0.05));
+  }
+  const MultipleFit fit = fit_multiple(rows, y);
+  EXPECT_NEAR(fit.beta[0], 1.0, 0.02);
+  EXPECT_NEAR(fit.beta[1], 0.5, 0.02);
+  EXPECT_NEAR(fit.beta[2], 2.0, 0.02);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+}  // namespace
+}  // namespace locpriv::stats

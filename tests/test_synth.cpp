@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "synth/scenario.h"
+#include "synth/walker.h"
+#include "trace/features.h"
+
+namespace locpriv::synth {
+namespace {
+
+TEST(CityModel, DeterministicInSeed) {
+  const CityConfig cfg;
+  const CityModel a(cfg, 42);
+  const CityModel b(cfg, 42);
+  ASSERT_EQ(a.sites().size(), b.sites().size());
+  for (std::size_t i = 0; i < a.sites().size(); ++i) {
+    EXPECT_EQ(a.sites()[i].location, b.sites()[i].location);
+  }
+  const CityModel c(cfg, 43);
+  EXPECT_NE(a.sites()[0].location, c.sites()[0].location);
+}
+
+TEST(CityModel, SitesInsideExtent) {
+  CityConfig cfg;
+  cfg.half_extent_m = 2000.0;
+  const CityModel city(cfg, 7);
+  for (const Site& s : city.sites()) {
+    EXPECT_TRUE(city.extent().contains(s.location));
+  }
+}
+
+TEST(CityModel, Validation) {
+  CityConfig bad;
+  bad.half_extent_m = 0.0;
+  EXPECT_THROW(CityModel(bad, 1), std::invalid_argument);
+  bad = {};
+  bad.site_count = 0;
+  EXPECT_THROW(CityModel(bad, 1), std::invalid_argument);
+  bad = {};
+  bad.block_size_m = -1.0;
+  EXPECT_THROW(CityModel(bad, 1), std::invalid_argument);
+}
+
+TEST(CityModel, PopularSitesSampledMoreOften) {
+  CityConfig cfg;
+  cfg.popularity_skew = 1.2;
+  const CityModel city(cfg, 7);
+  stats::Rng rng(1);
+  std::vector<int> counts(city.sites().size(), 0);
+  for (int i = 0; i < 20'000; ++i) ++counts[city.sample_site(rng)];
+  // Site 0 has the largest weight; it must beat the median site clearly.
+  EXPECT_GT(counts[0], counts[city.sites().size() / 2] * 2);
+}
+
+TEST(CityModel, SampleExcludingNeverReturnsExcluded) {
+  const CityModel city(CityConfig{}, 7);
+  stats::Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_NE(city.sample_site_excluding(rng, 0), 0u);
+  }
+}
+
+TEST(Walker, AppendStayHoldsPosition) {
+  const CityModel city(CityConfig{}, 7);
+  MovementConfig cfg;
+  cfg.gps_noise_m = 0.0;
+  stats::Rng rng(3);
+  trace::Trace t("u");
+  t.append({0, {100, 100}});
+  append_stay(t, {100, 100}, 600, cfg, rng);
+  EXPECT_GE(t.size(), 10u);
+  for (const trace::Event& e : t) EXPECT_EQ(e.location, (geo::Point{100, 100}));
+  EXPECT_EQ(t.back().time, 600);
+}
+
+TEST(Walker, AppendLegReachesDestination) {
+  MovementConfig cfg;
+  cfg.gps_noise_m = 0.0;
+  cfg.speed_jitter = 0.0;
+  stats::Rng rng(3);
+  trace::Trace t("u");
+  t.append({0, {0, 0}});
+  append_leg(t, {1000, 0}, cfg, rng);
+  EXPECT_NEAR(t.back().location.x, 1000.0, 1e-6);
+  // At 10 m/s, 1000 m takes 100 s -> ceil to 2 reports at 60 s spacing.
+  EXPECT_EQ(t.back().time, 120);
+  trace::Trace empty("empty");
+  EXPECT_THROW(append_leg(empty, {0, 0}, cfg, rng), std::invalid_argument);
+}
+
+TEST(Walker, RandomWaypointRespectsDurationAndExtent) {
+  const CityModel city(CityConfig{}, 7);
+  const MovementConfig cfg;
+  const trace::Trace t = random_waypoint_trace(city, "u", 7200, cfg, 9);
+  EXPECT_GT(t.size(), 10u);
+  EXPECT_LE(t.back().time, 7200);
+  const geo::BoundingBox roam = city.extent().inflated(50.0);  // GPS noise slack
+  for (const trace::Event& e : t) EXPECT_TRUE(roam.contains(e.location));
+}
+
+TEST(Walker, LevyFlightValidation) {
+  const CityModel city(CityConfig{}, 7);
+  const MovementConfig cfg;
+  EXPECT_THROW(levy_flight_trace(city, "u", 100, cfg, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(levy_flight_trace(city, "u", 100, cfg, 3.5, 1), std::invalid_argument);
+  const trace::Trace t = levy_flight_trace(city, "u", 3600, cfg, 1.8, 1);
+  EXPECT_GT(t.size(), 5u);
+}
+
+TEST(Walker, ManhattanLegVisitsCornerAndArrives) {
+  MovementConfig cfg;
+  cfg.gps_noise_m = 0.0;
+  cfg.speed_jitter = 0.0;
+  stats::Rng rng(7);
+  trace::Trace t("u");
+  t.append({0, {0, 0}});
+  append_leg_manhattan(t, {1000, 1000}, cfg, rng);
+  EXPECT_NEAR(t.back().location.x, 1000.0, 1e-6);
+  EXPECT_NEAR(t.back().location.y, 1000.0, 1e-6);
+  // Rectilinear path: every intermediate report sits on one of the two
+  // axis-aligned segments (x=0, y in [0,1000]) or (y matches corner).
+  for (const trace::Event& e : t) {
+    const bool on_axis = std::abs(e.location.x) < 1e-6 || std::abs(e.location.y) < 1e-6 ||
+                         std::abs(e.location.x - 1000.0) < 1e-6 ||
+                         std::abs(e.location.y - 1000.0) < 1e-6;
+    EXPECT_TRUE(on_axis) << e.location;
+  }
+}
+
+TEST(Walker, ManhattanPathIsLongerThanStraight) {
+  MovementConfig cfg;
+  cfg.gps_noise_m = 0.0;
+  cfg.speed_jitter = 0.0;
+  stats::Rng rng(7);
+  trace::Trace straight("a");
+  straight.append({0, {0, 0}});
+  append_leg(straight, {3000, 4000}, cfg, rng);
+  trace::Trace manhattan("b");
+  manhattan.append({0, {0, 0}});
+  append_leg_manhattan(manhattan, {3000, 4000}, cfg, rng);
+  // L2 = 5000 m, L1 = 7000 m: travel time scales accordingly.
+  EXPECT_GT(manhattan.back().time, straight.back().time);
+}
+
+TEST(Walker, TravelDispatchesOnConfig) {
+  MovementConfig cfg;
+  cfg.gps_noise_m = 0.0;
+  cfg.speed_jitter = 0.0;
+  cfg.manhattan_streets = true;
+  stats::Rng rng(3);
+  trace::Trace t("u");
+  t.append({0, {0, 0}});
+  travel(t, {2000, 2000}, cfg, rng);
+  // Manhattan travel time for L1=4000 at 10 m/s is ~400 s; straight-line
+  // would be ~283 s.
+  EXPECT_GE(t.back().time, 360);
+}
+
+TEST(Commuter, MultiDayTraceHasNightsAtHome) {
+  const CityModel city(CityConfig{}, 11);
+  CommuterConfig cfg;
+  cfg.days = 2;
+  const trace::Trace t = commuter_trace(city, "u", cfg, 13);
+  EXPECT_EQ(t.front().time, 0);
+  EXPECT_GE(t.back().time, 2 * 24 * 3600 - 3600);
+  // Position at 3 am day 1 equals position at 3 am day 2 within GPS noise.
+  const trace::Trace night1 = t.between(3 * 3600 - 300, 3 * 3600 + 300);
+  const trace::Trace night2 = t.between(27 * 3600 - 300, 27 * 3600 + 300);
+  ASSERT_FALSE(night1.empty());
+  ASSERT_FALSE(night2.empty());
+  EXPECT_LT(geo::distance(night1[0].location, night2[0].location), 100.0);
+}
+
+TEST(Commuter, DeterministicInSeed) {
+  const CityModel city(CityConfig{}, 11);
+  const CommuterConfig cfg;
+  const trace::Trace a = commuter_trace(city, "u", cfg, 5);
+  const trace::Trace b = commuter_trace(city, "u", cfg, 5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Taxi, ShiftRespectsDuration) {
+  const CityModel city(CityConfig{}, 11);
+  const TaxiConfig cfg;
+  const trace::Trace t = taxi_trace(city, "cab", cfg, 17);
+  EXPECT_LE(t.back().time, cfg.shift_duration_s);
+  EXPECT_GT(t.size(), 50u);
+}
+
+TEST(Taxi, Validation) {
+  const CityModel city(CityConfig{}, 11);
+  TaxiConfig bad;
+  bad.stand_count = 0;
+  EXPECT_THROW(taxi_trace(city, "cab", bad, 1), std::invalid_argument);
+  bad = {};
+  bad.max_idle_s = bad.min_idle_s - 1;
+  EXPECT_THROW(taxi_trace(city, "cab", bad, 1), std::invalid_argument);
+}
+
+TEST(Scenario, TaxiDatasetShape) {
+  TaxiScenarioConfig cfg;
+  cfg.driver_count = 5;
+  const trace::Dataset d = make_taxi_dataset(cfg, 23);
+  ASSERT_EQ(d.size(), 5u);
+  EXPECT_EQ(d[0].user_id(), "cab-000");
+  EXPECT_EQ(d[4].user_id(), "cab-004");
+  for (const trace::Trace& t : d) EXPECT_GT(t.size(), 20u);
+}
+
+TEST(Scenario, TaxiDatasetDeterministicAndSeedSensitive) {
+  TaxiScenarioConfig cfg;
+  cfg.driver_count = 3;
+  const trace::Dataset a = make_taxi_dataset(cfg, 1);
+  const trace::Dataset b = make_taxi_dataset(cfg, 1);
+  const trace::Dataset c = make_taxi_dataset(cfg, 2);
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_NE(a[0], c[0]);
+}
+
+TEST(Scenario, DriversDiffer) {
+  TaxiScenarioConfig cfg;
+  cfg.driver_count = 2;
+  const trace::Dataset d = make_taxi_dataset(cfg, 29);
+  EXPECT_NE(d[0].points(), d[1].points());
+}
+
+TEST(Scenario, MixedDatasetCombinesThreePopulations) {
+  MixedScenarioConfig cfg;
+  cfg.taxi_count = 2;
+  cfg.commuter_count = 2;
+  cfg.wanderer_count = 2;
+  cfg.commuter.days = 1;
+  cfg.taxi.shift_duration_s = 3 * 3600;
+  cfg.wanderer_duration_s = 3 * 3600;
+  const trace::Dataset d = make_mixed_dataset(cfg, 5);
+  ASSERT_EQ(d.size(), 6u);
+  EXPECT_EQ(d[0].user_id(), "cab-000");
+  EXPECT_EQ(d[2].user_id(), "user-000");
+  EXPECT_EQ(d[4].user_id(), "walk-000");
+  for (const trace::Trace& t : d) EXPECT_FALSE(t.empty());
+  // Deterministic in seed.
+  const trace::Dataset again = make_mixed_dataset(cfg, 5);
+  EXPECT_EQ(d[0], again[0]);
+  EXPECT_EQ(d[5], again[5]);
+}
+
+TEST(Scenario, CommuterDatasetShape) {
+  CommuterScenarioConfig cfg;
+  cfg.user_count = 4;
+  cfg.commuter.days = 1;
+  const trace::Dataset d = make_commuter_dataset(cfg, 31);
+  ASSERT_EQ(d.size(), 4u);
+  for (const trace::Trace& t : d) {
+    const trace::TraceFeatures f = trace::compute_features(t);
+    EXPECT_GT(f.duration_s, 20.0 * 3600);
+    EXPECT_GT(f.stationary_ratio, 0.5);  // commuters dwell most of the day
+  }
+}
+
+}  // namespace
+}  // namespace locpriv::synth

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "synth/faults.h"
+#include "test_util.h"
+#include "trace/cleaning.h"
+
+namespace locpriv::trace {
+namespace {
+
+TEST(Cleaning, CleanDataPassesThrough) {
+  const Trace t = testutil::two_stop_trace("u", {0, 0}, {0, 3000});
+  CleaningStats stats;
+  const Trace out = clean_trace(t, CleaningConfig{}, &stats);
+  EXPECT_EQ(out, t);
+  EXPECT_EQ(stats.speed_rejected, 0u);
+  EXPECT_EQ(stats.duplicates_dropped, 0u);
+  EXPECT_EQ(stats.kept(), t.size());
+}
+
+TEST(Cleaning, SpeedFilterDropsTeleports) {
+  Trace t("u");
+  t.append({0, {0, 0}});
+  t.append({60, {100, 0}});      // 1.7 m/s, fine
+  t.append({120, {40'000, 0}});  // 665 m/s, a glitch
+  t.append({180, {200, 0}});     // fine relative to the last *accepted* report
+  CleaningStats stats;
+  const Trace out = clean_trace(t, CleaningConfig{}, &stats);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(stats.speed_rejected, 1u);
+  EXPECT_EQ(out[2].location, (geo::Point{200, 0}));
+}
+
+TEST(Cleaning, SimultaneousDistinctReportsRejected) {
+  Trace t("u");
+  t.append({0, {0, 0}});
+  t.append({0, {500, 0}});  // same instant, different place: impossible
+  CleaningStats stats;
+  const Trace out = clean_trace(t, CleaningConfig{}, &stats);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(stats.speed_rejected, 1u);
+}
+
+TEST(Cleaning, DuplicatesDropped) {
+  Trace t("u");
+  t.append({0, {0, 0}});
+  t.append({0, {0, 0}});
+  t.append({60, {10, 0}});
+  CleaningStats stats;
+  const Trace out = clean_trace(t, CleaningConfig{}, &stats);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(stats.duplicates_dropped, 1u);
+}
+
+TEST(Cleaning, FiltersCanBeDisabled) {
+  Trace t("u");
+  t.append({0, {0, 0}});
+  t.append({0, {0, 0}});
+  t.append({1, {40'000, 0}});
+  CleaningConfig off;
+  off.max_speed_mps = 0.0;
+  off.drop_duplicates = false;
+  EXPECT_EQ(clean_trace(t, off).size(), 3u);
+}
+
+TEST(Cleaning, UndoesInjectedFaults) {
+  // Glitches + duplicates injected, then cleaned: the result should be
+  // close to the original (outage-free config so cleaning can fully undo).
+  const Trace original = testutil::two_stop_trace("u", {0, 0}, {0, 3000});
+  synth::FaultConfig faults;
+  faults.glitch_probability = 0.05;
+  faults.duplicate_probability = 0.05;
+  const Trace dirty = synth::inject_faults(original, faults, 5);
+  CleaningStats stats;
+  const Trace cleaned = clean_trace(dirty, CleaningConfig{}, &stats);
+  EXPECT_GT(stats.speed_rejected + stats.duplicates_dropped, 0u);
+  // Cleaned size within a few reports of the original (each glitch
+  // removes itself, occasionally shadowing a neighbor).
+  EXPECT_NEAR(static_cast<double>(cleaned.size()), static_cast<double>(original.size()),
+              0.1 * static_cast<double>(original.size()));
+  // No surviving teleport: all points near the commute corridor.
+  for (const Event& e : cleaned) {
+    EXPECT_LT(std::abs(e.location.x), 500.0);
+    EXPECT_GT(e.location.y, -500.0);
+    EXPECT_LT(e.location.y, 3500.0);
+  }
+}
+
+TEST(Cleaning, DatasetAggregatesStats) {
+  trace::Dataset d;
+  Trace a("a");
+  a.append({0, {0, 0}});
+  a.append({0, {0, 0}});  // dup
+  d.add(std::move(a));
+  Trace b("b");
+  b.append({0, {0, 0}});
+  b.append({1, {9'000, 0}});  // glitch
+  d.add(std::move(b));
+  CleaningStats stats;
+  const Dataset out = clean_dataset(d, CleaningConfig{}, &stats);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(stats.input_events, 4u);
+  EXPECT_EQ(stats.duplicates_dropped, 1u);
+  EXPECT_EQ(stats.speed_rejected, 1u);
+  EXPECT_EQ(stats.kept(), 2u);
+}
+
+}  // namespace
+}  // namespace locpriv::trace

@@ -1,0 +1,481 @@
+#include "commands.h"
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+
+#include "core/model_store.h"
+#include "core/pipeline.h"
+#include "core/profiler.h"
+#include "core/report.h"
+#include "core/tradeoff.h"
+#include "core/validation.h"
+#include "io/args.h"
+#include "io/table.h"
+#include "lppm/registry.h"
+#include "metrics/registry.h"
+#include "synth/scenario.h"
+#include "trace/cleaning.h"
+#include "trace/trace_io.h"
+
+namespace locpriv::cli {
+namespace {
+
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+/// Builds the SystemDefinition shared by sweep/validate from parsed
+/// options (mechanism, parameter with range, metrics).
+core::SystemDefinition system_from_args(const io::ParsedArgs& parsed) {
+  core::SystemDefinition def;
+  const std::string mechanism = parsed.get("mechanism");
+  def.mechanism_factory = [mechanism] { return lppm::create_mechanism(mechanism); };
+
+  const std::unique_ptr<lppm::Mechanism> probe = lppm::create_mechanism(mechanism);
+  const std::string parameter =
+      parsed.has("parameter") ? parsed.get("parameter")
+                              : (probe->parameters().empty()
+                                     ? throw std::runtime_error("mechanism '" + mechanism +
+                                                                "' has no tunable parameter")
+                                     : probe->parameters().front().name);
+  def.sweep = core::full_range_sweep(*probe, parameter,
+                                     static_cast<std::size_t>(parsed.get_int("points")));
+  if (parsed.has("min")) def.sweep.min_value = parsed.get_double("min");
+  if (parsed.has("max")) def.sweep.max_value = parsed.get_double("max");
+
+  def.privacy =
+      std::shared_ptr<const metrics::Metric>(metrics::create_metric(parsed.get("privacy-metric")));
+  def.utility =
+      std::shared_ptr<const metrics::Metric>(metrics::create_metric(parsed.get("utility-metric")));
+  return def;
+}
+
+void add_system_options(io::ArgParser& parser) {
+  parser.add({.name = "mechanism",
+              .help = "LPPM to analyse (" + join_names(lppm::mechanism_names()) + ")",
+              .default_value = "geo-indistinguishability"})
+      .add({.name = "parameter", .help = "parameter to sweep (default: the mechanism's first)"})
+      .add({.name = "min", .help = "sweep lower bound (default: parameter's declared min)"})
+      .add({.name = "max", .help = "sweep upper bound (default: parameter's declared max)"})
+      .add({.name = "points", .help = "sweep grid size", .default_value = "21"})
+      .add({.name = "privacy-metric",
+            .help = "privacy metric (" + join_names(metrics::metric_names()) + ")",
+            .default_value = "poi-retrieval"})
+      .add({.name = "utility-metric", .help = "utility metric", .default_value = "area-coverage-f1"});
+}
+
+trace::Dataset load_dataset(const std::string& path) {
+  return trace::read_dataset_csv_file(path);
+}
+
+}  // namespace
+
+int cmd_generate(const Args& args) {
+  io::ArgParser parser("generate", "synthesize a mobility dataset and write it as CSV");
+  parser.add({.name = "scenario", .help = "taxi | commuter", .default_value = "taxi"})
+      .add({.name = "users", .help = "number of users", .default_value = "12"})
+      .add({.name = "seed", .help = "generator seed", .default_value = "2016"})
+      .add({.name = "days", .help = "commuter scenario: days per user", .default_value = "2"})
+      .add({.name = "shift-hours", .help = "taxi scenario: shift length", .default_value = "8"})
+      .add({.name = "out", .help = "output CSV path", .required = true});
+  const io::ParsedArgs parsed = parser.parse(args);
+
+  const std::string scenario = parsed.get("scenario");
+  trace::Dataset data;
+  if (scenario == "taxi") {
+    synth::TaxiScenarioConfig cfg;
+    cfg.driver_count = static_cast<std::size_t>(parsed.get_int("users"));
+    cfg.taxi.shift_duration_s = parsed.get_int("shift-hours") * 3600;
+    data = synth::make_taxi_dataset(cfg, static_cast<std::uint64_t>(parsed.get_int("seed")));
+  } else if (scenario == "commuter") {
+    synth::CommuterScenarioConfig cfg;
+    cfg.user_count = static_cast<std::size_t>(parsed.get_int("users"));
+    cfg.commuter.days = static_cast<std::size_t>(parsed.get_int("days"));
+    data = synth::make_commuter_dataset(cfg, static_cast<std::uint64_t>(parsed.get_int("seed")));
+  } else {
+    throw std::runtime_error("unknown scenario '" + scenario + "' (taxi | commuter)");
+  }
+
+  trace::write_dataset_csv_file(parsed.get("out"), data);
+  std::cout << "wrote " << data.size() << " users, " << data.total_events() << " events to "
+            << parsed.get("out") << "\n";
+  return 0;
+}
+
+int cmd_profile(const Args& args) {
+  io::ArgParser parser("profile", "dataset properties and PCA property ranking (step 1)");
+  parser.add({.name = "data", .help = "dataset CSV", .required = true})
+      .add({.name = "top", .help = "how many properties to highlight", .default_value = "5"});
+  const io::ParsedArgs parsed = parser.parse(args);
+
+  const trace::Dataset data = load_dataset(parsed.get("data"));
+  std::cout << "dataset: " << data.size() << " users, " << data.total_events() << " events, "
+            << "extent " << io::Table::num(data.bounds().diagonal() / 1000.0, 3) << " km\n\n";
+
+  const std::vector<double> props = core::dataset_properties(data);
+  io::Table prop_table({"property", "dataset mean"});
+  for (std::size_t i = 0; i < props.size(); ++i) {
+    prop_table.add_row({core::property_names()[i], io::Table::num(props[i], 4)});
+  }
+  prop_table.print(std::cout);
+
+  std::cout << "\nPCA ranking (most impactful first):\n";
+  const auto ranked = core::rank_properties(data);
+  const auto top = static_cast<std::size_t>(parsed.get_int("top"));
+  for (std::size_t i = 0; i < ranked.size() && i < top; ++i) {
+    std::cout << "  " << (i + 1) << ". " << ranked[i].name << "  ("
+              << io::Table::num(ranked[i].importance, 3) << ")\n";
+  }
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  io::ArgParser parser("sweep", "run the automated (Pr, Ut) sweep (step 2a)");
+  parser.add({.name = "data", .help = "dataset CSV", .required = true})
+      .add({.name = "trials", .help = "protection repetitions per point", .default_value = "3"})
+      .add({.name = "seed", .help = "experiment seed", .default_value = "42"})
+      .add({.name = "threads", .help = "worker threads (0 = all cores)", .default_value = "0"})
+      .add({.name = "out", .help = "output sweep JSON path", .required = true})
+      .add({.name = "csv", .help = "also write the sweep as CSV to this path"});
+  add_system_options(parser);
+  const io::ParsedArgs parsed = parser.parse(args);
+
+  const trace::Dataset data = load_dataset(parsed.get("data"));
+  const core::SystemDefinition def = system_from_args(parsed);
+  core::ExperimentConfig cfg;
+  cfg.trials = static_cast<std::size_t>(parsed.get_int("trials"));
+  cfg.seed = static_cast<std::uint64_t>(parsed.get_int("seed"));
+  cfg.threads = static_cast<std::size_t>(parsed.get_int("threads"));
+
+  const core::SweepResult sweep = core::run_sweep(def, data, cfg);
+  io::write_json_file(parsed.get("out"), core::sweep_to_json(sweep));
+  if (parsed.has("csv")) core::save_sweep_csv(parsed.get("csv"), sweep);
+
+  io::Table table({def.sweep.parameter, sweep.privacy_metric, sweep.utility_metric});
+  for (const core::SweepPoint& p : sweep.points) {
+    table.add_row({io::Table::num(p.parameter_value, 3), io::Table::num(p.privacy_mean, 3),
+                   io::Table::num(p.utility_mean, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nwrote sweep (" << sweep.points.size() << " points) to " << parsed.get("out")
+            << "\n";
+  return 0;
+}
+
+int cmd_fit(const Args& args) {
+  io::ArgParser parser("fit", "fit the invertible log-linear model from a sweep (step 2b)");
+  parser.add({.name = "sweep", .help = "sweep JSON from `locpriv sweep`", .required = true})
+      .add({.name = "flat-fraction",
+            .help = "saturation threshold as a fraction of the peak slope",
+            .default_value = "0.15"})
+      .add({.name = "out", .help = "output model JSON path", .required = true});
+  const io::ParsedArgs parsed = parser.parse(args);
+
+  const core::SweepResult sweep = core::sweep_from_json(io::read_json_file(parsed.get("sweep")));
+  core::SaturationOptions saturation;
+  saturation.flat_fraction = parsed.get_double("flat-fraction");
+  const core::LppmModel model = core::fit_loglinear_model(sweep, saturation);
+  core::save_model(parsed.get("out"), model);
+
+  io::Table table({"axis", "metric", "intercept", "slope vs ln(p)", "R^2", "valid range"});
+  table.add_row({"privacy", model.privacy_metric, io::Table::num(model.privacy.fit.intercept, 4),
+                 io::Table::num(model.privacy.fit.slope, 4),
+                 io::Table::num(model.privacy.fit.r_squared, 3),
+                 "[" + io::Table::num(model.privacy.param_low, 3) + ", " +
+                     io::Table::num(model.privacy.param_high, 3) + "]"});
+  table.add_row({"utility", model.utility_metric, io::Table::num(model.utility.fit.intercept, 4),
+                 io::Table::num(model.utility.fit.slope, 4),
+                 io::Table::num(model.utility.fit.r_squared, 3),
+                 "[" + io::Table::num(model.utility.param_low, 3) + ", " +
+                     io::Table::num(model.utility.param_high, 3) + "]"});
+  table.print(std::cout);
+  std::cout << "\nwrote model to " << parsed.get("out") << "\n";
+  return 0;
+}
+
+int cmd_configure(const Args& args) {
+  io::ArgParser parser("configure", "invert a fitted model against objectives (step 3)");
+  parser.add({.name = "model", .help = "model JSON from `locpriv fit`", .required = true})
+      .add({.name = "privacy-max", .help = "privacy metric must be <= this"})
+      .add({.name = "privacy-min", .help = "privacy metric must be >= this"})
+      .add({.name = "utility-min", .help = "utility metric must be >= this"})
+      .add({.name = "utility-max", .help = "utility metric must be <= this"});
+  const io::ParsedArgs parsed = parser.parse(args);
+
+  const core::LppmModel model = core::load_model(parsed.get("model"));
+  std::vector<core::Objective> objectives;
+  if (parsed.has("privacy-max")) {
+    objectives.push_back(
+        {core::Axis::kPrivacy, core::Sense::kAtMost, parsed.get_double("privacy-max")});
+  }
+  if (parsed.has("privacy-min")) {
+    objectives.push_back(
+        {core::Axis::kPrivacy, core::Sense::kAtLeast, parsed.get_double("privacy-min")});
+  }
+  if (parsed.has("utility-min")) {
+    objectives.push_back(
+        {core::Axis::kUtility, core::Sense::kAtLeast, parsed.get_double("utility-min")});
+  }
+  if (parsed.has("utility-max")) {
+    objectives.push_back(
+        {core::Axis::kUtility, core::Sense::kAtMost, parsed.get_double("utility-max")});
+  }
+  if (objectives.empty()) {
+    std::cout << "no objectives given; the model is valid for " << model.parameter << " in ["
+              << model.param_low << ", " << model.param_high << "]\n";
+    return 0;
+  }
+
+  const core::Configurator configurator(model);
+  const core::Configuration cfg = configurator.configure(objectives);
+  if (!cfg.feasible) {
+    std::cout << "INFEASIBLE: " << cfg.diagnosis << "\n";
+    return 1;
+  }
+  std::cout << "feasible " << model.parameter << " interval: [" << cfg.interval.lo << ", "
+            << cfg.interval.hi << "]\n";
+  std::cout << "recommended " << model.parameter << " = " << cfg.recommended << "\n";
+  std::cout << "predicted " << model.privacy_metric << " = " << cfg.predicted_privacy << ", "
+            << model.utility_metric << " = " << cfg.predicted_utility << "\n";
+  return 0;
+}
+
+int cmd_protect(const Args& args) {
+  io::ArgParser parser("protect", "apply a mechanism to a dataset CSV");
+  parser.add({.name = "data", .help = "input dataset CSV", .required = true})
+      .add({.name = "mechanism",
+            .help = "LPPM (" + join_names(lppm::mechanism_names()) + ")",
+            .default_value = "geo-indistinguishability"})
+      .add({.name = "parameter", .help = "parameter name (default: mechanism's first)"})
+      .add({.name = "value", .help = "parameter value (e.g. the epsilon from `configure`)"})
+      .add({.name = "seed", .help = "noise seed", .default_value = "7"})
+      .add({.name = "out", .help = "output CSV path", .required = true});
+  const io::ParsedArgs parsed = parser.parse(args);
+
+  const trace::Dataset data = load_dataset(parsed.get("data"));
+  const std::unique_ptr<lppm::Mechanism> mechanism =
+      lppm::create_mechanism(parsed.get("mechanism"));
+  if (parsed.has("value")) {
+    const std::string parameter = parsed.has("parameter")
+                                      ? parsed.get("parameter")
+                                      : mechanism->parameters().front().name;
+    mechanism->set_parameter(parameter, parsed.get_double("value"));
+  }
+
+  const trace::Dataset protected_data =
+      mechanism->protect_dataset(data, static_cast<std::uint64_t>(parsed.get_int("seed")));
+  trace::write_dataset_csv_file(parsed.get("out"), protected_data);
+  std::cout << "protected " << protected_data.total_events() << " events with "
+            << mechanism->name() << "; wrote " << parsed.get("out") << "\n";
+  return 0;
+}
+
+int cmd_audit(const Args& args) {
+  io::ArgParser parser("audit", "evaluate every metric on actual vs protected data");
+  parser.add({.name = "actual", .help = "actual dataset CSV", .required = true})
+      .add({.name = "protected", .help = "protected dataset CSV", .required = true});
+  const io::ParsedArgs parsed = parser.parse(args);
+
+  const trace::Dataset actual = load_dataset(parsed.get("actual"));
+  const trace::Dataset protected_data = load_dataset(parsed.get("protected"));
+
+  io::Table table({"metric", "axis", "value"});
+  for (const std::string& name : metrics::metric_names()) {
+    const std::unique_ptr<metrics::Metric> metric = metrics::create_metric(name);
+    const bool privacy = metrics::is_privacy_direction(metric->direction());
+    table.add_row({name, privacy ? "privacy" : "utility",
+                   io::Table::num(metric->evaluate(actual, protected_data), 4)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_validate(const Args& args) {
+  io::ArgParser parser("validate", "k-fold cross-validation of the fitted model");
+  parser.add({.name = "data", .help = "dataset CSV", .required = true})
+      .add({.name = "folds", .help = "number of user folds", .default_value = "4"})
+      .add({.name = "trials", .help = "protection repetitions per point", .default_value = "2"})
+      .add({.name = "seed", .help = "experiment seed", .default_value = "42"});
+  add_system_options(parser);
+  const io::ParsedArgs parsed = parser.parse(args);
+
+  const trace::Dataset data = load_dataset(parsed.get("data"));
+  const core::SystemDefinition def = system_from_args(parsed);
+  core::ExperimentConfig cfg;
+  cfg.trials = static_cast<std::size_t>(parsed.get_int("trials"));
+  cfg.seed = static_cast<std::uint64_t>(parsed.get_int("seed"));
+
+  const core::CrossValidationReport report =
+      core::cross_validate(def, data, static_cast<std::size_t>(parsed.get_int("folds")), cfg);
+
+  io::Table table({"fold", "train users", "test users", "Pr RMSE", "Ut RMSE", "train Pr R^2"});
+  for (const core::FoldReport& f : report.folds) {
+    table.add_row({std::to_string(f.fold), std::to_string(f.train_users),
+                   std::to_string(f.test_users), io::Table::num(f.privacy_rmse, 3),
+                   io::Table::num(f.utility_rmse, 3), io::Table::num(f.privacy_r_squared, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nmean held-out RMSE: privacy " << io::Table::num(report.mean_privacy_rmse, 3)
+            << ", utility " << io::Table::num(report.mean_utility_rmse, 3) << "\n";
+  return 0;
+}
+
+int cmd_compare(const Args& args) {
+  io::ArgParser parser("compare",
+                       "sweep several mechanisms on one dataset and rank their trade-offs");
+  parser.add({.name = "data", .help = "dataset CSV", .required = true})
+      .add({.name = "mechanisms",
+            .help = "comma-separated mechanism names (default: the spatial zoo)",
+            .default_value =
+                "geo-indistinguishability,gaussian-perturbation,grid-cloaking,promesse"})
+      .add({.name = "points", .help = "sweep grid size", .default_value = "17"})
+      .add({.name = "trials", .help = "protection repetitions per point", .default_value = "2"})
+      .add({.name = "seed", .help = "experiment seed", .default_value = "42"})
+      .add({.name = "privacy-metric", .help = "privacy metric", .default_value = "poi-retrieval"})
+      .add({.name = "utility-metric", .help = "utility metric",
+            .default_value = "area-coverage-f1"});
+  const io::ParsedArgs parsed = parser.parse(args);
+
+  const trace::Dataset data = load_dataset(parsed.get("data"));
+  core::ExperimentConfig cfg;
+  cfg.trials = static_cast<std::size_t>(parsed.get_int("trials"));
+  cfg.seed = static_cast<std::uint64_t>(parsed.get_int("seed"));
+
+  // Split the comma list.
+  std::vector<std::string> names;
+  {
+    std::istringstream in(parsed.get("mechanisms"));
+    std::string piece;
+    while (std::getline(in, piece, ',')) {
+      if (!piece.empty()) names.push_back(piece);
+    }
+  }
+  if (names.empty()) throw std::runtime_error("compare: no mechanisms given");
+
+  io::Table table({"mechanism", "knob", "tradeoff AUC", "Pr R^2", "Ut R^2", "status"});
+  for (const std::string& name : names) {
+    try {
+      core::SystemDefinition def;
+      def.mechanism_factory = [name] { return lppm::create_mechanism(name); };
+      const std::unique_ptr<lppm::Mechanism> probe = lppm::create_mechanism(name);
+      if (probe->parameters().empty()) {
+        table.add_row({name, "-", "-", "-", "-", "no tunable parameter"});
+        continue;
+      }
+      def.sweep = core::full_range_sweep(*probe, probe->parameters().front().name,
+                                         static_cast<std::size_t>(parsed.get_int("points")));
+      def.privacy = std::shared_ptr<const metrics::Metric>(
+          metrics::create_metric(parsed.get("privacy-metric")));
+      def.utility = std::shared_ptr<const metrics::Metric>(
+          metrics::create_metric(parsed.get("utility-metric")));
+      const core::SweepResult sweep = core::run_sweep(def, data, cfg);
+      const core::LppmModel model = core::fit_loglinear_model(sweep);
+      table.add_row({name, def.sweep.parameter,
+                     io::Table::num(core::tradeoff_auc(core::to_tradeoff_points(sweep)), 3),
+                     io::Table::num(model.privacy.fit.r_squared, 2),
+                     io::Table::num(model.utility.fit.r_squared, 2), "ok"});
+    } catch (const std::exception& e) {
+      table.add_row({name, "-", "-", "-", "-", e.what()});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nhigher trade-off AUC = better privacy retained across the utility range.\n";
+  return 0;
+}
+
+int cmd_clean(const Args& args) {
+  io::ArgParser parser("clean", "drop GPS glitches and stuck fixes from a dataset CSV");
+  parser.add({.name = "data", .help = "input dataset CSV", .required = true})
+      .add({.name = "max-speed", .help = "speed filter threshold, m/s (0 disables)",
+            .default_value = "50"})
+      .add({.name = "keep-duplicates", .help = "keep repeated identical fixes", .is_flag = true})
+      .add({.name = "out", .help = "output CSV path", .required = true});
+  const io::ParsedArgs parsed = parser.parse(args);
+
+  const trace::Dataset data = load_dataset(parsed.get("data"));
+  trace::CleaningConfig cfg;
+  cfg.max_speed_mps = parsed.get_double("max-speed");
+  cfg.drop_duplicates = !parsed.get_flag("keep-duplicates");
+  trace::CleaningStats stats;
+  const trace::Dataset cleaned = trace::clean_dataset(data, cfg, &stats);
+  trace::write_dataset_csv_file(parsed.get("out"), cleaned);
+  std::cout << "kept " << stats.kept() << "/" << stats.input_events << " events ("
+            << stats.speed_rejected << " speed-rejected, " << stats.duplicates_dropped
+            << " duplicates); wrote " << parsed.get("out") << "\n";
+  return 0;
+}
+
+int cmd_report(const Args& args) {
+  io::ArgParser parser("report", "render a markdown report from sweep/model artifacts");
+  parser.add({.name = "sweep", .help = "sweep JSON from `locpriv sweep`"})
+      .add({.name = "model", .help = "model JSON from `locpriv fit`"})
+      .add({.name = "privacy-max", .help = "include a configuration section for this objective"})
+      .add({.name = "utility-min", .help = "additional utility-floor objective"})
+      .add({.name = "title", .help = "report title", .default_value = "LPPM configuration report"})
+      .add({.name = "out", .help = "output markdown path", .required = true});
+  const io::ParsedArgs parsed = parser.parse(args);
+
+  // Load whatever artifacts were given; each enables a section.
+  std::optional<core::SweepResult> sweep;
+  if (parsed.has("sweep")) {
+    sweep = core::sweep_from_json(io::read_json_file(parsed.get("sweep")));
+  }
+  std::optional<core::LppmModel> model;
+  if (parsed.has("model")) model = core::load_model(parsed.get("model"));
+
+  std::vector<core::Objective> objectives;
+  std::optional<core::Configuration> configuration;
+  if (model && (parsed.has("privacy-max") || parsed.has("utility-min"))) {
+    if (parsed.has("privacy-max")) {
+      objectives.push_back(
+          {core::Axis::kPrivacy, core::Sense::kAtMost, parsed.get_double("privacy-max")});
+    }
+    if (parsed.has("utility-min")) {
+      objectives.push_back(
+          {core::Axis::kUtility, core::Sense::kAtLeast, parsed.get_double("utility-min")});
+    }
+    configuration = core::Configurator(*model).configure(objectives);
+  }
+
+  core::ReportInputs inputs;
+  inputs.title = parsed.get("title");
+  if (sweep) inputs.sweep = &*sweep;
+  if (model) inputs.model = &*model;
+  if (configuration) {
+    inputs.configuration = &*configuration;
+    inputs.objectives = objectives;
+  }
+  core::write_markdown_report(parsed.get("out"), inputs);
+  std::cout << "wrote report to " << parsed.get("out") << "\n";
+  return 0;
+}
+
+std::string main_usage() {
+  std::ostringstream os;
+  os << "locpriv — easy configuration of Location Privacy Protection Mechanisms\n"
+     << "usage: locpriv <command> [options]\n\n"
+     << "commands:\n"
+     << "  generate   synthesize a mobility dataset (taxi / commuter)\n"
+     << "  profile    dataset properties + PCA ranking            (step 1)\n"
+     << "  sweep      automated (Pr, Ut) sweep of a mechanism     (step 2a)\n"
+     << "  fit        fit the invertible log-linear model         (step 2b)\n"
+     << "  configure  invert the model against objectives         (step 3)\n"
+     << "  protect    apply a configured mechanism to a dataset\n"
+     << "  audit      evaluate every metric on actual vs protected data\n"
+     << "  validate   k-fold cross-validation of the model\n"
+     << "  report     render a markdown report from sweep/model artifacts\n"
+     << "  compare    sweep several mechanisms and rank their trade-offs\n"
+     << "  clean      drop GPS glitches and stuck fixes from a dataset CSV\n\n"
+     << "run `locpriv <command> --help`-free: any parse error prints that command's usage.\n";
+  return os.str();
+}
+
+}  // namespace locpriv::cli

@@ -1,0 +1,38 @@
+// Subcommand implementations of the `locpriv` CLI. Each function parses
+// its own options and returns a process exit code; main() only routes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace locpriv::cli {
+
+using Args = std::vector<std::string>;
+
+/// Synthesizes a dataset and writes it as CSV.
+int cmd_generate(const Args& args);
+/// Prints per-dataset properties and the PCA property ranking.
+int cmd_profile(const Args& args);
+/// Runs the modeling sweep and writes the raw sweep as JSON.
+int cmd_sweep(const Args& args);
+/// Fits the log-linear model from a sweep JSON and writes a model JSON.
+int cmd_fit(const Args& args);
+/// Inverts a model JSON against privacy/utility objectives.
+int cmd_configure(const Args& args);
+/// Protects a dataset CSV with a named mechanism and writes the result.
+int cmd_protect(const Args& args);
+/// Audits a protected dataset against the actual one with every metric.
+int cmd_audit(const Args& args);
+/// K-fold cross-validation of the model on a dataset.
+int cmd_validate(const Args& args);
+/// Renders a markdown report from sweep/model artifacts.
+int cmd_report(const Args& args);
+/// Sweeps several mechanisms and ranks their privacy/utility trade-offs.
+int cmd_compare(const Args& args);
+/// Cleans GPS glitches / stuck fixes out of a dataset CSV.
+int cmd_clean(const Args& args);
+
+/// Top-level help text (lists subcommands).
+[[nodiscard]] std::string main_usage();
+
+}  // namespace locpriv::cli

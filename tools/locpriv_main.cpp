@@ -1,0 +1,52 @@
+// locpriv — command-line front end of the LPPM configuration framework.
+//
+//   locpriv generate   synthesize a mobility dataset (taxi / commuter)
+//   locpriv profile    dataset properties + PCA ranking (step 1)
+//   locpriv sweep      automated (Pr, Ut) sweep of a mechanism (step 2a)
+//   locpriv fit        fit the invertible log-linear model (step 2b)
+//   locpriv configure  invert the model against objectives (step 3)
+//   locpriv protect    apply a configured mechanism to a dataset
+//   locpriv audit      evaluate every metric on actual vs protected data
+//   locpriv validate   k-fold cross-validation of the model
+//   locpriv report     render a markdown report from sweep/model artifacts
+#include <exception>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "commands.h"
+
+int main(int argc, char** argv) {
+  using namespace locpriv::cli;
+
+  const std::map<std::string, std::function<int(const Args&)>> commands = {
+      {"generate", cmd_generate}, {"profile", cmd_profile},     {"sweep", cmd_sweep},
+      {"fit", cmd_fit},           {"configure", cmd_configure}, {"protect", cmd_protect},
+      {"audit", cmd_audit},       {"validate", cmd_validate}, {"report", cmd_report},
+      {"compare", cmd_compare}, {"clean", cmd_clean},
+  };
+
+  if (argc < 2) {
+    std::cerr << main_usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    std::cout << main_usage();
+    return 0;
+  }
+  const auto it = commands.find(command);
+  if (it == commands.end()) {
+    std::cerr << "locpriv: unknown command '" << command << "'\n" << main_usage();
+    return 2;
+  }
+  const Args args(argv + 2, argv + argc);
+  try {
+    return it->second(args);
+  } catch (const std::exception& e) {
+    std::cerr << "locpriv " << command << ": " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the locpriv CLI: the complete designer
+# workflow on a small synthetic dataset. Registered with ctest.
+set -euo pipefail
+CLI="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$CLI" generate --scenario taxi --users 6 --shift-hours 5 --seed 7 --out "$DIR/data.csv"
+"$CLI" profile --data "$DIR/data.csv" > "$DIR/profile.txt"
+grep -q "poi_count" "$DIR/profile.txt"
+
+"$CLI" sweep --data "$DIR/data.csv" --points 13 --trials 1 --out "$DIR/sweep.json" > /dev/null
+"$CLI" fit --sweep "$DIR/sweep.json" --out "$DIR/model.json" > /dev/null
+"$CLI" configure --model "$DIR/model.json" --privacy-max 0.5 > "$DIR/configure.txt"
+grep -q "recommended epsilon" "$DIR/configure.txt"
+EPS=$(sed -n 's/^recommended epsilon = //p' "$DIR/configure.txt")
+
+"$CLI" protect --data "$DIR/data.csv" --value "$EPS" --out "$DIR/protected.csv"
+"$CLI" audit --actual "$DIR/data.csv" --protected "$DIR/protected.csv" > "$DIR/audit.txt"
+grep -q "poi-retrieval" "$DIR/audit.txt"
+
+"$CLI" clean --data "$DIR/data.csv" --out "$DIR/cleaned.csv" > "$DIR/clean.txt"
+grep -q "kept" "$DIR/clean.txt"
+
+"$CLI" report --sweep "$DIR/sweep.json" --model "$DIR/model.json" --privacy-max 0.5 --out "$DIR/report.md"
+grep -q "## Fitted model" "$DIR/report.md"
+
+# Error paths: unknown command and unknown option must fail loudly.
+if "$CLI" frobnicate 2>/dev/null; then echo "unknown command accepted"; exit 1; fi
+if "$CLI" generate --nope 1 --out /dev/null 2>/dev/null; then echo "unknown option accepted"; exit 1; fi
+
+echo "cli workflow OK"
