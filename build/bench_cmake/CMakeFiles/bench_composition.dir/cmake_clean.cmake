@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_composition"
+  "../bench/bench_composition.pdb"
+  "CMakeFiles/bench_composition.dir/bench_composition.cpp.o"
+  "CMakeFiles/bench_composition.dir/bench_composition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

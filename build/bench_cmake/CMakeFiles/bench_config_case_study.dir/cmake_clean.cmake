@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_config_case_study"
+  "../bench/bench_config_case_study.pdb"
+  "CMakeFiles/bench_config_case_study.dir/bench_config_case_study.cpp.o"
+  "CMakeFiles/bench_config_case_study.dir/bench_config_case_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_config_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dataset_properties"
+  "../bench/bench_dataset_properties.pdb"
+  "CMakeFiles/bench_dataset_properties.dir/bench_dataset_properties.cpp.o"
+  "CMakeFiles/bench_dataset_properties.dir/bench_dataset_properties.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dataset_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

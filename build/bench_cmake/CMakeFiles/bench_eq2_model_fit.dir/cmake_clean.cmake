@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_eq2_model_fit"
+  "../bench/bench_eq2_model_fit.pdb"
+  "CMakeFiles/bench_eq2_model_fit.dir/bench_eq2_model_fit.cpp.o"
+  "CMakeFiles/bench_eq2_model_fit.dir/bench_eq2_model_fit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq2_model_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

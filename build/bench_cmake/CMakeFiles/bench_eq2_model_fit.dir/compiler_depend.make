@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_eq2_model_fit.
+# This may be replaced when dependencies are built.

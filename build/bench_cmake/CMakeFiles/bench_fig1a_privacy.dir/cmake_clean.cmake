@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1a_privacy"
+  "../bench/bench_fig1a_privacy.pdb"
+  "CMakeFiles/bench_fig1a_privacy.dir/bench_fig1a_privacy.cpp.o"
+  "CMakeFiles/bench_fig1a_privacy.dir/bench_fig1a_privacy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1a_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1b_utility"
+  "../bench/bench_fig1b_utility.pdb"
+  "CMakeFiles/bench_fig1b_utility.dir/bench_fig1b_utility.cpp.o"
+  "CMakeFiles/bench_fig1b_utility.dir/bench_fig1b_utility.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1b_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

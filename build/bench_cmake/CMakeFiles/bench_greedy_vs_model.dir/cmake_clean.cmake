@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_greedy_vs_model"
+  "../bench/bench_greedy_vs_model.pdb"
+  "CMakeFiles/bench_greedy_vs_model.dir/bench_greedy_vs_model.cpp.o"
+  "CMakeFiles/bench_greedy_vs_model.dir/bench_greedy_vs_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_greedy_vs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

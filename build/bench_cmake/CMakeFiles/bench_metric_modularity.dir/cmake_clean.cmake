@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_metric_modularity"
+  "../bench/bench_metric_modularity.pdb"
+  "CMakeFiles/bench_metric_modularity.dir/bench_metric_modularity.cpp.o"
+  "CMakeFiles/bench_metric_modularity.dir/bench_metric_modularity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_metric_modularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_metric_modularity.
+# This may be replaced when dependencies are built.

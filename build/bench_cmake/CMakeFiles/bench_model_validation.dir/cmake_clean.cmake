@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_model_validation"
+  "../bench/bench_model_validation.pdb"
+  "CMakeFiles/bench_model_validation.dir/bench_model_validation.cpp.o"
+  "CMakeFiles/bench_model_validation.dir/bench_model_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multi_lppm"
+  "../bench/bench_multi_lppm.pdb"
+  "CMakeFiles/bench_multi_lppm.dir/bench_multi_lppm.cpp.o"
+  "CMakeFiles/bench_multi_lppm.dir/bench_multi_lppm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_lppm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_smoothing_adversary"
+  "../bench/bench_smoothing_adversary.pdb"
+  "CMakeFiles/bench_smoothing_adversary.dir/bench_smoothing_adversary.cpp.o"
+  "CMakeFiles/bench_smoothing_adversary.dir/bench_smoothing_adversary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smoothing_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

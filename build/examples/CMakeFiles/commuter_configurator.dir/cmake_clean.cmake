@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commuter_configurator.dir/commuter_configurator.cpp.o"
+  "CMakeFiles/commuter_configurator.dir/commuter_configurator.cpp.o.d"
+  "commuter_configurator"
+  "commuter_configurator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commuter_configurator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

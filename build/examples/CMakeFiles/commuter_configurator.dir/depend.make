@@ -1,0 +1,2 @@
+# Empty dependencies file for commuter_configurator.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirty_feed_calibration.dir/dirty_feed_calibration.cpp.o"
+  "CMakeFiles/dirty_feed_calibration.dir/dirty_feed_calibration.cpp.o.d"
+  "dirty_feed_calibration"
+  "dirty_feed_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirty_feed_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

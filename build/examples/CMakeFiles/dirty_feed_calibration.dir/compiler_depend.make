@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dirty_feed_calibration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_protection.dir/elastic_protection.cpp.o"
+  "CMakeFiles/elastic_protection.dir/elastic_protection.cpp.o.d"
+  "elastic_protection"
+  "elastic_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

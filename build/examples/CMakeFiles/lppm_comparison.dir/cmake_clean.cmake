@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lppm_comparison.dir/lppm_comparison.cpp.o"
+  "CMakeFiles/lppm_comparison.dir/lppm_comparison.cpp.o.d"
+  "lppm_comparison"
+  "lppm_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lppm_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

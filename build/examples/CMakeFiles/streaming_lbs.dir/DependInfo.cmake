@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/streaming_lbs.cpp" "examples/CMakeFiles/streaming_lbs.dir/streaming_lbs.cpp.o" "gcc" "examples/CMakeFiles/streaming_lbs.dir/streaming_lbs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/locpriv_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/locpriv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lppm/CMakeFiles/locpriv_lppm.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/locpriv_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/locpriv_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/poi/CMakeFiles/locpriv_poi.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/locpriv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/locpriv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/locpriv_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/locpriv_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

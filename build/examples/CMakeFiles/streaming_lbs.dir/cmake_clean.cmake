@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_lbs.dir/streaming_lbs.cpp.o"
+  "CMakeFiles/streaming_lbs.dir/streaming_lbs.cpp.o.d"
+  "streaming_lbs"
+  "streaming_lbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_lbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

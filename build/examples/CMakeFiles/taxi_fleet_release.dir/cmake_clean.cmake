@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxi_fleet_release.dir/taxi_fleet_release.cpp.o"
+  "CMakeFiles/taxi_fleet_release.dir/taxi_fleet_release.cpp.o.d"
+  "taxi_fleet_release"
+  "taxi_fleet_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxi_fleet_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

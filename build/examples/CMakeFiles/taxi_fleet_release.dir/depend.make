@@ -1,0 +1,2 @@
+# Empty dependencies file for taxi_fleet_release.
+# This may be replaced when dependencies are built.

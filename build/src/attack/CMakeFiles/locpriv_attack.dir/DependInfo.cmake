@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/adaptive.cpp" "src/attack/CMakeFiles/locpriv_attack.dir/adaptive.cpp.o" "gcc" "src/attack/CMakeFiles/locpriv_attack.dir/adaptive.cpp.o.d"
+  "/root/repo/src/attack/homework.cpp" "src/attack/CMakeFiles/locpriv_attack.dir/homework.cpp.o" "gcc" "src/attack/CMakeFiles/locpriv_attack.dir/homework.cpp.o.d"
+  "/root/repo/src/attack/interpolation.cpp" "src/attack/CMakeFiles/locpriv_attack.dir/interpolation.cpp.o" "gcc" "src/attack/CMakeFiles/locpriv_attack.dir/interpolation.cpp.o.d"
+  "/root/repo/src/attack/poi_attack.cpp" "src/attack/CMakeFiles/locpriv_attack.dir/poi_attack.cpp.o" "gcc" "src/attack/CMakeFiles/locpriv_attack.dir/poi_attack.cpp.o.d"
+  "/root/repo/src/attack/reident.cpp" "src/attack/CMakeFiles/locpriv_attack.dir/reident.cpp.o" "gcc" "src/attack/CMakeFiles/locpriv_attack.dir/reident.cpp.o.d"
+  "/root/repo/src/attack/smoothing.cpp" "src/attack/CMakeFiles/locpriv_attack.dir/smoothing.cpp.o" "gcc" "src/attack/CMakeFiles/locpriv_attack.dir/smoothing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/poi/CMakeFiles/locpriv_poi.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/locpriv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/locpriv_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/locpriv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/locpriv_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

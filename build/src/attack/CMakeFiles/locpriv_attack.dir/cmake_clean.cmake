@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locpriv_attack.dir/adaptive.cpp.o"
+  "CMakeFiles/locpriv_attack.dir/adaptive.cpp.o.d"
+  "CMakeFiles/locpriv_attack.dir/homework.cpp.o"
+  "CMakeFiles/locpriv_attack.dir/homework.cpp.o.d"
+  "CMakeFiles/locpriv_attack.dir/interpolation.cpp.o"
+  "CMakeFiles/locpriv_attack.dir/interpolation.cpp.o.d"
+  "CMakeFiles/locpriv_attack.dir/poi_attack.cpp.o"
+  "CMakeFiles/locpriv_attack.dir/poi_attack.cpp.o.d"
+  "CMakeFiles/locpriv_attack.dir/reident.cpp.o"
+  "CMakeFiles/locpriv_attack.dir/reident.cpp.o.d"
+  "CMakeFiles/locpriv_attack.dir/smoothing.cpp.o"
+  "CMakeFiles/locpriv_attack.dir/smoothing.cpp.o.d"
+  "liblocpriv_attack.a"
+  "liblocpriv_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locpriv_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/configurator.cpp" "src/core/CMakeFiles/locpriv_core.dir/configurator.cpp.o" "gcc" "src/core/CMakeFiles/locpriv_core.dir/configurator.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/locpriv_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/locpriv_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/greedy.cpp" "src/core/CMakeFiles/locpriv_core.dir/greedy.cpp.o" "gcc" "src/core/CMakeFiles/locpriv_core.dir/greedy.cpp.o.d"
+  "/root/repo/src/core/loglinear_model.cpp" "src/core/CMakeFiles/locpriv_core.dir/loglinear_model.cpp.o" "gcc" "src/core/CMakeFiles/locpriv_core.dir/loglinear_model.cpp.o.d"
+  "/root/repo/src/core/model_store.cpp" "src/core/CMakeFiles/locpriv_core.dir/model_store.cpp.o" "gcc" "src/core/CMakeFiles/locpriv_core.dir/model_store.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/locpriv_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/locpriv_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/profiler.cpp" "src/core/CMakeFiles/locpriv_core.dir/profiler.cpp.o" "gcc" "src/core/CMakeFiles/locpriv_core.dir/profiler.cpp.o.d"
+  "/root/repo/src/core/refinement.cpp" "src/core/CMakeFiles/locpriv_core.dir/refinement.cpp.o" "gcc" "src/core/CMakeFiles/locpriv_core.dir/refinement.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/locpriv_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/locpriv_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/response_surface.cpp" "src/core/CMakeFiles/locpriv_core.dir/response_surface.cpp.o" "gcc" "src/core/CMakeFiles/locpriv_core.dir/response_surface.cpp.o.d"
+  "/root/repo/src/core/saturation.cpp" "src/core/CMakeFiles/locpriv_core.dir/saturation.cpp.o" "gcc" "src/core/CMakeFiles/locpriv_core.dir/saturation.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/core/CMakeFiles/locpriv_core.dir/sweep.cpp.o" "gcc" "src/core/CMakeFiles/locpriv_core.dir/sweep.cpp.o.d"
+  "/root/repo/src/core/system_definition.cpp" "src/core/CMakeFiles/locpriv_core.dir/system_definition.cpp.o" "gcc" "src/core/CMakeFiles/locpriv_core.dir/system_definition.cpp.o.d"
+  "/root/repo/src/core/tradeoff.cpp" "src/core/CMakeFiles/locpriv_core.dir/tradeoff.cpp.o" "gcc" "src/core/CMakeFiles/locpriv_core.dir/tradeoff.cpp.o.d"
+  "/root/repo/src/core/validation.cpp" "src/core/CMakeFiles/locpriv_core.dir/validation.cpp.o" "gcc" "src/core/CMakeFiles/locpriv_core.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lppm/CMakeFiles/locpriv_lppm.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/locpriv_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/locpriv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/locpriv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/locpriv_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/locpriv_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/poi/CMakeFiles/locpriv_poi.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/locpriv_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locpriv_core.dir/configurator.cpp.o"
+  "CMakeFiles/locpriv_core.dir/configurator.cpp.o.d"
+  "CMakeFiles/locpriv_core.dir/experiment.cpp.o"
+  "CMakeFiles/locpriv_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/locpriv_core.dir/greedy.cpp.o"
+  "CMakeFiles/locpriv_core.dir/greedy.cpp.o.d"
+  "CMakeFiles/locpriv_core.dir/loglinear_model.cpp.o"
+  "CMakeFiles/locpriv_core.dir/loglinear_model.cpp.o.d"
+  "CMakeFiles/locpriv_core.dir/model_store.cpp.o"
+  "CMakeFiles/locpriv_core.dir/model_store.cpp.o.d"
+  "CMakeFiles/locpriv_core.dir/pipeline.cpp.o"
+  "CMakeFiles/locpriv_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/locpriv_core.dir/profiler.cpp.o"
+  "CMakeFiles/locpriv_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/locpriv_core.dir/refinement.cpp.o"
+  "CMakeFiles/locpriv_core.dir/refinement.cpp.o.d"
+  "CMakeFiles/locpriv_core.dir/report.cpp.o"
+  "CMakeFiles/locpriv_core.dir/report.cpp.o.d"
+  "CMakeFiles/locpriv_core.dir/response_surface.cpp.o"
+  "CMakeFiles/locpriv_core.dir/response_surface.cpp.o.d"
+  "CMakeFiles/locpriv_core.dir/saturation.cpp.o"
+  "CMakeFiles/locpriv_core.dir/saturation.cpp.o.d"
+  "CMakeFiles/locpriv_core.dir/sweep.cpp.o"
+  "CMakeFiles/locpriv_core.dir/sweep.cpp.o.d"
+  "CMakeFiles/locpriv_core.dir/system_definition.cpp.o"
+  "CMakeFiles/locpriv_core.dir/system_definition.cpp.o.d"
+  "CMakeFiles/locpriv_core.dir/tradeoff.cpp.o"
+  "CMakeFiles/locpriv_core.dir/tradeoff.cpp.o.d"
+  "CMakeFiles/locpriv_core.dir/validation.cpp.o"
+  "CMakeFiles/locpriv_core.dir/validation.cpp.o.d"
+  "liblocpriv_core.a"
+  "liblocpriv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locpriv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/bbox.cpp" "src/geo/CMakeFiles/locpriv_geo.dir/bbox.cpp.o" "gcc" "src/geo/CMakeFiles/locpriv_geo.dir/bbox.cpp.o.d"
+  "/root/repo/src/geo/geohash.cpp" "src/geo/CMakeFiles/locpriv_geo.dir/geohash.cpp.o" "gcc" "src/geo/CMakeFiles/locpriv_geo.dir/geohash.cpp.o.d"
+  "/root/repo/src/geo/grid.cpp" "src/geo/CMakeFiles/locpriv_geo.dir/grid.cpp.o" "gcc" "src/geo/CMakeFiles/locpriv_geo.dir/grid.cpp.o.d"
+  "/root/repo/src/geo/kdtree.cpp" "src/geo/CMakeFiles/locpriv_geo.dir/kdtree.cpp.o" "gcc" "src/geo/CMakeFiles/locpriv_geo.dir/kdtree.cpp.o.d"
+  "/root/repo/src/geo/latlng.cpp" "src/geo/CMakeFiles/locpriv_geo.dir/latlng.cpp.o" "gcc" "src/geo/CMakeFiles/locpriv_geo.dir/latlng.cpp.o.d"
+  "/root/repo/src/geo/polyline.cpp" "src/geo/CMakeFiles/locpriv_geo.dir/polyline.cpp.o" "gcc" "src/geo/CMakeFiles/locpriv_geo.dir/polyline.cpp.o.d"
+  "/root/repo/src/geo/projection.cpp" "src/geo/CMakeFiles/locpriv_geo.dir/projection.cpp.o" "gcc" "src/geo/CMakeFiles/locpriv_geo.dir/projection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locpriv_geo.dir/bbox.cpp.o"
+  "CMakeFiles/locpriv_geo.dir/bbox.cpp.o.d"
+  "CMakeFiles/locpriv_geo.dir/geohash.cpp.o"
+  "CMakeFiles/locpriv_geo.dir/geohash.cpp.o.d"
+  "CMakeFiles/locpriv_geo.dir/grid.cpp.o"
+  "CMakeFiles/locpriv_geo.dir/grid.cpp.o.d"
+  "CMakeFiles/locpriv_geo.dir/kdtree.cpp.o"
+  "CMakeFiles/locpriv_geo.dir/kdtree.cpp.o.d"
+  "CMakeFiles/locpriv_geo.dir/latlng.cpp.o"
+  "CMakeFiles/locpriv_geo.dir/latlng.cpp.o.d"
+  "CMakeFiles/locpriv_geo.dir/polyline.cpp.o"
+  "CMakeFiles/locpriv_geo.dir/polyline.cpp.o.d"
+  "CMakeFiles/locpriv_geo.dir/projection.cpp.o"
+  "CMakeFiles/locpriv_geo.dir/projection.cpp.o.d"
+  "liblocpriv_geo.a"
+  "liblocpriv_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locpriv_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/args.cpp" "src/io/CMakeFiles/locpriv_io.dir/args.cpp.o" "gcc" "src/io/CMakeFiles/locpriv_io.dir/args.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "src/io/CMakeFiles/locpriv_io.dir/csv.cpp.o" "gcc" "src/io/CMakeFiles/locpriv_io.dir/csv.cpp.o.d"
+  "/root/repo/src/io/json.cpp" "src/io/CMakeFiles/locpriv_io.dir/json.cpp.o" "gcc" "src/io/CMakeFiles/locpriv_io.dir/json.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/io/CMakeFiles/locpriv_io.dir/table.cpp.o" "gcc" "src/io/CMakeFiles/locpriv_io.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

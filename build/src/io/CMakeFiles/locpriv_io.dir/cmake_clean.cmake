@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locpriv_io.dir/args.cpp.o"
+  "CMakeFiles/locpriv_io.dir/args.cpp.o.d"
+  "CMakeFiles/locpriv_io.dir/csv.cpp.o"
+  "CMakeFiles/locpriv_io.dir/csv.cpp.o.d"
+  "CMakeFiles/locpriv_io.dir/json.cpp.o"
+  "CMakeFiles/locpriv_io.dir/json.cpp.o.d"
+  "CMakeFiles/locpriv_io.dir/table.cpp.o"
+  "CMakeFiles/locpriv_io.dir/table.cpp.o.d"
+  "liblocpriv_io.a"
+  "liblocpriv_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locpriv_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lppm/composed.cpp" "src/lppm/CMakeFiles/locpriv_lppm.dir/composed.cpp.o" "gcc" "src/lppm/CMakeFiles/locpriv_lppm.dir/composed.cpp.o.d"
+  "/root/repo/src/lppm/dropout.cpp" "src/lppm/CMakeFiles/locpriv_lppm.dir/dropout.cpp.o" "gcc" "src/lppm/CMakeFiles/locpriv_lppm.dir/dropout.cpp.o.d"
+  "/root/repo/src/lppm/gaussian.cpp" "src/lppm/CMakeFiles/locpriv_lppm.dir/gaussian.cpp.o" "gcc" "src/lppm/CMakeFiles/locpriv_lppm.dir/gaussian.cpp.o.d"
+  "/root/repo/src/lppm/geo_ind.cpp" "src/lppm/CMakeFiles/locpriv_lppm.dir/geo_ind.cpp.o" "gcc" "src/lppm/CMakeFiles/locpriv_lppm.dir/geo_ind.cpp.o.d"
+  "/root/repo/src/lppm/geo_ind_variants.cpp" "src/lppm/CMakeFiles/locpriv_lppm.dir/geo_ind_variants.cpp.o" "gcc" "src/lppm/CMakeFiles/locpriv_lppm.dir/geo_ind_variants.cpp.o.d"
+  "/root/repo/src/lppm/geohash_cloaking.cpp" "src/lppm/CMakeFiles/locpriv_lppm.dir/geohash_cloaking.cpp.o" "gcc" "src/lppm/CMakeFiles/locpriv_lppm.dir/geohash_cloaking.cpp.o.d"
+  "/root/repo/src/lppm/grid_cloaking.cpp" "src/lppm/CMakeFiles/locpriv_lppm.dir/grid_cloaking.cpp.o" "gcc" "src/lppm/CMakeFiles/locpriv_lppm.dir/grid_cloaking.cpp.o.d"
+  "/root/repo/src/lppm/mechanism.cpp" "src/lppm/CMakeFiles/locpriv_lppm.dir/mechanism.cpp.o" "gcc" "src/lppm/CMakeFiles/locpriv_lppm.dir/mechanism.cpp.o.d"
+  "/root/repo/src/lppm/noop.cpp" "src/lppm/CMakeFiles/locpriv_lppm.dir/noop.cpp.o" "gcc" "src/lppm/CMakeFiles/locpriv_lppm.dir/noop.cpp.o.d"
+  "/root/repo/src/lppm/online.cpp" "src/lppm/CMakeFiles/locpriv_lppm.dir/online.cpp.o" "gcc" "src/lppm/CMakeFiles/locpriv_lppm.dir/online.cpp.o.d"
+  "/root/repo/src/lppm/promesse.cpp" "src/lppm/CMakeFiles/locpriv_lppm.dir/promesse.cpp.o" "gcc" "src/lppm/CMakeFiles/locpriv_lppm.dir/promesse.cpp.o.d"
+  "/root/repo/src/lppm/registry.cpp" "src/lppm/CMakeFiles/locpriv_lppm.dir/registry.cpp.o" "gcc" "src/lppm/CMakeFiles/locpriv_lppm.dir/registry.cpp.o.d"
+  "/root/repo/src/lppm/simplification.cpp" "src/lppm/CMakeFiles/locpriv_lppm.dir/simplification.cpp.o" "gcc" "src/lppm/CMakeFiles/locpriv_lppm.dir/simplification.cpp.o.d"
+  "/root/repo/src/lppm/temporal_cloaking.cpp" "src/lppm/CMakeFiles/locpriv_lppm.dir/temporal_cloaking.cpp.o" "gcc" "src/lppm/CMakeFiles/locpriv_lppm.dir/temporal_cloaking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/locpriv_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/locpriv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/locpriv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/locpriv_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locpriv_lppm.dir/composed.cpp.o"
+  "CMakeFiles/locpriv_lppm.dir/composed.cpp.o.d"
+  "CMakeFiles/locpriv_lppm.dir/dropout.cpp.o"
+  "CMakeFiles/locpriv_lppm.dir/dropout.cpp.o.d"
+  "CMakeFiles/locpriv_lppm.dir/gaussian.cpp.o"
+  "CMakeFiles/locpriv_lppm.dir/gaussian.cpp.o.d"
+  "CMakeFiles/locpriv_lppm.dir/geo_ind.cpp.o"
+  "CMakeFiles/locpriv_lppm.dir/geo_ind.cpp.o.d"
+  "CMakeFiles/locpriv_lppm.dir/geo_ind_variants.cpp.o"
+  "CMakeFiles/locpriv_lppm.dir/geo_ind_variants.cpp.o.d"
+  "CMakeFiles/locpriv_lppm.dir/geohash_cloaking.cpp.o"
+  "CMakeFiles/locpriv_lppm.dir/geohash_cloaking.cpp.o.d"
+  "CMakeFiles/locpriv_lppm.dir/grid_cloaking.cpp.o"
+  "CMakeFiles/locpriv_lppm.dir/grid_cloaking.cpp.o.d"
+  "CMakeFiles/locpriv_lppm.dir/mechanism.cpp.o"
+  "CMakeFiles/locpriv_lppm.dir/mechanism.cpp.o.d"
+  "CMakeFiles/locpriv_lppm.dir/noop.cpp.o"
+  "CMakeFiles/locpriv_lppm.dir/noop.cpp.o.d"
+  "CMakeFiles/locpriv_lppm.dir/online.cpp.o"
+  "CMakeFiles/locpriv_lppm.dir/online.cpp.o.d"
+  "CMakeFiles/locpriv_lppm.dir/promesse.cpp.o"
+  "CMakeFiles/locpriv_lppm.dir/promesse.cpp.o.d"
+  "CMakeFiles/locpriv_lppm.dir/registry.cpp.o"
+  "CMakeFiles/locpriv_lppm.dir/registry.cpp.o.d"
+  "CMakeFiles/locpriv_lppm.dir/simplification.cpp.o"
+  "CMakeFiles/locpriv_lppm.dir/simplification.cpp.o.d"
+  "CMakeFiles/locpriv_lppm.dir/temporal_cloaking.cpp.o"
+  "CMakeFiles/locpriv_lppm.dir/temporal_cloaking.cpp.o.d"
+  "liblocpriv_lppm.a"
+  "liblocpriv_lppm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locpriv_lppm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

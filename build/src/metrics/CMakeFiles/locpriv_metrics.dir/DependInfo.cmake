@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/area_coverage.cpp" "src/metrics/CMakeFiles/locpriv_metrics.dir/area_coverage.cpp.o" "gcc" "src/metrics/CMakeFiles/locpriv_metrics.dir/area_coverage.cpp.o.d"
+  "/root/repo/src/metrics/cell_hit.cpp" "src/metrics/CMakeFiles/locpriv_metrics.dir/cell_hit.cpp.o" "gcc" "src/metrics/CMakeFiles/locpriv_metrics.dir/cell_hit.cpp.o.d"
+  "/root/repo/src/metrics/distortion.cpp" "src/metrics/CMakeFiles/locpriv_metrics.dir/distortion.cpp.o" "gcc" "src/metrics/CMakeFiles/locpriv_metrics.dir/distortion.cpp.o.d"
+  "/root/repo/src/metrics/dtw_metric.cpp" "src/metrics/CMakeFiles/locpriv_metrics.dir/dtw_metric.cpp.o" "gcc" "src/metrics/CMakeFiles/locpriv_metrics.dir/dtw_metric.cpp.o.d"
+  "/root/repo/src/metrics/home_inference.cpp" "src/metrics/CMakeFiles/locpriv_metrics.dir/home_inference.cpp.o" "gcc" "src/metrics/CMakeFiles/locpriv_metrics.dir/home_inference.cpp.o.d"
+  "/root/repo/src/metrics/metric.cpp" "src/metrics/CMakeFiles/locpriv_metrics.dir/metric.cpp.o" "gcc" "src/metrics/CMakeFiles/locpriv_metrics.dir/metric.cpp.o.d"
+  "/root/repo/src/metrics/poi_preservation.cpp" "src/metrics/CMakeFiles/locpriv_metrics.dir/poi_preservation.cpp.o" "gcc" "src/metrics/CMakeFiles/locpriv_metrics.dir/poi_preservation.cpp.o.d"
+  "/root/repo/src/metrics/poi_retrieval.cpp" "src/metrics/CMakeFiles/locpriv_metrics.dir/poi_retrieval.cpp.o" "gcc" "src/metrics/CMakeFiles/locpriv_metrics.dir/poi_retrieval.cpp.o.d"
+  "/root/repo/src/metrics/query_consistency.cpp" "src/metrics/CMakeFiles/locpriv_metrics.dir/query_consistency.cpp.o" "gcc" "src/metrics/CMakeFiles/locpriv_metrics.dir/query_consistency.cpp.o.d"
+  "/root/repo/src/metrics/registry.cpp" "src/metrics/CMakeFiles/locpriv_metrics.dir/registry.cpp.o" "gcc" "src/metrics/CMakeFiles/locpriv_metrics.dir/registry.cpp.o.d"
+  "/root/repo/src/metrics/reident_metric.cpp" "src/metrics/CMakeFiles/locpriv_metrics.dir/reident_metric.cpp.o" "gcc" "src/metrics/CMakeFiles/locpriv_metrics.dir/reident_metric.cpp.o.d"
+  "/root/repo/src/metrics/spatial_entropy.cpp" "src/metrics/CMakeFiles/locpriv_metrics.dir/spatial_entropy.cpp.o" "gcc" "src/metrics/CMakeFiles/locpriv_metrics.dir/spatial_entropy.cpp.o.d"
+  "/root/repo/src/metrics/transform.cpp" "src/metrics/CMakeFiles/locpriv_metrics.dir/transform.cpp.o" "gcc" "src/metrics/CMakeFiles/locpriv_metrics.dir/transform.cpp.o.d"
+  "/root/repo/src/metrics/trip_length.cpp" "src/metrics/CMakeFiles/locpriv_metrics.dir/trip_length.cpp.o" "gcc" "src/metrics/CMakeFiles/locpriv_metrics.dir/trip_length.cpp.o.d"
+  "/root/repo/src/metrics/worst_case.cpp" "src/metrics/CMakeFiles/locpriv_metrics.dir/worst_case.cpp.o" "gcc" "src/metrics/CMakeFiles/locpriv_metrics.dir/worst_case.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/locpriv_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/poi/CMakeFiles/locpriv_poi.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/locpriv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/locpriv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/locpriv_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/locpriv_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

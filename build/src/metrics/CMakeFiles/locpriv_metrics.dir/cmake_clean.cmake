@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locpriv_metrics.dir/area_coverage.cpp.o"
+  "CMakeFiles/locpriv_metrics.dir/area_coverage.cpp.o.d"
+  "CMakeFiles/locpriv_metrics.dir/cell_hit.cpp.o"
+  "CMakeFiles/locpriv_metrics.dir/cell_hit.cpp.o.d"
+  "CMakeFiles/locpriv_metrics.dir/distortion.cpp.o"
+  "CMakeFiles/locpriv_metrics.dir/distortion.cpp.o.d"
+  "CMakeFiles/locpriv_metrics.dir/dtw_metric.cpp.o"
+  "CMakeFiles/locpriv_metrics.dir/dtw_metric.cpp.o.d"
+  "CMakeFiles/locpriv_metrics.dir/home_inference.cpp.o"
+  "CMakeFiles/locpriv_metrics.dir/home_inference.cpp.o.d"
+  "CMakeFiles/locpriv_metrics.dir/metric.cpp.o"
+  "CMakeFiles/locpriv_metrics.dir/metric.cpp.o.d"
+  "CMakeFiles/locpriv_metrics.dir/poi_preservation.cpp.o"
+  "CMakeFiles/locpriv_metrics.dir/poi_preservation.cpp.o.d"
+  "CMakeFiles/locpriv_metrics.dir/poi_retrieval.cpp.o"
+  "CMakeFiles/locpriv_metrics.dir/poi_retrieval.cpp.o.d"
+  "CMakeFiles/locpriv_metrics.dir/query_consistency.cpp.o"
+  "CMakeFiles/locpriv_metrics.dir/query_consistency.cpp.o.d"
+  "CMakeFiles/locpriv_metrics.dir/registry.cpp.o"
+  "CMakeFiles/locpriv_metrics.dir/registry.cpp.o.d"
+  "CMakeFiles/locpriv_metrics.dir/reident_metric.cpp.o"
+  "CMakeFiles/locpriv_metrics.dir/reident_metric.cpp.o.d"
+  "CMakeFiles/locpriv_metrics.dir/spatial_entropy.cpp.o"
+  "CMakeFiles/locpriv_metrics.dir/spatial_entropy.cpp.o.d"
+  "CMakeFiles/locpriv_metrics.dir/transform.cpp.o"
+  "CMakeFiles/locpriv_metrics.dir/transform.cpp.o.d"
+  "CMakeFiles/locpriv_metrics.dir/trip_length.cpp.o"
+  "CMakeFiles/locpriv_metrics.dir/trip_length.cpp.o.d"
+  "CMakeFiles/locpriv_metrics.dir/worst_case.cpp.o"
+  "CMakeFiles/locpriv_metrics.dir/worst_case.cpp.o.d"
+  "liblocpriv_metrics.a"
+  "liblocpriv_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locpriv_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

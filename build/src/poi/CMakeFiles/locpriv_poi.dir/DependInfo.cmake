@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poi/djcluster.cpp" "src/poi/CMakeFiles/locpriv_poi.dir/djcluster.cpp.o" "gcc" "src/poi/CMakeFiles/locpriv_poi.dir/djcluster.cpp.o.d"
+  "/root/repo/src/poi/matching.cpp" "src/poi/CMakeFiles/locpriv_poi.dir/matching.cpp.o" "gcc" "src/poi/CMakeFiles/locpriv_poi.dir/matching.cpp.o.d"
+  "/root/repo/src/poi/poi.cpp" "src/poi/CMakeFiles/locpriv_poi.dir/poi.cpp.o" "gcc" "src/poi/CMakeFiles/locpriv_poi.dir/poi.cpp.o.d"
+  "/root/repo/src/poi/staypoint.cpp" "src/poi/CMakeFiles/locpriv_poi.dir/staypoint.cpp.o" "gcc" "src/poi/CMakeFiles/locpriv_poi.dir/staypoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/locpriv_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/locpriv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/locpriv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/locpriv_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

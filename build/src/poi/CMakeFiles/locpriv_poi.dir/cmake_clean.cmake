@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locpriv_poi.dir/djcluster.cpp.o"
+  "CMakeFiles/locpriv_poi.dir/djcluster.cpp.o.d"
+  "CMakeFiles/locpriv_poi.dir/matching.cpp.o"
+  "CMakeFiles/locpriv_poi.dir/matching.cpp.o.d"
+  "CMakeFiles/locpriv_poi.dir/poi.cpp.o"
+  "CMakeFiles/locpriv_poi.dir/poi.cpp.o.d"
+  "CMakeFiles/locpriv_poi.dir/staypoint.cpp.o"
+  "CMakeFiles/locpriv_poi.dir/staypoint.cpp.o.d"
+  "liblocpriv_poi.a"
+  "liblocpriv_poi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locpriv_poi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

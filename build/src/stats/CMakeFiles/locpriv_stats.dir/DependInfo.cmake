@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/locpriv_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/locpriv_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/locpriv_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/locpriv_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/dtw.cpp" "src/stats/CMakeFiles/locpriv_stats.dir/dtw.cpp.o" "gcc" "src/stats/CMakeFiles/locpriv_stats.dir/dtw.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/locpriv_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/locpriv_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/ks_test.cpp" "src/stats/CMakeFiles/locpriv_stats.dir/ks_test.cpp.o" "gcc" "src/stats/CMakeFiles/locpriv_stats.dir/ks_test.cpp.o.d"
+  "/root/repo/src/stats/lambert_w.cpp" "src/stats/CMakeFiles/locpriv_stats.dir/lambert_w.cpp.o" "gcc" "src/stats/CMakeFiles/locpriv_stats.dir/lambert_w.cpp.o.d"
+  "/root/repo/src/stats/matrix.cpp" "src/stats/CMakeFiles/locpriv_stats.dir/matrix.cpp.o" "gcc" "src/stats/CMakeFiles/locpriv_stats.dir/matrix.cpp.o.d"
+  "/root/repo/src/stats/online.cpp" "src/stats/CMakeFiles/locpriv_stats.dir/online.cpp.o" "gcc" "src/stats/CMakeFiles/locpriv_stats.dir/online.cpp.o.d"
+  "/root/repo/src/stats/pca.cpp" "src/stats/CMakeFiles/locpriv_stats.dir/pca.cpp.o" "gcc" "src/stats/CMakeFiles/locpriv_stats.dir/pca.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/locpriv_stats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/locpriv_stats.dir/regression.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/stats/CMakeFiles/locpriv_stats.dir/rng.cpp.o" "gcc" "src/stats/CMakeFiles/locpriv_stats.dir/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/locpriv_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locpriv_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/locpriv_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/locpriv_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/locpriv_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/locpriv_stats.dir/dtw.cpp.o"
+  "CMakeFiles/locpriv_stats.dir/dtw.cpp.o.d"
+  "CMakeFiles/locpriv_stats.dir/histogram.cpp.o"
+  "CMakeFiles/locpriv_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/locpriv_stats.dir/ks_test.cpp.o"
+  "CMakeFiles/locpriv_stats.dir/ks_test.cpp.o.d"
+  "CMakeFiles/locpriv_stats.dir/lambert_w.cpp.o"
+  "CMakeFiles/locpriv_stats.dir/lambert_w.cpp.o.d"
+  "CMakeFiles/locpriv_stats.dir/matrix.cpp.o"
+  "CMakeFiles/locpriv_stats.dir/matrix.cpp.o.d"
+  "CMakeFiles/locpriv_stats.dir/online.cpp.o"
+  "CMakeFiles/locpriv_stats.dir/online.cpp.o.d"
+  "CMakeFiles/locpriv_stats.dir/pca.cpp.o"
+  "CMakeFiles/locpriv_stats.dir/pca.cpp.o.d"
+  "CMakeFiles/locpriv_stats.dir/regression.cpp.o"
+  "CMakeFiles/locpriv_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/locpriv_stats.dir/rng.cpp.o"
+  "CMakeFiles/locpriv_stats.dir/rng.cpp.o.d"
+  "liblocpriv_stats.a"
+  "liblocpriv_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locpriv_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

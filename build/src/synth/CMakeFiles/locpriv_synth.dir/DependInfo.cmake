@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/city.cpp" "src/synth/CMakeFiles/locpriv_synth.dir/city.cpp.o" "gcc" "src/synth/CMakeFiles/locpriv_synth.dir/city.cpp.o.d"
+  "/root/repo/src/synth/commuter.cpp" "src/synth/CMakeFiles/locpriv_synth.dir/commuter.cpp.o" "gcc" "src/synth/CMakeFiles/locpriv_synth.dir/commuter.cpp.o.d"
+  "/root/repo/src/synth/faults.cpp" "src/synth/CMakeFiles/locpriv_synth.dir/faults.cpp.o" "gcc" "src/synth/CMakeFiles/locpriv_synth.dir/faults.cpp.o.d"
+  "/root/repo/src/synth/scenario.cpp" "src/synth/CMakeFiles/locpriv_synth.dir/scenario.cpp.o" "gcc" "src/synth/CMakeFiles/locpriv_synth.dir/scenario.cpp.o.d"
+  "/root/repo/src/synth/taxi.cpp" "src/synth/CMakeFiles/locpriv_synth.dir/taxi.cpp.o" "gcc" "src/synth/CMakeFiles/locpriv_synth.dir/taxi.cpp.o.d"
+  "/root/repo/src/synth/walker.cpp" "src/synth/CMakeFiles/locpriv_synth.dir/walker.cpp.o" "gcc" "src/synth/CMakeFiles/locpriv_synth.dir/walker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/locpriv_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/locpriv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/locpriv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/locpriv_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

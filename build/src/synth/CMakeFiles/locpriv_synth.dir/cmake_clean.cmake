@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locpriv_synth.dir/city.cpp.o"
+  "CMakeFiles/locpriv_synth.dir/city.cpp.o.d"
+  "CMakeFiles/locpriv_synth.dir/commuter.cpp.o"
+  "CMakeFiles/locpriv_synth.dir/commuter.cpp.o.d"
+  "CMakeFiles/locpriv_synth.dir/faults.cpp.o"
+  "CMakeFiles/locpriv_synth.dir/faults.cpp.o.d"
+  "CMakeFiles/locpriv_synth.dir/scenario.cpp.o"
+  "CMakeFiles/locpriv_synth.dir/scenario.cpp.o.d"
+  "CMakeFiles/locpriv_synth.dir/taxi.cpp.o"
+  "CMakeFiles/locpriv_synth.dir/taxi.cpp.o.d"
+  "CMakeFiles/locpriv_synth.dir/walker.cpp.o"
+  "CMakeFiles/locpriv_synth.dir/walker.cpp.o.d"
+  "liblocpriv_synth.a"
+  "liblocpriv_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locpriv_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblocpriv_synth.a"
+)

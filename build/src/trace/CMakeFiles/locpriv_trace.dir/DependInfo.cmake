@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/cleaning.cpp" "src/trace/CMakeFiles/locpriv_trace.dir/cleaning.cpp.o" "gcc" "src/trace/CMakeFiles/locpriv_trace.dir/cleaning.cpp.o.d"
+  "/root/repo/src/trace/dataset.cpp" "src/trace/CMakeFiles/locpriv_trace.dir/dataset.cpp.o" "gcc" "src/trace/CMakeFiles/locpriv_trace.dir/dataset.cpp.o.d"
+  "/root/repo/src/trace/features.cpp" "src/trace/CMakeFiles/locpriv_trace.dir/features.cpp.o" "gcc" "src/trace/CMakeFiles/locpriv_trace.dir/features.cpp.o.d"
+  "/root/repo/src/trace/resample.cpp" "src/trace/CMakeFiles/locpriv_trace.dir/resample.cpp.o" "gcc" "src/trace/CMakeFiles/locpriv_trace.dir/resample.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/locpriv_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/locpriv_trace.dir/trace.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/locpriv_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/locpriv_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/locpriv_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/locpriv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/locpriv_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locpriv_trace.dir/cleaning.cpp.o"
+  "CMakeFiles/locpriv_trace.dir/cleaning.cpp.o.d"
+  "CMakeFiles/locpriv_trace.dir/dataset.cpp.o"
+  "CMakeFiles/locpriv_trace.dir/dataset.cpp.o.d"
+  "CMakeFiles/locpriv_trace.dir/features.cpp.o"
+  "CMakeFiles/locpriv_trace.dir/features.cpp.o.d"
+  "CMakeFiles/locpriv_trace.dir/resample.cpp.o"
+  "CMakeFiles/locpriv_trace.dir/resample.cpp.o.d"
+  "CMakeFiles/locpriv_trace.dir/trace.cpp.o"
+  "CMakeFiles/locpriv_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/locpriv_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/locpriv_trace.dir/trace_io.cpp.o.d"
+  "liblocpriv_trace.a"
+  "liblocpriv_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locpriv_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

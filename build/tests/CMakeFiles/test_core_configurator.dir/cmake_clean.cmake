@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_configurator.dir/test_core_configurator.cpp.o"
+  "CMakeFiles/test_core_configurator.dir/test_core_configurator.cpp.o.d"
+  "test_core_configurator"
+  "test_core_configurator.pdb"
+  "test_core_configurator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_configurator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_greedy.dir/test_core_greedy.cpp.o"
+  "CMakeFiles/test_core_greedy.dir/test_core_greedy.cpp.o.d"
+  "test_core_greedy"
+  "test_core_greedy.pdb"
+  "test_core_greedy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_model.dir/test_core_model.cpp.o"
+  "CMakeFiles/test_core_model.dir/test_core_model.cpp.o.d"
+  "test_core_model"
+  "test_core_model.pdb"
+  "test_core_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

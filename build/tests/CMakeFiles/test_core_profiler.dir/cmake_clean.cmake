@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_profiler.dir/test_core_profiler.cpp.o"
+  "CMakeFiles/test_core_profiler.dir/test_core_profiler.cpp.o.d"
+  "test_core_profiler"
+  "test_core_profiler.pdb"
+  "test_core_profiler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

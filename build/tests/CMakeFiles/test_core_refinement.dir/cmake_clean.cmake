@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_refinement.dir/test_core_refinement.cpp.o"
+  "CMakeFiles/test_core_refinement.dir/test_core_refinement.cpp.o.d"
+  "test_core_refinement"
+  "test_core_refinement.pdb"
+  "test_core_refinement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_saturation.dir/test_core_saturation.cpp.o"
+  "CMakeFiles/test_core_saturation.dir/test_core_saturation.cpp.o.d"
+  "test_core_saturation"
+  "test_core_saturation.pdb"
+  "test_core_saturation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_store.dir/test_core_store.cpp.o"
+  "CMakeFiles/test_core_store.dir/test_core_store.cpp.o.d"
+  "test_core_store"
+  "test_core_store.pdb"
+  "test_core_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

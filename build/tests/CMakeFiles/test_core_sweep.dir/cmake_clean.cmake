@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_sweep.dir/test_core_sweep.cpp.o"
+  "CMakeFiles/test_core_sweep.dir/test_core_sweep.cpp.o.d"
+  "test_core_sweep"
+  "test_core_sweep.pdb"
+  "test_core_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

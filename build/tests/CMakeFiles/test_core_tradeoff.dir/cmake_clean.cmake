@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_tradeoff.dir/test_core_tradeoff.cpp.o"
+  "CMakeFiles/test_core_tradeoff.dir/test_core_tradeoff.cpp.o.d"
+  "test_core_tradeoff"
+  "test_core_tradeoff.pdb"
+  "test_core_tradeoff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

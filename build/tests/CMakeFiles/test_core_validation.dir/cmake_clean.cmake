@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_validation.dir/test_core_validation.cpp.o"
+  "CMakeFiles/test_core_validation.dir/test_core_validation.cpp.o.d"
+  "test_core_validation"
+  "test_core_validation.pdb"
+  "test_core_validation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geo_geohash.dir/test_geo_geohash.cpp.o"
+  "CMakeFiles/test_geo_geohash.dir/test_geo_geohash.cpp.o.d"
+  "test_geo_geohash"
+  "test_geo_geohash.pdb"
+  "test_geo_geohash[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geo_geohash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_geo_geohash.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geo_grid.dir/test_geo_grid.cpp.o"
+  "CMakeFiles/test_geo_grid.dir/test_geo_grid.cpp.o.d"
+  "test_geo_grid"
+  "test_geo_grid.pdb"
+  "test_geo_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geo_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geo_kdtree.dir/test_geo_kdtree.cpp.o"
+  "CMakeFiles/test_geo_kdtree.dir/test_geo_kdtree.cpp.o.d"
+  "test_geo_kdtree"
+  "test_geo_kdtree.pdb"
+  "test_geo_kdtree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geo_kdtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geo_latlng.dir/test_geo_latlng.cpp.o"
+  "CMakeFiles/test_geo_latlng.dir/test_geo_latlng.cpp.o.d"
+  "test_geo_latlng"
+  "test_geo_latlng.pdb"
+  "test_geo_latlng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geo_latlng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_geo_latlng.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geo_polyline.dir/test_geo_polyline.cpp.o"
+  "CMakeFiles/test_geo_polyline.dir/test_geo_polyline.cpp.o.d"
+  "test_geo_polyline"
+  "test_geo_polyline.pdb"
+  "test_geo_polyline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geo_polyline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_args.dir/test_io_args.cpp.o"
+  "CMakeFiles/test_io_args.dir/test_io_args.cpp.o.d"
+  "test_io_args"
+  "test_io_args.pdb"
+  "test_io_args[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_args.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_csv.dir/test_io_csv.cpp.o"
+  "CMakeFiles/test_io_csv.dir/test_io_csv.cpp.o.d"
+  "test_io_csv"
+  "test_io_csv.pdb"
+  "test_io_csv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

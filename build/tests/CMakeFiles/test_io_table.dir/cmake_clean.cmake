@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_table.dir/test_io_table.cpp.o"
+  "CMakeFiles/test_io_table.dir/test_io_table.cpp.o.d"
+  "test_io_table"
+  "test_io_table.pdb"
+  "test_io_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

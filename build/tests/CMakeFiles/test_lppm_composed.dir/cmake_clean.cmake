@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lppm_composed.dir/test_lppm_composed.cpp.o"
+  "CMakeFiles/test_lppm_composed.dir/test_lppm_composed.cpp.o.d"
+  "test_lppm_composed"
+  "test_lppm_composed.pdb"
+  "test_lppm_composed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lppm_composed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lppm_geoind.dir/test_lppm_geoind.cpp.o"
+  "CMakeFiles/test_lppm_geoind.dir/test_lppm_geoind.cpp.o.d"
+  "test_lppm_geoind"
+  "test_lppm_geoind.pdb"
+  "test_lppm_geoind[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lppm_geoind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lppm_online.dir/test_lppm_online.cpp.o"
+  "CMakeFiles/test_lppm_online.dir/test_lppm_online.cpp.o.d"
+  "test_lppm_online"
+  "test_lppm_online.pdb"
+  "test_lppm_online[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lppm_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

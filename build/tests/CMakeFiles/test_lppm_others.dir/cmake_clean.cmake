@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lppm_others.dir/test_lppm_others.cpp.o"
+  "CMakeFiles/test_lppm_others.dir/test_lppm_others.cpp.o.d"
+  "test_lppm_others"
+  "test_lppm_others.pdb"
+  "test_lppm_others[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lppm_others.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

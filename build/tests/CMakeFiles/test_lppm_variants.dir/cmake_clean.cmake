@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lppm_variants.dir/test_lppm_variants.cpp.o"
+  "CMakeFiles/test_lppm_variants.dir/test_lppm_variants.cpp.o.d"
+  "test_lppm_variants"
+  "test_lppm_variants.pdb"
+  "test_lppm_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lppm_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

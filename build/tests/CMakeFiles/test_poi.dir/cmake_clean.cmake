@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_poi.dir/test_poi.cpp.o"
+  "CMakeFiles/test_poi.dir/test_poi.cpp.o.d"
+  "test_poi"
+  "test_poi.pdb"
+  "test_poi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_poi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

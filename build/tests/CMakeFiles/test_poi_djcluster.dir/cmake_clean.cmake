@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_poi_djcluster.dir/test_poi_djcluster.cpp.o"
+  "CMakeFiles/test_poi_djcluster.dir/test_poi_djcluster.cpp.o.d"
+  "test_poi_djcluster"
+  "test_poi_djcluster.pdb"
+  "test_poi_djcluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_poi_djcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

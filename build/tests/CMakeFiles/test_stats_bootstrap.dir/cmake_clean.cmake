@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_bootstrap.dir/test_stats_bootstrap.cpp.o"
+  "CMakeFiles/test_stats_bootstrap.dir/test_stats_bootstrap.cpp.o.d"
+  "test_stats_bootstrap"
+  "test_stats_bootstrap.pdb"
+  "test_stats_bootstrap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

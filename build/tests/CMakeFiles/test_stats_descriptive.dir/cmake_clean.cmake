@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_descriptive.dir/test_stats_descriptive.cpp.o"
+  "CMakeFiles/test_stats_descriptive.dir/test_stats_descriptive.cpp.o.d"
+  "test_stats_descriptive"
+  "test_stats_descriptive.pdb"
+  "test_stats_descriptive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_descriptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

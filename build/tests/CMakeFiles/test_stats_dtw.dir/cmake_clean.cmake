@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_dtw.dir/test_stats_dtw.cpp.o"
+  "CMakeFiles/test_stats_dtw.dir/test_stats_dtw.cpp.o.d"
+  "test_stats_dtw"
+  "test_stats_dtw.pdb"
+  "test_stats_dtw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_dtw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

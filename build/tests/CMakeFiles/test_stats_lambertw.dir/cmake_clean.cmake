@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_lambertw.dir/test_stats_lambertw.cpp.o"
+  "CMakeFiles/test_stats_lambertw.dir/test_stats_lambertw.cpp.o.d"
+  "test_stats_lambertw"
+  "test_stats_lambertw.pdb"
+  "test_stats_lambertw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_lambertw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_regression.dir/test_stats_regression.cpp.o"
+  "CMakeFiles/test_stats_regression.dir/test_stats_regression.cpp.o.d"
+  "test_stats_regression"
+  "test_stats_regression.pdb"
+  "test_stats_regression[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_faults.dir/test_synth_faults.cpp.o"
+  "CMakeFiles/test_synth_faults.dir/test_synth_faults.cpp.o.d"
+  "test_synth_faults"
+  "test_synth_faults.pdb"
+  "test_synth_faults[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_cleaning.dir/test_trace_cleaning.cpp.o"
+  "CMakeFiles/test_trace_cleaning.dir/test_trace_cleaning.cpp.o.d"
+  "test_trace_cleaning"
+  "test_trace_cleaning.pdb"
+  "test_trace_cleaning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locpriv_cli.dir/commands.cpp.o"
+  "CMakeFiles/locpriv_cli.dir/commands.cpp.o.d"
+  "CMakeFiles/locpriv_cli.dir/locpriv_main.cpp.o"
+  "CMakeFiles/locpriv_cli.dir/locpriv_main.cpp.o.d"
+  "locpriv"
+  "locpriv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locpriv_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
