@@ -1,19 +1,23 @@
 // Scenario: an online location-based service. Users stream location
-// reports; the client-side protection layer perturbs each report with
-// Geo-I *as it happens* (no access to the future trajectory), under an
-// epsilon budget per sliding window. The service answers nearest-site
-// queries; we measure how often the answer survives protection and what
-// the budget suppression costs.
+// reports; the serving gateway (src/service/) protects each one with
+// budgeted Geo-I *as it happens* — many users concurrently, exactly the
+// deployment mode the offline framework configures. The service answers
+// nearest-site queries; we measure how often the answer survives
+// protection, what the ε budget suppresses, and what the gateway's own
+// telemetry says about the run.
 //
-// This is the deployment mode the offline framework configures: take the
-// epsilon from `Framework::configure`, hand it to a StreamSession.
+// Compare the per-user loop this example used to hand-roll: the gateway
+// now owns sessions (sharded + lazily created), concurrency (worker
+// pool with per-user ordering) and observability (telemetry snapshot).
 #include <iostream>
+#include <map>
+#include <mutex>
 #include <vector>
 
 #include "geo/kdtree.h"
 #include "io/table.h"
-#include "lppm/geo_ind.h"
-#include "lppm/online.h"
+#include "service/gateway.h"
+#include "service/load_driver.h"
 #include "synth/scenario.h"
 
 int main() {
@@ -34,38 +38,66 @@ int main() {
   const trace::Dataset users = synth::make_commuter_dataset(scenario, 7);
 
   // Offline calibration said eps = 0.02; budget allows 30 reports per hour.
-  const double epsilon = 0.02;
-  const lppm::GeoIndBudget budget_template(epsilon, 30.0 * epsilon, 3600);
+  service::GatewayConfig cfg;
+  cfg.workers = 4;
+  cfg.sessions.shard_count = 8;
+  cfg.epsilon = 0.02;
+  cfg.budget_eps = 30.0 * cfg.epsilon;
+  cfg.budget_window_s = 3600;
+  cfg.seed = 1000;
 
-  std::cout << "streaming LBS simulation: " << users.size() << " users, " << catalog.size()
-            << " service sites, eps = " << epsilon << ", budget = 30 reports/hour\n\n";
+  std::cout << "streaming LBS via the service gateway: " << users.size() << " users, "
+            << catalog.size() << " service sites, eps = " << cfg.epsilon
+            << ", budget = 30 reports/hour, " << cfg.workers << " workers\n\n";
+
+  // The sink plays the LBS: answer each delivered (protected) report's
+  // nearest-site query and check it against the true location's answer.
+  // It runs on worker threads, so the tallies take a mutex.
+  struct UserTally {
+    std::size_t delivered = 0;
+    std::size_t consistent = 0;
+    std::size_t suppressed = 0;
+  };
+  std::mutex tally_mutex;
+  std::map<std::string, UserTally> tallies;
+
+  service::Gateway gateway(cfg, [&](const service::ProtectedReport& r) {
+    std::lock_guard lock(tally_mutex);
+    UserTally& tally = tallies[r.user_id];
+    if (r.status != service::ReportStatus::delivered) {
+      ++tally.suppressed;
+      return;
+    }
+    ++tally.delivered;
+    if (service_index.nearest(r.original.location) ==
+        service_index.nearest(r.protected_event->location)) {
+      ++tally.consistent;
+    }
+  });
+
+  const service::LoadResult load = service::replay_dataset(users, gateway);
 
   io::Table table({"user", "reports", "delivered", "suppressed", "query consistency"});
   double consistency_sum = 0.0;
-  for (std::size_t u = 0; u < users.size(); ++u) {
-    const trace::Trace& t = users[u];
-    lppm::BudgetedGeoIndSession session(epsilon, budget_template, 1000 + u);
-
-    std::size_t delivered = 0;
-    std::size_t consistent = 0;
-    for (const trace::Event& e : t) {
-      const auto out = session.report(e);
-      if (!out.has_value()) continue;
-      ++delivered;
-      if (service_index.nearest(e.location) == service_index.nearest(out->location)) {
-        ++consistent;
-      }
-    }
+  for (const trace::Trace& t : users) {
+    const UserTally& tally = tallies[t.user_id()];
     const double consistency =
-        delivered > 0 ? static_cast<double>(consistent) / static_cast<double>(delivered) : 0.0;
+        tally.delivered > 0
+            ? static_cast<double>(tally.consistent) / static_cast<double>(tally.delivered)
+            : 0.0;
     consistency_sum += consistency;
-    table.add_row({t.user_id(), std::to_string(t.size()), std::to_string(delivered),
-                   std::to_string(session.suppressed_count()), io::Table::num(consistency, 3)});
+    table.add_row({t.user_id(), std::to_string(t.size()), std::to_string(tally.delivered),
+                   std::to_string(tally.suppressed), io::Table::num(consistency, 3)});
   }
   table.print(std::cout);
 
+  const service::TelemetrySnapshot snap = gateway.telemetry().snapshot();
   std::cout << "\nmean query consistency under streaming Geo-I: "
             << io::Table::num(consistency_sum / static_cast<double>(users.size()), 3) << "\n";
+  std::cout << "gateway: " << static_cast<long long>(load.events_per_sec) << " events/sec, p99 "
+            << static_cast<long long>(snap.latency_p99_us) << " us, " << snap.sessions_created
+            << " sessions, max window eps spend " << io::Table::num(snap.eps_max_seen, 3)
+            << " (budget " << cfg.budget_eps << ")\n";
   std::cout << "suppressed reports are the price of the epsilon budget: the client\n"
                "falls back to its last delivered (already protected) location for those.\n";
   return 0;

@@ -1,0 +1,114 @@
+#include "service/gateway.h"
+
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+#include "stats/rng.h"
+
+namespace locpriv::service {
+
+const char* to_string(ReportStatus s) {
+  switch (s) {
+    case ReportStatus::delivered: return "delivered";
+    case ReportStatus::suppressed_budget: return "suppressed_budget";
+    case ReportStatus::rejected_queue_full: return "rejected_queue_full";
+  }
+  return "unknown";
+}
+
+std::uint64_t user_seed(std::uint64_t root_seed, std::string_view user_id) {
+  return stats::derive_seed(root_seed, stable_hash64(user_id));
+}
+
+namespace {
+
+SessionManager::SessionFactory default_factory(const GatewayConfig& cfg) {
+  const double epsilon = cfg.epsilon;
+  const double budget_eps = cfg.budget_eps;
+  const trace::Timestamp window = cfg.budget_window_s;
+  const std::uint64_t seed = cfg.seed;
+  return [epsilon, budget_eps, window, seed](const std::string& user_id) {
+    return std::make_unique<lppm::BudgetedGeoIndSession>(
+        epsilon, lppm::GeoIndBudget(epsilon, budget_eps, window), user_seed(seed, user_id));
+  };
+}
+
+}  // namespace
+
+Gateway::Gateway(const GatewayConfig& cfg, Sink sink)
+    : Gateway(cfg, default_factory(cfg), std::move(sink)) {}
+
+Gateway::Gateway(const GatewayConfig& cfg, SessionManager::SessionFactory factory, Sink sink)
+    : cfg_(cfg), sink_(std::move(sink)) {
+  if (!sink_) throw std::invalid_argument("Gateway: sink must be callable");
+  // ε histogram sized to the budget: spend can never legitimately
+  // exceed it, so overflow in the ε histogram would itself be a bug
+  // signal.
+  telemetry_ = std::make_unique<Telemetry>(/*latency_hi_us=*/50'000.0,
+                                           /*eps_hi=*/cfg.budget_eps * 1.05);
+  sessions_ = std::make_unique<SessionManager>(cfg.sessions, std::move(factory), telemetry_.get());
+  pool_ = std::make_unique<WorkerPool>(cfg.workers, cfg.queue_capacity,
+                                       [this](const Request& r) { handle(r); });
+}
+
+Gateway::~Gateway() { drain(); }
+
+bool Gateway::submit(const std::string& user_id, const trace::Event& event) {
+  telemetry_->record_received();
+  Request r;
+  r.user_id = user_id;
+  r.event = event;
+  r.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (pool_->submit(std::move(r))) return true;
+
+  // Backpressure: degrade gracefully by answering with a suppression
+  // right here instead of queueing without bound.
+  telemetry_->record_rejected_queue_full();
+  ProtectedReport out;
+  out.user_id = user_id;
+  out.seq = r.seq;
+  out.original = event;
+  out.status = ReportStatus::rejected_queue_full;
+  sink_(out);
+  return false;
+}
+
+void Gateway::drain() { pool_->drain(); }
+
+void Gateway::handle(const Request& r) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::optional<trace::Event> protected_event;
+  double eps_spent = std::numeric_limits<double>::quiet_NaN();
+  {
+    SessionManager::LockedSession locked = sessions_->acquire(r.user_id, r.event.time);
+    protected_event = locked.session().report(r.event);
+    if (const auto* budgeted = dynamic_cast<const lppm::BudgetedGeoIndSession*>(&locked.session());
+        budgeted != nullptr && protected_event.has_value()) {
+      eps_spent = budgeted->budget_state().spent(r.event.time);
+    }
+  }
+  if (protected_event.has_value() && cfg_.downstream_latency.count() > 0) {
+    std::this_thread::sleep_for(cfg_.downstream_latency);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double latency_us =
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(t1 - t0).count();
+
+  if (protected_event.has_value()) {
+    telemetry_->record_delivered(latency_us, eps_spent);
+  } else {
+    telemetry_->record_suppressed(latency_us);
+  }
+
+  ProtectedReport out;
+  out.user_id = r.user_id;
+  out.seq = r.seq;
+  out.original = r.event;
+  out.protected_event = protected_event;
+  out.status = protected_event.has_value() ? ReportStatus::delivered
+                                           : ReportStatus::suppressed_budget;
+  sink_(out);
+}
+
+}  // namespace locpriv::service

@@ -1,0 +1,117 @@
+// The obfuscation gateway: the concurrent serving front end of the
+// framework.
+//
+// An app server pushes raw location reports in with submit(); protected
+// (or suppressed) reports come back through a sink callback. Inside:
+// a worker pool with per-worker bounded queues (user-hash routed, see
+// worker_pool.h), a sharded session manager holding each user's
+// StreamSession + ε budget, and a telemetry layer counting every
+// outcome. Every submitted report is answered through the sink exactly
+// once — delivered, suppressed by budget, or rejected by backpressure.
+//
+// The default session factory instantiates the paper's deployment mode:
+// BudgetedGeoIndSession with the configured ε and sliding-window budget,
+// seeded per user with derive_seed(seed, stable_hash64(user)) so any
+// replay of the same stream is bit-identical regardless of worker count.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "service/session_manager.h"
+#include "service/telemetry.h"
+#include "service/worker_pool.h"
+#include "trace/event.h"
+
+namespace locpriv::service {
+
+/// Why a report came back the way it did.
+enum class ReportStatus {
+  delivered,            ///< protected event attached
+  suppressed_budget,    ///< session returned nothing (for the default
+                        ///< factory: ε window exhausted; a custom
+                        ///< dropout session lands here too)
+  rejected_queue_full,  ///< backpressure: never reached a session
+};
+
+[[nodiscard]] const char* to_string(ReportStatus s);
+
+/// The gateway's answer to one submitted report.
+struct ProtectedReport {
+  std::string user_id;
+  std::uint64_t seq = 0;  ///< strictly increasing per user
+  trace::Event original;
+  std::optional<trace::Event> protected_event;  ///< set iff delivered
+  ReportStatus status = ReportStatus::delivered;
+};
+
+struct GatewayConfig {
+  std::size_t workers = 4;
+  std::size_t queue_capacity = 1024;  ///< per worker
+  SessionManagerConfig sessions;
+
+  // Default (Geo-I) session factory parameters.
+  double epsilon = 0.01;
+  double budget_eps = 0.3;  ///< total ε per sliding window
+  trace::Timestamp budget_window_s = 3600;
+  std::uint64_t seed = 2016;
+
+  /// Simulated downstream LBS round-trip per delivered report. A real
+  /// gateway forwards the protected event to the service and awaits the
+  /// answer; this models that wait in benches/simulations. Zero = off.
+  std::chrono::microseconds downstream_latency{0};
+};
+
+/// Deterministic per-user session seed used by the default factory.
+[[nodiscard]] std::uint64_t user_seed(std::uint64_t root_seed, std::string_view user_id);
+
+class Gateway {
+ public:
+  /// Receives every answer. Called from worker threads (and from the
+  /// submitting thread for backpressure rejections) — must be
+  /// thread-safe. Calls for one user never overlap and arrive in
+  /// submission order.
+  using Sink = std::function<void(const ProtectedReport&)>;
+
+  /// Gateway with the default budgeted Geo-I session per user.
+  Gateway(const GatewayConfig& cfg, Sink sink);
+  /// Gateway with a custom per-user session factory (any streaming LPPM).
+  Gateway(const GatewayConfig& cfg, SessionManager::SessionFactory factory, Sink sink);
+
+  /// Drains remaining accepted requests, then stops the workers.
+  ~Gateway();
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  /// Submits one report. Never blocks: when the user's worker queue is
+  /// full the report is answered immediately (from this thread) with
+  /// rejected_queue_full and false is returned. True = accepted; the
+  /// answer will arrive through the sink.
+  bool submit(const std::string& user_id, const trace::Event& event);
+
+  /// Processes everything accepted so far and stops the workers.
+  /// submit() refuses afterwards. Idempotent.
+  void drain();
+
+  [[nodiscard]] const Telemetry& telemetry() const { return *telemetry_; }
+  [[nodiscard]] std::size_t active_sessions() const { return sessions_->session_count(); }
+  [[nodiscard]] std::size_t queued() const { return pool_->queued(); }
+
+ private:
+  void handle(const Request& r);
+
+  GatewayConfig cfg_;
+  Sink sink_;
+  std::unique_ptr<Telemetry> telemetry_;
+  std::unique_ptr<SessionManager> sessions_;
+  std::unique_ptr<WorkerPool> pool_;  ///< last member: workers die first
+  std::atomic<std::uint64_t> next_seq_{0};
+};
+
+}  // namespace locpriv::service

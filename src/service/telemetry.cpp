@@ -1,0 +1,91 @@
+#include "service/telemetry.h"
+
+#include <cmath>
+
+namespace locpriv::service {
+namespace {
+
+constexpr std::size_t kLatencyBins = 2048;
+constexpr std::size_t kEpsBins = 256;
+
+}  // namespace
+
+Telemetry::Telemetry(double latency_hi_us, double eps_hi)
+    : latency_us_(0.0, latency_hi_us, kLatencyBins), eps_spend_(0.0, eps_hi, kEpsBins) {}
+
+void Telemetry::record_delivered(double latency_us, double eps_spent_window) {
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(latency_mutex_);
+    latency_us_.add(latency_us);
+  }
+  if (!std::isnan(eps_spent_window)) {
+    std::lock_guard lock(eps_mutex_);
+    eps_spend_.add(eps_spent_window);
+    if (eps_spent_window > eps_max_seen_) eps_max_seen_ = eps_spent_window;
+  }
+}
+
+void Telemetry::record_suppressed(double latency_us) {
+  suppressed_budget_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(latency_mutex_);
+  latency_us_.add(latency_us);
+}
+
+TelemetrySnapshot Telemetry::snapshot() const {
+  TelemetrySnapshot s;
+  s.received = received_.load(std::memory_order_relaxed);
+  s.delivered = delivered_.load(std::memory_order_relaxed);
+  s.suppressed_budget = suppressed_budget_.load(std::memory_order_relaxed);
+  s.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
+  s.sessions_created = sessions_created_.load(std::memory_order_relaxed);
+  s.sessions_evicted_idle = evicted_idle_.load(std::memory_order_relaxed);
+  s.sessions_evicted_lru = evicted_lru_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(latency_mutex_);
+    s.latency_count = latency_us_.total() + latency_us_.underflow() + latency_us_.overflow();
+    if (s.latency_count > 0) {
+      s.latency_p50_us = latency_us_.quantile(0.50);
+      s.latency_p95_us = latency_us_.quantile(0.95);
+      s.latency_p99_us = latency_us_.quantile(0.99);
+    }
+  }
+  {
+    std::lock_guard lock(eps_mutex_);
+    s.eps_count = eps_spend_.total() + eps_spend_.underflow() + eps_spend_.overflow();
+    if (s.eps_count > 0) s.eps_p50 = eps_spend_.quantile(0.50);
+    s.eps_max_seen = eps_max_seen_;
+  }
+  return s;
+}
+
+io::JsonValue Telemetry::to_json() const {
+  const TelemetrySnapshot s = snapshot();
+  io::JsonObject counters;
+  counters["received"] = static_cast<double>(s.received);
+  counters["delivered"] = static_cast<double>(s.delivered);
+  counters["suppressed_budget"] = static_cast<double>(s.suppressed_budget);
+  counters["rejected_queue_full"] = static_cast<double>(s.rejected_queue_full);
+  counters["sessions_created"] = static_cast<double>(s.sessions_created);
+  counters["sessions_evicted_idle"] = static_cast<double>(s.sessions_evicted_idle);
+  counters["sessions_evicted_lru"] = static_cast<double>(s.sessions_evicted_lru);
+
+  io::JsonObject latency;
+  latency["count"] = static_cast<double>(s.latency_count);
+  latency["p50_us"] = s.latency_p50_us;
+  latency["p95_us"] = s.latency_p95_us;
+  latency["p99_us"] = s.latency_p99_us;
+
+  io::JsonObject eps;
+  eps["count"] = static_cast<double>(s.eps_count);
+  eps["p50"] = s.eps_p50;
+  eps["max_seen"] = s.eps_max_seen;
+
+  io::JsonObject root;
+  root["counters"] = std::move(counters);
+  root["latency"] = std::move(latency);
+  root["eps_spend"] = std::move(eps);
+  return root;
+}
+
+}  // namespace locpriv::service

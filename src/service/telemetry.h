@@ -1,0 +1,90 @@
+// Live observability of the serving gateway: lock-free counters for the
+// hot path, mutex-guarded histograms for distributions, and a JSON
+// snapshot for dashboards / offline analysis.
+//
+// Counters are plain relaxed atomics — every worker bumps them on every
+// report, so they must never contend. The two histograms (service
+// latency, per-user ε spend at delivery time) take a short mutex; an
+// add into a fixed-bin stats::Histogram is a handful of instructions,
+// so the critical section is far cheaper than the Laplace sampling it
+// measures.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "io/json.h"
+#include "stats/histogram.h"
+
+namespace locpriv::service {
+
+/// Point-in-time copy of every gauge the gateway exposes. Plain values —
+/// safe to hold, print or serialize after the gateway is gone.
+struct TelemetrySnapshot {
+  // Counters. received = delivered + suppressed_budget + rejected_queue_full
+  // once the gateway has drained.
+  std::uint64_t received = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t suppressed_budget = 0;    ///< ε window exhausted
+  std::uint64_t rejected_queue_full = 0;  ///< backpressure suppression
+  std::uint64_t sessions_created = 0;
+  std::uint64_t sessions_evicted_idle = 0;
+  std::uint64_t sessions_evicted_lru = 0;
+
+  // Service-time distribution (µs, measured around the protection call).
+  std::uint64_t latency_count = 0;
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+  double latency_p99_us = 0.0;
+
+  // ε spent inside the sliding window, sampled at each delivery.
+  std::uint64_t eps_count = 0;
+  double eps_p50 = 0.0;
+  double eps_max_seen = 0.0;
+};
+
+/// Shared telemetry sink. All record_* methods are thread-safe and are
+/// called concurrently by every worker plus the submitting thread.
+class Telemetry {
+ public:
+  /// `latency_hi_us` / `eps_hi` bound the histogram ranges; samples above
+  /// land in the overflow tally and saturate the quantiles at the bound.
+  Telemetry(double latency_hi_us = 50'000.0, double eps_hi = 1.0);
+
+  void record_received() { received_.fetch_add(1, std::memory_order_relaxed); }
+  void record_rejected_queue_full() {
+    rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_session_created() { sessions_created_.fetch_add(1, std::memory_order_relaxed); }
+  void record_session_evicted_idle() { evicted_idle_.fetch_add(1, std::memory_order_relaxed); }
+  void record_session_evicted_lru() { evicted_lru_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// A report the session answered. `eps_spent_window` is the budget
+  /// spend after this delivery (NaN when the session has no budget).
+  void record_delivered(double latency_us, double eps_spent_window);
+  /// A report the session suppressed (budget exhausted).
+  void record_suppressed(double latency_us);
+
+  [[nodiscard]] TelemetrySnapshot snapshot() const;
+
+  /// Stable-schema JSON report (documented in docs/SERVICE.md).
+  [[nodiscard]] io::JsonValue to_json() const;
+
+ private:
+  std::atomic<std::uint64_t> received_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> suppressed_budget_{0};
+  std::atomic<std::uint64_t> rejected_queue_full_{0};
+  std::atomic<std::uint64_t> sessions_created_{0};
+  std::atomic<std::uint64_t> evicted_idle_{0};
+  std::atomic<std::uint64_t> evicted_lru_{0};
+
+  mutable std::mutex latency_mutex_;
+  stats::Histogram latency_us_;
+  mutable std::mutex eps_mutex_;
+  stats::Histogram eps_spend_;
+  double eps_max_seen_ = 0.0;
+};
+
+}  // namespace locpriv::service

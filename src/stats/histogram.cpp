@@ -39,6 +39,26 @@ double Histogram::probability(std::size_t bin) const {
   return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
 }
 
+double Histogram::quantile(double q) const {
+  if (!(q >= 0.0 && q <= 1.0)) throw std::invalid_argument("Histogram::quantile: q in [0, 1]");
+  const std::size_t n = underflow_ + total_ + overflow_;
+  if (n == 0) throw std::logic_error("Histogram::quantile: empty histogram");
+  // Rank among ALL samples so that out-of-range mass saturates the
+  // estimate at the histogram bounds instead of being ignored.
+  const double rank = q * static_cast<double>(n);
+  if (rank <= static_cast<double>(underflow_)) return lo_;
+  double seen = static_cast<double>(underflow_);
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto c = static_cast<double>(counts_[b]);
+    if (seen + c >= rank && c > 0.0) {
+      const double frac = (rank - seen) / c;
+      return bin_lo(b) + frac * (bin_hi(b) - bin_lo(b));
+    }
+    seen += c;
+  }
+  return hi_;
+}
+
 double Histogram::entropy() const {
   double h = 0.0;
   for (std::size_t b = 0; b < counts_.size(); ++b) {

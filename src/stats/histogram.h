@@ -32,6 +32,14 @@ class Histogram {
   /// Shannon entropy (nats) of the in-range bin distribution.
   [[nodiscard]] double entropy() const;
 
+  /// Approximate q-quantile (q in [0, 1]) of the in-range samples,
+  /// interpolated linearly inside the containing bin. Samples counted in
+  /// the overflow tally pull high quantiles to hi (the histogram cannot
+  /// resolve beyond its range); underflow symmetric at lo. Requires at
+  /// least one sample (in-range or out); throws std::logic_error when
+  /// empty.
+  [[nodiscard]] double quantile(double q) const;
+
  private:
   double lo_;
   double hi_;

@@ -83,6 +83,48 @@ TEST(GeoIndBudget, TracksSlidingWindowSpend) {
   EXPECT_TRUE(budget.try_consume(3601));
 }
 
+TEST(GeoIndBudget, SpendExactlyAtBoundaryAdmitsButNoMore) {
+  // budget / eps = 4 exactly: the 4th report lands exactly on the
+  // boundary and must be admitted; the 5th must not (no float slop in
+  // either direction).
+  GeoIndBudget budget(0.25, 1.0, 1000);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(budget.try_consume(i)) << "report " << i << " fits within the budget";
+  }
+  EXPECT_NEAR(budget.spent(4), 1.0, 1e-12);
+  EXPECT_FALSE(budget.can_consume(4));
+  EXPECT_FALSE(budget.try_consume(5));
+}
+
+TEST(GeoIndBudget, WindowExpiryReadmitsExactlyAsReportsAge) {
+  GeoIndBudget budget(0.5, 1.0, 100);  // 2 reports per 100 s
+  EXPECT_TRUE(budget.try_consume(0));
+  EXPECT_TRUE(budget.try_consume(40));
+  EXPECT_FALSE(budget.can_consume(99));  // both reports still inside the window
+  // A report counts inside (now - window, now]: the t=0 report ages out
+  // exactly at t=100, reopening exactly one slot.
+  EXPECT_TRUE(budget.can_consume(100));
+  EXPECT_TRUE(budget.try_consume(100));
+  EXPECT_FALSE(budget.can_consume(139));  // 40 and 100 still in window
+  EXPECT_TRUE(budget.try_consume(140));   // the t=40 report expires at 140
+  EXPECT_NEAR(budget.spent(140), 1.0, 1e-12);
+}
+
+TEST(GeoIndBudget, ZeroIntervalBurstConsumesOneSlotEach) {
+  // A burst of same-timestamp reports is legal (not "out of order") and
+  // each one spends its own ε — simultaneity gives no discount.
+  GeoIndBudget budget(0.2, 1.0, 500);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(budget.try_consume(42)) << "burst report " << i;
+  }
+  EXPECT_FALSE(budget.try_consume(42)) << "6th simultaneous report exceeds the budget";
+  EXPECT_NEAR(budget.spent(42), 1.0, 1e-12);
+  // The whole burst expires together: all five slots reopen at once.
+  EXPECT_FALSE(budget.can_consume(541));
+  EXPECT_TRUE(budget.can_consume(542));
+  EXPECT_NEAR(budget.spent(542), 0.0, 1e-12);
+}
+
 TEST(GeoIndBudget, Validation) {
   EXPECT_THROW(GeoIndBudget(0.0, 1.0, 10), std::invalid_argument);
   EXPECT_THROW(GeoIndBudget(0.1, 0.0, 10), std::invalid_argument);

@@ -157,5 +157,24 @@ TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
 }
 
+TEST(Histogram, QuantileInterpolatesWithinBins) {
+  Histogram h(0.0, 100.0, 100);  // unit bins: quantiles are readable
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1e-9);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+  EXPECT_NEAR(h.quantile(1.0), 100.0, 1e-9);
+}
+
+TEST(Histogram, QuantileSaturatesAtBoundsForOutOfRangeMass) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(5.0);
+  for (int i = 0; i < 9; ++i) h.add(1e9);  // overflow tally
+  // 90% of the mass sits beyond hi: high quantiles clamp to hi.
+  EXPECT_NEAR(h.quantile(0.99), 10.0, 1e-9);
+  EXPECT_THROW((void)h.quantile(1.5), std::invalid_argument);
+  EXPECT_THROW((void)Histogram(0, 1, 4).quantile(0.5), std::logic_error);
+}
+
 }  // namespace
 }  // namespace locpriv::stats

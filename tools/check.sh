@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Race check for the concurrent service runtime: builds a ThreadSanitizer
+# tree and runs the service/concurrency tests under it. Run from the
+# repository root:
+#
+#   tools/check.sh            # TSan build + service tests (the default)
+#   tools/check.sh address    # AddressSanitizer instead
+#   tools/check.sh thread all # whole ctest suite under the sanitizer
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZER="${1:-thread}"
+SCOPE="${2:-service}"
+BUILD_DIR="build-${SANITIZER}san"
+
+cmake -B "$BUILD_DIR" -S . -DLOCPRIV_SANITIZE="$SANITIZER" > /dev/null
+
+TARGETS=(test_service_queue test_service_gateway test_lppm_online)
+if [ "$SCOPE" = "all" ]; then
+  cmake --build "$BUILD_DIR" -j"$(nproc)"
+  (cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)")
+else
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target "${TARGETS[@]}"
+  for t in "${TARGETS[@]}"; do
+    echo "== $t (${SANITIZER} sanitizer) =="
+    "$BUILD_DIR/tests/$t"
+  done
+fi
+
+echo "check.sh: ${SANITIZER} sanitizer run clean"

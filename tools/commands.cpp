@@ -1,6 +1,8 @@
 #include "commands.h"
 
+#include <chrono>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -16,6 +18,8 @@
 #include "io/table.h"
 #include "lppm/registry.h"
 #include "metrics/registry.h"
+#include "service/gateway.h"
+#include "service/load_driver.h"
 #include "synth/scenario.h"
 #include "trace/cleaning.h"
 #include "trace/trace_io.h"
@@ -413,6 +417,112 @@ int cmd_clean(const Args& args) {
   return 0;
 }
 
+int cmd_serve_sim(const Args& args) {
+  io::ArgParser parser("serve-sim",
+                       "replay a workload through the concurrent obfuscation gateway");
+  parser.add({.name = "data", .help = "dataset CSV to replay (default: synthesize)"})
+      .add({.name = "scenario", .help = "synthetic workload: taxi | commuter",
+            .default_value = "taxi"})
+      .add({.name = "users", .help = "synthetic workload: number of users",
+            .default_value = "12"})
+      .add({.name = "seed", .help = "workload + noise seed", .default_value = "2016"})
+      .add({.name = "workers", .help = "gateway worker threads", .default_value = "4"})
+      .add({.name = "shards", .help = "session-manager shard count", .default_value = "8"})
+      .add({.name = "queue-capacity", .help = "per-worker queue slots (backpressure bound)",
+            .default_value = "1024"})
+      .add({.name = "epsilon", .help = "Geo-I epsilon per report", .default_value = "0.02"})
+      .add({.name = "budget-reports", .help = "ε budget per window, in reports",
+            .default_value = "30"})
+      .add({.name = "window", .help = "budget sliding window, seconds", .default_value = "3600"})
+      .add({.name = "idle-timeout",
+            .help = "evict sessions idle this many stream-seconds (0 = never)",
+            .default_value = "0"})
+      .add({.name = "max-sessions", .help = "per-shard session cap (0 = unbounded)",
+            .default_value = "4096"})
+      .add({.name = "rate",
+            .help = "stream-seconds replayed per wall-second (0 = flat out)",
+            .default_value = "0"})
+      .add({.name = "downstream-us", .help = "simulated LBS round-trip per delivery, microseconds",
+            .default_value = "0"})
+      .add({.name = "out", .help = "write the telemetry snapshot JSON here"});
+  const io::ParsedArgs parsed = parser.parse(args);
+
+  trace::Dataset data;
+  if (parsed.has("data")) {
+    data = load_dataset(parsed.get("data"));
+  } else {
+    const std::string scenario = parsed.get("scenario");
+    const auto seed = static_cast<std::uint64_t>(parsed.get_int("seed"));
+    if (scenario == "taxi") {
+      synth::TaxiScenarioConfig cfg;
+      cfg.driver_count = static_cast<std::size_t>(parsed.get_int("users"));
+      data = synth::make_taxi_dataset(cfg, seed);
+    } else if (scenario == "commuter") {
+      synth::CommuterScenarioConfig cfg;
+      cfg.user_count = static_cast<std::size_t>(parsed.get_int("users"));
+      data = synth::make_commuter_dataset(cfg, seed);
+    } else {
+      throw std::runtime_error("unknown scenario '" + scenario + "' (taxi | commuter)");
+    }
+  }
+
+  service::GatewayConfig cfg;
+  cfg.workers = static_cast<std::size_t>(parsed.get_int("workers"));
+  cfg.queue_capacity = static_cast<std::size_t>(parsed.get_int("queue-capacity"));
+  cfg.sessions.shard_count = static_cast<std::size_t>(parsed.get_int("shards"));
+  cfg.sessions.idle_timeout_s = parsed.get_int("idle-timeout");
+  cfg.sessions.max_sessions_per_shard = static_cast<std::size_t>(parsed.get_int("max-sessions"));
+  cfg.epsilon = parsed.get_double("epsilon");
+  cfg.budget_eps = cfg.epsilon * parsed.get_double("budget-reports");
+  cfg.budget_window_s = parsed.get_int("window");
+  cfg.seed = static_cast<std::uint64_t>(parsed.get_int("seed"));
+  cfg.downstream_latency = std::chrono::microseconds(parsed.get_int("downstream-us"));
+
+  std::cout << "serve-sim: " << data.size() << " users, " << data.total_events() << " events | "
+            << cfg.workers << " workers, " << cfg.sessions.shard_count << " shards, queue "
+            << cfg.queue_capacity << " | eps " << cfg.epsilon << ", budget "
+            << parsed.get("budget-reports") << " reports/" << cfg.budget_window_s << " s\n\n";
+
+  service::Gateway gateway(cfg, [](const service::ProtectedReport&) {});
+  service::LoadDriverConfig load_cfg;
+  load_cfg.rate_multiplier = parsed.get_double("rate");
+  const service::LoadResult load = service::replay_dataset(data, gateway, load_cfg);
+  const service::TelemetrySnapshot snap = gateway.telemetry().snapshot();
+
+  io::Table table({"outcome", "count", "share"});
+  const auto share = [&](std::uint64_t n) {
+    return io::Table::num(
+        snap.received > 0 ? static_cast<double>(n) / static_cast<double>(snap.received) : 0.0, 3);
+  };
+  table.add_row({"delivered", std::to_string(snap.delivered), share(snap.delivered)});
+  table.add_row(
+      {"suppressed (budget)", std::to_string(snap.suppressed_budget),
+       share(snap.suppressed_budget)});
+  table.add_row({"rejected (queue full)", std::to_string(snap.rejected_queue_full),
+                 share(snap.rejected_queue_full)});
+  table.print(std::cout);
+
+  std::cout << "\nthroughput: " << static_cast<long long>(load.events_per_sec)
+            << " events/sec (" << [&] {
+                 std::ostringstream wall;
+                 wall << std::fixed << std::setprecision(2) << load.wall_seconds;
+                 return wall.str();
+               }() << " s wall)\n"
+            << "latency us: p50 " << static_cast<long long>(snap.latency_p50_us) << ", p95 "
+            << static_cast<long long>(snap.latency_p95_us) << ", p99 "
+            << static_cast<long long>(snap.latency_p99_us) << "\n"
+            << "eps spend in window: p50 " << io::Table::num(snap.eps_p50, 4) << ", max "
+            << io::Table::num(snap.eps_max_seen, 4) << " (budget " << cfg.budget_eps << ")\n"
+            << "sessions: " << snap.sessions_created << " created, " << snap.sessions_evicted_idle
+            << " idle-evicted, " << snap.sessions_evicted_lru << " lru-evicted\n";
+
+  if (parsed.has("out")) {
+    io::write_json_file(parsed.get("out"), gateway.telemetry().to_json());
+    std::cout << "wrote telemetry to " << parsed.get("out") << "\n";
+  }
+  return 0;
+}
+
 int cmd_report(const Args& args) {
   io::ArgParser parser("report", "render a markdown report from sweep/model artifacts");
   parser.add({.name = "sweep", .help = "sweep JSON from `locpriv sweep`"})
@@ -473,7 +583,8 @@ std::string main_usage() {
      << "  validate   k-fold cross-validation of the model\n"
      << "  report     render a markdown report from sweep/model artifacts\n"
      << "  compare    sweep several mechanisms and rank their trade-offs\n"
-     << "  clean      drop GPS glitches and stuck fixes from a dataset CSV\n\n"
+     << "  clean      drop GPS glitches and stuck fixes from a dataset CSV\n"
+     << "  serve-sim  replay a workload through the concurrent obfuscation gateway\n\n"
      << "run `locpriv <command> --help`-free: any parse error prints that command's usage.\n";
   return os.str();
 }

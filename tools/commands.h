@@ -31,6 +31,9 @@ int cmd_report(const Args& args);
 int cmd_compare(const Args& args);
 /// Cleans GPS glitches / stuck fixes out of a dataset CSV.
 int cmd_clean(const Args& args);
+/// Simulated serving: replays a dataset through the concurrent
+/// obfuscation gateway and reports live telemetry.
+int cmd_serve_sim(const Args& args);
 
 /// Top-level help text (lists subcommands).
 [[nodiscard]] std::string main_usage();

@@ -9,6 +9,7 @@
 //   locpriv audit      evaluate every metric on actual vs protected data
 //   locpriv validate   k-fold cross-validation of the model
 //   locpriv report     render a markdown report from sweep/model artifacts
+//   locpriv serve-sim  replay a workload through the concurrent obfuscation gateway
 #include <exception>
 #include <functional>
 #include <iostream>
@@ -25,7 +26,7 @@ int main(int argc, char** argv) {
       {"generate", cmd_generate}, {"profile", cmd_profile},     {"sweep", cmd_sweep},
       {"fit", cmd_fit},           {"configure", cmd_configure}, {"protect", cmd_protect},
       {"audit", cmd_audit},       {"validate", cmd_validate}, {"report", cmd_report},
-      {"compare", cmd_compare}, {"clean", cmd_clean},
+      {"compare", cmd_compare}, {"clean", cmd_clean},     {"serve-sim", cmd_serve_sim},
   };
 
   if (argc < 2) {

@@ -26,6 +26,10 @@ grep -q "kept" "$DIR/clean.txt"
 "$CLI" report --sweep "$DIR/sweep.json" --model "$DIR/model.json" --privacy-max 0.5 --out "$DIR/report.md"
 grep -q "## Fitted model" "$DIR/report.md"
 
+"$CLI" serve-sim --data "$DIR/data.csv" --workers 2 --shards 4 --out "$DIR/telemetry.json" > "$DIR/serve.txt"
+grep -q "events/sec" "$DIR/serve.txt"
+grep -q "rejected_queue_full" "$DIR/telemetry.json"
+
 # Error paths: unknown command and unknown option must fail loudly.
 if "$CLI" frobnicate 2>/dev/null; then echo "unknown command accepted"; exit 1; fi
 if "$CLI" generate --nope 1 --out /dev/null 2>/dev/null; then echo "unknown option accepted"; exit 1; fi
