@@ -27,4 +27,8 @@ trace::Trace GridCloaking::protect(const trace::Trace& input, std::uint64_t /*se
   return input.map_locations([&](const trace::Event& e) { return grid.snap(e.location); });
 }
 
+geo::Point cloak_point(geo::Point p, double cell_size_m) {
+  return geo::Grid(cell_size_m).snap(p);
+}
+
 }  // namespace locpriv::lppm

@@ -22,4 +22,10 @@ class GridCloaking final : public ParameterizedMechanism {
   static constexpr const char* kCellSize = "cell_size";
 };
 
+/// Snaps one point to its cloaking-cell center — the per-report form of
+/// the mechanism. Requires cell_size_m > 0 (std::invalid_argument
+/// otherwise). The serving gateway's fallback_cloak degradation policy
+/// answers with this when the downstream call cannot be completed.
+[[nodiscard]] geo::Point cloak_point(geo::Point p, double cell_size_m);
+
 }  // namespace locpriv::lppm

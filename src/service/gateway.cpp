@@ -1,9 +1,11 @@
 #include "service/gateway.h"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <thread>
 
+#include "lppm/grid_cloaking.h"
 #include "stats/rng.h"
 
 namespace locpriv::service {
@@ -13,6 +15,8 @@ const char* to_string(ReportStatus s) {
     case ReportStatus::delivered: return "delivered";
     case ReportStatus::suppressed_budget: return "suppressed_budget";
     case ReportStatus::rejected_queue_full: return "rejected_queue_full";
+    case ReportStatus::degraded_suppressed: return "degraded_suppressed";
+    case ReportStatus::degraded_fallback: return "degraded_fallback";
   }
   return "unknown";
 }
@@ -22,6 +26,10 @@ std::uint64_t user_seed(std::uint64_t root_seed, std::string_view user_id) {
 }
 
 namespace {
+
+// Stream tag separating the fault-schedule seed space from the noise
+// seed space when fault_seed is derived from the root seed.
+constexpr std::uint64_t kFaultSeedStream = 0xFA177ULL;
 
 SessionManager::SessionFactory default_factory(const GatewayConfig& cfg) {
   const double epsilon = cfg.epsilon;
@@ -34,6 +42,14 @@ SessionManager::SessionFactory default_factory(const GatewayConfig& cfg) {
   };
 }
 
+// Worker stalls sleep for real (when enabled) but never beyond a cap, so
+// a hostile spec cannot wedge a worker.
+void stall_sleep(bool enabled, std::uint32_t us) {
+  if (!enabled || us == 0) return;
+  std::this_thread::sleep_for(std::min(std::chrono::microseconds(us),
+                                       std::chrono::microseconds(20'000)));
+}
+
 }  // namespace
 
 Gateway::Gateway(const GatewayConfig& cfg, Sink sink)
@@ -42,14 +58,22 @@ Gateway::Gateway(const GatewayConfig& cfg, Sink sink)
 Gateway::Gateway(const GatewayConfig& cfg, SessionManager::SessionFactory factory, Sink sink)
     : cfg_(cfg), sink_(std::move(sink)) {
   if (!sink_) throw std::invalid_argument("Gateway: sink must be callable");
+  cfg_.resilience.validate();
   // ε histogram sized to the budget: spend can never legitimately
   // exceed it, so overflow in the ε histogram would itself be a bug
   // signal.
   telemetry_ = std::make_unique<Telemetry>(/*latency_hi_us=*/50'000.0,
                                            /*eps_hi=*/cfg.budget_eps * 1.05);
   sessions_ = std::make_unique<SessionManager>(cfg.sessions, std::move(factory), telemetry_.get());
-  pool_ = std::make_unique<WorkerPool>(cfg.workers, cfg.queue_capacity,
-                                       [this](const Request& r) { handle(r); });
+  if (cfg_.faults.any()) {
+    const std::uint64_t fault_seed =
+        cfg_.fault_seed != 0 ? cfg_.fault_seed : stats::derive_seed(cfg_.seed, kFaultSeedStream);
+    plan_ = std::make_unique<FaultPlan>(cfg_.faults, fault_seed);
+  }
+  breakers_.assign(cfg.workers, CircuitBreaker(cfg_.resilience.breaker));
+  pool_ = std::make_unique<WorkerPool>(
+      cfg.workers, cfg.queue_capacity,
+      [this](std::size_t worker, const Request& r) { handle(worker, r); });
 }
 
 Gateway::~Gateway() { drain(); }
@@ -60,7 +84,13 @@ bool Gateway::submit(const std::string& user_id, const trace::Event& event) {
   r.user_id = user_id;
   r.event = event;
   r.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
-  if (pool_->submit(std::move(r))) return true;
+
+  // Injected queue-overflow burst: a deterministic (seq-scheduled)
+  // rejection exercising the same degradation path a real overflow
+  // takes, without depending on queue timing.
+  const bool burst = plan_ != nullptr && plan_->burst_reject(r.seq);
+  if (burst) telemetry_->record_injected_burst_reject();
+  if (!burst && pool_->submit(std::move(r))) return true;
 
   // Backpressure: degrade gracefully by answering with a suppression
   // right here instead of queueing without bound.
@@ -76,29 +106,88 @@ bool Gateway::submit(const std::string& user_id, const trace::Event& event) {
 
 void Gateway::drain() { pool_->drain(); }
 
-void Gateway::handle(const Request& r) {
+void Gateway::handle(std::size_t worker, const Request& r) {
   const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t uhash = stable_hash64(r.user_id);
+
+  // Injected worker stall and client clock skew. The skewed timestamp
+  // *is* the report's timestamp from here on — a client with a wrong
+  // clock stamps its reports with it — so budget accounting, idle
+  // eviction and the output event all see the skewed value.
+  trace::Event event = r.event;
+  if (plan_ != nullptr) {
+    if (const std::uint32_t stall = plan_->stall_us(uhash, r.seq); stall > 0) {
+      telemetry_->record_worker_stall();
+      stall_sleep(cfg_.resilience.sleep_for_real, stall);
+    }
+    if (const trace::Timestamp skew = plan_->clock_skew_s(uhash, r.seq); skew != 0) {
+      telemetry_->record_clock_skew();
+      event.time = std::max<trace::Timestamp>(0, event.time + skew);
+    }
+  }
+
   std::optional<trace::Event> protected_event;
   double eps_spent = std::numeric_limits<double>::quiet_NaN();
   {
-    SessionManager::LockedSession locked = sessions_->acquire(r.user_id, r.event.time);
-    protected_event = locked.session().report(r.event);
+    SessionManager::LockedSession locked = sessions_->acquire(r.user_id, event.time);
+    // A backwards clock — injected skew here, a genuinely dirty client in
+    // production — is clamped to the user's previous report time by the
+    // session manager: budget accounting requires monotone time, and a
+    // bad timestamp must degrade, not kill the worker.
+    if (locked.time_clamped()) {
+      telemetry_->record_timestamp_clamped();
+      event.time = locked.monotonic_time();
+    }
+    protected_event = locked.session().report(event);
     if (const auto* budgeted = dynamic_cast<const lppm::BudgetedGeoIndSession*>(&locked.session());
         budgeted != nullptr && protected_event.has_value()) {
-      eps_spent = budgeted->budget_state().spent(r.event.time);
+      eps_spent = budgeted->budget_state().spent(event.time);
     }
   }
-  if (protected_event.has_value() && cfg_.downstream_latency.count() > 0) {
-    std::this_thread::sleep_for(cfg_.downstream_latency);
+
+  ReportStatus status =
+      protected_event.has_value() ? ReportStatus::delivered : ReportStatus::suppressed_budget;
+  std::uint32_t attempts = 0;
+  const bool downstream_active = plan_ != nullptr || cfg_.downstream_latency.count() > 0;
+  if (protected_event.has_value() && downstream_active) {
+    const DownstreamCallResult call = resilient_downstream_call(
+        cfg_.resilience, plan_.get(), &breakers_[worker], telemetry_.get(), uhash, r.seq,
+        event.time, cfg_.downstream_latency);
+    attempts = call.attempts;
+    if (!call.ok) {
+      if (cfg_.resilience.policy == DegradePolicy::fallback_cloak) {
+        // Answer with a coarse grid-cloaked point instead of dropping.
+        // The cloak is applied to the *protected* location: the answer
+        // stays a post-processing of the ε-geo-indistinguishable output.
+        protected_event->location =
+            lppm::cloak_point(protected_event->location, cfg_.resilience.fallback_cell_m);
+        status = ReportStatus::degraded_fallback;
+      } else {
+        protected_event.reset();
+        status = ReportStatus::degraded_suppressed;
+      }
+    }
   }
+
   const auto t1 = std::chrono::steady_clock::now();
   const double latency_us =
       std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(t1 - t0).count();
 
-  if (protected_event.has_value()) {
-    telemetry_->record_delivered(latency_us, eps_spent);
-  } else {
-    telemetry_->record_suppressed(latency_us);
+  switch (status) {
+    case ReportStatus::delivered:
+      telemetry_->record_delivered(latency_us, eps_spent);
+      break;
+    case ReportStatus::suppressed_budget:
+      telemetry_->record_suppressed(latency_us);
+      break;
+    case ReportStatus::degraded_suppressed:
+      telemetry_->record_degraded_suppressed(latency_us);
+      break;
+    case ReportStatus::degraded_fallback:
+      telemetry_->record_degraded_fallback(latency_us, eps_spent);
+      break;
+    case ReportStatus::rejected_queue_full:
+      break;  // unreachable: rejections are answered in submit()
   }
 
   ProtectedReport out;
@@ -106,8 +195,8 @@ void Gateway::handle(const Request& r) {
   out.seq = r.seq;
   out.original = r.event;
   out.protected_event = protected_event;
-  out.status = protected_event.has_value() ? ReportStatus::delivered
-                                           : ReportStatus::suppressed_budget;
+  out.status = status;
+  out.downstream_attempts = attempts;
   sink_(out);
 }
 

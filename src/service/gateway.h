@@ -22,7 +22,9 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "service/resilience/resilience.h"
 #include "service/session_manager.h"
 #include "service/telemetry.h"
 #include "service/worker_pool.h"
@@ -37,6 +39,9 @@ enum class ReportStatus {
                         ///< factory: ε window exhausted; a custom
                         ///< dropout session lands here too)
   rejected_queue_full,  ///< backpressure: never reached a session
+  degraded_suppressed,  ///< downstream call gave up; report dropped
+  degraded_fallback,    ///< downstream call gave up; answered with a
+                        ///< coarse grid-cloaked point instead
 };
 
 [[nodiscard]] const char* to_string(ReportStatus s);
@@ -46,8 +51,13 @@ struct ProtectedReport {
   std::string user_id;
   std::uint64_t seq = 0;  ///< strictly increasing per user
   trace::Event original;
-  std::optional<trace::Event> protected_event;  ///< set iff delivered
+  std::optional<trace::Event> protected_event;  ///< set iff delivered or
+                                                ///< degraded_fallback
   ReportStatus status = ReportStatus::delivered;
+  /// Downstream attempts made for this report (0 when the report never
+  /// reached the downstream call: suppressed, rejected, or no
+  /// downstream configured).
+  std::uint32_t downstream_attempts = 0;
 };
 
 struct GatewayConfig {
@@ -65,6 +75,16 @@ struct GatewayConfig {
   /// gateway forwards the protected event to the service and awaits the
   /// answer; this models that wait in benches/simulations. Zero = off.
   std::chrono::microseconds downstream_latency{0};
+
+  /// Fault injection: an all-zero spec (the default) injects nothing.
+  /// Every fault decision is a pure function of (faults, fault_seed,
+  /// request identity) — see resilience/fault_plan.h.
+  FaultSpec faults;
+  /// Seed of the fault schedule; 0 derives one from `seed`.
+  std::uint64_t fault_seed = 0;
+  /// Deadline / retry / breaker / degradation policy of the downstream
+  /// call (active whenever faults or downstream_latency are configured).
+  ResilienceConfig resilience;
 };
 
 /// Deterministic per-user session seed used by the default factory.
@@ -102,14 +122,18 @@ class Gateway {
   [[nodiscard]] const Telemetry& telemetry() const { return *telemetry_; }
   [[nodiscard]] std::size_t active_sessions() const { return sessions_->session_count(); }
   [[nodiscard]] std::size_t queued() const { return pool_->queued(); }
+  /// The active fault schedule; nullptr when no faults are configured.
+  [[nodiscard]] const FaultPlan* fault_plan() const { return plan_.get(); }
 
  private:
-  void handle(const Request& r);
+  void handle(std::size_t worker, const Request& r);
 
   GatewayConfig cfg_;
   Sink sink_;
   std::unique_ptr<Telemetry> telemetry_;
   std::unique_ptr<SessionManager> sessions_;
+  std::unique_ptr<FaultPlan> plan_;  ///< null = no injection
+  std::vector<CircuitBreaker> breakers_;  ///< one per worker; worker-local
   std::unique_ptr<WorkerPool> pool_;  ///< last member: workers die first
   std::atomic<std::uint64_t> next_seq_{0};
 };

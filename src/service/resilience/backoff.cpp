@@ -1,0 +1,29 @@
+#include "service/resilience/backoff.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/rng.h"
+
+namespace locpriv::service {
+
+void BackoffPolicy::validate() const {
+  if (base_us == 0) throw std::invalid_argument("BackoffPolicy: base_us must be > 0");
+  if (multiplier < 1.0) throw std::invalid_argument("BackoffPolicy: multiplier must be >= 1");
+  if (max_us < base_us) throw std::invalid_argument("BackoffPolicy: max_us must be >= base_us");
+  if (!(jitter >= 0.0 && jitter <= 1.0)) {
+    throw std::invalid_argument("BackoffPolicy: jitter must be in [0, 1]");
+  }
+}
+
+std::uint32_t backoff_us(const BackoffPolicy& policy, std::uint64_t key, std::uint32_t attempt) {
+  const double cap = std::min(static_cast<double>(policy.max_us),
+                              static_cast<double>(policy.base_us) *
+                                  std::pow(policy.multiplier, static_cast<double>(attempt)));
+  std::uint64_t s = stats::derive_seed(key, 0xbacc0ffULL + attempt);
+  const double u = static_cast<double>(stats::splitmix64(s) >> 11) * 0x1.0p-53;
+  const double delay = cap * (1.0 - policy.jitter + policy.jitter * u);
+  return static_cast<std::uint32_t>(std::lround(delay));
+}
+
+}  // namespace locpriv::service

@@ -1,0 +1,36 @@
+// Seeded exponential backoff with jitter.
+//
+// Retry storms are the classic self-inflicted outage: if every failed
+// report retries on the same schedule, the downstream sees synchronized
+// waves. Exponential growth spreads retries over time and jitter breaks
+// the synchronization — but naive jitter (rand()) would break the
+// gateway's reproducibility contract, so the jitter draw is a pure
+// function of a caller-supplied key and the attempt index, exactly like
+// the FaultPlan's own draws.
+#pragma once
+
+#include <cstdint>
+
+namespace locpriv::service {
+
+struct BackoffPolicy {
+  std::uint32_t base_us = 100;     ///< delay before the first retry
+  double multiplier = 2.0;         ///< growth per attempt (>= 1)
+  std::uint32_t max_us = 10'000;   ///< delay ceiling
+  /// Fraction of the delay that is randomized, in [0, 1]: the delay for
+  /// attempt k is cap_k * (1 - jitter + jitter * u) with
+  /// cap_k = min(max_us, base_us * multiplier^k) and u uniform in [0, 1).
+  double jitter = 0.5;
+
+  /// Throws std::invalid_argument on out-of-range fields.
+  void validate() const;
+};
+
+/// Delay before retry #`attempt` (0-based: attempt 0 is the wait between
+/// the first failure and the first retry). Deterministic in
+/// (policy, key, attempt); `key` should identify the report (e.g.
+/// derive_seed(user_hash, seq)) so concurrent reports desynchronize.
+[[nodiscard]] std::uint32_t backoff_us(const BackoffPolicy& policy, std::uint64_t key,
+                                       std::uint32_t attempt);
+
+}  // namespace locpriv::service

@@ -1,0 +1,48 @@
+#include "service/resilience/circuit_breaker.h"
+
+namespace locpriv::service {
+
+bool CircuitBreaker::allow(trace::Timestamp now) {
+  if (!enabled()) return true;
+  switch (state_) {
+    case State::closed:
+    case State::half_open:
+      return true;
+    case State::open:
+      if (now - opened_at_ >= cfg_.cooldown_s) {
+        state_ = State::half_open;
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::on_success() {
+  if (!enabled()) return;
+  consecutive_failures_ = 0;
+  state_ = State::closed;
+}
+
+bool CircuitBreaker::on_failure(trace::Timestamp now) {
+  if (!enabled()) return false;
+  if (state_ == State::half_open) {
+    // The probe failed: straight back to open with a fresh cooldown.
+    state_ = State::open;
+    opened_at_ = now;
+    consecutive_failures_ = 0;
+    ++trips_;
+    return true;
+  }
+  ++consecutive_failures_;
+  if (state_ == State::closed && consecutive_failures_ >= cfg_.failure_threshold) {
+    state_ = State::open;
+    opened_at_ = now;
+    consecutive_failures_ = 0;
+    ++trips_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace locpriv::service

@@ -1,0 +1,186 @@
+#include "service/resilience/fault_plan.h"
+
+#include <charconv>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace locpriv::service {
+namespace {
+
+// Kind tags keep the draw streams for different fault types
+// decorrelated even when they share (user_hash, seq).
+enum Kind : std::uint64_t {
+  kFail = 1,
+  kLatency = 2,
+  kStall = 3,
+  kStallMag = 4,
+  kSkew = 5,
+  kSkewMag = 6,
+  kBurst = 7,
+};
+
+void check_probability(const char* name, double p) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string("FaultSpec: ") + name +
+                                " must be a probability in [0, 1]");
+  }
+}
+
+}  // namespace
+
+bool FaultSpec::any() const {
+  return fail_probability > 0.0 || latency_probability > 0.0 || stall_probability > 0.0 ||
+         skew_probability > 0.0 || burst_probability > 0.0;
+}
+
+void FaultSpec::validate() const {
+  check_probability("fail", fail_probability);
+  check_probability("latency_p", latency_probability);
+  check_probability("stall_p", stall_probability);
+  check_probability("skew_p", skew_probability);
+  check_probability("burst_p", burst_probability);
+  if (latency_probability > 0.0 && latency_spike_us == 0) {
+    throw std::invalid_argument("FaultSpec: latency_us must be > 0 when latency_p is set");
+  }
+  if (stall_probability > 0.0 && stall_us == 0) {
+    throw std::invalid_argument("FaultSpec: stall_us must be > 0 when stall_p is set");
+  }
+  if (skew_probability > 0.0 && skew_max_s <= 0) {
+    throw std::invalid_argument("FaultSpec: skew_s must be > 0 when skew_p is set");
+  }
+  if (burst_len == 0) throw std::invalid_argument("FaultSpec: burst_len must be >= 1");
+}
+
+FaultSpec parse_fault_spec(std::string_view spec) {
+  FaultSpec out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("fault spec: expected key=value, got '" + std::string(item) +
+                                  "'");
+    }
+    const std::string key(item.substr(0, eq));
+    const std::string value(item.substr(eq + 1));
+    double num = 0.0;
+    try {
+      std::size_t used = 0;
+      num = std::stod(value, &used);
+      if (used != value.size()) throw std::invalid_argument(value);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("fault spec: bad value for '" + key + "': '" + value + "'");
+    }
+    if (key == "fail") {
+      out.fail_probability = num;
+    } else if (key == "latency_p") {
+      out.latency_probability = num;
+    } else if (key == "latency_us") {
+      out.latency_spike_us = static_cast<std::uint32_t>(num);
+    } else if (key == "stall_p") {
+      out.stall_probability = num;
+    } else if (key == "stall_us") {
+      out.stall_us = static_cast<std::uint32_t>(num);
+    } else if (key == "skew_p") {
+      out.skew_probability = num;
+    } else if (key == "skew_s") {
+      out.skew_max_s = static_cast<trace::Timestamp>(num);
+    } else if (key == "burst_p") {
+      out.burst_probability = num;
+    } else if (key == "burst_len") {
+      out.burst_len = static_cast<std::uint64_t>(num);
+    } else {
+      throw std::invalid_argument("fault spec: unknown key '" + key +
+                                  "' (fail, latency_p, latency_us, stall_p, stall_us, "
+                                  "skew_p, skew_s, burst_p, burst_len)");
+    }
+  }
+  out.validate();
+  return out;
+}
+
+std::string to_string(const FaultSpec& spec) {
+  std::ostringstream os;
+  const char* sep = "";
+  const auto emit = [&](const char* key, double value) {
+    os << sep << key << '=' << value;
+    sep = ",";
+  };
+  if (spec.fail_probability > 0.0) emit("fail", spec.fail_probability);
+  if (spec.latency_probability > 0.0) {
+    emit("latency_p", spec.latency_probability);
+    emit("latency_us", spec.latency_spike_us);
+  }
+  if (spec.stall_probability > 0.0) {
+    emit("stall_p", spec.stall_probability);
+    emit("stall_us", spec.stall_us);
+  }
+  if (spec.skew_probability > 0.0) {
+    emit("skew_p", spec.skew_probability);
+    emit("skew_s", static_cast<double>(spec.skew_max_s));
+  }
+  if (spec.burst_probability > 0.0) {
+    emit("burst_p", spec.burst_probability);
+    emit("burst_len", static_cast<double>(spec.burst_len));
+  }
+  return os.str();
+}
+
+FaultPlan::FaultPlan(const FaultSpec& spec, std::uint64_t seed) : spec_(spec), seed_(seed) {
+  spec_.validate();
+}
+
+double FaultPlan::draw(std::uint64_t kind, std::uint64_t a, std::uint64_t b,
+                       std::uint64_t c) const {
+  std::uint64_t s = stats::derive_seed(stats::derive_seed(stats::derive_seed(seed_, kind), a),
+                                       stats::derive_seed(b, c));
+  return static_cast<double>(stats::splitmix64(s) >> 11) * 0x1.0p-53;
+}
+
+DownstreamOutcome FaultPlan::downstream(std::uint64_t user_hash, std::uint64_t seq,
+                                        std::uint32_t attempt) const {
+  DownstreamOutcome out;
+  if (spec_.fail_probability > 0.0) {
+    out.failed = draw(kFail, user_hash, seq, attempt) < spec_.fail_probability;
+  }
+  if (spec_.latency_probability > 0.0 &&
+      draw(kLatency, user_hash, seq, attempt) < spec_.latency_probability) {
+    out.latency_us = spec_.latency_spike_us;
+  }
+  return out;
+}
+
+std::uint32_t FaultPlan::stall_us(std::uint64_t user_hash, std::uint64_t seq) const {
+  if (spec_.stall_probability <= 0.0 || draw(kStall, user_hash, seq, 0) >= spec_.stall_probability) {
+    return 0;
+  }
+  // Stall duration varies in [stall_us/2, stall_us] so stalls are not
+  // all identical (tail shapes matter for the latency histograms).
+  const double frac = 0.5 + 0.5 * draw(kStallMag, user_hash, seq, 0);
+  return static_cast<std::uint32_t>(std::lround(static_cast<double>(spec_.stall_us) * frac));
+}
+
+trace::Timestamp FaultPlan::clock_skew_s(std::uint64_t user_hash, std::uint64_t seq) const {
+  if (spec_.skew_probability <= 0.0 || draw(kSkew, user_hash, seq, 0) >= spec_.skew_probability) {
+    return 0;
+  }
+  const double u = draw(kSkewMag, user_hash, seq, 0);  // [0, 1)
+  const double skew = (2.0 * u - 1.0) * static_cast<double>(spec_.skew_max_s);
+  return static_cast<trace::Timestamp>(std::llround(skew));
+}
+
+bool FaultPlan::burst_reject(std::uint64_t seq) const {
+  if (spec_.burst_probability <= 0.0) return false;
+  const std::uint64_t block = seq / spec_.burst_len;
+  return draw(kBurst, block, 0, 0) < spec_.burst_probability;
+}
+
+}  // namespace locpriv::service

@@ -1,5 +1,6 @@
 #include "service/session_manager.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -59,12 +60,16 @@ SessionManager::LockedSession SessionManager::acquire(const std::string& user_id
   } else if (it->second.lru_pos != shard.lru.begin()) {
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
   }
-  it->second.last_active = now;
+  // Sanitize backwards clocks against the user's own history (see the
+  // acquire() contract in the header).
+  const trace::Timestamp mono = std::max(now, it->second.last_active);
+  const bool clamped = mono != now;
+  it->second.last_active = mono;
 
   // The current user sits at the LRU front, so eviction (which eats from
   // the back) can never destroy the session being handed out.
-  evict_due(shard, now);
-  return LockedSession(std::move(lock), it->second.session.get());
+  evict_due(shard, mono);
+  return LockedSession(std::move(lock), it->second.session.get(), mono, clamped);
 }
 
 std::size_t SessionManager::session_count() const {

@@ -73,17 +73,35 @@ class SessionManager {
   class LockedSession {
    public:
     [[nodiscard]] lppm::StreamSession& session() { return *session_; }
+    /// The acquire-time timestamp, sanitized to never regress below the
+    /// user's previous report (see acquire()).
+    [[nodiscard]] trace::Timestamp monotonic_time() const { return monotonic_time_; }
+    /// True when monotonic_time() differs from the raw `now` passed in —
+    /// the report's clock ran backwards and was clamped.
+    [[nodiscard]] bool time_clamped() const { return time_clamped_; }
 
    private:
     friend class SessionManager;
-    LockedSession(std::unique_lock<std::mutex> lock, lppm::StreamSession* session)
-        : lock_(std::move(lock)), session_(session) {}
+    LockedSession(std::unique_lock<std::mutex> lock, lppm::StreamSession* session,
+                  trace::Timestamp monotonic_time, bool time_clamped)
+        : lock_(std::move(lock)),
+          session_(session),
+          monotonic_time_(monotonic_time),
+          time_clamped_(time_clamped) {}
     std::unique_lock<std::mutex> lock_;
     lppm::StreamSession* session_;
+    trace::Timestamp monotonic_time_;
+    bool time_clamped_;
   };
 
   /// Acquires (creating if absent) `user_id`'s session. `now` is stream
-  /// time — it drives idle eviction within the shard.
+  /// time — it drives idle eviction within the shard. A `now` earlier
+  /// than the user's previous acquire (a client clock that ran
+  /// backwards, an out-of-order feed) is clamped to the previous value
+  /// rather than propagated: stateful sessions (ε-budget accounting
+  /// above all) require monotone per-user time, and a dirty timestamp
+  /// must degrade gracefully, not crash a worker. The sanitized value is
+  /// exposed as LockedSession::monotonic_time().
   [[nodiscard]] LockedSession acquire(const std::string& user_id, trace::Timestamp now);
 
   /// Number of live sessions across all shards.

@@ -7,11 +7,14 @@ namespace {
 
 constexpr std::size_t kLatencyBins = 2048;
 constexpr std::size_t kEpsBins = 256;
+constexpr std::size_t kBackoffBins = 512;
 
 }  // namespace
 
-Telemetry::Telemetry(double latency_hi_us, double eps_hi)
-    : latency_us_(0.0, latency_hi_us, kLatencyBins), eps_spend_(0.0, eps_hi, kEpsBins) {}
+Telemetry::Telemetry(double latency_hi_us, double eps_hi, double backoff_hi_us)
+    : latency_us_(0.0, latency_hi_us, kLatencyBins),
+      eps_spend_(0.0, eps_hi, kEpsBins),
+      backoff_us_(0.0, backoff_hi_us, kBackoffBins) {}
 
 void Telemetry::record_delivered(double latency_us, double eps_spent_window) {
   delivered_.fetch_add(1, std::memory_order_relaxed);
@@ -32,6 +35,31 @@ void Telemetry::record_suppressed(double latency_us) {
   latency_us_.add(latency_us);
 }
 
+void Telemetry::record_retry(double backoff_us) {
+  downstream_retries_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(backoff_mutex_);
+  backoff_us_.add(backoff_us);
+}
+
+void Telemetry::record_degraded_suppressed(double latency_us) {
+  degraded_suppressed_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(latency_mutex_);
+  latency_us_.add(latency_us);
+}
+
+void Telemetry::record_degraded_fallback(double latency_us, double eps_spent_window) {
+  degraded_fallback_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(latency_mutex_);
+    latency_us_.add(latency_us);
+  }
+  if (!std::isnan(eps_spent_window)) {
+    std::lock_guard lock(eps_mutex_);
+    eps_spend_.add(eps_spent_window);
+    if (eps_spent_window > eps_max_seen_) eps_max_seen_ = eps_spent_window;
+  }
+}
+
 TelemetrySnapshot Telemetry::snapshot() const {
   TelemetrySnapshot s;
   s.received = received_.load(std::memory_order_relaxed);
@@ -41,6 +69,26 @@ TelemetrySnapshot Telemetry::snapshot() const {
   s.sessions_created = sessions_created_.load(std::memory_order_relaxed);
   s.sessions_evicted_idle = evicted_idle_.load(std::memory_order_relaxed);
   s.sessions_evicted_lru = evicted_lru_.load(std::memory_order_relaxed);
+  s.downstream_attempts = downstream_attempts_.load(std::memory_order_relaxed);
+  s.downstream_failures = downstream_failures_.load(std::memory_order_relaxed);
+  s.downstream_retries = downstream_retries_.load(std::memory_order_relaxed);
+  s.breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
+  s.breaker_short_circuits = breaker_short_circuits_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.degraded_suppressed = degraded_suppressed_.load(std::memory_order_relaxed);
+  s.degraded_fallback = degraded_fallback_.load(std::memory_order_relaxed);
+  s.injected_burst_rejects = injected_burst_rejects_.load(std::memory_order_relaxed);
+  s.worker_stalls = worker_stalls_.load(std::memory_order_relaxed);
+  s.clock_skews = clock_skews_.load(std::memory_order_relaxed);
+  s.timestamps_clamped = timestamps_clamped_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(backoff_mutex_);
+    s.backoff_count = backoff_us_.total() + backoff_us_.underflow() + backoff_us_.overflow();
+    if (s.backoff_count > 0) {
+      s.backoff_p50_us = backoff_us_.quantile(0.50);
+      s.backoff_p95_us = backoff_us_.quantile(0.95);
+    }
+  }
   {
     std::lock_guard lock(latency_mutex_);
     s.latency_count = latency_us_.total() + latency_us_.underflow() + latency_us_.overflow();
@@ -66,6 +114,8 @@ io::JsonValue Telemetry::to_json() const {
   counters["delivered"] = static_cast<double>(s.delivered);
   counters["suppressed_budget"] = static_cast<double>(s.suppressed_budget);
   counters["rejected_queue_full"] = static_cast<double>(s.rejected_queue_full);
+  counters["degraded_suppressed"] = static_cast<double>(s.degraded_suppressed);
+  counters["degraded_fallback"] = static_cast<double>(s.degraded_fallback);
   counters["sessions_created"] = static_cast<double>(s.sessions_created);
   counters["sessions_evicted_idle"] = static_cast<double>(s.sessions_evicted_idle);
   counters["sessions_evicted_lru"] = static_cast<double>(s.sessions_evicted_lru);
@@ -81,10 +131,30 @@ io::JsonValue Telemetry::to_json() const {
   eps["p50"] = s.eps_p50;
   eps["max_seen"] = s.eps_max_seen;
 
+  io::JsonObject resilience;
+  resilience["downstream_attempts"] = static_cast<double>(s.downstream_attempts);
+  resilience["downstream_failures"] = static_cast<double>(s.downstream_failures);
+  resilience["downstream_retries"] = static_cast<double>(s.downstream_retries);
+  resilience["breaker_trips"] = static_cast<double>(s.breaker_trips);
+  resilience["breaker_short_circuits"] = static_cast<double>(s.breaker_short_circuits);
+  resilience["deadline_exceeded"] = static_cast<double>(s.deadline_exceeded);
+  resilience["degraded_suppressed"] = static_cast<double>(s.degraded_suppressed);
+  resilience["degraded_fallback"] = static_cast<double>(s.degraded_fallback);
+  resilience["injected_burst_rejects"] = static_cast<double>(s.injected_burst_rejects);
+  resilience["worker_stalls"] = static_cast<double>(s.worker_stalls);
+  resilience["clock_skews"] = static_cast<double>(s.clock_skews);
+  resilience["timestamps_clamped"] = static_cast<double>(s.timestamps_clamped);
+  io::JsonObject backoff;
+  backoff["count"] = static_cast<double>(s.backoff_count);
+  backoff["p50_us"] = s.backoff_p50_us;
+  backoff["p95_us"] = s.backoff_p95_us;
+  resilience["backoff"] = std::move(backoff);
+
   io::JsonObject root;
   root["counters"] = std::move(counters);
   root["latency"] = std::move(latency);
   root["eps_spend"] = std::move(eps);
+  root["resilience"] = std::move(resilience);
   return root;
 }
 

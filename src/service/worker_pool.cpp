@@ -17,7 +17,7 @@ WorkerPool::WorkerPool(std::size_t workers, std::size_t queue_capacity, Handler 
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
     threads_.emplace_back([this, i] {
-      while (auto r = queues_[i]->pop()) handler_(*r);
+      while (auto r = queues_[i]->pop()) handler_(i, *r);
     });
   }
 }

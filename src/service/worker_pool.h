@@ -24,8 +24,11 @@ namespace locpriv::service {
 class WorkerPool {
  public:
   /// `handler` processes one request; it is called concurrently from
-  /// different workers but never concurrently for the same user.
-  using Handler = std::function<void(const Request&)>;
+  /// different workers but never concurrently for the same user. The
+  /// first argument is the handling worker's index (stable per user,
+  /// since routing is by user hash) — per-shard state such as the
+  /// resilience circuit breakers is keyed by it.
+  using Handler = std::function<void(std::size_t worker, const Request&)>;
 
   /// Starts `workers` threads (>= 1), each with a queue of
   /// `queue_capacity` slots.

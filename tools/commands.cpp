@@ -444,6 +444,25 @@ int cmd_serve_sim(const Args& args) {
             .default_value = "0"})
       .add({.name = "downstream-us", .help = "simulated LBS round-trip per delivery, microseconds",
             .default_value = "0"})
+      .add({.name = "faults",
+            .help = "fault-injection spec, e.g. fail=0.25,latency_p=0.1,latency_us=3000 "
+                    "(keys: fail, latency_p, latency_us, stall_p, stall_us, skew_p, skew_s, "
+                    "burst_p, burst_len)"})
+      .add({.name = "fault-seed", .help = "fault schedule seed (0 = derive from --seed)",
+            .default_value = "0"})
+      .add({.name = "policy", .help = "degradation policy: retry | suppress | fallback_cloak",
+            .default_value = "retry"})
+      .add({.name = "max-retries", .help = "downstream retries after the first attempt",
+            .default_value = "3"})
+      .add({.name = "deadline-us", .help = "virtual per-request downstream deadline (0 = none)",
+            .default_value = "50000"})
+      .add({.name = "breaker-threshold",
+            .help = "consecutive failures tripping the circuit breaker (0 = disabled)",
+            .default_value = "5"})
+      .add({.name = "breaker-cooldown", .help = "breaker cooldown, stream-seconds",
+            .default_value = "60"})
+      .add({.name = "fallback-cell", .help = "fallback cloaking cell edge, meters",
+            .default_value = "5000"})
       .add({.name = "out", .help = "write the telemetry snapshot JSON here"});
   const io::ParsedArgs parsed = parser.parse(args);
 
@@ -477,11 +496,28 @@ int cmd_serve_sim(const Args& args) {
   cfg.budget_window_s = parsed.get_int("window");
   cfg.seed = static_cast<std::uint64_t>(parsed.get_int("seed"));
   cfg.downstream_latency = std::chrono::microseconds(parsed.get_int("downstream-us"));
+  if (parsed.has("faults")) cfg.faults = service::parse_fault_spec(parsed.get("faults"));
+  cfg.fault_seed = static_cast<std::uint64_t>(parsed.get_int("fault-seed"));
+  cfg.resilience.policy = service::parse_degrade_policy(parsed.get("policy"));
+  cfg.resilience.max_retries = static_cast<std::uint32_t>(parsed.get_int("max-retries"));
+  cfg.resilience.deadline_us = static_cast<std::uint64_t>(parsed.get_int("deadline-us"));
+  cfg.resilience.breaker.failure_threshold =
+      static_cast<std::uint32_t>(parsed.get_int("breaker-threshold"));
+  cfg.resilience.breaker.cooldown_s = parsed.get_int("breaker-cooldown");
+  cfg.resilience.fallback_cell_m = parsed.get_double("fallback-cell");
 
   std::cout << "serve-sim: " << data.size() << " users, " << data.total_events() << " events | "
             << cfg.workers << " workers, " << cfg.sessions.shard_count << " shards, queue "
             << cfg.queue_capacity << " | eps " << cfg.epsilon << ", budget "
-            << parsed.get("budget-reports") << " reports/" << cfg.budget_window_s << " s\n\n";
+            << parsed.get("budget-reports") << " reports/" << cfg.budget_window_s << " s\n";
+  if (cfg.faults.any()) {
+    std::cout << "faults: " << service::to_string(cfg.faults) << " | policy "
+              << service::to_string(cfg.resilience.policy) << ", retries "
+              << cfg.resilience.max_retries << ", deadline " << cfg.resilience.deadline_us
+              << " us, breaker " << cfg.resilience.breaker.failure_threshold << "@"
+              << cfg.resilience.breaker.cooldown_s << " s\n";
+  }
+  std::cout << "\n";
 
   service::Gateway gateway(cfg, [](const service::ProtectedReport&) {});
   service::LoadDriverConfig load_cfg;
@@ -500,7 +536,22 @@ int cmd_serve_sim(const Args& args) {
        share(snap.suppressed_budget)});
   table.add_row({"rejected (queue full)", std::to_string(snap.rejected_queue_full),
                  share(snap.rejected_queue_full)});
+  table.add_row({"degraded (suppressed)", std::to_string(snap.degraded_suppressed),
+                 share(snap.degraded_suppressed)});
+  table.add_row({"degraded (fallback cloak)", std::to_string(snap.degraded_fallback),
+                 share(snap.degraded_fallback)});
   table.print(std::cout);
+
+  if (cfg.faults.any() || snap.downstream_attempts > 0) {
+    std::cout << "\ndownstream: " << snap.downstream_attempts << " attempts, "
+              << snap.downstream_failures << " failures, " << snap.downstream_retries
+              << " retries (backoff p50 " << static_cast<long long>(snap.backoff_p50_us)
+              << " us, p95 " << static_cast<long long>(snap.backoff_p95_us) << " us)\n"
+              << "breaker: " << snap.breaker_trips << " trips, " << snap.breaker_short_circuits
+              << " short-circuits | deadline exceeded: " << snap.deadline_exceeded << "\n"
+              << "injected: " << snap.injected_burst_rejects << " burst rejects, "
+              << snap.worker_stalls << " stalls, " << snap.clock_skews << " clock skews\n";
+  }
 
   std::cout << "\nthroughput: " << static_cast<long long>(load.events_per_sec)
             << " events/sec (" << [&] {
