@@ -1,0 +1,154 @@
+// Artifact-cache speedup on the paper's modeling sweep.
+//
+// The batched evaluation engine (metrics/eval_context.h) computes each
+// derived artifact — stay points, POI sets — once per sweep on the
+// actual side and once per trial on the protected side, instead of once
+// per (point, trial, metric) call. This bench measures what that buys on
+// a 20-point x 3-trial sweep scored with two POI-family metrics (the
+// workload with the most redundant derivation), verifies the cached run
+// is bit-identical to the uncached one, and writes the numbers to
+// BENCH_sweep.json for CI trend tracking.
+//
+// Two mechanisms bracket the effect:
+//   grid-cloaking  snapping is nearly free, so POI derivation dominates
+//                  the sweep — the cache's headline case;
+//   geo-ind        planar-Laplace sampling is the expensive step, so the
+//                  same cache shows the diluted, protection-bound case.
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/experiment.h"
+#include "io/json.h"
+#include "io/table.h"
+#include "lppm/registry.h"
+#include "metrics/eval_context.h"
+#include "metrics/registry.h"
+
+namespace {
+
+using namespace locpriv;
+
+struct Run {
+  core::SweepResult sweep;
+  double seconds = 0.0;
+  metrics::ArtifactCache::Stats stats;
+};
+
+Run run_sweep_once(const core::SystemDefinition& def, const trace::Dataset& data, bool use_cache,
+                   std::shared_ptr<metrics::ArtifactCache> cache) {
+  core::ExperimentConfig cfg = bench::standard_experiment();
+  cfg.use_artifact_cache = use_cache;
+  cfg.artifact_cache = std::move(cache);
+  const auto start = std::chrono::steady_clock::now();
+  Run run;
+  run.sweep = core::run_sweep(def, data, cfg);
+  run.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  if (cfg.artifact_cache) run.stats = cfg.artifact_cache->stats();
+  return run;
+}
+
+bool bit_identical(const core::SweepResult& a, const core::SweepResult& b) {
+  if (a.points.size() != b.points.size()) return false;
+  const auto eq = [](double x, double y) { return std::memcmp(&x, &y, sizeof(double)) == 0; };
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    if (!eq(a.points[i].parameter_value, b.points[i].parameter_value) ||
+        !eq(a.points[i].privacy_mean, b.points[i].privacy_mean) ||
+        !eq(a.points[i].utility_mean, b.points[i].utility_mean) ||
+        !eq(a.points[i].privacy_stddev, b.points[i].privacy_stddev) ||
+        !eq(a.points[i].utility_stddev, b.points[i].utility_stddev)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+core::SystemDefinition poi_system(const std::string& mechanism_name, std::size_t points) {
+  core::SystemDefinition def;
+  def.mechanism_factory = [mechanism_name] { return lppm::create_mechanism(mechanism_name); };
+  const auto mech = lppm::create_mechanism(mechanism_name);
+  def.sweep = core::full_range_sweep(*mech, mech->parameters().front().name, points);
+  def.privacy = std::shared_ptr<const metrics::Metric>(metrics::create_metric("poi-retrieval"));
+  def.utility = std::shared_ptr<const metrics::Metric>(metrics::create_metric("poi-preservation"));
+  def.validate();
+  return def;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kPoints = 20;
+  const trace::Dataset data = bench::standard_taxi_dataset();
+  std::cout << "sweep cache: " << data.size() << " users, " << data.total_events() << " events; "
+            << kPoints << " points x 3 trials, poi-retrieval + poi-preservation\n\n";
+
+  io::Table table({"mechanism", "cache off", "cache on", "warm", "speedup", "hit rate",
+                   "bit-identical"});
+  io::JsonObject out;
+  out["bench"] = std::string("sweep_cache");
+  out["users"] = data.size();
+  out["events"] = data.total_events();
+  out["points"] = kPoints;
+  out["trials"] = std::size_t{3};
+  out["privacy_metric"] = std::string("poi-retrieval");
+  out["utility_metric"] = std::string("poi-preservation");
+
+  double headline_speedup = 0.0;
+  bool all_identical = true;
+  for (const std::string& mech : {std::string("grid-cloaking"),
+                                  std::string("geo-indistinguishability")}) {
+    const core::SystemDefinition def = poi_system(mech, kPoints);
+
+    // Warm-up pass so neither timed run pays first-touch costs.
+    (void)run_sweep_once(def, data, false, nullptr);
+
+    const Run uncached = run_sweep_once(def, data, false, nullptr);
+    const auto cache = std::make_shared<metrics::ArtifactCache>();
+    const Run cached = run_sweep_once(def, data, true, cache);
+    // A second sweep reusing the caller's cache: the actual side is
+    // already fully warm, the floor of what a sweep can cost.
+    const Run warm = run_sweep_once(def, data, true, cache);
+
+    const bool identical =
+        bit_identical(uncached.sweep, cached.sweep) && bit_identical(uncached.sweep, warm.sweep);
+    all_identical = all_identical && identical;
+    const double speedup = cached.seconds > 0.0 ? uncached.seconds / cached.seconds : 0.0;
+    if (mech == "grid-cloaking") headline_speedup = speedup;
+
+    table.add_row({mech, io::Table::num(uncached.seconds, 4) + " s",
+                   io::Table::num(cached.seconds, 4) + " s",
+                   io::Table::num(warm.seconds, 4) + " s", io::Table::num(speedup, 2) + "x",
+                   io::Table::num(cached.stats.hit_rate(), 3), identical ? "yes" : "NO"});
+
+    io::JsonObject row;
+    row["uncached_seconds"] = uncached.seconds;
+    row["cached_seconds"] = cached.seconds;
+    row["warm_seconds"] = warm.seconds;
+    row["speedup"] = speedup;
+    row["points_per_sec_uncached"] =
+        uncached.seconds > 0.0 ? static_cast<double>(kPoints) / uncached.seconds : 0.0;
+    row["points_per_sec_cached"] =
+        cached.seconds > 0.0 ? static_cast<double>(kPoints) / cached.seconds : 0.0;
+    row["cache_hits"] = cached.stats.hits;
+    row["cache_misses"] = cached.stats.misses;
+    row["cache_hit_rate"] = cached.stats.hit_rate();
+    row["bit_identical"] = identical;
+    out[mech] = row;
+  }
+  table.print(std::cout);
+
+  out["speedup"] = headline_speedup;  // derivation-dominated workload
+  out["bit_identical"] = all_identical;
+  io::write_json_file("BENCH_sweep.json", io::JsonValue(out));
+  std::cout << "\nwrote BENCH_sweep.json (headline speedup "
+            << io::Table::num(headline_speedup, 2) << "x, derivation-dominated workload)\n";
+  if (!all_identical) {
+    std::cout << "FAIL: cached sweep diverged from uncached bits\n";
+    return 1;
+  }
+  return 0;
+}

@@ -25,9 +25,9 @@ double estimate_noise_scale(const trace::Trace& t, double plausible_speed_mps) {
   return std::max(0.0, quiet - allowance);
 }
 
-PoiAttackResult run_adaptive_attack(const trace::Trace& actual,
-                                    const trace::Trace& protected_trace,
-                                    const AdaptiveAttackConfig& cfg) {
+namespace {
+
+PoiAttackConfig tune(const trace::Trace& protected_trace, const AdaptiveAttackConfig& cfg) {
   const double noise = estimate_noise_scale(protected_trace, cfg.plausible_speed_mps);
   PoiAttackConfig tuned = cfg.poi;
   tuned.adversary.max_distance_m =
@@ -35,7 +35,21 @@ PoiAttackResult run_adaptive_attack(const trace::Trace& actual,
   tuned.adversary.merge_radius_m =
       std::max(tuned.adversary.merge_radius_m, cfg.tolerance_factor * noise / 2.0);
   tuned.match_radius_m = std::max(tuned.match_radius_m, cfg.tolerance_factor * noise);
-  return run_poi_attack(actual, protected_trace, tuned);
+  return tuned;
+}
+
+}  // namespace
+
+PoiAttackResult run_adaptive_attack(const trace::Trace& actual,
+                                    const trace::Trace& protected_trace,
+                                    const AdaptiveAttackConfig& cfg) {
+  return run_poi_attack(actual, protected_trace, tune(protected_trace, cfg));
+}
+
+PoiAttackResult run_adaptive_attack(const std::vector<poi::Poi>& actual_pois,
+                                    const trace::Trace& protected_trace,
+                                    const AdaptiveAttackConfig& cfg) {
+  return run_poi_attack(actual_pois, protected_trace, tune(protected_trace, cfg));
 }
 
 }  // namespace locpriv::attack

@@ -35,4 +35,11 @@ struct AdaptiveAttackConfig {
                                                   const trace::Trace& protected_trace,
                                                   const AdaptiveAttackConfig& cfg);
 
+/// Variant with precomputed ground truth (see run_poi_attack overloads):
+/// the adaptation only reads the protected trace, so the expensive
+/// actual-side extraction can come from a cache.
+[[nodiscard]] PoiAttackResult run_adaptive_attack(const std::vector<poi::Poi>& actual_pois,
+                                                  const trace::Trace& protected_trace,
+                                                  const AdaptiveAttackConfig& cfg);
+
 }  // namespace locpriv::attack

@@ -37,8 +37,11 @@ trace::Timestamp overlap_with_daily_window(trace::Timestamp start, trace::Timest
 }  // namespace
 
 HomeWorkResult infer_home_work(const trace::Trace& t, const HomeWorkConfig& cfg) {
-  const std::vector<poi::StayPoint> stays = poi::extract_stay_points(t, cfg.extractor);
+  return infer_home_work(poi::extract_stay_points(t, cfg.extractor), cfg);
+}
 
+HomeWorkResult infer_home_work(const std::vector<poi::StayPoint>& stays,
+                               const HomeWorkConfig& cfg) {
   // Cluster stays exactly like extract_pois does, but keep per-cluster
   // night/office dwell tallies.
   struct Cluster {

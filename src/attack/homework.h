@@ -31,6 +31,13 @@ struct HomeWorkResult {
 /// Timestamps are interpreted modulo 24 h from t = 0.
 [[nodiscard]] HomeWorkResult infer_home_work(const trace::Trace& t, const HomeWorkConfig& cfg);
 
+/// Variant on already-detected stay points (cfg.extractor's spatial and
+/// duration thresholds are assumed to have produced `stays`; only the
+/// merge radius and daily windows are read). Lets evaluation share the
+/// stay detection with POI extraction through the artifact cache.
+[[nodiscard]] HomeWorkResult infer_home_work(const std::vector<poi::StayPoint>& stays,
+                                             const HomeWorkConfig& cfg);
+
 /// Convenience for evaluation: did the inference land within
 /// `tolerance_m` of the true place? False when nothing was inferred.
 [[nodiscard]] bool location_hit(const std::optional<geo::Point>& inferred, geo::Point truth,

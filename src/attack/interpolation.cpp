@@ -36,4 +36,11 @@ PoiAttackResult run_interpolation_attack(const trace::Trace& actual,
                         cfg.poi);
 }
 
+PoiAttackResult run_interpolation_attack(const std::vector<poi::Poi>& actual_pois,
+                                         const trace::Trace& protected_trace,
+                                         const InterpolationAttackConfig& cfg) {
+  return run_poi_attack(actual_pois, interpolate_gaps(protected_trace, cfg.step_s, cfg.max_gap_s),
+                        cfg.poi);
+}
+
 }  // namespace locpriv::attack

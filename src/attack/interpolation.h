@@ -29,4 +29,9 @@ struct InterpolationAttackConfig {
                                                        const trace::Trace& protected_trace,
                                                        const InterpolationAttackConfig& cfg);
 
+/// Variant with precomputed ground truth (see run_poi_attack overloads).
+[[nodiscard]] PoiAttackResult run_interpolation_attack(const std::vector<poi::Poi>& actual_pois,
+                                                       const trace::Trace& protected_trace,
+                                                       const InterpolationAttackConfig& cfg);
+
 }  // namespace locpriv::attack

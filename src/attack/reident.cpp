@@ -23,9 +23,25 @@ ReidentResult run_reident_attack(const trace::Dataset& historical,
     throw std::invalid_argument("run_reident_attack: dataset sizes differ");
   }
   const std::size_t n = historical.size();
+  std::vector<std::vector<poi::Poi>> known(n);
+  std::vector<std::vector<poi::Poi>> observed(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    known[i] = poi::extract_pois(historical[i], cfg.ground_truth);
+    observed[i] = poi::extract_pois(protected_traces[i], cfg.adversary);
+  }
+  return run_reident_attack(known, observed, cfg);
+}
 
-  // Precompute fingerprints, truncated to the top-k POIs (extract_pois
-  // already sorts by descending dwell).
+ReidentResult run_reident_attack(const std::vector<std::vector<poi::Poi>>& full_known,
+                                 const std::vector<std::vector<poi::Poi>>& full_observed,
+                                 const ReidentConfig& cfg) {
+  if (full_known.size() != full_observed.size()) {
+    throw std::invalid_argument("run_reident_attack: fingerprint set sizes differ");
+  }
+  const std::size_t n = full_known.size();
+
+  // Truncate fingerprints to the top-k POIs (extract_pois already sorts
+  // by descending dwell).
   auto truncate = [&](std::vector<poi::Poi> pois) {
     if (pois.size() > cfg.top_k) pois.resize(cfg.top_k);
     return pois;
@@ -33,8 +49,8 @@ ReidentResult run_reident_attack(const trace::Dataset& historical,
   std::vector<std::vector<poi::Poi>> known(n);
   std::vector<std::vector<poi::Poi>> observed(n);
   for (std::size_t i = 0; i < n; ++i) {
-    known[i] = truncate(poi::extract_pois(historical[i], cfg.ground_truth));
-    observed[i] = truncate(poi::extract_pois(protected_traces[i], cfg.adversary));
+    known[i] = truncate(full_known[i]);
+    observed[i] = truncate(full_observed[i]);
   }
 
   ReidentResult r;

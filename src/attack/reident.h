@@ -37,6 +37,14 @@ struct ReidentResult {
                                                const trace::Dataset& protected_traces,
                                                const ReidentConfig& cfg);
 
+/// Variant with precomputed per-user POI sets (full, untruncated — the
+/// attack applies its own top-k truncation): `known[i]` extracted from
+/// the historical trace i with cfg.ground_truth, `observed[i]` from the
+/// protected trace i with cfg.adversary. Sizes must match.
+[[nodiscard]] ReidentResult run_reident_attack(
+    const std::vector<std::vector<poi::Poi>>& known,
+    const std::vector<std::vector<poi::Poi>>& observed, const ReidentConfig& cfg);
+
 /// Asymmetric chamfer-style distance between two POI fingerprints: mean
 /// distance from each of `a`'s POIs to its nearest POI in `b`.
 /// Infinity when either side is empty.

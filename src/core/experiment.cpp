@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -40,7 +41,8 @@ std::vector<double> SweepResult::model_xs() const {
 }
 
 SweepPoint evaluate_point(const SystemDefinition& system, const trace::Dataset& data,
-                          double parameter_value, std::size_t trials, std::uint64_t seed) {
+                          double parameter_value, std::size_t trials, std::uint64_t seed,
+                          const std::shared_ptr<metrics::ArtifactCache>& actual_cache) {
   if (trials == 0) throw std::invalid_argument("evaluate_point: need at least one trial");
   const std::unique_ptr<lppm::Mechanism> mechanism = system.mechanism_factory();
   mechanism->set_parameter(system.sweep.parameter, parameter_value);
@@ -50,8 +52,13 @@ SweepPoint evaluate_point(const SystemDefinition& system, const trace::Dataset& 
   for (std::size_t trial = 0; trial < trials; ++trial) {
     const trace::Dataset protected_data =
         mechanism->protect_dataset(data, stats::derive_seed(seed, trial));
-    pr.add(system.privacy->evaluate(data, protected_data));
-    ut.add(system.utility->evaluate(data, protected_data));
+    // The protected dataset is unique to this trial, so its cache lives
+    // and dies here — it only shares derivations between the two metrics.
+    const std::shared_ptr<metrics::ArtifactCache> protected_cache =
+        actual_cache != nullptr ? std::make_shared<metrics::ArtifactCache>() : nullptr;
+    const metrics::EvalContext ctx(data, protected_data, actual_cache, protected_cache);
+    pr.add(system.privacy->evaluate(ctx));
+    ut.add(system.utility->evaluate(ctx));
   }
 
   SweepPoint point;
@@ -77,11 +84,12 @@ std::vector<PerUserPoint> evaluate_point_per_user(const SystemDefinition& system
   mechanism->set_parameter(system.sweep.parameter, parameter_value);
   const trace::Dataset protected_data = mechanism->protect_dataset(data, seed);
 
+  const metrics::EvalContext ctx(data, protected_data);
   std::vector<PerUserPoint> out;
   out.reserve(data.size());
   for (std::size_t i = 0; i < data.size(); ++i) {
-    out.push_back({data[i].user_id(), privacy->evaluate_trace(data[i], protected_data[i]),
-                   utility->evaluate_trace(data[i], protected_data[i])});
+    out.push_back(
+        {data[i].user_id(), privacy->evaluate_trace(ctx, i), utility->evaluate_trace(ctx, i)});
   }
   return out;
 }
@@ -110,6 +118,14 @@ SweepResult run_sweep(const SystemDefinition& system, const trace::Dataset& data
   if (threads == 0) threads = 1;
   threads = std::min(threads, values.size());
 
+  // One actual-side cache for the whole sweep: the actual dataset never
+  // changes, so staypoints/POIs/rasters are derived once and shared by
+  // every point, trial, metric, and worker thread.
+  std::shared_ptr<metrics::ArtifactCache> actual_cache = config.artifact_cache;
+  if (actual_cache == nullptr && config.use_artifact_cache) {
+    actual_cache = std::make_shared<metrics::ArtifactCache>();
+  }
+
   // Work-stealing over point indices. Each point derives an independent
   // seed from (root, point index), so the outcome is schedule-invariant.
   std::atomic<std::size_t> next{0};
@@ -123,7 +139,7 @@ SweepResult run_sweep(const SystemDefinition& system, const trace::Dataset& data
       if (i >= values.size() || failed.load()) return;
       try {
         result.points[i] = evaluate_point(system, data, values[i], config.trials,
-                                          stats::derive_seed(config.seed, i));
+                                          stats::derive_seed(config.seed, i), actual_cache);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/system_definition.h"
@@ -18,6 +19,17 @@ struct ExperimentConfig {
   std::uint64_t seed = 42;
   /// Worker threads; 0 = std::thread::hardware_concurrency().
   std::size_t threads = 0;
+  /// Share derived artifacts (staypoints, POI sets, coverage rasters…)
+  /// across points, trials, metrics, and worker threads through the
+  /// EvalContext cache. Results are bit-identical either way; off means
+  /// every evaluation recomputes from scratch.
+  bool use_artifact_cache = true;
+  /// Optional externally owned actual-side cache. Supply one to keep it
+  /// warm across sweeps over the *same* dataset and to read hit/miss
+  /// stats afterwards; when null and use_artifact_cache is set,
+  /// run_sweep creates a private one. Never share a cache between
+  /// different datasets — keys are (kind, trace index, params).
+  std::shared_ptr<metrics::ArtifactCache> artifact_cache;
 };
 
 /// Measurements at one sweep point.
@@ -57,9 +69,13 @@ struct SweepResult {
 /// Evaluates (Pr, Ut) at a single parameter value, averaging `trials`
 /// protections — the primitive run_sweep parallelizes, also used
 /// directly by the greedy baseline.
-[[nodiscard]] SweepPoint evaluate_point(const SystemDefinition& system, const trace::Dataset& data,
-                                        double parameter_value, std::size_t trials,
-                                        std::uint64_t seed);
+/// `actual_cache`, when non-null, shares actual-side artifacts with the
+/// caller (and other points of the same sweep); each trial gets its own
+/// protected-side cache so both metrics reuse each other's derivations.
+[[nodiscard]] SweepPoint evaluate_point(
+    const SystemDefinition& system, const trace::Dataset& data, double parameter_value,
+    std::size_t trials, std::uint64_t seed,
+    const std::shared_ptr<metrics::ArtifactCache>& actual_cache = nullptr);
 
 /// One user's metric values at a parameter value.
 struct PerUserPoint {

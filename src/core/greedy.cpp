@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 
 #include "core/experiment.h"
@@ -33,11 +34,15 @@ GreedyResult greedy_configure(const SystemDefinition& system, const trace::Datas
   GreedyResult result;
   double best_violation = std::numeric_limits<double>::infinity();
 
+  // Actual-side artifacts are identical at every probed parameter value,
+  // so one cache serves the whole bisection.
+  const auto actual_cache = std::make_shared<metrics::ArtifactCache>();
+
   for (std::size_t iter = 0; iter < cfg.max_iterations; ++iter) {
     const double x = (lo_x + hi_x) / 2.0;
     const double param = from_model_x(x, system.sweep.scale);
     const SweepPoint point = evaluate_point(system, data, param, cfg.trials_per_evaluation,
-                                            stats::derive_seed(cfg.seed, iter));
+                                            stats::derive_seed(cfg.seed, iter), actual_cache);
     ++result.evaluations;
 
     double total_violation = 0.0;

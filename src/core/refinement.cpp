@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "stats/rng.h"
 
@@ -42,7 +43,14 @@ RefinedSweep run_refined_sweep(const SystemDefinition& system, const trace::Data
   SystemDefinition current = system;
   RefinedSweep out;
 
-  SweepResult sweep = run_sweep(current, data, config.experiment);
+  // All rounds sweep the same dataset, so the actual-side artifacts are
+  // derived once here and stay warm for every zoomed-in round.
+  ExperimentConfig base = config.experiment;
+  if (base.artifact_cache == nullptr && base.use_artifact_cache) {
+    base.artifact_cache = std::make_shared<metrics::ArtifactCache>();
+  }
+
+  SweepResult sweep = run_sweep(current, data, base);
   out.total_evaluations += sweep.points.size() * config.experiment.trials;
   out.merged = sweep;
   out.final_round = sweep;
@@ -69,7 +77,7 @@ RefinedSweep run_refined_sweep(const SystemDefinition& system, const trace::Data
     current.sweep.min_value = from_model_x(lo_x, system.sweep.scale);
     current.sweep.max_value = from_model_x(hi_x, system.sweep.scale);
 
-    ExperimentConfig exp = config.experiment;
+    ExperimentConfig exp = base;
     exp.seed = stats::derive_seed(config.experiment.seed, round + 1);
     sweep = run_sweep(current, data, exp);
     out.total_evaluations += sweep.points.size() * exp.trials;

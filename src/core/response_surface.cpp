@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "stats/rng.h"
+
 namespace locpriv::core {
 namespace {
 
@@ -78,6 +80,31 @@ ResponseSurface fit_response_surface(const std::vector<SurfaceObservation>& obs,
     surface.param_high = std::max(surface.param_high, o.parameter_value);
   }
   return surface;
+}
+
+
+std::vector<SurfaceObservation> collect_surface_observations(
+    const SystemDefinition& system, std::span<const trace::Dataset> datasets,
+    const std::function<std::vector<double>(const trace::Dataset&)>& property_fn,
+    const ExperimentConfig& config) {
+  if (datasets.empty()) {
+    throw std::invalid_argument("collect_surface_observations: no datasets");
+  }
+  if (!property_fn) {
+    throw std::invalid_argument("collect_surface_observations: null property_fn");
+  }
+  std::vector<SurfaceObservation> obs;
+  for (std::size_t d = 0; d < datasets.size(); ++d) {
+    ExperimentConfig per_dataset = config;
+    per_dataset.seed = stats::derive_seed(config.seed, d);
+    per_dataset.artifact_cache = nullptr;  // never share a cache across datasets
+    const SweepResult sweep = run_sweep(system, datasets[d], per_dataset);
+    const std::vector<double> props = property_fn(datasets[d]);
+    for (const SweepPoint& p : sweep.points) {
+      obs.push_back({p.parameter_value, props, p.privacy_mean, p.utility_mean});
+    }
+  }
+  return obs;
 }
 
 }  // namespace locpriv::core

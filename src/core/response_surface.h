@@ -8,10 +8,13 @@
 // datasets instead of re-sweeping each one.
 #pragma once
 
+#include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/configurator.h"
+#include "core/experiment.h"
 #include "core/loglinear_model.h"
 #include "stats/regression.h"
 
@@ -46,6 +49,18 @@ struct ResponseSurface {
   [[nodiscard]] double invert(Axis axis, double metric_value,
                               const std::vector<double>& properties) const;
 };
+
+/// Sweeps `system` over every dataset and flattens the measured points
+/// into surface observations tagged with `property_fn(dataset)`.
+/// Seeds derive per dataset from config.seed. Artifact caches never
+/// span datasets (keys are trace-index scoped), so each sweep builds
+/// its own and any cache supplied via config.artifact_cache is ignored.
+/// Throws std::invalid_argument on empty `datasets` or null
+/// `property_fn`.
+[[nodiscard]] std::vector<SurfaceObservation> collect_surface_observations(
+    const SystemDefinition& system, std::span<const trace::Dataset> datasets,
+    const std::function<std::vector<double>(const trace::Dataset&)>& property_fn,
+    const ExperimentConfig& config = {});
 
 /// Fits the surface by multiple OLS. Requires more observations than
 /// features and consistent property arity; throws otherwise.

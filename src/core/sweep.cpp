@@ -1,5 +1,6 @@
 #include "core/sweep.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -35,7 +36,11 @@ SweepSpec full_range_sweep(const lppm::Mechanism& mechanism, const std::string& 
                            std::size_t point_count) {
   for (const lppm::ParameterSpec& p : mechanism.parameters()) {
     if (p.name == parameter) {
-      return {parameter, p.min_value, p.max_value, point_count, p.scale};
+      double min_value = p.min_value;
+      if (p.scale == lppm::Scale::kLog && !(min_value > 0.0)) {
+        min_value = std::max(kLogSweepFloor, p.max_value * kLogSweepRelativeFloor);
+      }
+      return {parameter, min_value, p.max_value, point_count, p.scale};
     }
   }
   throw std::invalid_argument("full_range_sweep: mechanism '" + mechanism.name() +

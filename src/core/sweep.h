@@ -8,6 +8,16 @@
 
 namespace locpriv::core {
 
+/// Log-scale sweeps cannot start at 0 (ln 0 is undefined). When a
+/// parameter declares min_value == 0 with Scale::kLog, full_range_sweep
+/// clamps the lower bound to
+///   max(kLogSweepFloor, max_value * kLogSweepRelativeFloor):
+/// an absolute floor so the grid never degenerates, and a relative one
+/// so large-ranged parameters don't waste points nine decades below
+/// anything meaningful.
+inline constexpr double kLogSweepFloor = 1e-9;
+inline constexpr double kLogSweepRelativeFloor = 1e-6;
+
 /// One-dimensional sweep over a mechanism parameter.
 struct SweepSpec {
   std::string parameter;    ///< mechanism parameter name

@@ -45,6 +45,9 @@ CrossValidationReport cross_validate(const SystemDefinition& system, const trace
 
     ExperimentConfig fold_config = config;
     fold_config.seed = config.seed;  // same grid/noise across folds: paired comparison
+    // Fold datasets differ from the caller's, so a caller-supplied warm
+    // cache must not leak in; each fold sweep builds its own.
+    fold_config.artifact_cache = nullptr;
 
     const SweepResult train_sweep = run_sweep(system, train, fold_config);
     const LppmModel model = fit_loglinear_model(train_sweep, saturation);

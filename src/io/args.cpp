@@ -1,5 +1,6 @@
 #include "io/args.h"
 
+#include <iostream>
 #include <sstream>
 #include <stdexcept>
 
@@ -51,6 +52,11 @@ ArgParser& ArgParser::add(ArgSpec spec) {
     if (existing.name == spec.name) {
       throw std::logic_error("ArgParser: duplicate option --" + spec.name);
     }
+    for (const std::string& alias : spec.deprecated_aliases) {
+      if (existing.name == alias) {
+        throw std::logic_error("ArgParser: alias --" + alias + " collides with an option");
+      }
+    }
   }
   if (spec.required && spec.default_value.has_value()) {
     throw std::logic_error("ArgParser: required option --" + spec.name + " cannot have a default");
@@ -66,9 +72,18 @@ ParsedArgs ArgParser::parse(const std::vector<std::string>& argv) const {
   std::map<std::string, std::string> values;
   std::vector<std::string> positional;
 
-  auto find_spec = [&](const std::string& name) -> const ArgSpec* {
+  auto find_spec = [&](std::string& name) -> const ArgSpec* {
     for (const ArgSpec& s : specs_) {
       if (s.name == name) return &s;
+    }
+    for (const ArgSpec& s : specs_) {
+      for (const std::string& alias : s.deprecated_aliases) {
+        if (alias == name) {
+          std::cerr << "warning: --" << alias << " is deprecated; use --" << s.name << "\n";
+          name = s.name;  // store under the canonical spelling
+          return &s;
+        }
+      }
     }
     return nullptr;
   };

@@ -22,6 +22,11 @@ enum class Scale {
   kLog,  ///< sweep geometrically; model against ln(value)
 };
 
+/// Typed parameter assignment for registry construction: parameter
+/// name -> value, validated against the target's ParameterSpecs by
+/// create_mechanism / metrics::create_metric.
+using ParamMap = std::map<std::string, double>;
+
 /// Declaration of one tunable mechanism parameter.
 struct ParameterSpec {
   std::string name;
@@ -32,8 +37,13 @@ struct ParameterSpec {
   std::string unit;         ///< e.g. "1/m", "m", "s"
   std::string description;
 
-  /// True when `v` lies inside [min_value, max_value].
-  [[nodiscard]] bool in_range(double v) const { return v >= min_value && v <= max_value; }
+  /// True when `v` lies inside [min_value, max_value]. Log-scale
+  /// parameters additionally require v > 0 even when the declared
+  /// minimum is 0 (ln(v) must exist for sweeping and modeling).
+  [[nodiscard]] bool in_range(double v) const {
+    if (scale == Scale::kLog && !(v > 0.0)) return false;
+    return v >= min_value && v <= max_value;
+  }
 };
 
 /// Interface of a Location Privacy Protection Mechanism.

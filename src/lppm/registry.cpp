@@ -51,4 +51,21 @@ std::unique_ptr<Mechanism> create_mechanism(const std::string& name) {
   return it->second();
 }
 
+std::unique_ptr<Mechanism> create_mechanism(const std::string& name, const ParamMap& params) {
+  std::unique_ptr<Mechanism> mechanism = create_mechanism(name);
+  for (const auto& [param, value] : params) {
+    bool known = false;
+    for (const ParameterSpec& spec : mechanism->parameters()) known = known || spec.name == param;
+    if (!known) {
+      std::string msg = "create_mechanism: mechanism '" + name + "' has no parameter '" + param +
+                        "'; valid parameters:";
+      if (mechanism->parameters().empty()) msg += " (none)";
+      for (const ParameterSpec& spec : mechanism->parameters()) msg += " " + spec.name;
+      throw std::invalid_argument(msg);
+    }
+    mechanism->set_parameter(param, value);  // range-checked by the mechanism
+  }
+  return mechanism;
+}
+
 }  // namespace locpriv::lppm

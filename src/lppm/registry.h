@@ -17,4 +17,11 @@ namespace locpriv::lppm {
 /// std::invalid_argument for an unknown name (message lists valid names).
 [[nodiscard]] std::unique_ptr<Mechanism> create_mechanism(const std::string& name);
 
+/// Creates a mechanism by name and applies `params` on top of the
+/// defaults. Throws std::invalid_argument for an unknown mechanism or
+/// parameter name (message lists the valid ones) and std::out_of_range
+/// for a value outside the declared range.
+[[nodiscard]] std::unique_ptr<Mechanism> create_mechanism(const std::string& name,
+                                                          const ParamMap& params);
+
 }  // namespace locpriv::lppm

@@ -1,9 +1,9 @@
 #include "metrics/area_coverage.h"
 
 #include <stdexcept>
-#include <vector>
 
 #include "geo/grid.h"
+#include "metrics/artifacts.h"
 
 namespace locpriv::metrics {
 
@@ -15,14 +15,10 @@ AreaCoverage::AreaCoverage(double cell_size_m, Flavor flavor)
 
 const std::string& AreaCoverage::name() const { return name_; }
 
-double AreaCoverage::evaluate_trace(const trace::Trace& actual,
-                                    const trace::Trace& protected_trace) const {
-  const geo::Grid grid(cell_size_m_);
-  const std::vector<geo::Point> actual_pts = actual.points();
-  const std::vector<geo::Point> prot_pts = protected_trace.points();
-  const geo::CellSet a = grid.covered_cells(actual_pts);
-  const geo::CellSet p = grid.covered_cells(prot_pts);
-  return flavor_ == Flavor::kF1 ? geo::f1_score(a, p) : geo::jaccard(a, p);
+double AreaCoverage::evaluate_trace(const EvalContext& ctx, std::size_t user) const {
+  const auto a = coverage_artifact(ctx, Side::kActual, user, cell_size_m_);
+  const auto p = coverage_artifact(ctx, Side::kProtected, user, cell_size_m_);
+  return flavor_ == Flavor::kF1 ? geo::f1_score(*a, *p) : geo::jaccard(*a, *p);
 }
 
 }  // namespace locpriv::metrics

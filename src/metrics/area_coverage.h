@@ -17,8 +17,8 @@ class AreaCoverage final : public TraceMetric {
 
   [[nodiscard]] const std::string& name() const override;
   [[nodiscard]] Direction direction() const override { return Direction::kHigherIsMoreUseful; }
-  [[nodiscard]] double evaluate_trace(const trace::Trace& actual,
-                                      const trace::Trace& protected_trace) const override;
+  using TraceMetric::evaluate_trace;
+  [[nodiscard]] double evaluate_trace(const EvalContext& ctx, std::size_t user) const override;
 
   [[nodiscard]] double cell_size() const { return cell_size_m_; }
 

@@ -10,6 +10,7 @@ namespace locpriv::metrics {
 
 class MeanDistortion final : public TraceMetric {
  public:
+  using TraceMetric::evaluate_trace;
   MeanDistortion() = default;
 
   [[nodiscard]] const std::string& name() const override;

@@ -12,6 +12,7 @@ namespace locpriv::metrics {
 
 class DtwDistortion final : public TraceMetric {
  public:
+  using TraceMetric::evaluate_trace;
   explicit DtwDistortion(stats::DtwOptions options = {});
 
   [[nodiscard]] const std::string& name() const override;

@@ -2,7 +2,24 @@
 
 #include <stdexcept>
 
+#include "metrics/artifacts.h"
+
 namespace locpriv::metrics {
+namespace {
+
+std::uint64_t homework_params_hash(const attack::HomeWorkConfig& cfg) {
+  return ParamHash()
+      .add(cfg.extractor.max_distance_m)
+      .add(static_cast<std::uint64_t>(cfg.extractor.min_duration_s))
+      .add(cfg.extractor.merge_radius_m)
+      .add(static_cast<std::uint64_t>(cfg.night_start_h))
+      .add(static_cast<std::uint64_t>(cfg.night_end_h))
+      .add(static_cast<std::uint64_t>(cfg.office_start_h))
+      .add(static_cast<std::uint64_t>(cfg.office_end_h))
+      .digest();
+}
+
+}  // namespace
 
 HomeInferenceRate::HomeInferenceRate(attack::HomeWorkConfig cfg, double tolerance_m)
     : cfg_(cfg), tolerance_m_(tolerance_m) {
@@ -14,12 +31,21 @@ const std::string& HomeInferenceRate::name() const {
   return kName;
 }
 
-double HomeInferenceRate::evaluate_trace(const trace::Trace& actual,
-                                         const trace::Trace& protected_trace) const {
-  const attack::HomeWorkResult truth = attack::infer_home_work(actual, cfg_);
-  if (!truth.home.has_value()) return 0.0;
-  const attack::HomeWorkResult guess = attack::infer_home_work(protected_trace, cfg_);
-  return attack::location_hit(guess.home, *truth.home, tolerance_m_) ? 1.0 : 0.0;
+double HomeInferenceRate::evaluate_trace(const EvalContext& ctx, std::size_t user) const {
+  // The inference shares the "staypoints" artifact with the POI metrics
+  // and caches its own result (tolerance only affects the comparison,
+  // not the inference, so it stays out of the key).
+  const std::uint64_t params = homework_params_hash(cfg_);
+  const auto infer = [&](Side side) {
+    return ctx.artifact<attack::HomeWorkResult>(side, user, "home-work", params, [&] {
+      const auto stays = staypoints_artifact(ctx, side, user, cfg_.extractor);
+      return attack::infer_home_work(*stays, cfg_);
+    });
+  };
+  const auto truth = infer(Side::kActual);
+  if (!truth->home.has_value()) return 0.0;
+  const auto guess = infer(Side::kProtected);
+  return attack::location_hit(guess->home, *truth->home, tolerance_m_) ? 1.0 : 0.0;
 }
 
 }  // namespace locpriv::metrics

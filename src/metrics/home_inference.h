@@ -24,8 +24,8 @@ class HomeInferenceRate final : public TraceMetric {
   /// 1.0 when the home inferred from the protected trace lands within
   /// tolerance of the home inferred from the actual trace, else 0.0
   /// (users with no inferable home score 0: nothing to leak).
-  [[nodiscard]] double evaluate_trace(const trace::Trace& actual,
-                                      const trace::Trace& protected_trace) const override;
+  using TraceMetric::evaluate_trace;
+  [[nodiscard]] double evaluate_trace(const EvalContext& ctx, std::size_t user) const override;
 
  private:
   attack::HomeWorkConfig cfg_;

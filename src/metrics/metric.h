@@ -5,10 +5,18 @@
 // A Metric scores a protected dataset against its actual counterpart.
 // The framework never hardcodes which metric it models: any Metric can
 // be placed on either axis of the (Pr, Ut) model.
+//
+// Metrics evaluate through an EvalContext (see eval_context.h), which
+// carries the dataset pair plus artifact caches so derived artifacts
+// (POI sets, stay points, coverage rasters, ...) are computed once per
+// sweep instead of once per call. The legacy two-dataset overload is
+// kept as a non-virtual compatibility shim over an uncached context —
+// both paths run the same code and return bit-identical values.
 #pragma once
 
 #include <string>
 
+#include "metrics/eval_context.h"
 #include "trace/dataset.h"
 #include "trace/trace.h"
 
@@ -37,25 +45,45 @@ class Metric {
 
   [[nodiscard]] virtual Direction direction() const = 0;
 
-  /// Scores `protected_data` against `actual`. Both datasets must pair
-  /// users positionally (same ids, same order) — implementations throw
-  /// std::invalid_argument otherwise.
-  [[nodiscard]] virtual double evaluate(const trace::Dataset& actual,
-                                        const trace::Dataset& protected_data) const = 0;
+  /// Scores the context's protected dataset against its actual one,
+  /// sourcing derived artifacts from the context's caches. The primary
+  /// entry point: engines construct one context per (actual, protected)
+  /// pair and evaluate every metric through it.
+  [[nodiscard]] virtual double evaluate(const EvalContext& ctx) const = 0;
+
+  /// Legacy compatibility shim: evaluates through an ephemeral uncached
+  /// context. Both datasets must pair users positionally (same ids,
+  /// same order) — implementations throw std::invalid_argument
+  /// otherwise. Prefer the EvalContext overload in new code.
+  [[nodiscard]] double evaluate(const trace::Dataset& actual,
+                                const trace::Dataset& protected_data) const;
 };
 
 /// Base for metrics that score each user independently; the dataset
 /// score is the mean over users (the paper evaluates "for each user" and
 /// reports the aggregate).
+///
+/// Subclasses implement at least one evaluate_trace overload: the
+/// EvalContext form when the metric benefits from cached artifacts, the
+/// plain two-trace form otherwise. Each overload's default forwards to
+/// the other (through a single-user uncached context for the plain
+/// form), so implementing either yields both; implementing neither is a
+/// contract violation that recurses.
 class TraceMetric : public Metric {
  public:
-  /// Per-user score.
+  using Metric::evaluate;  // keep the legacy dataset shim visible
+
+  /// Per-user score with artifact access: scores user `user` of the
+  /// context's dataset pair. Default forwards to the two-trace overload.
+  [[nodiscard]] virtual double evaluate_trace(const EvalContext& ctx, std::size_t user) const;
+
+  /// Per-user score on a bare trace pair. Default wraps the traces into
+  /// an ephemeral uncached context and forwards to the context overload.
   [[nodiscard]] virtual double evaluate_trace(const trace::Trace& actual,
-                                              const trace::Trace& protected_trace) const = 0;
+                                              const trace::Trace& protected_trace) const;
 
   /// Mean of per-user scores; verifies the datasets pair up.
-  [[nodiscard]] double evaluate(const trace::Dataset& actual,
-                                const trace::Dataset& protected_data) const override;
+  [[nodiscard]] double evaluate(const EvalContext& ctx) const override;
 };
 
 /// Throws std::invalid_argument unless the datasets have identical user

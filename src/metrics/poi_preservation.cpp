@@ -1,5 +1,8 @@
 #include "metrics/poi_preservation.h"
 
+#include "metrics/artifacts.h"
+#include "poi/matching.h"
+
 namespace locpriv::metrics {
 
 PoiPreservation::PoiPreservation(attack::PoiAttackConfig cfg) : cfg_(cfg) {}
@@ -9,9 +12,10 @@ const std::string& PoiPreservation::name() const {
   return kName;
 }
 
-double PoiPreservation::evaluate_trace(const trace::Trace& actual,
-                                       const trace::Trace& protected_trace) const {
-  return attack::run_poi_attack(actual, protected_trace, cfg_).match.recall;
+double PoiPreservation::evaluate_trace(const EvalContext& ctx, std::size_t user) const {
+  const auto truth = poi_artifact(ctx, Side::kActual, user, cfg_.ground_truth);
+  const auto surviving = poi_artifact(ctx, Side::kProtected, user, cfg_.adversary);
+  return poi::match_pois(*truth, *surviving, cfg_.match_radius_m).recall;
 }
 
 }  // namespace locpriv::metrics

@@ -19,10 +19,14 @@ class PoiPreservation final : public TraceMetric {
  public:
   explicit PoiPreservation(attack::PoiAttackConfig cfg = {});
 
+  using TraceMetric::evaluate_trace;
+
   [[nodiscard]] const std::string& name() const override;
   [[nodiscard]] Direction direction() const override { return Direction::kHigherIsMoreUseful; }
-  [[nodiscard]] double evaluate_trace(const trace::Trace& actual,
-                                      const trace::Trace& protected_trace) const override;
+  /// Shares its "poi-set" artifacts with PoiRetrieval when the configs
+  /// agree (they do at defaults) — the two metrics then cost one
+  /// extraction pass instead of two.
+  [[nodiscard]] double evaluate_trace(const EvalContext& ctx, std::size_t user) const override;
 
  private:
   attack::PoiAttackConfig cfg_;

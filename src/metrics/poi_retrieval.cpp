@@ -1,5 +1,8 @@
 #include "metrics/poi_retrieval.h"
 
+#include "metrics/artifacts.h"
+#include "poi/matching.h"
+
 namespace locpriv::metrics {
 
 PoiRetrieval::PoiRetrieval(attack::PoiAttackConfig cfg) : cfg_(cfg) {}
@@ -9,9 +12,10 @@ const std::string& PoiRetrieval::name() const {
   return kName;
 }
 
-double PoiRetrieval::evaluate_trace(const trace::Trace& actual,
-                                    const trace::Trace& protected_trace) const {
-  return attack::run_poi_attack(actual, protected_trace, cfg_).match.recall;
+double PoiRetrieval::evaluate_trace(const EvalContext& ctx, std::size_t user) const {
+  const auto truth = poi_artifact(ctx, Side::kActual, user, cfg_.ground_truth);
+  const auto retrieved = poi_artifact(ctx, Side::kProtected, user, cfg_.adversary);
+  return poi::match_pois(*truth, *retrieved, cfg_.match_radius_m).recall;
 }
 
 }  // namespace locpriv::metrics

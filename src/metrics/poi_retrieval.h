@@ -12,12 +12,14 @@ class PoiRetrieval final : public TraceMetric {
  public:
   explicit PoiRetrieval(attack::PoiAttackConfig cfg = {});
 
+  using TraceMetric::evaluate_trace;
+
   [[nodiscard]] const std::string& name() const override;
   [[nodiscard]] Direction direction() const override {
     return Direction::kLowerIsMorePrivate;
   }
-  [[nodiscard]] double evaluate_trace(const trace::Trace& actual,
-                                      const trace::Trace& protected_trace) const override;
+  /// Sources both POI sets ("poi-set" artifacts) from the context caches.
+  [[nodiscard]] double evaluate_trace(const EvalContext& ctx, std::size_t user) const override;
 
   [[nodiscard]] const attack::PoiAttackConfig& config() const { return cfg_; }
 

@@ -2,6 +2,9 @@
 
 #include <cstdlib>
 #include <stdexcept>
+#include <vector>
+
+#include "metrics/eval_context.h"
 
 namespace locpriv::metrics {
 
@@ -9,22 +12,36 @@ NearestPoiConsistency::NearestPoiConsistency(std::vector<geo::Point> sites)
     : sites_(std::move(sites)),
       index_(sites_.empty() ? throw std::invalid_argument(
                                   "NearestPoiConsistency: empty site catalog")
-                            : std::span<const geo::Point>(sites_)) {}
+                            : std::span<const geo::Point>(sites_)) {
+  ParamHash h;
+  for (const geo::Point& s : sites_) h.add(s.x).add(s.y);
+  sites_hash_ = h.digest();
+}
 
 const std::string& NearestPoiConsistency::name() const {
   static const std::string kName = "nearest-poi-consistency";
   return kName;
 }
 
-double NearestPoiConsistency::evaluate_trace(const trace::Trace& actual,
-                                             const trace::Trace& protected_trace) const {
+double NearestPoiConsistency::evaluate_trace(const EvalContext& ctx, std::size_t user) const {
+  const trace::Trace& actual = ctx.actual()[user];
+  const trace::Trace& protected_trace = ctx.protected_data()[user];
   if (actual.empty() || protected_trace.empty()) return 0.0;
+
+  // The actual side's query answers never change across the sweep; key
+  // them by the site catalog so distinct catalogs don't collide.
+  const auto actual_answers = ctx.artifact<std::vector<std::size_t>>(
+      Side::kActual, user, "nearest-site", sites_hash_, [&] {
+        std::vector<std::size_t> answers;
+        answers.reserve(actual.size());
+        for (const trace::Event& e : actual) answers.push_back(index_.nearest(e.location));
+        return answers;
+      });
+
   std::size_t hits = 0;
   if (actual.size() == protected_trace.size()) {
     for (std::size_t i = 0; i < actual.size(); ++i) {
-      if (index_.nearest(actual[i].location) == index_.nearest(protected_trace[i].location)) {
-        ++hits;
-      }
+      if ((*actual_answers)[i] == index_.nearest(protected_trace[i].location)) ++hits;
     }
   } else {
     // Nearest-in-time pairing, as in the other cardinality-tolerant metrics.
@@ -35,9 +52,7 @@ double NearestPoiConsistency::evaluate_trace(const trace::Trace& actual,
              std::llabs(protected_trace[j + 1].time - t) <= std::llabs(protected_trace[j].time - t)) {
         ++j;
       }
-      if (index_.nearest(actual[i].location) == index_.nearest(protected_trace[j].location)) {
-        ++hits;
-      }
+      if ((*actual_answers)[i] == index_.nearest(protected_trace[j].location)) ++hits;
     }
   }
   return static_cast<double>(hits) / static_cast<double>(actual.size());

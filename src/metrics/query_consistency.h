@@ -23,14 +23,15 @@ class NearestPoiConsistency final : public TraceMetric {
 
   [[nodiscard]] const std::string& name() const override;
   [[nodiscard]] Direction direction() const override { return Direction::kHigherIsMoreUseful; }
-  [[nodiscard]] double evaluate_trace(const trace::Trace& actual,
-                                      const trace::Trace& protected_trace) const override;
+  using TraceMetric::evaluate_trace;
+  [[nodiscard]] double evaluate_trace(const EvalContext& ctx, std::size_t user) const override;
 
   [[nodiscard]] const std::vector<geo::Point>& sites() const { return sites_; }
 
  private:
   std::vector<geo::Point> sites_;
   geo::KdTree index_;  ///< nearest-site queries in O(log n)
+  std::uint64_t sites_hash_ = 0;  ///< artifact key for the catalog
 };
 
 }  // namespace locpriv::metrics

@@ -1,5 +1,6 @@
 #include "metrics/registry.h"
 
+#include <cstddef>
 #include <functional>
 #include <map>
 #include <stdexcept>
@@ -20,50 +21,183 @@
 namespace locpriv::metrics {
 namespace {
 
-using Factory = std::function<std::unique_ptr<Metric>()>;
+using lppm::ParameterSpec;
+using lppm::ParamMap;
+using lppm::Scale;
 
-const std::map<std::string, Factory>& factories() {
-  static const std::map<std::string, Factory> kFactories = {
-      {"poi-retrieval", [] { return std::make_unique<PoiRetrieval>(); }},
-      {"poi-preservation", [] { return std::make_unique<PoiPreservation>(); }},
-      {"poi-retrieval-worst-case", [] { return std::make_unique<WorstCasePoiRetrieval>(); }},
-      {"area-coverage-f1", [] { return std::make_unique<AreaCoverage>(); }},
-      {"area-coverage-jaccard",
-       [] { return std::make_unique<AreaCoverage>(115.0, AreaCoverage::Flavor::kJaccard); }},
-      {"cell-hit-ratio", [] { return std::make_unique<CellHitRatio>(); }},
-      {"dtw-distortion", [] { return std::make_unique<DtwDistortion>(); }},
-      {"log-dtw-distortion",
-       [] { return std::make_unique<LogTransformedMetric>(std::make_unique<DtwDistortion>()); }},
-      {"mean-distortion", [] { return std::make_unique<MeanDistortion>(); }},
-      {"log-mean-distortion",
-       [] { return std::make_unique<LogTransformedMetric>(std::make_unique<MeanDistortion>()); }},
-      {"reidentification-rate", [] { return std::make_unique<ReidentificationRate>(); }},
-      {"home-inference-rate", [] { return std::make_unique<HomeInferenceRate>(); }},
-      {"trip-length-error", [] { return std::make_unique<TripLengthError>(); }},
-      {"log-trip-length-error",
-       [] { return std::make_unique<LogTransformedMetric>(std::make_unique<TripLengthError>()); }},
-      {"spatial-entropy-gain", [] { return std::make_unique<SpatialEntropyGain>(); }},
+struct Entry {
+  std::vector<ParameterSpec> specs;
+  std::function<std::unique_ptr<Metric>(const ParamMap&)> make;
+};
+
+/// Resolved parameter value: the caller's override or the declared
+/// default. Callers have already been validated against the specs.
+double value_of(const ParamMap& params, const ParameterSpec& spec) {
+  const auto it = params.find(spec.name);
+  return it != params.end() ? it->second : spec.default_value;
+}
+
+ParameterSpec spec(std::string name, double min, double max, double def, std::string unit,
+                   std::string description) {
+  ParameterSpec s;
+  s.name = std::move(name);
+  s.min_value = min;
+  s.max_value = max;
+  s.default_value = def;
+  s.scale = Scale::kLinear;
+  s.unit = std::move(unit);
+  s.description = std::move(description);
+  return s;
+}
+
+/// The POI-attack parameter block shared by poi-retrieval and
+/// poi-preservation (both extractor sides get the same knobs — the
+/// registry models the paper's symmetric-adversary default).
+std::vector<ParameterSpec> poi_specs() {
+  return {
+      spec("match-radius-m", 1.0, 10000.0, 200.0, "m",
+           "actual POI counts as retrieved within this distance"),
+      spec("stay-distance-m", 1.0, 5000.0, 200.0, "m", "stay-point spatial tolerance"),
+      spec("stay-duration-s", 1.0, 86400.0, 900.0, "s", "minimum dwell for a significant stop"),
+      spec("merge-radius-m", 0.0, 5000.0, 100.0, "m", "stays closer than this merge into one POI"),
   };
-  return kFactories;
+}
+
+attack::PoiAttackConfig poi_config(const ParamMap& params) {
+  const std::vector<ParameterSpec> specs = poi_specs();
+  attack::PoiAttackConfig cfg;
+  cfg.match_radius_m = value_of(params, specs[0]);
+  poi::ExtractorConfig ex;
+  ex.max_distance_m = value_of(params, specs[1]);
+  ex.min_duration_s = static_cast<trace::Timestamp>(value_of(params, specs[2]));
+  ex.merge_radius_m = value_of(params, specs[3]);
+  cfg.ground_truth = ex;
+  cfg.adversary = ex;
+  return cfg;
+}
+
+std::vector<ParameterSpec> cell_specs() {
+  return {spec("cell-size-m", 1.0, 10000.0, 115.0, "m", "grid cell (city block) edge length")};
+}
+
+const std::map<std::string, Entry>& entries() {
+  static const std::map<std::string, Entry> kEntries = {
+      {"poi-retrieval",
+       {poi_specs(),
+        [](const ParamMap& p) { return std::make_unique<PoiRetrieval>(poi_config(p)); }}},
+      {"poi-preservation",
+       {poi_specs(),
+        [](const ParamMap& p) { return std::make_unique<PoiPreservation>(poi_config(p)); }}},
+      {"poi-retrieval-worst-case",
+       {{}, [](const ParamMap&) { return std::make_unique<WorstCasePoiRetrieval>(); }}},
+      {"area-coverage-f1",
+       {cell_specs(),
+        [](const ParamMap& p) {
+          return std::make_unique<AreaCoverage>(value_of(p, cell_specs()[0]));
+        }}},
+      {"area-coverage-jaccard",
+       {cell_specs(),
+        [](const ParamMap& p) {
+          return std::make_unique<AreaCoverage>(value_of(p, cell_specs()[0]),
+                                                AreaCoverage::Flavor::kJaccard);
+        }}},
+      {"cell-hit-ratio",
+       {cell_specs(),
+        [](const ParamMap& p) {
+          return std::make_unique<CellHitRatio>(value_of(p, cell_specs()[0]));
+        }}},
+      {"dtw-distortion", {{}, [](const ParamMap&) { return std::make_unique<DtwDistortion>(); }}},
+      {"log-dtw-distortion",
+       {{},
+        [](const ParamMap&) {
+          return std::make_unique<LogTransformedMetric>(std::make_unique<DtwDistortion>());
+        }}},
+      {"mean-distortion", {{}, [](const ParamMap&) { return std::make_unique<MeanDistortion>(); }}},
+      {"log-mean-distortion",
+       {{},
+        [](const ParamMap&) {
+          return std::make_unique<LogTransformedMetric>(std::make_unique<MeanDistortion>());
+        }}},
+      {"reidentification-rate",
+       {{spec("top-k", 1.0, 100.0, 5.0, "", "POI fingerprint size for linkage")},
+        [](const ParamMap& p) {
+          attack::ReidentConfig cfg;
+          cfg.top_k = static_cast<std::size_t>(
+              value_of(p, spec("top-k", 1.0, 100.0, 5.0, "", "")));
+          return std::make_unique<ReidentificationRate>(cfg);
+        }}},
+      {"home-inference-rate",
+       {{spec("tolerance-m", 1.0, 10000.0, 300.0, "m",
+              "hit when the inferred home lands this close to the true one")},
+        [](const ParamMap& p) {
+          return std::make_unique<HomeInferenceRate>(
+              attack::HomeWorkConfig{},
+              value_of(p, spec("tolerance-m", 1.0, 10000.0, 300.0, "", "")));
+        }}},
+      {"trip-length-error",
+       {{}, [](const ParamMap&) { return std::make_unique<TripLengthError>(); }}},
+      {"log-trip-length-error",
+       {{},
+        [](const ParamMap&) {
+          return std::make_unique<LogTransformedMetric>(std::make_unique<TripLengthError>());
+        }}},
+      {"spatial-entropy-gain",
+       {cell_specs(),
+        [](const ParamMap& p) {
+          return std::make_unique<SpatialEntropyGain>(value_of(p, cell_specs()[0]));
+        }}},
+  };
+  return kEntries;
+}
+
+const Entry& entry_or_throw(const std::string& name, const char* who) {
+  const auto it = entries().find(name);
+  if (it == entries().end()) {
+    std::string msg = std::string(who) + ": unknown metric '" + name + "'; valid names:";
+    for (const std::string& n : metric_names()) msg += " " + n;
+    throw std::invalid_argument(msg);
+  }
+  return it->second;
 }
 
 }  // namespace
 
 std::vector<std::string> metric_names() {
   std::vector<std::string> names;
-  names.reserve(factories().size());
-  for (const auto& [name, factory] : factories()) names.push_back(name);
+  names.reserve(entries().size());
+  for (const auto& [name, entry] : entries()) names.push_back(name);
   return names;
 }
 
+const std::vector<lppm::ParameterSpec>& metric_parameters(const std::string& name) {
+  return entry_or_throw(name, "metric_parameters").specs;
+}
+
 std::unique_ptr<Metric> create_metric(const std::string& name) {
-  const auto it = factories().find(name);
-  if (it == factories().end()) {
-    std::string msg = "create_metric: unknown metric '" + name + "'; valid names:";
-    for (const std::string& n : metric_names()) msg += " " + n;
-    throw std::invalid_argument(msg);
+  return entry_or_throw(name, "create_metric").make({});
+}
+
+std::unique_ptr<Metric> create_metric(const std::string& name, const lppm::ParamMap& params) {
+  const Entry& entry = entry_or_throw(name, "create_metric");
+  for (const auto& [param, value] : params) {
+    const ParameterSpec* match = nullptr;
+    for (const ParameterSpec& s : entry.specs) {
+      if (s.name == param) match = &s;
+    }
+    if (match == nullptr) {
+      std::string msg =
+          "create_metric: metric '" + name + "' has no parameter '" + param + "'; valid parameters:";
+      if (entry.specs.empty()) msg += " (none)";
+      for (const ParameterSpec& s : entry.specs) msg += " " + s.name;
+      throw std::invalid_argument(msg);
+    }
+    if (!match->in_range(value)) {
+      throw std::out_of_range(name + ": parameter '" + param + "' = " + std::to_string(value) +
+                              " outside [" + std::to_string(match->min_value) + ", " +
+                              std::to_string(match->max_value) + "]");
+    }
   }
-  return it->second();
+  return entry.make(params);
 }
 
 }  // namespace locpriv::metrics

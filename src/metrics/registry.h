@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "lppm/mechanism.h"  // ParameterSpec / ParamMap (header-only)
 #include "metrics/metric.h"
 
 namespace locpriv::metrics {
@@ -13,8 +14,20 @@ namespace locpriv::metrics {
 /// Names of all built-in metrics.
 [[nodiscard]] std::vector<std::string> metric_names();
 
+/// Declared tunable parameters of a metric, in the same ParameterSpec
+/// vocabulary mechanisms use (empty for parameterless metrics like
+/// mean-distortion). Throws std::invalid_argument for an unknown name.
+[[nodiscard]] const std::vector<lppm::ParameterSpec>& metric_parameters(const std::string& name);
+
 /// Creates a metric by name with default parameters. Throws
 /// std::invalid_argument for an unknown name (message lists valid names).
 [[nodiscard]] std::unique_ptr<Metric> create_metric(const std::string& name);
+
+/// Creates a metric by name with `params` overriding the declared
+/// defaults. Throws std::invalid_argument for an unknown metric or
+/// parameter name (message lists the valid ones) and std::out_of_range
+/// for a value outside the declared range.
+[[nodiscard]] std::unique_ptr<Metric> create_metric(const std::string& name,
+                                                    const lppm::ParamMap& params);
 
 }  // namespace locpriv::metrics

@@ -1,5 +1,9 @@
 #include "metrics/reident_metric.h"
 
+#include <vector>
+
+#include "metrics/artifacts.h"
+
 namespace locpriv::metrics {
 
 ReidentificationRate::ReidentificationRate(attack::ReidentConfig cfg) : cfg_(cfg) {}
@@ -9,10 +13,19 @@ const std::string& ReidentificationRate::name() const {
   return kName;
 }
 
-double ReidentificationRate::evaluate(const trace::Dataset& actual,
-                                      const trace::Dataset& protected_data) const {
-  require_paired(actual, protected_data);
-  return attack::run_reident_attack(actual, protected_data, cfg_).accuracy;
+double ReidentificationRate::evaluate(const EvalContext& ctx) const {
+  require_paired(ctx.actual(), ctx.protected_data());
+  // Fingerprints reuse the per-user "poi-set" artifacts, so this metric
+  // rides on the same extraction pass as the POI retrieval metrics when
+  // the extractor configs agree.
+  const std::size_t n = ctx.actual().size();
+  std::vector<std::vector<poi::Poi>> known(n);
+  std::vector<std::vector<poi::Poi>> observed(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    known[i] = *poi_artifact(ctx, Side::kActual, i, cfg_.ground_truth);
+    observed[i] = *poi_artifact(ctx, Side::kProtected, i, cfg_.adversary);
+  }
+  return attack::run_reident_attack(known, observed, cfg_).accuracy;
 }
 
 }  // namespace locpriv::metrics

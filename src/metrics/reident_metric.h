@@ -17,8 +17,8 @@ class ReidentificationRate final : public Metric {
   [[nodiscard]] Direction direction() const override {
     return Direction::kLowerIsMorePrivate;
   }
-  [[nodiscard]] double evaluate(const trace::Dataset& actual,
-                                const trace::Dataset& protected_data) const override;
+  using Metric::evaluate;
+  [[nodiscard]] double evaluate(const EvalContext& ctx) const override;
 
  private:
   attack::ReidentConfig cfg_;

@@ -3,9 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 #include <unordered_map>
-#include <vector>
 
 #include "geo/grid.h"
+#include "metrics/artifacts.h"
 
 namespace locpriv::metrics {
 namespace {
@@ -34,10 +34,14 @@ const std::string& SpatialEntropyGain::name() const {
   return kName;
 }
 
-double SpatialEntropyGain::evaluate_trace(const trace::Trace& actual,
-                                          const trace::Trace& protected_trace) const {
-  const geo::Grid grid(cell_size_m_);
-  return cell_entropy(protected_trace, grid) - cell_entropy(actual, grid);
+double SpatialEntropyGain::evaluate_trace(const EvalContext& ctx, std::size_t user) const {
+  const std::uint64_t params = ParamHash().add(cell_size_m_).digest();
+  const auto entropy_of = [&](Side side) {
+    return ctx.artifact<double>(side, user, "cell-entropy", params, [&] {
+      return cell_entropy(ctx.dataset(side)[user], geo::Grid(cell_size_m_));
+    });
+  };
+  return *entropy_of(Side::kProtected) - *entropy_of(Side::kActual);
 }
 
 }  // namespace locpriv::metrics

@@ -17,8 +17,8 @@ class SpatialEntropyGain final : public TraceMetric {
   [[nodiscard]] Direction direction() const override {
     return Direction::kHigherIsMorePrivate;
   }
-  [[nodiscard]] double evaluate_trace(const trace::Trace& actual,
-                                      const trace::Trace& protected_trace) const override;
+  using TraceMetric::evaluate_trace;
+  [[nodiscard]] double evaluate_trace(const EvalContext& ctx, std::size_t user) const override;
 
  private:
   double cell_size_m_;

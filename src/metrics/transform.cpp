@@ -11,9 +11,8 @@ LogTransformedMetric::LogTransformedMetric(std::unique_ptr<const Metric> inner)
   name_ = "log-" + inner_->name();
 }
 
-double LogTransformedMetric::evaluate(const trace::Dataset& actual,
-                                      const trace::Dataset& protected_data) const {
-  const double v = inner_->evaluate(actual, protected_data);
+double LogTransformedMetric::evaluate(const EvalContext& ctx) const {
+  const double v = inner_->evaluate(ctx);
   if (v < 0.0) {
     throw std::domain_error("LogTransformedMetric: inner metric '" + inner_->name() +
                             "' returned a negative value (" + std::to_string(v) + ")");

@@ -25,8 +25,8 @@ class LogTransformedMetric final : public Metric {
 
   [[nodiscard]] const std::string& name() const override { return name_; }
   [[nodiscard]] Direction direction() const override { return inner_->direction(); }
-  [[nodiscard]] double evaluate(const trace::Dataset& actual,
-                                const trace::Dataset& protected_data) const override;
+  using Metric::evaluate;
+  [[nodiscard]] double evaluate(const EvalContext& ctx) const override;
 
  private:
   std::unique_ptr<const Metric> inner_;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "geo/polyline.h"
+#include "metrics/eval_context.h"
 
 namespace locpriv::metrics {
 
@@ -12,12 +13,12 @@ const std::string& TripLengthError::name() const {
   return kName;
 }
 
-double TripLengthError::evaluate_trace(const trace::Trace& actual,
-                                       const trace::Trace& protected_trace) const {
-  const std::vector<geo::Point> a = actual.points();
-  const std::vector<geo::Point> p = protected_trace.points();
-  const double actual_len = geo::path_length(a);
+double TripLengthError::evaluate_trace(const EvalContext& ctx, std::size_t user) const {
+  const double actual_len = *ctx.artifact<double>(
+      Side::kActual, user, "path-length", ParamHash().digest(),
+      [&] { return geo::path_length(ctx.actual()[user].points()); });
   if (actual_len <= 0.0) return 0.0;
+  const std::vector<geo::Point> p = ctx.protected_data()[user].points();
   return std::abs(geo::path_length(p) - actual_len) / actual_len;
 }
 

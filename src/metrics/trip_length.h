@@ -17,8 +17,8 @@ class TripLengthError final : public TraceMetric {
   [[nodiscard]] Direction direction() const override { return Direction::kLowerIsMoreUseful; }
   /// |len(protected) - len(actual)| / len(actual); 0 when the actual
   /// trace has zero length (nothing to preserve).
-  [[nodiscard]] double evaluate_trace(const trace::Trace& actual,
-                                      const trace::Trace& protected_trace) const override;
+  using TraceMetric::evaluate_trace;
+  [[nodiscard]] double evaluate_trace(const EvalContext& ctx, std::size_t user) const override;
 };
 
 }  // namespace locpriv::metrics

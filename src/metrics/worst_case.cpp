@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "poi/staypoint.h"
+#include "metrics/artifacts.h"
 
 namespace locpriv::metrics {
 
@@ -13,21 +13,19 @@ const std::string& WorstCasePoiRetrieval::name() const {
   return kName;
 }
 
-double WorstCasePoiRetrieval::evaluate_trace(const trace::Trace& actual,
-                                             const trace::Trace& protected_trace) const {
-  // Ground truth is shared across adversaries; extract once.
-  const std::vector<poi::Poi> ground_truth =
-      poi::extract_pois(actual, cfg_.naive.ground_truth);
-  double worst = attack::run_poi_attack(ground_truth, protected_trace, cfg_.naive).match.recall;
-  worst = std::max(worst, attack::run_smoothing_attack(ground_truth, protected_trace,
+double WorstCasePoiRetrieval::evaluate_trace(const EvalContext& ctx, std::size_t user) const {
+  // Ground truth is shared across adversaries (and, through the cache,
+  // with every other POI metric using the same extractor).
+  const auto ground_truth = poi_artifact(ctx, Side::kActual, user, cfg_.naive.ground_truth);
+  const trace::Trace& protected_trace = ctx.protected_data()[user];
+  double worst = attack::run_poi_attack(*ground_truth, protected_trace, cfg_.naive).match.recall;
+  worst = std::max(worst, attack::run_smoothing_attack(*ground_truth, protected_trace,
                                                        cfg_.smoothing)
                               .match.recall);
-  // Adaptive/interpolation take the actual trace for their overloads that
-  // need it; both accept precomputed ground truth only via their PoiAttack
-  // layer — reuse the trace-level entry points for clarity.
-  worst = std::max(
-      worst, attack::run_adaptive_attack(actual, protected_trace, cfg_.adaptive).match.recall);
-  worst = std::max(worst, attack::run_interpolation_attack(actual, protected_trace,
+  worst = std::max(worst, attack::run_adaptive_attack(*ground_truth, protected_trace,
+                                                      cfg_.adaptive)
+                              .match.recall);
+  worst = std::max(worst, attack::run_interpolation_attack(*ground_truth, protected_trace,
                                                            cfg_.interpolation)
                               .match.recall);
   return worst;

@@ -35,12 +35,10 @@ std::vector<StayPoint> extract_stay_points(const trace::Trace& t, const Extracto
   return stays;
 }
 
-std::vector<Poi> extract_pois(const trace::Trace& t, const ExtractorConfig& cfg) {
-  if (!(cfg.merge_radius_m >= 0.0)) {
-    throw std::invalid_argument("extract_pois: merge_radius must be >= 0");
+std::vector<Poi> cluster_stays(const std::vector<StayPoint>& stays, double merge_radius_m) {
+  if (!(merge_radius_m >= 0.0)) {
+    throw std::invalid_argument("cluster_stays: merge_radius must be >= 0");
   }
-  const std::vector<StayPoint> stays = extract_stay_points(t, cfg);
-
   // Greedy agglomeration: each stay joins the first cluster whose running
   // centroid is within merge_radius, else starts a new cluster. For the
   // handful of stays per trace this is plenty.
@@ -49,7 +47,7 @@ std::vector<Poi> extract_pois(const trace::Trace& t, const ExtractorConfig& cfg)
   for (const StayPoint& s : stays) {
     bool placed = false;
     for (std::size_t c = 0; c < clusters.size(); ++c) {
-      if (geo::distance(centroids[c], s.center) <= cfg.merge_radius_m) {
+      if (geo::distance(centroids[c], s.center) <= merge_radius_m) {
         clusters[c].push_back(s);
         // Running unweighted centroid of member stays.
         geo::Point sum{0, 0};
@@ -71,6 +69,10 @@ std::vector<Poi> extract_pois(const trace::Trace& t, const ExtractorConfig& cfg)
   std::sort(pois.begin(), pois.end(),
             [](const Poi& a, const Poi& b) { return a.total_duration > b.total_duration; });
   return pois;
+}
+
+std::vector<Poi> extract_pois(const trace::Trace& t, const ExtractorConfig& cfg) {
+  return cluster_stays(extract_stay_points(t, cfg), cfg.merge_radius_m);
 }
 
 }  // namespace locpriv::poi

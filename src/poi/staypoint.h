@@ -24,6 +24,13 @@ struct ExtractorConfig {
 [[nodiscard]] std::vector<StayPoint> extract_stay_points(const trace::Trace& t,
                                                          const ExtractorConfig& cfg);
 
+/// Phase 2 alone: agglomerates already-detected stays into POIs, ordered
+/// by descending total duration. Exposed so callers that cache stay
+/// points (see metrics/eval_context.h) can re-cluster under different
+/// merge radii without re-detecting.
+[[nodiscard]] std::vector<Poi> cluster_stays(const std::vector<StayPoint>& stays,
+                                             double merge_radius_m);
+
 /// Full pipeline: stays -> merged POIs, ordered by descending total
 /// duration (most significant place first).
 [[nodiscard]] std::vector<Poi> extract_pois(const trace::Trace& t, const ExtractorConfig& cfg);

@@ -1,0 +1,67 @@
+#include "service/audit.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "metrics/eval_context.h"
+#include "trace/dataset.h"
+
+namespace locpriv::service {
+
+void StreamAuditor::record(const ProtectedReport& report) {
+  if (!report.protected_event.has_value()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = by_user_.try_emplace(report.user_id);
+  if (inserted) user_order_.push_back(report.user_id);
+  it->second.push_back({report.seq, report.original, *report.protected_event});
+}
+
+std::size_t StreamAuditor::recorded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [user, pairs] : by_user_) n += pairs.size();
+  return n;
+}
+
+std::vector<StreamAuditor::MetricValue> StreamAuditor::evaluate(
+    const std::vector<std::shared_ptr<const metrics::Metric>>& metric_list) const {
+  trace::Dataset actual;
+  trace::Dataset protected_data;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::string& user : user_order_) {
+      std::vector<Pair> pairs = by_user_.at(user);
+      std::sort(pairs.begin(), pairs.end(),
+                [](const Pair& a, const Pair& b) { return a.seq < b.seq; });
+      std::vector<trace::Event> originals;
+      std::vector<trace::Event> delivered;
+      originals.reserve(pairs.size());
+      delivered.reserve(pairs.size());
+      for (const Pair& p : pairs) {
+        originals.push_back(p.original);
+        delivered.push_back(p.protected_event);
+      }
+      actual.add(trace::Trace(user, std::move(originals)));
+      protected_data.add(trace::Trace(user, std::move(delivered)));
+    }
+  }
+  if (actual.empty()) {
+    throw std::runtime_error("StreamAuditor: no delivered reports to audit");
+  }
+
+  // One context, two caches: each metric's derivations (staypoints, POI
+  // sets, coverage rasters) are shared with every other metric.
+  const auto actual_cache = std::make_shared<metrics::ArtifactCache>();
+  const auto protected_cache = std::make_shared<metrics::ArtifactCache>();
+  const metrics::EvalContext ctx(actual, protected_data, actual_cache, protected_cache);
+
+  std::vector<MetricValue> out;
+  out.reserve(metric_list.size());
+  for (const auto& metric : metric_list) {
+    out.push_back({metric->name(), metrics::is_privacy_direction(metric->direction()),
+                   metric->evaluate(ctx)});
+  }
+  return out;
+}
+
+}  // namespace locpriv::service

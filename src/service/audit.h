@@ -1,0 +1,57 @@
+// Post-hoc privacy/utility audit of a streaming session.
+//
+// The gateway's sink feeds every ProtectedReport to a StreamAuditor;
+// after the replay the auditor reassembles per-user (actual, protected)
+// traces from the delivered pairs and evaluates any set of offline
+// metrics through one shared EvalContext — so the staypoint/POI/raster
+// derivations are computed once no matter how many metrics run.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "metrics/metric.h"
+#include "service/gateway.h"
+
+namespace locpriv::service {
+
+class StreamAuditor {
+ public:
+  struct MetricValue {
+    std::string name;
+    bool privacy = false;  ///< direction classified as a privacy axis
+    double value = 0.0;
+  };
+
+  /// Records one sink event. Thread-safe: the gateway delivers from its
+  /// worker threads. Reports without a protected event (suppressed,
+  /// rejected) carry no deliverable location and are skipped.
+  void record(const ProtectedReport& report);
+
+  /// Delivered pairs recorded so far.
+  [[nodiscard]] std::size_t recorded() const;
+
+  /// Evaluates every metric over the recorded pairs. Users are ordered
+  /// by first appearance, events by per-user sequence number (the
+  /// Trace constructor re-sorts by time, tolerating skewed protected
+  /// clocks). Throws std::runtime_error when nothing was delivered.
+  [[nodiscard]] std::vector<MetricValue> evaluate(
+      const std::vector<std::shared_ptr<const metrics::Metric>>& metric_list) const;
+
+ private:
+  struct Pair {
+    std::uint64_t seq = 0;
+    trace::Event original;
+    trace::Event protected_event;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<std::string> user_order_;
+  std::unordered_map<std::string, std::vector<Pair>> by_user_;
+};
+
+}  // namespace locpriv::service

@@ -9,11 +9,13 @@
 #include <algorithm>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/experiment.h"
+#include "metrics/eval_context.h"
 #include "core/system_definition.h"
 #include "service/gateway.h"
 #include "service/load_driver.h"
@@ -26,13 +28,14 @@ bool bit_equal(double a, double b) { return std::memcmp(&a, &b, sizeof(double)) 
 
 // ------------------------------------------------------------- run_sweep
 
-core::SweepResult sweep_with_threads(std::size_t threads) {
+core::SweepResult sweep_with_threads(std::size_t threads, bool use_cache = true) {
   core::SystemDefinition def = core::make_geo_i_system(5);
   const trace::Dataset data = testutil::two_stop_dataset(3);
   core::ExperimentConfig cfg;
   cfg.trials = 3;
   cfg.seed = 2016;
   cfg.threads = threads;
+  cfg.use_artifact_cache = use_cache;
   return core::run_sweep(def, data, cfg);
 }
 
@@ -62,6 +65,38 @@ TEST(SweepDeterminism, RepeatedRunsAreBitIdentical) {
   const core::SweepResult a = sweep_with_threads(4);
   const core::SweepResult b = sweep_with_threads(4);
   expect_bit_identical(a, b, "same config, two runs");
+}
+
+// The artifact cache is a pure memoization layer: a hit returns the
+// exact object a miss would have built, so turning it off (or varying
+// the thread count that populates it) must not move a single bit.
+TEST(SweepDeterminism, CacheOnAndOffAreBitIdentical) {
+  const core::SweepResult cached = sweep_with_threads(1, /*use_cache=*/true);
+  const core::SweepResult uncached = sweep_with_threads(1, /*use_cache=*/false);
+  expect_bit_identical(cached, uncached, "cache on vs off, threads=1");
+}
+
+TEST(SweepDeterminism, CacheAndThreadCrossProductIsBitIdentical) {
+  const core::SweepResult baseline = sweep_with_threads(1, /*use_cache=*/false);
+  expect_bit_identical(baseline, sweep_with_threads(1, true), "uncached/1 vs cached/1");
+  expect_bit_identical(baseline, sweep_with_threads(8, false), "uncached/1 vs uncached/8");
+  expect_bit_identical(baseline, sweep_with_threads(8, true), "uncached/1 vs cached/8");
+}
+
+TEST(SweepDeterminism, ExternallySuppliedWarmCacheIsBitIdentical) {
+  // A caller-provided cache already warmed by a previous sweep over the
+  // same dataset must serve hits that reproduce the cold-run bits.
+  core::SystemDefinition def = core::make_geo_i_system(5);
+  const trace::Dataset data = testutil::two_stop_dataset(3);
+  core::ExperimentConfig cfg;
+  cfg.trials = 3;
+  cfg.seed = 2016;
+  cfg.threads = 4;
+  cfg.artifact_cache = std::make_shared<metrics::ArtifactCache>();
+  const core::SweepResult cold = core::run_sweep(def, data, cfg);
+  EXPECT_GT(cfg.artifact_cache->stats().misses, 0u);
+  const core::SweepResult warm = core::run_sweep(def, data, cfg);
+  expect_bit_identical(cold, warm, "cold vs warm external cache");
 }
 
 // ------------------------------------------------- gateway under faults

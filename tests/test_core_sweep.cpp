@@ -59,6 +59,56 @@ TEST(FullRangeSweep, UsesDeclaredBounds) {
   EXPECT_THROW((void)full_range_sweep(mech, "nope", 10), std::invalid_argument);
 }
 
+/// Stub with a log-scale parameter whose declared minimum is 0 — legal
+/// as a declaration (0 can be a meaningful "off" value) but unusable as
+/// a log sweep bound.
+class ZeroMinLogMechanism final : public lppm::ParameterizedMechanism {
+ public:
+  explicit ZeroMinLogMechanism(double max_value = 100.0)
+      : ParameterizedMechanism({{"noise", 0.0, max_value, max_value / 2.0, lppm::Scale::kLog, "m",
+                                 "stub log knob"}}) {}
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] trace::Trace protect(const trace::Trace& input, std::uint64_t) const override {
+    return input;
+  }
+
+ private:
+  std::string name_ = "zero-min-log";
+};
+
+TEST(FullRangeSweep, ClampsZeroMinimumOfLogParameters) {
+  // Regression: a log parameter declared with min_value == 0 used to
+  // produce a SweepSpec that sweep_values rejects (ln 0). The sweep
+  // bound must clamp to max(kLogSweepFloor, max * kLogSweepRelativeFloor).
+  const ZeroMinLogMechanism mech(100.0);
+  const SweepSpec spec = full_range_sweep(mech, "noise", 8);
+  EXPECT_DOUBLE_EQ(spec.min_value, 100.0 * kLogSweepRelativeFloor);
+  EXPECT_DOUBLE_EQ(spec.max_value, 100.0);
+  EXPECT_EQ(spec.scale, lppm::Scale::kLog);
+  const auto values = sweep_values(spec);  // must not throw
+  ASSERT_EQ(values.size(), 8u);
+  EXPECT_GT(values.front(), 0.0);
+  EXPECT_DOUBLE_EQ(values.front(), spec.min_value);
+  EXPECT_DOUBLE_EQ(values.back(), 100.0);
+}
+
+TEST(FullRangeSweep, ZeroMinimumClampNeverDropsBelowAbsoluteFloor) {
+  // Tiny ranges hit the absolute floor instead of the relative one.
+  const ZeroMinLogMechanism tiny(1e-5);
+  const SweepSpec spec = full_range_sweep(tiny, "noise", 5);
+  EXPECT_DOUBLE_EQ(spec.min_value, kLogSweepFloor);
+  EXPECT_NO_THROW((void)sweep_values(spec));
+}
+
+TEST(ParameterSpec, LogScaleRejectsZeroEvenWhenDeclaredMinIsZero) {
+  const ZeroMinLogMechanism mech;
+  const lppm::ParameterSpec& spec = mech.parameters().front();
+  EXPECT_FALSE(spec.in_range(0.0));
+  EXPECT_TRUE(spec.in_range(1e-9));
+  EXPECT_TRUE(spec.in_range(100.0));
+  EXPECT_THROW(ZeroMinLogMechanism(50.0).set_parameter("noise", 0.0), std::out_of_range);
+}
+
 TEST(SystemDefinition, ValidateCatchesMistakes) {
   SystemDefinition def = make_geo_i_system();
   EXPECT_NO_THROW(def.validate());

@@ -15,7 +15,8 @@ BUILD_DIR="build-${SANITIZER}san"
 
 cmake -B "$BUILD_DIR" -S . -DLOCPRIV_SANITIZE="$SANITIZER" > /dev/null
 
-TARGETS=(test_service_queue test_service_gateway test_service_resilience test_lppm_online)
+TARGETS=(test_service_queue test_service_gateway test_service_resilience test_lppm_online
+         test_metrics_eval_context)
 if [ "$SCOPE" = "all" ]; then
   cmake --build "$BUILD_DIR" -j"$(nproc)"
   (cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)")

@@ -8,6 +8,7 @@
 #include <optional>
 #include <sstream>
 
+#include "core/experiment.h"
 #include "core/model_store.h"
 #include "core/pipeline.h"
 #include "core/profiler.h"
@@ -17,7 +18,9 @@
 #include "io/args.h"
 #include "io/table.h"
 #include "lppm/registry.h"
+#include "metrics/eval_context.h"
 #include "metrics/registry.h"
+#include "service/audit.h"
 #include "service/gateway.h"
 #include "service/load_driver.h"
 #include "synth/scenario.h"
@@ -69,11 +72,51 @@ void add_system_options(io::ArgParser& parser) {
       .add({.name = "parameter", .help = "parameter to sweep (default: the mechanism's first)"})
       .add({.name = "min", .help = "sweep lower bound (default: parameter's declared min)"})
       .add({.name = "max", .help = "sweep upper bound (default: parameter's declared max)"})
-      .add({.name = "points", .help = "sweep grid size", .default_value = "21"})
+      .add({.name = "points", .help = "sweep grid size", .default_value = "21"});
+}
+
+/// Per-command defaults for the shared evaluation flags.
+struct EvalOptionDefaults {
+  std::string privacy = "poi-retrieval";
+  std::string utility = "area-coverage-f1";
+  std::string seed = "42";
+  std::string seed_help = "experiment seed";
+  std::string threads = "0";
+  std::string threads_help = "worker threads (0 = all cores)";
+  std::vector<std::string> threads_aliases;
+};
+
+/// The evaluation flags every evaluating command spells identically:
+/// --privacy-metric, --utility-metric, --threads, --seed. Old aliases
+/// (e.g. serve-sim's --workers) keep working with a deprecation note.
+void add_eval_options(io::ArgParser& parser, EvalOptionDefaults d = {}) {
+  parser
       .add({.name = "privacy-metric",
             .help = "privacy metric (" + join_names(metrics::metric_names()) + ")",
-            .default_value = "poi-retrieval"})
-      .add({.name = "utility-metric", .help = "utility metric", .default_value = "area-coverage-f1"});
+            .default_value = d.privacy})
+      .add({.name = "utility-metric", .help = "utility metric", .default_value = d.utility})
+      .add({.name = "threads",
+            .help = d.threads_help,
+            .default_value = d.threads,
+            .deprecated_aliases = d.threads_aliases})
+      .add({.name = "seed", .help = d.seed_help, .default_value = d.seed});
+}
+
+/// Renders one registry entry's ParameterSpecs under its name.
+void print_parameter_specs(const std::vector<lppm::ParameterSpec>& specs) {
+  if (specs.empty()) {
+    std::cout << "    (no tunable parameters)\n";
+    return;
+  }
+  for (const lppm::ParameterSpec& spec : specs) {
+    std::cout << "    --" << spec.name << "  [" << spec.min_value << ", " << spec.max_value
+              << "] default " << spec.default_value << " ("
+              << (spec.scale == lppm::Scale::kLog ? "log" : "linear");
+    if (!spec.unit.empty()) std::cout << ", " << spec.unit;
+    std::cout << ")";
+    if (!spec.description.empty()) std::cout << "  " << spec.description;
+    std::cout << "\n";
+  }
 }
 
 trace::Dataset load_dataset(const std::string& path) {
@@ -145,11 +188,11 @@ int cmd_sweep(const Args& args) {
   io::ArgParser parser("sweep", "run the automated (Pr, Ut) sweep (step 2a)");
   parser.add({.name = "data", .help = "dataset CSV", .required = true})
       .add({.name = "trials", .help = "protection repetitions per point", .default_value = "3"})
-      .add({.name = "seed", .help = "experiment seed", .default_value = "42"})
-      .add({.name = "threads", .help = "worker threads (0 = all cores)", .default_value = "0"})
+      .add({.name = "no-cache", .help = "disable the shared artifact cache", .is_flag = true})
       .add({.name = "out", .help = "output sweep JSON path", .required = true})
       .add({.name = "csv", .help = "also write the sweep as CSV to this path"});
   add_system_options(parser);
+  add_eval_options(parser);
   const io::ParsedArgs parsed = parser.parse(args);
 
   const trace::Dataset data = load_dataset(parsed.get("data"));
@@ -158,6 +201,8 @@ int cmd_sweep(const Args& args) {
   cfg.trials = static_cast<std::size_t>(parsed.get_int("trials"));
   cfg.seed = static_cast<std::uint64_t>(parsed.get_int("seed"));
   cfg.threads = static_cast<std::size_t>(parsed.get_int("threads"));
+  cfg.use_artifact_cache = !parsed.get_flag("no-cache");
+  if (cfg.use_artifact_cache) cfg.artifact_cache = std::make_shared<metrics::ArtifactCache>();
 
   const core::SweepResult sweep = core::run_sweep(def, data, cfg);
   io::write_json_file(parsed.get("out"), core::sweep_to_json(sweep));
@@ -169,6 +214,11 @@ int cmd_sweep(const Args& args) {
                    io::Table::num(p.utility_mean, 3)});
   }
   table.print(std::cout);
+  if (cfg.artifact_cache != nullptr) {
+    const metrics::ArtifactCache::Stats stats = cfg.artifact_cache->stats();
+    std::cout << "\nartifact cache: " << stats.hits << " hits / " << stats.misses
+              << " misses (hit rate " << io::Table::num(stats.hit_rate(), 3) << ")\n";
+  }
   std::cout << "\nwrote sweep (" << sweep.points.size() << " points) to " << parsed.get("out")
             << "\n";
   return 0;
@@ -211,7 +261,11 @@ int cmd_configure(const Args& args) {
       .add({.name = "privacy-max", .help = "privacy metric must be <= this"})
       .add({.name = "privacy-min", .help = "privacy metric must be >= this"})
       .add({.name = "utility-min", .help = "utility metric must be >= this"})
-      .add({.name = "utility-max", .help = "utility metric must be <= this"});
+      .add({.name = "utility-max", .help = "utility metric must be <= this"})
+      .add({.name = "data", .help = "dataset CSV: also measure the recommendation on it"})
+      .add({.name = "trials", .help = "protection repetitions for the --data measurement",
+            .default_value = "3"});
+  add_eval_options(parser);
   const io::ParsedArgs parsed = parser.parse(args);
 
   const core::LppmModel model = core::load_model(parsed.get("model"));
@@ -249,6 +303,27 @@ int cmd_configure(const Args& args) {
   std::cout << "recommended " << model.parameter << " = " << cfg.recommended << "\n";
   std::cout << "predicted " << model.privacy_metric << " = " << cfg.predicted_privacy << ", "
             << model.utility_metric << " = " << cfg.predicted_utility << "\n";
+
+  // Optionally check the prediction against reality on a dataset.
+  if (parsed.has("data")) {
+    const trace::Dataset data = load_dataset(parsed.get("data"));
+    core::SystemDefinition def;
+    const std::string mechanism = model.mechanism_name;
+    def.mechanism_factory = [mechanism] { return lppm::create_mechanism(mechanism); };
+    def.sweep.parameter = model.parameter;
+    def.privacy = std::shared_ptr<const metrics::Metric>(
+        metrics::create_metric(parsed.get("privacy-metric")));
+    def.utility = std::shared_ptr<const metrics::Metric>(
+        metrics::create_metric(parsed.get("utility-metric")));
+    const auto cache = std::make_shared<metrics::ArtifactCache>();
+    const core::SweepPoint measured =
+        core::evaluate_point(def, data, cfg.recommended,
+                             static_cast<std::size_t>(parsed.get_int("trials")),
+                             static_cast<std::uint64_t>(parsed.get_int("seed")), cache);
+    std::cout << "measured on " << parsed.get("data") << ": " << def.privacy->name() << " = "
+              << io::Table::num(measured.privacy_mean, 4) << ", " << def.utility->name() << " = "
+              << io::Table::num(measured.utility_mean, 4) << "\n";
+  }
   return 0;
 }
 
@@ -291,12 +366,18 @@ int cmd_audit(const Args& args) {
   const trace::Dataset actual = load_dataset(parsed.get("actual"));
   const trace::Dataset protected_data = load_dataset(parsed.get("protected"));
 
+  // One shared context: the POI/staypoint/raster derivations are
+  // computed once and reused by every metric that wants them.
+  const auto actual_cache = std::make_shared<metrics::ArtifactCache>();
+  const auto protected_cache = std::make_shared<metrics::ArtifactCache>();
+  const metrics::EvalContext ctx(actual, protected_data, actual_cache, protected_cache);
+
   io::Table table({"metric", "axis", "value"});
   for (const std::string& name : metrics::metric_names()) {
     const std::unique_ptr<metrics::Metric> metric = metrics::create_metric(name);
     const bool privacy = metrics::is_privacy_direction(metric->direction());
     table.add_row({name, privacy ? "privacy" : "utility",
-                   io::Table::num(metric->evaluate(actual, protected_data), 4)});
+                   io::Table::num(metric->evaluate(ctx), 4)});
   }
   table.print(std::cout);
   return 0;
@@ -306,9 +387,9 @@ int cmd_validate(const Args& args) {
   io::ArgParser parser("validate", "k-fold cross-validation of the fitted model");
   parser.add({.name = "data", .help = "dataset CSV", .required = true})
       .add({.name = "folds", .help = "number of user folds", .default_value = "4"})
-      .add({.name = "trials", .help = "protection repetitions per point", .default_value = "2"})
-      .add({.name = "seed", .help = "experiment seed", .default_value = "42"});
+      .add({.name = "trials", .help = "protection repetitions per point", .default_value = "2"});
   add_system_options(parser);
+  add_eval_options(parser);
   const io::ParsedArgs parsed = parser.parse(args);
 
   const trace::Dataset data = load_dataset(parsed.get("data"));
@@ -316,6 +397,7 @@ int cmd_validate(const Args& args) {
   core::ExperimentConfig cfg;
   cfg.trials = static_cast<std::size_t>(parsed.get_int("trials"));
   cfg.seed = static_cast<std::uint64_t>(parsed.get_int("seed"));
+  cfg.threads = static_cast<std::size_t>(parsed.get_int("threads"));
 
   const core::CrossValidationReport report =
       core::cross_validate(def, data, static_cast<std::size_t>(parsed.get_int("folds")), cfg);
@@ -341,17 +423,15 @@ int cmd_compare(const Args& args) {
             .default_value =
                 "geo-indistinguishability,gaussian-perturbation,grid-cloaking,promesse"})
       .add({.name = "points", .help = "sweep grid size", .default_value = "17"})
-      .add({.name = "trials", .help = "protection repetitions per point", .default_value = "2"})
-      .add({.name = "seed", .help = "experiment seed", .default_value = "42"})
-      .add({.name = "privacy-metric", .help = "privacy metric", .default_value = "poi-retrieval"})
-      .add({.name = "utility-metric", .help = "utility metric",
-            .default_value = "area-coverage-f1"});
+      .add({.name = "trials", .help = "protection repetitions per point", .default_value = "2"});
+  add_eval_options(parser);
   const io::ParsedArgs parsed = parser.parse(args);
 
   const trace::Dataset data = load_dataset(parsed.get("data"));
   core::ExperimentConfig cfg;
   cfg.trials = static_cast<std::size_t>(parsed.get_int("trials"));
   cfg.seed = static_cast<std::uint64_t>(parsed.get_int("seed"));
+  cfg.threads = static_cast<std::size_t>(parsed.get_int("threads"));
 
   // Split the comma list.
   std::vector<std::string> names;
@@ -425,8 +505,6 @@ int cmd_serve_sim(const Args& args) {
             .default_value = "taxi"})
       .add({.name = "users", .help = "synthetic workload: number of users",
             .default_value = "12"})
-      .add({.name = "seed", .help = "workload + noise seed", .default_value = "2016"})
-      .add({.name = "workers", .help = "gateway worker threads", .default_value = "4"})
       .add({.name = "shards", .help = "session-manager shard count", .default_value = "8"})
       .add({.name = "queue-capacity", .help = "per-worker queue slots (backpressure bound)",
             .default_value = "1024"})
@@ -463,7 +541,14 @@ int cmd_serve_sim(const Args& args) {
             .default_value = "60"})
       .add({.name = "fallback-cell", .help = "fallback cloaking cell edge, meters",
             .default_value = "5000"})
+      .add({.name = "audit", .help = "evaluate the metrics on delivered vs original reports",
+            .is_flag = true})
       .add({.name = "out", .help = "write the telemetry snapshot JSON here"});
+  add_eval_options(parser, {.seed = "2016",
+                            .seed_help = "workload + noise seed",
+                            .threads = "4",
+                            .threads_help = "gateway worker threads",
+                            .threads_aliases = {"workers"}});
   const io::ParsedArgs parsed = parser.parse(args);
 
   trace::Dataset data;
@@ -486,7 +571,7 @@ int cmd_serve_sim(const Args& args) {
   }
 
   service::GatewayConfig cfg;
-  cfg.workers = static_cast<std::size_t>(parsed.get_int("workers"));
+  cfg.workers = static_cast<std::size_t>(parsed.get_int("threads"));
   cfg.queue_capacity = static_cast<std::size_t>(parsed.get_int("queue-capacity"));
   cfg.sessions.shard_count = static_cast<std::size_t>(parsed.get_int("shards"));
   cfg.sessions.idle_timeout_s = parsed.get_int("idle-timeout");
@@ -519,7 +604,11 @@ int cmd_serve_sim(const Args& args) {
   }
   std::cout << "\n";
 
-  service::Gateway gateway(cfg, [](const service::ProtectedReport&) {});
+  service::StreamAuditor auditor;
+  const bool audit = parsed.get_flag("audit");
+  service::Gateway gateway(cfg, [&auditor, audit](const service::ProtectedReport& r) {
+    if (audit) auditor.record(r);
+  });
   service::LoadDriverConfig load_cfg;
   load_cfg.rate_multiplier = parsed.get_double("rate");
   const service::LoadResult load = service::replay_dataset(data, gateway, load_cfg);
@@ -567,9 +656,48 @@ int cmd_serve_sim(const Args& args) {
             << "sessions: " << snap.sessions_created << " created, " << snap.sessions_evicted_idle
             << " idle-evicted, " << snap.sessions_evicted_lru << " lru-evicted\n";
 
+  if (audit) {
+    std::cout << "\nsession audit (" << auditor.recorded() << " delivered pairs, "
+              << parsed.get("privacy-metric") << " + " << parsed.get("utility-metric") << "):\n";
+    const std::vector<std::shared_ptr<const metrics::Metric>> audit_metrics = {
+        std::shared_ptr<const metrics::Metric>(
+            metrics::create_metric(parsed.get("privacy-metric"))),
+        std::shared_ptr<const metrics::Metric>(
+            metrics::create_metric(parsed.get("utility-metric")))};
+    for (const service::StreamAuditor::MetricValue& mv : auditor.evaluate(audit_metrics)) {
+      std::cout << "  " << mv.name << " (" << (mv.privacy ? "privacy" : "utility") << ") = "
+                << io::Table::num(mv.value, 4) << "\n";
+    }
+  }
+
   if (parsed.has("out")) {
     io::write_json_file(parsed.get("out"), gateway.telemetry().to_json());
     std::cout << "wrote telemetry to " << parsed.get("out") << "\n";
+  }
+  return 0;
+}
+
+int cmd_list_mechanisms(const Args& args) {
+  io::ArgParser parser("list-mechanisms", "list built-in mechanisms and their parameters");
+  const io::ParsedArgs parsed = parser.parse(args);
+  (void)parsed;
+  for (const std::string& name : lppm::mechanism_names()) {
+    std::cout << name << "\n";
+    print_parameter_specs(lppm::create_mechanism(name)->parameters());
+  }
+  return 0;
+}
+
+int cmd_list_metrics(const Args& args) {
+  io::ArgParser parser("list-metrics", "list built-in metrics and their parameters");
+  const io::ParsedArgs parsed = parser.parse(args);
+  (void)parsed;
+  for (const std::string& name : metrics::metric_names()) {
+    const std::unique_ptr<metrics::Metric> metric = metrics::create_metric(name);
+    std::cout << name << "  ["
+              << (metrics::is_privacy_direction(metric->direction()) ? "privacy" : "utility")
+              << "]\n";
+    print_parameter_specs(metrics::metric_parameters(name));
   }
   return 0;
 }
@@ -635,7 +763,9 @@ std::string main_usage() {
      << "  report     render a markdown report from sweep/model artifacts\n"
      << "  compare    sweep several mechanisms and rank their trade-offs\n"
      << "  clean      drop GPS glitches and stuck fixes from a dataset CSV\n"
-     << "  serve-sim  replay a workload through the concurrent obfuscation gateway\n\n"
+     << "  serve-sim  replay a workload through the concurrent obfuscation gateway\n"
+     << "  list-mechanisms  built-in mechanisms with their ParameterSpecs\n"
+     << "  list-metrics     built-in metrics with their ParameterSpecs\n\n"
      << "run `locpriv <command> --help`-free: any parse error prints that command's usage.\n";
   return os.str();
 }

@@ -34,6 +34,10 @@ int cmd_clean(const Args& args);
 /// Simulated serving: replays a dataset through the concurrent
 /// obfuscation gateway and reports live telemetry.
 int cmd_serve_sim(const Args& args);
+/// Lists built-in mechanisms with their ParameterSpecs.
+int cmd_list_mechanisms(const Args& args);
+/// Lists built-in metrics with their ParameterSpecs.
+int cmd_list_metrics(const Args& args);
 
 /// Top-level help text (lists subcommands).
 [[nodiscard]] std::string main_usage();

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
       {"fit", cmd_fit},           {"configure", cmd_configure}, {"protect", cmd_protect},
       {"audit", cmd_audit},       {"validate", cmd_validate}, {"report", cmd_report},
       {"compare", cmd_compare}, {"clean", cmd_clean},     {"serve-sim", cmd_serve_sim},
+      {"list-mechanisms", cmd_list_mechanisms}, {"list-metrics", cmd_list_metrics},
   };
 
   if (argc < 2) {
