@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/tracer.h"
 #include "stats/online.h"
 #include "stats/rng.h"
 
@@ -44,21 +45,33 @@ SweepPoint evaluate_point(const SystemDefinition& system, const trace::Dataset& 
                           double parameter_value, std::size_t trials, std::uint64_t seed,
                           const std::shared_ptr<metrics::ArtifactCache>& actual_cache) {
   if (trials == 0) throw std::invalid_argument("evaluate_point: need at least one trial");
+  obs::Span point_span("core", "evaluate_point");
+  point_span.arg("value", parameter_value).arg("trials", static_cast<double>(trials));
   const std::unique_ptr<lppm::Mechanism> mechanism = system.mechanism_factory();
   mechanism->set_parameter(system.sweep.parameter, parameter_value);
 
   stats::OnlineMoments pr;
   stats::OnlineMoments ut;
   for (std::size_t trial = 0; trial < trials; ++trial) {
-    const trace::Dataset protected_data =
-        mechanism->protect_dataset(data, stats::derive_seed(seed, trial));
+    obs::Span trial_span("core", "trial");
+    trial_span.arg("trial", static_cast<double>(trial));
+    const trace::Dataset protected_data = [&] {
+      obs::Span protect_span("lppm", "protect_dataset");
+      return mechanism->protect_dataset(data, stats::derive_seed(seed, trial));
+    }();
     // The protected dataset is unique to this trial, so its cache lives
     // and dies here — it only shares derivations between the two metrics.
     const std::shared_ptr<metrics::ArtifactCache> protected_cache =
         actual_cache != nullptr ? std::make_shared<metrics::ArtifactCache>() : nullptr;
     const metrics::EvalContext ctx(data, protected_data, actual_cache, protected_cache);
-    pr.add(system.privacy->evaluate(ctx));
-    ut.add(system.utility->evaluate(ctx));
+    {
+      obs::Span eval_span("metrics", system.privacy->name());
+      pr.add(system.privacy->evaluate(ctx));
+    }
+    {
+      obs::Span eval_span("metrics", system.utility->name());
+      ut.add(system.utility->evaluate(ctx));
+    }
   }
 
   SweepPoint point;
@@ -100,6 +113,9 @@ SweepResult run_sweep(const SystemDefinition& system, const trace::Dataset& data
   if (data.empty()) throw std::invalid_argument("run_sweep: empty dataset");
 
   const std::vector<double> values = sweep_values(system.sweep);
+  obs::Span sweep_span("core", "run_sweep");
+  sweep_span.arg("points", static_cast<double>(values.size()))
+      .arg("parameter", system.sweep.parameter);
 
   SweepResult result;
   {
@@ -117,6 +133,7 @@ SweepResult run_sweep(const SystemDefinition& system, const trace::Dataset& data
   std::size_t threads = config.threads != 0 ? config.threads : std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
   threads = std::min(threads, values.size());
+  sweep_span.arg("threads", static_cast<double>(threads));
 
   // One actual-side cache for the whole sweep: the actual dataset never
   // changes, so staypoints/POIs/rasters are derived once and shared by

@@ -1,9 +1,9 @@
 #include "core/model_store.h"
 
-#include <cstdio>
 #include <stdexcept>
 
 #include "io/csv.h"
+#include "io/numeric.h"
 
 namespace locpriv::core {
 namespace {
@@ -153,11 +153,7 @@ void save_model(const std::string& path, const LppmModel& model) {
 }
 
 std::vector<std::vector<std::string>> sweep_to_csv_rows(const SweepResult& sweep) {
-  auto fmt = [](double v) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.10g", v);
-    return std::string(buf);
-  };
+  auto fmt = [](double v) { return io::format_double(v, 10); };
   std::vector<std::vector<std::string>> rows;
   rows.push_back({sweep.parameter, sweep.privacy_metric, sweep.privacy_metric + "_stddev",
                   sweep.utility_metric, sweep.utility_metric + "_stddev"});

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "obs/tracer.h"
 #include "stats/rng.h"
 
 namespace locpriv::core {
@@ -42,6 +43,8 @@ RefinedSweep run_refined_sweep(const SystemDefinition& system, const trace::Data
                                const RefinementConfig& config) {
   SystemDefinition current = system;
   RefinedSweep out;
+  obs::Span refine_span("core", "run_refined_sweep");
+  refine_span.arg("rounds", static_cast<double>(config.rounds));
 
   // All rounds sweep the same dataset, so the actual-side artifacts are
   // derived once here and stay warm for every zoomed-in round.
@@ -79,6 +82,10 @@ RefinedSweep run_refined_sweep(const SystemDefinition& system, const trace::Data
 
     ExperimentConfig exp = base;
     exp.seed = stats::derive_seed(config.experiment.seed, round + 1);
+    obs::Span round_span("core", "refine_round");
+    round_span.arg("round", static_cast<double>(round))
+        .arg("low", current.sweep.min_value)
+        .arg("high", current.sweep.max_value);
     sweep = run_sweep(current, data, exp);
     out.total_evaluations += sweep.points.size() * exp.trials;
     out.final_round = sweep;

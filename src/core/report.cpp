@@ -1,18 +1,15 @@
 #include "core/report.h"
 
-#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "io/numeric.h"
+
 namespace locpriv::core {
 namespace {
 
-std::string num(double v, int precision = 4) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.*g", precision, v);
-  return buf;
-}
+std::string num(double v, int precision = 4) { return io::format_double(v, precision); }
 
 void render_sweep(std::ostringstream& os, const SweepResult& sweep) {
   os << "## Sweep\n\n";

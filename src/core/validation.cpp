@@ -4,6 +4,8 @@
 #include <utility>
 #include <stdexcept>
 
+#include "obs/tracer.h"
+
 namespace locpriv::core {
 namespace {
 
@@ -36,7 +38,11 @@ CrossValidationReport cross_validate(const SystemDefinition& system, const trace
   }
 
   CrossValidationReport report;
+  obs::Span cv_span("core", "cross_validate");
+  cv_span.arg("folds", static_cast<double>(folds));
   for (std::size_t fold = 0; fold < folds; ++fold) {
+    obs::Span fold_span("core", "fold");
+    fold_span.arg("fold", static_cast<double>(fold));
     trace::Dataset train;
     trace::Dataset test;
     for (std::size_t i = 0; i < data.size(); ++i) {

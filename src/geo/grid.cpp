@@ -1,5 +1,6 @@
 #include "geo/grid.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -36,6 +37,41 @@ CellSet Grid::covered_cells(std::span<const Point> pts) const {
 
 std::size_t Grid::coverage_count(std::span<const Point> pts) const {
   return covered_cells(pts).size();
+}
+
+GridExtent::GridExtent(const BoundingBox& box, double cell_size_m)
+    : box_(box), cell_size_(cell_size_m) {
+  if (box_.empty()) throw std::invalid_argument("GridExtent: empty bounding box");
+  if (!(cell_size_m > 0.0)) throw std::invalid_argument("GridExtent: cell size must be positive");
+  // A degenerate axis (zero width/height) still rasterizes to one cell.
+  cols_ = std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(box_.width() / cell_size_)));
+  rows_ = std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(box_.height() / cell_size_)));
+}
+
+CellIndex GridExtent::cell_of(Point p) const {
+  if (!box_.contains(p)) throw std::out_of_range("GridExtent::cell_of: point outside the box");
+  auto clamp_axis = [this](double offset, std::size_t n) {
+    const auto raw = static_cast<std::int64_t>(std::floor(offset / cell_size_));
+    // Closed upper edge: the box max (and any last-ulp wobble below it)
+    // belongs to the last cell, never one past it.
+    const auto last = static_cast<std::int64_t>(n) - 1;
+    return std::min(std::max<std::int64_t>(raw, 0), last);
+  };
+  return {clamp_axis(p.x - box_.min().x, cols_), clamp_axis(p.y - box_.min().y, rows_)};
+}
+
+std::size_t GridExtent::linear_index(Point p) const {
+  const CellIndex c = cell_of(p);
+  return static_cast<std::size_t>(c.row) * cols_ + static_cast<std::size_t>(c.col);
+}
+
+Point GridExtent::cell_center(CellIndex c) const {
+  if (c.col < 0 || c.row < 0 || static_cast<std::size_t>(c.col) >= cols_ ||
+      static_cast<std::size_t>(c.row) >= rows_) {
+    throw std::out_of_range("GridExtent::cell_center: cell outside the extent");
+  }
+  return {box_.min().x + (static_cast<double>(c.col) + 0.5) * cell_size_,
+          box_.min().y + (static_cast<double>(c.row) + 0.5) * cell_size_};
 }
 
 std::size_t intersection_size(const CellSet& a, const CellSet& b) {

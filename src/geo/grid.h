@@ -76,6 +76,50 @@ class Grid {
   Point origin_;
 };
 
+/// A bounded rasterization of a bounding box: cols() × rows() cells of
+/// `cell_size_m` anchored at the box's south-west corner.
+///
+/// Unlike the infinite Grid (pure floor semantics), the extent treats
+/// the box as CLOSED on its north/east boundary: a point exactly on the
+/// box's max edge lands in the LAST row/column — mirroring the
+/// upper-edge clamp in stats::Histogram::add — instead of flooring one
+/// past the end and indexing out of range. The clamp also absorbs the
+/// one-ulp floating-point wobble of (p - min) / cell_size for points a
+/// hair inside the edge.
+class GridExtent {
+ public:
+  /// Requires a non-empty box and cell_size_m > 0; throws
+  /// std::invalid_argument otherwise.
+  GridExtent(const BoundingBox& box, double cell_size_m);
+
+  [[nodiscard]] const BoundingBox& box() const { return box_; }
+  [[nodiscard]] double cell_size() const { return cell_size_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cell_count() const { return cols_ * rows_; }
+
+  /// Closed-box containment (same contract as BoundingBox::contains).
+  [[nodiscard]] bool contains(Point p) const { return box_.contains(p); }
+
+  /// Cell containing `p`, with the closed north/east boundary clamped
+  /// into the last row/column. Requires contains(p); throws
+  /// std::out_of_range otherwise.
+  [[nodiscard]] CellIndex cell_of(Point p) const;
+
+  /// Row-major linear index of cell_of(p), always < cell_count().
+  [[nodiscard]] std::size_t linear_index(Point p) const;
+
+  /// Center of a cell; requires col < cols() and row < rows()
+  /// (std::out_of_range otherwise).
+  [[nodiscard]] Point cell_center(CellIndex c) const;
+
+ private:
+  BoundingBox box_;
+  double cell_size_;
+  std::size_t cols_ = 1;
+  std::size_t rows_ = 1;
+};
+
 /// |a ∩ b|.
 [[nodiscard]] std::size_t intersection_size(const CellSet& a, const CellSet& b);
 

@@ -1,8 +1,12 @@
 #include "io/args.h"
 
 #include <iostream>
+#include <mutex>
+#include <set>
 #include <sstream>
 #include <stdexcept>
+
+#include "io/numeric.h"
 
 namespace locpriv::io {
 
@@ -20,26 +24,22 @@ const std::string& ParsedArgs::get(const std::string& name) const {
 
 double ParsedArgs::get_double(const std::string& name) const {
   const std::string& raw = get(name);
-  try {
-    std::size_t consumed = 0;
-    const double v = std::stod(raw, &consumed);
-    if (consumed != raw.size()) throw std::invalid_argument("trailing characters");
-    return v;
-  } catch (const std::exception&) {
+  // from_chars, not std::stod: values must parse identically whatever
+  // the host locale's decimal separator is.
+  const std::optional<double> v = parse_double(raw);
+  if (!v.has_value()) {
     throw std::runtime_error("option --" + name + ": '" + raw + "' is not a number");
   }
+  return *v;
 }
 
 long long ParsedArgs::get_int(const std::string& name) const {
   const std::string& raw = get(name);
-  try {
-    std::size_t consumed = 0;
-    const long long v = std::stoll(raw, &consumed);
-    if (consumed != raw.size()) throw std::invalid_argument("trailing characters");
-    return v;
-  } catch (const std::exception&) {
+  const std::optional<long long> v = parse_int64(raw);
+  if (!v.has_value()) {
     throw std::runtime_error("option --" + name + ": '" + raw + "' is not an integer");
   }
+  return *v;
 }
 
 bool ParsedArgs::get_flag(const std::string& name) const { return has(name); }
@@ -68,6 +68,21 @@ ArgParser& ArgParser::add(ArgSpec spec) {
   return *this;
 }
 
+namespace {
+
+/// Warns about one deprecated alias at most once per process: a flag
+/// repeated on one command line (or re-parsed by a retry loop) should
+/// not spam stderr with the identical note.
+void warn_deprecated_alias_once(const std::string& alias, const std::string& canonical) {
+  static std::mutex mutex;
+  static std::set<std::string> warned;
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (!warned.insert(alias).second) return;
+  std::cerr << "warning: --" << alias << " is deprecated; use --" << canonical << "\n";
+}
+
+}  // namespace
+
 ParsedArgs ArgParser::parse(const std::vector<std::string>& argv) const {
   std::map<std::string, std::string> values;
   std::vector<std::string> positional;
@@ -79,7 +94,7 @@ ParsedArgs ArgParser::parse(const std::vector<std::string>& argv) const {
     for (const ArgSpec& s : specs_) {
       for (const std::string& alias : s.deprecated_aliases) {
         if (alias == name) {
-          std::cerr << "warning: --" << alias << " is deprecated; use --" << s.name << "\n";
+          warn_deprecated_alias_once(alias, s.name);
           name = s.name;  // store under the canonical spelling
           return &s;
         }

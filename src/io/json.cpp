@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "io/numeric.h"
+
 namespace locpriv::io {
 
 bool JsonValue::as_bool() const {
@@ -71,12 +73,14 @@ void escape_string(std::ostringstream& os, const std::string& s) {
 
 void write_number(std::ostringstream& os, double d) {
   if (!std::isfinite(d)) throw std::runtime_error("to_json: non-finite number");
+  // Locale-independent on purpose: streaming the double (or snprintf)
+  // would honor the process locale — comma decimal points, digit
+  // grouping — and corrupt the document. format_double always emits the
+  // JSON grammar.
   if (d == std::floor(d) && std::abs(d) < 1e15) {
-    os << static_cast<long long>(d);
+    os << std::to_string(static_cast<long long>(d));
   } else {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.17g", d);
-    os << buf;
+    os << format_double(d, 17);
   }
 }
 
@@ -287,14 +291,13 @@ class Parser {
       ++pos_;
     }
     if (pos_ == start) fail("expected a value");
-    try {
-      std::size_t consumed = 0;
-      const double d = std::stod(text_.substr(start, pos_ - start), &consumed);
-      if (consumed != pos_ - start) fail("malformed number");
-      return JsonValue(d);
-    } catch (const std::exception&) {
-      fail("malformed number");
-    }
+    // from_chars, not std::stod: stod honors the process locale and
+    // would reject "0.5" under a comma-decimal locale.
+    std::size_t consumed = 0;
+    const std::optional<double> d = parse_double_prefix(
+        std::string_view(text_).substr(start, pos_ - start), consumed);
+    if (!d.has_value() || consumed != pos_ - start) fail("malformed number");
+    return JsonValue(*d);
   }
 
   const std::string& text_;

@@ -1,0 +1,51 @@
+#include "io/numeric.h"
+
+#include <charconv>
+#include <system_error>
+
+namespace locpriv::io {
+
+std::optional<double> parse_double(std::string_view s) {
+  std::size_t consumed = 0;
+  const std::optional<double> v = parse_double_prefix(s, consumed);
+  if (!v.has_value() || consumed != s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<long long> parse_int64(std::string_view s) {
+  long long v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_double_prefix(std::string_view s, std::size_t& consumed) {
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{}) {
+    consumed = 0;
+    return std::nullopt;
+  }
+  consumed = static_cast<std::size_t>(ptr - s.data());
+  return v;
+}
+
+std::string format_double(double v, int precision) {
+  // %.17g of any finite double fits well within 32 bytes
+  // (sign + 17 digits + point + "e-308").
+  char buf[40];
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof buf, v, std::chars_format::general, precision);
+  if (ec != std::errc{}) return "nan";  // unreachable for sane precision
+  return std::string(buf, ptr);
+}
+
+std::string format_double_fixed(double v, int decimals) {
+  char buf[64];
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof buf, v, std::chars_format::fixed, decimals);
+  if (ec != std::errc{}) return "nan";  // value too large for the buffer
+  return std::string(buf, ptr);
+}
+
+}  // namespace locpriv::io

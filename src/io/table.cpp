@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cstdio>
 #include <stdexcept>
+
+#include "io/numeric.h"
 
 namespace locpriv::io {
 namespace {
@@ -30,11 +31,7 @@ void Table::add_row(std::vector<std::string> row) {
   rows_.push_back(std::move(row));
 }
 
-std::string Table::num(double v, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.*g", precision, v);
-  return buf;
-}
+std::string Table::num(double v, int precision) { return format_double(v, precision); }
 
 void Table::print(std::ostream& os) const {
   std::vector<std::size_t> widths(header_.size());

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/tracer.h"
+
 namespace locpriv::metrics {
 
 namespace {
@@ -55,19 +57,29 @@ std::size_t ArtifactKeyHash::operator()(const ArtifactKey& k) const {
 
 std::shared_ptr<const void> ArtifactCache::get_or_build(const ArtifactKey& key,
                                                         const Builder& build) {
+  static obs::Counter hit_counter("artifact_cache.hits");
+  static obs::Counter miss_counter("artifact_cache.misses");
   Shard& shard = shards_[ArtifactKeyHash{}(key) % kShardCount];
   {
     const std::lock_guard<std::mutex> lock(shard.mutex);
     const auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      hit_counter.add();
       return it->second;
     }
   }
   // Build outside the lock: concurrent misses of the same key may build
   // twice, but the first insert wins and both results are identical.
-  std::shared_ptr<const void> built = build();
+  // Hits stay counter-only (a span per hit would swamp the trace); each
+  // build gets a real span since that is where the time goes.
+  std::shared_ptr<const void> built = [&] {
+    obs::Span build_span("cache", "artifact_build");
+    build_span.arg("kind", key.kind).arg("trace", static_cast<double>(key.trace));
+    return build();
+  }();
   misses_.fetch_add(1, std::memory_order_relaxed);
+  miss_counter.add();
   const std::lock_guard<std::mutex> lock(shard.mutex);
   const auto [it, inserted] = shard.map.try_emplace(key, std::move(built));
   return it->second;

@@ -1,0 +1,176 @@
+// Span tracing and perf counters — the observability layer of the
+// framework.
+//
+// The sweep engine and the serving gateway both live or die on knowing
+// where time and cache budget go. The tracer answers that with two
+// primitives:
+//
+//   obs::Span     RAII scope timer. Construction snapshots a steady
+//                 clock, destruction appends a completed-span record to
+//                 the calling thread's private buffer — no lock on the
+//                 hot path. Spans nest naturally by time containment.
+//   obs::Counter  named process-wide counter backed by one relaxed
+//                 atomic; the handle resolves its cell once at
+//                 construction, so a bump is load + branch + fetch_add.
+//
+// Everything is gated on one relaxed atomic flag. Tracing DISABLED is
+// the default and costs one predictable branch per span/counter site —
+// no allocation, no clock read, no stores — so instrumented code is
+// bit-identical and perf-identical to uninstrumented code. Tracing
+// ENABLED records wall-clock timing but never feeds it back into any
+// computation: results stay bit-identical with tracing on, off, or
+// under any thread count (the determinism suite pins this).
+//
+// Per-thread buffers are flushed to a shared sink when a thread exits
+// (thread_local destructor) or explicitly via flush_this_thread(). The
+// export is Chrome trace-event JSON — load it in chrome://tracing or
+// https://ui.perfetto.dev — with final counter values in "otherData".
+//
+// Span taxonomy and the counter registry are documented in
+// docs/OBSERVABILITY.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "io/json.h"
+
+namespace locpriv::obs {
+
+/// One completed span, as buffered per thread. `category` and arg keys
+/// are static strings (string literals at call sites); `name` may be
+/// dynamic (e.g. a metric name).
+struct SpanRecord {
+  std::string name;
+  const char* category = "";
+  std::uint64_t start_ns = 0;  ///< since the tracer epoch
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;
+  std::vector<std::pair<const char*, double>> num_args;
+  std::vector<std::pair<const char*, std::string>> str_args;
+};
+
+/// Process-wide tracer singleton. All methods are thread-safe.
+class Tracer {
+ public:
+  struct Impl;  // implementation state; public so tracer.cpp's helpers can name it
+
+  /// The singleton. Intentionally leaked (never destroyed): thread_local
+  /// buffers flush into it from thread-exit destructors, whose order
+  /// against static destruction is otherwise unknowable.
+  static Tracer& instance();
+
+  /// Starts capturing. Drops previously collected spans and zeroes all
+  /// counters, so one enable() == one clean capture session.
+  void enable();
+  /// Stops capturing; already-recorded spans stay collectable.
+  void disable();
+  [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Nanoseconds since the tracer epoch (steady clock).
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  /// Appends a completed span to the calling thread's buffer. Called by
+  /// ~Span; callable directly for pre-measured intervals.
+  void record(SpanRecord&& rec);
+
+  /// Pushes the calling thread's buffer into the shared sink. Threads
+  /// that already exited have flushed automatically; call this from the
+  /// main thread before exporting.
+  void flush_this_thread();
+
+  /// Stable id of the calling thread in this tracer's numbering (also
+  /// the `tid` of its spans).
+  [[nodiscard]] std::uint32_t this_thread_id();
+
+  /// Registers (or finds) a counter cell by name. The returned atomic
+  /// lives forever; obs::Counter holds it so bumps never re-lookup.
+  [[nodiscard]] std::atomic<std::uint64_t>* counter_cell(std::string_view name);
+
+  /// Snapshot of every registered counter (including zeros).
+  [[nodiscard]] std::map<std::string, std::uint64_t> counters() const;
+
+  /// Spans collected so far (flushed buffers only — call
+  /// flush_this_thread() first from the measuring thread).
+  [[nodiscard]] std::size_t collected_spans() const;
+
+  /// Chrome trace-event document: {"traceEvents": [...], "otherData":
+  /// {"counters": {...}}}. Flushes the calling thread first.
+  [[nodiscard]] io::JsonValue trace_json();
+
+  /// Counters as a flat JSON object — the block merged into the
+  /// service Telemetry JSON report.
+  [[nodiscard]] io::JsonValue counters_json() const;
+
+  /// Writes trace_json() to `path` (throws on I/O failure).
+  void write_chrome_trace(const std::string& path);
+
+  /// Drops all collected spans and zeroes counters without touching the
+  /// enabled flag. Test hook; enable() implies it.
+  void reset();
+
+ private:
+  Tracer();
+  Impl* impl_;  // leaked with the singleton
+  std::atomic<bool> enabled_{false};
+};
+
+/// RAII span. When the tracer is disabled, construction is one relaxed
+/// load + branch and the object is inert.
+///
+///   obs::Span span("core", "evaluate_point");
+///   span.arg("value", parameter_value);
+class Span {
+ public:
+  Span(const char* category, std::string_view name) {
+    if (!Tracer::instance().enabled()) return;
+    start(category, name);
+  }
+  ~Span() {
+    if (active_) finish();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a numeric argument (shown in the trace viewer). No-op
+  /// when inert. `key` must be a static string.
+  Span& arg(const char* key, double v) {
+    if (active_) rec_.num_args.emplace_back(key, v);
+    return *this;
+  }
+  Span& arg(const char* key, std::string_view v) {
+    if (active_) rec_.str_args.emplace_back(key, std::string(v));
+    return *this;
+  }
+
+ private:
+  void start(const char* category, std::string_view name);
+  void finish();
+
+  bool active_ = false;
+  std::uint64_t start_ns_ = 0;
+  SpanRecord rec_;
+};
+
+/// Named counter handle. Construct once (function-local static at the
+/// call site), bump freely; bumps are dropped while tracing is
+/// disabled so instrumented hot paths stay branch-cheap.
+class Counter {
+ public:
+  explicit Counter(std::string_view name) : cell_(Tracer::instance().counter_cell(name)) {}
+
+  void add(std::uint64_t delta = 1) {
+    if (Tracer::instance().enabled()) cell_->fetch_add(delta, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t>* cell_;
+};
+
+}  // namespace locpriv::obs

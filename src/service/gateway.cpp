@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "lppm/grid_cloaking.h"
+#include "obs/tracer.h"
 #include "stats/rng.h"
 
 namespace locpriv::service {
@@ -79,11 +80,17 @@ Gateway::Gateway(const GatewayConfig& cfg, SessionManager::SessionFactory factor
 Gateway::~Gateway() { drain(); }
 
 bool Gateway::submit(const std::string& user_id, const trace::Event& event) {
+  obs::Span submit_span("service", "gateway.submit");
+  static obs::Counter submitted_counter("service.submitted");
+  static obs::Counter rejected_counter("service.rejected_queue_full");
+  submitted_counter.add();
   telemetry_->record_received();
   Request r;
   r.user_id = user_id;
   r.event = event;
   r.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  obs::Tracer& tracer = obs::Tracer::instance();
+  if (tracer.enabled()) r.enqueue_ns = tracer.now_ns();
 
   // Injected queue-overflow burst: a deterministic (seq-scheduled)
   // rejection exercising the same degradation path a real overflow
@@ -94,6 +101,7 @@ bool Gateway::submit(const std::string& user_id, const trace::Event& event) {
 
   // Backpressure: degrade gracefully by answering with a suppression
   // right here instead of queueing without bound.
+  rejected_counter.add();
   telemetry_->record_rejected_queue_full();
   ProtectedReport out;
   out.user_id = user_id;
@@ -107,6 +115,15 @@ bool Gateway::submit(const std::string& user_id, const trace::Event& event) {
 void Gateway::drain() { pool_->drain(); }
 
 void Gateway::handle(std::size_t worker, const Request& r) {
+  obs::Span handle_span("service", "worker.handle");
+  handle_span.arg("worker", static_cast<double>(worker)).arg("seq", static_cast<double>(r.seq));
+  if (r.enqueue_ns != 0) {
+    // Queue-wait attribution: time between gateway submit and this
+    // worker picking the request up.
+    const std::uint64_t now = obs::Tracer::instance().now_ns();
+    const std::uint64_t wait = now > r.enqueue_ns ? now - r.enqueue_ns : 0;
+    handle_span.arg("queue_wait_us", static_cast<double>(wait) / 1e3);
+  }
   const auto t0 = std::chrono::steady_clock::now();
   const std::uint64_t uhash = stable_hash64(r.user_id);
 
@@ -129,6 +146,7 @@ void Gateway::handle(std::size_t worker, const Request& r) {
   std::optional<trace::Event> protected_event;
   double eps_spent = std::numeric_limits<double>::quiet_NaN();
   {
+    obs::Span session_span("service", "session.report");
     SessionManager::LockedSession locked = sessions_->acquire(r.user_id, event.time);
     // A backwards clock — injected skew here, a genuinely dirty client in
     // production — is clamped to the user's previous report time by the
@@ -150,9 +168,12 @@ void Gateway::handle(std::size_t worker, const Request& r) {
   std::uint32_t attempts = 0;
   const bool downstream_active = plan_ != nullptr || cfg_.downstream_latency.count() > 0;
   if (protected_event.has_value() && downstream_active) {
+    obs::Span downstream_span("service", "downstream.call");
     const DownstreamCallResult call = resilient_downstream_call(
         cfg_.resilience, plan_.get(), &breakers_[worker], telemetry_.get(), uhash, r.seq,
         event.time, cfg_.downstream_latency);
+    downstream_span.arg("attempts", static_cast<double>(call.attempts))
+        .arg("ok", call.ok ? 1.0 : 0.0);
     attempts = call.attempts;
     if (!call.ok) {
       if (cfg_.resilience.policy == DegradePolicy::fallback_cloak) {

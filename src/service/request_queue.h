@@ -26,6 +26,9 @@ struct Request {
   std::string user_id;
   trace::Event event;
   std::uint64_t seq = 0;
+  /// Tracer timestamp at enqueue (obs::Tracer::now_ns). Zero when
+  /// tracing is off; the worker span uses it to attribute queue wait.
+  std::uint64_t enqueue_ns = 0;
 };
 
 /// Bounded multi-producer/multi-consumer FIFO.

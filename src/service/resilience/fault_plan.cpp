@@ -1,11 +1,12 @@
 #include "service/resilience/fault_plan.h"
 
-#include <charconv>
 #include <cmath>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
+#include "io/numeric.h"
 #include "stats/rng.h"
 
 namespace locpriv::service {
@@ -71,14 +72,11 @@ FaultSpec parse_fault_spec(std::string_view spec) {
     }
     const std::string key(item.substr(0, eq));
     const std::string value(item.substr(eq + 1));
-    double num = 0.0;
-    try {
-      std::size_t used = 0;
-      num = std::stod(value, &used);
-      if (used != value.size()) throw std::invalid_argument(value);
-    } catch (const std::exception&) {
+    const std::optional<double> parsed = io::parse_double(value);
+    if (!parsed.has_value()) {
       throw std::invalid_argument("fault spec: bad value for '" + key + "': '" + value + "'");
     }
+    const double num = *parsed;
     if (key == "fail") {
       out.fail_probability = num;
     } else if (key == "latency_p") {

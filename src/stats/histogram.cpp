@@ -44,9 +44,13 @@ double Histogram::quantile(double q) const {
   const std::size_t n = underflow_ + total_ + overflow_;
   if (n == 0) throw std::logic_error("Histogram::quantile: empty histogram");
   // Rank among ALL samples so that out-of-range mass saturates the
-  // estimate at the histogram bounds instead of being ignored.
+  // estimate at the histogram bounds instead of being ignored. The
+  // lo-saturation branch requires actual underflow mass: with
+  // underflow == 0 a rank-0 quantile must fall where the real mass
+  // starts (the first occupied bin, or hi when everything overflowed),
+  // not snap to lo.
   const double rank = q * static_cast<double>(n);
-  if (rank <= static_cast<double>(underflow_)) return lo_;
+  if (underflow_ > 0 && rank <= static_cast<double>(underflow_)) return lo_;
   double seen = static_cast<double>(underflow_);
   for (std::size_t b = 0; b < counts_.size(); ++b) {
     const auto c = static_cast<double>(counts_[b]);

@@ -1,11 +1,11 @@
 #include "trace/trace_io.h"
 
-#include <cstdio>
 #include <fstream>
 #include <map>
 #include <stdexcept>
 
 #include "io/csv.h"
+#include "io/numeric.h"
 
 namespace locpriv::trace {
 namespace {
@@ -37,34 +37,24 @@ class DatasetBuilder {
 };
 
 double parse_double(const std::string& s, std::size_t line_no, const char* what) {
-  try {
-    std::size_t consumed = 0;
-    const double v = std::stod(s, &consumed);
-    if (consumed != s.size()) throw std::invalid_argument("trailing characters");
-    return v;
-  } catch (const std::exception&) {
+  const std::optional<double> v = io::parse_double(s);
+  if (!v.has_value()) {
     throw std::runtime_error("dataset csv: bad " + std::string(what) + " '" + s + "' at line " +
                              std::to_string(line_no));
   }
+  return *v;
 }
 
 Timestamp parse_time(const std::string& s, std::size_t line_no) {
-  try {
-    std::size_t consumed = 0;
-    const long long v = std::stoll(s, &consumed);
-    if (consumed != s.size()) throw std::invalid_argument("trailing characters");
-    return v;
-  } catch (const std::exception&) {
+  const std::optional<long long> v = io::parse_int64(s);
+  if (!v.has_value()) {
     throw std::runtime_error("dataset csv: bad timestamp '" + s + "' at line " +
                              std::to_string(line_no));
   }
+  return *v;
 }
 
-std::string fmt(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.6f", v);
-  return buf;
-}
+std::string fmt(double v) { return io::format_double_fixed(v, 6); }
 
 void check_header(const io::CsvRow& header, const char* c2, const char* c3) {
   if (header.size() != 4 || header[0] != "user" || header[1] != "timestamp" || header[2] != c2 ||

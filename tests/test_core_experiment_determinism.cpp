@@ -16,6 +16,7 @@
 
 #include "core/experiment.h"
 #include "metrics/eval_context.h"
+#include "obs/tracer.h"
 #include "core/system_definition.h"
 #include "service/gateway.h"
 #include "service/load_driver.h"
@@ -81,6 +82,24 @@ TEST(SweepDeterminism, CacheAndThreadCrossProductIsBitIdentical) {
   expect_bit_identical(baseline, sweep_with_threads(1, true), "uncached/1 vs cached/1");
   expect_bit_identical(baseline, sweep_with_threads(8, false), "uncached/1 vs uncached/8");
   expect_bit_identical(baseline, sweep_with_threads(8, true), "uncached/1 vs cached/8");
+}
+
+// Tracing observes the computation but must never perturb it: spans
+// only read the clock and buffer records, counters only bump atomics.
+// The sweep bits with tracing enabled — including under full thread
+// fan-out — must match the untraced run exactly.
+TEST(SweepDeterminism, TracingOnAndOffAreBitIdentical) {
+  const core::SweepResult untraced = sweep_with_threads(4);
+  obs::Tracer::instance().enable();
+  const core::SweepResult traced = sweep_with_threads(4);
+  const core::SweepResult traced_wide = sweep_with_threads(8);
+  obs::Tracer::instance().disable();
+  obs::Tracer::instance().flush_this_thread();
+  // The run really was traced — otherwise this test proves nothing.
+  EXPECT_GT(obs::Tracer::instance().collected_spans(), 0u);
+  obs::Tracer::instance().reset();
+  expect_bit_identical(untraced, traced, "tracing off vs on, threads=4");
+  expect_bit_identical(untraced, traced_wide, "tracing off vs on, threads=8");
 }
 
 TEST(SweepDeterminism, ExternallySuppliedWarmCacheIsBitIdentical) {
@@ -198,6 +217,20 @@ TEST(GatewayDeterminism, OneWorkerAndEightWorkersAreBitIdenticalWithBreakerOff) 
   run_gateway(chaos_config(1), data, one);
   run_gateway(chaos_config(8), data, eight);
   expect_bit_identical(one, eight, "workers=1 vs workers=8");
+}
+
+TEST(GatewayDeterminism, TracingOnAndOffAreBitIdenticalUnderFaults) {
+  const trace::Dataset data = testutil::two_stop_dataset(10);
+  service::GatewayConfig cfg = chaos_config(4);
+  cfg.resilience.breaker.failure_threshold = 5;  // same-config: breaker on
+  Capture untraced, traced;
+  run_gateway(cfg, data, untraced);
+  obs::Tracer::instance().enable();
+  run_gateway(cfg, data, traced);
+  obs::Tracer::instance().disable();
+  EXPECT_GT(obs::Tracer::instance().collected_spans(), 0u);
+  obs::Tracer::instance().reset();
+  expect_bit_identical(untraced, traced, "gateway tracing off vs on");
 }
 
 }  // namespace

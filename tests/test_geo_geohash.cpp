@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 
 #include "geo/geohash.h"
@@ -55,6 +56,36 @@ TEST(Geohash, PrefixPropertyHolds) {
   for (int precision = 1; precision < 9; ++precision) {
     EXPECT_EQ(geohash_encode(c, precision), fine.substr(0, static_cast<std::size_t>(precision)));
   }
+}
+
+TEST(Geohash, DomainBoundaryCoordinatesEncodeIntoLastCell) {
+  // The lat/lng domain is closed: ±90 / ±180 are valid coordinates and
+  // must land inside a cell (the bisection always keeps the upper half
+  // at the edge), never throw or produce an out-of-range cell.
+  const LatLng corners[] = {{90.0, 180.0}, {90.0, -180.0}, {-90.0, 180.0}, {-90.0, -180.0},
+                            {0.0, 180.0},  {90.0, 0.0},    {-90.0, 0.0},   {0.0, -180.0}};
+  for (const LatLng c : corners) {
+    for (int precision = 1; precision <= 12; ++precision) {
+      const std::string hash = geohash_encode(c, precision);
+      EXPECT_EQ(hash.size(), static_cast<std::size_t>(precision));
+      const GeohashCell cell = geohash_decode(hash);
+      EXPECT_LE(cell.south_west.lat, c.lat) << hash;
+      EXPECT_GE(cell.north_east.lat, c.lat) << hash;
+      EXPECT_LE(cell.south_west.lng, c.lng) << hash;
+      EXPECT_GE(cell.north_east.lng, c.lng) << hash;
+    }
+  }
+}
+
+TEST(Geohash, NorthPoleSharesTheTopCellWithItsNeighborhood) {
+  // Mirrors the GridExtent closed-edge contract: a point exactly on the
+  // domain max belongs with the points just below it, not in a cell of
+  // its own.
+  const std::string top = geohash_encode({90.0, 0.0}, 6);
+  const GeohashCell cell = geohash_decode(top);
+  EXPECT_DOUBLE_EQ(cell.north_east.lat, 90.0);
+  const double just_below = std::nextafter(90.0, 0.0);
+  EXPECT_EQ(geohash_encode({just_below, 0.0}, 6), top);
 }
 
 TEST(Geohash, Validation) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 #include <vector>
 
@@ -154,6 +155,82 @@ TEST(CellIndexHash, DistinctCellsHashDifferently) {
   EXPECT_NE(h({0, 0}), h({0, 1}));
   EXPECT_NE(h({1, 0}), h({0, 1}));
   EXPECT_NE(h({-1, -1}), h({1, 1}));
+}
+
+TEST(GridExtent, DimensionsCoverTheBox) {
+  const GridExtent g(BoundingBox({0, 0}, {100, 50}), 10.0);
+  EXPECT_EQ(g.cols(), 10u);
+  EXPECT_EQ(g.rows(), 5u);
+  EXPECT_EQ(g.cell_count(), 50u);
+  // Non-divisible extent rounds up: a partial last column still exists.
+  const GridExtent ragged(BoundingBox({0, 0}, {101, 50}), 10.0);
+  EXPECT_EQ(ragged.cols(), 11u);
+}
+
+TEST(GridExtent, RejectsEmptyBoxAndBadCellSize) {
+  EXPECT_THROW(GridExtent(BoundingBox(), 10.0), std::invalid_argument);
+  EXPECT_THROW(GridExtent(BoundingBox({0, 0}, {1, 1}), 0.0), std::invalid_argument);
+  EXPECT_THROW(GridExtent(BoundingBox({0, 0}, {1, 1}), -1.0), std::invalid_argument);
+}
+
+TEST(GridExtent, InteriorPointsUseFloorSemantics) {
+  const GridExtent g(BoundingBox({0, 0}, {100, 50}), 10.0);
+  EXPECT_EQ(g.cell_of({5, 5}), (CellIndex{0, 0}));
+  EXPECT_EQ(g.cell_of({10, 10}), (CellIndex{1, 1}));  // interior boundary: upper cell
+  EXPECT_EQ(g.cell_of({99.9, 49.9}), (CellIndex{9, 4}));
+}
+
+TEST(GridExtent, NorthEastEdgeLandsInLastCell) {
+  // Regression: the box is closed, so a point exactly on the max edge
+  // must land in the last row/column — floor semantics alone would
+  // index one past the end (col 10 of 10, row 5 of 5).
+  const GridExtent g(BoundingBox({0, 0}, {100, 50}), 10.0);
+  EXPECT_TRUE(g.contains({100, 50}));
+  EXPECT_EQ(g.cell_of({100, 50}), (CellIndex{9, 4}));
+  EXPECT_EQ(g.cell_of({100, 25}), (CellIndex{9, 2}));  // east edge only
+  EXPECT_EQ(g.cell_of({25, 50}), (CellIndex{2, 4}));   // north edge only
+  EXPECT_LT(g.linear_index({100, 50}), g.cell_count());
+  EXPECT_EQ(g.linear_index({100, 50}), g.cell_count() - 1);
+}
+
+TEST(GridExtent, LastUlpBelowTheEdgeStaysInLastCell) {
+  // (p - min) / cell can round up to exactly cols for points a hair
+  // inside the edge; the clamp must absorb that wobble too.
+  const GridExtent g(BoundingBox({0, 0}, {0.7, 0.7}), 0.1);
+  const double just_inside = std::nextafter(0.7, 0.0);
+  const CellIndex c = g.cell_of({just_inside, just_inside});
+  EXPECT_EQ(c, g.cell_of({0.7, 0.7}));
+  EXPECT_LT(g.linear_index({just_inside, just_inside}), g.cell_count());
+}
+
+TEST(GridExtent, OutsideTheBoxThrows) {
+  const GridExtent g(BoundingBox({0, 0}, {100, 50}), 10.0);
+  EXPECT_THROW((void)g.cell_of({-0.1, 5}), std::out_of_range);
+  EXPECT_THROW((void)g.cell_of({100.1, 5}), std::out_of_range);
+  EXPECT_THROW((void)g.cell_of({5, 50.1}), std::out_of_range);
+}
+
+TEST(GridExtent, DegenerateAxisStillRasterizesToOneCell) {
+  // A box built from points on one horizontal line has zero height.
+  BoundingBox line;
+  line.extend({0, 5});
+  line.extend({30, 5});
+  const GridExtent g(line, 10.0);
+  EXPECT_EQ(g.rows(), 1u);
+  EXPECT_EQ(g.cols(), 3u);
+  EXPECT_EQ(g.cell_of({30, 5}), (CellIndex{2, 0}));
+}
+
+TEST(GridExtent, CellCenterMatchesCellOf) {
+  const GridExtent g(BoundingBox({0, 0}, {100, 50}), 10.0);
+  for (const Point p : {Point{5, 5}, Point{95, 45}, Point{100, 50}}) {
+    const CellIndex c = g.cell_of(p);
+    const Point center = g.cell_center(c);
+    EXPECT_EQ(g.cell_of(center), c);
+  }
+  EXPECT_THROW((void)g.cell_center({10, 0}), std::out_of_range);
+  EXPECT_THROW((void)g.cell_center({0, 5}), std::out_of_range);
+  EXPECT_THROW((void)g.cell_center({-1, 0}), std::out_of_range);
 }
 
 }  // namespace

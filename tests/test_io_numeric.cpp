@@ -1,0 +1,184 @@
+// Locale-independence regressions for the numeric I/O layer.
+//
+// The bug class under test: std::stod / printf honor LC_NUMERIC, and
+// C++ streams honor the global std::locale, so a host set to a
+// comma-decimal locale (de_DE style) silently corrupts every
+// serialized number — "0.5" parses as 0, doubles print as "0,5",
+// integers grow grouping separators. The fixtures here capture the
+// default-locale bytes first, inject a hostile locale, and require
+// byte-identical output.
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cstdio>
+#include <locale>
+#include <string>
+
+#include "io/json.h"
+#include "io/numeric.h"
+#include "io/table.h"
+
+namespace locpriv::io {
+namespace {
+
+// ------------------------------------------------------------- parsing
+
+TEST(Numeric, ParseDoubleAcceptsJsonNumberForms) {
+  EXPECT_DOUBLE_EQ(*parse_double("0.5"), 0.5);
+  EXPECT_DOUBLE_EQ(*parse_double("-1e-3"), -1e-3);
+  EXPECT_DOUBLE_EQ(*parse_double("42"), 42.0);
+  EXPECT_DOUBLE_EQ(*parse_double("6.02E23"), 6.02e23);
+  EXPECT_DOUBLE_EQ(*parse_double("-0.0"), -0.0);
+}
+
+TEST(Numeric, ParseDoubleRejectsGarbageAndPartialMatches) {
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("abc").has_value());
+  EXPECT_FALSE(parse_double("1.5x").has_value());
+  EXPECT_FALSE(parse_double(" 1.5").has_value());
+  EXPECT_FALSE(parse_double("1,5").has_value());
+}
+
+TEST(Numeric, ParseInt64WholeStringOnly) {
+  EXPECT_EQ(*parse_int64("123"), 123);
+  EXPECT_EQ(*parse_int64("-9007199254740993"), -9007199254740993LL);
+  EXPECT_FALSE(parse_int64("12.5").has_value());
+  EXPECT_FALSE(parse_int64("").has_value());
+  EXPECT_FALSE(parse_int64("7 ").has_value());
+}
+
+TEST(Numeric, ParseDoublePrefixReportsConsumedLength) {
+  std::size_t consumed = 0;
+  EXPECT_DOUBLE_EQ(*parse_double_prefix("3.25,rest", consumed), 3.25);
+  EXPECT_EQ(consumed, 4u);
+  EXPECT_FALSE(parse_double_prefix("x1", consumed).has_value());
+  EXPECT_EQ(consumed, 0u);
+}
+
+// ---------------------------------------------------------- formatting
+
+TEST(Numeric, FormatDoubleMatchesPrintfShortestForm) {
+  // format_double must stay byte-compatible with the %.17g goldens the
+  // repo has accumulated (model JSON, sweep fixtures).
+  const double values[] = {0.1, 1.0 / 3.0, 1e-9, 6.02e23, -0.0, 12345.0, 0.15};
+  for (const double v : values) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    EXPECT_EQ(format_double(v, 17), buf) << v;
+  }
+  EXPECT_EQ(format_double(0.5, 3), "0.5");
+  EXPECT_EQ(format_double(1234.5678, 6), "1234.57");
+}
+
+TEST(Numeric, FormatDoubleFixedMatchesPrintfF) {
+  EXPECT_EQ(format_double_fixed(1.5, 6), "1.500000");
+  EXPECT_EQ(format_double_fixed(-0.125, 3), "-0.125");
+  EXPECT_EQ(format_double_fixed(2.0, 0), "2");
+}
+
+TEST(Numeric, Precision17RoundTripsExactly) {
+  const double values[] = {0.1, 1.0 / 3.0, 1e300, 5e-324, -123456.789e-30};
+  for (const double v : values) {
+    EXPECT_EQ(*parse_double(format_double(v, 17)), v) << v;
+  }
+}
+
+// ---------------------------------------------------- locale injection
+
+/// numpunct facet of a comma-decimal, dot-grouping locale — the de_DE
+/// shape, available on every host (unlike the named locale itself).
+struct CommaDecimalPunct : std::numpunct<char> {
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+/// Installs a hostile locale for the scope of one test: the C locale
+/// (LC_NUMERIC) via setlocale when a comma-decimal named locale exists
+/// on the host, and the C++ global locale via an injected facet
+/// unconditionally.
+class HostileLocale {
+ public:
+  HostileLocale()
+      : previous_cpp_(std::locale::global(
+            std::locale(std::locale::classic(), new CommaDecimalPunct))) {
+    previous_c_ = std::setlocale(LC_NUMERIC, nullptr);
+    for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8", "nl_NL.UTF-8"}) {
+      if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+        named_c_locale_ = true;
+        break;
+      }
+    }
+  }
+
+  ~HostileLocale() {
+    std::locale::global(previous_cpp_);
+    std::setlocale(LC_NUMERIC, previous_c_.c_str());
+  }
+
+  /// Whether the C locale half of the injection took effect.
+  [[nodiscard]] bool named_c_locale() const { return named_c_locale_; }
+
+ private:
+  std::locale previous_cpp_;
+  std::string previous_c_;
+  bool named_c_locale_ = false;
+};
+
+TEST(NumericLocale, ParseAndFormatIgnoreTheProcessLocale) {
+  const HostileLocale hostile;
+  if (hostile.named_c_locale()) {
+    // Prove the injection is real: the locale-dependent C path now
+    // disagrees with the fixed behavior under test.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", 0.5);
+    EXPECT_STREQ(buf, "0,5");
+  }
+  EXPECT_DOUBLE_EQ(*parse_double("0.5"), 0.5);
+  EXPECT_FALSE(parse_double("0,5").has_value());
+  EXPECT_EQ(format_double(0.5, 17), "0.5");
+  EXPECT_EQ(format_double(1234567.25, 17), "1234567.25");
+  EXPECT_EQ(format_double_fixed(0.5, 2), "0.50");
+}
+
+TEST(NumericLocale, JsonBytesAreIdenticalUnderCommaLocale) {
+  JsonObject obj;
+  obj.emplace("pi", 3.141592653589793);
+  obj.emplace("tenth", 0.1);
+  obj.emplace("big_int", 1234567890.0);
+  obj.emplace("neg", -0.015625);
+  JsonArray arr;
+  arr.emplace_back(123456.0);
+  arr.emplace_back(1e-9);
+  obj.emplace("list", std::move(arr));
+  const JsonValue doc = JsonValue(std::move(obj));
+
+  const std::string default_bytes = to_json(doc);
+  std::string hostile_bytes;
+  double hostile_parsed = 0.0;
+  {
+    const HostileLocale hostile;
+    hostile_bytes = to_json(doc);
+    hostile_parsed = parse_json(default_bytes).at("tenth").as_number();
+  }
+  EXPECT_EQ(hostile_bytes, default_bytes);
+  EXPECT_DOUBLE_EQ(hostile_parsed, 0.1);
+  // Grouping is the sneakiest corruption: 1234567890 must not gain
+  // separators, which is why the writer's integer fast path cannot
+  // stream a raw long long.
+  EXPECT_NE(default_bytes.find("1234567890"), std::string::npos);
+}
+
+TEST(NumericLocale, TableNumberFormattingIsLocaleProof) {
+  const std::string default_bytes = Table::num(1234.5625, 4);
+  std::string hostile_bytes;
+  {
+    const HostileLocale hostile;
+    hostile_bytes = Table::num(1234.5625, 4);
+  }
+  EXPECT_EQ(hostile_bytes, default_bytes);
+  EXPECT_EQ(default_bytes.find(','), std::string::npos);
+}
+
+}  // namespace
+}  // namespace locpriv::io

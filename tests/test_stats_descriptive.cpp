@@ -176,5 +176,48 @@ TEST(Histogram, QuantileSaturatesAtBoundsForOutOfRangeMass) {
   EXPECT_THROW((void)Histogram(0, 1, 4).quantile(0.5), std::logic_error);
 }
 
+TEST(Histogram, QuantileAllOverflowSaturatesHighEvenAtQZero) {
+  // Regression: with every sample beyond hi and zero underflow, q=0 used
+  // to snap to lo — a value no sample is anywhere near. All mass sits at
+  // or above hi, so every quantile must saturate there.
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 5; ++i) h.add(12.0);
+  EXPECT_NEAR(h.quantile(0.0), 10.0, 1e-9);
+  EXPECT_NEAR(h.quantile(0.5), 10.0, 1e-9);
+  EXPECT_NEAR(h.quantile(1.0), 10.0, 1e-9);
+}
+
+TEST(Histogram, QuantileAllUnderflowSaturatesLow) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 5; ++i) h.add(-3.0);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1e-9);
+  EXPECT_NEAR(h.quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(h.quantile(1.0), 0.0, 1e-9);
+}
+
+TEST(Histogram, QuantileSkipsLeadingEmptyBins) {
+  // Mass only in bin 7 of [0,10): q=0 must land at that bin's lower
+  // edge, not at lo — a rank falling "on" an empty bin is carried
+  // forward to the first occupied one.
+  Histogram h(0.0, 10.0, 10);
+  h.add(7.5);
+  h.add(7.5);
+  EXPECT_NEAR(h.quantile(0.0), 7.0, 1e-9);
+  EXPECT_NEAR(h.quantile(0.5), 7.5, 1e-9);
+  EXPECT_NEAR(h.quantile(1.0), 8.0, 1e-9);
+}
+
+TEST(Histogram, QuantileEdgesWithMixedInAndOutOfRangeMass) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);  // underflow
+  h.add(2.5);   // bin 2
+  h.add(20.0);  // overflow
+  // n = 3; q=0 hits the underflow mass, q=1 the overflow mass.
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1e-9);
+  EXPECT_NEAR(h.quantile(1.0), 10.0, 1e-9);
+  // The middle third is the single in-range sample's bin.
+  EXPECT_NEAR(h.quantile(0.5), 2.5, 1e-9);
+}
+
 }  // namespace
 }  // namespace locpriv::stats

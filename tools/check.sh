@@ -16,7 +16,7 @@ BUILD_DIR="build-${SANITIZER}san"
 cmake -B "$BUILD_DIR" -S . -DLOCPRIV_SANITIZE="$SANITIZER" > /dev/null
 
 TARGETS=(test_service_queue test_service_gateway test_service_resilience test_lppm_online
-         test_metrics_eval_context)
+         test_metrics_eval_context test_obs_tracer)
 if [ "$SCOPE" = "all" ]; then
   cmake --build "$BUILD_DIR" -j"$(nproc)"
   (cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)")

@@ -20,6 +20,7 @@
 #include "lppm/registry.h"
 #include "metrics/eval_context.h"
 #include "metrics/registry.h"
+#include "obs/tracer.h"
 #include "service/audit.h"
 #include "service/gateway.h"
 #include "service/load_driver.h"
@@ -123,6 +124,31 @@ trace::Dataset load_dataset(const std::string& path) {
   return trace::read_dataset_csv_file(path);
 }
 
+/// The --trace flag shared by the instrumented commands (sweep,
+/// validate, serve-sim).
+void add_trace_option(io::ArgParser& parser) {
+  parser.add({.name = "trace",
+              .help = "write a Chrome trace-event JSON of this run (open in "
+                      "chrome://tracing or ui.perfetto.dev)"});
+}
+
+/// Turns tracing on for the run when --trace was given. Must run before
+/// the traced work starts.
+void maybe_enable_tracing(const io::ParsedArgs& parsed) {
+  if (parsed.has("trace")) obs::Tracer::instance().enable();
+}
+
+/// Writes the collected trace to the --trace path. Call after every
+/// worker thread has been joined, so all span buffers have flushed.
+void maybe_write_trace(const io::ParsedArgs& parsed) {
+  if (!parsed.has("trace")) return;
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.disable();
+  tracer.write_chrome_trace(parsed.get("trace"));
+  std::cout << "wrote trace (" << tracer.collected_spans() << " spans) to " << parsed.get("trace")
+            << "\n";
+}
+
 }  // namespace
 
 int cmd_generate(const Args& args) {
@@ -193,7 +219,9 @@ int cmd_sweep(const Args& args) {
       .add({.name = "csv", .help = "also write the sweep as CSV to this path"});
   add_system_options(parser);
   add_eval_options(parser);
+  add_trace_option(parser);
   const io::ParsedArgs parsed = parser.parse(args);
+  maybe_enable_tracing(parsed);
 
   const trace::Dataset data = load_dataset(parsed.get("data"));
   const core::SystemDefinition def = system_from_args(parsed);
@@ -221,6 +249,7 @@ int cmd_sweep(const Args& args) {
   }
   std::cout << "\nwrote sweep (" << sweep.points.size() << " points) to " << parsed.get("out")
             << "\n";
+  maybe_write_trace(parsed);
   return 0;
 }
 
@@ -390,7 +419,9 @@ int cmd_validate(const Args& args) {
       .add({.name = "trials", .help = "protection repetitions per point", .default_value = "2"});
   add_system_options(parser);
   add_eval_options(parser);
+  add_trace_option(parser);
   const io::ParsedArgs parsed = parser.parse(args);
+  maybe_enable_tracing(parsed);
 
   const trace::Dataset data = load_dataset(parsed.get("data"));
   const core::SystemDefinition def = system_from_args(parsed);
@@ -411,6 +442,7 @@ int cmd_validate(const Args& args) {
   table.print(std::cout);
   std::cout << "\nmean held-out RMSE: privacy " << io::Table::num(report.mean_privacy_rmse, 3)
             << ", utility " << io::Table::num(report.mean_utility_rmse, 3) << "\n";
+  maybe_write_trace(parsed);
   return 0;
 }
 
@@ -549,7 +581,9 @@ int cmd_serve_sim(const Args& args) {
                             .threads = "4",
                             .threads_help = "gateway worker threads",
                             .threads_aliases = {"workers"}});
+  add_trace_option(parser);
   const io::ParsedArgs parsed = parser.parse(args);
+  maybe_enable_tracing(parsed);
 
   trace::Dataset data;
   if (parsed.has("data")) {
@@ -670,10 +704,25 @@ int cmd_serve_sim(const Args& args) {
     }
   }
 
+  // Join the workers before exporting anything: the telemetry snapshot
+  // above already saw every accepted request (replay drains), and the
+  // trace export needs the worker threads' span buffers flushed, which
+  // happens at thread exit.
+  gateway.drain();
+
   if (parsed.has("out")) {
-    io::write_json_file(parsed.get("out"), gateway.telemetry().to_json());
+    io::JsonValue telemetry_json = gateway.telemetry().to_json();
+    if (parsed.has("trace")) {
+      // Merge the tracer's counter block into the telemetry report so
+      // one file carries both views of the run.
+      io::JsonObject merged = telemetry_json.as_object();
+      merged.emplace("obs_counters", obs::Tracer::instance().counters_json());
+      telemetry_json = io::JsonValue(std::move(merged));
+    }
+    io::write_json_file(parsed.get("out"), telemetry_json);
     std::cout << "wrote telemetry to " << parsed.get("out") << "\n";
   }
+  maybe_write_trace(parsed);
   return 0;
 }
 

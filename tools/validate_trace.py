@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by --trace.
+
+Checks the subset of the trace-event format the obs::Tracer emits, i.e.
+what chrome://tracing / Perfetto need to render the file:
+
+  * top level: object with a "traceEvents" array
+  * every event: ph == "X" with name/cat/ts/dur/pid/tid, ts/dur >= 0
+  * args, when present: an object of numbers/strings
+  * otherData.counters, when present: flat name -> number map
+
+Optionally asserts a minimum span count and the presence of expected
+span names (--expect), so CI can require that the instrumented hot
+paths really fired.
+
+Usage: tools/validate_trace.py TRACE.json [--min-spans N] [--expect NAME ...]
+"""
+import argparse
+import json
+import sys
+
+REQUIRED_EVENT_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+
+
+def fail(msg: str) -> None:
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_event(i: int, event: object) -> str:
+    if not isinstance(event, dict):
+        fail(f"event {i}: not an object")
+    for key in REQUIRED_EVENT_KEYS:
+        if key not in event:
+            fail(f"event {i}: missing key '{key}'")
+    if event["ph"] != "X":
+        fail(f"event {i}: ph is {event['ph']!r}, expected complete event 'X'")
+    if not isinstance(event["name"], str) or not event["name"]:
+        fail(f"event {i}: name must be a non-empty string")
+    if not isinstance(event["cat"], str):
+        fail(f"event {i}: cat must be a string")
+    for key in ("ts", "dur", "pid", "tid"):
+        if not isinstance(event[key], (int, float)) or isinstance(event[key], bool):
+            fail(f"event {i}: {key} must be a number")
+        if event[key] < 0:
+            fail(f"event {i}: {key} is negative")
+    args = event.get("args")
+    if args is not None:
+        if not isinstance(args, dict):
+            fail(f"event {i}: args must be an object")
+        for k, v in args.items():
+            if not isinstance(v, (int, float, str)) or isinstance(v, bool):
+                fail(f"event {i}: args[{k!r}] must be a number or string")
+    return event["name"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="trace JSON written by --trace")
+    parser.add_argument("--min-spans", type=int, default=1,
+                        help="require at least this many span events (default 1)")
+    parser.add_argument("--expect", nargs="*", default=[],
+                        help="span names that must appear at least once")
+    opts = parser.parse_args()
+
+    try:
+        with open(opts.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {opts.trace}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a 'traceEvents' array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("'traceEvents' must be an array")
+
+    names = set()
+    for i, event in enumerate(events):
+        names.add(validate_event(i, event))
+
+    if len(events) < opts.min_spans:
+        fail(f"only {len(events)} spans, expected at least {opts.min_spans}")
+    missing = [n for n in opts.expect if n not in names]
+    if missing:
+        fail(f"expected span names never fired: {', '.join(missing)} "
+             f"(saw: {', '.join(sorted(names))})")
+
+    counters = doc.get("otherData", {}).get("counters")
+    if counters is not None:
+        if not isinstance(counters, dict):
+            fail("otherData.counters must be an object")
+        for k, v in counters.items():
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                fail(f"counter {k!r} must be a number")
+
+    print(f"validate_trace: OK: {len(events)} spans, {len(names)} distinct names, "
+          f"{len(counters or {})} counters")
+
+
+if __name__ == "__main__":
+    main()
