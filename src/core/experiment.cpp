@@ -4,8 +4,10 @@
 #include <cmath>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "obs/tracer.h"
 #include "stats/online.h"
@@ -41,46 +43,122 @@ std::vector<double> SweepResult::model_xs() const {
   return v;
 }
 
+namespace {
+
+/// One trial's raw metric values — the unit the flattened scheduler
+/// moves between threads before the ordered reduction.
+struct TrialOutcome {
+  double privacy = 0.0;
+  double utility = 0.0;
+};
+
+/// Protects the dataset under `trial_seed` and scores both metrics.
+/// Pure in (mechanism, data, trial_seed): safe to run concurrently for
+/// different trials against a shared const mechanism and a shared
+/// (thread-safe) actual-side cache.
+TrialOutcome run_trial(const SystemDefinition& system, const lppm::Mechanism& mechanism,
+                       const trace::Dataset& data, std::uint64_t trial_seed,
+                       std::size_t trial_index,
+                       const std::shared_ptr<metrics::ArtifactCache>& actual_cache) {
+  obs::Span trial_span("core", "trial");
+  trial_span.arg("trial", static_cast<double>(trial_index));
+  const trace::Dataset protected_data = [&] {
+    obs::Span protect_span("lppm", "protect_dataset");
+    return mechanism.protect_dataset(data, trial_seed);
+  }();
+  // The protected dataset is unique to this trial, so its cache lives
+  // and dies here — it only shares derivations between the two metrics.
+  const std::shared_ptr<metrics::ArtifactCache> protected_cache =
+      actual_cache != nullptr ? std::make_shared<metrics::ArtifactCache>() : nullptr;
+  const metrics::EvalContext ctx(data, protected_data, actual_cache, protected_cache);
+  TrialOutcome out;
+  {
+    obs::Span eval_span("metrics", system.privacy->name());
+    out.privacy = system.privacy->evaluate(ctx);
+  }
+  {
+    obs::Span eval_span("metrics", system.utility->name());
+    out.utility = system.utility->evaluate(ctx);
+  }
+  return out;
+}
+
+/// Ordered reduction: trial outcomes fold into the Welford accumulators
+/// in trial-index order regardless of which thread produced them, so
+/// means and stddevs are bit-identical to a sequential run.
+SweepPoint reduce_point(double parameter_value, std::span<const TrialOutcome> outcomes) {
+  stats::OnlineMoments pr;
+  stats::OnlineMoments ut;
+  for (const TrialOutcome& t : outcomes) {
+    pr.add(t.privacy);
+    ut.add(t.utility);
+  }
+  SweepPoint point;
+  point.parameter_value = parameter_value;
+  point.privacy_mean = pr.mean();
+  point.privacy_stddev = outcomes.size() >= 2 ? pr.stddev() : 0.0;
+  point.utility_mean = ut.mean();
+  point.utility_stddev = outcomes.size() >= 2 ? ut.stddev() : 0.0;
+  return point;
+}
+
+/// Runs `task_count` tasks on `threads` workers (work-stealing over an
+/// atomic cursor), capturing the first exception. Slot writes keep the
+/// outcome schedule-invariant; callers reduce in index order afterwards.
+template <typename Task>
+void run_task_pool(std::size_t task_count, std::size_t threads, Task&& task) {
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= task_count || failed.load()) return;
+      try {
+        task(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true);
+        return;
+      }
+    }
+  };
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::jthread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::size_t resolve_threads(std::size_t requested, std::size_t task_count) {
+  std::size_t threads = requested != 0 ? requested : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  return std::min(threads, task_count);
+}
+
+}  // namespace
+
 SweepPoint evaluate_point(const SystemDefinition& system, const trace::Dataset& data,
                           double parameter_value, std::size_t trials, std::uint64_t seed,
-                          const std::shared_ptr<metrics::ArtifactCache>& actual_cache) {
+                          const std::shared_ptr<metrics::ArtifactCache>& actual_cache,
+                          std::size_t threads) {
   if (trials == 0) throw std::invalid_argument("evaluate_point: need at least one trial");
   obs::Span point_span("core", "evaluate_point");
   point_span.arg("value", parameter_value).arg("trials", static_cast<double>(trials));
   const std::unique_ptr<lppm::Mechanism> mechanism = system.mechanism_factory();
   mechanism->set_parameter(system.sweep.parameter, parameter_value);
 
-  stats::OnlineMoments pr;
-  stats::OnlineMoments ut;
-  for (std::size_t trial = 0; trial < trials; ++trial) {
-    obs::Span trial_span("core", "trial");
-    trial_span.arg("trial", static_cast<double>(trial));
-    const trace::Dataset protected_data = [&] {
-      obs::Span protect_span("lppm", "protect_dataset");
-      return mechanism->protect_dataset(data, stats::derive_seed(seed, trial));
-    }();
-    // The protected dataset is unique to this trial, so its cache lives
-    // and dies here — it only shares derivations between the two metrics.
-    const std::shared_ptr<metrics::ArtifactCache> protected_cache =
-        actual_cache != nullptr ? std::make_shared<metrics::ArtifactCache>() : nullptr;
-    const metrics::EvalContext ctx(data, protected_data, actual_cache, protected_cache);
-    {
-      obs::Span eval_span("metrics", system.privacy->name());
-      pr.add(system.privacy->evaluate(ctx));
-    }
-    {
-      obs::Span eval_span("metrics", system.utility->name());
-      ut.add(system.utility->evaluate(ctx));
-    }
-  }
-
-  SweepPoint point;
-  point.parameter_value = parameter_value;
-  point.privacy_mean = pr.mean();
-  point.privacy_stddev = trials >= 2 ? pr.stddev() : 0.0;
-  point.utility_mean = ut.mean();
-  point.utility_stddev = trials >= 2 ? ut.stddev() : 0.0;
-  return point;
+  std::vector<TrialOutcome> outcomes(trials);
+  run_task_pool(trials, resolve_threads(threads, trials), [&](std::size_t trial) {
+    outcomes[trial] = run_trial(system, *mechanism, data, stats::derive_seed(seed, trial), trial,
+                                actual_cache);
+  });
+  return reduce_point(parameter_value, outcomes);
 }
 
 std::vector<PerUserPoint> evaluate_point_per_user(const SystemDefinition& system,
@@ -130,10 +208,16 @@ SweepResult run_sweep(const SystemDefinition& system, const trace::Dataset& data
   result.utility_direction = system.utility->direction();
   result.points.resize(values.size());
 
-  std::size_t threads = config.threads != 0 ? config.threads : std::thread::hardware_concurrency();
-  if (threads == 0) threads = 1;
-  threads = std::min(threads, values.size());
-  sweep_span.arg("threads", static_cast<double>(threads));
+  if (config.trials == 0) throw std::invalid_argument("evaluate_point: need at least one trial");
+
+  // Flattened work units: one task per (point, trial), not per point.
+  // With the old per-point units a 5-point sweep left most of an 8-core
+  // pool idle; the flat grid keeps every worker busy until the tail.
+  const std::size_t trials = config.trials;
+  const std::size_t task_count = values.size() * trials;
+  const std::size_t threads = resolve_threads(config.threads, task_count);
+  sweep_span.arg("threads", static_cast<double>(threads))
+      .arg("tasks", static_cast<double>(task_count));
 
   // One actual-side cache for the whole sweep: the actual dataset never
   // changes, so staypoints/POIs/rasters are derived once and shared by
@@ -143,35 +227,35 @@ SweepResult run_sweep(const SystemDefinition& system, const trace::Dataset& data
     actual_cache = std::make_shared<metrics::ArtifactCache>();
   }
 
-  // Work-stealing over point indices. Each point derives an independent
-  // seed from (root, point index), so the outcome is schedule-invariant.
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= values.size() || failed.load()) return;
-      try {
-        result.points[i] = evaluate_point(system, data, values[i], config.trials,
-                                          stats::derive_seed(config.seed, i), actual_cache);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        failed.store(true);
-        return;
-      }
-    }
-  };
-
-  {
-    std::vector<std::jthread> pool;
-    pool.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  // One mechanism per point (same factory-call count as the old
+  // per-point path), shared read-only by that point's trial tasks.
+  std::vector<std::unique_ptr<lppm::Mechanism>> mechanisms;
+  mechanisms.reserve(values.size());
+  for (const double value : values) {
+    mechanisms.push_back(system.mechanism_factory());
+    mechanisms.back()->set_parameter(system.sweep.parameter, value);
   }
-  if (first_error) std::rethrow_exception(first_error);
+
+  // Each (point, trial) derives the seed the old nested loops produced —
+  // derive_seed(derive_seed(root, point), trial) — and writes its own
+  // slot, so the outcome is schedule-invariant.
+  std::vector<TrialOutcome> outcomes(task_count);
+  run_task_pool(task_count, threads, [&](std::size_t task) {
+    const std::size_t point = task / trials;
+    const std::size_t trial = task % trials;
+    const std::uint64_t trial_seed =
+        stats::derive_seed(stats::derive_seed(config.seed, point), trial);
+    outcomes[task] =
+        run_trial(system, *mechanisms[point], data, trial_seed, trial, actual_cache);
+  });
+
+  // Ordered reduction, point by point, trials in index order.
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    obs::Span point_span("core", "evaluate_point");
+    point_span.arg("value", values[i]).arg("trials", static_cast<double>(trials));
+    result.points[i] = reduce_point(
+        values[i], std::span<const TrialOutcome>(outcomes).subspan(i * trials, trials));
+  }
   return result;
 }
 

@@ -59,23 +59,30 @@ struct SweepResult {
   [[nodiscard]] std::vector<double> model_xs() const;
 };
 
-/// Runs the sweep for `system` over `data`. Deterministic in
-/// config.seed regardless of thread count: every (point, trial) pair
-/// derives its own seed and results are reduced in index order.
+/// Runs the sweep for `system` over `data`. The work unit is one
+/// (point, trial) task — not one point — so the pool stays saturated
+/// even when fewer points than threads remain in flight. Deterministic
+/// in config.seed regardless of thread count: every (point, trial) pair
+/// derives its own seed and trial outcomes are reduced per point in
+/// trial order, so threads 1 and 8 produce bit-identical results.
 /// Throws std::invalid_argument on malformed system or empty data.
 [[nodiscard]] SweepResult run_sweep(const SystemDefinition& system, const trace::Dataset& data,
                                     const ExperimentConfig& config = {});
 
 /// Evaluates (Pr, Ut) at a single parameter value, averaging `trials`
-/// protections — the primitive run_sweep parallelizes, also used
-/// directly by the greedy baseline.
+/// protections — the primitive the greedy baseline, refinement, and
+/// cross-validation ultimately run.
 /// `actual_cache`, when non-null, shares actual-side artifacts with the
 /// caller (and other points of the same sweep); each trial gets its own
 /// protected-side cache so both metrics reuse each other's derivations.
+/// `threads` parallelizes across trials (1 = sequential, 0 = hardware
+/// concurrency); per-trial seeds and the ordered reduction make the
+/// result bit-identical for every thread count.
 [[nodiscard]] SweepPoint evaluate_point(
     const SystemDefinition& system, const trace::Dataset& data, double parameter_value,
     std::size_t trials, std::uint64_t seed,
-    const std::shared_ptr<metrics::ArtifactCache>& actual_cache = nullptr);
+    const std::shared_ptr<metrics::ArtifactCache>& actual_cache = nullptr,
+    std::size_t threads = 1);
 
 /// One user's metric values at a parameter value.
 struct PerUserPoint {

@@ -42,7 +42,8 @@ GreedyResult greedy_configure(const SystemDefinition& system, const trace::Datas
     const double x = (lo_x + hi_x) / 2.0;
     const double param = from_model_x(x, system.sweep.scale);
     const SweepPoint point = evaluate_point(system, data, param, cfg.trials_per_evaluation,
-                                            stats::derive_seed(cfg.seed, iter), actual_cache);
+                                            stats::derive_seed(cfg.seed, iter), actual_cache,
+                                            cfg.threads);
     ++result.evaluations;
 
     double total_violation = 0.0;

@@ -24,6 +24,10 @@ struct GreedyConfig {
   std::uint64_t seed = 42;
   /// Stop once every objective is met with this relative slack.
   double tolerance = 0.0;
+  /// Worker threads for each evaluate_point call (the bisection itself
+  /// is sequential by nature); 1 = sequential, 0 = hardware
+  /// concurrency. Bit-identical for every value.
+  std::size_t threads = 1;
 };
 
 struct GreedyStep {

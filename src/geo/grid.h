@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <span>
 #include <unordered_set>
 #include <vector>
@@ -67,6 +68,17 @@ class Grid {
 
   /// The set of distinct cells covered by `pts`.
   [[nodiscard]] CellSet covered_cells(std::span<const Point> pts) const;
+
+  /// Covered cells over any range whose items carry a location through
+  /// `proj` — rasterizes event sequences without an intermediate Point
+  /// vector. Identical result to the span overload.
+  template <typename Range, typename Proj>
+  [[nodiscard]] CellSet covered_cells(const Range& range, Proj proj) const {
+    CellSet cells;
+    cells.reserve(std::size(range) / 4 + 1);
+    for (const auto& item : range) cells.insert(cell_of(proj(item)));
+    return cells;
+  }
 
   /// Number of distinct cells covered by `pts`.
   [[nodiscard]] std::size_t coverage_count(std::span<const Point> pts) const;

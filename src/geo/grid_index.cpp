@@ -1,0 +1,140 @@
+#include "geo/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geo/grid.h"
+
+namespace locpriv::geo {
+
+GridIndex::GridIndex(std::span<const Point> points, double cell_size_m)
+    : points_(points.begin(), points.end()) {
+  if (!(cell_size_m > 0.0) || !std::isfinite(cell_size_m)) {
+    throw std::invalid_argument("GridIndex: cell size must be positive and finite");
+  }
+  if (points_.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("GridIndex: point set exceeds 2^32 entries");
+  }
+  box_ = bounding_box(points_);
+  cell_size_ = cell_size_m;
+  if (points_.empty()) {
+    cell_start_.assign(1, 0);
+    return;
+  }
+
+  // Grow the cell geometrically until the raster fits the memory cap
+  // (compare in double first: a pathological extent/cell-size ratio
+  // would overflow any integer raster math).
+  for (;;) {
+    const double cols_f = std::max(1.0, std::ceil(box_.width() / cell_size_));
+    const double rows_f = std::max(1.0, std::ceil(box_.height() / cell_size_));
+    if (cols_f * rows_f <= static_cast<double>(kMaxCells)) break;
+    cell_size_ *= 2.0;
+  }
+
+  // GridExtent owns the closed north/east boundary clamp: a point
+  // exactly on the box max edge lands in the last row/column.
+  const GridExtent extent(box_, cell_size_);
+  cols_ = extent.cols();
+  rows_ = extent.rows();
+  const std::size_t cell_count = cols_ * rows_;
+
+  // Counting sort into CSR: one pass to size the buckets, prefix sum,
+  // one pass to place ids. Iterating points in index order makes each
+  // bucket's ids ascending, which queries rely on for determinism.
+  std::vector<std::uint32_t> cell_of(points_.size());
+  cell_start_.assign(cell_count + 1, 0);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const auto c = static_cast<std::uint32_t>(extent.linear_index(points_[i]));
+    cell_of[i] = c;
+    ++cell_start_[c + 1];
+  }
+  for (std::size_t c = 0; c < cell_count; ++c) cell_start_[c + 1] += cell_start_[c];
+  ids_.resize(points_.size());
+  std::vector<std::uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    ids_[cursor[cell_of[i]]++] = static_cast<std::uint32_t>(i);
+  }
+}
+
+double GridIndex::suggested_cell_size(const BoundingBox& box, std::size_t point_count) {
+  constexpr double kFloor = 1e-3;  // a millimeter: far below any GPS fix
+  if (box.empty() || point_count == 0) return 1.0;
+  const double n = static_cast<double>(point_count);
+  const double area = box.area();
+  if (area > 0.0) return std::max(kFloor, std::sqrt(2.0 * area / n));
+  // Degenerate (collinear) extent: spread the longer axis over ~sqrt(n)
+  // cells so buckets stay small.
+  const double axis = std::max(box.width(), box.height());
+  if (axis > 0.0) return std::max(kFloor, axis / std::sqrt(n));
+  return 1.0;  // every point coincides: one cell holds them all anyway
+}
+
+GridIndex::Window GridIndex::window(Point query, double radius) const {
+  Window w;
+  if (points_.empty()) return w;
+  const double lo_x = query.x - radius;
+  const double hi_x = query.x + radius;
+  const double lo_y = query.y - radius;
+  const double hi_y = query.y + radius;
+  if (hi_x < box_.min().x || lo_x > box_.max().x || hi_y < box_.min().y ||
+      lo_y > box_.max().y) {
+    return w;  // the disc misses the extent entirely
+  }
+  const auto clamp_cell = [this](double offset, std::size_t n) {
+    const double raw = std::floor(offset / cell_size_);
+    if (raw <= 0.0) return std::size_t{0};
+    if (raw >= static_cast<double>(n)) return n - 1;
+    return static_cast<std::size_t>(raw);
+  };
+  w.col0 = clamp_cell(lo_x - box_.min().x, cols_);
+  w.col1 = clamp_cell(hi_x - box_.min().x, cols_);
+  w.row0 = clamp_cell(lo_y - box_.min().y, rows_);
+  w.row1 = clamp_cell(hi_y - box_.min().y, rows_);
+  w.none = false;
+  return w;
+}
+
+std::size_t GridIndex::count_within_radius(Point query, double radius) const {
+  const double radius_sq = checked_radius_sq(radius);
+  const Window w = window(query, radius);
+  if (w.none) return 0;
+  std::size_t count = 0;
+  for (std::size_t row = w.row0; row <= w.row1; ++row) {
+    const std::size_t base = row * cols_;
+    const double y0 = box_.min().y + static_cast<double>(row) * cell_size_;
+    const double y1 = y0 + cell_size_;
+    for (std::size_t col = w.col0; col <= w.col1; ++col) {
+      const std::uint32_t lo = cell_start_[base + col];
+      const std::uint32_t hi = cell_start_[base + col + 1];
+      if (lo == hi) continue;
+      const double x0 = box_.min().x + static_cast<double>(col) * cell_size_;
+      const double x1 = x0 + cell_size_;
+      // Farthest corner inside the disc: the whole bucket counts.
+      const double far_dx = std::max(query.x - x0, x1 - query.x);
+      const double far_dy = std::max(query.y - y0, y1 - query.y);
+      if (far_dx * far_dx + far_dy * far_dy <= radius_sq) {
+        count += hi - lo;
+        continue;
+      }
+      // Nearest rect point outside the disc: the bucket cannot contribute.
+      const double near_dx = std::max({x0 - query.x, 0.0, query.x - x1});
+      const double near_dy = std::max({y0 - query.y, 0.0, query.y - y1});
+      if (near_dx * near_dx + near_dy * near_dy > radius_sq) continue;
+      for (std::uint32_t k = lo; k < hi; ++k) {
+        if (distance_sq(query, points_[ids_[k]]) <= radius_sq) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<std::size_t> GridIndex::within_radius(Point query, double radius) const {
+  std::vector<std::size_t> out;
+  out.reserve(16);
+  for_each_within_radius(query, radius, [&](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+}  // namespace locpriv::geo

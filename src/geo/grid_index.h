@@ -1,0 +1,126 @@
+// Flat spatial-hash index for fixed-radius neighbor queries.
+//
+// The evaluation hot path is dominated by two query shapes: "how many
+// points lie within r of q" (DJ-Cluster core test, elastic Geo-I density)
+// and "visit every point within r of q" (DJ-Cluster flood fill). A k-d
+// tree answers both, but pays pointer-chasing per node and — in the
+// within_radius form — a heap-allocated result vector per query. The
+// GridIndex instead rasterizes the point set once into a CSR bucket
+// layout over a GridExtent (the PR 4 closed-boundary clamp, so points
+// exactly on the bounding box's north/east edge land in the last
+// row/column instead of out of range): one contiguous id array plus one
+// offsets array, cache-friendly to build and to scan. Queries walk the
+// O(1) block of cells overlapping the query disc and test distances
+// inline through a visitor — no allocation, no recursion.
+//
+// When to prefer which kernel (details in docs/PERFORMANCE.md):
+//   GridIndex  fixed-radius counting/visiting, query radius within a few
+//              orders of magnitude of the typical point spacing — the
+//              DJ-Cluster and density-estimation shapes.
+//   KdTree     nearest-neighbor queries, or radii so far below the point
+//              spacing that most grid cells scanned are empty.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/point.h"
+
+namespace locpriv::geo {
+
+class GridIndex {
+ public:
+  /// Builds over a copy of `points` with square cells of `cell_size_m`.
+  /// An empty point set is a valid (always-empty) index. The effective
+  /// cell size is grown geometrically when the raw raster would exceed
+  /// kMaxCells (pathological extent/cell-size ratios), so memory stays
+  /// bounded by O(points + kMaxCells) regardless of inputs.
+  /// Throws std::invalid_argument on a non-positive or non-finite cell size.
+  explicit GridIndex(std::span<const Point> points, double cell_size_m);
+
+  /// Cell size targeting ~2 points per occupied cell under uniform
+  /// density — a robust default when the query radius is not known at
+  /// build time (e.g. it is a swept mechanism parameter). Degenerate
+  /// (collinear or single-point) extents fall back to the longer axis.
+  [[nodiscard]] static double suggested_cell_size(const BoundingBox& box,
+                                                  std::size_t point_count);
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  /// Effective cell size after the kMaxCells adjustment.
+  [[nodiscard]] double cell_size() const { return cell_size_; }
+  /// Access to the stored point for an index returned by a query.
+  [[nodiscard]] Point point(std::size_t index) const { return points_[index]; }
+
+  /// Invokes `visit(index)` for every point within `radius` meters of
+  /// `query` (closed disc, matching KdTree::within_radius). Indices are
+  /// delivered in row-major cell order, ascending within a cell. No
+  /// allocation. Throws std::invalid_argument on a negative radius.
+  template <typename Visitor>
+  void for_each_within_radius(Point query, double radius, Visitor&& visit) const {
+    const double radius_sq = checked_radius_sq(radius);
+    const Window w = window(query, radius);
+    if (w.none) return;
+    for (std::size_t row = w.row0; row <= w.row1; ++row) {
+      const std::size_t base = row * cols_;
+      for (std::size_t col = w.col0; col <= w.col1; ++col) {
+        const std::uint32_t lo = cell_start_[base + col];
+        const std::uint32_t hi = cell_start_[base + col + 1];
+        for (std::uint32_t k = lo; k < hi; ++k) {
+          const std::uint32_t id = ids_[k];
+          if (distance_sq(query, points_[id]) <= radius_sq) {
+            visit(static_cast<std::size_t>(id));
+          }
+        }
+      }
+    }
+  }
+
+  /// Number of points within `radius` of `query`. Cells entirely inside
+  /// the query disc contribute their bucket size without per-point
+  /// distance tests, so dense neighborhoods count in O(cells) not
+  /// O(points). Throws std::invalid_argument on a negative radius.
+  [[nodiscard]] std::size_t count_within_radius(Point query, double radius) const;
+
+  /// Materialized query — the KdTree-compatible convenience form; same
+  /// index set as for_each_within_radius (order differs from KdTree's
+  /// traversal order; sort both when comparing).
+  [[nodiscard]] std::vector<std::size_t> within_radius(Point query, double radius) const;
+
+  /// Raster geometry, exposed for tests and diagnostics.
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+
+  /// Hard cap on cols*rows; beyond it the cell size grows instead.
+  static constexpr std::size_t kMaxCells = std::size_t{1} << 22;
+
+ private:
+  /// Clamped cell range overlapping the query disc; `none` marks a disc
+  /// entirely outside the extent (or an empty index).
+  struct Window {
+    std::size_t col0 = 0, col1 = 0, row0 = 0, row1 = 0;
+    bool none = true;
+  };
+  [[nodiscard]] Window window(Point query, double radius) const;
+
+  [[nodiscard]] static double checked_radius_sq(double radius) {
+    if (!(radius >= 0.0)) {
+      throw std::invalid_argument("GridIndex: negative radius");
+    }
+    return radius * radius;
+  }
+
+  std::vector<Point> points_;
+  std::vector<std::uint32_t> ids_;         ///< CSR payload: point ids bucketed by cell
+  std::vector<std::uint32_t> cell_start_;  ///< CSR offsets, cols_*rows_ + 1 entries
+  BoundingBox box_;
+  double cell_size_ = 1.0;
+  std::size_t cols_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace locpriv::geo

@@ -62,23 +62,10 @@ void KdTree::nearest_impl(int node, Point query, std::size_t& best, double& best
 }
 
 std::vector<std::size_t> KdTree::within_radius(Point query, double radius) const {
-  if (!(radius >= 0.0)) throw std::invalid_argument("KdTree::within_radius: negative radius");
   std::vector<std::size_t> out;
-  radius_impl(root_, query, radius * radius, out);
+  out.reserve(std::min<std::size_t>(points_.size(), 64));
+  for_each_within_radius(query, radius, [&](std::size_t i) { out.push_back(i); });
   return out;
-}
-
-void KdTree::radius_impl(int node, Point query, double radius_sq,
-                         std::vector<std::size_t>& out) const {
-  if (node < 0) return;
-  const Node& n = nodes_[static_cast<std::size_t>(node)];
-  const Point p = points_[n.point_index];
-  if (distance_sq(query, p) <= radius_sq) out.push_back(n.point_index);
-  const double axis_delta = n.split_on_x ? query.x - p.x : query.y - p.y;
-  const int near_child = axis_delta <= 0.0 ? n.left : n.right;
-  const int far_child = axis_delta <= 0.0 ? n.right : n.left;
-  radius_impl(near_child, query, radius_sq, out);
-  if (axis_delta * axis_delta <= radius_sq) radius_impl(far_child, query, radius_sq, out);
 }
 
 }  // namespace locpriv::geo

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "geo/point.h"
@@ -27,10 +28,47 @@ class KdTree {
   [[nodiscard]] std::size_t nearest(Point query) const;
 
   /// Indices of all points within `radius` meters of `query`, unordered.
+  /// The result vector is reserved up front; prefer the visitor overload
+  /// below when the indices are consumed immediately — it allocates
+  /// nothing at all.
   [[nodiscard]] std::vector<std::size_t> within_radius(Point query, double radius) const;
+
+  /// Invokes `visit(index)` for every point within `radius` meters of
+  /// `query`, in the same pre-order traversal order within_radius
+  /// materializes. Allocation-free (explicit stack; the median-split
+  /// build bounds the depth at ~log2 n, far under kMaxDepth). Throws
+  /// std::invalid_argument on a negative radius.
+  template <typename Visitor>
+  void for_each_within_radius(Point query, double radius, Visitor&& visit) const {
+    if (!(radius >= 0.0)) {
+      throw std::invalid_argument("KdTree::within_radius: negative radius");
+    }
+    const double radius_sq = radius * radius;
+    int stack[kMaxDepth];
+    int depth = 0;
+    stack[depth++] = root_;
+    while (depth > 0) {
+      const int node = stack[--depth];
+      if (node < 0) continue;
+      const Node& n = nodes_[static_cast<std::size_t>(node)];
+      const Point p = points_[n.point_index];
+      if (distance_sq(query, p) <= radius_sq) visit(n.point_index);
+      const double axis_delta = n.split_on_x ? query.x - p.x : query.y - p.y;
+      const int near_child = axis_delta <= 0.0 ? n.left : n.right;
+      const int far_child = axis_delta <= 0.0 ? n.right : n.left;
+      // Push far first so near pops first — preserves the recursive
+      // node/near/far visit order.
+      if (axis_delta * axis_delta <= radius_sq) stack[depth++] = far_child;
+      stack[depth++] = near_child;
+    }
+  }
 
   /// Access to the stored point for an index returned by a query.
   [[nodiscard]] Point point(std::size_t index) const { return points_[index]; }
+
+  /// Traversal stack bound: the median-split build yields depth <=
+  /// ceil(log2 n) + 1 and the loop holds at most two entries per level.
+  static constexpr int kMaxDepth = 128;
 
  private:
   struct Node {
@@ -42,8 +80,6 @@ class KdTree {
 
   int build(std::vector<std::size_t>& indices, std::size_t lo, std::size_t hi, bool split_on_x);
   void nearest_impl(int node, Point query, std::size_t& best, double& best_sq) const;
-  void radius_impl(int node, Point query, double radius_sq,
-                   std::vector<std::size_t>& out) const;
 
   std::vector<Point> points_;
   std::vector<Node> nodes_;

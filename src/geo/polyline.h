@@ -1,6 +1,9 @@
 // Operations on planar point sequences (paths).
 #pragma once
 
+#include <cmath>
+#include <cstddef>
+#include <iterator>
 #include <span>
 #include <vector>
 
@@ -10,6 +13,25 @@ namespace locpriv::geo {
 
 /// Total Euclidean length of the path through `pts`, meters.
 [[nodiscard]] double path_length(std::span<const Point> pts);
+
+/// Path length over any range whose items carry a location through
+/// `proj` — lets event sequences feed the kernel directly instead of
+/// materializing a Point vector first. Same summation order (and thus
+/// bit-identical result) as the span overload.
+template <typename Range, typename Proj>
+[[nodiscard]] double path_length(const Range& range, Proj proj) {
+  double total = 0.0;
+  auto it = std::begin(range);
+  const auto last = std::end(range);
+  if (it == last) return total;
+  Point prev = proj(*it);
+  for (++it; it != last; ++it) {
+    const Point cur = proj(*it);
+    total += distance(prev, cur);
+    prev = cur;
+  }
+  return total;
+}
 
 /// Cumulative arc length at each vertex: result[0] = 0,
 /// result[i] = length of the path up to pts[i]. Empty input -> empty.
@@ -36,6 +58,20 @@ namespace locpriv::geo {
 /// Radius of gyration: RMS distance of points to their centroid — a
 /// standard mobility "spread" feature. 0 for fewer than 2 points.
 [[nodiscard]] double radius_of_gyration(std::span<const Point> pts);
+
+/// Projected-range variant of radius_of_gyration (two passes over the
+/// range); bit-identical to the span overload on the same sequence.
+template <typename Range, typename Proj>
+[[nodiscard]] double radius_of_gyration(const Range& range, Proj proj) {
+  const std::size_t n = static_cast<std::size_t>(std::distance(std::begin(range), std::end(range)));
+  if (n < 2) return 0.0;
+  Point sum{0, 0};
+  for (const auto& item : range) sum += proj(item);
+  const Point c = sum / static_cast<double>(n);
+  double sum_sq = 0.0;
+  for (const auto& item : range) sum_sq += distance_sq(proj(item), c);
+  return std::sqrt(sum_sq / static_cast<double>(n));
+}
 
 /// Perpendicular distance from `p` to the segment [a, b] (endpoint
 /// distance when the projection falls outside the segment).

@@ -63,7 +63,8 @@ ElasticGeoInd::ElasticGeoInd(std::vector<geo::Point> sites)
       sites_(std::move(sites)),
       index_(sites_.empty()
                  ? throw std::invalid_argument("ElasticGeoInd: empty site catalog")
-                 : std::span<const geo::Point>(sites_)) {}
+                 : std::span<const geo::Point>(sites_),
+             geo::GridIndex::suggested_cell_size(geo::bounding_box(sites_), sites_.size())) {}
 
 ElasticGeoInd::ElasticGeoInd(std::vector<geo::Point> sites, double epsilon)
     : ElasticGeoInd(std::move(sites)) {
@@ -78,7 +79,7 @@ const std::string& ElasticGeoInd::name() const {
 double ElasticGeoInd::effective_epsilon(geo::Point where) const {
   const double eps = parameter(kEpsilon);
   const double radius = parameter(kDensityRadius);
-  const double neighbors = static_cast<double>(index_.within_radius(where, radius).size());
+  const double neighbors = static_cast<double>(index_.count_within_radius(where, radius));
   const double density_fraction = std::min(1.0, neighbors / kDenseCount);
   // Interpolate the stretch factor: empty -> kMaxStretch, dense -> 1.
   const double stretch = kMaxStretch - (kMaxStretch - 1.0) * density_fraction;

@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "geo/bbox.h"
-#include "geo/kdtree.h"
+#include "geo/grid_index.h"
 #include "lppm/mechanism.h"
 
 namespace locpriv::lppm {
@@ -70,7 +70,10 @@ class ElasticGeoInd final : public ParameterizedMechanism {
 
  private:
   std::vector<geo::Point> sites_;
-  geo::KdTree index_;
+  /// Flat spatial hash over the catalog: the density query is a pure
+  /// fixed-radius count, the shape GridIndex::count_within_radius
+  /// answers without materializing a neighbor vector per report.
+  geo::GridIndex index_;
 };
 
 }  // namespace locpriv::lppm

@@ -36,11 +36,13 @@ std::shared_ptr<const std::vector<poi::Poi>> poi_artifact(const EvalContext& ctx
 
 std::shared_ptr<const geo::CellSet> coverage_artifact(const EvalContext& ctx, Side side,
                                                       std::size_t user, double cell_size_m) {
-  return ctx.artifact<geo::CellSet>(side, user, "coverage",
-                                    ParamHash().add(cell_size_m).digest(), [&] {
-                                      const geo::Grid grid(cell_size_m);
-                                      return grid.covered_cells(ctx.dataset(side)[user].points());
-                                    });
+  return ctx.artifact<geo::CellSet>(
+      side, user, "coverage", ParamHash().add(cell_size_m).digest(), [&] {
+        const geo::Grid grid(cell_size_m);
+        // Rasterize straight off the event span — no Point-vector copy.
+        return grid.covered_cells(ctx.dataset(side)[user].events(),
+                                  [](const trace::Event& e) { return e.location; });
+      });
 }
 
 }  // namespace locpriv::metrics

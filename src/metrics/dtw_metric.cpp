@@ -14,6 +14,9 @@ const std::string& DtwDistortion::name() const {
 double DtwDistortion::evaluate_trace(const trace::Trace& actual,
                                      const trace::Trace& protected_trace) const {
   if (actual.empty() || protected_trace.empty()) return 0.0;
+  // points() is deliberate here: the DTW kernel random-accesses both
+  // sequences O(n·m) times through contiguous spans, so one upfront copy
+  // is the right trade (audited in docs/PERFORMANCE.md).
   const std::vector<geo::Point> a = actual.points();
   const std::vector<geo::Point> p = protected_trace.points();
   return stats::dtw(a, p, options_).normalized_cost();

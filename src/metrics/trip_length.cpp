@@ -14,12 +14,16 @@ const std::string& TripLengthError::name() const {
 }
 
 double TripLengthError::evaluate_trace(const EvalContext& ctx, std::size_t user) const {
+  // Both sides feed the length kernel straight from the event spans —
+  // this runs once per (user, trial, point) in a sweep, so the old
+  // per-call Point-vector copies were pure allocation churn.
+  const auto location = [](const trace::Event& e) { return e.location; };
   const double actual_len = *ctx.artifact<double>(
       Side::kActual, user, "path-length", ParamHash().digest(),
-      [&] { return geo::path_length(ctx.actual()[user].points()); });
+      [&] { return geo::path_length(ctx.actual()[user].events(), location); });
   if (actual_len <= 0.0) return 0.0;
-  const std::vector<geo::Point> p = ctx.protected_data()[user].points();
-  return std::abs(geo::path_length(p) - actual_len) / actual_len;
+  const double protected_len = geo::path_length(ctx.protected_data()[user].events(), location);
+  return std::abs(protected_len - actual_len) / actual_len;
 }
 
 }  // namespace locpriv::metrics

@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "geo/kdtree.h"
+#include "geo/grid_index.h"
+#include "obs/tracer.h"
 
 namespace locpriv::poi {
 
@@ -13,22 +14,34 @@ std::vector<Poi> extract_pois_djcluster(const trace::Trace& t, const DjClusterCo
   const std::size_t n = t.size();
   if (n == 0) return {};
 
-  const std::vector<geo::Point> pts = t.points();
-  const geo::KdTree index(pts);
+  obs::Span span("poi", "djcluster");
+  span.arg("points", static_cast<double>(n));
 
-  // Identify core points.
-  std::vector<std::vector<std::size_t>> neighborhoods(n);
+  // One contiguous copy feeds the index build (a genuine bulk use of
+  // points()); queries afterwards are allocation-free: no per-point
+  // neighborhood vectors are ever materialized, so the working set is
+  // O(n) instead of the old O(n·k).
+  const std::vector<geo::Point> pts = t.points();
+  const geo::GridIndex index(pts, cfg.eps_m);
+
+  // Counting pass: a point is core when >= min_pts points (itself
+  // included) lie within eps.
   std::vector<bool> is_core(n, false);
+  std::size_t core_count = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    neighborhoods[i] = index.within_radius(pts[i], cfg.eps_m);
-    is_core[i] = neighborhoods[i].size() >= cfg.min_pts;
+    is_core[i] = index.count_within_radius(pts[i], cfg.eps_m) >= cfg.min_pts;
+    core_count += is_core[i] ? 1 : 0;
   }
 
-  // Flood-fill connected components of core points; attach borders.
+  // Flood-fill connected components of core points with on-demand
+  // neighbor queries; borders attach to the first cluster that reaches
+  // them. The stack and assignment array are the only scratch, reused
+  // across clusters.
   constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
   std::vector<std::size_t> cluster_of(n, kUnassigned);
   std::size_t cluster_count = 0;
   std::vector<std::size_t> stack;
+  stack.reserve(core_count);
   for (std::size_t seed = 0; seed < n; ++seed) {
     if (!is_core[seed] || cluster_of[seed] != kUnassigned) continue;
     const std::size_t cluster = cluster_count++;
@@ -37,13 +50,14 @@ std::vector<Poi> extract_pois_djcluster(const trace::Trace& t, const DjClusterCo
     while (!stack.empty()) {
       const std::size_t i = stack.back();
       stack.pop_back();
-      for (const std::size_t j : neighborhoods[i]) {
-        if (cluster_of[j] != kUnassigned) continue;
+      index.for_each_within_radius(pts[i], cfg.eps_m, [&](std::size_t j) {
+        if (cluster_of[j] != kUnassigned) return;
         cluster_of[j] = cluster;            // border or core: joins the cluster
         if (is_core[j]) stack.push_back(j); // only cores extend the frontier
-      }
+      });
     }
   }
+  span.arg("clusters", static_cast<double>(cluster_count));
 
   // Aggregate clusters into POIs. Dwell attribution: each point carries
   // the gap to its successor (last point contributes nothing).

@@ -4,6 +4,7 @@
 
 #include "geo/polyline.h"
 #include "stats/descriptive.h"
+#include "trace/event.h"
 
 namespace locpriv::trace {
 
@@ -12,10 +13,13 @@ TraceFeatures compute_features(const Trace& t) {
   f.event_count = t.size();
   if (t.empty()) return f;
 
-  const std::vector<geo::Point> pts = t.points();
+  // Span-based iteration over the events: the geometry kernels take the
+  // locations through a projection, so no per-call Point vector is
+  // materialized (this is a per-trace hot loop under the sweep engine).
+  const auto location = [](const trace::Event& e) { return e.location; };
   f.duration_s = static_cast<double>(t.duration());
-  f.path_length_m = geo::path_length(pts);
-  f.radius_of_gyration_m = geo::radius_of_gyration(pts);
+  f.path_length_m = geo::path_length(t.events(), location);
+  f.radius_of_gyration_m = geo::radius_of_gyration(t.events(), location);
   f.extent_diagonal_m = t.bounds().diagonal();
   f.mean_speed_mps = f.duration_s > 0.0 ? f.path_length_m / f.duration_s : 0.0;
 

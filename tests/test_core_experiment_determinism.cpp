@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "core/sweep.h"
 #include "metrics/eval_context.h"
 #include "obs/tracer.h"
 #include "core/system_definition.h"
@@ -100,6 +101,28 @@ TEST(SweepDeterminism, TracingOnAndOffAreBitIdentical) {
   obs::Tracer::instance().reset();
   expect_bit_identical(untraced, traced, "tracing off vs on, threads=4");
   expect_bit_identical(untraced, traced_wide, "tracing off vs on, threads=8");
+}
+
+// evaluate_point is the single-point primitive (greedy, refinement,
+// cross-validation all bottom out here); its trial-parallel form must be
+// bit-identical to the sequential one, with and without a shared
+// actual-side cache.
+TEST(SweepDeterminism, EvaluatePointThreadsOneAndEightAreBitIdentical) {
+  const core::SystemDefinition def = core::make_geo_i_system(5);
+  const trace::Dataset data = testutil::two_stop_dataset(3);
+  const double value = core::sweep_values(def.sweep).front();
+  for (const bool with_cache : {false, true}) {
+    const auto cache =
+        with_cache ? std::make_shared<metrics::ArtifactCache>() : nullptr;
+    const core::SweepPoint serial =
+        core::evaluate_point(def, data, value, /*trials=*/6, /*seed=*/2016, cache, /*threads=*/1);
+    const core::SweepPoint wide =
+        core::evaluate_point(def, data, value, /*trials=*/6, /*seed=*/2016, cache, /*threads=*/8);
+    EXPECT_TRUE(bit_equal(serial.privacy_mean, wide.privacy_mean)) << with_cache;
+    EXPECT_TRUE(bit_equal(serial.utility_mean, wide.utility_mean)) << with_cache;
+    EXPECT_TRUE(bit_equal(serial.privacy_stddev, wide.privacy_stddev)) << with_cache;
+    EXPECT_TRUE(bit_equal(serial.utility_stddev, wide.utility_stddev)) << with_cache;
+  }
 }
 
 TEST(SweepDeterminism, ExternallySuppliedWarmCacheIsBitIdentical) {

@@ -1,0 +1,233 @@
+// GridIndex property suite: the flat spatial hash must agree with the
+// KdTree (the reference kernel) on every fixed-radius query — same index
+// set after sorting, on random, clustered, and bucket-edge point sets —
+// and its three query forms (visitor, count, materialized vector) must
+// agree with each other.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/grid_index.h"
+#include "geo/kdtree.h"
+#include "stats/rng.h"
+
+namespace locpriv::geo {
+namespace {
+
+std::vector<std::size_t> sorted(std::vector<std::size_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+std::vector<std::size_t> brute_within(std::span<const Point> pts, Point q, double radius) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (distance(q, pts[i]) <= radius) out.push_back(i);
+  }
+  return out;
+}
+
+/// All three GridIndex query forms and the KdTree must agree (as sorted
+/// index sets) with brute force for the given query.
+void expect_all_forms_agree(const GridIndex& grid, const KdTree& tree,
+                            std::span<const Point> pts, Point q, double radius) {
+  const std::vector<std::size_t> expected = brute_within(pts, q, radius);
+  EXPECT_EQ(sorted(grid.within_radius(q, radius)), expected)
+      << "grid vector form, r=" << radius << " q=(" << q.x << "," << q.y << ")";
+  EXPECT_EQ(sorted(tree.within_radius(q, radius)), expected)
+      << "kdtree, r=" << radius << " q=(" << q.x << "," << q.y << ")";
+  EXPECT_EQ(grid.count_within_radius(q, radius), expected.size())
+      << "grid count form, r=" << radius << " q=(" << q.x << "," << q.y << ")";
+  std::vector<std::size_t> visited;
+  grid.for_each_within_radius(q, radius, [&](std::size_t i) { visited.push_back(i); });
+  EXPECT_EQ(sorted(std::move(visited)), expected)
+      << "grid visitor form, r=" << radius << " q=(" << q.x << "," << q.y << ")";
+}
+
+TEST(GridIndex, EmptyIndexAnswersEverythingWithNothing) {
+  const GridIndex grid(std::span<const Point>{}, 10.0);
+  EXPECT_TRUE(grid.empty());
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_EQ(grid.count_within_radius({0, 0}, 1e9), 0u);
+  EXPECT_TRUE(grid.within_radius({0, 0}, 1e9).empty());
+  std::size_t visits = 0;
+  grid.for_each_within_radius({0, 0}, 1e9, [&](std::size_t) { ++visits; });
+  EXPECT_EQ(visits, 0u);
+}
+
+TEST(GridIndex, RejectsBadCellSizeAndNegativeRadius) {
+  const std::vector<Point> pts{{0, 0}};
+  EXPECT_THROW(GridIndex(pts, 0.0), std::invalid_argument);
+  EXPECT_THROW(GridIndex(pts, -5.0), std::invalid_argument);
+  EXPECT_THROW(GridIndex(pts, std::numeric_limits<double>::quiet_NaN()), std::invalid_argument);
+  const GridIndex grid(pts, 10.0);
+  EXPECT_THROW((void)grid.count_within_radius({0, 0}, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)grid.within_radius({0, 0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(grid.for_each_within_radius({0, 0}, -1.0, [](std::size_t) {}),
+               std::invalid_argument);
+}
+
+TEST(GridIndex, ZeroRadiusFindsExactlyCoincidentPoints) {
+  const std::vector<Point> pts{{1, 1}, {1, 1}, {2, 2}, {1.0000001, 1}};
+  const GridIndex grid(pts, 1.0);
+  EXPECT_EQ(sorted(grid.within_radius({1, 1}, 0.0)), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(grid.count_within_radius({2, 2}, 0.0), 1u);
+  EXPECT_EQ(grid.count_within_radius({3, 3}, 0.0), 0u);
+}
+
+TEST(GridIndex, MatchesKdTreeOnRandomPoints) {
+  stats::Rng rng(41);
+  std::vector<Point> pts;
+  for (int i = 0; i < 400; ++i) {
+    pts.push_back({rng.uniform(-2000, 2000), rng.uniform(-2000, 2000)});
+  }
+  const GridIndex grid(pts, 150.0);
+  const KdTree tree(pts);
+  for (int q = 0; q < 60; ++q) {
+    const Point query{rng.uniform(-2500, 2500), rng.uniform(-2500, 2500)};
+    for (const double radius : {0.0, 30.0, 150.0, 700.0, 10'000.0}) {
+      expect_all_forms_agree(grid, tree, pts, query, radius);
+    }
+  }
+}
+
+TEST(GridIndex, MatchesKdTreeOnClusteredPoints) {
+  // Tight blobs separated by empty space — the DJ-Cluster regime, and
+  // the one where the full-bucket counting shortcut does real work.
+  stats::Rng rng(43);
+  std::vector<Point> pts;
+  const Point centers[] = {{0, 0}, {500, 0}, {0, 500}, {1200, 1200}};
+  for (const Point c : centers) {
+    for (int i = 0; i < 120; ++i) {
+      pts.push_back({c.x + rng.normal() * 20.0, c.y + rng.normal() * 20.0});
+    }
+  }
+  const GridIndex grid(pts, 50.0);
+  const KdTree tree(pts);
+  // Query from blob centers (dense discs) and from the voids between.
+  std::vector<Point> queries(std::begin(centers), std::end(centers));
+  queries.push_back({250, 250});
+  queries.push_back({-900, -900});
+  for (int i = 0; i < 30; ++i) {
+    queries.push_back({rng.uniform(-200, 1400), rng.uniform(-200, 1400)});
+  }
+  for (const Point q : queries) {
+    for (const double radius : {10.0, 60.0, 300.0, 2000.0}) {
+      expect_all_forms_agree(grid, tree, pts, q, radius);
+    }
+  }
+}
+
+TEST(GridIndex, BucketEdgePointsLandInsideTheRaster) {
+  // Exact-boundary coordinates — the PR 4 closed north/east clamp cases,
+  // scaled to the lat/lng domain corners (±90, ±180). Points exactly on
+  // the bounding box's max edge must be indexed (last row/column), not
+  // dropped, and every query form must still see them.
+  const std::vector<Point> pts{{-180, -90}, {180, -90}, {-180, 90}, {180, 90},
+                               {180, 0},    {0, 90},    {-180, 0},  {0, -90},
+                               {0, 0},      {179.5, 89.5}};
+  const GridIndex grid(pts, 10.0);
+  const KdTree tree(pts);
+  // Every point is findable from itself with radius 0.
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const std::vector<std::size_t> hit = grid.within_radius(pts[i], 0.0);
+    EXPECT_EQ(hit, (std::vector<std::size_t>{i})) << "point " << i;
+  }
+  // Queries at the corners, on the edges, and just inside them.
+  stats::Rng rng(47);
+  std::vector<Point> queries = pts;
+  queries.push_back({std::nextafter(180.0, 0.0), std::nextafter(90.0, 0.0)});
+  queries.push_back({-200, -100});  // outside the extent entirely
+  for (int i = 0; i < 20; ++i) {
+    queries.push_back({rng.uniform(-185, 185), rng.uniform(-95, 95)});
+  }
+  for (const Point q : queries) {
+    for (const double radius : {0.0, 0.75, 10.0, 90.0, 500.0}) {
+      expect_all_forms_agree(grid, tree, pts, q, radius);
+    }
+  }
+}
+
+TEST(GridIndex, PointsOnInteriorBucketBoundaries) {
+  // Points exactly on cell boundaries (multiples of the cell size) go to
+  // the upper cell by floor semantics; a query disc whose rim passes
+  // exactly through them must still report them (closed disc).
+  std::vector<Point> pts;
+  for (int x = 0; x <= 100; x += 10) {
+    for (int y = 0; y <= 100; y += 10) {
+      pts.push_back({static_cast<double>(x), static_cast<double>(y)});
+    }
+  }
+  const GridIndex grid(pts, 10.0);
+  const KdTree tree(pts);
+  for (const Point q : {Point{50, 50}, Point{0, 0}, Point{100, 100}, Point{45, 55}}) {
+    for (const double radius : {10.0, 14.142135623730951, 20.0, 30.0}) {
+      expect_all_forms_agree(grid, tree, pts, q, radius);
+    }
+  }
+}
+
+TEST(GridIndex, CellCapGrowsCellSizeInsteadOfExploding) {
+  // Two points 1e9 m apart with a 1e-3 m cell request would naively need
+  // 1e12 columns; the cap must grow the effective cell size so that
+  // cols*rows <= kMaxCells while queries stay correct.
+  const std::vector<Point> pts{{0, 0}, {1e9, 1.0}, {5e8, 0.5}};
+  const GridIndex grid(pts, 1e-3);
+  EXPECT_LE(grid.cols() * grid.rows(), GridIndex::kMaxCells);
+  EXPECT_GT(grid.cell_size(), 1e-3);
+  const KdTree tree(pts);
+  for (const Point q : {Point{0, 0}, Point{1e9, 1.0}, Point{5e8, 0.5}, Point{2.5e8, 0}}) {
+    for (const double radius : {0.0, 10.0, 6e8, 2e9}) {
+      expect_all_forms_agree(grid, tree, pts, q, radius);
+    }
+  }
+}
+
+TEST(GridIndex, CoincidentPointCloudIsHandled) {
+  // Zero-area extent: all mass in one cell.
+  const std::vector<Point> pts(50, Point{7, 7});
+  const GridIndex grid(pts, GridIndex::suggested_cell_size(bounding_box(pts), pts.size()));
+  EXPECT_EQ(grid.count_within_radius({7, 7}, 0.0), 50u);
+  EXPECT_EQ(grid.count_within_radius({7, 7}, 1.0), 50u);
+  EXPECT_EQ(grid.count_within_radius({9, 7}, 1.0), 0u);
+}
+
+TEST(GridIndex, SuggestedCellSizeIsPositiveAndFinite) {
+  stats::Rng rng(53);
+  std::vector<Point> pts;
+  for (int i = 0; i < 200; ++i) pts.push_back({rng.uniform(0, 5000), rng.uniform(0, 3000)});
+  const double cs = GridIndex::suggested_cell_size(bounding_box(pts), pts.size());
+  EXPECT_TRUE(std::isfinite(cs));
+  EXPECT_GT(cs, 0.0);
+  // Roughly sqrt(2*area/n): within an order of magnitude of 387 m here.
+  EXPECT_GT(cs, 38.0);
+  EXPECT_LT(cs, 3870.0);
+  // Degenerate extents still return something usable.
+  BoundingBox line;
+  line.extend({0, 5});
+  line.extend({30, 5});
+  EXPECT_GT(GridIndex::suggested_cell_size(line, 10), 0.0);
+  BoundingBox dot;
+  dot.extend({1, 1});
+  EXPECT_GT(GridIndex::suggested_cell_size(dot, 10), 0.0);
+}
+
+TEST(GridIndex, VisitorDeliversAscendingIdsWithinEachCell) {
+  // The CSR build places ids in index order per bucket; a query window of
+  // a single cell must therefore deliver strictly ascending indices.
+  std::vector<Point> pts;
+  for (int i = 0; i < 40; ++i) pts.push_back({0.5, 0.5});
+  const GridIndex grid(pts, 1.0);
+  std::vector<std::size_t> visited;
+  grid.for_each_within_radius({0.5, 0.5}, 0.1, [&](std::size_t i) { visited.push_back(i); });
+  ASSERT_EQ(visited.size(), 40u);
+  EXPECT_TRUE(std::is_sorted(visited.begin(), visited.end()));
+}
+
+}  // namespace
+}  // namespace locpriv::geo

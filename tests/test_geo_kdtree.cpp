@@ -83,6 +83,27 @@ TEST(KdTree, WithinRadiusRejectsNegative) {
   EXPECT_THROW((void)tree.within_radius({0, 0}, -1.0), std::invalid_argument);
 }
 
+TEST(KdTree, VisitorOverloadMatchesMaterializedForm) {
+  stats::Rng rng(17);
+  std::vector<Point> pts;
+  for (int i = 0; i < 250; ++i) pts.push_back({rng.uniform(-800, 800), rng.uniform(-800, 800)});
+  const KdTree tree(pts);
+  for (const double radius : {0.0, 40.0, 150.0, 2500.0}) {
+    const Point query{rng.uniform(-800, 800), rng.uniform(-800, 800)};
+    std::vector<std::size_t> visited;
+    tree.for_each_within_radius(query, radius, [&](std::size_t i) { visited.push_back(i); });
+    // Same traversal, so the orders match exactly — not just the sets.
+    EXPECT_EQ(visited, tree.within_radius(query, radius)) << "radius " << radius;
+  }
+}
+
+TEST(KdTree, VisitorOverloadRejectsNegativeRadius) {
+  const std::vector<Point> pts{{0, 0}};
+  const KdTree tree(pts);
+  EXPECT_THROW(tree.for_each_within_radius({0, 0}, -1.0, [](std::size_t) {}),
+               std::invalid_argument);
+}
+
 TEST(KdTree, DuplicatePointsHandled) {
   const std::vector<Point> pts{{1, 1}, {1, 1}, {2, 2}};
   const KdTree tree(pts);

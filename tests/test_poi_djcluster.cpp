@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
+#include <vector>
 
+#include "geo/kdtree.h"
 #include "poi/djcluster.h"
 #include "poi/matching.h"
 #include "poi/staypoint.h"
+#include "stats/rng.h"
 #include "test_util.h"
 
 namespace locpriv::poi {
@@ -77,6 +82,140 @@ TEST(DjCluster, DwellAttributedToClusters) {
   // Each stop spans 1800 s of dwell (plus edge gaps).
   EXPECT_GT(pois[0].total_duration, 1500);
   EXPECT_GT(pois[1].total_duration, 1500);
+}
+
+// ------------------------------------------------ golden parity (PR 5)
+//
+// The GridIndex rewrite of extract_pois_djcluster dropped the O(n·k)
+// materialized-neighborhood vectors. The reference below is the original
+// KdTree implementation, verbatim; the rewrite must reproduce its output
+// bit for bit — same clusters, same order, same centroid doubles — on
+// realistic inputs. Any divergence means the flood fill or aggregation
+// order changed, not just performance.
+
+std::vector<Poi> reference_djcluster(const trace::Trace& t, const DjClusterConfig& cfg) {
+  const std::size_t n = t.size();
+  if (n == 0) return {};
+  const std::vector<geo::Point> pts = t.points();
+  const geo::KdTree index(pts);
+
+  std::vector<std::vector<std::size_t>> neighborhoods(n);
+  std::vector<bool> is_core(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    neighborhoods[i] = index.within_radius(pts[i], cfg.eps_m);
+    is_core[i] = neighborhoods[i].size() >= cfg.min_pts;
+  }
+
+  constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> cluster_of(n, kUnassigned);
+  std::size_t cluster_count = 0;
+  std::vector<std::size_t> stack;
+  for (std::size_t seed = 0; seed < n; ++seed) {
+    if (!is_core[seed] || cluster_of[seed] != kUnassigned) continue;
+    const std::size_t cluster = cluster_count++;
+    stack.assign(1, seed);
+    cluster_of[seed] = cluster;
+    while (!stack.empty()) {
+      const std::size_t i = stack.back();
+      stack.pop_back();
+      for (const std::size_t j : neighborhoods[i]) {
+        if (cluster_of[j] != kUnassigned) continue;
+        cluster_of[j] = cluster;
+        if (is_core[j]) stack.push_back(j);
+      }
+    }
+  }
+
+  struct Accumulator {
+    geo::Point sum{0, 0};
+    std::size_t count = 0;
+    trace::Timestamp dwell = 0;
+  };
+  std::vector<Accumulator> acc(cluster_count);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = cluster_of[i];
+    if (c == kUnassigned) continue;
+    acc[c].sum += pts[i];
+    ++acc[c].count;
+    if (i + 1 < n) acc[c].dwell += t[i + 1].time - t[i].time;
+  }
+
+  std::vector<Poi> pois;
+  pois.reserve(cluster_count);
+  for (const Accumulator& a : acc) {
+    Poi p;
+    p.center = a.sum / static_cast<double>(a.count);
+    p.visit_count = a.count;
+    p.total_duration = a.dwell;
+    pois.push_back(p);
+  }
+  std::sort(pois.begin(), pois.end(),
+            [](const Poi& a, const Poi& b) { return a.visit_count > b.visit_count; });
+  return pois;
+}
+
+/// A cab-like synthetic day: dwell at a rank, cruise to a fare, idle at
+/// the drop-off — repeated with GPS jitter, so clusters have fuzzy edges
+/// and travel points thread between them.
+trace::Trace cab_trace(std::uint64_t seed, int legs) {
+  stats::Rng rng(seed);
+  const geo::Point ranks[] = {{0, 0}, {2500, 800}, {900, 3200}, {4000, 4000}, {-1500, 2000}};
+  trace::Trace t("cab");
+  trace::Timestamp now = 0;
+  geo::Point here = ranks[0];
+  for (int leg = 0; leg < legs; ++leg) {
+    // Dwell: jittered reports around the current rank.
+    const int dwell_reports = 8 + static_cast<int>(rng.uniform(0, 18));
+    for (int i = 0; i < dwell_reports; ++i, now += 60) {
+      t.append({now, {here.x + rng.normal() * 15.0, here.y + rng.normal() * 15.0}});
+    }
+    // Cruise: sparse reports along a straight hop to the next rank.
+    const geo::Point next = ranks[static_cast<std::size_t>(rng.uniform(0, 4.999))];
+    for (int i = 1; i <= 6; ++i, now += 60) {
+      const double f = static_cast<double>(i) / 7.0;
+      t.append({now, {geo::lerp(here, next, f).x + rng.normal() * 30.0,
+                      geo::lerp(here, next, f).y + rng.normal() * 30.0}});
+    }
+    here = next;
+  }
+  return t;
+}
+
+bool bits_equal(double a, double b) { return std::memcmp(&a, &b, sizeof(double)) == 0; }
+
+TEST(DjCluster, GridRewriteMatchesKdTreeReferenceBitForBit) {
+  for (const std::uint64_t seed : {7ull, 99ull, 2016ull}) {
+    const trace::Trace t = cab_trace(seed, 25);
+    for (const double eps : {60.0, 100.0, 250.0}) {
+      DjClusterConfig cfg;
+      cfg.eps_m = eps;
+      const auto expected = reference_djcluster(t, cfg);
+      const auto got = extract_pois_djcluster(t, cfg);
+      ASSERT_EQ(got.size(), expected.size()) << "seed " << seed << " eps " << eps;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_TRUE(bits_equal(got[i].center.x, expected[i].center.x))
+            << "seed " << seed << " eps " << eps << " poi " << i;
+        EXPECT_TRUE(bits_equal(got[i].center.y, expected[i].center.y))
+            << "seed " << seed << " eps " << eps << " poi " << i;
+        EXPECT_EQ(got[i].visit_count, expected[i].visit_count)
+            << "seed " << seed << " eps " << eps << " poi " << i;
+        EXPECT_EQ(got[i].total_duration, expected[i].total_duration)
+            << "seed " << seed << " eps " << eps << " poi " << i;
+      }
+    }
+  }
+}
+
+TEST(DjCluster, GridRewriteMatchesReferenceOnCommuteFixture) {
+  const trace::Trace t = testutil::two_stop_trace("u", {0, 0}, {0, 3000});
+  const auto expected = reference_djcluster(t, DjClusterConfig{});
+  const auto got = extract_pois_djcluster(t, DjClusterConfig{});
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(bits_equal(got[i].center.x, expected[i].center.x)) << i;
+    EXPECT_TRUE(bits_equal(got[i].center.y, expected[i].center.y)) << i;
+    EXPECT_EQ(got[i].visit_count, expected[i].visit_count) << i;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_kernels.json and gate kernel-speedup regressions.
+
+Two jobs, both meant for the CI bench-smoke lane:
+
+  * schema: the candidate file has every headline field the dashboards
+    and the baseline comparison rely on, with sane types/ranges, and
+    every section's built-in correctness check passed (bit_identical /
+    agree) — a fast-but-wrong kernel must never post a number.
+  * regression: the candidate's speedup RATIOS (djcluster_speedup,
+    evaluate_point_scaling, grid visitor-vs-kdtree qps ratio) are
+    compared against the committed baseline. Ratios, not seconds: the
+    smoke preset runs a smaller workload and CI boxes vary in absolute
+    speed, but "the rewrite is N x the reference" should transfer. A
+    candidate ratio more than --max-regression below baseline fails.
+
+Usage:
+  tools/check_bench.py CANDIDATE.json [--baseline BENCH_kernels.json]
+                       [--max-regression 0.25]
+
+Without --baseline only the schema is checked.
+"""
+import argparse
+import json
+import sys
+
+FAILURES: list[str] = []
+
+
+def fail(msg: str) -> None:
+    FAILURES.append(msg)
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: FAIL: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(1)
+    if not isinstance(doc, dict):
+        print(f"check_bench: FAIL: {path}: top level is not an object", file=sys.stderr)
+        sys.exit(1)
+    return doc
+
+
+def require_number(doc: dict, dotted: str, minimum: float | None = None) -> float | None:
+    node: object = doc
+    for key in dotted.split("."):
+        if not isinstance(node, dict) or key not in node:
+            fail(f"missing field '{dotted}'")
+            return None
+        node = node[key]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        fail(f"field '{dotted}' is not a number: {node!r}")
+        return None
+    if minimum is not None and node < minimum:
+        fail(f"field '{dotted}' = {node} below minimum {minimum}")
+        return None
+    return float(node)
+
+
+def require_true(doc: dict, dotted: str) -> None:
+    node: object = doc
+    for key in dotted.split("."):
+        if not isinstance(node, dict) or key not in node:
+            fail(f"missing field '{dotted}'")
+            return
+        node = node[key]
+    if node is not True:
+        fail(f"field '{dotted}' is {node!r}, expected true")
+
+
+def check_schema(doc: dict) -> None:
+    if doc.get("bench") != "kernels":
+        fail(f"'bench' is {doc.get('bench')!r}, expected 'kernels'")
+    if doc.get("preset") not in ("full", "smoke"):
+        fail(f"'preset' is {doc.get('preset')!r}, expected 'full' or 'smoke'")
+    require_number(doc, "cores", minimum=1)
+    require_number(doc, "djcluster_speedup", minimum=0)
+    require_number(doc, "evaluate_point_scaling", minimum=0)
+    require_true(doc, "bit_identical")
+    require_true(doc, "djcluster.bit_identical")
+    require_true(doc, "grid_vs_kdtree.agree")
+    require_true(doc, "evaluate_point.latency_bound.bit_identical")
+    require_true(doc, "evaluate_point.cpu_bound.bit_identical")
+    require_number(doc, "djcluster.points", minimum=1)
+    require_number(doc, "djcluster.old_seconds", minimum=0)
+    require_number(doc, "djcluster.new_seconds", minimum=0)
+    require_number(doc, "grid_vs_kdtree.kdtree_vector_qps", minimum=0)
+    require_number(doc, "grid_vs_kdtree.grid_visitor_qps", minimum=0)
+    require_number(doc, "grid_vs_kdtree.grid_count_qps", minimum=0)
+    require_number(doc, "evaluate_point.latency_bound.scaling", minimum=0)
+    require_number(doc, "evaluate_point.cpu_bound.scaling", minimum=0)
+
+
+def ratio(doc: dict, name: str) -> float | None:
+    if name == "grid_visitor_vs_kdtree":
+        kd = require_number(doc, "grid_vs_kdtree.kdtree_vector_qps")
+        grid = require_number(doc, "grid_vs_kdtree.grid_visitor_qps")
+        if kd is None or grid is None or kd <= 0:
+            return None
+        return grid / kd
+    return require_number(doc, name)
+
+
+def check_regressions(candidate: dict, baseline: dict, max_regression: float) -> None:
+    names = ["djcluster_speedup", "evaluate_point_scaling"]
+    if candidate.get("preset") == baseline.get("preset"):
+        # The query-micro ratio grows with the point count (the KdTree
+        # side degrades faster in n than the grid side), so it only
+        # compares meaningfully within one preset; the two headline
+        # ratios transfer across workload sizes.
+        names.append("grid_visitor_vs_kdtree")
+    else:
+        print("check_bench: preset mismatch "
+              f"({candidate.get('preset')} vs baseline {baseline.get('preset')}): "
+              "skipping the n-sensitive grid_visitor_vs_kdtree ratio")
+    for name in names:
+        base = ratio(baseline, name)
+        cand = ratio(candidate, name)
+        if base is None or cand is None:
+            continue  # the missing-field failure is already recorded
+        if base <= 0:
+            fail(f"baseline {name} is {base}, cannot compare")
+            continue
+        drop = (base - cand) / base
+        status = "ok" if drop <= max_regression else "REGRESSION"
+        print(f"check_bench: {name}: baseline {base:.2f}x candidate {cand:.2f}x "
+              f"({drop:+.1%} drop) {status}")
+        if drop > max_regression:
+            fail(f"{name} regressed {drop:.1%} (baseline {base:.2f}x -> {cand:.2f}x, "
+                 f"limit {max_regression:.0%})")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("candidate", help="BENCH_kernels.json produced by this run")
+    parser.add_argument("--baseline", help="committed baseline to compare ratios against")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="maximum allowed fractional ratio drop (default 0.25)")
+    args = parser.parse_args()
+
+    candidate = load(args.candidate)
+    check_schema(candidate)
+    if args.baseline:
+        baseline = load(args.baseline)
+        check_schema(baseline)
+        check_regressions(candidate, baseline, args.max_regression)
+
+    if FAILURES:
+        print(f"check_bench: {len(FAILURES)} failure(s)", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_bench: OK ({args.candidate}"
+          + (f" vs {args.baseline}" if args.baseline else "") + ")")
+
+
+if __name__ == "__main__":
+    main()
