@@ -8,6 +8,28 @@
 
 namespace locpriv::core {
 
+const char* to_string(InversionStatus s) {
+  switch (s) {
+    case InversionStatus::kOk: return "ok";
+    case InversionStatus::kSaturatedLow: return "saturated_low";
+    case InversionStatus::kSaturatedHigh: return "saturated_high";
+    case InversionStatus::kZeroSlope: return "zero_slope";
+  }
+  return "unknown";
+}
+
+InversionResult invert_clamped(const AxisModel& axis, lppm::Scale scale, double metric) {
+  const double x_low = model_x(axis.param_low, scale);
+  const double x_high = model_x(axis.param_high, scale);
+  if (axis.fit.slope == 0.0 || !std::isfinite(axis.fit.slope)) {
+    return {from_model_x(0.5 * (x_low + x_high), scale), InversionStatus::kZeroSlope};
+  }
+  const double x = (metric - axis.fit.intercept) / axis.fit.slope;
+  if (x < x_low) return {axis.param_low, InversionStatus::kSaturatedLow};
+  if (x > x_high) return {axis.param_high, InversionStatus::kSaturatedHigh};
+  return {from_model_x(x, scale), InversionStatus::kOk};
+}
+
 std::string Objective::describe(const LppmModel& model) const {
   std::ostringstream os;
   os << (axis == Axis::kPrivacy ? model.privacy_metric : model.utility_metric)
@@ -62,6 +84,13 @@ Configuration Configurator::configure_with_margin(std::span<const Objective> obj
   Configuration cfg = configure(tightened);
   cfg.diagnosis = "(with z=" + std::to_string(z) + " residual margin) " + cfg.diagnosis;
   return cfg;
+}
+
+InversionResult Configurator::invert_clamped(Axis axis, double metric) const {
+  AxisModel joint = axis == Axis::kPrivacy ? model_.privacy : model_.utility;
+  joint.param_low = model_.param_low;
+  joint.param_high = model_.param_high;
+  return core::invert_clamped(joint, model_.scale, metric);
 }
 
 Configuration Configurator::configure(std::span<const Objective> objectives) const {

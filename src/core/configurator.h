@@ -52,6 +52,35 @@ struct Configuration {
   std::string diagnosis;          ///< human-readable explanation (esp. on infeasibility)
 };
 
+/// Outcome classification of a clamped axis inversion.
+enum class InversionStatus {
+  kOk,             ///< the metric is reachable inside the fitted domain
+  kSaturatedLow,   ///< metric demands a parameter below the fitted range
+  kSaturatedHigh,  ///< metric demands a parameter above the fitted range
+  kZeroSlope,      ///< the axis does not respond to the parameter at all
+};
+
+[[nodiscard]] const char* to_string(InversionStatus s);
+
+/// A clamped inversion answer: `param` always lies inside the fitted
+/// domain, and `status` says whether it is exact or pinned to an edge.
+struct InversionResult {
+  double param = 0.0;
+  InversionStatus status = InversionStatus::kOk;
+  [[nodiscard]] bool saturated() const { return status != InversionStatus::kOk; }
+};
+
+/// Inverts one axis for `metric` without ever extrapolating: the answer
+/// is clamped to the axis' fitted parameter domain and the result is
+/// typed instead of thrown. A zero-slope axis (metric does not respond)
+/// returns the domain midpoint (in model space) with kZeroSlope — the
+/// caller must treat the parameter as uninformative and hold. This is
+/// the edge behaviour the online controller depends on: at the swept
+/// range's boundary the right move is "pin to the edge and report
+/// saturation", never "trust the fit outside where it was fitted".
+[[nodiscard]] InversionResult invert_clamped(const AxisModel& axis, lppm::Scale scale,
+                                             double metric);
+
 /// Inverts a fitted model against designer objectives.
 class Configurator {
  public:
@@ -78,6 +107,10 @@ class Configurator {
   /// to users should configure with margin, not at the nominal boundary.
   [[nodiscard]] Configuration configure_with_margin(std::span<const Objective> objectives,
                                                     double z = 1.645) const;
+
+  /// Clamped inversion of one model axis (see the free function above),
+  /// using the model's joint validity range as the domain.
+  [[nodiscard]] InversionResult invert_clamped(Axis axis, double metric) const;
 
  private:
   LppmModel model_;

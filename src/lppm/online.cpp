@@ -119,25 +119,38 @@ GeoIndBudget::GeoIndBudget(double eps_per_report, double budget, trace::Timestam
 
 void GeoIndBudget::evict(trace::Timestamp now) const {
   const trace::Timestamp cutoff = now - window_s_;
-  const auto first_kept = std::upper_bound(consumed_.begin(), consumed_.end(), cutoff);
+  const auto first_kept =
+      std::upper_bound(consumed_.begin(), consumed_.end(), cutoff,
+                       [](trace::Timestamp t, const Spend& s) { return t < s.time; });
   consumed_.erase(consumed_.begin(), first_kept);
 }
 
 double GeoIndBudget::spent(trace::Timestamp now) const {
   evict(now);
-  return static_cast<double>(consumed_.size()) * eps_per_report_;
+  double total = 0.0;
+  for (const Spend& s : consumed_) total += s.eps;
+  return total;
 }
 
 bool GeoIndBudget::can_consume(trace::Timestamp now) const {
-  return spent(now) + eps_per_report_ <= budget_ + 1e-12;
+  return can_consume(now, eps_per_report_);
+}
+
+bool GeoIndBudget::can_consume(trace::Timestamp now, double eps) const {
+  if (!(eps > 0.0)) throw std::invalid_argument("GeoIndBudget: eps must be > 0");
+  return spent(now) + eps <= budget_ + 1e-12;
 }
 
 bool GeoIndBudget::try_consume(trace::Timestamp now) {
-  if (!consumed_.empty() && now < consumed_.back()) {
+  return try_consume(now, eps_per_report_);
+}
+
+bool GeoIndBudget::try_consume(trace::Timestamp now, double eps) {
+  if (!consumed_.empty() && now < consumed_.back().time) {
     throw std::invalid_argument("GeoIndBudget: reports must arrive in time order");
   }
-  if (!can_consume(now)) return false;
-  consumed_.push_back(now);
+  if (!can_consume(now, eps)) return false;
+  consumed_.push_back({now, eps});
   return true;
 }
 

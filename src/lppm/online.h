@@ -48,23 +48,39 @@ class GeoIndBudget {
   /// `eps_per_report` > 0, `budget` > 0, `window_s` > 0.
   GeoIndBudget(double eps_per_report, double budget, trace::Timestamp window_s);
 
-  /// ε already spent inside the window ending at `now`.
+  /// ε already spent inside the window ending at `now`. Summed in
+  /// arrival order, so the value is deterministic across replays.
   [[nodiscard]] double spent(trace::Timestamp now) const;
   /// True when one more report fits the budget at time `now`.
   [[nodiscard]] bool can_consume(trace::Timestamp now) const;
   /// Records a report at `now` if it fits; returns whether it did.
   bool try_consume(trace::Timestamp now);
 
+  // Variable-spend overloads for adaptive sessions whose per-report ε
+  // changes over time (service/adaptive). The interaction is monotone:
+  // raising ε only drains the window faster, so a controller that steps
+  // ε up can trade report availability for accuracy but can never mint
+  // budget — the window invariant spent(now) <= budget always holds.
+  /// True when a report costing `eps` fits the budget at time `now`.
+  [[nodiscard]] bool can_consume(trace::Timestamp now, double eps) const;
+  /// Records a report costing `eps` at `now` if it fits. `eps` > 0.
+  bool try_consume(trace::Timestamp now, double eps);
+
   [[nodiscard]] double budget() const { return budget_; }
   [[nodiscard]] double eps_per_report() const { return eps_per_report_; }
 
  private:
+  struct Spend {
+    trace::Timestamp time;
+    double eps;
+  };
+
   void evict(trace::Timestamp now) const;
 
   double eps_per_report_;
   double budget_;
   trace::Timestamp window_s_;
-  mutable std::vector<trace::Timestamp> consumed_;  ///< report times, sorted
+  mutable std::vector<Spend> consumed_;  ///< report spends, time-sorted
 };
 
 /// Streaming Geo-I with budget enforcement: perturbs while budget lasts,

@@ -1,0 +1,122 @@
+#include "service/adaptive/control_log.h"
+
+#include <array>
+#include <cmath>
+#include <sstream>
+
+#include "io/numeric.h"
+
+namespace locpriv::service::adaptive {
+namespace {
+
+/// ε-trajectory histogram buckets: decades of [1e-4, 1) plus [1, ∞).
+/// Fixed edges keep the telemetry schema stable across configs; spec
+/// domains outside them land in the first/last bucket.
+constexpr std::array<double, 4> kEpsBucketEdges = {1e-3, 1e-2, 1e-1, 1.0};
+constexpr std::array<const char*, 5> kEpsBucketNames = {
+    "lt_1e-3", "1e-3_1e-2", "1e-2_1e-1", "1e-1_1", "ge_1",
+};
+
+std::size_t eps_bucket(double eps) {
+  for (std::size_t i = 0; i < kEpsBucketEdges.size(); ++i) {
+    if (eps < kEpsBucketEdges[i]) return i;
+  }
+  return kEpsBucketEdges.size();
+}
+
+}  // namespace
+
+void ControlLog::record(const std::string& user_id, const ControlDecision& decision) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  by_user_[user_id].push_back(decision);
+}
+
+std::size_t ControlLog::decision_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [user, decisions] : by_user_) n += decisions.size();
+  return n;
+}
+
+std::size_t ControlLog::user_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return by_user_.size();
+}
+
+std::string ControlLog::serialize() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [user, decisions] : by_user_) {
+    for (const ControlDecision& d : decisions) {
+      os << user << ' ' << d.index << ' ' << d.time << ' ' << d.window_pairs << ' '
+         << io::format_double(d.measured_privacy) << ' ' << io::format_double(d.measured_utility)
+         << ' ' << (d.privacy_in_band ? 1 : 0) << ' ' << (d.utility_in_band ? 1 : 0) << ' '
+         << io::format_double(d.eps_before) << ' ' << io::format_double(d.eps_after) << ' '
+         << to_string(d.action) << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::size_t ControlLog::users_in_band_final() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [user, decisions] : by_user_) {
+    if (!decisions.empty() && decisions.back().privacy_in_band &&
+        decisions.back().utility_in_band) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::map<std::string, std::vector<ControlDecision>> ControlLog::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return by_user_;
+}
+
+io::JsonValue ControlLog::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t decisions = 0;
+  std::size_t steps = 0;
+  std::size_t saturations_lo = 0;
+  std::size_t saturations_hi = 0;
+  std::size_t in_band_final = 0;
+  io::JsonObject actions;
+  for (const char* name :
+       {"hold_in_band", "hold_cooldown", "hold_insufficient", "hold_frozen", "step",
+        "saturate_lo", "saturate_hi"}) {
+    actions.emplace(name, std::size_t{0});
+  }
+  std::array<std::size_t, kEpsBucketNames.size()> eps_counts{};
+  for (const auto& [user, user_decisions] : by_user_) {
+    decisions += user_decisions.size();
+    for (const ControlDecision& d : user_decisions) {
+      actions[to_string(d.action)] = actions.at(to_string(d.action)).as_number() + 1.0;
+      if (d.action == ControlAction::kStep) ++steps;
+      if (d.action == ControlAction::kSaturateLow) ++saturations_lo;
+      if (d.action == ControlAction::kSaturateHigh) ++saturations_hi;
+      ++eps_counts[eps_bucket(d.eps_after)];
+    }
+    if (!user_decisions.empty() && user_decisions.back().privacy_in_band &&
+        user_decisions.back().utility_in_band) {
+      ++in_band_final;
+    }
+  }
+  io::JsonObject eps_trajectory;
+  for (std::size_t i = 0; i < kEpsBucketNames.size(); ++i) {
+    eps_trajectory.emplace(kEpsBucketNames[i], eps_counts[i]);
+  }
+  io::JsonObject out;
+  out.emplace("users", by_user_.size());
+  out.emplace("decisions", decisions);
+  out.emplace("steps", steps);
+  out.emplace("saturations_lo", saturations_lo);
+  out.emplace("saturations_hi", saturations_hi);
+  out.emplace("users_in_band_final", in_band_final);
+  out.emplace("actions", std::move(actions));
+  out.emplace("eps_trajectory", std::move(eps_trajectory));
+  return out;
+}
+
+}  // namespace locpriv::service::adaptive

@@ -1,0 +1,32 @@
+#include "service/adaptive/session.h"
+
+#include <utility>
+
+namespace locpriv::service::adaptive {
+
+AdaptiveGeoIndSession::AdaptiveGeoIndSession(const ObjectiveSpec& spec, double initial_eps,
+                                             lppm::GeoIndBudget budget, std::uint64_t seed,
+                                             std::shared_ptr<const metrics::Metric> privacy,
+                                             std::shared_ptr<const metrics::Metric> utility,
+                                             DecisionSink on_decision)
+    : controller_(spec, initial_eps, std::move(privacy), std::move(utility)),
+      budget_(std::move(budget)),
+      rng_(seed),
+      on_decision_(std::move(on_decision)) {}
+
+std::optional<trace::Event> AdaptiveGeoIndSession::report(const trace::Event& e) {
+  const double eps = controller_.epsilon();
+  if (!budget_.try_consume(e.time, eps)) {
+    ++suppressed_;
+    return std::nullopt;
+  }
+  const trace::Event protected_event{e.time,
+                                     e.location + stats::sample_planar_laplace(rng_, eps)};
+  if (std::optional<ControlDecision> decision = controller_.on_delivered(e, protected_event);
+      decision.has_value() && on_decision_) {
+    on_decision_(*decision);
+  }
+  return protected_event;
+}
+
+}  // namespace locpriv::service::adaptive

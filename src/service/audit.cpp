@@ -14,6 +14,19 @@ void StreamAuditor::record(const ProtectedReport& report) {
   auto [it, inserted] = by_user_.try_emplace(report.user_id);
   if (inserted) user_order_.push_back(report.user_id);
   it->second.push_back({report.seq, report.original, *report.protected_event});
+  if (window_.bounded()) evict(it->second);
+}
+
+void StreamAuditor::evict(std::deque<Pair>& pairs) const {
+  if (window_.max_pairs > 0) {
+    while (pairs.size() > window_.max_pairs) pairs.pop_front();
+  }
+  if (window_.max_age_s > 0) {
+    // Per-user original times are monotone (the gateway clamps), so the
+    // newest pair is at the back and eviction pops from the front only.
+    const trace::Timestamp cutoff = pairs.back().original.time - window_.max_age_s;
+    while (pairs.front().original.time < cutoff) pairs.pop_front();
+  }
 }
 
 std::size_t StreamAuditor::recorded() const {
@@ -30,7 +43,8 @@ std::vector<StreamAuditor::MetricValue> StreamAuditor::evaluate(
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     for (const std::string& user : user_order_) {
-      std::vector<Pair> pairs = by_user_.at(user);
+      const std::deque<Pair>& retained = by_user_.at(user);
+      std::vector<Pair> pairs(retained.begin(), retained.end());
       std::sort(pairs.begin(), pairs.end(),
                 [](const Pair& a, const Pair& b) { return a.seq < b.seq; });
       std::vector<trace::Event> originals;

@@ -7,6 +7,7 @@
 // derivations are computed once no matter how many metrics run.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -19,6 +20,19 @@
 
 namespace locpriv::service {
 
+/// Retention policy for a windowed auditor. Either bound may be zero
+/// (= unbounded on that dimension); the default keeps everything, which
+/// is the classic full-stream post-hoc audit. Bounds apply per user:
+/// `max_pairs` keeps the last K delivered pairs, `max_age_s` keeps
+/// pairs whose ORIGINAL (virtual) timestamp is within T seconds of the
+/// user's newest recorded pair. Original time, not protected time: the
+/// protected clock may be skewed by the mechanism.
+struct AuditWindow {
+  std::size_t max_pairs = 0;       ///< 0 = unbounded
+  trace::Timestamp max_age_s = 0;  ///< 0 = unbounded
+  [[nodiscard]] bool bounded() const { return max_pairs > 0 || max_age_s > 0; }
+};
+
 class StreamAuditor {
  public:
   struct MetricValue {
@@ -27,13 +41,22 @@ class StreamAuditor {
     double value = 0.0;
   };
 
+  /// Full-stream auditor: keeps every delivered pair.
+  StreamAuditor() = default;
+  /// Windowed auditor: evicts incrementally on record, so memory and
+  /// evaluation cost are O(window), not O(stream).
+  explicit StreamAuditor(AuditWindow window) : window_(window) {}
+
   /// Records one sink event. Thread-safe: the gateway delivers from its
   /// worker threads. Reports without a protected event (suppressed,
   /// rejected) carry no deliverable location and are skipped.
   void record(const ProtectedReport& report);
 
-  /// Delivered pairs recorded so far.
+  /// Delivered pairs currently retained (post-eviction in windowed
+  /// mode; everything recorded in full-stream mode).
   [[nodiscard]] std::size_t recorded() const;
+
+  [[nodiscard]] const AuditWindow& window() const { return window_; }
 
   /// Evaluates every metric over the recorded pairs. Users are ordered
   /// by first appearance, events by per-user sequence number (the
@@ -49,9 +72,12 @@ class StreamAuditor {
     trace::Event protected_event;
   };
 
+  void evict(std::deque<Pair>& pairs) const;
+
+  AuditWindow window_;
   mutable std::mutex mutex_;
   std::vector<std::string> user_order_;
-  std::unordered_map<std::string, std::vector<Pair>> by_user_;
+  std::unordered_map<std::string, std::deque<Pair>> by_user_;
 };
 
 }  // namespace locpriv::service

@@ -6,7 +6,10 @@
 #include <thread>
 
 #include "lppm/grid_cloaking.h"
+#include "metrics/registry.h"
 #include "obs/tracer.h"
+#include "service/adaptive/control_log.h"
+#include "service/adaptive/session.h"
 #include "stats/rng.h"
 
 namespace locpriv::service {
@@ -43,6 +46,33 @@ SessionManager::SessionFactory default_factory(const GatewayConfig& cfg) {
   };
 }
 
+// Closed-loop factory: one AdaptiveGeoIndSession per user, sharing the
+// axis metrics (stateless evaluators, safe across threads) and feeding
+// decisions into the gateway's control log. The metrics are resolved
+// once here so an unknown metric name fails at construction, not on the
+// first report.
+SessionManager::SessionFactory adaptive_factory(const GatewayConfig& cfg,
+                                                adaptive::ControlLog* log) {
+  const adaptive::ObjectiveSpec spec = *cfg.objectives;
+  spec.validate();
+  std::shared_ptr<const metrics::Metric> privacy;
+  std::shared_ptr<const metrics::Metric> utility;
+  if (spec.privacy_on()) privacy = metrics::create_metric(spec.privacy_metric);
+  if (spec.utility_on()) utility = metrics::create_metric(spec.utility_metric);
+  const double epsilon = cfg.epsilon;
+  const double budget_eps = cfg.budget_eps;
+  const trace::Timestamp window = cfg.budget_window_s;
+  const std::uint64_t seed = cfg.seed;
+  return [spec, privacy, utility, epsilon, budget_eps, window, seed,
+          log](const std::string& user_id) {
+    return std::make_unique<adaptive::AdaptiveGeoIndSession>(
+        spec, epsilon, lppm::GeoIndBudget(epsilon, budget_eps, window), user_seed(seed, user_id),
+        privacy, utility, [log, user_id](const adaptive::ControlDecision& d) {
+          log->record(user_id, d);
+        });
+  };
+}
+
 // Worker stalls sleep for real (when enabled) but never beyond a cap, so
 // a hostile spec cannot wedge a worker.
 void stall_sleep(bool enabled, std::uint32_t us) {
@@ -54,7 +84,7 @@ void stall_sleep(bool enabled, std::uint32_t us) {
 }  // namespace
 
 Gateway::Gateway(const GatewayConfig& cfg, Sink sink)
-    : Gateway(cfg, default_factory(cfg), std::move(sink)) {}
+    : Gateway(cfg, SessionManager::SessionFactory{}, std::move(sink)) {}
 
 Gateway::Gateway(const GatewayConfig& cfg, SessionManager::SessionFactory factory, Sink sink)
     : cfg_(cfg), sink_(std::move(sink)) {
@@ -65,6 +95,15 @@ Gateway::Gateway(const GatewayConfig& cfg, SessionManager::SessionFactory factor
   // signal.
   telemetry_ = std::make_unique<Telemetry>(/*latency_hi_us=*/50'000.0,
                                            /*eps_hi=*/cfg.budget_eps * 1.05);
+  if (cfg_.objectives.has_value()) control_log_ = std::make_unique<adaptive::ControlLog>();
+  // An empty factory means "the configured default": static budgeted
+  // Geo-I, or the closed loop when objectives are set. A caller-
+  // supplied factory always wins (objectives then only allocate the —
+  // unused — control log).
+  if (!factory) {
+    factory = cfg_.objectives.has_value() ? adaptive_factory(cfg_, control_log_.get())
+                                          : default_factory(cfg_);
+  }
   sessions_ = std::make_unique<SessionManager>(cfg.sessions, std::move(factory), telemetry_.get());
   if (cfg_.faults.any()) {
     const std::uint64_t fault_seed =
@@ -157,9 +196,14 @@ void Gateway::handle(std::size_t worker, const Request& r) {
       event.time = locked.monotonic_time();
     }
     protected_event = locked.session().report(event);
-    if (const auto* budgeted = dynamic_cast<const lppm::BudgetedGeoIndSession*>(&locked.session());
-        budgeted != nullptr && protected_event.has_value()) {
-      eps_spent = budgeted->budget_state().spent(event.time);
+    if (protected_event.has_value()) {
+      if (const auto* budgeted =
+              dynamic_cast<const lppm::BudgetedGeoIndSession*>(&locked.session())) {
+        eps_spent = budgeted->budget_state().spent(event.time);
+      } else if (const auto* adapted =
+                     dynamic_cast<const adaptive::AdaptiveGeoIndSession*>(&locked.session())) {
+        eps_spent = adapted->budget_state().spent(event.time);
+      }
     }
   }
 

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "service/adaptive/objective.h"
 #include "service/resilience/resilience.h"
 #include "service/session_manager.h"
 #include "service/telemetry.h"
@@ -31,6 +32,10 @@
 #include "trace/event.h"
 
 namespace locpriv::service {
+
+namespace adaptive {
+class ControlLog;
+}  // namespace adaptive
 
 /// Why a report came back the way it did.
 enum class ReportStatus {
@@ -85,6 +90,14 @@ struct GatewayConfig {
   /// Deadline / retry / breaker / degradation policy of the downstream
   /// call (active whenever faults or downstream_latency are configured).
   ResilienceConfig resilience;
+
+  /// Closed-loop ε control (see service/adaptive/): when set, the
+  /// default factory builds AdaptiveGeoIndSessions that steer each
+  /// user's ε toward these objectives instead of the static-ε
+  /// BudgetedGeoIndSession; `epsilon` becomes the loop's initial value
+  /// and every decision is recorded in control_log(). nullopt = the
+  /// classic static deployment.
+  std::optional<adaptive::ObjectiveSpec> objectives;
 };
 
 /// Deterministic per-user session seed used by the default factory.
@@ -124,6 +137,9 @@ class Gateway {
   [[nodiscard]] std::size_t queued() const { return pool_->queued(); }
   /// The active fault schedule; nullptr when no faults are configured.
   [[nodiscard]] const FaultPlan* fault_plan() const { return plan_.get(); }
+  /// Every control decision made so far; nullptr when `objectives` is
+  /// unset (static deployment has no control plane).
+  [[nodiscard]] const adaptive::ControlLog* control_log() const { return control_log_.get(); }
 
  private:
   void handle(std::size_t worker, const Request& r);
@@ -131,6 +147,7 @@ class Gateway {
   GatewayConfig cfg_;
   Sink sink_;
   std::unique_ptr<Telemetry> telemetry_;
+  std::unique_ptr<adaptive::ControlLog> control_log_;  ///< null = static ε
   std::unique_ptr<SessionManager> sessions_;
   std::unique_ptr<FaultPlan> plan_;  ///< null = no injection
   std::vector<CircuitBreaker> breakers_;  ///< one per worker; worker-local

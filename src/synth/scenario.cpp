@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
+
+#include "synth/walker.h"
 
 namespace locpriv::synth {
 namespace {
@@ -53,6 +56,38 @@ trace::Dataset make_mixed_dataset(const MixedScenarioConfig& cfg, std::uint64_t 
   for (std::size_t i = 0; i < cfg.wanderer_count; ++i) {
     d.add(random_waypoint_trace(city, indexed_id("walk", i), cfg.wanderer_duration_s,
                                 cfg.wanderer_movement, stats::derive_seed(seed, stream++)));
+  }
+  return d;
+}
+
+trace::Dataset make_drifting_fleet(const DriftingFleetConfig& cfg, std::uint64_t seed) {
+  if (!(cfg.phase_b_radius_m > 0.0)) {
+    throw std::invalid_argument("make_drifting_fleet: phase_b_radius_m must be > 0");
+  }
+  const CityModel city(cfg.city, stats::derive_seed(seed, 0));
+  const trace::Timestamp total = cfg.phase_a_s + cfg.phase_b_s;
+  trace::Dataset d;
+  for (std::size_t i = 0; i < cfg.user_count; ++i) {
+    stats::Rng rng(stats::derive_seed(seed, i + 1));
+    trace::Trace t(indexed_id("drift", i));
+    t.append({0, city.random_location(rng)});
+    // Phase A: the behaviour the offline model would have been fitted
+    // on — uniform waypoints over the whole city.
+    while (t.back().time < cfg.phase_a_s) {
+      travel(t, city.random_location(rng), cfg.movement, rng);
+      const auto pause = static_cast<trace::Timestamp>(rng.uniform(60.0, 300.0));
+      append_stay(t, t.back().location, pause, cfg.movement, rng);
+    }
+    // Phase B: behaviour drift — the user anchors wherever phase A left
+    // them and wanders only a small disk around that anchor.
+    const geo::Point anchor = t.back().location;
+    while (t.back().time < total) {
+      const geo::Point offset = rng.uniform_disk(cfg.phase_b_radius_m);
+      travel(t, city.clamp({anchor.x + offset.x, anchor.y + offset.y}), cfg.movement, rng);
+      const auto pause = static_cast<trace::Timestamp>(rng.uniform(60.0, 300.0));
+      append_stay(t, t.back().location, pause, cfg.movement, rng);
+    }
+    d.add(t.between(0, total));
   }
   return d;
 }

@@ -74,4 +74,28 @@ struct MixedScenarioConfig {
 [[nodiscard]] trace::Dataset make_mixed_dataset(const MixedScenarioConfig& cfg,
                                                 std::uint64_t seed);
 
+/// A fleet whose behaviour changes mid-stream — the scenario that makes
+/// a one-shot ε configuration go stale. Each user spends phase A roaming
+/// the whole city (random waypoints), then at the drift instant anchors
+/// to one spot and spends phase B confined to a small disk around it.
+/// Confinement collapses the actual trace's spatial spread, which moves
+/// behaviour-dependent metrics (e.g. spatial-entropy-gain) away from
+/// where the offline model was fitted: the adaptive-control bench uses
+/// this to show a static ε falls out of its objective band while the
+/// closed loop re-enters it.
+struct DriftingFleetConfig {
+  CityConfig city;
+  MovementConfig movement;
+  std::size_t user_count = 16;
+  trace::Timestamp phase_a_s = 4 * 3600;   ///< city-wide roaming span
+  trace::Timestamp phase_b_s = 4 * 3600;   ///< confined span after the drift
+  double phase_b_radius_m = 250.0;         ///< confinement disk radius
+};
+
+/// Builds the drifting dataset. User ids are "drift-000", ... The city
+/// comes from `seed` stream 0 and user i from stream i+1, like the
+/// other builders, so fleets of different sizes share a prefix.
+[[nodiscard]] trace::Dataset make_drifting_fleet(const DriftingFleetConfig& cfg,
+                                                 std::uint64_t seed);
+
 }  // namespace locpriv::synth

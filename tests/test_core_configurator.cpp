@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -200,6 +201,78 @@ TEST(ParamInterval, EmptyAndContains) {
   EXPECT_FALSE(iv.empty());
   EXPECT_TRUE(iv.contains(0.5));
   EXPECT_FALSE(iv.contains(1.5));
+}
+
+TEST(InvertClamped, ExactInsideDomain) {
+  const LppmModel m = paper_model();
+  // Pr = 0.84 + 0.17 ln eps; Pr = 0.10 -> eps = e^{-4.3529...} in range.
+  const InversionResult r = invert_clamped(m.privacy, m.scale, 0.10);
+  EXPECT_EQ(r.status, InversionStatus::kOk);
+  EXPECT_FALSE(r.saturated());
+  EXPECT_NEAR(r.param, std::exp((0.10 - 0.84) / 0.17), 1e-12);
+}
+
+TEST(InvertClamped, SaturatesLowInsteadOfExtrapolating) {
+  const LppmModel m = paper_model();
+  // A privacy demand below the fitted span would extrapolate past
+  // param_low; the clamped inversion pins to the edge and says so.
+  const InversionResult r = invert_clamped(m.privacy, m.scale, -10.0);
+  EXPECT_EQ(r.status, InversionStatus::kSaturatedLow);
+  EXPECT_TRUE(r.saturated());
+  EXPECT_EQ(r.param, m.privacy.param_low);
+}
+
+TEST(InvertClamped, SaturatesHighInsteadOfExtrapolating) {
+  const LppmModel m = paper_model();
+  const InversionResult r = invert_clamped(m.privacy, m.scale, 10.0);
+  EXPECT_EQ(r.status, InversionStatus::kSaturatedHigh);
+  EXPECT_EQ(r.param, m.privacy.param_high);
+}
+
+TEST(InvertClamped, NegativeSlopeSwapsSaturationSides) {
+  LppmModel m = paper_model();
+  m.privacy.fit.slope = -0.17;
+  // Falling axis: a very HIGH metric demand needs a very low parameter.
+  EXPECT_EQ(invert_clamped(m.privacy, m.scale, 10.0).status, InversionStatus::kSaturatedLow);
+  EXPECT_EQ(invert_clamped(m.privacy, m.scale, -10.0).status, InversionStatus::kSaturatedHigh);
+}
+
+TEST(InvertClamped, ZeroSlopeReturnsTypedOutcomeNotThrow) {
+  LppmModel m = paper_model();
+  m.privacy.fit.slope = 0.0;
+  const InversionResult r = invert_clamped(m.privacy, m.scale, 0.10);
+  EXPECT_EQ(r.status, InversionStatus::kZeroSlope);
+  EXPECT_TRUE(r.saturated());
+  // The uninformative answer is the domain midpoint in model space.
+  EXPECT_NEAR(std::log(r.param),
+              0.5 * (std::log(m.privacy.param_low) + std::log(m.privacy.param_high)), 1e-12);
+  EXPECT_GE(r.param, m.privacy.param_low);
+  EXPECT_LE(r.param, m.privacy.param_high);
+}
+
+TEST(InvertClamped, NonFiniteSlopeTreatedAsZeroSlope) {
+  LppmModel m = paper_model();
+  m.privacy.fit.slope = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(invert_clamped(m.privacy, m.scale, 0.10).status, InversionStatus::kZeroSlope);
+}
+
+TEST(InvertClamped, MemberVersionUsesJointValidityRange) {
+  LppmModel m = paper_model();
+  // Narrow the joint range relative to the privacy axis' own range; the
+  // member inversion must clamp to the JOINT domain.
+  m.param_low = 0.02;
+  m.param_high = 0.05;
+  const Configurator cfg(m);
+  const InversionResult r = cfg.invert_clamped(Axis::kPrivacy, -10.0);
+  EXPECT_EQ(r.status, InversionStatus::kSaturatedLow);
+  EXPECT_EQ(r.param, 0.02);
+}
+
+TEST(InversionStatusToString, AllNamed) {
+  EXPECT_STREQ(to_string(InversionStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(InversionStatus::kSaturatedLow), "saturated_low");
+  EXPECT_STREQ(to_string(InversionStatus::kSaturatedHigh), "saturated_high");
+  EXPECT_STREQ(to_string(InversionStatus::kZeroSlope), "zero_slope");
 }
 
 }  // namespace

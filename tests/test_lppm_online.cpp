@@ -125,6 +125,63 @@ TEST(GeoIndBudget, ZeroIntervalBurstConsumesOneSlotEach) {
   EXPECT_NEAR(budget.spent(542), 0.0, 1e-12);
 }
 
+TEST(GeoIndBudget, VariableSpendSumsInArrivalOrder) {
+  GeoIndBudget budget(0.1, 0.5, 1000);
+  EXPECT_TRUE(budget.try_consume(0, 0.3));
+  EXPECT_NEAR(budget.spent(0), 0.3, 1e-12);
+  // 0.3 + 0.3 would overshoot the 0.5 window budget.
+  EXPECT_FALSE(budget.can_consume(10, 0.3));
+  EXPECT_FALSE(budget.try_consume(10, 0.3));
+  EXPECT_NEAR(budget.spent(10), 0.3, 1e-12);  // a refusal spends nothing
+  EXPECT_TRUE(budget.try_consume(10, 0.2));
+  EXPECT_NEAR(budget.spent(10), 0.5, 1e-12);
+  // Saturated: even a tiny further spend is refused until eviction.
+  EXPECT_FALSE(budget.can_consume(20, 1e-6));
+}
+
+TEST(GeoIndBudget, VariableSpendIsMonotoneNeverMintsBudget) {
+  // Raising ε mid-window drains the remaining budget faster; lowering it
+  // never refunds what earlier reports already spent.
+  GeoIndBudget budget(0.1, 1.0, 1000);
+  EXPECT_TRUE(budget.try_consume(0, 0.1));
+  EXPECT_TRUE(budget.try_consume(10, 0.8));  // step up
+  EXPECT_TRUE(budget.try_consume(20, 0.1));  // step back down
+  EXPECT_NEAR(budget.spent(20), 1.0, 1e-12);
+  EXPECT_FALSE(budget.can_consume(30, 0.1));
+}
+
+TEST(GeoIndBudget, VariableSpendsEvictIndividually) {
+  GeoIndBudget budget(0.1, 1.0, 100);
+  EXPECT_TRUE(budget.try_consume(0, 0.7));
+  EXPECT_TRUE(budget.try_consume(50, 0.3));
+  EXPECT_FALSE(budget.can_consume(99, 0.1));  // both spends still inside
+  // The 0.7 spend from t=0 ages out at exactly t+window; the 0.3 remains.
+  EXPECT_NEAR(budget.spent(100), 0.3, 1e-12);
+  EXPECT_TRUE(budget.try_consume(100, 0.7));
+  EXPECT_NEAR(budget.spent(100), 1.0, 1e-12);
+}
+
+TEST(GeoIndBudget, LegacyFixedSpendMatchesExplicitEps) {
+  // The single-argument API must behave exactly like passing
+  // eps_per_report explicitly — same admissions, same totals.
+  GeoIndBudget fixed(0.25, 1.0, 1000);
+  GeoIndBudget explicit_eps(0.25, 1.0, 1000);
+  for (int i = 0; i < 6; ++i) {
+    const trace::Timestamp t = 10 * i;
+    EXPECT_EQ(fixed.try_consume(t), explicit_eps.try_consume(t, 0.25)) << "report " << i;
+    EXPECT_NEAR(fixed.spent(t), explicit_eps.spent(t), 1e-12);
+  }
+}
+
+TEST(GeoIndBudget, VariableSpendValidation) {
+  GeoIndBudget budget(0.1, 1.0, 100);
+  EXPECT_THROW(budget.try_consume(0, 0.0), std::invalid_argument);
+  EXPECT_THROW(budget.try_consume(0, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)budget.can_consume(0, 0.0), std::invalid_argument);
+  EXPECT_TRUE(budget.try_consume(100, 0.1));
+  EXPECT_THROW(budget.try_consume(50, 0.1), std::invalid_argument);  // out of order
+}
+
 TEST(GeoIndBudget, Validation) {
   EXPECT_THROW(GeoIndBudget(0.0, 1.0, 10), std::invalid_argument);
   EXPECT_THROW(GeoIndBudget(0.1, 0.0, 10), std::invalid_argument);

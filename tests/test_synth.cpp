@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "geo/point.h"
 #include "synth/scenario.h"
 #include "synth/walker.h"
 #include "trace/features.h"
@@ -256,6 +258,52 @@ TEST(Scenario, CommuterDatasetShape) {
     EXPECT_GT(f.duration_s, 20.0 * 3600);
     EXPECT_GT(f.stationary_ratio, 0.5);  // commuters dwell most of the day
   }
+}
+
+TEST(Scenario, DriftingFleetShapeAndDeterminism) {
+  DriftingFleetConfig cfg;
+  cfg.user_count = 4;
+  cfg.phase_a_s = 3600;
+  cfg.phase_b_s = 3600;
+  const trace::Dataset d = make_drifting_fleet(cfg, 17);
+  ASSERT_EQ(d.size(), 4u);
+  for (const trace::Trace& t : d) {
+    ASSERT_FALSE(t.empty());
+    EXPECT_EQ(t.user_id().substr(0, 6), "drift-");
+    EXPECT_GE(t.front().time, 0);
+    EXPECT_LE(t.back().time, cfg.phase_a_s + cfg.phase_b_s);
+  }
+  const trace::Dataset again = make_drifting_fleet(cfg, 17);
+  EXPECT_EQ(d[0], again[0]);
+  EXPECT_EQ(d[3], again[3]);
+  // And the behaviour change is real: phase B is confined to a small
+  // disk, so its spatial spread is far below phase A's city-wide roam.
+  const trace::Trace& t0 = d[0];
+  double a_max = 0.0;
+  double b_max = 0.0;
+  geo::Point a_anchor{};
+  geo::Point b_anchor{};
+  bool have_a = false;
+  bool have_b = false;
+  for (const trace::Event& e : t0) {
+    if (e.time < cfg.phase_a_s) {
+      if (!have_a) { a_anchor = e.location; have_a = true; }
+      a_max = std::max(a_max, geo::distance(a_anchor, e.location));
+    } else {
+      if (!have_b) { b_anchor = e.location; have_b = true; }
+      b_max = std::max(b_max, geo::distance(b_anchor, e.location));
+    }
+  }
+  ASSERT_TRUE(have_a);
+  ASSERT_TRUE(have_b);
+  EXPECT_LE(b_max, 2.0 * cfg.phase_b_radius_m + 1.0);  // disk diameter
+  EXPECT_GT(a_max, b_max);  // roaming phase spreads wider than confinement
+}
+
+TEST(Scenario, DriftingFleetValidation) {
+  DriftingFleetConfig cfg;
+  cfg.phase_b_radius_m = 0.0;
+  EXPECT_THROW(make_drifting_fleet(cfg, 1), std::invalid_argument);
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include "metrics/eval_context.h"
 #include "metrics/registry.h"
 #include "obs/tracer.h"
+#include "service/adaptive/control_log.h"
 #include "service/audit.h"
 #include "service/gateway.h"
 #include "service/load_driver.h"
@@ -575,6 +576,11 @@ int cmd_serve_sim(const Args& args) {
             .default_value = "5000"})
       .add({.name = "audit", .help = "evaluate the metrics on delivered vs original reports",
             .is_flag = true})
+      .add({.name = "objectives",
+            .help = "closed-loop ε control objectives, e.g. pr=0.8,pr_tol=0.3,period_n=24 "
+                    "(keys: pr, pr_tol, ut, ut_tol, pr_metric, ut_metric, period_n, period_s, "
+                    "window_n, window_s, min_n, max_step, cooldown_s, eps_min, eps_max, "
+                    "pr_slope, ut_slope)"})
       .add({.name = "out", .help = "write the telemetry snapshot JSON here"});
   add_eval_options(parser, {.seed = "2016",
                             .seed_help = "workload + noise seed",
@@ -624,11 +630,17 @@ int cmd_serve_sim(const Args& args) {
       static_cast<std::uint32_t>(parsed.get_int("breaker-threshold"));
   cfg.resilience.breaker.cooldown_s = parsed.get_int("breaker-cooldown");
   cfg.resilience.fallback_cell_m = parsed.get_double("fallback-cell");
+  if (parsed.has("objectives")) {
+    cfg.objectives = service::adaptive::parse_objective_spec(parsed.get("objectives"));
+  }
 
   std::cout << "serve-sim: " << data.size() << " users, " << data.total_events() << " events | "
             << cfg.workers << " workers, " << cfg.sessions.shard_count << " shards, queue "
             << cfg.queue_capacity << " | eps " << cfg.epsilon << ", budget "
             << parsed.get("budget-reports") << " reports/" << cfg.budget_window_s << " s\n";
+  if (cfg.objectives.has_value()) {
+    std::cout << "objectives: " << service::adaptive::to_string(*cfg.objectives) << "\n";
+  }
   if (cfg.faults.any()) {
     std::cout << "faults: " << service::to_string(cfg.faults) << " | policy "
               << service::to_string(cfg.resilience.policy) << ", retries "
@@ -690,6 +702,12 @@ int cmd_serve_sim(const Args& args) {
             << "sessions: " << snap.sessions_created << " created, " << snap.sessions_evicted_idle
             << " idle-evicted, " << snap.sessions_evicted_lru << " lru-evicted\n";
 
+  if (const service::adaptive::ControlLog* log = gateway.control_log(); log != nullptr) {
+    std::cout << "adaptive: " << log->decision_count() << " decisions over " << log->user_count()
+              << " controlled users, " << log->users_in_band_final()
+              << " in their objective band at end\n";
+  }
+
   if (audit) {
     std::cout << "\nsession audit (" << auditor.recorded() << " delivered pairs, "
               << parsed.get("privacy-metric") << " + " << parsed.get("utility-metric") << "):\n";
@@ -711,15 +729,16 @@ int cmd_serve_sim(const Args& args) {
   gateway.drain();
 
   if (parsed.has("out")) {
-    io::JsonValue telemetry_json = gateway.telemetry().to_json();
+    io::JsonObject merged = gateway.telemetry().to_json().as_object();
     if (parsed.has("trace")) {
       // Merge the tracer's counter block into the telemetry report so
       // one file carries both views of the run.
-      io::JsonObject merged = telemetry_json.as_object();
       merged.emplace("obs_counters", obs::Tracer::instance().counters_json());
-      telemetry_json = io::JsonValue(std::move(merged));
     }
-    io::write_json_file(parsed.get("out"), telemetry_json);
+    if (const service::adaptive::ControlLog* log = gateway.control_log(); log != nullptr) {
+      merged.emplace("adaptive", log->to_json());
+    }
+    io::write_json_file(parsed.get("out"), io::JsonValue(std::move(merged)));
     std::cout << "wrote telemetry to " << parsed.get("out") << "\n";
   }
   maybe_write_trace(parsed);

@@ -13,7 +13,14 @@ Optionally asserts a minimum span count and the presence of expected
 span names (--expect), so CI can require that the instrumented hot
 paths really fired.
 
+With --telemetry the input is instead a serve-sim --out telemetry JSON:
+the gateway counter/latency/eps blocks are checked, and when the file
+has an "adaptive" block (a run with --objectives) its decision counts,
+action histogram and ε-trajectory histogram must be present and
+internally consistent. --require-adaptive fails if the block is absent.
+
 Usage: tools/validate_trace.py TRACE.json [--min-spans N] [--expect NAME ...]
+       tools/validate_trace.py --telemetry TELEMETRY.json [--require-adaptive]
 """
 import argparse
 import json
@@ -54,14 +61,102 @@ def validate_event(i: int, event: object) -> str:
     return event["name"]
 
 
+ADAPTIVE_ACTIONS = ("hold_in_band", "hold_cooldown", "hold_insufficient",
+                    "hold_frozen", "step", "saturate_lo", "saturate_hi")
+EPS_BUCKETS = ("lt_1e-3", "1e-3_1e-2", "1e-2_1e-1", "1e-1_1", "ge_1")
+
+
+def require_count(doc: dict, block: str, key: str) -> float:
+    if key not in doc:
+        fail(f"telemetry: {block}.{key} missing")
+    v = doc[key]
+    if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+        fail(f"telemetry: {block}.{key} must be a non-negative number, got {v!r}")
+    return float(v)
+
+
+def validate_adaptive_block(adaptive: object) -> None:
+    if not isinstance(adaptive, dict):
+        fail("telemetry: 'adaptive' must be an object")
+    users = require_count(adaptive, "adaptive", "users")
+    decisions = require_count(adaptive, "adaptive", "decisions")
+    steps = require_count(adaptive, "adaptive", "steps")
+    require_count(adaptive, "adaptive", "saturations_lo")
+    require_count(adaptive, "adaptive", "saturations_hi")
+    in_band = require_count(adaptive, "adaptive", "users_in_band_final")
+    if in_band > users:
+        fail(f"telemetry: adaptive.users_in_band_final {in_band} exceeds users {users}")
+    actions = adaptive.get("actions")
+    if not isinstance(actions, dict):
+        fail("telemetry: adaptive.actions must be an object")
+    for name in ADAPTIVE_ACTIONS:
+        require_count(actions, "adaptive.actions", name)
+    unknown = set(actions) - set(ADAPTIVE_ACTIONS)
+    if unknown:
+        fail(f"telemetry: adaptive.actions has unknown keys: {sorted(unknown)}")
+    if sum(actions.values()) != decisions:
+        fail(f"telemetry: adaptive.actions sums to {sum(actions.values())}, "
+             f"expected decisions = {decisions}")
+    if steps > decisions:
+        fail(f"telemetry: adaptive.steps {steps} exceeds decisions {decisions}")
+    trajectory = adaptive.get("eps_trajectory")
+    if not isinstance(trajectory, dict):
+        fail("telemetry: adaptive.eps_trajectory must be an object")
+    for name in EPS_BUCKETS:
+        require_count(trajectory, "adaptive.eps_trajectory", name)
+    unknown = set(trajectory) - set(EPS_BUCKETS)
+    if unknown:
+        fail(f"telemetry: adaptive.eps_trajectory has unknown buckets: {sorted(unknown)}")
+    if sum(trajectory.values()) != decisions:
+        fail(f"telemetry: adaptive.eps_trajectory sums to {sum(trajectory.values())}, "
+             f"expected decisions = {decisions}")
+
+
+def validate_telemetry(path: str, require_adaptive: bool) -> None:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+    if not isinstance(doc, dict):
+        fail("telemetry: top level must be an object")
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        fail("telemetry: 'counters' must be an object")
+    for key in ("received", "delivered", "suppressed_budget", "rejected_queue_full"):
+        require_count(counters, "counters", key)
+    for block in ("latency", "eps_spend", "resilience"):
+        if not isinstance(doc.get(block), dict):
+            fail(f"telemetry: '{block}' must be an object")
+    adaptive = doc.get("adaptive")
+    if adaptive is None:
+        if require_adaptive:
+            fail("telemetry: 'adaptive' block missing but --require-adaptive was given")
+        print(f"validate_trace: OK: telemetry {path} (no adaptive block)")
+        return
+    validate_adaptive_block(adaptive)
+    print(f"validate_trace: OK: telemetry {path} "
+          f"(adaptive: {int(adaptive['decisions'])} decisions over "
+          f"{int(adaptive['users'])} users)")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("trace", help="trace JSON written by --trace")
+    parser.add_argument("trace", help="trace JSON written by --trace "
+                        "(or a telemetry JSON with --telemetry)")
     parser.add_argument("--min-spans", type=int, default=1,
                         help="require at least this many span events (default 1)")
     parser.add_argument("--expect", nargs="*", default=[],
                         help="span names that must appear at least once")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="validate a serve-sim --out telemetry JSON instead")
+    parser.add_argument("--require-adaptive", action="store_true",
+                        help="with --telemetry: fail when the adaptive block is absent")
     opts = parser.parse_args()
+
+    if opts.telemetry:
+        validate_telemetry(opts.trace, opts.require_adaptive)
+        return
 
     try:
         with open(opts.trace, encoding="utf-8") as f:
