@@ -1,0 +1,191 @@
+#include "attack/tracking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <numbers>
+#include <stdexcept>
+
+#include "attack/adaptive.h"
+#include "geo/bbox.h"
+
+namespace locpriv::attack {
+namespace {
+
+void validate(const TrackingConfig& cfg) {
+  if (!(cfg.cell_size_m > 0.0)) {
+    throw std::invalid_argument("tracking: cell_size_m must be positive");
+  }
+  if (cfg.obs_scale_m < 0.0) {
+    throw std::invalid_argument("tracking: obs_scale_m must be non-negative");
+  }
+  if (!(cfg.min_obs_scale_m > 0.0) || !(cfg.process_sigma_mps > 0.0) ||
+      !(cfg.max_speed_mps > 0.0) || !(cfg.search_radius_factor > 0.0)) {
+    throw std::invalid_argument("tracking: scales must be positive");
+  }
+  if (cfg.velocity_smoothing < 0.0 || cfg.velocity_smoothing > 1.0) {
+    throw std::invalid_argument("tracking: velocity_smoothing must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+double TrackingPrior::mass_at(geo::Point p) const {
+  if (empty()) return 0.0;
+  // A point lies in the cell whose center is within half a cell of it on
+  // both axes; the center search radius covers the cell's half-diagonal.
+  const double half = cell_size_ / 2.0;
+  double found = 0.0;
+  index_->for_each_within_radius(p, half * std::numbers::sqrt2 + 1e-9, [&](std::size_t i) {
+    const geo::Point c = index_->point(i);
+    if (std::abs(p.x - c.x) <= half && std::abs(p.y - c.y) <= half) found = masses_[i];
+  });
+  return found;
+}
+
+TrackingPrior fit_tracking_prior(const trace::Dataset& data, std::span<const std::size_t> users,
+                                 const TrackingConfig& cfg) {
+  validate(cfg);
+  TrackingPrior prior;
+  prior.cell_size_ = cfg.cell_size_m;
+
+  // Canonical fitting order: sorted, deduplicated indices. Cell masses
+  // accumulate with floating-point adds, so without this the last bits
+  // could depend on the order the caller listed the users in.
+  std::vector<std::size_t> fit_users(users.begin(), users.end());
+  std::sort(fit_users.begin(), fit_users.end());
+  fit_users.erase(std::unique(fit_users.begin(), fit_users.end()), fit_users.end());
+
+  geo::BoundingBox box;
+  for (const std::size_t u : fit_users) {
+    if (u >= data.size()) throw std::invalid_argument("fit_tracking_prior: user out of range");
+    for (const trace::Event& e : data[u].events()) box.extend(e.location);
+  }
+  if (box.empty()) return prior;  // no users, or only empty traces
+
+  // Rasterize visit counts. An ordered map keyed by (row, col) makes the
+  // center/mass layout a pure function of the visited cell set — never
+  // of user order or hash-table iteration.
+  const geo::Point origin = box.min();
+  const double cell = cfg.cell_size_m;
+  std::map<std::pair<std::int64_t, std::int64_t>, double> counts;
+  double total = 0.0;
+  for (const std::size_t u : fit_users) {
+    for (const trace::Event& e : data[u].events()) {
+      const auto col = static_cast<std::int64_t>(std::floor((e.location.x - origin.x) / cell));
+      const auto row = static_cast<std::int64_t>(std::floor((e.location.y - origin.y) / cell));
+      counts[{row, col}] += 1.0;
+      total += 1.0;
+    }
+  }
+
+  std::vector<geo::Point> centers;
+  centers.reserve(counts.size());
+  prior.masses_.reserve(counts.size());
+  for (const auto& [cell_rc, count] : counts) {
+    centers.push_back({origin.x + (static_cast<double>(cell_rc.second) + 0.5) * cell,
+                       origin.y + (static_cast<double>(cell_rc.first) + 0.5) * cell});
+    prior.masses_.push_back(count / total);
+  }
+  prior.index_ = std::make_shared<const geo::GridIndex>(centers, cell);
+  return prior;
+}
+
+trace::Trace track_trace(const trace::Trace& protected_trace, const TrackingPrior& prior,
+                         const TrackingConfig& cfg) {
+  validate(cfg);
+  trace::Trace out(protected_trace.user_id());
+  if (protected_trace.empty()) return out;
+
+  const double obs_scale =
+      cfg.obs_scale_m > 0.0
+          ? cfg.obs_scale_m
+          : std::max(estimate_noise_scale(protected_trace), cfg.min_obs_scale_m);
+  const double obs_var = obs_scale * obs_scale;
+  // The prior localizes to one cell: treat its centroid as a pseudo
+  // measurement with half-a-cell standard deviation.
+  const double prior_var = (cfg.cell_size_m / 2.0) * (cfg.cell_size_m / 2.0);
+
+  geo::Point estimate{0.0, 0.0};
+  geo::Point velocity{0.0, 0.0};
+  trace::Timestamp prev_time = 0;
+
+  for (std::size_t i = 0; i < protected_trace.size(); ++i) {
+    const trace::Event& e = protected_trace[i];
+    const geo::Point observed = e.location;
+
+    // Predict from the motion model, then fuse with the observation,
+    // precision-weighted per axis (isotropic scalar variances).
+    geo::Point fused = observed;
+    double fused_var = obs_var;
+    if (i > 0) {
+      const double dt = static_cast<double>(std::max<trace::Timestamp>(e.time - prev_time, 1));
+      const geo::Point predicted = estimate + velocity * dt;
+      const double pred_sigma = cfg.process_sigma_mps * dt;
+      const double pred_var = pred_sigma * pred_sigma;
+      const double gain = pred_var / (pred_var + obs_var);  // weight on the observation
+      fused = predicted + (observed - predicted) * gain;
+      fused_var = pred_var * obs_var / (pred_var + obs_var);
+    }
+
+    // Refine against the prior: posterior over occupied cells near the
+    // fused point, then fuse its centroid as a pseudo measurement. The
+    // centroid's weight grows with the fused uncertainty, so clean
+    // traces pass through almost untouched and heavily noised ones
+    // collapse onto the population's mass.
+    geo::Point refined = fused;
+    if (!prior.empty()) {
+      const double radius =
+          cfg.search_radius_factor * std::max(std::sqrt(fused_var), prior.cell_size());
+      double w_sum = 0.0;
+      geo::Point acc{0.0, 0.0};
+      double w_max = 0.0;
+      prior.for_each_cell_near(fused, radius, [&](geo::Point center, double mass) {
+        const double w = std::pow(mass, cfg.prior_weight) *
+                         std::exp(-geo::distance_sq(center, fused) / (2.0 * fused_var));
+        acc = acc + center * w;
+        w_sum += w;
+        w_max = std::max(w_max, w);
+      });
+      if (w_sum > 0.0 && w_max > 1e-300) {
+        const geo::Point centroid = acc / w_sum;
+        const double k = fused_var / (fused_var + prior_var);  // weight on the prior centroid
+        refined = fused + (centroid - fused) * k;
+      }
+    }
+
+    // Velocity update from consecutive estimates, clamped to plausible
+    // speed and exponentially smoothed.
+    if (i > 0) {
+      const double dt = static_cast<double>(std::max<trace::Timestamp>(e.time - prev_time, 1));
+      geo::Point inst = (refined - estimate) / dt;
+      const double speed = inst.norm();
+      if (speed > cfg.max_speed_mps) inst = inst * (cfg.max_speed_mps / speed);
+      velocity = inst * cfg.velocity_smoothing + velocity * (1.0 - cfg.velocity_smoothing);
+    }
+    estimate = refined;
+    prev_time = e.time;
+    out.append({e.time, refined});
+  }
+  return out;
+}
+
+double mean_tracking_error_m(const trace::Trace& actual, const trace::Trace& estimate) {
+  if (actual.empty() || estimate.empty()) return 0.0;
+  double sum = 0.0;
+  // Estimates are chronological: advance a cursor to the estimate report
+  // nearest in time to each actual report (O(n + m)).
+  const auto gap = [](trace::Timestamp a, trace::Timestamp b) { return a > b ? a - b : b - a; };
+  std::size_t j = 0;
+  for (const trace::Event& a : actual.events()) {
+    while (j + 1 < estimate.size() &&
+           gap(estimate[j + 1].time, a.time) <= gap(estimate[j].time, a.time)) {
+      ++j;
+    }
+    sum += geo::distance(a.location, estimate[j].location);
+  }
+  return sum / static_cast<double>(actual.size());
+}
+
+}  // namespace locpriv::attack

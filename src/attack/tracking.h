@@ -1,0 +1,131 @@
+// Correlation-aware tracking attack — the adversary the per-report
+// metrics miss.
+//
+// The POI attack treats every report independently, but movement is
+// continuous: consecutive reports of the same session are correlated
+// through the user's velocity, and a whole population's reports are
+// correlated through the places people actually go (roads, sites,
+// districts). Bkakria et al.'s continuous-LBS framework (PAPERS.md)
+// shows that an adversary exploiting this inter-report correlation
+// extracts strictly more than one scoring reports in isolation.
+//
+// This attack de-noises a protected trace with a discrete Bayes filter:
+//
+//   prediction   constant-velocity extrapolation of the previous
+//                estimate (process spread grows with the report gap),
+//   observation  the protected report, weighted by the noise scale
+//                (estimated from the trace itself when not configured —
+//                see estimate_noise_scale in adaptive.h),
+//   prior        a population occupancy raster — grid-cell visit mass
+//                fitted from the *training* users' clean traces, held as
+//                a posterior support set over the CSR geo::GridIndex.
+//
+// Each step fuses prediction and observation precision-weighted
+// (Kalman-style), then refines against the prior's occupied cells near
+// the fused point. At low noise the fused point dominates (the attack
+// never hurts); at high noise the posterior collapses onto the prior's
+// mass — exactly the "unknown location, known habits" regime.
+//
+// Leave-one-out contract: the prior is population knowledge, so it must
+// never be fitted on the target's own trace. fit_tracking_prior takes
+// the fitting users explicitly; the metrics layer passes the train side
+// of a split, or everyone-but-the-target when evaluating without one.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "geo/grid_index.h"
+#include "geo/point.h"
+#include "trace/dataset.h"
+#include "trace/trace.h"
+
+namespace locpriv::attack {
+
+struct TrackingConfig {
+  /// Occupancy-raster cell size; also the prior's location uncertainty.
+  double cell_size_m = 250.0;
+  /// Observation noise scale; 0 (default) estimates it per trace from
+  /// consecutive displacements (estimate_noise_scale).
+  double obs_scale_m = 0.0;
+  /// Floor on the estimated observation scale so clean traces keep a
+  /// well-conditioned fusion.
+  double min_obs_scale_m = 15.0;
+  /// Growth of the motion-model spread per second of report gap.
+  double process_sigma_mps = 5.0;
+  /// Velocity estimates are clamped to this speed (city traffic bound).
+  double max_speed_mps = 40.0;
+  /// Exponential smoothing weight on the newest velocity estimate.
+  double velocity_smoothing = 0.7;
+  /// Exponent on the prior cell mass when scoring candidate cells.
+  double prior_weight = 1.0;
+  /// Candidate cells are searched within
+  /// search_radius_factor * max(fused uncertainty, cell size).
+  double search_radius_factor = 3.0;
+};
+
+/// Population occupancy prior: probability mass per occupied grid cell,
+/// fitted from clean traces. Default-constructed (or fitted on zero
+/// users) it is empty and the tracker degrades to the pure motion
+/// filter. Immutable after construction; safe to share across threads.
+class TrackingPrior {
+ public:
+  TrackingPrior() = default;
+
+  [[nodiscard]] bool empty() const { return masses_.empty(); }
+  [[nodiscard]] std::size_t occupied_cells() const { return masses_.size(); }
+  [[nodiscard]] double cell_size() const { return cell_size_; }
+  /// Probability mass of the occupied cell whose center is `center_index`
+  /// in iteration order (sums to 1 over occupied cells).
+  [[nodiscard]] double mass(std::size_t center_index) const { return masses_[center_index]; }
+  [[nodiscard]] geo::Point center(std::size_t center_index) const {
+    return index_->point(center_index);
+  }
+  /// Mass of the cell containing `p`; 0 when p lies in no occupied cell.
+  [[nodiscard]] double mass_at(geo::Point p) const;
+
+  /// Visits (center, mass) of every occupied cell whose center lies
+  /// within `radius` of `query`, in deterministic CSR order.
+  template <typename Visitor>
+  void for_each_cell_near(geo::Point query, double radius, Visitor&& visit) const {
+    if (empty()) return;
+    index_->for_each_within_radius(query, radius, [&](std::size_t i) {
+      visit(index_->point(i), masses_[i]);
+    });
+  }
+
+ private:
+  friend TrackingPrior fit_tracking_prior(const trace::Dataset& data,
+                                          std::span<const std::size_t> users,
+                                          const TrackingConfig& cfg);
+  // Occupied-cell centers live in a CSR GridIndex (built once, queried
+  // allocation-free); masses_ parallels the index's point order.
+  std::shared_ptr<const geo::GridIndex> index_;
+  std::vector<double> masses_;
+  double cell_size_ = 0.0;
+};
+
+/// Fits the occupancy prior from the traces of exactly the listed users
+/// (dataset indices). Pure in (data, users, cfg.cell_size_m) and
+/// independent of user order; never reads any other trace — the
+/// split-disjointness regression tests pin this. An empty user list (or
+/// users with no events) yields an empty prior.
+[[nodiscard]] TrackingPrior fit_tracking_prior(const trace::Dataset& data,
+                                               std::span<const std::size_t> users,
+                                               const TrackingConfig& cfg);
+
+/// Runs the filter over one protected trace and returns the de-noised
+/// estimate (same user id and timestamps, re-estimated locations).
+/// Deterministic: no randomness anywhere in the filter.
+[[nodiscard]] trace::Trace track_trace(const trace::Trace& protected_trace,
+                                       const TrackingPrior& prior, const TrackingConfig& cfg);
+
+/// Mean distance (meters) from each actual report to the estimate's
+/// report nearest in time — the tracking-attack error. 0 when either
+/// trace is empty (nothing to score; the metric layer documents this).
+[[nodiscard]] double mean_tracking_error_m(const trace::Trace& actual,
+                                           const trace::Trace& estimate);
+
+}  // namespace locpriv::attack

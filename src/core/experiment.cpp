@@ -48,18 +48,28 @@ namespace {
 /// One trial's raw metric values — the unit the flattened scheduler
 /// moves between threads before the ordered reduction.
 struct TrialOutcome {
-  double privacy = 0.0;
+  double privacy = 0.0;       ///< whole-set Pr, or test-side Pr under a split
   double utility = 0.0;
+  double privacy_train = 0.0; ///< train-side Pr; only written under a split
 };
 
 /// Protects the dataset under `trial_seed` and scores both metrics.
 /// Pure in (mechanism, data, trial_seed): safe to run concurrently for
 /// different trials against a shared const mechanism and a shared
 /// (thread-safe) actual-side cache.
+///
+/// With `splits` non-empty, privacy is scored per side: the attacker
+/// fits on each split's train users (metrics see the SplitView through
+/// the context) and every side's value is the test/train-size-weighted
+/// mean over folds — for trace-level metrics that equals scoring each
+/// user exactly once while held out. The full dataset is still
+/// protected as a whole, so per-user noise streams (and hence utility)
+/// are identical with and without a split.
 TrialOutcome run_trial(const SystemDefinition& system, const lppm::Mechanism& mechanism,
                        const trace::Dataset& data, std::uint64_t trial_seed,
                        std::size_t trial_index,
-                       const std::shared_ptr<metrics::ArtifactCache>& actual_cache) {
+                       const std::shared_ptr<metrics::ArtifactCache>& actual_cache,
+                       std::span<const UserSplit> splits) {
   obs::Span trial_span("core", "trial");
   trial_span.arg("trial", static_cast<double>(trial_index));
   const trace::Dataset protected_data = [&] {
@@ -72,9 +82,29 @@ TrialOutcome run_trial(const SystemDefinition& system, const lppm::Mechanism& me
       actual_cache != nullptr ? std::make_shared<metrics::ArtifactCache>() : nullptr;
   const metrics::EvalContext ctx(data, protected_data, actual_cache, protected_cache);
   TrialOutcome out;
-  {
+  if (splits.empty()) {
     obs::Span eval_span("metrics", system.privacy->name());
     out.privacy = system.privacy->evaluate(ctx);
+  } else {
+    obs::Span eval_span("metrics", system.privacy->name());
+    eval_span.arg("folds", static_cast<double>(splits.size()));
+    double test_sum = 0.0;
+    double train_sum = 0.0;
+    std::size_t test_n = 0;
+    std::size_t train_n = 0;
+    for (const UserSplit& s : splits) {
+      const metrics::SplitView view{s.train, s.test, s.id()};
+      metrics::EvalContext split_ctx(data, protected_data, actual_cache, protected_cache);
+      split_ctx.set_split(&view);
+      test_sum += system.privacy->evaluate_on(split_ctx, s.test) *
+                  static_cast<double>(s.test.size());
+      train_sum += system.privacy->evaluate_on(split_ctx, s.train) *
+                   static_cast<double>(s.train.size());
+      test_n += s.test.size();
+      train_n += s.train.size();
+    }
+    out.privacy = test_sum / static_cast<double>(test_n);
+    out.privacy_train = train_sum / static_cast<double>(train_n);
   }
   {
     obs::Span eval_span("metrics", system.utility->name());
@@ -86,12 +116,15 @@ TrialOutcome run_trial(const SystemDefinition& system, const lppm::Mechanism& me
 /// Ordered reduction: trial outcomes fold into the Welford accumulators
 /// in trial-index order regardless of which thread produced them, so
 /// means and stddevs are bit-identical to a sequential run.
-SweepPoint reduce_point(double parameter_value, std::span<const TrialOutcome> outcomes) {
+SweepPoint reduce_point(double parameter_value, std::span<const TrialOutcome> outcomes,
+                        bool has_split) {
   stats::OnlineMoments pr;
   stats::OnlineMoments ut;
+  stats::OnlineMoments pr_train;
   for (const TrialOutcome& t : outcomes) {
     pr.add(t.privacy);
     ut.add(t.utility);
+    if (has_split) pr_train.add(t.privacy_train);
   }
   SweepPoint point;
   point.parameter_value = parameter_value;
@@ -99,6 +132,11 @@ SweepPoint reduce_point(double parameter_value, std::span<const TrialOutcome> ou
   point.privacy_stddev = outcomes.size() >= 2 ? pr.stddev() : 0.0;
   point.utility_mean = ut.mean();
   point.utility_stddev = outcomes.size() >= 2 ? ut.stddev() : 0.0;
+  if (has_split) {
+    point.has_split = true;
+    point.privacy_train_mean = pr_train.mean();
+    point.privacy_train_stddev = outcomes.size() >= 2 ? pr_train.stddev() : 0.0;
+  }
   return point;
 }
 
@@ -146,7 +184,7 @@ std::size_t resolve_threads(std::size_t requested, std::size_t task_count) {
 SweepPoint evaluate_point(const SystemDefinition& system, const trace::Dataset& data,
                           double parameter_value, std::size_t trials, std::uint64_t seed,
                           const std::shared_ptr<metrics::ArtifactCache>& actual_cache,
-                          std::size_t threads) {
+                          std::size_t threads, std::span<const UserSplit> splits) {
   if (trials == 0) throw std::invalid_argument("evaluate_point: need at least one trial");
   obs::Span point_span("core", "evaluate_point");
   point_span.arg("value", parameter_value).arg("trials", static_cast<double>(trials));
@@ -156,9 +194,9 @@ SweepPoint evaluate_point(const SystemDefinition& system, const trace::Dataset& 
   std::vector<TrialOutcome> outcomes(trials);
   run_task_pool(trials, resolve_threads(threads, trials), [&](std::size_t trial) {
     outcomes[trial] = run_trial(system, *mechanism, data, stats::derive_seed(seed, trial), trial,
-                                actual_cache);
+                                actual_cache, splits);
   });
-  return reduce_point(parameter_value, outcomes);
+  return reduce_point(parameter_value, outcomes, !splits.empty());
 }
 
 std::vector<PerUserPoint> evaluate_point_per_user(const SystemDefinition& system,
@@ -210,6 +248,24 @@ SweepResult run_sweep(const SystemDefinition& system, const trace::Dataset& data
 
   if (config.trials == 0) throw std::invalid_argument("evaluate_point: need at least one trial");
 
+  // Partition users up front (pure in (user count, spec)): every
+  // (point, trial) task scores the same folds, so the split never
+  // depends on scheduling. Empty when splits are off.
+  const std::vector<UserSplit> splits = make_splits(data.size(), config.split);
+  result.split = config.split;
+  if (!splits.empty()) {
+    std::vector<bool> in_train(data.size(), false);
+    std::vector<bool> in_test(data.size(), false);
+    for (const UserSplit& s : splits) {
+      for (const std::size_t u : s.train) in_train[u] = true;
+      for (const std::size_t u : s.test) in_test[u] = true;
+    }
+    for (std::size_t u = 0; u < data.size(); ++u) {
+      result.split_train_users += in_train[u] ? 1 : 0;
+      result.split_test_users += in_test[u] ? 1 : 0;
+    }
+  }
+
   // Flattened work units: one task per (point, trial), not per point.
   // With the old per-point units a 5-point sweep left most of an 8-core
   // pool idle; the flat grid keeps every worker busy until the tail.
@@ -246,15 +302,16 @@ SweepResult run_sweep(const SystemDefinition& system, const trace::Dataset& data
     const std::uint64_t trial_seed =
         stats::derive_seed(stats::derive_seed(config.seed, point), trial);
     outcomes[task] =
-        run_trial(system, *mechanisms[point], data, trial_seed, trial, actual_cache);
+        run_trial(system, *mechanisms[point], data, trial_seed, trial, actual_cache, splits);
   });
 
   // Ordered reduction, point by point, trials in index order.
   for (std::size_t i = 0; i < values.size(); ++i) {
     obs::Span point_span("core", "evaluate_point");
     point_span.arg("value", values[i]).arg("trials", static_cast<double>(trials));
-    result.points[i] = reduce_point(
-        values[i], std::span<const TrialOutcome>(outcomes).subspan(i * trials, trials));
+    result.points[i] =
+        reduce_point(values[i], std::span<const TrialOutcome>(outcomes).subspan(i * trials, trials),
+                     !splits.empty());
   }
   return result;
 }

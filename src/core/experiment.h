@@ -4,9 +4,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/system_definition.h"
+#include "core/user_split.h"
 #include "trace/dataset.h"
 
 namespace locpriv::core {
@@ -30,15 +32,29 @@ struct ExperimentConfig {
   /// run_sweep creates a private one. Never share a cache between
   /// different datasets — keys are (kind, trace index, params).
   std::shared_ptr<metrics::ArtifactCache> artifact_cache;
+  /// Attacker-generalization split (see user_split.h). Off by default;
+  /// when enabled, privacy is scored per split side: the headline
+  /// privacy_mean becomes the *test*-side (unseen users) value and each
+  /// SweepPoint additionally carries the train-side value, so the
+  /// transfer gap is visible per point. Utility stays whole-dataset —
+  /// service quality is not an adversarial quantity.
+  SplitSpec split;
 };
 
 /// Measurements at one sweep point.
 struct SweepPoint {
   double parameter_value = 0.0;
+  /// Whole-dataset Pr without a split; test-side (held-out users) Pr
+  /// with one.
   double privacy_mean = 0.0;
   double privacy_stddev = 0.0;
   double utility_mean = 0.0;
   double utility_stddev = 0.0;
+  /// Split-mode extras; meaningful only when has_split. The transfer
+  /// gap at this point is privacy_mean - privacy_train_mean.
+  bool has_split = false;
+  double privacy_train_mean = 0.0;
+  double privacy_train_stddev = 0.0;
 };
 
 /// A completed sweep: the raw material of the modeling phase.
@@ -51,6 +67,12 @@ struct SweepResult {
   metrics::Direction privacy_direction = metrics::Direction::kLowerIsMorePrivate;
   metrics::Direction utility_direction = metrics::Direction::kHigherIsMoreUseful;
   std::vector<SweepPoint> points;  ///< ordered by ascending parameter value
+  /// The split the sweep ran under (mode kNone when off) and the number
+  /// of distinct users that appeared on each side across all folds
+  /// (holdout: the two side sizes; k-fold: every user appears on both).
+  SplitSpec split;
+  std::size_t split_train_users = 0;
+  std::size_t split_test_users = 0;
 
   [[nodiscard]] std::vector<double> parameter_values() const;
   [[nodiscard]] std::vector<double> privacy_values() const;
@@ -78,11 +100,14 @@ struct SweepResult {
 /// `threads` parallelizes across trials (1 = sequential, 0 = hardware
 /// concurrency); per-trial seeds and the ordered reduction make the
 /// result bit-identical for every thread count.
+/// `splits`, when non-empty, scores privacy per split side exactly as
+/// run_sweep does (see ExperimentConfig::split); the splits must
+/// partition [0, data.size()).
 [[nodiscard]] SweepPoint evaluate_point(
     const SystemDefinition& system, const trace::Dataset& data, double parameter_value,
     std::size_t trials, std::uint64_t seed,
     const std::shared_ptr<metrics::ArtifactCache>& actual_cache = nullptr,
-    std::size_t threads = 1);
+    std::size_t threads = 1, std::span<const UserSplit> splits = {});
 
 /// One user's metric values at a parameter value.
 struct PerUserPoint {

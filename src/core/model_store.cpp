@@ -118,9 +118,32 @@ io::JsonValue sweep_to_json(const SweepResult& sweep) {
     po["privacy_stddev"] = p.privacy_stddev;
     po["utility_mean"] = p.utility_mean;
     po["utility_stddev"] = p.utility_stddev;
+    if (p.has_split) {
+      po["privacy_train_mean"] = p.privacy_train_mean;
+      po["privacy_train_stddev"] = p.privacy_train_stddev;
+    }
     points.emplace_back(std::move(po));
   }
   o["points"] = std::move(points);
+  // Additive "generalization" block (split sweeps only): files written
+  // before PR 7 — and split-off sweeps — omit it and still parse.
+  if (sweep.split.enabled()) {
+    io::JsonObject g;
+    g["mode"] = to_string(sweep.split.mode);
+    g["split_seed"] = static_cast<double>(sweep.split.seed);
+    if (sweep.split.mode == SplitMode::kHoldout) {
+      g["test_fraction"] = sweep.split.test_fraction;
+    } else {
+      g["folds"] = static_cast<double>(sweep.split.folds);
+    }
+    g["train_users"] = static_cast<double>(sweep.split_train_users);
+    g["test_users"] = static_cast<double>(sweep.split_test_users);
+    double gap = 0.0;
+    for (const SweepPoint& p : sweep.points) gap += p.privacy_mean - p.privacy_train_mean;
+    g["transfer_gap_mean"] =
+        sweep.points.empty() ? 0.0 : gap / static_cast<double>(sweep.points.size());
+    o["generalization"] = std::move(g);
+  }
   return o;
 }
 
@@ -143,7 +166,28 @@ SweepResult sweep_from_json(const io::JsonValue& json) {
     p.privacy_stddev = pj.at("privacy_stddev").as_number();
     p.utility_mean = pj.at("utility_mean").as_number();
     p.utility_stddev = pj.at("utility_stddev").as_number();
+    if (pj.contains("privacy_train_mean")) {
+      p.has_split = true;
+      p.privacy_train_mean = pj.at("privacy_train_mean").as_number();
+      p.privacy_train_stddev = pj.at("privacy_train_stddev").as_number();
+    }
     sweep.points.push_back(p);
+  }
+  if (json.contains("generalization")) {
+    const io::JsonValue& g = json.at("generalization");
+    const std::string mode = g.at("mode").as_string();
+    if (mode == "holdout") {
+      sweep.split.mode = SplitMode::kHoldout;
+      sweep.split.test_fraction = g.at("test_fraction").as_number();
+    } else if (mode == "kfold") {
+      sweep.split.mode = SplitMode::kKFold;
+      sweep.split.folds = static_cast<std::size_t>(g.at("folds").as_number());
+    } else {
+      throw std::runtime_error("sweep json: unknown generalization mode '" + mode + "'");
+    }
+    sweep.split.seed = static_cast<std::uint64_t>(g.at("split_seed").as_number());
+    sweep.split_train_users = static_cast<std::size_t>(g.at("train_users").as_number());
+    sweep.split_test_users = static_cast<std::size_t>(g.at("test_users").as_number());
   }
   return sweep;
 }
@@ -155,11 +199,26 @@ void save_model(const std::string& path, const LppmModel& model) {
 std::vector<std::vector<std::string>> sweep_to_csv_rows(const SweepResult& sweep) {
   auto fmt = [](double v) { return io::format_double(v, 10); };
   std::vector<std::vector<std::string>> rows;
-  rows.push_back({sweep.parameter, sweep.privacy_metric, sweep.privacy_metric + "_stddev",
-                  sweep.utility_metric, sweep.utility_metric + "_stddev"});
+  // Split sweeps append train-side columns; without a split the shape
+  // is byte-identical to the pre-PR 7 export.
+  const bool split = sweep.split.enabled();
+  std::vector<std::string> header = {sweep.parameter, sweep.privacy_metric,
+                                     sweep.privacy_metric + "_stddev", sweep.utility_metric,
+                                     sweep.utility_metric + "_stddev"};
+  if (split) {
+    header.push_back(sweep.privacy_metric + "_train");
+    header.push_back(sweep.privacy_metric + "_train_stddev");
+  }
+  rows.push_back(std::move(header));
   for (const SweepPoint& p : sweep.points) {
-    rows.push_back({fmt(p.parameter_value), fmt(p.privacy_mean), fmt(p.privacy_stddev),
-                    fmt(p.utility_mean), fmt(p.utility_stddev)});
+    std::vector<std::string> row = {fmt(p.parameter_value), fmt(p.privacy_mean),
+                                    fmt(p.privacy_stddev), fmt(p.utility_mean),
+                                    fmt(p.utility_stddev)};
+    if (split) {
+      row.push_back(fmt(p.privacy_train_mean));
+      row.push_back(fmt(p.privacy_train_stddev));
+    }
+    rows.push_back(std::move(row));
   }
   return rows;
 }

@@ -11,6 +11,34 @@ namespace {
 
 std::string num(double v, int precision = 4) { return io::format_double(v, precision); }
 
+/// Per-split Pr: the headline privacy column above is the *test*-side
+/// (held-out users) value when a split ran; this section shows the
+/// train-side value and the transfer gap per point. For a
+/// lower-is-more-private metric a positive gap means the attack fitted
+/// on the train users transfers imperfectly to unseen ones — the
+/// evaluation is honest, not optimistic.
+void render_generalization(std::ostringstream& os, const SweepResult& sweep) {
+  os << "## Generalization (train/test split)\n\n";
+  os << "- mode: `" << to_string(sweep.split.mode) << "` (split seed " << sweep.split.seed
+     << ")\n";
+  if (sweep.split.mode == SplitMode::kHoldout) {
+    os << "- test fraction: " << num(sweep.split.test_fraction, 3) << "\n";
+  } else {
+    os << "- folds: " << sweep.split.folds << "\n";
+  }
+  os << "- users fitted on (train): " << sweep.split_train_users
+     << "; users scored held-out (test): " << sweep.split_test_users << "\n\n";
+  os << "| " << sweep.parameter << " | " << sweep.privacy_metric << " (test) | "
+     << sweep.privacy_metric << " (train) | transfer gap |\n";
+  os << "|---|---|---|---|\n";
+  for (const SweepPoint& p : sweep.points) {
+    os << "| " << num(p.parameter_value, 3) << " | " << num(p.privacy_mean, 3) << " | "
+       << num(p.privacy_train_mean, 3) << " | " << num(p.privacy_mean - p.privacy_train_mean, 3)
+       << " |\n";
+  }
+  os << "\n";
+}
+
 void render_sweep(std::ostringstream& os, const SweepResult& sweep) {
   os << "## Sweep\n\n";
   os << "- mechanism: `" << sweep.mechanism_name << "`\n";
@@ -27,6 +55,7 @@ void render_sweep(std::ostringstream& os, const SweepResult& sweep) {
        << num(p.utility_stddev, 2) << " |\n";
   }
   os << "\n";
+  if (sweep.split.enabled()) render_generalization(os, sweep);
 }
 
 void render_model(std::ostringstream& os, const LppmModel& model) {

@@ -1,0 +1,105 @@
+#include "core/user_split.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/rng.h"
+
+namespace locpriv::core {
+namespace {
+
+/// Seeded Fisher–Yates permutation of [0, n). The single source of
+/// randomness for every split form, so holdout and k-fold partitions of
+/// the same (n, seed) deal from the same shuffle.
+std::vector<std::size_t> shuffled_indices(std::size_t n, std::uint64_t seed) {
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  stats::Rng rng(seed);
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.uniform_index(i));
+    std::swap(order[i - 1], order[j]);
+  }
+  return order;
+}
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void hash_side(std::uint64_t& state, const std::vector<std::size_t>& side) {
+  state = (state ^ side.size()) * kFnvPrime;
+  for (const std::size_t i : side) state = (state ^ i) * kFnvPrime;
+}
+
+}  // namespace
+
+std::uint64_t UserSplit::id() const {
+  std::uint64_t state = kFnvOffset;
+  hash_side(state, train);
+  hash_side(state, test);
+  return state;
+}
+
+UserSplit make_holdout_split(std::size_t user_count, double test_fraction, std::uint64_t seed) {
+  if (user_count < 2) {
+    throw std::invalid_argument("make_holdout_split: need at least 2 users to split");
+  }
+  if (!(test_fraction > 0.0) || !(test_fraction < 1.0)) {
+    throw std::invalid_argument("make_holdout_split: test_fraction must be in (0, 1)");
+  }
+  const double want = std::round(static_cast<double>(user_count) * test_fraction);
+  const std::size_t test_count =
+      std::clamp(static_cast<std::size_t>(want), std::size_t{1}, user_count - 1);
+
+  const std::vector<std::size_t> order = shuffled_indices(user_count, seed);
+  UserSplit split;
+  split.test.assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(test_count));
+  split.train.assign(order.begin() + static_cast<std::ptrdiff_t>(test_count), order.end());
+  std::sort(split.test.begin(), split.test.end());
+  std::sort(split.train.begin(), split.train.end());
+  return split;
+}
+
+std::vector<UserSplit> make_kfold_splits(std::size_t user_count, std::size_t folds,
+                                         std::uint64_t seed) {
+  if (folds < 2) throw std::invalid_argument("make_kfold_splits: need at least 2 folds");
+  if (user_count < folds) {
+    throw std::invalid_argument("make_kfold_splits: need at least one user per fold");
+  }
+  const std::vector<std::size_t> order = shuffled_indices(user_count, seed);
+  std::vector<UserSplit> splits(folds);
+  for (std::size_t fold = 0; fold < folds; ++fold) {
+    for (std::size_t i = 0; i < user_count; ++i) {
+      (i % folds == fold ? splits[fold].test : splits[fold].train).push_back(order[i]);
+    }
+    std::sort(splits[fold].test.begin(), splits[fold].test.end());
+    std::sort(splits[fold].train.begin(), splits[fold].train.end());
+  }
+  return splits;
+}
+
+std::vector<UserSplit> make_splits(std::size_t user_count, const SplitSpec& spec) {
+  switch (spec.mode) {
+    case SplitMode::kNone:
+      return {};
+    case SplitMode::kHoldout:
+      return {make_holdout_split(user_count, spec.test_fraction, spec.seed)};
+    case SplitMode::kKFold:
+      return make_kfold_splits(user_count, spec.folds, spec.seed);
+  }
+  throw std::invalid_argument("make_splits: unknown split mode");
+}
+
+const char* to_string(SplitMode mode) {
+  switch (mode) {
+    case SplitMode::kNone:
+      return "none";
+    case SplitMode::kHoldout:
+      return "holdout";
+    case SplitMode::kKFold:
+      return "kfold";
+  }
+  return "none";
+}
+
+}  // namespace locpriv::core

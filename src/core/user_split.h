@@ -1,0 +1,80 @@
+// Train/test user partitions — the generalization axis of the sweep.
+//
+// The paper fits and evaluates its Pr/Ut models on the same fleet, so
+// attacker-side artifacts (POI priors, galleries, occupancy rasters) are
+// implicitly trained on the very users they score. Oya et al.
+// ("Rethinking Location Privacy for Unknown Mobility Behaviors",
+// PAPERS.md) show that this overstates protection for unseen users. A
+// UserSplit partitions a dataset's users into a train side (the
+// attacker's fitting population) and a test side (the scored,
+// previously-unseen population); run_sweep reports Pr per side so the
+// transfer gap is measured, not assumed.
+//
+// Determinism contract: the partition is a pure function of
+// (user_count, spec) — a seeded Fisher–Yates shuffle — so the same spec
+// yields the same split at any thread count, and the split participates
+// in artifact-cache keys through UserSplit::id().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace locpriv::core {
+
+enum class SplitMode {
+  kNone,     ///< legacy behavior: attacker fitted and scored on everyone
+  kHoldout,  ///< one train/test partition with a fixed test fraction
+  kKFold,    ///< every user scored once while held out; k rotations
+};
+
+/// How (and whether) to partition users for a sweep. Carried by
+/// ExperimentConfig; `mode == kNone` (the default) is bit-identical to
+/// the pre-split engine.
+struct SplitSpec {
+  SplitMode mode = SplitMode::kNone;
+  /// Holdout only: fraction of users held out for scoring, clamped so
+  /// both sides keep at least one user. Must be in (0, 1).
+  double test_fraction = 0.3;
+  /// K-fold only: number of rotations; requires 2 <= folds <= users.
+  std::size_t folds = 4;
+  /// Shuffle seed. Independent of ExperimentConfig::seed so the noise
+  /// realization and the partition can be varied separately.
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool enabled() const { return mode != SplitMode::kNone; }
+};
+
+/// One concrete partition: ascending dataset indices per side. Both
+/// sides are non-empty and disjoint, and together cover [0, user_count).
+struct UserSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+
+  /// Content hash of the partition (FNV-1a over sides and indices);
+  /// distinguishes split-fitted artifacts in the cache — two different
+  /// partitions never share a fitted prior.
+  [[nodiscard]] std::uint64_t id() const;
+};
+
+/// Seeded holdout partition of [0, user_count). The test side gets
+/// round(user_count * test_fraction) users, clamped to
+/// [1, user_count - 1]. Requires user_count >= 2 and
+/// test_fraction in (0, 1); throws std::invalid_argument otherwise.
+[[nodiscard]] UserSplit make_holdout_split(std::size_t user_count, double test_fraction,
+                                           std::uint64_t seed);
+
+/// Seeded k-fold partition: a single shuffle dealt round-robin into
+/// `folds` test sides, so every user is scored exactly once across the
+/// returned splits. Requires 2 <= folds <= user_count.
+[[nodiscard]] std::vector<UserSplit> make_kfold_splits(std::size_t user_count, std::size_t folds,
+                                                       std::uint64_t seed);
+
+/// Dispatch on spec.mode: empty vector for kNone, one split for
+/// kHoldout, `spec.folds` splits for kKFold.
+[[nodiscard]] std::vector<UserSplit> make_splits(std::size_t user_count, const SplitSpec& spec);
+
+/// Stable names for CLI flags / JSON ("none", "holdout", "kfold").
+[[nodiscard]] const char* to_string(SplitMode mode);
+
+}  // namespace locpriv::core

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <utility>
 #include <stdexcept>
+#include <vector>
 
+#include "core/user_split.h"
 #include "obs/tracer.h"
 
 namespace locpriv::core {
@@ -40,13 +42,28 @@ CrossValidationReport cross_validate(const SystemDefinition& system, const trace
   CrossValidationReport report;
   obs::Span cv_span("core", "cross_validate");
   cv_span.arg("folds", static_cast<double>(folds));
+  // Default fold membership is round-robin on dataset index — the
+  // historical, seed-free behavior, preserved bit-identically. With a
+  // split spec enabled, membership comes from the seeded shuffle
+  // instead, so validation folds and sweep splits draw from the same
+  // deterministic partition machinery (the spec's own fold count is
+  // ignored here: `folds` is this function's contract).
+  std::vector<UserSplit> seeded;
+  if (config.split.enabled()) {
+    seeded = make_kfold_splits(data.size(), folds, config.split.seed);
+  }
   for (std::size_t fold = 0; fold < folds; ++fold) {
     obs::Span fold_span("core", "fold");
     fold_span.arg("fold", static_cast<double>(fold));
     trace::Dataset train;
     trace::Dataset test;
-    for (std::size_t i = 0; i < data.size(); ++i) {
-      (i % folds == fold ? test : train).add(data[i]);
+    if (seeded.empty()) {
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        (i % folds == fold ? test : train).add(data[i]);
+      }
+    } else {
+      for (const std::size_t i : seeded[fold].train) train.add(data[i]);
+      for (const std::size_t i : seeded[fold].test) test.add(data[i]);
     }
 
     ExperimentConfig fold_config = config;
@@ -54,6 +71,9 @@ CrossValidationReport cross_validate(const SystemDefinition& system, const trace
     // Fold datasets differ from the caller's, so a caller-supplied warm
     // cache must not leak in; each fold sweep builds its own.
     fold_config.artifact_cache = nullptr;
+    // The fold datasets ARE the split; re-splitting inside the fold
+    // sweep would partition the train fold a second time.
+    fold_config.split = SplitSpec{};
 
     const SweepResult train_sweep = run_sweep(system, train, fold_config);
     const LppmModel model = fit_loglinear_model(train_sweep, saturation);

@@ -30,11 +30,14 @@ struct CrossValidationReport {
   double mean_utility_rmse = 0.0;
 };
 
-/// Splits `data` into `folds` user folds (round-robin), and for each:
-/// runs the sweep on the training users, fits the model, sweeps the test
-/// users, and scores prediction RMSE over the model's validity interval.
-/// Deterministic in config.seed. Requires folds >= 2 and at least
-/// `folds` users.
+/// Splits `data` into `folds` user folds (round-robin by default; a
+/// seeded shuffle via core::make_kfold_splits when config.split is
+/// enabled — config.split.seed picks the partition, `folds` still sets
+/// the fold count), and for each: runs the sweep on the training users,
+/// fits the model, sweeps the test users, and scores prediction RMSE
+/// over the model's validity interval. Deterministic in config.seed
+/// (and config.split.seed). Requires folds >= 2 and at least `folds`
+/// users.
 [[nodiscard]] CrossValidationReport cross_validate(const SystemDefinition& system,
                                                    const trace::Dataset& data, std::size_t folds,
                                                    const ExperimentConfig& config = {},

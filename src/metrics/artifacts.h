@@ -5,9 +5,17 @@
 // actual user 3 under the default extractor asks for exactly the same
 // cache entry. The kind registry (kind -> C++ type):
 //
-//   "staypoints"  std::vector<poi::StayPoint>   keyed by stay tolerance/duration
-//   "poi-set"     std::vector<poi::Poi>         built from cached stay points
-//   "coverage"    geo::CellSet                  keyed by cell size
+//   "staypoints"         std::vector<poi::StayPoint>  keyed by stay tolerance/duration
+//   "poi-set"            std::vector<poi::Poi>        built from cached stay points
+//   "coverage"           geo::CellSet                 keyed by cell size
+//   "tracking-prior"     attack::TrackingPrior        dataset scope; keyed by raster
+//                                                     cell + split-partition id
+//   "tracking-prior-loo" attack::TrackingPrior        per user, fitted on everyone
+//                                                     else (leave-one-out)
+//   "tracking-estimate"  trace::Trace                 de-noised protected trace,
+//                                                     keyed by the full filter config
+//   "tracking-pois"      std::vector<poi::Poi>        extraction on the estimate
+//                                                     (see tracking_metrics.h)
 //
 // POI sets build on the cached stay points of the same trace, so a POI
 // metric and the home/work attack share the expensive stay detection

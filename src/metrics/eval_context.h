@@ -31,6 +31,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -112,6 +113,20 @@ enum class Side {
   kProtected,  ///< the mechanism's output under evaluation
 };
 
+/// Attacker-generalization view of a context: which users the adversary
+/// may fit on (`train`) and which are being scored (`test`). Indices
+/// refer to positions of the context's dataset pair. Metrics that fit
+/// population artifacts (tracking priors, galleries) must restrict the
+/// fit to `train` when a view is attached; `id` is a content hash of
+/// the partition (core::UserSplit::id()) for artifact-cache keys. The
+/// view is non-owning — the engine keeps the spans alive for the
+/// duration of the evaluation.
+struct SplitView {
+  std::span<const std::size_t> train;
+  std::span<const std::size_t> test;
+  std::uint64_t id = 0;
+};
+
 /// One metric evaluation's view: the (actual, protected) dataset pair
 /// plus the artifact caches bound to each side. Cheap to construct;
 /// holds references to the datasets — they must outlive the context.
@@ -136,6 +151,14 @@ class EvalContext {
   [[nodiscard]] const std::shared_ptr<ArtifactCache>& cache(Side side) const {
     return side == Side::kActual ? actual_cache_ : protected_cache_;
   }
+
+  /// Attaches (or detaches, with nullptr) a train/test split view. The
+  /// view must outlive every evaluation through this context. No view
+  /// attached (the default) means the legacy threat model: the attacker
+  /// fits on the full population.
+  void set_split(const SplitView* split) { split_ = split; }
+  /// The attached split view, or nullptr when evaluating without one.
+  [[nodiscard]] const SplitView* split() const { return split_; }
 
   /// Sentinel trace index for dataset-scope artifacts.
   static constexpr std::uint64_t kDatasetScope = ~std::uint64_t{0};
@@ -172,6 +195,7 @@ class EvalContext {
   const trace::Dataset* protected_;
   std::shared_ptr<ArtifactCache> actual_cache_;
   std::shared_ptr<ArtifactCache> protected_cache_;
+  const SplitView* split_ = nullptr;
 };
 
 }  // namespace locpriv::metrics

@@ -45,4 +45,29 @@ double TraceMetric::evaluate(const EvalContext& ctx) const {
   return sum / static_cast<double>(ctx.actual().size());
 }
 
+void require_subset(const EvalContext& ctx, std::span<const std::size_t> users) {
+  if (users.empty()) throw std::invalid_argument("metric: empty user subset");
+  for (const std::size_t u : users) {
+    if (u >= ctx.actual().size()) {
+      throw std::invalid_argument("metric: subset index " + std::to_string(u) +
+                                  " out of range for dataset of size " +
+                                  std::to_string(ctx.actual().size()));
+    }
+  }
+}
+
+double Metric::evaluate_on(const EvalContext& ctx, std::span<const std::size_t> users) const {
+  require_subset(ctx, users);
+  return evaluate(ctx);
+}
+
+double TraceMetric::evaluate_on(const EvalContext& ctx,
+                                std::span<const std::size_t> users) const {
+  require_paired(ctx.actual(), ctx.protected_data());
+  require_subset(ctx, users);
+  double sum = 0.0;
+  for (const std::size_t u : users) sum += evaluate_trace(ctx, u);
+  return sum / static_cast<double>(users.size());
+}
+
 }  // namespace locpriv::metrics

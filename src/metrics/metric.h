@@ -14,6 +14,8 @@
 // both paths run the same code and return bit-identical values.
 #pragma once
 
+#include <cstddef>
+#include <span>
 #include <string>
 
 #include "metrics/eval_context.h"
@@ -51,6 +53,19 @@ class Metric {
   /// pair and evaluate every metric through it.
   [[nodiscard]] virtual double evaluate(const EvalContext& ctx) const = 0;
 
+  /// Scores only the users whose dataset indices are listed in `users`
+  /// (ascending, non-empty) — the per-split entry point of the
+  /// generalization track. The base default ignores the subset and
+  /// scores the whole pair: dataset-level metrics without a per-user
+  /// decomposition have no meaningful restriction, and documenting that
+  /// here beats silently returning garbage. TraceMetric overrides this
+  /// with the mean over `users`; subset-aware dataset metrics (e.g.
+  /// re-identification) override it to restrict their population.
+  /// Throws std::invalid_argument on an empty subset or an
+  /// out-of-range index.
+  [[nodiscard]] virtual double evaluate_on(const EvalContext& ctx,
+                                           std::span<const std::size_t> users) const;
+
   /// Legacy compatibility shim: evaluates through an ephemeral uncached
   /// context. Both datasets must pair users positionally (same ids,
   /// same order) — implementations throw std::invalid_argument
@@ -84,10 +99,19 @@ class TraceMetric : public Metric {
 
   /// Mean of per-user scores; verifies the datasets pair up.
   [[nodiscard]] double evaluate(const EvalContext& ctx) const override;
+
+  /// Mean of per-user scores over exactly the listed users — the
+  /// subset form every trace-level metric gets for free.
+  [[nodiscard]] double evaluate_on(const EvalContext& ctx,
+                                   std::span<const std::size_t> users) const override;
 };
 
 /// Throws std::invalid_argument unless the datasets have identical user
 /// ids in identical order. Shared by all metrics.
 void require_paired(const trace::Dataset& actual, const trace::Dataset& protected_data);
+
+/// Throws std::invalid_argument when `users` is empty or names an index
+/// outside the context's dataset pair. Shared by evaluate_on overrides.
+void require_subset(const EvalContext& ctx, std::span<const std::size_t> users);
 
 }  // namespace locpriv::metrics

@@ -14,6 +14,7 @@
 #include "metrics/home_inference.h"
 #include "metrics/reident_metric.h"
 #include "metrics/spatial_entropy.h"
+#include "metrics/tracking_metrics.h"
 #include "metrics/transform.h"
 #include "metrics/trip_length.h"
 #include "metrics/worst_case.h"
@@ -78,6 +79,27 @@ attack::PoiAttackConfig poi_config(const ParamMap& params) {
 
 std::vector<ParameterSpec> cell_specs() {
   return {spec("cell-size-m", 1.0, 10000.0, 115.0, "m", "grid cell (city block) edge length")};
+}
+
+/// The tracking-attack filter knobs shared by tracking-error and
+/// tracking-reident (see attack/tracking.h for semantics).
+std::vector<ParameterSpec> tracking_specs() {
+  return {
+      spec("cell-size-m", 10.0, 10000.0, 250.0, "m", "occupancy-prior raster cell edge"),
+      spec("obs-scale-m", 0.0, 100000.0, 0.0, "m",
+           "observation noise scale; 0 estimates it from the trace"),
+      spec("process-sigma-mps", 0.1, 100.0, 5.0, "m/s",
+           "motion-model spread growth per second of report gap"),
+  };
+}
+
+attack::TrackingConfig tracking_config(const ParamMap& params) {
+  const std::vector<ParameterSpec> specs = tracking_specs();
+  attack::TrackingConfig cfg;
+  cfg.cell_size_m = value_of(params, specs[0]);
+  cfg.obs_scale_m = value_of(params, specs[1]);
+  cfg.process_sigma_mps = value_of(params, specs[2]);
+  return cfg;
 }
 
 const std::map<std::string, Entry>& entries() {
@@ -145,6 +167,21 @@ const std::map<std::string, Entry>& entries() {
        {cell_specs(),
         [](const ParamMap& p) {
           return std::make_unique<SpatialEntropyGain>(value_of(p, cell_specs()[0]));
+        }}},
+      {"tracking-error",
+       {tracking_specs(),
+        [](const ParamMap& p) { return std::make_unique<TrackingError>(tracking_config(p)); }}},
+      {"tracking-reident",
+       {[] {
+          std::vector<ParameterSpec> specs = tracking_specs();
+          specs.push_back(spec("top-k", 1.0, 100.0, 5.0, "", "POI fingerprint size for linkage"));
+          return specs;
+        }(),
+        [](const ParamMap& p) {
+          attack::ReidentConfig reident;
+          reident.top_k =
+              static_cast<std::size_t>(value_of(p, spec("top-k", 1.0, 100.0, 5.0, "", "")));
+          return std::make_unique<TrackingReident>(tracking_config(p), reident);
         }}},
   };
   return kEntries;

@@ -28,4 +28,21 @@ double ReidentificationRate::evaluate(const EvalContext& ctx) const {
   return attack::run_reident_attack(known, observed, cfg_).accuracy;
 }
 
+double ReidentificationRate::evaluate_on(const EvalContext& ctx,
+                                         std::span<const std::size_t> users) const {
+  require_paired(ctx.actual(), ctx.protected_data());
+  require_subset(ctx, users);
+  std::vector<std::vector<poi::Poi>> known;
+  std::vector<std::vector<poi::Poi>> observed;
+  known.reserve(users.size());
+  observed.reserve(users.size());
+  for (const std::size_t u : users) {
+    known.push_back(*poi_artifact(ctx, Side::kActual, u, cfg_.ground_truth));
+    observed.push_back(*poi_artifact(ctx, Side::kProtected, u, cfg_.adversary));
+  }
+  // accuracy is correct / subset size — run_reident_attack's dataset is
+  // exactly the subset here.
+  return attack::run_reident_attack(known, observed, cfg_).accuracy;
+}
+
 }  // namespace locpriv::metrics

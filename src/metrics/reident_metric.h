@@ -19,6 +19,15 @@ class ReidentificationRate final : public Metric {
   }
   using Metric::evaluate;
   [[nodiscard]] double evaluate(const EvalContext& ctx) const override;
+  /// Linkage restricted to the listed users: both the adversary's
+  /// gallery and the scored traces are the subset — the unseen-user
+  /// population under a split. (The target's own *historical*
+  /// fingerprint stays in the gallery by design: linkage is undefined
+  /// without it. The PR 7 audit verdict: this is population membership,
+  /// not a fitted prior, so it is not a leave-one-out violation —
+  /// unlike the tracking prior, which is; see tracking_metrics.h.)
+  [[nodiscard]] double evaluate_on(const EvalContext& ctx,
+                                   std::span<const std::size_t> users) const override;
 
  private:
   attack::ReidentConfig cfg_;

@@ -1,0 +1,318 @@
+// Tracking attack unit suite (PR 7): the correlation-aware adversary and
+// its leave-one-out / split-disjointness contract.
+//
+// The load-bearing claims, each pinned here:
+//   * the motion filter beats the naive last-report adversary on
+//     straight-line motion under iid noise,
+//   * under crushing noise the posterior collapses onto the population
+//     prior instead of chasing the observations,
+//   * prior fitting reads EXACTLY the listed users' traces (split
+//     disjointness — garbling everyone else moves no bit),
+//   * without a split the metric layer fits each user's prior
+//     leave-one-out (the target's own trace never trains its attacker),
+//   * sweep results with tracking metrics are bit-identical across
+//     thread counts, split on or off.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "attack/reident.h"
+#include "attack/tracking.h"
+#include "core/experiment.h"
+#include "core/sweep.h"
+#include "core/system_definition.h"
+#include "core/user_split.h"
+#include "lppm/registry.h"
+#include "metrics/eval_context.h"
+#include "metrics/registry.h"
+#include "metrics/reident_metric.h"
+#include "metrics/tracking_metrics.h"
+#include "stats/rng.h"
+#include "test_util.h"
+#include "trace/dataset.h"
+
+namespace locpriv {
+namespace {
+
+bool bit_equal(double a, double b) { return std::memcmp(&a, &b, sizeof(double)) == 0; }
+
+trace::Trace add_noise(const trace::Trace& t, double sigma_m, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  trace::Trace out(t.user_id());
+  for (const trace::Event& e : t.events()) {
+    out.append({e.time, {e.location.x + rng.normal(0.0, sigma_m),
+                         e.location.y + rng.normal(0.0, sigma_m)}});
+  }
+  return out;
+}
+
+void expect_prior_bits_equal(const attack::TrackingPrior& a, const attack::TrackingPrior& b) {
+  ASSERT_EQ(a.occupied_cells(), b.occupied_cells());
+  for (std::size_t i = 0; i < a.occupied_cells(); ++i) {
+    EXPECT_TRUE(bit_equal(a.mass(i), b.mass(i))) << "cell " << i;
+    EXPECT_TRUE(bit_equal(a.center(i).x, b.center(i).x)) << "cell " << i;
+    EXPECT_TRUE(bit_equal(a.center(i).y, b.center(i).y)) << "cell " << i;
+  }
+}
+
+// ------------------------------------------------------------ config
+
+TEST(TrackingConfig, RejectsDegenerateParameters) {
+  const trace::Dataset data = testutil::two_stop_dataset(2);
+  const std::vector<std::size_t> users = {0};
+  attack::TrackingConfig bad;
+  bad.cell_size_m = 0.0;
+  EXPECT_THROW((void)attack::fit_tracking_prior(data, users, bad), std::invalid_argument);
+  bad = {};
+  bad.obs_scale_m = -1.0;
+  EXPECT_THROW((void)attack::track_trace(data[0], {}, bad), std::invalid_argument);
+  bad = {};
+  bad.velocity_smoothing = 1.5;
+  EXPECT_THROW((void)attack::track_trace(data[0], {}, bad), std::invalid_argument);
+}
+
+// ------------------------------------------------------- prior fitting
+
+TEST(TrackingPrior, MassesAreNormalizedAndDeterministic) {
+  const trace::Dataset data = testutil::two_stop_dataset(4);
+  const std::vector<std::size_t> users = {0, 1, 2};
+  const attack::TrackingPrior a = attack::fit_tracking_prior(data, users, {});
+  const attack::TrackingPrior b = attack::fit_tracking_prior(data, users, {});
+  ASSERT_FALSE(a.empty());
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.occupied_cells(); ++i) total += a.mass(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  expect_prior_bits_equal(a, b);
+}
+
+TEST(TrackingPrior, FitIsIndependentOfUserOrder) {
+  const trace::Dataset data = testutil::two_stop_dataset(4);
+  const std::vector<std::size_t> fwd = {0, 1, 3};
+  const std::vector<std::size_t> rev = {3, 1, 0};
+  expect_prior_bits_equal(attack::fit_tracking_prior(data, fwd, {}),
+                          attack::fit_tracking_prior(data, rev, {}));
+}
+
+TEST(TrackingPrior, EmptyUserListYieldsEmptyPrior) {
+  const trace::Dataset data = testutil::two_stop_dataset(2);
+  const attack::TrackingPrior prior = attack::fit_tracking_prior(data, {}, {});
+  EXPECT_TRUE(prior.empty());
+  EXPECT_EQ(prior.mass_at({0.0, 0.0}), 0.0);
+  // An empty prior degrades the tracker to the pure motion filter.
+  const trace::Trace tracked = attack::track_trace(data[0], prior, {});
+  EXPECT_EQ(tracked.size(), data[0].size());
+}
+
+// Split disjointness at the attack layer: the prior is a pure function
+// of the LISTED users' traces. Replacing every other trace with garbage
+// must not move a single bit.
+TEST(TrackingPrior, NeverReadsUnlistedUsers) {
+  const trace::Dataset clean = testutil::two_stop_dataset(5);
+  trace::Dataset garbled;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    if (i < 3) {
+      garbled.add(clean[i]);
+    } else {
+      garbled.add(testutil::line_trace(clean[i].user_id(), {9e6, 9e6}, {9.5e6, 9.5e6}, 3600));
+    }
+  }
+  const std::vector<std::size_t> train = {0, 1, 2};
+  expect_prior_bits_equal(attack::fit_tracking_prior(clean, train, {}),
+                          attack::fit_tracking_prior(garbled, train, {}));
+}
+
+// -------------------------------------------------------- the filter
+
+// Straight-line motion with iid noise is the constant-velocity model's
+// home turf: averaging prediction and observation must localize better
+// than the naive adversary that takes each noisy report at face value.
+TEST(TrackingFilter, BeatsNaiveLastReportOnStraightLineMotion) {
+  const trace::Trace actual =
+      testutil::line_trace("mover", {0.0, 0.0}, {12000.0, 0.0}, 7200, 60);
+  const trace::Trace noisy = add_noise(actual, 300.0, 7);
+  attack::TrackingConfig cfg;
+  cfg.obs_scale_m = 300.0;
+  const trace::Trace tracked = attack::track_trace(noisy, {}, cfg);
+  const double naive = attack::mean_tracking_error_m(actual, noisy);
+  const double filtered = attack::mean_tracking_error_m(actual, tracked);
+  EXPECT_LT(filtered, naive * 0.8) << "filtered " << filtered << " vs naive " << naive;
+}
+
+// Crushing noise: the observations are useless, so the posterior must
+// collapse onto the population prior's mass (the target's haunts as
+// visited by OTHER users), not follow the noise city-widths away.
+TEST(TrackingFilter, DegradesToPriorUnderHighNoise) {
+  const geo::Point site{500.0, 500.0};
+  trace::Dataset population;
+  for (int i = 0; i < 4; ++i) {
+    population.add(testutil::stationary_trace("train" + std::to_string(i), site, 7200));
+  }
+  const std::vector<std::size_t> all = {0, 1, 2, 3};
+  const attack::TrackingPrior prior = attack::fit_tracking_prior(population, all, {});
+
+  const trace::Trace actual = testutil::stationary_trace("victim", site, 7200);
+  const trace::Trace noisy = add_noise(actual, 2000.0, 11);
+  attack::TrackingConfig cfg;
+  cfg.obs_scale_m = 2000.0;
+  const trace::Trace tracked = attack::track_trace(noisy, prior, cfg);
+
+  const double naive = attack::mean_tracking_error_m(actual, noisy);
+  const double with_prior = attack::mean_tracking_error_m(actual, tracked);
+  // The prior localizes to cell scale; the noise is ~2 km per axis.
+  EXPECT_LT(with_prior, naive / 3.0);
+  EXPECT_LT(with_prior, 2.0 * cfg.cell_size_m);
+}
+
+TEST(TrackingFilter, EstimatePreservesTimestampsAndUser) {
+  const trace::Trace actual = testutil::two_stop_trace("u", {0.0, 0.0}, {0.0, 2000.0});
+  const trace::Trace tracked = attack::track_trace(actual, {}, {});
+  ASSERT_EQ(tracked.size(), actual.size());
+  EXPECT_EQ(tracked.user_id(), actual.user_id());
+  for (std::size_t i = 0; i < actual.size(); ++i) EXPECT_EQ(tracked[i].time, actual[i].time);
+}
+
+// ------------------------------------------- metric layer: LOO + split
+
+metrics::EvalContext make_ctx(const trace::Dataset& actual, const trace::Dataset& protected_data) {
+  return metrics::EvalContext(actual, protected_data,
+                              std::make_shared<metrics::ArtifactCache>(),
+                              std::make_shared<metrics::ArtifactCache>());
+}
+
+// Leave-one-out regression (the latent bug class this PR audits): with
+// no split attached, the prior used to attack user u must be fitted on
+// everyone EXCEPT u — so garbling u's own actual trace leaves u's prior
+// untouched, while any other user's prior (which legitimately includes
+// u) must move.
+TEST(TrackingMetrics, LeaveOneOutPriorExcludesTheTarget) {
+  const trace::Dataset clean = testutil::two_stop_dataset(4);
+  trace::Dataset garbled_u0;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    garbled_u0.add(i == 0 ? testutil::line_trace(clean[i].user_id(), {8e6, 8e6}, {8.1e6, 8e6}, 3600)
+                          : clean[i]);
+  }
+  const attack::TrackingConfig cfg;
+  const metrics::EvalContext a = make_ctx(clean, clean);
+  const metrics::EvalContext b = make_ctx(garbled_u0, garbled_u0);
+  expect_prior_bits_equal(*metrics::tracking_prior_artifact(a, 0, cfg),
+                          *metrics::tracking_prior_artifact(b, 0, cfg));
+  // Sanity: user 1's prior includes user 0 and must differ.
+  const auto p1_clean = metrics::tracking_prior_artifact(a, 1, cfg);
+  const auto p1_garbled = metrics::tracking_prior_artifact(b, 1, cfg);
+  EXPECT_NE(p1_clean->occupied_cells(), p1_garbled->occupied_cells());
+}
+
+// With a split attached the prior is fitted on the train side only and
+// shared (dataset scope) by every scored user on either side.
+TEST(TrackingMetrics, SplitPriorIsTrainFittedAndTestDisjoint) {
+  const trace::Dataset clean = testutil::two_stop_dataset(6);
+  const core::UserSplit split = core::make_holdout_split(clean.size(), 0.33, 9);
+  trace::Dataset garbled;  // test users replaced by garbage
+  std::vector<bool> in_test(clean.size(), false);
+  for (const std::size_t u : split.test) in_test[u] = true;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    garbled.add(in_test[i]
+                    ? testutil::line_trace(clean[i].user_id(), {7e6, 7e6}, {7.1e6, 7e6}, 3600)
+                    : clean[i]);
+  }
+  const attack::TrackingConfig cfg;
+  const metrics::SplitView view{split.train, split.test, split.id()};
+  metrics::EvalContext a = make_ctx(clean, clean);
+  metrics::EvalContext b = make_ctx(garbled, garbled);
+  a.set_split(&view);
+  b.set_split(&view);
+
+  // Same prior for a train user and a test user (shared artifact), equal
+  // to a direct fit on the train side, and blind to test users' traces.
+  const auto train_side = metrics::tracking_prior_artifact(a, split.train.front(), cfg);
+  const auto test_side = metrics::tracking_prior_artifact(a, split.test.front(), cfg);
+  expect_prior_bits_equal(*train_side, *test_side);
+  expect_prior_bits_equal(*train_side, attack::fit_tracking_prior(clean, split.train, cfg));
+  expect_prior_bits_equal(*train_side, *metrics::tracking_prior_artifact(b, split.test.front(), cfg));
+}
+
+// The reident gallery under a split is restricted to the scored subset:
+// the test-side value must not read train users' traces at all. (The
+// audit's verdict on the no-split gallery — the target's own historical
+// fingerprint IS population membership — is documented in
+// reident_metric.h; this pins the split semantics.)
+TEST(TrackingMetrics, ReidentTestSideIgnoresTrainTraces) {
+  const trace::Dataset clean = testutil::two_stop_dataset(6);
+  const core::UserSplit split = core::make_holdout_split(clean.size(), 0.33, 9);
+  trace::Dataset garbled;  // train users replaced by garbage
+  std::vector<bool> in_train(clean.size(), false);
+  for (const std::size_t u : split.train) in_train[u] = true;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    garbled.add(in_train[i]
+                    ? testutil::line_trace(clean[i].user_id(), {6e6, 6e6}, {6.1e6, 6e6}, 3600)
+                    : clean[i]);
+  }
+  const metrics::SplitView view{split.train, split.test, split.id()};
+  metrics::EvalContext a = make_ctx(clean, clean);
+  metrics::EvalContext b = make_ctx(garbled, garbled);
+  a.set_split(&view);
+  b.set_split(&view);
+  const metrics::ReidentificationRate reident{attack::ReidentConfig{}};
+  EXPECT_TRUE(bit_equal(reident.evaluate_on(a, split.test), reident.evaluate_on(b, split.test)));
+}
+
+TEST(TrackingMetrics, RegistryCreatesBothMetrics) {
+  const auto error = metrics::create_metric("tracking-error");
+  const auto reident = metrics::create_metric("tracking-reident");
+  EXPECT_EQ(error->direction(), metrics::Direction::kHigherIsMorePrivate);
+  EXPECT_EQ(reident->direction(), metrics::Direction::kLowerIsMorePrivate);
+  const trace::Dataset data = testutil::two_stop_dataset(3);
+  const metrics::EvalContext ctx = make_ctx(data, data);
+  EXPECT_GE(error->evaluate(ctx), 0.0);
+  const double acc = reident->evaluate(ctx);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+// --------------------------------------------- sweep-level determinism
+
+core::SystemDefinition tracking_system() {
+  core::SystemDefinition def;
+  def.mechanism_factory = [] { return lppm::create_mechanism("geo-indistinguishability"); };
+  def.sweep.parameter = "epsilon";
+  def.sweep.min_value = 0.005;
+  def.sweep.max_value = 0.05;
+  def.sweep.point_count = 3;
+  def.privacy = metrics::create_metric("tracking-error");
+  def.utility = metrics::create_metric("mean-distortion");
+  return def;
+}
+
+TEST(TrackingMetrics, SweepBitIdenticalAcrossThreadsWithAndWithoutSplit) {
+  const trace::Dataset data = testutil::two_stop_dataset(5);
+  for (const bool with_split : {false, true}) {
+    core::ExperimentConfig cfg;
+    cfg.trials = 2;
+    cfg.seed = 2016;
+    if (with_split) {
+      cfg.split.mode = core::SplitMode::kHoldout;
+      cfg.split.test_fraction = 0.4;
+      cfg.split.seed = 3;
+    }
+    cfg.threads = 1;
+    const core::SweepResult serial = core::run_sweep(tracking_system(), data, cfg);
+    cfg.threads = 8;
+    const core::SweepResult parallel = core::run_sweep(tracking_system(), data, cfg);
+    ASSERT_EQ(serial.points.size(), parallel.points.size());
+    for (std::size_t i = 0; i < serial.points.size(); ++i) {
+      EXPECT_TRUE(bit_equal(serial.points[i].privacy_mean, parallel.points[i].privacy_mean))
+          << "split=" << with_split << " point " << i;
+      EXPECT_TRUE(bit_equal(serial.points[i].privacy_stddev, parallel.points[i].privacy_stddev))
+          << "split=" << with_split << " point " << i;
+      EXPECT_TRUE(
+          bit_equal(serial.points[i].privacy_train_mean, parallel.points[i].privacy_train_mean))
+          << "split=" << with_split << " point " << i;
+      EXPECT_EQ(serial.points[i].has_split, with_split);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace locpriv

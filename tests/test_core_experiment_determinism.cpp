@@ -141,6 +141,127 @@ TEST(SweepDeterminism, ExternallySuppliedWarmCacheIsBitIdentical) {
   expect_bit_identical(cold, warm, "cold vs warm external cache");
 }
 
+// -------------------------------------------------- split-mode sweeps
+
+core::SweepResult split_sweep(std::size_t threads, bool use_cache, core::SplitMode mode) {
+  core::SystemDefinition def = core::make_geo_i_system(5);
+  const trace::Dataset data = testutil::two_stop_dataset(5);
+  core::ExperimentConfig cfg;
+  cfg.trials = 3;
+  cfg.seed = 2016;
+  cfg.threads = threads;
+  cfg.use_artifact_cache = use_cache;
+  cfg.split.mode = mode;
+  cfg.split.test_fraction = 0.4;
+  cfg.split.folds = 3;
+  cfg.split.seed = 7;
+  return core::run_sweep(def, data, cfg);
+}
+
+void expect_split_bit_identical(const core::SweepResult& a, const core::SweepResult& b,
+                                const char* what) {
+  expect_bit_identical(a, b, what);
+  ASSERT_EQ(a.split_train_users, b.split_train_users) << what;
+  ASSERT_EQ(a.split_test_users, b.split_test_users) << what;
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].has_split, b.points[i].has_split) << what << " point " << i;
+    EXPECT_TRUE(bit_equal(a.points[i].privacy_train_mean, b.points[i].privacy_train_mean))
+        << what << " point " << i;
+    EXPECT_TRUE(bit_equal(a.points[i].privacy_train_stddev, b.points[i].privacy_train_stddev))
+        << what << " point " << i;
+  }
+}
+
+// The partition is a pure function of (user_count, spec): same split
+// seed ⇒ the same train/test membership and the same per-split Pr bits
+// at any thread count, cache on or off, tracing on or off.
+TEST(SplitDeterminism, HoldoutSweepBitIdenticalAcrossThreadsCacheAndTracing) {
+  const core::SweepResult baseline = split_sweep(1, false, core::SplitMode::kHoldout);
+  EXPECT_TRUE(baseline.split.enabled());
+  EXPECT_GT(baseline.split_train_users, 0u);
+  EXPECT_GT(baseline.split_test_users, 0u);
+  expect_split_bit_identical(baseline, split_sweep(8, false, core::SplitMode::kHoldout),
+                             "holdout threads 1 vs 8");
+  expect_split_bit_identical(baseline, split_sweep(1, true, core::SplitMode::kHoldout),
+                             "holdout cache off vs on");
+  obs::Tracer::instance().enable();
+  const core::SweepResult traced = split_sweep(8, true, core::SplitMode::kHoldout);
+  obs::Tracer::instance().disable();
+  EXPECT_GT(obs::Tracer::instance().collected_spans(), 0u);
+  obs::Tracer::instance().reset();
+  expect_split_bit_identical(baseline, traced, "holdout traced/8/cached vs untraced/1/uncached");
+}
+
+TEST(SplitDeterminism, KFoldSweepBitIdenticalAcrossThreads) {
+  const core::SweepResult serial = split_sweep(1, true, core::SplitMode::kKFold);
+  const core::SweepResult parallel = split_sweep(8, true, core::SplitMode::kKFold);
+  // K-fold covers every user on both sides across the rotations.
+  EXPECT_EQ(serial.split_train_users, 5u);
+  EXPECT_EQ(serial.split_test_users, 5u);
+  expect_split_bit_identical(serial, parallel, "kfold threads 1 vs 8");
+}
+
+// The no-split default must remain memcmp-identical to the pre-split
+// engine: an explicit kNone spec (whatever its other fields say) and
+// the historical default config produce the same bits, with no split
+// reporting attached.
+TEST(SplitDeterminism, DisabledSplitIsBitIdenticalToLegacyDefault) {
+  const core::SweepResult legacy = sweep_with_threads(4);
+  core::SystemDefinition def = core::make_geo_i_system(5);
+  const trace::Dataset data = testutil::two_stop_dataset(3);
+  core::ExperimentConfig cfg;
+  cfg.trials = 3;
+  cfg.seed = 2016;
+  cfg.threads = 4;
+  cfg.split.mode = core::SplitMode::kNone;
+  cfg.split.test_fraction = 0.25;  // ignored fields must stay inert
+  cfg.split.seed = 99;
+  const core::SweepResult with_none = core::run_sweep(def, data, cfg);
+  expect_bit_identical(legacy, with_none, "default vs explicit kNone");
+  EXPECT_FALSE(with_none.split.enabled());
+  EXPECT_EQ(with_none.split_train_users, 0u);
+  EXPECT_EQ(with_none.split_test_users, 0u);
+  for (const core::SweepPoint& p : with_none.points) {
+    EXPECT_FALSE(p.has_split);
+    EXPECT_TRUE(bit_equal(p.privacy_train_mean, 0.0));
+  }
+}
+
+// UserSplit primitives: the partition machinery the sweeps above lean on.
+TEST(SplitDeterminism, PartitionsAreSeededDisjointAndCovering) {
+  const core::UserSplit a = core::make_holdout_split(10, 0.3, 5);
+  const core::UserSplit b = core::make_holdout_split(10, 0.3, 5);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.test, b.test);
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(a.test.size(), 3u);
+  EXPECT_EQ(a.train.size(), 7u);
+  EXPECT_TRUE(std::is_sorted(a.train.begin(), a.train.end()));
+  EXPECT_TRUE(std::is_sorted(a.test.begin(), a.test.end()));
+  const core::UserSplit c = core::make_holdout_split(10, 0.3, 6);
+  EXPECT_NE(a.id(), c.id()) << "different seeds should (virtually always) differ";
+
+  const std::vector<core::UserSplit> folds = core::make_kfold_splits(10, 3, 5);
+  ASSERT_EQ(folds.size(), 3u);
+  std::vector<int> scored(10, 0);
+  for (const core::UserSplit& f : folds) {
+    for (const std::size_t u : f.test) ++scored[u];
+    // Within one fold, train and test are disjoint and cover everyone.
+    std::vector<bool> seen(10, false);
+    for (const std::size_t u : f.train) seen[u] = true;
+    for (const std::size_t u : f.test) {
+      EXPECT_FALSE(seen[u]) << "user " << u << " on both sides";
+      seen[u] = true;
+    }
+    EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool s) { return s; }));
+  }
+  for (int s : scored) EXPECT_EQ(s, 1) << "k-fold must score every user exactly once";
+
+  EXPECT_THROW((void)core::make_holdout_split(1, 0.3, 1), std::invalid_argument);
+  EXPECT_THROW((void)core::make_holdout_split(10, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)core::make_kfold_splits(3, 4, 1), std::invalid_argument);
+}
+
 // ------------------------------------------------- gateway under faults
 
 struct Capture {

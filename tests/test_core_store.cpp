@@ -117,6 +117,89 @@ TEST(SweepStore, CsvExportShapeAndContent) {
                     "area-coverage-f1,area-coverage-f1_stddev");
 }
 
+SweepResult split_sweep_sample() {
+  SweepResult s;
+  s.mechanism_name = "geo-indistinguishability";
+  s.parameter = "epsilon";
+  s.scale = lppm::Scale::kLog;
+  s.privacy_metric = "poi-retrieval";
+  s.utility_metric = "area-coverage-f1";
+  s.split.mode = SplitMode::kHoldout;
+  s.split.test_fraction = 0.4;
+  s.split.seed = 7;
+  s.split_train_users = 6;
+  s.split_test_users = 4;
+  SweepPoint p{0.01, 0.05, 0.01, 0.80, 0.02};
+  p.has_split = true;
+  p.privacy_train_mean = 0.03;
+  p.privacy_train_stddev = 0.005;
+  s.points.push_back(p);
+  return s;
+}
+
+TEST(SweepStore, SplitRoundTripKeepsGeneralizationBlock) {
+  const SweepResult s = split_sweep_sample();
+  const io::JsonValue j = sweep_to_json(s);
+  ASSERT_TRUE(j.contains("generalization"));
+  EXPECT_EQ(j.at("generalization").at("mode").as_string(), "holdout");
+  EXPECT_DOUBLE_EQ(j.at("generalization").at("transfer_gap_mean").as_number(), 0.02);
+  const SweepResult back = sweep_from_json(j);
+  EXPECT_EQ(back.split.mode, SplitMode::kHoldout);
+  EXPECT_DOUBLE_EQ(back.split.test_fraction, 0.4);
+  EXPECT_EQ(back.split.seed, 7u);
+  EXPECT_EQ(back.split_train_users, 6u);
+  EXPECT_EQ(back.split_test_users, 4u);
+  ASSERT_EQ(back.points.size(), 1u);
+  EXPECT_TRUE(back.points[0].has_split);
+  EXPECT_DOUBLE_EQ(back.points[0].privacy_train_mean, 0.03);
+  EXPECT_DOUBLE_EQ(back.points[0].privacy_train_stddev, 0.005);
+
+  // K-fold carries folds instead of test_fraction.
+  SweepResult k = split_sweep_sample();
+  k.split.mode = SplitMode::kKFold;
+  k.split.folds = 3;
+  const SweepResult kback = sweep_from_json(sweep_to_json(k));
+  EXPECT_EQ(kback.split.mode, SplitMode::kKFold);
+  EXPECT_EQ(kback.split.folds, 3u);
+}
+
+TEST(SweepStore, NoSplitSweepOmitsGeneralizationAndOldFilesStillParse) {
+  SweepResult s;
+  s.parameter = "epsilon";
+  s.privacy_metric = "poi-retrieval";
+  s.utility_metric = "area-coverage-f1";
+  s.points.push_back({0.01, 0.05, 0.01, 0.80, 0.02});
+  const io::JsonValue j = sweep_to_json(s);
+  // Additive schema: split-off output is shaped exactly like a pre-split
+  // file, and such files (no generalization block, no train fields)
+  // still round-trip with the split disabled.
+  EXPECT_FALSE(j.contains("generalization"));
+  ASSERT_EQ(j.at("points").as_array().size(), 1u);
+  EXPECT_FALSE(j.at("points").as_array()[0].contains("privacy_train_mean"));
+  const SweepResult back = sweep_from_json(j);
+  EXPECT_FALSE(back.split.enabled());
+  EXPECT_FALSE(back.points[0].has_split);
+}
+
+TEST(SweepStore, SplitCsvAppendsTrainColumns) {
+  const auto rows = sweep_to_csv_rows(split_sweep_sample());
+  ASSERT_EQ(rows.size(), 2u);
+  ASSERT_EQ(rows[0].size(), 7u);
+  EXPECT_EQ(rows[0][5], "poi-retrieval_train");
+  EXPECT_EQ(rows[0][6], "poi-retrieval_train_stddev");
+  EXPECT_EQ(rows[1][5], "0.03");
+  EXPECT_EQ(rows[1][6], "0.005");
+}
+
+TEST(SweepStore, RejectsUnknownGeneralizationMode) {
+  io::JsonValue j = sweep_to_json(split_sweep_sample());
+  io::JsonObject o = j.as_object();
+  io::JsonObject g = o.at("generalization").as_object();
+  g["mode"] = "stratified";
+  o["generalization"] = io::JsonValue(std::move(g));
+  EXPECT_THROW(sweep_from_json(io::JsonValue(std::move(o))), std::runtime_error);
+}
+
 TEST(SweepStore, RejectsWrongFormat) {
   io::JsonObject o;
   o["format"] = "locpriv-model/1";  // a model tag is not a sweep tag

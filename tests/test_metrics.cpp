@@ -248,12 +248,13 @@ TEST(WorstCase, DominatesTheNaiveAdversary) {
 
 TEST(Registry, ListsAllMetrics) {
   const auto names = metric_names();
-  EXPECT_EQ(names.size(), 15u);
+  EXPECT_EQ(names.size(), 17u);
   for (const char* expected :
        {"poi-retrieval", "poi-preservation", "poi-retrieval-worst-case", "area-coverage-f1", "area-coverage-jaccard", "cell-hit-ratio",
         "mean-distortion", "log-mean-distortion", "dtw-distortion", "log-dtw-distortion",
         "reidentification-rate", "home-inference-rate", "trip-length-error",
-        "log-trip-length-error", "spatial-entropy-gain"}) {
+        "log-trip-length-error", "spatial-entropy-gain", "tracking-error",
+        "tracking-reident"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end()) << expected;
   }
   EXPECT_THROW((void)create_metric("bogus"), std::invalid_argument);

@@ -1,0 +1,197 @@
+// Scenario-generator suite (PR 7): src/synth's fleet builders had no
+// dedicated test file. Pins the three properties every downstream
+// experiment silently relies on:
+//   * seed determinism — same (config, seed) is event-for-event
+//     identical; a different seed actually moves the fleet,
+//   * fleet-size and heterogeneity invariants — the requested user
+//     counts come back with the documented id scheme, and the taxi
+//     scenario's per-driver variation really varies across drivers,
+//   * spatial containment — every generated report stays inside the
+//     city extent plus the configured GPS-noise fringe.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "synth/scenario.h"
+#include "trace/dataset.h"
+
+namespace locpriv {
+namespace {
+
+void expect_identical(const trace::Dataset& a, const trace::Dataset& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t u = 0; u < a.size(); ++u) {
+    ASSERT_EQ(a[u].user_id(), b[u].user_id());
+    ASSERT_EQ(a[u].size(), b[u].size()) << a[u].user_id();
+    for (std::size_t i = 0; i < a[u].size(); ++i) {
+      EXPECT_EQ(a[u][i].time, b[u][i].time) << a[u].user_id() << " event " << i;
+      EXPECT_EQ(a[u][i].location.x, b[u][i].location.x) << a[u].user_id() << " event " << i;
+      EXPECT_EQ(a[u][i].location.y, b[u][i].location.y) << a[u].user_id() << " event " << i;
+    }
+  }
+}
+
+bool any_event_differs(const trace::Dataset& a, const trace::Dataset& b) {
+  if (a.size() != b.size()) return true;
+  for (std::size_t u = 0; u < a.size(); ++u) {
+    if (a[u].size() != b[u].size()) return true;
+    for (std::size_t i = 0; i < a[u].size(); ++i) {
+      if (a[u][i].location.x != b[u][i].location.x) return true;
+    }
+  }
+  return false;
+}
+
+/// Asserts every event lies inside the city extent widened by `fringe_m`
+/// (waypoints are clamped into the extent; GPS noise jitters reports a
+/// few sigmas past it).
+void expect_contained(const trace::Dataset& data, double half_extent_m, double fringe_m) {
+  const double bound = half_extent_m + fringe_m;
+  for (std::size_t u = 0; u < data.size(); ++u) {
+    for (const trace::Event& e : data[u].events()) {
+      ASSERT_LE(std::abs(e.location.x), bound) << data[u].user_id();
+      ASSERT_LE(std::abs(e.location.y), bound) << data[u].user_id();
+    }
+  }
+}
+
+// ------------------------------------------------------------ taxi
+
+TEST(SynthGenerators, TaxiSeedDeterminismAndDivergence) {
+  synth::TaxiScenarioConfig cfg;
+  cfg.driver_count = 6;
+  expect_identical(synth::make_taxi_dataset(cfg, 42), synth::make_taxi_dataset(cfg, 42));
+  EXPECT_TRUE(any_event_differs(synth::make_taxi_dataset(cfg, 42),
+                                synth::make_taxi_dataset(cfg, 43)));
+}
+
+TEST(SynthGenerators, TaxiFleetSizeAndIdScheme) {
+  synth::TaxiScenarioConfig cfg;
+  cfg.driver_count = 7;
+  const trace::Dataset d = synth::make_taxi_dataset(cfg, 1);
+  ASSERT_EQ(d.size(), 7u);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(d[i].user_id().substr(0, 4), "cab-");
+    EXPECT_FALSE(d[i].empty());
+  }
+  EXPECT_EQ(d[0].user_id(), "cab-000");
+  EXPECT_EQ(d[6].user_id(), "cab-006");
+}
+
+// The per-driver heterogeneity draws (report interval, idle habits) are
+// the whole point of the scenario — a fleet of clones would snap at one
+// threshold instead of transitioning gradually. Pin that drivers really
+// differ: with identical shift lengths, different report intervals and
+// idle behavior yield different event counts across the fleet.
+TEST(SynthGenerators, TaxiFleetIsHeterogeneous) {
+  synth::TaxiScenarioConfig cfg;
+  cfg.driver_count = 8;
+  const trace::Dataset d = synth::make_taxi_dataset(cfg, 5);
+  std::set<std::size_t> event_counts;
+  for (std::size_t i = 0; i < d.size(); ++i) event_counts.insert(d[i].size());
+  EXPECT_GE(event_counts.size(), 3u) << "all drivers generated near-identical traces";
+  // Disabling every variation range collapses the fleet: same intervals.
+  synth::TaxiScenarioConfig uniform = cfg;
+  uniform.min_report_interval_s = uniform.max_report_interval_s = 60;
+  uniform.min_stands = uniform.max_stands = 3;
+  uniform.idle_spread = 1.0;
+  uniform.min_gps_noise_m = uniform.max_gps_noise_m = 5.0;
+  const trace::Dataset u = synth::make_taxi_dataset(uniform, 5);
+  for (std::size_t i = 0; i + 1 < u.size(); ++i) {
+    ASSERT_GE(u[i].size(), 2u);
+    EXPECT_EQ(u[i][1].time - u[i][0].time, u[i + 1][1].time - u[i + 1][0].time)
+        << "uniform config should give every driver the same report interval";
+  }
+}
+
+TEST(SynthGenerators, TaxiTracesStayInsideTheCity) {
+  synth::TaxiScenarioConfig cfg;
+  cfg.driver_count = 5;
+  const trace::Dataset d = synth::make_taxi_dataset(cfg, 9);
+  // 6-sigma fringe on the largest per-driver GPS noise draw.
+  expect_contained(d, cfg.city.half_extent_m, 6.0 * cfg.max_gps_noise_m);
+}
+
+// ------------------------------------------------------- commuter
+
+TEST(SynthGenerators, CommuterSeedDeterminismSizeAndContainment) {
+  synth::CommuterScenarioConfig cfg;
+  cfg.user_count = 5;
+  const trace::Dataset d = synth::make_commuter_dataset(cfg, 77);
+  expect_identical(d, synth::make_commuter_dataset(cfg, 77));
+  EXPECT_TRUE(any_event_differs(d, synth::make_commuter_dataset(cfg, 78)));
+  ASSERT_EQ(d.size(), 5u);
+  EXPECT_EQ(d[0].user_id(), "user-000");
+  expect_contained(d, cfg.city.half_extent_m, 6.0 * 15.0);
+}
+
+// ---------------------------------------------------------- mixed
+
+TEST(SynthGenerators, MixedFleetCompositionAndDeterminism) {
+  synth::MixedScenarioConfig cfg;
+  cfg.taxi_count = 3;
+  cfg.commuter_count = 2;
+  cfg.wanderer_count = 4;
+  const trace::Dataset d = synth::make_mixed_dataset(cfg, 3);
+  expect_identical(d, synth::make_mixed_dataset(cfg, 3));
+  ASSERT_EQ(d.size(), 9u);
+  std::size_t cabs = 0, users = 0, walkers = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const std::string& id = d[i].user_id();
+    cabs += id.starts_with("cab-") ? 1 : 0;
+    users += id.starts_with("user-") ? 1 : 0;
+    walkers += id.starts_with("walk-") ? 1 : 0;
+  }
+  EXPECT_EQ(cabs, 3u);
+  EXPECT_EQ(users, 2u);
+  EXPECT_EQ(walkers, 4u);
+  expect_contained(d, cfg.city.half_extent_m, 6.0 * 15.0);
+}
+
+// ------------------------------------------------------- drifting
+
+TEST(SynthGenerators, DriftingFleetPhasesAndPrefixSharing) {
+  synth::DriftingFleetConfig cfg;
+  cfg.user_count = 4;
+  cfg.phase_a_s = 3600;
+  cfg.phase_b_s = 3600;
+  const trace::Dataset d = synth::make_drifting_fleet(cfg, 13);
+  expect_identical(d, synth::make_drifting_fleet(cfg, 13));
+  ASSERT_EQ(d.size(), 4u);
+  const trace::Timestamp total = cfg.phase_a_s + cfg.phase_b_s;
+  for (std::size_t u = 0; u < d.size(); ++u) {
+    EXPECT_EQ(d[u].user_id().substr(0, 6), "drift-");
+    EXPECT_LE(d[u].back().time, total);
+    // Phase B is confined: every post-drift report within the disk
+    // radius (plus travel overshoot fringe) of the phase-B anchor zone —
+    // bounded by the city in any case.
+    for (const trace::Event& e : d[u].events()) {
+      EXPECT_LE(std::abs(e.location.x), cfg.city.half_extent_m + 6.0 * cfg.movement.gps_noise_m);
+    }
+  }
+  // Per-user streams derive from the seed by index, so a larger fleet
+  // shares its first users with a smaller one (documented contract).
+  synth::DriftingFleetConfig bigger = cfg;
+  bigger.user_count = 6;
+  const trace::Dataset big = synth::make_drifting_fleet(bigger, 13);
+  ASSERT_EQ(big.size(), 6u);
+  for (std::size_t u = 0; u < d.size(); ++u) {
+    ASSERT_EQ(big[u].size(), d[u].size()) << "fleet-size prefix sharing broke for user " << u;
+    for (std::size_t i = 0; i < d[u].size(); ++i) {
+      EXPECT_EQ(big[u][i].location.x, d[u][i].location.x);
+    }
+  }
+}
+
+TEST(SynthGenerators, DriftingFleetRejectsDegenerateRadius) {
+  synth::DriftingFleetConfig cfg;
+  cfg.phase_b_radius_m = 0.0;
+  EXPECT_THROW((void)synth::make_drifting_fleet(cfg, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace locpriv

@@ -19,7 +19,8 @@ cmake -B "$BUILD_DIR" -S . -DLOCPRIV_SANITIZE="$SANITIZER" > /dev/null
 # sweep scheduler — the other jthread pool in the codebase besides the
 # gateway's — so it rides in the race-check lane too.
 TARGETS=(test_service_queue test_service_adaptive test_service_gateway test_service_resilience test_lppm_online
-         test_metrics_eval_context test_obs_tracer test_core_experiment_determinism)
+         test_metrics_eval_context test_obs_tracer test_core_experiment_determinism
+         test_attack_tracking test_synth_generators)
 if [ "$SCOPE" = "all" ]; then
   cmake --build "$BUILD_DIR" -j"$(nproc)"
   (cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)")

@@ -2,8 +2,9 @@
 """Validate a BENCH_*.json and gate bench regressions.
 
 Dispatches on the document's "bench" field: "kernels" (the PR 5 hot-path
-suite; the default when the field is absent, for old files) or "adaptive"
-(the closed-loop ε configuration bench, PR 6).
+suite; the default when the field is absent, for old files), "adaptive"
+(the closed-loop ε configuration bench, PR 6) or "generalization" (the
+train/test-split tracking-vs-POI adversary bench, PR 7).
 
 Two jobs, both meant for the CI bench-smoke lane:
 
@@ -135,14 +136,58 @@ def check_adaptive_schema(doc: dict) -> None:
              "the closed loop is not earning its keep")
 
 
+# The advantage floor is per preset for the same reason as the adaptive
+# reband floor: the smoke commuter fleet is small enough that one user's
+# linkage flipping moves the per-ε advantage in coarse steps. The full
+# preset carries the paper-level claim — the tracking adversary must be
+# strictly ahead at EVERY ε on the grid (gated via the min), and clearly
+# ahead on average.
+GENERALIZATION_ADVANTAGE_MEAN_FLOOR = {"full": 0.3, "smoke": 0.1}
+
+
+def check_generalization_schema(doc: dict) -> None:
+    check_preset(doc)
+    require_true(doc, "deterministic")
+    require_number(doc, "commuter_users", minimum=2)
+    require_number(doc, "mixed_users", minimum=2)
+    require_number(doc, "split.train_users", minimum=1)
+    require_number(doc, "split.test_users", minimum=1)
+    adv_mean = require_number(doc, "attack_advantage.mean")
+    adv_min = require_number(doc, "attack_advantage.min")
+    poi_gap = require_number(doc, "poi_transfer.gap_mean")
+    tracking_gap = require_number(doc, "tracking_transfer.gap_mean")
+    floor = GENERALIZATION_ADVANTAGE_MEAN_FLOOR.get(str(doc.get("preset")), 0.3)
+    if adv_min is not None and adv_min <= 0:
+        fail(f"attack_advantage.min = {adv_min:.3f}: the tracking attack must beat "
+             "the POI attack strictly at every epsilon on the grid")
+    if adv_mean is not None and adv_mean < floor:
+        fail(f"attack_advantage.mean = {adv_mean:.3f} below the {floor} floor "
+             f"for preset {doc.get('preset')!r}")
+    # Transfer-gap sanity floors. poi-retrieval has no train-fitted prior,
+    # so its test-side Pr must not exceed the train side at the pinned
+    # split seed (test <= train, i.e. gap <= 0); the tracking attack's
+    # prior IS train-fitted, so held-out users must be at least as hard
+    # to track (gap >= 0 metres).
+    if poi_gap is not None and poi_gap > 0:
+        fail(f"poi_transfer.gap_mean = {poi_gap:.4f} > 0: test-split Pr exceeds "
+             "train-split Pr for the POI attack")
+    if tracking_gap is not None and tracking_gap < 0:
+        fail(f"tracking_transfer.gap_mean = {tracking_gap:.2f} m < 0: the "
+             "train-fitted prior tracks unseen users BETTER than its own "
+             "training users")
+
+
 def check_schema(doc: dict) -> None:
     kind = doc.get("bench", "kernels")
     if kind == "kernels":
         check_kernels_schema(doc)
     elif kind == "adaptive":
         check_adaptive_schema(doc)
+    elif kind == "generalization":
+        check_generalization_schema(doc)
     else:
-        fail(f"'bench' is {doc.get('bench')!r}, expected 'kernels' or 'adaptive'")
+        fail(f"'bench' is {doc.get('bench')!r}, expected 'kernels', 'adaptive' "
+             "or 'generalization'")
 
 
 def check_adaptive_regressions(candidate: dict, baseline: dict, max_regression: float) -> None:
@@ -166,6 +211,31 @@ def check_adaptive_regressions(candidate: dict, baseline: dict, max_regression: 
           f"candidate {cand:.3f} ({growth:+.1%}) {status}")
     if growth > max_regression:
         fail(f"adaptive tracking error regressed {growth:.1%} "
+             f"(baseline {base:.3f} -> {cand:.3f}, limit {max_regression:.0%})")
+
+
+def check_generalization_regressions(candidate: dict, baseline: dict,
+                                     max_regression: float) -> None:
+    # The advantage is already gated by absolute floors; the baseline
+    # comparison watches for a change that still clears the floor but
+    # erodes most of the tracking adversary's edge.
+    base = require_number(baseline, "attack_advantage.mean")
+    cand = require_number(candidate, "attack_advantage.mean")
+    if base is None or cand is None:
+        return
+    if candidate.get("preset") != baseline.get("preset"):
+        print("check_bench: preset mismatch "
+              f"({candidate.get('preset')} vs baseline {baseline.get('preset')}): "
+              "skipping the advantage comparison")
+        return
+    if base <= 0:
+        return
+    drop = (base - cand) / base
+    status = "ok" if drop <= max_regression else "REGRESSION"
+    print(f"check_bench: attack_advantage.mean: baseline {base:.3f} "
+          f"candidate {cand:.3f} ({drop:+.1%} drop) {status}")
+    if drop > max_regression:
+        fail(f"tracking-attack advantage regressed {drop:.1%} "
              f"(baseline {base:.3f} -> {cand:.3f}, limit {max_regression:.0%})")
 
 
@@ -227,6 +297,8 @@ def main() -> None:
                  f"vs baseline {baseline.get('bench')!r}")
         elif candidate.get("bench", "kernels") == "adaptive":
             check_adaptive_regressions(candidate, baseline, args.max_regression)
+        elif candidate.get("bench", "kernels") == "generalization":
+            check_generalization_regressions(candidate, baseline, args.max_regression)
         else:
             check_regressions(candidate, baseline, args.max_regression)
 

@@ -216,6 +216,12 @@ int cmd_sweep(const Args& args) {
   parser.add({.name = "data", .help = "dataset CSV", .required = true})
       .add({.name = "trials", .help = "protection repetitions per point", .default_value = "3"})
       .add({.name = "no-cache", .help = "disable the shared artifact cache", .is_flag = true})
+      .add({.name = "split",
+            .help = "hold out this fraction of users: attacker artifacts are fitted on the "
+                    "rest and the headline Pr is scored on the held-out users"})
+      .add({.name = "folds",
+            .help = "k-fold split instead of a holdout: every user scored once while held out"})
+      .add({.name = "split-seed", .help = "partition shuffle seed", .default_value = "1"})
       .add({.name = "out", .help = "output sweep JSON path", .required = true})
       .add({.name = "csv", .help = "also write the sweep as CSV to this path"});
   add_system_options(parser);
@@ -232,17 +238,46 @@ int cmd_sweep(const Args& args) {
   cfg.threads = static_cast<std::size_t>(parsed.get_int("threads"));
   cfg.use_artifact_cache = !parsed.get_flag("no-cache");
   if (cfg.use_artifact_cache) cfg.artifact_cache = std::make_shared<metrics::ArtifactCache>();
+  if (parsed.has("split") && parsed.has("folds")) {
+    throw std::runtime_error("sweep: --split and --folds are mutually exclusive");
+  }
+  if (parsed.has("split")) {
+    cfg.split.mode = core::SplitMode::kHoldout;
+    cfg.split.test_fraction = parsed.get_double("split");
+  } else if (parsed.has("folds")) {
+    cfg.split.mode = core::SplitMode::kKFold;
+    cfg.split.folds = static_cast<std::size_t>(parsed.get_int("folds"));
+  }
+  cfg.split.seed = static_cast<std::uint64_t>(parsed.get_int("split-seed"));
 
   const core::SweepResult sweep = core::run_sweep(def, data, cfg);
   io::write_json_file(parsed.get("out"), core::sweep_to_json(sweep));
   if (parsed.has("csv")) core::save_sweep_csv(parsed.get("csv"), sweep);
 
-  io::Table table({def.sweep.parameter, sweep.privacy_metric, sweep.utility_metric});
+  std::vector<std::string> columns = {def.sweep.parameter, sweep.privacy_metric,
+                                      sweep.utility_metric};
+  if (sweep.split.enabled()) {
+    columns[1] = sweep.privacy_metric + " (test)";
+    columns.push_back(sweep.privacy_metric + " (train)");
+    columns.push_back("transfer gap");
+  }
+  io::Table table(columns);
   for (const core::SweepPoint& p : sweep.points) {
-    table.add_row({io::Table::num(p.parameter_value, 3), io::Table::num(p.privacy_mean, 3),
-                   io::Table::num(p.utility_mean, 3)});
+    std::vector<std::string> row = {io::Table::num(p.parameter_value, 3),
+                                    io::Table::num(p.privacy_mean, 3),
+                                    io::Table::num(p.utility_mean, 3)};
+    if (sweep.split.enabled()) {
+      row.push_back(io::Table::num(p.privacy_train_mean, 3));
+      row.push_back(io::Table::num(p.privacy_mean - p.privacy_train_mean, 3));
+    }
+    table.add_row(row);
   }
   table.print(std::cout);
+  if (sweep.split.enabled()) {
+    std::cout << "\nsplit: " << core::to_string(sweep.split.mode) << " (seed "
+              << sweep.split.seed << "), " << sweep.split_train_users << " train / "
+              << sweep.split_test_users << " test users; headline Pr is the test side\n";
+  }
   if (cfg.artifact_cache != nullptr) {
     const metrics::ArtifactCache::Stats stats = cfg.artifact_cache->stats();
     std::cout << "\nartifact cache: " << stats.hits << " hits / " << stats.misses
@@ -417,6 +452,8 @@ int cmd_validate(const Args& args) {
   io::ArgParser parser("validate", "k-fold cross-validation of the fitted model");
   parser.add({.name = "data", .help = "dataset CSV", .required = true})
       .add({.name = "folds", .help = "number of user folds", .default_value = "4"})
+      .add({.name = "split-seed",
+            .help = "use a seeded shuffled fold partition instead of round-robin"})
       .add({.name = "trials", .help = "protection repetitions per point", .default_value = "2"});
   add_system_options(parser);
   add_eval_options(parser);
@@ -430,6 +467,10 @@ int cmd_validate(const Args& args) {
   cfg.trials = static_cast<std::size_t>(parsed.get_int("trials"));
   cfg.seed = static_cast<std::uint64_t>(parsed.get_int("seed"));
   cfg.threads = static_cast<std::size_t>(parsed.get_int("threads"));
+  if (parsed.has("split-seed")) {
+    cfg.split.mode = core::SplitMode::kKFold;
+    cfg.split.seed = static_cast<std::uint64_t>(parsed.get_int("split-seed"));
+  }
 
   const core::CrossValidationReport report =
       core::cross_validate(def, data, static_cast<std::size_t>(parsed.get_int("folds")), cfg);
