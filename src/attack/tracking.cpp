@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <map>
 #include <numbers>
+#include <span>
 #include <stdexcept>
 
 #include "attack/adaptive.h"
@@ -57,10 +58,14 @@ TrackingPrior fit_tracking_prior(const trace::Dataset& data, std::span<const std
   std::sort(fit_users.begin(), fit_users.end());
   fit_users.erase(std::unique(fit_users.begin(), fit_users.end()), fit_users.end());
 
+  // Both fitting passes stream the traces' contiguous coordinate
+  // columns — no Event materialization in the per-point loops.
   geo::BoundingBox box;
   for (const std::size_t u : fit_users) {
     if (u >= data.size()) throw std::invalid_argument("fit_tracking_prior: user out of range");
-    for (const trace::Event& e : data[u].events()) box.extend(e.location);
+    const std::span<const double> xs = data[u].xs();
+    const std::span<const double> ys = data[u].ys();
+    for (std::size_t i = 0; i < xs.size(); ++i) box.extend({xs[i], ys[i]});
   }
   if (box.empty()) return prior;  // no users, or only empty traces
 
@@ -72,9 +77,11 @@ TrackingPrior fit_tracking_prior(const trace::Dataset& data, std::span<const std
   std::map<std::pair<std::int64_t, std::int64_t>, double> counts;
   double total = 0.0;
   for (const std::size_t u : fit_users) {
-    for (const trace::Event& e : data[u].events()) {
-      const auto col = static_cast<std::int64_t>(std::floor((e.location.x - origin.x) / cell));
-      const auto row = static_cast<std::int64_t>(std::floor((e.location.y - origin.y) / cell));
+    const std::span<const double> xs = data[u].xs();
+    const std::span<const double> ys = data[u].ys();
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const auto col = static_cast<std::int64_t>(std::floor((xs[i] - origin.x) / cell));
+      const auto row = static_cast<std::int64_t>(std::floor((ys[i] - origin.y) / cell));
       counts[{row, col}] += 1.0;
       total += 1.0;
     }
@@ -111,16 +118,19 @@ trace::Trace track_trace(const trace::Trace& protected_trace, const TrackingPrio
   geo::Point velocity{0.0, 0.0};
   trace::Timestamp prev_time = 0;
 
+  const std::span<const double> obs_xs = protected_trace.xs();
+  const std::span<const double> obs_ys = protected_trace.ys();
+  const std::span<const trace::Timestamp> obs_times = protected_trace.times();
   for (std::size_t i = 0; i < protected_trace.size(); ++i) {
-    const trace::Event& e = protected_trace[i];
-    const geo::Point observed = e.location;
+    const trace::Timestamp time = obs_times[i];
+    const geo::Point observed{obs_xs[i], obs_ys[i]};
 
     // Predict from the motion model, then fuse with the observation,
     // precision-weighted per axis (isotropic scalar variances).
     geo::Point fused = observed;
     double fused_var = obs_var;
     if (i > 0) {
-      const double dt = static_cast<double>(std::max<trace::Timestamp>(e.time - prev_time, 1));
+      const double dt = static_cast<double>(std::max<trace::Timestamp>(time - prev_time, 1));
       const geo::Point predicted = estimate + velocity * dt;
       const double pred_sigma = cfg.process_sigma_mps * dt;
       const double pred_var = pred_sigma * pred_sigma;
@@ -158,15 +168,15 @@ trace::Trace track_trace(const trace::Trace& protected_trace, const TrackingPrio
     // Velocity update from consecutive estimates, clamped to plausible
     // speed and exponentially smoothed.
     if (i > 0) {
-      const double dt = static_cast<double>(std::max<trace::Timestamp>(e.time - prev_time, 1));
+      const double dt = static_cast<double>(std::max<trace::Timestamp>(time - prev_time, 1));
       geo::Point inst = (refined - estimate) / dt;
       const double speed = inst.norm();
       if (speed > cfg.max_speed_mps) inst = inst * (cfg.max_speed_mps / speed);
       velocity = inst * cfg.velocity_smoothing + velocity * (1.0 - cfg.velocity_smoothing);
     }
     estimate = refined;
-    prev_time = e.time;
-    out.append({e.time, refined});
+    prev_time = time;
+    out.append({time, refined});
   }
   return out;
 }
@@ -175,15 +185,21 @@ double mean_tracking_error_m(const trace::Trace& actual, const trace::Trace& est
   if (actual.empty() || estimate.empty()) return 0.0;
   double sum = 0.0;
   // Estimates are chronological: advance a cursor to the estimate report
-  // nearest in time to each actual report (O(n + m)).
+  // nearest in time to each actual report (O(n + m)). Both sides stream
+  // their contiguous columns.
   const auto gap = [](trace::Timestamp a, trace::Timestamp b) { return a > b ? a - b : b - a; };
+  const std::span<const double> axs = actual.xs();
+  const std::span<const double> ays = actual.ys();
+  const std::span<const trace::Timestamp> ats = actual.times();
+  const std::span<const double> exs = estimate.xs();
+  const std::span<const double> eys = estimate.ys();
+  const std::span<const trace::Timestamp> ets = estimate.times();
   std::size_t j = 0;
-  for (const trace::Event& a : actual.events()) {
-    while (j + 1 < estimate.size() &&
-           gap(estimate[j + 1].time, a.time) <= gap(estimate[j].time, a.time)) {
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    while (j + 1 < estimate.size() && gap(ets[j + 1], ats[i]) <= gap(ets[j], ats[i])) {
       ++j;
     }
-    sum += geo::distance(a.location, estimate[j].location);
+    sum += geo::distance({axs[i], ays[i]}, {exs[j], eys[j]});
   }
   return sum / static_cast<double>(actual.size());
 }

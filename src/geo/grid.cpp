@@ -35,6 +35,118 @@ CellSet Grid::covered_cells(std::span<const Point> pts) const {
   return cells;
 }
 
+namespace {
+
+// Packs a cell into the same collision-free 64-bit key CellIndexHash
+// uses (32 offset-binary bits per axis), and the same splitmix64
+// finalizer for the probe hash.
+constexpr std::uint64_t pack_cell(std::int64_t col, std::int64_t row) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(col)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(row));
+}
+
+constexpr std::uint64_t mix_key(std::uint64_t key) {
+  std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// floor of an in-range quotient via int64 truncation, adjusted down by
+// one when the truncation overshoots a negative non-integer — pure
+// arithmetic instead of a libm floor call, and the same integer
+// std::floor produces.
+constexpr std::int64_t floor_to_cell(double q) {
+  const auto t = static_cast<std::int64_t>(q);
+  return t - (static_cast<double>(t) > q ? 1 : 0);
+}
+
+/// Core of the columnar coverage-count kernel: how many distinct cells
+/// the (xs, ys) columns cover. The counted set is exactly the per-point
+/// cell_of set, computed faster three ways:
+///  * the arithmetic floor_to_cell above replaces the libm floor call;
+///  * trace columns are time-ordered, so consecutive samples
+///    overwhelmingly land in the same cell and membership is only
+///    probed when the cell changes;
+///  * membership runs against a flat open-addressed key table (the
+///    GridIndex spatial-hash idiom) — one contiguous linear probe per
+///    changed cell instead of a node-based unordered_set walk per point.
+std::size_t count_distinct_cells(std::span<const double> xs, std::span<const double> ys,
+                                 Point origin, double cell_size) {
+  constexpr std::uint64_t kEmpty = ~0ULL;  // pack_cell(-1, -1); tracked separately
+  // Sized so a dense trace rarely regrows, yet the table stays well
+  // under the allocator's mmap threshold and repeated calls reuse warm
+  // arena pages. Growth below handles spread-out traces.
+  std::size_t cap = 64;
+  while (cap < xs.size() / 2 && cap < 8192) cap *= 2;
+  std::vector<std::uint64_t> slots(cap, kEmpty);
+  std::size_t count = 0;
+  bool have_empty_key = false;
+  std::uint64_t prev_key = kEmpty;
+  bool have_prev = false;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const std::int64_t col = floor_to_cell((xs[i] - origin.x) / cell_size);
+    const std::int64_t row = floor_to_cell((ys[i] - origin.y) / cell_size);
+    const std::uint64_t key = pack_cell(col, row);
+    if (have_prev && key == prev_key) continue;
+    prev_key = key;
+    have_prev = true;
+    if (key == kEmpty) {  // the one cell whose key collides with the sentinel
+      if (!have_empty_key) {
+        have_empty_key = true;
+        ++count;
+      }
+      continue;
+    }
+    std::size_t slot = static_cast<std::size_t>(mix_key(key)) & (cap - 1);
+    while (slots[slot] != kEmpty && slots[slot] != key) slot = (slot + 1) & (cap - 1);
+    if (slots[slot] == key) continue;
+    slots[slot] = key;
+    ++count;
+    if (count * 2 >= cap) {  // keep load factor under 1/2
+      cap *= 2;
+      std::vector<std::uint64_t> grown(cap, kEmpty);
+      for (const std::uint64_t k : slots) {
+        if (k == kEmpty) continue;
+        std::size_t s = static_cast<std::size_t>(mix_key(k)) & (cap - 1);
+        while (grown[s] != kEmpty) s = (s + 1) & (cap - 1);
+        grown[s] = k;
+      }
+      slots = std::move(grown);
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+CellSet Grid::covered_cells(std::span<const double> xs, std::span<const double> ys) const {
+  if (xs.size() != ys.size()) throw std::invalid_argument("covered_cells: column length mismatch");
+  // Set-returning form: the node-based CellSet has to be built either
+  // way, so the flat probe table buys nothing here — just the arithmetic
+  // floor and the consecutive-cell dedup of the ordered columns.
+  CellSet cells;
+  cells.reserve(xs.size() / 4 + 1);
+  CellIndex prev{};
+  bool have_prev = false;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const CellIndex c{floor_to_cell((xs[i] - origin_.x) / cell_size_),
+                      floor_to_cell((ys[i] - origin_.y) / cell_size_)};
+    if (have_prev && c == prev) continue;
+    cells.insert(c);
+    prev = c;
+    have_prev = true;
+  }
+  return cells;
+}
+
+std::size_t Grid::coverage_count(std::span<const double> xs, std::span<const double> ys) const {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("coverage_count: column length mismatch");
+  }
+  return count_distinct_cells(xs, ys, origin_, cell_size_);
+}
+
 std::size_t Grid::coverage_count(std::span<const Point> pts) const {
   return covered_cells(pts).size();
 }

@@ -69,10 +69,20 @@ class Grid {
   /// The set of distinct cells covered by `pts`.
   [[nodiscard]] CellSet covered_cells(std::span<const Point> pts) const;
 
+  /// Columnar form over contiguous coordinate columns (a trace's
+  /// xs()/ys() spans); identical result to the span overload, but
+  /// optimized for time-ordered columns: consecutive same-cell samples
+  /// skip the hash insert and the floor is computed arithmetically.
+  /// Requires xs.size() == ys.size().
+  [[nodiscard]] CellSet covered_cells(std::span<const double> xs, std::span<const double> ys) const;
+
   /// Covered cells over any range whose items carry a location through
   /// `proj` — rasterizes event sequences without an intermediate Point
-  /// vector. Identical result to the span overload.
+  /// vector. Identical result to the span overload. The constraint keeps
+  /// two-container calls (e.g. vector<double> columns) resolving to the
+  /// columnar overload above instead of binding here.
   template <typename Range, typename Proj>
+    requires requires(const Range& r, Proj p) { Point{p(*std::begin(r))}; }
   [[nodiscard]] CellSet covered_cells(const Range& range, Proj proj) const {
     CellSet cells;
     cells.reserve(std::size(range) / 4 + 1);
@@ -82,6 +92,14 @@ class Grid {
 
   /// Number of distinct cells covered by `pts`.
   [[nodiscard]] std::size_t coverage_count(std::span<const Point> pts) const;
+
+  /// Columnar coverage count over contiguous coordinate columns — the
+  /// fast path when only the count is needed: it never materializes the
+  /// node-based CellSet, so it runs entirely on a flat scan (same
+  /// optimizations as the columnar covered_cells). Identical to
+  /// covered_cells(xs, ys).size(). Requires xs.size() == ys.size().
+  [[nodiscard]] std::size_t coverage_count(std::span<const double> xs,
+                                           std::span<const double> ys) const;
 
  private:
   double cell_size_;

@@ -12,6 +12,15 @@ double path_length(std::span<const Point> pts) {
   return total;
 }
 
+double path_length(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("path_length: column length mismatch");
+  double total = 0.0;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    total += std::hypot(xs[i] - xs[i - 1], ys[i] - ys[i - 1]);
+  }
+  return total;
+}
+
 std::vector<double> cumulative_lengths(std::span<const Point> pts) {
   std::vector<double> cum;
   cum.reserve(pts.size());
@@ -119,6 +128,23 @@ double radius_of_gyration(std::span<const Point> pts) {
   double sum_sq = 0.0;
   for (const Point p : pts) sum_sq += distance_sq(p, c);
   return std::sqrt(sum_sq / static_cast<double>(pts.size()));
+}
+
+double radius_of_gyration(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("radius_of_gyration: column length mismatch");
+  }
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  // Same accumulation order as the Point overload: component sums ->
+  // centroid -> squared-distance sum -> sqrt, so results stay
+  // bit-identical across storage layouts.
+  Point sum{0, 0};
+  for (std::size_t i = 0; i < n; ++i) sum += Point{xs[i], ys[i]};
+  const Point c = sum / static_cast<double>(n);
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum_sq += distance_sq({xs[i], ys[i]}, c);
+  return std::sqrt(sum_sq / static_cast<double>(n));
 }
 
 }  // namespace locpriv::geo

@@ -14,6 +14,12 @@ namespace locpriv::geo {
 /// Total Euclidean length of the path through `pts`, meters.
 [[nodiscard]] double path_length(std::span<const Point> pts);
 
+/// Columnar form over contiguous coordinate columns (a trace's
+/// xs()/ys() spans): one linear pass, no Event/Point materialization.
+/// Same operations in the same order as the span overload, so the
+/// result is bit-identical. Requires xs.size() == ys.size().
+[[nodiscard]] double path_length(std::span<const double> xs, std::span<const double> ys);
+
 /// Path length over any range whose items carry a location through
 /// `proj` — lets event sequences feed the kernel directly instead of
 /// materializing a Point vector first. Same summation order (and thus
@@ -58,6 +64,11 @@ template <typename Range, typename Proj>
 /// Radius of gyration: RMS distance of points to their centroid — a
 /// standard mobility "spread" feature. 0 for fewer than 2 points.
 [[nodiscard]] double radius_of_gyration(std::span<const Point> pts);
+
+/// Columnar form over contiguous coordinate columns; bit-identical to
+/// the span overload (same accumulation order). Requires
+/// xs.size() == ys.size().
+[[nodiscard]] double radius_of_gyration(std::span<const double> xs, std::span<const double> ys);
 
 /// Projected-range variant of radius_of_gyration (two passes over the
 /// range); bit-identical to the span overload on the same sequence.

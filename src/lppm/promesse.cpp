@@ -1,5 +1,6 @@
 #include "lppm/promesse.h"
 
+#include <span>
 #include <vector>
 
 #include "geo/polyline.h"
@@ -24,7 +25,14 @@ const std::string& Promesse::name() const {
 
 trace::Trace Promesse::protect(const trace::Trace& input, std::uint64_t /*seed*/) const {
   if (input.size() < 2) return input;
-  const std::vector<geo::Point> resampled = geo::resample_by_arclength(input.points(), alpha());
+  // resample_by_arclength walks the vertices repeatedly (once per output
+  // sample), so gather one Point vector from the coordinate columns.
+  const std::span<const double> xs = input.xs();
+  const std::span<const double> ys = input.ys();
+  std::vector<geo::Point> pts;
+  pts.reserve(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) pts.push_back({xs[i], ys[i]});
+  const std::vector<geo::Point> resampled = geo::resample_by_arclength(pts, alpha());
   const trace::Timestamp t0 = input.front().time;
   const trace::Timestamp span = input.duration();
   std::vector<trace::Event> events;

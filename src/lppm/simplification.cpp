@@ -1,5 +1,6 @@
 #include "lppm/simplification.h"
 
+#include <span>
 #include <vector>
 
 #include "geo/polyline.h"
@@ -28,7 +29,13 @@ const std::string& PathSimplification::name() const {
 trace::Trace PathSimplification::protect(const trace::Trace& input,
                                          std::uint64_t /*seed*/) const {
   if (input.size() < 3) return input;
-  const std::vector<geo::Point> pts = input.points();
+  // Douglas-Peucker random-accesses the vertices, so gather one Point
+  // vector from the coordinate columns for the recursion.
+  const std::span<const double> xs = input.xs();
+  const std::span<const double> ys = input.ys();
+  std::vector<geo::Point> pts;
+  pts.reserve(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) pts.push_back({xs[i], ys[i]});
   const std::vector<std::size_t> keep = geo::simplify_indices(pts, tolerance());
   std::vector<trace::Event> events;
   events.reserve(keep.size());

@@ -39,9 +39,9 @@ std::shared_ptr<const geo::CellSet> coverage_artifact(const EvalContext& ctx, Si
   return ctx.artifact<geo::CellSet>(
       side, user, "coverage", ParamHash().add(cell_size_m).digest(), [&] {
         const geo::Grid grid(cell_size_m);
-        // Rasterize straight off the event span — no Point-vector copy.
-        return grid.covered_cells(ctx.dataset(side)[user].events(),
-                                  [](const trace::Event& e) { return e.location; });
+        // Rasterize straight off the coordinate columns — no Point copy.
+        const trace::Trace& t = ctx.dataset(side)[user];
+        return grid.covered_cells(t.xs(), t.ys());
       });
 }
 

@@ -1,5 +1,6 @@
 #include "metrics/dtw_metric.h"
 
+#include <span>
 #include <vector>
 
 namespace locpriv::metrics {
@@ -14,11 +15,20 @@ const std::string& DtwDistortion::name() const {
 double DtwDistortion::evaluate_trace(const trace::Trace& actual,
                                      const trace::Trace& protected_trace) const {
   if (actual.empty() || protected_trace.empty()) return 0.0;
-  // points() is deliberate here: the DTW kernel random-accesses both
-  // sequences O(n·m) times through contiguous spans, so one upfront copy
-  // is the right trade (audited in docs/PERFORMANCE.md).
-  const std::vector<geo::Point> a = actual.points();
-  const std::vector<geo::Point> p = protected_trace.points();
+  // The upfront Point gathers are deliberate: the DTW kernel
+  // random-accesses both sequences O(n·m) times through contiguous
+  // spans, so one copy per side is the right trade (audited in
+  // docs/PERFORMANCE.md).
+  const auto gather = [](const trace::Trace& t) {
+    const std::span<const double> xs = t.xs();
+    const std::span<const double> ys = t.ys();
+    std::vector<geo::Point> pts;
+    pts.reserve(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) pts.push_back({xs[i], ys[i]});
+    return pts;
+  };
+  const std::vector<geo::Point> a = gather(actual);
+  const std::vector<geo::Point> p = gather(protected_trace);
   return stats::dtw(a, p, options_).normalized_cost();
 }
 

@@ -14,15 +14,18 @@ const std::string& TripLengthError::name() const {
 }
 
 double TripLengthError::evaluate_trace(const EvalContext& ctx, std::size_t user) const {
-  // Both sides feed the length kernel straight from the event spans —
-  // this runs once per (user, trial, point) in a sweep, so the old
-  // per-call Point-vector copies were pure allocation churn.
-  const auto location = [](const trace::Event& e) { return e.location; };
+  // Both sides feed the length kernel straight from the contiguous
+  // coordinate columns — this runs once per (user, trial, point) in a
+  // sweep, so the old per-call Point-vector copies were pure allocation
+  // churn, and the columnar kernel vectorizes.
   const double actual_len = *ctx.artifact<double>(
-      Side::kActual, user, "path-length", ParamHash().digest(),
-      [&] { return geo::path_length(ctx.actual()[user].events(), location); });
+      Side::kActual, user, "path-length", ParamHash().digest(), [&] {
+        const trace::Trace& t = ctx.actual()[user];
+        return geo::path_length(t.xs(), t.ys());
+      });
   if (actual_len <= 0.0) return 0.0;
-  const double protected_len = geo::path_length(ctx.protected_data()[user].events(), location);
+  const trace::Trace& prot = ctx.protected_data()[user];
+  const double protected_len = geo::path_length(prot.xs(), prot.ys());
   return std::abs(protected_len - actual_len) / actual_len;
 }
 

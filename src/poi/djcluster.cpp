@@ -1,7 +1,9 @@
 #include "poi/djcluster.h"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
+#include <vector>
 
 #include "geo/grid_index.h"
 #include "obs/tracer.h"
@@ -17,11 +19,17 @@ std::vector<Poi> extract_pois_djcluster(const trace::Trace& t, const DjClusterCo
   obs::Span span("poi", "djcluster");
   span.arg("points", static_cast<double>(n));
 
-  // One contiguous copy feeds the index build (a genuine bulk use of
-  // points()); queries afterwards are allocation-free: no per-point
-  // neighborhood vectors are ever materialized, so the working set is
-  // O(n) instead of the old O(n·k).
-  const std::vector<geo::Point> pts = t.points();
+  // One contiguous Point copy gathered from the coordinate columns
+  // feeds the index build (a genuine bulk materialization: GridIndex
+  // stores and queries Points); queries afterwards are allocation-free:
+  // no per-point neighborhood vectors are ever materialized, so the
+  // working set is O(n) instead of the old O(n·k).
+  const std::span<const double> xs = t.xs();
+  const std::span<const double> ys = t.ys();
+  const std::span<const trace::Timestamp> times = t.times();
+  std::vector<geo::Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) pts.push_back({xs[i], ys[i]});
   const geo::GridIndex index(pts, cfg.eps_m);
 
   // Counting pass: a point is core when >= min_pts points (itself
@@ -72,7 +80,7 @@ std::vector<Poi> extract_pois_djcluster(const trace::Trace& t, const DjClusterCo
     if (c == kUnassigned) continue;
     acc[c].sum += pts[i];
     ++acc[c].count;
-    if (i + 1 < n) acc[c].dwell += t[i + 1].time - t[i].time;
+    if (i + 1 < n) acc[c].dwell += times[i + 1] - times[i];
   }
 
   std::vector<Poi> pois;

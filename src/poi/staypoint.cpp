@@ -1,6 +1,7 @@
 #include "poi/staypoint.h"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 
 namespace locpriv::poi {
@@ -14,19 +15,25 @@ std::vector<StayPoint> extract_stay_points(const trace::Trace& t, const Extracto
   }
 
   std::vector<StayPoint> stays;
+  // Scan the trace's contiguous coordinate/time columns directly — the
+  // window walk and centroid sum are pure column arithmetic, and the
+  // accumulation order matches the old Event loop bit for bit.
+  const std::span<const double> xs = t.xs();
+  const std::span<const double> ys = t.ys();
+  const std::span<const trace::Timestamp> times = t.times();
   const std::size_t n = t.size();
   std::size_t i = 0;
   while (i < n) {
     // Grow the window while reports stay near the anchor location.
-    const geo::Point anchor = t[i].location;
+    const geo::Point anchor{xs[i], ys[i]};
     std::size_t j = i + 1;
-    while (j < n && geo::distance(anchor, t[j].location) <= cfg.max_distance_m) ++j;
+    while (j < n && geo::distance(anchor, {xs[j], ys[j]}) <= cfg.max_distance_m) ++j;
     // Window [i, j) ended; significant if it lasted long enough.
-    const trace::Timestamp dwell = t[j - 1].time - t[i].time;
+    const trace::Timestamp dwell = times[j - 1] - times[i];
     if (j - i >= 2 && dwell >= cfg.min_duration_s) {
       geo::Point sum{0, 0};
-      for (std::size_t k = i; k < j; ++k) sum += t[k].location;
-      stays.push_back({sum / static_cast<double>(j - i), t[i].time, t[j - 1].time, j - i});
+      for (std::size_t k = i; k < j; ++k) sum += geo::Point{xs[k], ys[k]};
+      stays.push_back({sum / static_cast<double>(j - i), times[i], times[j - 1], j - i});
       i = j;
     } else {
       ++i;

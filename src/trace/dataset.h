@@ -2,20 +2,32 @@
 // evaluates.
 #pragma once
 
-#include <optional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "geo/bbox.h"
+#include "trace/store.h"
 #include "trace/trace.h"
 
 namespace locpriv::trace {
 
 /// Invariant: user ids are unique. Traces keep insertion order so that
 /// parallel evaluation can index users stably.
+///
+/// A dataset is either row-built (traces added one by one, each owning
+/// its columns) or arena-backed: constructed over a shared TraceStore —
+/// possibly a read-only file mapping — in which case every trace is a
+/// zero-copy view into the arena's contiguous columns. Both forms
+/// expose the same API and produce bit-identical evaluation results.
 class Dataset {
  public:
   Dataset() = default;
+
+  /// Arena-backed dataset: one view trace per store user, in store
+  /// order. O(users); no event data is copied. Throws
+  /// std::invalid_argument on a null store.
+  explicit Dataset(std::shared_ptr<const TraceStore> store);
 
   /// Adds a trace; throws std::invalid_argument on duplicate user id.
   void add(Trace t);
@@ -36,6 +48,17 @@ class Dataset {
   /// Bounding box over every location in the dataset.
   [[nodiscard]] geo::BoundingBox bounds() const;
 
+  /// The shared arena when this dataset is arena-backed and no traces
+  /// were added afterwards; null for row-built datasets.
+  [[nodiscard]] const std::shared_ptr<const TraceStore>& store() const { return store_; }
+  /// True when every trace is a view into one shared arena.
+  [[nodiscard]] bool columnar() const { return store_ != nullptr; }
+
+  /// Builds (or returns) a columnar arena covering this dataset: the
+  /// existing store when arena-backed, otherwise a fresh copy of every
+  /// trace into contiguous columns. The dataset itself is unchanged.
+  [[nodiscard]] std::shared_ptr<const TraceStore> to_store() const;
+
   /// Applies `fn(const Trace&) -> Trace` to every trace — the shape of
   /// protecting a whole dataset with an LPPM.
   template <typename Fn>
@@ -47,6 +70,9 @@ class Dataset {
 
  private:
   std::vector<Trace> traces_;
+  // Set when constructed over an arena; cleared by add() because the
+  // arena then no longer covers the whole dataset.
+  std::shared_ptr<const TraceStore> store_;
 };
 
 }  // namespace locpriv::trace

@@ -1,5 +1,7 @@
 #include "trace/features.h"
 
+#include <cmath>
+#include <span>
 #include <vector>
 
 #include "geo/polyline.h"
@@ -13,13 +15,16 @@ TraceFeatures compute_features(const Trace& t) {
   f.event_count = t.size();
   if (t.empty()) return f;
 
-  // Span-based iteration over the events: the geometry kernels take the
-  // locations through a projection, so no per-call Point vector is
-  // materialized (this is a per-trace hot loop under the sweep engine).
-  const auto location = [](const trace::Event& e) { return e.location; };
+  // Columnar iteration: the geometry kernels run straight over the
+  // trace's contiguous coordinate columns — no Event or Point
+  // materialization (this is a per-trace hot loop under the sweep
+  // engine, and the column form vectorizes).
+  const std::span<const double> xs = t.xs();
+  const std::span<const double> ys = t.ys();
+  const std::span<const Timestamp> times = t.times();
   f.duration_s = static_cast<double>(t.duration());
-  f.path_length_m = geo::path_length(t.events(), location);
-  f.radius_of_gyration_m = geo::radius_of_gyration(t.events(), location);
+  f.path_length_m = geo::path_length(xs, ys);
+  f.radius_of_gyration_m = geo::radius_of_gyration(xs, ys);
   f.extent_diagonal_m = t.bounds().diagonal();
   f.mean_speed_mps = f.duration_s > 0.0 ? f.path_length_m / f.duration_s : 0.0;
 
@@ -28,9 +33,9 @@ TraceFeatures compute_features(const Trace& t) {
     intervals.reserve(t.size() - 1);
     std::size_t slow_pairs = 0;
     for (std::size_t i = 1; i < t.size(); ++i) {
-      const double dt = static_cast<double>(t[i].time - t[i - 1].time);
+      const double dt = static_cast<double>(times[i] - times[i - 1]);
       intervals.push_back(dt);
-      const double d = geo::distance(t[i - 1].location, t[i].location);
+      const double d = std::hypot(xs[i] - xs[i - 1], ys[i] - ys[i - 1]);
       const double speed = dt > 0.0 ? d / dt : 0.0;
       if (speed < 1.0) ++slow_pairs;
     }

@@ -1,0 +1,114 @@
+#include "trace/store.h"
+
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "trace/dataset.h"
+
+namespace locpriv::trace {
+
+TraceStore::TraceStore(std::vector<std::string> user_ids, std::vector<std::uint32_t> offsets,
+                       std::vector<double> xs, std::vector<double> ys,
+                       std::vector<Timestamp> times)
+    : user_ids_(std::move(user_ids)),
+      offsets_own_(std::move(offsets)),
+      xs_own_(std::move(xs)),
+      ys_own_(std::move(ys)),
+      times_own_(std::move(times)),
+      offsets_p_(offsets_own_.data()),
+      xs_p_(xs_own_.data()),
+      ys_p_(ys_own_.data()),
+      times_p_(times_own_.data()),
+      event_count_(xs_own_.size()) {
+  check_invariants();
+}
+
+TraceStore::TraceStore(std::vector<std::string> user_ids, const std::uint32_t* offsets,
+                       const double* xs, const double* ys, const Timestamp* times,
+                       std::size_t event_count, std::shared_ptr<const void> backing, bool validate)
+    : user_ids_(std::move(user_ids)),
+      backing_(std::move(backing)),
+      offsets_p_(offsets),
+      xs_p_(xs),
+      ys_p_(ys),
+      times_p_(times),
+      event_count_(event_count) {
+  if (backing_ == nullptr) {
+    throw std::invalid_argument("TraceStore: borrowed columns require a backing handle");
+  }
+  if (validate) check_invariants();
+}
+
+void TraceStore::check_invariants() const {
+  if (backing_ == nullptr) {  // owned columns: lengths must agree
+    if (offsets_own_.size() != user_ids_.size() + 1) {
+      throw std::invalid_argument("TraceStore: offsets must have user_count+1 entries");
+    }
+    if (ys_own_.size() != event_count_ || times_own_.size() != event_count_) {
+      throw std::invalid_argument("TraceStore: column lengths disagree");
+    }
+  } else if (offsets_p_ == nullptr ||
+             (event_count_ > 0 && (xs_p_ == nullptr || ys_p_ == nullptr || times_p_ == nullptr))) {
+    throw std::invalid_argument("TraceStore: null column");
+  }
+  if (event_count_ > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("TraceStore: event count exceeds 32-bit CSR capacity");
+  }
+  if (offsets_p_[0] != 0) throw std::invalid_argument("TraceStore: offsets must start at 0");
+  const std::size_t users = user_ids_.size();
+  for (std::size_t u = 0; u < users; ++u) {
+    if (offsets_p_[u + 1] < offsets_p_[u]) {
+      throw std::invalid_argument("TraceStore: offsets must be nondecreasing");
+    }
+  }
+  if (offsets_p_[users] != event_count_) {
+    throw std::invalid_argument("TraceStore: offsets must end at the event count");
+  }
+  for (std::size_t u = 0; u < users; ++u) {
+    for (std::size_t i = offsets_p_[u] + 1; i < offsets_p_[u + 1]; ++i) {
+      if (times_p_[i] < times_p_[i - 1]) {
+        throw std::invalid_argument("TraceStore: user '" + user_ids_[u] +
+                                    "' has out-of-order timestamps");
+      }
+    }
+  }
+  std::unordered_set<std::string_view> seen;
+  seen.reserve(users);
+  for (const std::string& id : user_ids_) {
+    if (!seen.insert(id).second) {
+      throw std::invalid_argument("TraceStore: duplicate user id '" + id + "'");
+    }
+  }
+}
+
+std::shared_ptr<const TraceStore> TraceStore::from_dataset(const Dataset& d) {
+  const std::size_t total = d.total_events();
+  if (total > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("TraceStore::from_dataset: dataset exceeds 32-bit CSR capacity");
+  }
+  std::vector<std::string> ids;
+  std::vector<std::uint32_t> offsets;
+  std::vector<double> xs, ys;
+  std::vector<Timestamp> times;
+  ids.reserve(d.size());
+  offsets.reserve(d.size() + 1);
+  xs.reserve(total);
+  ys.reserve(total);
+  times.reserve(total);
+  offsets.push_back(0);
+  for (const Trace& t : d) {
+    ids.push_back(t.user_id());
+    const auto txs = t.xs();
+    const auto tys = t.ys();
+    const auto tts = t.times();
+    xs.insert(xs.end(), txs.begin(), txs.end());
+    ys.insert(ys.end(), tys.begin(), tys.end());
+    times.insert(times.end(), tts.begin(), tts.end());
+    offsets.push_back(static_cast<std::uint32_t>(xs.size()));
+  }
+  return std::make_shared<const TraceStore>(std::move(ids), std::move(offsets), std::move(xs),
+                                            std::move(ys), std::move(times));
+}
+
+}  // namespace locpriv::trace

@@ -1,0 +1,269 @@
+#include "trace/store_io.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace locpriv::trace {
+namespace {
+
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+constexpr std::size_t kHeaderBytes = 64;
+
+struct Header {
+  std::array<char, 8> magic;
+  std::uint32_t version;
+  std::uint32_t endian;
+  std::uint64_t user_count;
+  std::uint64_t event_count;
+  std::uint64_t id_blob_bytes;
+  std::uint64_t checksum;
+  std::uint64_t file_bytes;
+  std::uint64_t reserved;
+};
+static_assert(sizeof(Header) == kHeaderBytes, "binary header must be exactly 64 bytes");
+
+constexpr std::size_t align8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+
+/// Section offsets (from the file start), computed from the counts.
+struct Layout {
+  std::size_t user_offsets = 0;
+  std::size_t id_offsets = 0;
+  std::size_t id_blob = 0;
+  std::size_t xs = 0;
+  std::size_t ys = 0;
+  std::size_t times = 0;
+  std::size_t total = 0;
+};
+
+Layout layout_for(std::size_t users, std::size_t events, std::size_t blob_bytes) {
+  Layout l;
+  std::size_t pos = kHeaderBytes;
+  l.user_offsets = pos;
+  pos += align8((users + 1) * sizeof(std::uint32_t));
+  l.id_offsets = pos;
+  pos += align8((users + 1) * sizeof(std::uint32_t));
+  l.id_blob = pos;
+  pos += align8(blob_bytes);
+  l.xs = pos;
+  pos += events * sizeof(double);
+  l.ys = pos;
+  pos += events * sizeof(double);
+  l.times = pos;
+  pos += events * sizeof(Timestamp);
+  l.total = pos;
+  return l;
+}
+
+[[noreturn]] void bad(const std::string& path, const std::string& why) {
+  throw std::runtime_error("binary dataset '" + path + "': " + why);
+}
+
+/// Read-only POSIX memory mapping, unmapped on destruction.
+class MappedFile {
+ public:
+  MappedFile(const std::string& path, std::size_t bytes) : bytes_(bytes) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) bad(path, std::string("cannot open: ") + std::strerror(errno));
+    void* p = ::mmap(nullptr, bytes_, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping keeps its own reference
+    if (p == MAP_FAILED) bad(path, std::string("mmap failed: ") + std::strerror(errno));
+    data_ = p;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile() {
+    if (data_ != nullptr) ::munmap(data_, bytes_);
+  }
+  [[nodiscard]] const char* data() const { return static_cast<const char*>(data_); }
+
+ private:
+  void* data_ = nullptr;
+  std::size_t bytes_;
+};
+
+std::size_t file_size_of(const std::string& path) {
+  struct ::stat st {};
+  if (::stat(path.c_str(), &st) != 0) {
+    bad(path, std::string("cannot stat: ") + std::strerror(errno));
+  }
+  return static_cast<std::size_t>(st.st_size);
+}
+
+template <typename T>
+const T* section_at(const char* base, std::size_t offset) {
+  // Sections are 8-byte aligned relative to base; base is page-aligned
+  // (mmap) or new-aligned (heap buffer), so the cast is well-aligned.
+  return reinterpret_cast<const T*>(base + offset);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const void* data, std::size_t bytes, std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void save_store(const std::string& path, const TraceStore& store) {
+  const std::size_t users = store.user_count();
+  const std::size_t events = store.event_count();
+
+  std::vector<std::uint32_t> id_offsets;
+  id_offsets.reserve(users + 1);
+  std::size_t blob_bytes = 0;
+  id_offsets.push_back(0);
+  for (std::size_t u = 0; u < users; ++u) {
+    blob_bytes += store.user_id(u).size();
+    if (blob_bytes > std::numeric_limits<std::uint32_t>::max()) {
+      bad(path, "user-id blob exceeds 4 GiB");
+    }
+    id_offsets.push_back(static_cast<std::uint32_t>(blob_bytes));
+  }
+  std::string blob;
+  blob.reserve(blob_bytes);
+  for (std::size_t u = 0; u < users; ++u) blob += store.user_id(u);
+
+  const Layout l = layout_for(users, events, blob_bytes);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) bad(path, "cannot open for writing");
+
+  Header h{};
+  h.magic = kBinaryDatasetMagic;
+  h.version = kBinaryDatasetVersion;
+  h.endian = kEndianTag;
+  h.user_count = users;
+  h.event_count = events;
+  h.id_blob_bytes = blob_bytes;
+  h.checksum = 0;  // patched after the payload is written
+  h.file_bytes = l.total;
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+
+  std::uint64_t sum = 0xcbf29ce484222325ULL;
+  const auto write_hashed = [&](const void* data, std::size_t bytes) {
+    out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+    sum = fnv1a64(data, bytes, sum);
+  };
+  const char pad[8] = {};
+  const auto write_padding = [&](std::size_t bytes) {
+    const std::size_t padding = align8(bytes) - bytes;
+    if (padding > 0) write_hashed(pad, padding);
+  };
+
+  write_hashed(store.offsets().data(), (users + 1) * sizeof(std::uint32_t));
+  write_padding((users + 1) * sizeof(std::uint32_t));
+  write_hashed(id_offsets.data(), (users + 1) * sizeof(std::uint32_t));
+  write_padding((users + 1) * sizeof(std::uint32_t));
+  write_hashed(blob.data(), blob_bytes);
+  write_padding(blob_bytes);
+  write_hashed(store.xs().data(), events * sizeof(double));
+  write_hashed(store.ys().data(), events * sizeof(double));
+  write_hashed(store.times().data(), events * sizeof(Timestamp));
+
+  // Patch the checksum now that the payload has been hashed.
+  out.seekp(static_cast<std::streamoff>(offsetof(Header, checksum)));
+  out.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
+  out.flush();
+  if (!out) bad(path, "write failed");
+}
+
+std::shared_ptr<const TraceStore> load_store(const std::string& path, const LoadOptions& opts) {
+  const std::size_t size = file_size_of(path);
+  if (size < kHeaderBytes) bad(path, "truncated: shorter than the 64-byte header");
+
+  // Acquire the bytes: a shared read-only mapping, or one heap read.
+  std::shared_ptr<const void> backing;
+  const char* base = nullptr;
+  if (opts.use_mmap) {
+    auto mapping = std::make_shared<const MappedFile>(path, size);
+    base = mapping->data();
+    backing = std::move(mapping);
+  } else {
+    auto buffer = std::make_shared<std::vector<char>>(size);
+    std::ifstream in(path, std::ios::binary);
+    if (!in || !in.read(buffer->data(), static_cast<std::streamsize>(size))) {
+      bad(path, "read failed");
+    }
+    base = buffer->data();
+    backing = std::move(buffer);
+  }
+
+  Header h{};
+  std::memcpy(&h, base, sizeof(h));
+  if (h.magic != kBinaryDatasetMagic) bad(path, "bad magic (not a binary dataset file)");
+  if (h.version != kBinaryDatasetVersion) {
+    bad(path, "unsupported format version " + std::to_string(h.version) + " (expected " +
+                  std::to_string(kBinaryDatasetVersion) + ")");
+  }
+  if (h.endian != kEndianTag) bad(path, "endianness mismatch");
+  if (h.reserved != 0) bad(path, "nonzero reserved header field");
+  // Bound the counts by what could possibly fit in the file before any
+  // size arithmetic, so a hostile header cannot overflow the layout.
+  if (h.event_count > std::numeric_limits<std::uint32_t>::max()) {
+    bad(path, "event count exceeds 32-bit CSR capacity");
+  }
+  if (h.user_count > size / sizeof(std::uint32_t) || h.event_count > size / sizeof(double) ||
+      h.id_blob_bytes > size) {
+    bad(path, "counts exceed the file size");
+  }
+  const Layout l = layout_for(static_cast<std::size_t>(h.user_count),
+                              static_cast<std::size_t>(h.event_count),
+                              static_cast<std::size_t>(h.id_blob_bytes));
+  if (h.file_bytes != l.total) bad(path, "header file size disagrees with the layout");
+  if (size != l.total) {
+    bad(path, size < l.total ? "truncated payload" : "trailing bytes after the payload");
+  }
+  if (opts.verify) {
+    const std::uint64_t sum = fnv1a64(base + kHeaderBytes, size - kHeaderBytes);
+    if (sum != h.checksum) bad(path, "payload checksum mismatch");
+  }
+
+  const std::size_t users = static_cast<std::size_t>(h.user_count);
+  const std::uint32_t* user_offsets = section_at<std::uint32_t>(base, l.user_offsets);
+  const std::uint32_t* id_offsets = section_at<std::uint32_t>(base, l.id_offsets);
+  const char* blob = base + l.id_blob;
+
+  // User ids are materialized as strings (small next to the columns);
+  // their delimiters must stay inside the blob whatever the file says.
+  std::vector<std::string> ids;
+  ids.reserve(users);
+  if (users > 0 && id_offsets[0] != 0) bad(path, "id offsets must start at 0");
+  for (std::size_t u = 0; u < users; ++u) {
+    if (id_offsets[u + 1] < id_offsets[u] || id_offsets[u + 1] > h.id_blob_bytes) {
+      bad(path, "id offsets out of range");
+    }
+    ids.emplace_back(blob + id_offsets[u], id_offsets[u + 1] - id_offsets[u]);
+  }
+
+  try {
+    return std::make_shared<const TraceStore>(
+        std::move(ids), user_offsets, section_at<double>(base, l.xs),
+        section_at<double>(base, l.ys), section_at<Timestamp>(base, l.times),
+        static_cast<std::size_t>(h.event_count), std::move(backing), opts.verify);
+  } catch (const std::invalid_argument& e) {
+    bad(path, e.what());
+  }
+}
+
+bool is_binary_dataset_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::array<char, 8> magic{};
+  if (!in || !in.read(magic.data(), magic.size())) return false;
+  return magic == kBinaryDatasetMagic;
+}
+
+}  // namespace locpriv::trace

@@ -1,0 +1,81 @@
+// Binary on-disk dataset format (version 1) and its mmap loader.
+//
+// Layout (all integers little-endian host order; an endian tag in the
+// header rejects foreign files):
+//
+//   offset  size  field
+//   0       8     magic "LPCOLTR1"
+//   8       4     format version (u32, currently 1)
+//   12      4     endian tag (u32, 0x01020304 as written)
+//   16      8     user count U (u64)
+//   24      8     event count N (u64; must fit 32-bit CSR offsets)
+//   32      8     user-id blob size B (u64, bytes)
+//   40      8     payload checksum (u64, FNV-1a over bytes [64, size))
+//   48      8     total file size (u64, bytes)
+//   56      8     reserved (0)
+//   64      ...   sections, in order, each padded to 8-byte alignment:
+//                   user offsets   (U+1) x u32   CSR event delimiters
+//                   id offsets     (U+1) x u32   delimiters into the blob
+//                   id blob        B bytes       concatenated user ids
+//                   x column       N x f64
+//                   y column       N x f64
+//                   time column    N x i64
+//
+// The fixed section order and 8-byte alignment let a loader compute
+// every section pointer from the header alone and hand the x/y/time
+// columns to the TraceStore directly — zero-copy when the file is
+// memory-mapped (see LoadOptions::use_mmap), one buffer read otherwise.
+// See docs/STORAGE.md for the full specification and lifetime rules.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "trace/store.h"
+
+namespace locpriv::trace {
+
+inline constexpr std::array<char, 8> kBinaryDatasetMagic = {'L', 'P', 'C', 'O', 'L', 'T', 'R', '1'};
+inline constexpr std::uint32_t kBinaryDatasetVersion = 1;
+
+/// How load_store / load_dataset acquire and check a binary file.
+struct LoadOptions {
+  enum class Format {
+    kAuto,    ///< sniff the magic: binary when it matches, CSV otherwise
+    kCsv,     ///< force the CSV codec
+    kBinary,  ///< force the binary codec
+  };
+  Format format = Format::kAuto;
+  /// Map the file read-only (zero-copy columns shared page-cache-wide
+  /// across processes) instead of reading it into a heap buffer. Binary
+  /// files only; CSV always parses into heap columns.
+  bool use_mmap = true;
+  /// Verify the payload checksum and the CSR/time-order invariants on
+  /// load. Costs one sequential pass (faulting every page of a mapped
+  /// file); disable only for trusted files where lazy page-in matters.
+  bool verify = true;
+};
+
+/// Writes `store` in the binary format. Throws std::runtime_error on
+/// I/O failure.
+void save_store(const std::string& path, const TraceStore& store);
+
+/// Loads a binary dataset file into an arena. Structural header checks
+/// (magic, version, endian tag, size arithmetic) always run; the
+/// checksum and content invariants run when `opts.verify` is set.
+/// Throws std::runtime_error with a reason on any mismatch.
+[[nodiscard]] std::shared_ptr<const TraceStore> load_store(const std::string& path,
+                                                           const LoadOptions& opts = {});
+
+/// True when `path` starts with the binary dataset magic. Missing or
+/// short files read as "not binary" (the CSV codec then reports its own
+/// error).
+[[nodiscard]] bool is_binary_dataset_file(const std::string& path);
+
+/// FNV-1a 64-bit over a byte range — the format's payload checksum.
+[[nodiscard]] std::uint64_t fnv1a64(const void* data, std::size_t bytes,
+                                    std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+}  // namespace locpriv::trace

@@ -1,7 +1,10 @@
 #include "trace/trace_io.h"
 
 #include <fstream>
+#include <iostream>
 #include <map>
+#include <mutex>
+#include <set>
 #include <stdexcept>
 
 #include "io/csv.h"
@@ -9,6 +12,18 @@
 
 namespace locpriv::trace {
 namespace {
+
+/// Warns about one deprecated entry point at most once per process —
+/// the same contract as io::ArgParser's deprecated-alias notes: a tool
+/// looping over files should not spam stderr with identical lines.
+void warn_deprecated_io_once(const char* old_name, const char* replacement) {
+  static std::mutex mutex;
+  static std::set<std::string> warned;
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (!warned.insert(old_name).second) return;
+  std::cerr << "warning: trace::" << old_name << " is deprecated; use trace::" << replacement
+            << "\n";
+}
 
 /// Groups rows into traces preserving first-seen user order.
 class DatasetBuilder {
@@ -77,10 +92,48 @@ void write_dataset_csv(std::ostream& out, const Dataset& d) {
   }
 }
 
-void write_dataset_csv_file(const std::string& path, const Dataset& d) {
+namespace {
+
+void write_csv_file(const std::string& path, const Dataset& d) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("write_dataset_csv_file: cannot open " + path);
+  if (!out) throw std::runtime_error("save_dataset: cannot open " + path);
   write_dataset_csv(out, d);
+}
+
+Dataset read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_dataset: cannot open " + path);
+  return read_dataset_csv(in);
+}
+
+bool has_csv_extension(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+}
+
+}  // namespace
+
+Dataset load_dataset(const std::string& path, const LoadOptions& opts) {
+  const bool binary = opts.format == LoadOptions::Format::kBinary ||
+                      (opts.format == LoadOptions::Format::kAuto && is_binary_dataset_file(path));
+  if (binary) return Dataset(load_store(path, opts));
+  // CSV parses row-major; re-house the traces in a fresh arena so every
+  // load path hands back contiguous columns.
+  return Dataset(read_csv_file(path).to_store());
+}
+
+void save_dataset(const std::string& path, const Dataset& d, const SaveOptions& opts) {
+  const bool csv = opts.format == SaveOptions::Format::kCsv ||
+                   (opts.format == SaveOptions::Format::kAuto && has_csv_extension(path));
+  if (csv) {
+    write_csv_file(path, d);
+  } else {
+    save_store(path, *d.to_store());
+  }
+}
+
+void write_dataset_csv_file(const std::string& path, const Dataset& d) {
+  warn_deprecated_io_once("write_dataset_csv_file", "save_dataset");
+  write_csv_file(path, d);
 }
 
 Dataset read_dataset_csv(std::istream& in) {
@@ -100,9 +153,8 @@ Dataset read_dataset_csv(std::istream& in) {
 }
 
 Dataset read_dataset_csv_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("read_dataset_csv_file: cannot open " + path);
-  return read_dataset_csv(in);
+  warn_deprecated_io_once("read_dataset_csv_file", "load_dataset");
+  return read_csv_file(path);
 }
 
 void write_dataset_geo_csv(std::ostream& out, const Dataset& d, const geo::LocalProjection& proj) {

@@ -187,14 +187,14 @@ TEST(GoldenModel, Eq2FitMatchesStoredCoefficientsTo1e9) {
   const std::string golden_path = std::string(kFixtureDir) + "/golden_model.json";
 
   if (std::getenv("LOCPRIV_UPDATE_GOLDENS") != nullptr) {
-    trace::write_dataset_csv_file(trace_path, testutil::two_stop_dataset(4));
+    trace::save_dataset(trace_path, testutil::two_stop_dataset(4));
     // Fit from the re-read CSV so the golden reflects exactly what the
     // test will compute (any CSV round-trip quantization included).
-    save_model(golden_path, golden_pipeline_fit(trace::read_dataset_csv_file(trace_path)));
+    save_model(golden_path, golden_pipeline_fit(trace::load_dataset(trace_path)));
     GTEST_SKIP() << "goldens regenerated under " << kFixtureDir;
   }
 
-  const LppmModel fitted = golden_pipeline_fit(trace::read_dataset_csv_file(trace_path));
+  const LppmModel fitted = golden_pipeline_fit(trace::load_dataset(trace_path));
   const LppmModel golden = load_model(golden_path);
 
   EXPECT_EQ(fitted.mechanism_name, golden.mechanism_name);

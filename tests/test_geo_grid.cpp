@@ -109,6 +109,59 @@ TEST(Grid, CoverageCountsDistinctCells) {
   EXPECT_EQ(g.coverage_count(pts), 3u);
 }
 
+// The columnar overloads take a different path (arithmetic floor,
+// consecutive-cell dedup, open-addressed probe table) and must land on
+// exactly the per-point cell_of set. Exercise the hostile cases: cell
+// boundaries, negative coordinates, revisits that defeat the
+// consecutive dedup, and cell (-1, -1), whose packed key collides with
+// the probe table's empty sentinel.
+TEST(Grid, ColumnarCoverageMatchesPointwise) {
+  const Grid g(100.0, {50.0, 50.0});
+  const std::vector<double> xs{10,  20,  150, 10, -10, 49.9999, 50,  150, 10,  -1000.5, 10},
+      ys{10, 20, 10, 150, -10, 50, 50, 10, 10, 2000.25, 10};
+  std::vector<Point> pts;
+  for (std::size_t i = 0; i < xs.size(); ++i) pts.push_back({xs[i], ys[i]});
+  const CellSet expected = g.covered_cells(pts);
+  EXPECT_EQ(g.covered_cells(xs, ys), expected);
+  EXPECT_EQ(g.coverage_count(xs, ys), expected.size());
+}
+
+TEST(Grid, ColumnarCoverageSentinelCell) {
+  // A point in cell (-1, -1) packs to the all-ones key the columnar scan
+  // uses as its empty-slot sentinel; it must still be counted once.
+  const Grid g(100.0);
+  const std::vector<double> xs{-10, -10, 10, -10}, ys{-10, -10, 10, -20};
+  const CellSet cells = g.covered_cells(xs, ys);
+  EXPECT_EQ(cells.size(), 2u);
+  EXPECT_TRUE(cells.contains(CellIndex{-1, -1}));
+  EXPECT_EQ(g.coverage_count(xs, ys), 2u);
+}
+
+TEST(Grid, ColumnarCoverageManyCells) {
+  // Enough distinct cells to force the probe table through several
+  // growth steps; counts and sets must still match the pointwise path.
+  const Grid g(1.0);
+  std::vector<double> xs, ys;
+  std::vector<Point> pts;
+  for (int i = 0; i < 3000; ++i) {
+    const double x = static_cast<double>((i * 37) % 191) + 0.5;
+    const double y = static_cast<double>((i * 53) % 173) - 86.5;
+    xs.push_back(x);
+    ys.push_back(y);
+    pts.push_back({x, y});
+  }
+  const CellSet expected = g.covered_cells(pts);
+  EXPECT_EQ(g.covered_cells(xs, ys), expected);
+  EXPECT_EQ(g.coverage_count(xs, ys), expected.size());
+}
+
+TEST(Grid, ColumnarCoverageRejectsMismatchedColumns) {
+  const Grid g(100.0);
+  const std::vector<double> xs{1, 2}, ys{1};
+  EXPECT_THROW((void)g.covered_cells(xs, ys), std::invalid_argument);
+  EXPECT_THROW((void)g.coverage_count(xs, ys), std::invalid_argument);
+}
+
 TEST(CellSetOps, JaccardIdenticalSetsIsOne) {
   const Grid g(100.0);
   const std::vector<Point> pts{{10, 10}, {150, 10}, {250, 10}};

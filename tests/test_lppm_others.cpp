@@ -65,9 +65,8 @@ TEST(GridCloaking, LargerCellsCoarser) {
   const GridCloaking fine(100.0);
   const GridCloaking coarse(2000.0);
   auto distinct = [](const trace::Trace& t) {
-    const auto pts = t.points();
     const geo::Grid g(1.0);
-    return g.coverage_count(pts);
+    return g.coverage_count(t.xs(), t.ys());
   };
   EXPECT_GT(distinct(fine.protect(input, 1)), distinct(coarse.protect(input, 1)));
 }

@@ -96,7 +96,11 @@ TEST(DjCluster, DwellAttributedToClusters) {
 std::vector<Poi> reference_djcluster(const trace::Trace& t, const DjClusterConfig& cfg) {
   const std::size_t n = t.size();
   if (n == 0) return {};
-  const std::vector<geo::Point> pts = t.points();
+  // The original implementation copied the events into a Point vector;
+  // the same gather off today's coordinate columns is byte-equivalent.
+  std::vector<geo::Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) pts.push_back({t.xs()[i], t.ys()[i]});
   const geo::KdTree index(pts);
 
   std::vector<std::vector<std::size_t>> neighborhoods(n);

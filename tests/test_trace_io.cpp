@@ -95,10 +95,43 @@ TEST(TraceIo, GeoRejectsOutOfRangeCoordinates) {
 
 TEST(TraceIo, FileRoundTrip) {
   const std::string path = testing::TempDir() + "/locpriv_traceio_test.csv";
+  save_dataset(path, sample_dataset());
+  const Dataset back = load_dataset(path);
+  EXPECT_EQ(back.size(), 2u);
+  EXPECT_THROW(load_dataset("/nonexistent/x.csv"), std::runtime_error);
+}
+
+TEST(TraceIo, DeprecatedShimsStillWork) {
+  const std::string path = testing::TempDir() + "/locpriv_traceio_shim.csv";
   write_dataset_csv_file(path, sample_dataset());
   const Dataset back = read_dataset_csv_file(path);
   EXPECT_EQ(back.size(), 2u);
   EXPECT_THROW(read_dataset_csv_file("/nonexistent/x.csv"), std::runtime_error);
+}
+
+TEST(TraceIo, SaveFormatFollowsExtensionAndOverride) {
+  const Dataset d = sample_dataset();
+  const std::string csv_path = testing::TempDir() + "/locpriv_traceio_auto.csv";
+  const std::string bin_path = testing::TempDir() + "/locpriv_traceio_auto.lpds";
+  save_dataset(csv_path, d);
+  save_dataset(bin_path, d);
+  EXPECT_FALSE(is_binary_dataset_file(csv_path));
+  EXPECT_TRUE(is_binary_dataset_file(bin_path));
+  // A forced format wins over the extension.
+  const std::string forced = testing::TempDir() + "/locpriv_traceio_forced.csv";
+  save_dataset(forced, d, {.format = SaveOptions::Format::kBinary});
+  EXPECT_TRUE(is_binary_dataset_file(forced));
+  const Dataset back = load_dataset(forced);
+  EXPECT_EQ(back.size(), 2u);
+}
+
+TEST(TraceIo, LoadedDatasetsAreArenaBacked) {
+  const std::string path = testing::TempDir() + "/locpriv_traceio_arena.csv";
+  save_dataset(path, sample_dataset());
+  const Dataset back = load_dataset(path);
+  EXPECT_TRUE(back.columnar());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_TRUE(back[0].is_view());
 }
 
 }  // namespace

@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/system_definition.h"
+#include "test_util.h"
+#include "trace/dataset.h"
+#include "trace/store.h"
+#include "trace/store_io.h"
+#include "trace/trace_io.h"
+
+namespace locpriv::trace {
+namespace {
+
+std::string temp_path(const std::string& name) { return testing::TempDir() + "/" + name; }
+
+Dataset sample_dataset() {
+  Dataset d;
+  d.add(Trace("cab-000", {{0, {10.5, -20.25}}, {60, {11.0, -21.0}}, {120, {11.5, -22.5}}}));
+  d.add(Trace("cab-001", {{30, {0.0, 0.0}}}));
+  d.add(Trace("cab-002", {}));  // empty traces must round-trip too
+  d.add(Trace("cab-003", {{0, {-5.0, 5.0}}, {600, {-5.0, 5.0}}}));
+  return d;
+}
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+// ------------------------------------------------------------ TraceStore
+
+TEST(TraceStore, FromDatasetBuildsCsrColumns) {
+  const Dataset d = sample_dataset();
+  const auto store = TraceStore::from_dataset(d);
+  ASSERT_EQ(store->user_count(), 4u);
+  EXPECT_EQ(store->event_count(), 6u);
+  EXPECT_FALSE(store->borrowed());
+  const std::span<const std::uint32_t> off = store->offsets();
+  ASSERT_EQ(off.size(), 5u);
+  EXPECT_EQ(off[0], 0u);
+  EXPECT_EQ(off[1], 3u);
+  EXPECT_EQ(off[2], 4u);
+  EXPECT_EQ(off[3], 4u);  // the empty trace
+  EXPECT_EQ(off[4], 6u);
+  EXPECT_EQ(store->count_of(2), 0u);
+  EXPECT_EQ(store->user_id(3), "cab-003");
+  EXPECT_EQ(store->xs(0)[1], 11.0);
+  EXPECT_EQ(store->times(3)[1], 600);
+}
+
+TEST(TraceStore, RejectsBrokenInvariants) {
+  // Offsets not ending at event_count.
+  EXPECT_THROW(TraceStore({"a"}, {0, 2}, {1.0}, {1.0}, {0}), std::invalid_argument);
+  // Decreasing offsets.
+  EXPECT_THROW(TraceStore({"a", "b"}, {0, 2, 1}, {1.0, 2.0}, {1.0, 2.0}, {0, 1}),
+               std::invalid_argument);
+  // Unsorted times within a user.
+  EXPECT_THROW(TraceStore({"a"}, {0, 2}, {1.0, 2.0}, {1.0, 2.0}, {5, 1}), std::invalid_argument);
+  // Duplicate user ids.
+  EXPECT_THROW(TraceStore({"a", "a"}, {0, 1, 2}, {1.0, 2.0}, {1.0, 2.0}, {0, 0}),
+               std::invalid_argument);
+}
+
+TEST(TraceStore, ViewTracesShareColumnsAndDetachOnWrite) {
+  Dataset d(TraceStore::from_dataset(sample_dataset()));
+  ASSERT_TRUE(d.columnar());
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_TRUE(d[0].is_view());
+  EXPECT_EQ(d[0].xs().data(), d.store()->xs(0).data());  // zero-copy view
+
+  Trace copy = d[0];
+  copy.append({999, {1.0, 1.0}});  // must not touch the shared arena
+  EXPECT_FALSE(copy.is_view());
+  EXPECT_EQ(copy.size(), 4u);
+  EXPECT_EQ(d[0].size(), 3u);
+  EXPECT_EQ(d.store()->event_count(), 6u);
+}
+
+TEST(TraceStore, ViewAndOwnedTracesCompareEqual) {
+  const Dataset rows = sample_dataset();
+  const Dataset arena(TraceStore::from_dataset(rows));
+  ASSERT_EQ(rows.size(), arena.size());
+  for (std::size_t u = 0; u < rows.size(); ++u) EXPECT_EQ(rows[u], arena[u]);
+}
+
+// --------------------------------------------------------- binary format
+
+TEST(StoreIo, RoundTripIsByteIdentical) {
+  const auto store = TraceStore::from_dataset(sample_dataset());
+  const std::string first = temp_path("store_rt1.lpds");
+  const std::string second = temp_path("store_rt2.lpds");
+  save_store(first, *store);
+
+  for (const bool use_mmap : {false, true}) {
+    LoadOptions opts;
+    opts.use_mmap = use_mmap;
+    const auto loaded = load_store(first, opts);
+    EXPECT_EQ(loaded->borrowed(), true);  // both modes borrow from the backing buffer
+    ASSERT_EQ(loaded->user_count(), store->user_count());
+    ASSERT_EQ(loaded->event_count(), store->event_count());
+    EXPECT_EQ(loaded->user_ids(), store->user_ids());
+    EXPECT_TRUE(std::ranges::equal(loaded->offsets(), store->offsets()));
+    // Column payloads must be bit-identical, not just numerically close.
+    EXPECT_EQ(std::memcmp(loaded->xs().data(), store->xs().data(),
+                          store->event_count() * sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(loaded->ys().data(), store->ys().data(),
+                          store->event_count() * sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(loaded->times().data(), store->times().data(),
+                          store->event_count() * sizeof(Timestamp)),
+              0);
+    // Re-saving the loaded store reproduces the file byte for byte.
+    save_store(second, *loaded);
+    EXPECT_EQ(slurp(first), slurp(second));
+  }
+}
+
+TEST(StoreIo, EmptyDatasetRoundTrips) {
+  const std::string path = temp_path("store_empty.lpds");
+  save_store(path, *TraceStore::from_dataset(Dataset{}));
+  const auto loaded = load_store(path, {});
+  EXPECT_EQ(loaded->user_count(), 0u);
+  EXPECT_EQ(loaded->event_count(), 0u);
+}
+
+TEST(StoreIo, SniffsBinaryFiles) {
+  const std::string bin = temp_path("store_sniff.lpds");
+  save_store(bin, *TraceStore::from_dataset(sample_dataset()));
+  EXPECT_TRUE(is_binary_dataset_file(bin));
+  const std::string csv = temp_path("store_sniff.csv");
+  save_dataset(csv, sample_dataset(), {.format = SaveOptions::Format::kCsv});
+  EXPECT_FALSE(is_binary_dataset_file(csv));
+  EXPECT_FALSE(is_binary_dataset_file("/nonexistent/nowhere.lpds"));
+}
+
+// ------------------------------------------------------------ error paths
+
+class StoreIoErrors : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = temp_path("store_err.lpds");
+    save_store(path_, *TraceStore::from_dataset(sample_dataset()));
+    bytes_ = slurp(path_);
+  }
+
+  /// Writes a mutated copy of the valid file and returns its path.
+  std::string write_mutated(const std::vector<char>& bytes) const {
+    const std::string mutated = temp_path("store_err_mut.lpds");
+    std::ofstream out(mutated, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return mutated;
+  }
+
+  static void expect_load_fails(const std::string& path, const std::string& needle) {
+    for (const bool use_mmap : {false, true}) {
+      LoadOptions opts;
+      opts.use_mmap = use_mmap;
+      try {
+        (void)load_store(path, opts);
+        FAIL() << "expected load_store to throw (" << needle << ")";
+      } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "actual message: " << e.what();
+      }
+    }
+  }
+
+  std::string path_;
+  std::vector<char> bytes_;
+};
+
+TEST_F(StoreIoErrors, TruncatedHeader) {
+  std::vector<char> cut(bytes_.begin(), bytes_.begin() + 32);
+  expect_load_fails(write_mutated(cut), "truncated");
+}
+
+TEST_F(StoreIoErrors, TruncatedPayload) {
+  std::vector<char> cut(bytes_.begin(), bytes_.end() - 8);
+  expect_load_fails(write_mutated(cut), "truncated payload");
+}
+
+TEST_F(StoreIoErrors, TrailingBytes) {
+  std::vector<char> padded = bytes_;
+  padded.push_back('x');
+  expect_load_fails(write_mutated(padded), "trailing bytes");
+}
+
+TEST_F(StoreIoErrors, BadMagic) {
+  std::vector<char> mutated = bytes_;
+  mutated[0] = 'X';
+  expect_load_fails(write_mutated(mutated), "bad magic");
+}
+
+TEST_F(StoreIoErrors, BadVersion) {
+  std::vector<char> mutated = bytes_;
+  mutated[8] = 99;  // version field follows the 8-byte magic
+  expect_load_fails(write_mutated(mutated), "unsupported format version");
+}
+
+TEST_F(StoreIoErrors, ChecksumMismatch) {
+  std::vector<char> mutated = bytes_;
+  mutated.back() ^= 0x01;  // flip one payload bit
+  expect_load_fails(write_mutated(mutated), "checksum mismatch");
+  // Disabling verification must also skip the invariant re-check only
+  // when the mutated payload still parses; a flipped timestamp byte may
+  // legitimately load, so just confirm the option is honored on the
+  // pristine file.
+  LoadOptions opts;
+  opts.verify = false;
+  EXPECT_NO_THROW((void)load_store(path_, opts));
+}
+
+TEST_F(StoreIoErrors, HostileCountsRejected) {
+  std::vector<char> mutated = bytes_;
+  // user_count lives at offset 16; make it absurd.
+  const std::uint64_t huge = ~std::uint64_t{0} / 2;
+  std::memcpy(mutated.data() + 16, &huge, sizeof(huge));
+  expect_load_fails(write_mutated(mutated), "counts exceed the file size");
+}
+
+// --------------------------------------------- heap vs mmap sweep parity
+
+/// Bitwise double equality — catches last-ulp drift that EXPECT_EQ on
+/// NaN-free doubles would too, but states the intent explicitly.
+void expect_bits_equal(double a, double b) {
+  EXPECT_EQ(std::memcmp(&a, &b, sizeof(a)), 0) << a << " vs " << b;
+}
+
+void expect_point_bit_identical(const core::SweepPoint& a, const core::SweepPoint& b) {
+  // Field-by-field memcmp (a whole-struct memcmp would also compare
+  // indeterminate padding bytes).
+  expect_bits_equal(a.parameter_value, b.parameter_value);
+  expect_bits_equal(a.privacy_mean, b.privacy_mean);
+  expect_bits_equal(a.privacy_stddev, b.privacy_stddev);
+  expect_bits_equal(a.utility_mean, b.utility_mean);
+  expect_bits_equal(a.utility_stddev, b.utility_stddev);
+  EXPECT_EQ(a.has_split, b.has_split);
+  expect_bits_equal(a.privacy_train_mean, b.privacy_train_mean);
+  expect_bits_equal(a.privacy_train_stddev, b.privacy_train_stddev);
+}
+
+void expect_sweep_points_bit_identical(const core::SweepResult& a, const core::SweepResult& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  ASSERT_FALSE(a.points.empty());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    expect_point_bit_identical(a.points[i], b.points[i]);
+  }
+}
+
+TEST(StoreIo, SweepIsBitIdenticalAcrossEnginesAndThreads) {
+  const std::string path = temp_path("store_sweep.lpds");
+  save_store(path, *TraceStore::from_dataset(testutil::two_stop_dataset(4)));
+
+  LoadOptions heap_opts;
+  heap_opts.use_mmap = false;
+  const Dataset heap_data{load_store(path, heap_opts)};
+  const Dataset mmap_data{load_store(path, {})};  // mmap is the default
+
+  const core::SystemDefinition def = core::make_geo_i_system(4);
+  core::ExperimentConfig cfg;
+  cfg.trials = 2;
+  cfg.seed = 20160317;
+
+  cfg.threads = 1;
+  const core::SweepResult heap_1 = core::run_sweep(def, heap_data, cfg);
+  const core::SweepResult mmap_1 = core::run_sweep(def, mmap_data, cfg);
+  cfg.threads = 8;
+  const core::SweepResult heap_8 = core::run_sweep(def, heap_data, cfg);
+  const core::SweepResult mmap_8 = core::run_sweep(def, mmap_data, cfg);
+
+  expect_sweep_points_bit_identical(heap_1, mmap_1);
+  expect_sweep_points_bit_identical(heap_1, heap_8);
+  expect_sweep_points_bit_identical(heap_1, mmap_8);
+}
+
+TEST(StoreIo, EvaluatePointMatchesAcrossEngines) {
+  const std::string path = temp_path("store_evalpt.lpds");
+  save_store(path, *TraceStore::from_dataset(testutil::two_stop_dataset(3)));
+
+  LoadOptions heap_opts;
+  heap_opts.use_mmap = false;
+  const Dataset heap_data{load_store(path, heap_opts)};
+  const Dataset mmap_data{load_store(path, {})};
+
+  const core::SystemDefinition def = core::make_geo_i_system(4);
+  const core::SweepPoint a = core::evaluate_point(def, heap_data, 0.01, 2, 7);
+  const core::SweepPoint b = core::evaluate_point(def, mmap_data, 0.01, 2, 7);
+  expect_point_bit_identical(a, b);
+}
+
+}  // namespace
+}  // namespace locpriv::trace

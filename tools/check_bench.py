@@ -2,9 +2,11 @@
 """Validate a BENCH_*.json and gate bench regressions.
 
 Dispatches on the document's "bench" field: "kernels" (the PR 5 hot-path
-suite; the default when the field is absent, for old files), "adaptive"
-(the closed-loop ε configuration bench, PR 6) or "generalization" (the
-train/test-split tracking-vs-POI adversary bench, PR 7).
+suite, extended in PR 8 with the columnar-vs-heap kernel and dataset
+load-path sections; the default when the field is absent, for old files),
+"adaptive" (the closed-loop ε configuration bench, PR 6) or
+"generalization" (the train/test-split tracking-vs-POI adversary bench,
+PR 7).
 
 Two jobs, both meant for the CI bench-smoke lane:
 
@@ -13,8 +15,9 @@ Two jobs, both meant for the CI bench-smoke lane:
     every section's built-in correctness check passed (bit_identical /
     agree) — a fast-but-wrong kernel must never post a number.
   * regression: the candidate's speedup RATIOS (djcluster_speedup,
-    evaluate_point_scaling, grid visitor-vs-kdtree qps ratio) are
-    compared against the committed baseline. Ratios, not seconds: the
+    evaluate_point_scaling, columnar_speedup, the storage csv-over-mmap
+    load ratio, grid visitor-vs-kdtree qps ratio) are compared against
+    the committed baseline. Ratios, not seconds: the
     smoke preset runs a smaller workload and CI boxes vary in absolute
     speed, but "the rewrite is N x the reference" should transfer. A
     candidate ratio more than --max-regression below baseline fails.
@@ -100,6 +103,24 @@ def check_kernels_schema(doc: dict) -> None:
     require_number(doc, "grid_vs_kdtree.grid_count_qps", minimum=0)
     require_number(doc, "evaluate_point.latency_bound.scaling", minimum=0)
     require_number(doc, "evaluate_point.cpu_bound.scaling", minimum=0)
+    # Columnar trace arena entries (PR 8): feature kernels over contiguous
+    # columns vs the pre-refactor Event layout, and the dataset load path
+    # (CSV vs binary heap vs binary mmap). Their bit-identity flags carry
+    # the heap/mmap equivalence claim, so they gate as hard as the rest.
+    require_number(doc, "columnar_speedup", minimum=0)
+    require_true(doc, "columnar.bit_identical")
+    require_number(doc, "columnar.points", minimum=1)
+    for kernel in ("coverage_count", "covered_cells", "path_length", "radius_of_gyration"):
+        require_number(doc, f"columnar.{kernel}.aos_seconds", minimum=0)
+        require_number(doc, f"columnar.{kernel}.columnar_seconds", minimum=0)
+        require_number(doc, f"columnar.{kernel}.speedup", minimum=0)
+    require_true(doc, "storage.bit_identical")
+    require_number(doc, "storage.users", minimum=1)
+    require_number(doc, "storage.events", minimum=1)
+    require_number(doc, "storage.csv_seconds", minimum=0)
+    require_number(doc, "storage.binary_heap_seconds", minimum=0)
+    require_number(doc, "storage.binary_mmap_seconds", minimum=0)
+    require_number(doc, "storage.csv_over_mmap_speedup", minimum=0)
 
 
 # The full preset is the committed baseline and carries the paper-level
@@ -250,7 +271,8 @@ def ratio(doc: dict, name: str) -> float | None:
 
 
 def check_regressions(candidate: dict, baseline: dict, max_regression: float) -> None:
-    names = ["djcluster_speedup", "evaluate_point_scaling"]
+    names = ["djcluster_speedup", "evaluate_point_scaling", "columnar_speedup",
+             "storage.csv_over_mmap_speedup"]
     if candidate.get("preset") == baseline.get("preset"):
         # The query-micro ratio grows with the point count (the KdTree
         # side degrades faster in n than the grid side), so it only

@@ -1,6 +1,7 @@
 #include "commands.h"
 
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -122,7 +123,9 @@ void print_parameter_specs(const std::vector<lppm::ParameterSpec>& specs) {
 }
 
 trace::Dataset load_dataset(const std::string& path) {
-  return trace::read_dataset_csv_file(path);
+  // Format (CSV vs binary) is sniffed from the file contents, so every
+  // command accepts either transparently.
+  return trace::load_dataset(path);
 }
 
 /// The --trace flag shared by the instrumented commands (sweep,
@@ -159,7 +162,7 @@ int cmd_generate(const Args& args) {
       .add({.name = "seed", .help = "generator seed", .default_value = "2016"})
       .add({.name = "days", .help = "commuter scenario: days per user", .default_value = "2"})
       .add({.name = "shift-hours", .help = "taxi scenario: shift length", .default_value = "8"})
-      .add({.name = "out", .help = "output CSV path", .required = true});
+      .add({.name = "out", .help = "output path (.csv writes CSV, anything else the binary format)", .required = true});
   const io::ParsedArgs parsed = parser.parse(args);
 
   const std::string scenario = parsed.get("scenario");
@@ -178,7 +181,7 @@ int cmd_generate(const Args& args) {
     throw std::runtime_error("unknown scenario '" + scenario + "' (taxi | commuter)");
   }
 
-  trace::write_dataset_csv_file(parsed.get("out"), data);
+  trace::save_dataset(parsed.get("out"), data);
   std::cout << "wrote " << data.size() << " users, " << data.total_events() << " events to "
             << parsed.get("out") << "\n";
   return 0;
@@ -401,7 +404,7 @@ int cmd_protect(const Args& args) {
       .add({.name = "parameter", .help = "parameter name (default: mechanism's first)"})
       .add({.name = "value", .help = "parameter value (e.g. the epsilon from `configure`)"})
       .add({.name = "seed", .help = "noise seed", .default_value = "7"})
-      .add({.name = "out", .help = "output CSV path", .required = true});
+      .add({.name = "out", .help = "output path (.csv writes CSV, anything else the binary format)", .required = true});
   const io::ParsedArgs parsed = parser.parse(args);
 
   const trace::Dataset data = load_dataset(parsed.get("data"));
@@ -416,7 +419,7 @@ int cmd_protect(const Args& args) {
 
   const trace::Dataset protected_data =
       mechanism->protect_dataset(data, static_cast<std::uint64_t>(parsed.get_int("seed")));
-  trace::write_dataset_csv_file(parsed.get("out"), protected_data);
+  trace::save_dataset(parsed.get("out"), protected_data);
   std::cout << "protected " << protected_data.total_events() << " events with "
             << mechanism->name() << "; wrote " << parsed.get("out") << "\n";
   return 0;
@@ -555,7 +558,7 @@ int cmd_clean(const Args& args) {
       .add({.name = "max-speed", .help = "speed filter threshold, m/s (0 disables)",
             .default_value = "50"})
       .add({.name = "keep-duplicates", .help = "keep repeated identical fixes", .is_flag = true})
-      .add({.name = "out", .help = "output CSV path", .required = true});
+      .add({.name = "out", .help = "output path (.csv writes CSV, anything else the binary format)", .required = true});
   const io::ParsedArgs parsed = parser.parse(args);
 
   const trace::Dataset data = load_dataset(parsed.get("data"));
@@ -564,10 +567,66 @@ int cmd_clean(const Args& args) {
   cfg.drop_duplicates = !parsed.get_flag("keep-duplicates");
   trace::CleaningStats stats;
   const trace::Dataset cleaned = trace::clean_dataset(data, cfg, &stats);
-  trace::write_dataset_csv_file(parsed.get("out"), cleaned);
+  trace::save_dataset(parsed.get("out"), cleaned);
   std::cout << "kept " << stats.kept() << "/" << stats.input_events << " events ("
             << stats.speed_rejected << " speed-rejected, " << stats.duplicates_dropped
             << " duplicates); wrote " << parsed.get("out") << "\n";
+  return 0;
+}
+
+int cmd_convert(const Args& args) {
+  io::ArgParser parser("convert", "convert a dataset between CSV and the binary format");
+  parser.add({.name = "in", .help = "input dataset (CSV or binary, sniffed)", .required = true})
+      .add({.name = "out", .help = "output path", .required = true})
+      .add({.name = "to", .help = "output format: auto | csv | binary (auto = by extension)",
+            .default_value = "auto"})
+      .add({.name = "check", .help = "reload the output and verify it round-trips",
+            .is_flag = true});
+  const io::ParsedArgs parsed = parser.parse(args);
+
+  const std::string to = parsed.get("to");
+  trace::SaveOptions save_opts;
+  if (to == "csv") {
+    save_opts.format = trace::SaveOptions::Format::kCsv;
+  } else if (to == "binary") {
+    save_opts.format = trace::SaveOptions::Format::kBinary;
+  } else if (to != "auto") {
+    throw std::runtime_error("convert: unknown --to format '" + to + "' (auto | csv | binary)");
+  }
+
+  const trace::Dataset data = load_dataset(parsed.get("in"));
+  trace::save_dataset(parsed.get("out"), data, save_opts);
+  const bool wrote_csv = !trace::is_binary_dataset_file(parsed.get("out"));
+  std::cout << "wrote " << data.size() << " users, " << data.total_events() << " events to "
+            << parsed.get("out") << " (" << (wrote_csv ? "csv" : "binary") << ")\n";
+
+  if (parsed.get_flag("check")) {
+    // Binary round-trips are exact; CSV quantizes coordinates to 6
+    // decimals, so the comparison allows that much slack.
+    const double tolerance = wrote_csv ? 1e-5 : 0.0;
+    const trace::Dataset reloaded = trace::load_dataset(parsed.get("out"));
+    if (reloaded.size() != data.size()) {
+      throw std::runtime_error("convert --check: user count changed on reload");
+    }
+    for (std::size_t u = 0; u < data.size(); ++u) {
+      const trace::Trace& a = data[u];
+      const trace::Trace& b = reloaded[u];
+      if (a.user_id() != b.user_id() || a.size() != b.size()) {
+        throw std::runtime_error("convert --check: trace shape changed for user " + a.user_id());
+      }
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const bool same = a.times()[i] == b.times()[i] &&
+                          std::abs(a.xs()[i] - b.xs()[i]) <= tolerance &&
+                          std::abs(a.ys()[i] - b.ys()[i]) <= tolerance;
+        if (!same) {
+          throw std::runtime_error("convert --check: event " + std::to_string(i) +
+                                   " of user " + a.user_id() + " did not round-trip");
+        }
+      }
+    }
+    std::cout << "check: " << data.total_events() << " events round-trip"
+              << (wrote_csv ? " within csv precision" : " exactly") << "\n";
+  }
   return 0;
 }
 
@@ -872,6 +931,7 @@ std::string main_usage() {
      << "  report     render a markdown report from sweep/model artifacts\n"
      << "  compare    sweep several mechanisms and rank their trade-offs\n"
      << "  clean      drop GPS glitches and stuck fixes from a dataset CSV\n"
+     << "  convert    convert a dataset between CSV and the binary format\n"
      << "  serve-sim  replay a workload through the concurrent obfuscation gateway\n"
      << "  list-mechanisms  built-in mechanisms with their ParameterSpecs\n"
      << "  list-metrics     built-in metrics with their ParameterSpecs\n\n"

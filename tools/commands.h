@@ -31,6 +31,9 @@ int cmd_report(const Args& args);
 int cmd_compare(const Args& args);
 /// Cleans GPS glitches / stuck fixes out of a dataset CSV.
 int cmd_clean(const Args& args);
+/// Converts a dataset between CSV and the binary columnar format,
+/// optionally verifying the round-trip.
+int cmd_convert(const Args& args);
 /// Simulated serving: replays a dataset through the concurrent
 /// obfuscation gateway and reports live telemetry.
 int cmd_serve_sim(const Args& args);

@@ -9,6 +9,7 @@
 //   locpriv audit      evaluate every metric on actual vs protected data
 //   locpriv validate   k-fold cross-validation of the model
 //   locpriv report     render a markdown report from sweep/model artifacts
+//   locpriv convert    convert a dataset between CSV and the binary format
 //   locpriv serve-sim  replay a workload through the concurrent obfuscation gateway
 #include <exception>
 #include <functional>
@@ -26,7 +27,8 @@ int main(int argc, char** argv) {
       {"generate", cmd_generate}, {"profile", cmd_profile},     {"sweep", cmd_sweep},
       {"fit", cmd_fit},           {"configure", cmd_configure}, {"protect", cmd_protect},
       {"audit", cmd_audit},       {"validate", cmd_validate}, {"report", cmd_report},
-      {"compare", cmd_compare}, {"clean", cmd_clean},     {"serve-sim", cmd_serve_sim},
+      {"compare", cmd_compare}, {"clean", cmd_clean},     {"convert", cmd_convert},
+      {"serve-sim", cmd_serve_sim},
       {"list-mechanisms", cmd_list_mechanisms}, {"list-metrics", cmd_list_metrics},
   };
 
