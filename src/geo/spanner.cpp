@@ -1,0 +1,158 @@
+#include "geo/spanner.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace locpriv::geo {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using HeapItem = std::pair<double, std::uint32_t>;  // (distance, node)
+using MinHeap = std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>;
+
+}  // namespace
+
+Spanner Spanner::build_greedy(std::span<const Point> nodes, double delta) {
+  if (!(delta >= 1.0)) throw std::invalid_argument("Spanner: delta must be >= 1");
+  if (nodes.size() > (std::size_t{1} << 31)) {
+    throw std::invalid_argument("Spanner: too many nodes");
+  }
+  const std::size_t n = nodes.size();
+  Spanner s;
+  s.nodes_ = n;
+
+  struct Candidate {
+    double length;
+    std::uint32_t a;
+    std::uint32_t b;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(n * (n - (n > 0 ? 1 : 0)) / 2);
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (std::uint32_t b = a + 1; b < n; ++b) {
+      candidates.push_back({distance(nodes[a], nodes[b]), a, b});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(), [](const Candidate& x, const Candidate& y) {
+    if (x.length != y.length) return x.length < y.length;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
+
+  // Incremental all-pairs distances over the spanner built so far: the
+  // candidate check is then one lookup, and only the (few) inserted
+  // edges pay an O(n^2) vectorizable min-plus update. O(n^2) memory —
+  // fine for the cell counts this serves (kMaxOptimalCells and friends).
+  std::vector<double> dist(n * n, kInf);
+  for (std::size_t i = 0; i < n; ++i) dist[i * n + i] = 0.0;
+  std::vector<double> row_a(n);
+  std::vector<double> row_b(n);
+  for (const Candidate& c : candidates) {
+    // Coincident nodes always get an edge: a zero-length pair can never
+    // be covered by a path through other nodes at any finite delta.
+    if (c.length > 0.0 && dist[c.a * std::size_t{n} + c.b] <= delta * c.length) continue;
+    s.edges_.push_back({c.a, c.b, c.length});
+    // Relax every pair through the new edge (both orientations), against
+    // snapshots of the endpoint rows so the update is order-independent.
+    const double w = c.length;
+    std::copy_n(&dist[c.a * std::size_t{n}], n, row_a.begin());
+    std::copy_n(&dist[c.b * std::size_t{n}], n, row_b.begin());
+    for (std::size_t i = 0; i < n; ++i) {
+      double* row_i = &dist[i * n];
+      const double via_a = row_i[c.a] + w;
+      const double via_b = row_i[c.b] + w;
+      // Nothing to relax while i cannot reach either endpoint — the
+      // common case early on, when the graph is still mostly islands.
+      if (via_a == kInf && via_b == kInf) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        row_i[j] = std::min(row_i[j], std::min(via_a + row_b[j], via_b + row_a[j]));
+      }
+    }
+  }
+  s.rebuild_csr();
+  return s;
+}
+
+void Spanner::rebuild_csr() {
+  offsets_.assign(nodes_ + 1, 0);
+  for (const SpannerEdge& e : edges_) {
+    ++offsets_[e.a + 1];
+    ++offsets_[e.b + 1];
+  }
+  for (std::size_t i = 1; i <= nodes_; ++i) offsets_[i] += offsets_[i - 1];
+  neighbor_.assign(edges_.size() * 2, 0);
+  length_.assign(edges_.size() * 2, 0.0);
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const SpannerEdge& e : edges_) {
+    neighbor_[cursor[e.a]] = e.b;
+    length_[cursor[e.a]++] = e.length;
+    neighbor_[cursor[e.b]] = e.a;
+    length_[cursor[e.b]++] = e.length;
+  }
+}
+
+std::vector<double> Spanner::distances_from(std::uint32_t source) const {
+  if (source >= nodes_) throw std::out_of_range("Spanner::distances_from: bad source");
+  std::vector<double> dist(nodes_, kInf);
+  MinHeap heap;
+  dist[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    for (std::uint32_t k = offsets_[u]; k < offsets_[u + 1]; ++k) {
+      const std::uint32_t v = neighbor_[k];
+      const double nd = d + length_[k];
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  return dist;
+}
+
+double Spanner::dilation(std::span<const Point> nodes) const {
+  if (nodes.size() != nodes_) throw std::invalid_argument("Spanner::dilation: node count mismatch");
+  double worst = 1.0;
+  for (std::uint32_t a = 0; a < nodes_; ++a) {
+    const std::vector<double> dist = distances_from(a);
+    for (std::uint32_t b = a + 1; b < nodes_; ++b) {
+      const double straight = distance(nodes[a], nodes[b]);
+      if (straight == 0.0) continue;
+      worst = std::max(worst, dist[b] / straight);
+    }
+  }
+  return worst;
+}
+
+void Spanner::relax(std::span<double> potentials, double scale) const {
+  if (potentials.size() != nodes_) throw std::invalid_argument("Spanner::relax: size mismatch");
+  if (!(scale >= 0.0)) throw std::invalid_argument("Spanner::relax: scale must be >= 0");
+  MinHeap heap;
+  for (std::uint32_t i = 0; i < nodes_; ++i) {
+    if (potentials[i] < kInf) heap.emplace(potentials[i], i);
+  }
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > potentials[u]) continue;
+    for (std::uint32_t k = offsets_[u]; k < offsets_[u + 1]; ++k) {
+      const std::uint32_t v = neighbor_[k];
+      const double nd = d + scale * length_[k];
+      if (nd < potentials[v]) {
+        potentials[v] = nd;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+}
+
+}  // namespace locpriv::geo

@@ -1,0 +1,81 @@
+// Greedy δ-spanner over a planar point set, stored as CSR adjacency —
+// the constraint-pruning graph of "Trading Optimality for Performance
+// in Location Privacy" (Chatzikokolakis et al.).
+//
+// A δ-spanner keeps, for every pair of nodes, a graph path of length at
+// most δ times the Euclidean distance. Enforcing geo-indistinguishability
+// constraints only on spanner edges at rate ε/δ then implies the full
+// pairwise constraint set at rate ε (triangle inequality along the
+// path), cutting the optimal-mechanism LP from O(n³) constraints to
+// O(n·E). The classic greedy construction processes candidate pairs by
+// ascending length and inserts an edge only when the current graph
+// distance exceeds δ times the straight-line distance.
+//
+// The adjacency uses the same CSR layout idiom as geo::GridIndex:
+// per-node neighbor spans delimited by an offsets array, so traversals
+// are flat scans. Everything here is single-threaded and deterministic
+// (stable candidate order, index tie-breaks), which keeps downstream
+// matrix builds bit-stable across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace locpriv::geo {
+
+/// One undirected spanner edge; a < b, length is Euclidean, meters.
+struct SpannerEdge {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  double length = 0.0;
+};
+
+class Spanner {
+ public:
+  /// Greedy δ-spanner: candidate pairs sorted by (length, a, b)
+  /// ascending; a pair becomes an edge iff the graph distance in the
+  /// spanner built so far exceeds delta * Euclidean distance. The graph
+  /// distances are kept in an incrementally updated all-pairs table, so
+  /// each candidate check is one lookup and each inserted edge costs an
+  /// O(n²) min-plus update — note the O(n²) working memory. Requires
+  /// delta >= 1 and nodes.size() <= 2^31; throws std::invalid_argument
+  /// otherwise. delta = 1 degenerates to (nearly) the complete graph —
+  /// callers wanting exact pairwise constraints should skip the spanner
+  /// entirely.
+  [[nodiscard]] static Spanner build_greedy(std::span<const Point> nodes, double delta);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_; }
+  [[nodiscard]] std::span<const SpannerEdge> edges() const { return edges_; }
+
+  /// Shortest-path distances from `source` to every node (+inf for
+  /// unreachable nodes; the greedy construction leaves none).
+  [[nodiscard]] std::vector<double> distances_from(std::uint32_t source) const;
+
+  /// Measured dilation: max over node pairs of graph distance divided
+  /// by Euclidean distance (coincident nodes skipped); 1.0 for fewer
+  /// than two nodes. By construction this is <= the delta the spanner
+  /// was built with. O(n · E log n).
+  [[nodiscard]] double dilation(std::span<const Point> nodes) const;
+
+  /// Min-plus relaxation — the spanner-metric envelope step of the
+  /// optimal-mechanism build. Replaces potentials[i] with
+  ///   min_k (potentials[k] + scale * graph_distance(i, k))
+  /// for every node i, in place, via one multi-source Dijkstra seeded
+  /// with the finite entries (+inf entries are pure sinks). Requires
+  /// potentials.size() == node_count() and scale >= 0.
+  void relax(std::span<double> potentials, double scale) const;
+
+ private:
+  std::size_t nodes_ = 0;
+  std::vector<SpannerEdge> edges_;
+  // CSR adjacency over both directions of each edge.
+  std::vector<std::uint32_t> offsets_;   ///< size nodes_ + 1
+  std::vector<std::uint32_t> neighbor_;  ///< size 2 * edges
+  std::vector<double> length_;           ///< parallel to neighbor_
+  void rebuild_csr();
+};
+
+}  // namespace locpriv::geo

@@ -23,6 +23,13 @@ ComposedMechanism::ComposedMechanism(std::vector<std::unique_ptr<Mechanism>> sta
 
 const std::string& ComposedMechanism::name() const { return name_; }
 
+bool ComposedMechanism::deterministic() const {
+  for (const auto& stage : stages_) {
+    if (!stage->deterministic()) return false;
+  }
+  return true;
+}
+
 const std::vector<ParameterSpec>& ComposedMechanism::parameters() const { return specs_; }
 
 std::pair<Mechanism*, std::string> ComposedMechanism::resolve(const std::string& param) const {

@@ -25,6 +25,8 @@ class ComposedMechanism final : public Mechanism {
   explicit ComposedMechanism(std::vector<std::unique_ptr<Mechanism>> stages);
 
   [[nodiscard]] const std::string& name() const override;
+  /// A stack is deterministic exactly when every stage is.
+  [[nodiscard]] bool deterministic() const override;
   [[nodiscard]] const std::vector<ParameterSpec>& parameters() const override;
   void set_parameter(const std::string& param, double value) override;
   [[nodiscard]] double parameter(const std::string& param) const override;

@@ -24,6 +24,9 @@ class GeohashCloaking final : public ParameterizedMechanism {
   GeohashCloaking(geo::LocalProjection projection, int precision);
 
   [[nodiscard]] const std::string& name() const override;
+  /// protect() ignores the seed: the transform is a pure function of
+  /// (input, parameters).
+  [[nodiscard]] bool deterministic() const override { return true; }
   [[nodiscard]] trace::Trace protect(const trace::Trace& input, std::uint64_t seed) const override;
 
   [[nodiscard]] const geo::LocalProjection& projection() const { return projection_; }

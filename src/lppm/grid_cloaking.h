@@ -15,6 +15,9 @@ class GridCloaking final : public ParameterizedMechanism {
   explicit GridCloaking(double cell_size_m);
 
   [[nodiscard]] const std::string& name() const override;
+  /// protect() ignores the seed: the transform is a pure function of
+  /// (input, parameters).
+  [[nodiscard]] bool deterministic() const override { return true; }
   [[nodiscard]] trace::Trace protect(const trace::Trace& input, std::uint64_t seed) const override;
 
   [[nodiscard]] double cell_size() const { return parameter(kCellSize); }

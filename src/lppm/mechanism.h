@@ -58,6 +58,17 @@ class Mechanism {
   /// Stable identifier, e.g. "geo-indistinguishability".
   [[nodiscard]] virtual const std::string& name() const = 0;
 
+  /// True when protect() ignores its seed — the output is a pure
+  /// function of (input, parameters). Deterministic mechanisms (grid
+  /// cloaking, path simplification, ...) declare it by overriding;
+  /// anything sampling randomness (planar Laplace, the alias-served
+  /// optimal mechanism, dropout, ...) keeps the default. Tools use this
+  /// flag instead of guessing from behavior: `locpriv list-mechanisms`
+  /// tags each entry, and the registry conformance test asserts the
+  /// flag matches observed seed-sensitivity, so a stochastic mechanism
+  /// cannot silently masquerade as a deterministic one.
+  [[nodiscard]] virtual bool deterministic() const { return false; }
+
   /// Declared tunable parameters (possibly empty, e.g. for no-op).
   [[nodiscard]] virtual const std::vector<ParameterSpec>& parameters() const = 0;
 

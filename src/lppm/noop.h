@@ -12,6 +12,9 @@ class NoopMechanism final : public ParameterizedMechanism {
   NoopMechanism() : ParameterizedMechanism({}) {}
 
   [[nodiscard]] const std::string& name() const override;
+  /// protect() ignores the seed: the transform is a pure function of
+  /// (input, parameters).
+  [[nodiscard]] bool deterministic() const override { return true; }
   [[nodiscard]] trace::Trace protect(const trace::Trace& input, std::uint64_t seed) const override;
 };
 

@@ -1,0 +1,121 @@
+#include "lppm/optimal_geo_ind.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/grid.h"
+#include "stats/alias.h"
+#include "stats/rng.h"
+
+namespace locpriv::lppm {
+
+struct OptimalGeoInd::Plan {
+  geo::GridExtent extent;
+  std::vector<geo::Point> centers;       ///< cell centers, row-major
+  OptimalMatrixResult solution;          ///< the serving matrix + diagnostics
+  std::vector<stats::AliasTable> rows;   ///< one sampler per true cell
+
+  Plan(const geo::GridExtent& e, std::vector<geo::Point> c, OptimalMatrixResult s)
+      : extent(e), centers(std::move(c)), solution(std::move(s)) {
+    rows.reserve(solution.cells);
+    for (std::size_t i = 0; i < solution.cells; ++i) {
+      rows.emplace_back(
+          std::span<const double>(solution.matrix).subspan(i * solution.cells, solution.cells));
+    }
+  }
+};
+
+OptimalGeoInd::OptimalGeoInd()
+    : ParameterizedMechanism(
+          {ParameterSpec{.name = kEpsilon,
+                         .min_value = 1e-5,
+                         .max_value = 10.0,
+                         .default_value = 0.01,
+                         .scale = Scale::kLog,
+                         .unit = "1/m",
+                         .description = "geo-ind budget per meter over cell centers"},
+           ParameterSpec{.name = kDelta,
+                         .min_value = 1.0,
+                         .max_value = 2.0,
+                         .default_value = 1.1,
+                         .scale = Scale::kLinear,
+                         .unit = "",
+                         .description = "spanner dilation bound; 1 = exact LP constraint set"},
+           ParameterSpec{.name = kCellSize,
+                         .min_value = 50.0,
+                         .max_value = 5000.0,
+                         .default_value = 1000.0,
+                         .scale = Scale::kLog,
+                         .unit = "m",
+                         .description = "grid cell edge length"},
+           ParameterSpec{.name = kHalfExtent,
+                         .min_value = 500.0,
+                         .max_value = 50000.0,
+                         .default_value = 5000.0,
+                         .scale = Scale::kLog,
+                         .unit = "m",
+                         .description = "served square spans [-half_extent, half_extent]^2"}}) {}
+
+OptimalGeoInd::OptimalGeoInd(double epsilon, double delta) : OptimalGeoInd() {
+  set_parameter(kEpsilon, epsilon);
+  set_parameter(kDelta, delta);
+}
+
+const std::string& OptimalGeoInd::name() const {
+  static const std::string kName = "optimal-geo-ind";
+  return kName;
+}
+
+std::shared_ptr<const OptimalGeoInd::Plan> OptimalGeoInd::plan() const {
+  const std::array<double, 4> key = {parameter(kEpsilon), parameter(kDelta), parameter(kCellSize),
+                                     parameter(kHalfExtent)};
+  std::scoped_lock lock(mutex_);
+  if (cache_ && cache_key_ == key) return cache_;
+  const double half = key[3];
+  const geo::BoundingBox box(geo::Point{-half, -half}, geo::Point{half, half});
+  const geo::GridExtent extent(box, key[2]);
+  // Check the cap before materializing centers: a 50 m cell over a
+  // 50 km half-extent would otherwise allocate millions of points just
+  // to be rejected by the solver.
+  if (extent.cell_count() > kMaxOptimalCells) {
+    throw std::invalid_argument("optimal-geo-ind: " + std::to_string(extent.cell_count()) +
+                                " cells exceeds the cap of " + std::to_string(kMaxOptimalCells) +
+                                "; use a coarser cell_size or smaller half_extent");
+  }
+  std::vector<geo::Point> centers;
+  centers.reserve(extent.cell_count());
+  for (std::size_t row = 0; row < extent.rows(); ++row) {
+    for (std::size_t col = 0; col < extent.cols(); ++col) {
+      centers.push_back(extent.cell_center({static_cast<std::int64_t>(col),
+                                            static_cast<std::int64_t>(row)}));
+    }
+  }
+  OptimalMatrixConfig config;
+  config.epsilon = key[0];
+  config.delta = key[1];
+  OptimalMatrixResult solution = build_optimal_matrix(centers, config);
+  cache_ = std::make_shared<const Plan>(extent, std::move(centers), std::move(solution));
+  cache_key_ = key;
+  return cache_;
+}
+
+const OptimalMatrixResult& OptimalGeoInd::solution() const { return plan()->solution; }
+
+trace::Trace OptimalGeoInd::protect(const trace::Trace& input, std::uint64_t seed) const {
+  const std::shared_ptr<const Plan> p = plan();
+  const geo::Point lo = p->extent.box().min();
+  const geo::Point hi = p->extent.box().max();
+  stats::Rng rng(seed);
+  return input.map_locations([&](const trace::Event& e) {
+    const geo::Point clamped{std::clamp(e.location.x, lo.x, hi.x),
+                             std::clamp(e.location.y, lo.y, hi.y)};
+    const std::size_t cell = p->extent.linear_index(clamped);
+    const std::size_t reported = p->rows[cell].sample(rng);
+    return p->centers[reported];
+  });
+}
+
+}  // namespace locpriv::lppm

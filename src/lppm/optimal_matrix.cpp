@@ -1,0 +1,396 @@
+#include "lppm/optimal_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "geo/spanner.h"
+
+namespace locpriv::lppm {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+// Residual-improvement plateau detector: bail out of the envelope
+// iteration when 25 consecutive iterations fail to shrink the residual
+// by at least 0.1% — the stalled near-uniform regime.
+constexpr double kPlateauFactor = 0.999;
+constexpr std::size_t kPlateauPatience = 25;
+// Absolute slack for the post-build feasibility re-check; violations
+// beyond this indicate a solver bug (entries are <= 1, so this is ~1e7
+// ulps of headroom over exp/mul rounding).
+constexpr double kVerifySlack = 1e-9;
+
+std::vector<double> pairwise_distances(std::span<const geo::Point> centers) {
+  const std::size_t n = centers.size();
+  std::vector<double> d(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d[i * n + i] = 0.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = geo::distance(centers[i], centers[j]);
+      d[i * n + j] = v;
+      d[j * n + i] = v;
+    }
+  }
+  return d;
+}
+
+/// Uniform-prior expected loss of the row-normalized matrix.
+double expected_loss(const std::vector<double>& x, const std::vector<double>& d, std::size_t n) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_loss = 0.0;
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      row_loss += x[i * n + j] * d[i * n + j];
+      row_sum += x[i * n + j];
+    }
+    total += row_loss / row_sum;
+  }
+  return total / static_cast<double>(n);
+}
+
+double row_sum_residual(const std::vector<double>& x, std::size_t n) {
+  double residual = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < n; ++j) s += x[i * n + j];
+    residual = std::max(residual, std::abs(s - 1.0));
+  }
+  return residual;
+}
+
+struct EnvelopeOutcome {
+  std::vector<double> matrix;
+  double residual = kInf;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Exact-path envelope iteration: dense max-times products against the
+/// kernel W_ik = e^{-eps d(i,k)}, alternated with row normalization.
+EnvelopeOutcome envelope_exact(const std::vector<double>& d, std::size_t n,
+                               const OptimalMatrixConfig& config) {
+  std::vector<double> w(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) w[i] = std::exp(-config.epsilon * d[i]);
+  std::vector<double> x(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) x[i * n + i] = 1.0;
+  std::vector<double> xe(n * n);
+
+  EnvelopeOutcome out;
+  double best_residual = kInf;
+  std::size_t stalled = 0;
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    out.iterations = iter + 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      double* row_out = &xe[i * n];
+      std::fill(row_out, row_out + n, 0.0);
+      const double* wi = &w[i * n];
+      for (std::size_t k = 0; k < n; ++k) {
+        const double wk = wi[k];
+        const double* row_k = &x[k * n];
+        for (std::size_t j = 0; j < n; ++j) row_out[j] = std::max(row_out[j], wk * row_k[j]);
+      }
+    }
+    out.residual = row_sum_residual(xe, n);
+    if (out.residual <= config.tolerance) {
+      out.converged = true;
+      break;
+    }
+    if (out.residual < best_residual * kPlateauFactor) {
+      best_residual = out.residual;
+      stalled = 0;
+    } else if (++stalled >= kPlateauPatience) {
+      break;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < n; ++j) s += xe[i * n + j];
+      const double inv = 1.0 / s;
+      for (std::size_t j = 0; j < n; ++j) x[i * n + j] = xe[i * n + j] * inv;
+    }
+  }
+  out.matrix = std::move(xe);
+  return out;
+}
+
+/// Spanner-path envelope iteration. The envelope is the max-times
+/// closure of the matrix over the spanner edges at rate eps' =
+/// eps/delta (edge factor e^{-eps' len}, precomputed once), computed
+/// for all n columns at once by Bellman-Ford sweeps of the edge list:
+/// relaxing one edge touches two contiguous rows, so each sweep is
+/// O(E n) of straight-line max/mul work. Intermediate iterations take
+/// one forward + one backward sweep — full propagation there would be
+/// wasted, since normalization perturbs every row again — and only
+/// when the residual first dips under tolerance (or the iteration
+/// bails out) does the closure run to its fixed point, at which point
+/// the iterate satisfies the edge constraints exactly and hence, by
+/// the triangle inequality along spanner paths, the full pairwise set
+/// at rate eps.
+EnvelopeOutcome envelope_spanner(const geo::Spanner& spanner, std::size_t n, double eps_prime,
+                                 const OptimalMatrixConfig& config) {
+  std::vector<double> x(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) x[i * n + i] = 1.0;
+  const std::span<const geo::SpannerEdge> edges = spanner.edges();
+  std::vector<double> factor(edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    factor[e] = std::exp(-eps_prime * edges[e].length);
+  }
+
+  // Unchecked relaxation for the per-iteration sweeps: the split loops
+  // with restrict-qualified rows (an edge never self-loops) vectorize.
+  const auto relax_fast = [&](std::size_t e) {
+    double* __restrict ra = &x[edges[e].a * n];
+    double* __restrict rb = &x[edges[e].b * n];
+    const double f = factor[e];
+    for (std::size_t j = 0; j < n; ++j) rb[j] = std::max(rb[j], f * ra[j]);
+    for (std::size_t j = 0; j < n; ++j) ra[j] = std::max(ra[j], f * rb[j]);
+  };
+  // Change-tracking relaxation for the final closure.
+  const auto relax_checked = [&](std::size_t e) {
+    double* ra = &x[edges[e].a * n];
+    double* rb = &x[edges[e].b * n];
+    const double f = factor[e];
+    bool changed = false;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double a0 = ra[j];
+      const double b0 = rb[j];
+      const double a1 = std::max(a0, f * b0);
+      const double b1 = std::max(b0, f * a0);
+      ra[j] = a1;
+      rb[j] = b1;
+      changed |= (a1 > a0) | (b1 > b0);
+    }
+    return changed;
+  };
+  const auto close_fully = [&] {
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (std::size_t e = 0; e < edges.size(); ++e) changed |= relax_checked(e);
+      for (std::size_t e = edges.size(); e-- > 0;) changed |= relax_checked(e);
+    }
+  };
+
+  std::vector<double> row_sum(n);
+  const auto measure_residual = [&] {
+    double residual = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      const double* row = &x[i * n];
+      for (std::size_t j = 0; j < n; ++j) s += row[j];
+      row_sum[i] = s;
+      residual = std::max(residual, std::abs(s - 1.0));
+    }
+    return residual;
+  };
+
+  EnvelopeOutcome out;
+  double best_residual = kInf;
+  std::size_t stalled = 0;
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    out.iterations = iter + 1;
+    for (std::size_t e = 0; e < edges.size(); ++e) relax_fast(e);
+    for (std::size_t e = edges.size(); e-- > 0;) relax_fast(e);
+    out.residual = measure_residual();
+    if (out.residual <= config.tolerance) {
+      close_fully();
+      out.residual = measure_residual();
+      if (out.residual <= config.tolerance) {
+        out.converged = true;
+        break;
+      }
+    }
+    if (out.residual < best_residual * kPlateauFactor) {
+      best_residual = out.residual;
+      stalled = 0;
+    } else if (++stalled >= kPlateauPatience) {
+      break;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const double inv = 1.0 / row_sum[i];
+      double* row = &x[i * n];
+      for (std::size_t j = 0; j < n; ++j) row[j] *= inv;
+    }
+  }
+  if (!out.converged) {
+    // Whatever the exit path, hand back a closed (hence feasible)
+    // iterate; its row sums then tell the caller how usable it is.
+    close_fully();
+    out.residual = measure_residual();
+  }
+  out.matrix = std::move(x);
+  return out;
+}
+
+/// Half-rate exponential mechanism — feasible in closed form.
+std::vector<double> exponential_candidate(const std::vector<double>& d, std::size_t n,
+                                          double epsilon) {
+  std::vector<double> x(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double z = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      x[i * n + j] = std::exp(-0.5 * epsilon * d[i * n + j]);
+      z += x[i * n + j];
+    }
+    const double inv = 1.0 / z;
+    for (std::size_t j = 0; j < n; ++j) x[i * n + j] *= inv;
+  }
+  return x;
+}
+
+/// Always report the loss-minimizing column — the eps -> 0 optimum.
+std::vector<double> best_column_candidate(const std::vector<double>& d, std::size_t n) {
+  std::size_t best_j = 0;
+  double best_total = kInf;
+  for (std::size_t j = 0; j < n; ++j) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) total += d[i * n + j];
+    if (total < best_total) {
+      best_total = total;
+      best_j = j;
+    }
+  }
+  std::vector<double> x(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) x[i * n + best_j] = 1.0;
+  return x;
+}
+
+/// min over all ordered pairs and columns of e^{eps d(i,k)} x_kj - x_ij.
+double dense_constraint_margin(const std::vector<double>& x, const std::vector<double>& d,
+                               std::size_t n, double epsilon) {
+  double margin = kInf;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k == i) continue;
+      const double bound = std::exp(epsilon * d[i * n + k]);
+      const double* row_i = &x[i * n];
+      const double* row_k = &x[k * n];
+      for (std::size_t j = 0; j < n; ++j) {
+        margin = std::min(margin, bound * row_k[j] - row_i[j]);
+      }
+    }
+  }
+  return n > 1 ? margin : 0.0;
+}
+
+/// Edge-only margin at the spanner rate; the triangle inequality along
+/// spanner paths extends it to every pair at the full rate.
+double spanner_constraint_margin(const std::vector<double>& x, const geo::Spanner& spanner,
+                                 std::size_t n, double eps_prime) {
+  double margin = kInf;
+  for (const geo::SpannerEdge& e : spanner.edges()) {
+    const double bound = std::exp(eps_prime * e.length);
+    const double* row_a = &x[e.a * static_cast<std::size_t>(n)];
+    const double* row_b = &x[e.b * static_cast<std::size_t>(n)];
+    for (std::size_t j = 0; j < n; ++j) {
+      margin = std::min(margin, bound * row_b[j] - row_a[j]);
+      margin = std::min(margin, bound * row_a[j] - row_b[j]);
+    }
+  }
+  return spanner.edges().empty() ? 0.0 : margin;
+}
+
+}  // namespace
+
+OptimalMatrixResult build_optimal_matrix(std::span<const geo::Point> centers,
+                                         const OptimalMatrixConfig& config) {
+  const std::size_t n = centers.size();
+  if (n == 0) throw std::invalid_argument("build_optimal_matrix: no cells");
+  if (n > kMaxOptimalCells) {
+    throw std::invalid_argument("build_optimal_matrix: " + std::to_string(n) +
+                                " cells exceeds the cap of " + std::to_string(kMaxOptimalCells) +
+                                "; use a coarser cell size or smaller extent");
+  }
+  if (!(config.epsilon > 0.0) || !std::isfinite(config.epsilon)) {
+    throw std::invalid_argument("build_optimal_matrix: epsilon must be positive and finite");
+  }
+  if (!(config.delta >= 1.0) || !std::isfinite(config.delta)) {
+    throw std::invalid_argument("build_optimal_matrix: delta must be >= 1 and finite");
+  }
+  if (config.max_iterations == 0) {
+    throw std::invalid_argument("build_optimal_matrix: max_iterations must be >= 1");
+  }
+
+  const bool exact = config.delta <= 1.0 + 1e-9;
+  const std::vector<double> d = pairwise_distances(centers);
+
+  OptimalMatrixResult result;
+  result.cells = n;
+
+  geo::Spanner spanner;
+  double eps_prime = config.epsilon;
+  EnvelopeOutcome envelope;
+  if (exact) {
+    envelope = envelope_exact(d, n, config);
+  } else {
+    spanner = geo::Spanner::build_greedy(centers, config.delta);
+    eps_prime = config.epsilon / config.delta;
+    envelope = envelope_spanner(spanner, n, eps_prime, config);
+    result.spanner_edges = spanner.edges().size();
+    result.spanner_dilation = spanner.dilation(centers);
+  }
+  result.iterations = envelope.iterations;
+  result.envelope_converged = envelope.converged;
+  result.residual = envelope.residual;
+
+  const bool envelope_eligible = envelope.residual <= config.accept_residual;
+  result.loss_envelope = envelope_eligible ? expected_loss(envelope.matrix, d, n) : kNaN;
+
+  std::vector<double> exp_candidate = exponential_candidate(d, n, config.epsilon);
+  result.loss_exponential = expected_loss(exp_candidate, d, n);
+  std::vector<double> column_candidate = best_column_candidate(d, n);
+  result.loss_best_column = expected_loss(column_candidate, d, n);
+
+  // Every candidate is feasible; serve the one with the lowest loss
+  // (strict improvement, so ties keep the earlier — better-mixing —
+  // candidate).
+  result.solver = OptimalSolver::kExponential;
+  result.expected_loss = result.loss_exponential;
+  if (result.loss_best_column < result.expected_loss) {
+    result.solver = OptimalSolver::kBestColumn;
+    result.expected_loss = result.loss_best_column;
+  }
+  if (envelope_eligible && result.loss_envelope < result.expected_loss) {
+    result.solver = OptimalSolver::kEnvelope;
+    result.expected_loss = result.loss_envelope;
+  }
+  switch (result.solver) {
+    case OptimalSolver::kEnvelope:
+      result.matrix = std::move(envelope.matrix);
+      break;
+    case OptimalSolver::kExponential:
+      result.matrix = std::move(exp_candidate);
+      result.residual = row_sum_residual(result.matrix, n);
+      break;
+    case OptimalSolver::kBestColumn:
+      result.matrix = std::move(column_candidate);
+      result.residual = 0.0;
+      break;
+  }
+
+  if (config.verify) {
+    const double residual = row_sum_residual(result.matrix, n);
+    if (residual > std::max(config.accept_residual, 1e-12)) {
+      throw std::runtime_error("build_optimal_matrix: row-sum residual " +
+                               std::to_string(residual) + " after build");
+    }
+    // The envelope iterate on the spanner path is Lipschitz in the
+    // graph metric, so checking its edges suffices; every other case is
+    // checked densely against the Euclidean metric at the full rate.
+    if (!exact && result.solver == OptimalSolver::kEnvelope) {
+      result.constraint_margin = spanner_constraint_margin(result.matrix, spanner, n, eps_prime);
+    } else {
+      result.constraint_margin = dense_constraint_margin(result.matrix, d, n, config.epsilon);
+    }
+    if (result.constraint_margin < -kVerifySlack) {
+      throw std::runtime_error("build_optimal_matrix: geo-ind constraint violated by " +
+                               std::to_string(-result.constraint_margin));
+    }
+  }
+  return result;
+}
+
+}  // namespace locpriv::lppm

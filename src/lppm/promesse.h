@@ -20,6 +20,9 @@ class Promesse final : public ParameterizedMechanism {
   explicit Promesse(double alpha_m);
 
   [[nodiscard]] const std::string& name() const override;
+  /// protect() ignores the seed: the transform is a pure function of
+  /// (input, parameters).
+  [[nodiscard]] bool deterministic() const override { return true; }
   [[nodiscard]] trace::Trace protect(const trace::Trace& input, std::uint64_t seed) const override;
 
   [[nodiscard]] double alpha() const { return parameter(kAlpha); }

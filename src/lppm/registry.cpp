@@ -9,6 +9,7 @@
 #include "lppm/geo_ind.h"
 #include "lppm/grid_cloaking.h"
 #include "lppm/noop.h"
+#include "lppm/optimal_geo_ind.h"
 #include "lppm/promesse.h"
 #include "lppm/simplification.h"
 #include "lppm/temporal_cloaking.h"
@@ -23,6 +24,7 @@ const std::map<std::string, Factory>& factories() {
       {"geo-indistinguishability", [] { return std::make_unique<GeoIndistinguishability>(); }},
       {"gaussian-perturbation", [] { return std::make_unique<GaussianPerturbation>(); }},
       {"grid-cloaking", [] { return std::make_unique<GridCloaking>(); }},
+      {"optimal-geo-ind", [] { return std::make_unique<OptimalGeoInd>(); }},
       {"temporal-cloaking", [] { return std::make_unique<TemporalCloaking>(); }},
       {"promesse", [] { return std::make_unique<Promesse>(); }},
       {"release-dropout", [] { return std::make_unique<ReleaseDropout>(); }},
@@ -39,6 +41,10 @@ std::vector<std::string> mechanism_names() {
   names.reserve(factories().size());
   for (const auto& [name, factory] : factories()) names.push_back(name);
   return names;
+}
+
+bool mechanism_is_deterministic(const std::string& name) {
+  return create_mechanism(name)->deterministic();
 }
 
 std::unique_ptr<Mechanism> create_mechanism(const std::string& name) {

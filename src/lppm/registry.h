@@ -13,6 +13,11 @@ namespace locpriv::lppm {
 /// Names of all built-in mechanisms.
 [[nodiscard]] std::vector<std::string> mechanism_names();
 
+/// True when the named mechanism declares itself deterministic
+/// (Mechanism::deterministic — protect() ignores the seed). Throws
+/// std::invalid_argument for an unknown name.
+[[nodiscard]] bool mechanism_is_deterministic(const std::string& name);
+
 /// Creates a mechanism by name with default parameters. Throws
 /// std::invalid_argument for an unknown name (message lists valid names).
 [[nodiscard]] std::unique_ptr<Mechanism> create_mechanism(const std::string& name);

@@ -21,6 +21,9 @@ class PathSimplification final : public ParameterizedMechanism {
   explicit PathSimplification(double tolerance_m);
 
   [[nodiscard]] const std::string& name() const override;
+  /// protect() ignores the seed: the transform is a pure function of
+  /// (input, parameters).
+  [[nodiscard]] bool deterministic() const override { return true; }
   [[nodiscard]] trace::Trace protect(const trace::Trace& input, std::uint64_t seed) const override;
 
   [[nodiscard]] double tolerance() const { return parameter(kTolerance); }

@@ -17,6 +17,9 @@ class TemporalCloaking final : public ParameterizedMechanism {
   explicit TemporalCloaking(double window_s);
 
   [[nodiscard]] const std::string& name() const override;
+  /// protect() ignores the seed: the transform is a pure function of
+  /// (input, parameters).
+  [[nodiscard]] bool deterministic() const override { return true; }
   [[nodiscard]] trace::Trace protect(const trace::Trace& input, std::uint64_t seed) const override;
 
   [[nodiscard]] double window() const { return parameter(kWindow); }

@@ -1,0 +1,57 @@
+#include "stats/alias.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace locpriv::stats {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  if (weights.empty()) throw std::invalid_argument("AliasTable: empty weight vector");
+  if (weights.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("AliasTable: too many outcomes");
+  }
+  const std::size_t n = weights.size();
+  weights_.assign(weights.begin(), weights.end());
+  total_ = 0.0;
+  for (const double w : weights_) {
+    if (!std::isfinite(w) || w < 0.0) {
+      throw std::invalid_argument("AliasTable: weights must be finite and nonnegative");
+    }
+    total_ += w;
+  }
+  if (!(total_ > 0.0)) throw std::invalid_argument("AliasTable: all weights are zero");
+
+  // Vose's partition: buckets with scaled weight below 1 are "small",
+  // the rest "large"; each small bucket is topped up by one large
+  // bucket. Plain index stacks filled in ascending order keep the
+  // construction fully deterministic.
+  prob_.assign(n, 1.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = weights_[i] * static_cast<double>(n) / total_;
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    const std::uint32_t l = large.back();
+    small.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are exactly 1 up to rounding; their alias is never taken.
+  for (const std::uint32_t l : large) prob_[l] = 1.0;
+  for (const std::uint32_t s : small) prob_[s] = 1.0;
+}
+
+}  // namespace locpriv::stats

@@ -1,0 +1,54 @@
+// Walker/Vose alias method — O(1) sampling from a fixed discrete
+// distribution.
+//
+// An AliasTable preprocesses a weight vector into two arrays (a
+// per-bucket acceptance threshold and an alias outcome) so that each
+// draw costs one uniform index plus one uniform real, independent of
+// the number of outcomes. This is the serving core of the optimal
+// geo-indistinguishable mechanism: one table per grid row turns the
+// precomputed stochastic matrix into one-draw-per-event protection,
+// cheaper at serve time than the planar-Laplace inverse CDF.
+//
+// Construction is deterministic (stable two-stack partition, no
+// randomness), so tables built from the same weights are bit-identical
+// across runs and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace locpriv::stats {
+
+class AliasTable {
+ public:
+  /// Builds the table from nonnegative finite weights (not necessarily
+  /// normalized). Requires at least one strictly positive weight;
+  /// throws std::invalid_argument on an empty span, a negative or
+  /// non-finite weight, or an all-zero vector.
+  explicit AliasTable(std::span<const double> weights);
+
+  /// Number of outcomes.
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+
+  /// Draws one outcome index in [0, size()). Consumes exactly two RNG
+  /// values per call regardless of the outcome.
+  [[nodiscard]] std::size_t sample(Rng& rng) const {
+    const std::size_t i = static_cast<std::size_t>(rng.uniform_index(prob_.size()));
+    return rng.uniform() < prob_[i] ? i : alias_[i];
+  }
+
+  /// Exact probability the table assigns to outcome `i`
+  /// (weights[i] / sum of weights). Requires i < size().
+  [[nodiscard]] double probability(std::size_t i) const { return weights_[i] / total_; }
+
+ private:
+  std::vector<double> prob_;          ///< acceptance threshold per bucket
+  std::vector<std::uint32_t> alias_;  ///< fallback outcome per bucket
+  std::vector<double> weights_;       ///< original weights, for probability()
+  double total_ = 0.0;                ///< sum of weights
+};
+
+}  // namespace locpriv::stats

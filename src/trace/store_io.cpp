@@ -5,8 +5,10 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstddef>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <limits>
@@ -99,6 +101,14 @@ std::size_t file_size_of(const std::string& path) {
   return static_cast<std::size_t>(st.st_size);
 }
 
+/// Sibling temp-file name for an atomic write: same directory (so the
+/// final rename cannot cross filesystems), unique per process and call.
+std::string temp_path_for(const std::string& path) {
+  static std::atomic<unsigned> counter{0};
+  return path + ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
 template <typename T>
 const T* section_at(const char* base, std::size_t offset) {
   // Sections are 8-byte aligned relative to base; base is page-aligned
@@ -139,46 +149,61 @@ void save_store(const std::string& path, const TraceStore& store) {
 
   const Layout l = layout_for(users, events, blob_bytes);
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) bad(path, "cannot open for writing");
+  // Atomic replace: write a sibling temp file, flush it, then rename it
+  // over the target. A crash or full disk mid-write leaves at worst a
+  // stray temp file — never a plausible-looking dataset with a zero
+  // checksum — and readers mapping the old file keep its inode alive.
+  const std::string tmp = temp_path_for(path);
+  try {
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) bad(path, "cannot open for writing");
 
-  Header h{};
-  h.magic = kBinaryDatasetMagic;
-  h.version = kBinaryDatasetVersion;
-  h.endian = kEndianTag;
-  h.user_count = users;
-  h.event_count = events;
-  h.id_blob_bytes = blob_bytes;
-  h.checksum = 0;  // patched after the payload is written
-  h.file_bytes = l.total;
-  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+      Header h{};
+      h.magic = kBinaryDatasetMagic;
+      h.version = kBinaryDatasetVersion;
+      h.endian = kEndianTag;
+      h.user_count = users;
+      h.event_count = events;
+      h.id_blob_bytes = blob_bytes;
+      h.checksum = 0;  // patched (still inside the temp file) after the payload
+      h.file_bytes = l.total;
+      out.write(reinterpret_cast<const char*>(&h), sizeof(h));
 
-  std::uint64_t sum = 0xcbf29ce484222325ULL;
-  const auto write_hashed = [&](const void* data, std::size_t bytes) {
-    out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
-    sum = fnv1a64(data, bytes, sum);
-  };
-  const char pad[8] = {};
-  const auto write_padding = [&](std::size_t bytes) {
-    const std::size_t padding = align8(bytes) - bytes;
-    if (padding > 0) write_hashed(pad, padding);
-  };
+      std::uint64_t sum = 0xcbf29ce484222325ULL;
+      const auto write_hashed = [&](const void* data, std::size_t bytes) {
+        out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+        sum = fnv1a64(data, bytes, sum);
+      };
+      const char pad[8] = {};
+      const auto write_padding = [&](std::size_t bytes) {
+        const std::size_t padding = align8(bytes) - bytes;
+        if (padding > 0) write_hashed(pad, padding);
+      };
 
-  write_hashed(store.offsets().data(), (users + 1) * sizeof(std::uint32_t));
-  write_padding((users + 1) * sizeof(std::uint32_t));
-  write_hashed(id_offsets.data(), (users + 1) * sizeof(std::uint32_t));
-  write_padding((users + 1) * sizeof(std::uint32_t));
-  write_hashed(blob.data(), blob_bytes);
-  write_padding(blob_bytes);
-  write_hashed(store.xs().data(), events * sizeof(double));
-  write_hashed(store.ys().data(), events * sizeof(double));
-  write_hashed(store.times().data(), events * sizeof(Timestamp));
+      write_hashed(store.offsets().data(), (users + 1) * sizeof(std::uint32_t));
+      write_padding((users + 1) * sizeof(std::uint32_t));
+      write_hashed(id_offsets.data(), (users + 1) * sizeof(std::uint32_t));
+      write_padding((users + 1) * sizeof(std::uint32_t));
+      write_hashed(blob.data(), blob_bytes);
+      write_padding(blob_bytes);
+      write_hashed(store.xs().data(), events * sizeof(double));
+      write_hashed(store.ys().data(), events * sizeof(double));
+      write_hashed(store.times().data(), events * sizeof(Timestamp));
 
-  // Patch the checksum now that the payload has been hashed.
-  out.seekp(static_cast<std::streamoff>(offsetof(Header, checksum)));
-  out.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
-  out.flush();
-  if (!out) bad(path, "write failed");
+      // Patch the checksum now that the payload has been hashed.
+      out.seekp(static_cast<std::streamoff>(offsetof(Header, checksum)));
+      out.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
+      out.flush();
+      if (!out) bad(path, "write failed");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      bad(path, std::string("rename failed: ") + std::strerror(errno));
+    }
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
 }
 
 std::shared_ptr<const TraceStore> load_store(const std::string& path, const LoadOptions& opts) {
@@ -186,13 +211,22 @@ std::shared_ptr<const TraceStore> load_store(const std::string& path, const Load
   if (size < kHeaderBytes) bad(path, "truncated: shorter than the 64-byte header");
 
   // Acquire the bytes: a shared read-only mapping, or one heap read.
+  // When mapping fails (e.g. a filesystem refusing mmap, or a kernel
+  // rejecting the tiny mapping of an empty dataset), fall back to the
+  // heap loader instead of failing — both paths yield the same bytes,
+  // and validation below catches anything actually wrong with them.
   std::shared_ptr<const void> backing;
   const char* base = nullptr;
   if (opts.use_mmap) {
-    auto mapping = std::make_shared<const MappedFile>(path, size);
-    base = mapping->data();
-    backing = std::move(mapping);
-  } else {
+    try {
+      auto mapping = std::make_shared<const MappedFile>(path, size);
+      base = mapping->data();
+      backing = std::move(mapping);
+    } catch (const std::runtime_error&) {
+      base = nullptr;  // fall through to the heap read
+    }
+  }
+  if (base == nullptr) {
     auto buffer = std::make_shared<std::vector<char>>(size);
     std::ifstream in(path, std::ios::binary);
     if (!in || !in.read(buffer->data(), static_cast<std::streamsize>(size))) {

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "geo/point.h"
+#include "geo/spanner.h"
+#include "stats/rng.h"
+
+namespace locpriv::geo {
+namespace {
+
+std::vector<Point> grid_points(int cols, int rows, double spacing) {
+  std::vector<Point> pts;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) pts.push_back({c * spacing, r * spacing});
+  }
+  return pts;
+}
+
+std::vector<Point> random_points(std::size_t n, double half_extent, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(-half_extent, half_extent), rng.uniform(-half_extent, half_extent)});
+  }
+  return pts;
+}
+
+TEST(Spanner, RejectsDilationBelowOne) {
+  const std::vector<Point> pts = grid_points(2, 2, 100.0);
+  EXPECT_THROW((void)Spanner::build_greedy(pts, 0.99), std::invalid_argument);
+  EXPECT_THROW((void)Spanner::build_greedy(pts, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+}
+
+TEST(Spanner, TrivialSizes) {
+  const Spanner empty = Spanner::build_greedy({}, 1.5);
+  EXPECT_EQ(empty.node_count(), 0u);
+  EXPECT_TRUE(empty.edges().empty());
+  EXPECT_DOUBLE_EQ(empty.dilation({}), 1.0);
+
+  const std::vector<Point> one{{3.0, 4.0}};
+  const Spanner single = Spanner::build_greedy(one, 1.5);
+  EXPECT_EQ(single.node_count(), 1u);
+  EXPECT_TRUE(single.edges().empty());
+  EXPECT_DOUBLE_EQ(single.dilation(one), 1.0);
+}
+
+TEST(Spanner, CoincidentNodesAlwaysGetAnEdge) {
+  const std::vector<Point> pts{{0.0, 0.0}, {0.0, 0.0}, {100.0, 0.0}};
+  const Spanner s = Spanner::build_greedy(pts, 1.5);
+  bool found = false;
+  for (const SpannerEdge& e : s.edges()) {
+    if (e.a == 0 && e.b == 1) {
+      found = true;
+      EXPECT_DOUBLE_EQ(e.length, 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+  const std::vector<double> d = s.distances_from(0);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+}
+
+// The defining property: for every pair, the graph distance is at most
+// delta times the straight-line distance (and at least the straight-line
+// distance, since edges are Euclidean lengths).
+TEST(Spanner, DilationWithinBoundOnGrid) {
+  const std::vector<Point> pts = grid_points(8, 8, 500.0);
+  for (const double delta : {1.05, 1.2, 1.5}) {
+    const Spanner s = Spanner::build_greedy(pts, delta);
+    const double measured = s.dilation(pts);
+    EXPECT_LE(measured, delta + 1e-12) << "delta=" << delta;
+    EXPECT_GE(measured, 1.0);
+    for (std::uint32_t a = 0; a < pts.size(); a += 13) {
+      const std::vector<double> dist = s.distances_from(a);
+      for (std::uint32_t b = 0; b < pts.size(); ++b) {
+        EXPECT_GE(dist[b], distance(pts[a], pts[b]) - 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Spanner, DilationWithinBoundOnRandomPoints) {
+  for (const std::uint64_t seed : {7ULL, 8ULL, 9ULL}) {
+    const std::vector<Point> pts = random_points(60, 4000.0, seed);
+    const Spanner s = Spanner::build_greedy(pts, 1.3);
+    EXPECT_LE(s.dilation(pts), 1.3 + 1e-12) << "seed=" << seed;
+  }
+}
+
+// Larger dilation must never need more edges. Even delta = 1 is only
+// *nearly* the complete graph on a lattice: collinear pairs are covered
+// exactly through the points between them.
+TEST(Spanner, LargerDilationPrunesMoreEdges) {
+  const std::vector<Point> pts = grid_points(6, 6, 500.0);
+  const std::size_t complete = pts.size() * (pts.size() - 1) / 2;
+  const Spanner tight = Spanner::build_greedy(pts, 1.0);
+  const Spanner mid = Spanner::build_greedy(pts, 1.2);
+  const Spanner loose = Spanner::build_greedy(pts, 1.8);
+  EXPECT_LE(tight.edges().size(), complete);
+  EXPECT_LE(mid.edges().size(), tight.edges().size());
+  EXPECT_LE(loose.edges().size(), mid.edges().size());
+  EXPECT_LT(loose.edges().size(), complete);
+  EXPECT_GE(loose.edges().size(), pts.size() - 1);  // must stay connected
+}
+
+TEST(Spanner, ConstructionIsDeterministic) {
+  const std::vector<Point> pts = random_points(40, 2000.0, 123);
+  const Spanner a = Spanner::build_greedy(pts, 1.15);
+  const Spanner b = Spanner::build_greedy(pts, 1.15);
+  ASSERT_EQ(a.edges().size(), b.edges().size());
+  for (std::size_t i = 0; i < a.edges().size(); ++i) {
+    EXPECT_EQ(a.edges()[i].a, b.edges()[i].a);
+    EXPECT_EQ(a.edges()[i].b, b.edges()[i].b);
+    EXPECT_EQ(a.edges()[i].length, b.edges()[i].length);  // bitwise
+  }
+}
+
+// relax() must agree with its definition: potentials[i] becomes
+// min_k (old[k] + scale * graph_distance(i, k)).
+TEST(Spanner, RelaxMatchesBruteForceEnvelope) {
+  const std::vector<Point> pts = grid_points(5, 5, 400.0);
+  const Spanner s = Spanner::build_greedy(pts, 1.2);
+  const std::size_t n = pts.size();
+  stats::Rng rng(99);
+  std::vector<double> potentials(n);
+  for (double& p : potentials) p = rng.uniform(0.0, 5.0);
+  const std::vector<double> before = potentials;
+  const double scale = 0.003;
+  s.relax(potentials, scale);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    double expected = std::numeric_limits<double>::infinity();
+    for (std::uint32_t k = 0; k < n; ++k) {
+      const std::vector<double> d = s.distances_from(k);
+      expected = std::min(expected, before[k] + scale * d[i]);
+    }
+    EXPECT_NEAR(potentials[i], expected, 1e-9) << i;
+  }
+}
+
+TEST(Spanner, RelaxValidatesArguments) {
+  const std::vector<Point> pts = grid_points(2, 2, 100.0);
+  const Spanner s = Spanner::build_greedy(pts, 1.2);
+  std::vector<double> wrong(3, 0.0);
+  EXPECT_THROW(s.relax(wrong, 1.0), std::invalid_argument);
+  std::vector<double> ok(4, 0.0);
+  EXPECT_THROW(s.relax(ok, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)s.distances_from(4), std::out_of_range);
+  EXPECT_THROW((void)s.dilation({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace locpriv::geo

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/alias.h"
+#include "stats/rng.h"
+
+namespace locpriv::stats {
+namespace {
+
+TEST(AliasTable, RejectsInvalidWeights) {
+  EXPECT_THROW((void)AliasTable(std::span<const double>{}), std::invalid_argument);
+  const std::vector<double> negative{1.0, -0.5};
+  EXPECT_THROW((void)AliasTable(std::span<const double>(negative)), std::invalid_argument);
+  const std::vector<double> nan{1.0, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW((void)AliasTable(std::span<const double>(nan)), std::invalid_argument);
+  const std::vector<double> inf{1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW((void)AliasTable(std::span<const double>(inf)), std::invalid_argument);
+  const std::vector<double> zeros{0.0, 0.0, 0.0};
+  EXPECT_THROW((void)AliasTable(std::span<const double>(zeros)), std::invalid_argument);
+}
+
+TEST(AliasTable, ProbabilitiesMatchNormalizedWeights) {
+  const std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+  const AliasTable table(w);
+  EXPECT_EQ(table.size(), 4u);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_DOUBLE_EQ(table.probability(i), w[i] / 10.0);
+  }
+}
+
+TEST(AliasTable, SingleOutcomeAlwaysDrawn) {
+  const std::vector<double> w{2.5};
+  const AliasTable table(w);
+  Rng rng(derive_seed(42, 0));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(rng), 0u);
+}
+
+TEST(AliasTable, ZeroWeightOutcomesNeverDrawn) {
+  const std::vector<double> w{1.0, 0.0, 2.0, 0.0};
+  const AliasTable table(w);
+  EXPECT_DOUBLE_EQ(table.probability(1), 0.0);
+  EXPECT_DOUBLE_EQ(table.probability(3), 0.0);
+  Rng rng(derive_seed(42, 1));
+  for (int i = 0; i < 10000; ++i) {
+    const std::size_t outcome = table.sample(rng);
+    EXPECT_TRUE(outcome == 0 || outcome == 2);
+  }
+}
+
+TEST(AliasTable, SamplingIsDeterministicPerSeed) {
+  const std::vector<double> w{3.0, 1.0, 2.0};
+  const AliasTable table(w);
+  Rng a(derive_seed(7, 0));
+  Rng b(derive_seed(7, 0));
+  Rng c(derive_seed(8, 0));
+  bool differs = false;
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t sa = table.sample(a);
+    EXPECT_EQ(sa, table.sample(b));
+    differs = differs || sa != table.sample(c);
+  }
+  EXPECT_TRUE(differs);
+}
+
+// Chi-square goodness of fit of 100k draws against the exact
+// distribution. The seed is fixed, so this is a regression gate, not a
+// flaky statistical coin flip; 16.27 is the p = 0.001 critical value at
+// 3 degrees of freedom.
+TEST(AliasTable, ChiSquareMatchesWeights) {
+  const std::vector<double> w{4.0, 3.0, 2.0, 1.0};
+  const AliasTable table(w);
+  Rng rng(derive_seed(2024, 5));
+  const std::size_t draws = 100000;
+  std::vector<std::size_t> counts(w.size(), 0);
+  for (std::size_t i = 0; i < draws; ++i) ++counts[table.sample(rng)];
+  double chi2 = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double expected = table.probability(i) * static_cast<double>(draws);
+    const double diff = static_cast<double>(counts[i]) - expected;
+    chi2 += diff * diff / expected;
+  }
+  EXPECT_LT(chi2, 16.27);
+}
+
+// Two RNG values per draw, exactly — the serving-cost contract the
+// optimal mechanism's throughput numbers rest on.
+TEST(AliasTable, ConsumesExactlyTwoRngValuesPerDraw) {
+  const std::vector<double> w{1.0, 1.0, 5.0};
+  const AliasTable table(w);
+  Rng sampler(derive_seed(1, 2));
+  Rng tracker(derive_seed(1, 2));
+  for (int i = 0; i < 50; ++i) {
+    (void)table.sample(sampler);
+    (void)tracker();
+    (void)tracker();
+  }
+  EXPECT_EQ(sampler(), tracker());
+}
+
+}  // namespace
+}  // namespace locpriv::stats

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 #include <string>
@@ -128,9 +129,54 @@ TEST(StoreIo, RoundTripIsByteIdentical) {
 TEST(StoreIo, EmptyDatasetRoundTrips) {
   const std::string path = temp_path("store_empty.lpds");
   save_store(path, *TraceStore::from_dataset(Dataset{}));
-  const auto loaded = load_store(path, {});
-  EXPECT_EQ(loaded->user_count(), 0u);
-  EXPECT_EQ(loaded->event_count(), 0u);
+  // Both loaders must handle the degenerate file; mmap quietly falls
+  // back to the heap read if the kernel rejects the tiny mapping.
+  for (const bool use_mmap : {false, true}) {
+    LoadOptions opts;
+    opts.use_mmap = use_mmap;
+    const auto loaded = load_store(path, opts);
+    EXPECT_EQ(loaded->user_count(), 0u);
+    EXPECT_EQ(loaded->event_count(), 0u);
+    // Re-saving the degenerate store reproduces the file byte for byte.
+    const std::string resaved = temp_path("store_empty_rt.lpds");
+    save_store(resaved, *loaded);
+    EXPECT_EQ(slurp(path), slurp(resaved));
+  }
+}
+
+TEST(StoreIo, EmptyDatasetRoundTripsThroughCsv) {
+  const std::string path = temp_path("store_empty.csv");
+  save_dataset(path, Dataset{}, {.format = SaveOptions::Format::kCsv});
+  const Dataset loaded = load_dataset(path);
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST(StoreIo, SingleEventDatasetRoundTripsInBothFormats) {
+  Dataset d;
+  d.add(Trace("solo", {{42, {1.5, -2.25}}}));
+
+  const std::string bin = temp_path("store_single.lpds");
+  save_store(bin, *TraceStore::from_dataset(d));
+  for (const bool use_mmap : {false, true}) {
+    LoadOptions opts;
+    opts.use_mmap = use_mmap;
+    const auto loaded = load_store(bin, opts);
+    ASSERT_EQ(loaded->user_count(), 1u);
+    ASSERT_EQ(loaded->event_count(), 1u);
+    EXPECT_EQ(loaded->user_id(0), "solo");
+    EXPECT_EQ(loaded->times(0)[0], 42);
+    EXPECT_EQ(loaded->xs(0)[0], 1.5);
+    EXPECT_EQ(loaded->ys(0)[0], -2.25);
+    const std::string resaved = temp_path("store_single_rt.lpds");
+    save_store(resaved, *loaded);
+    EXPECT_EQ(slurp(bin), slurp(resaved));
+  }
+
+  const std::string csv = temp_path("store_single.csv");
+  save_dataset(csv, d, {.format = SaveOptions::Format::kCsv});
+  const Dataset from_csv = load_dataset(csv);
+  ASSERT_EQ(from_csv.size(), 1u);
+  EXPECT_EQ(from_csv[0], d[0]);
 }
 
 TEST(StoreIo, SniffsBinaryFiles) {
@@ -226,6 +272,83 @@ TEST_F(StoreIoErrors, HostileCountsRejected) {
   const std::uint64_t huge = ~std::uint64_t{0} / 2;
   std::memcpy(mutated.data() + 16, &huge, sizeof(huge));
   expect_load_fails(write_mutated(mutated), "counts exceed the file size");
+}
+
+// ---------------------------------------------------------- atomic writes
+
+/// True if any directory entry contains the ".tmp." infix save_store
+/// uses for its staging files.
+bool has_temp_leftovers(const std::filesystem::path& dir) {
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().find(".tmp.") != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(StoreIo, SaveLeavesNoTempFilesBehind) {
+  const std::filesystem::path dir = std::filesystem::path(temp_path("atomic_ok"));
+  std::filesystem::create_directory(dir);
+  const std::string path = (dir / "data.lpds").string();
+  save_store(path, *TraceStore::from_dataset(sample_dataset()));
+  save_store(path, *TraceStore::from_dataset(sample_dataset()));  // overwrite in place
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(has_temp_leftovers(dir));
+}
+
+// Simulated interrupted write: the final rename fails because the
+// target is a directory. The temp file must be cleaned up and the
+// target left exactly as it was.
+TEST(StoreIo, FailedRenameCleansUpTempAndKeepsTarget) {
+  const std::filesystem::path dir = std::filesystem::path(temp_path("atomic_fail"));
+  std::filesystem::create_directory(dir);
+  const std::filesystem::path target = dir / "occupied.lpds";
+  std::filesystem::create_directory(target);  // rename over a directory fails
+
+  EXPECT_THROW(save_store(target.string(), *TraceStore::from_dataset(sample_dataset())),
+               std::runtime_error);
+  EXPECT_TRUE(std::filesystem::is_directory(target));  // untouched
+  EXPECT_FALSE(has_temp_leftovers(dir));
+}
+
+// A target whose parent directory does not exist fails at open time;
+// there must be nothing to clean up and nothing created.
+TEST(StoreIo, UnwritableTargetLeavesNothingBehind) {
+  const std::filesystem::path dir = std::filesystem::path(temp_path("atomic_noparent"));
+  std::filesystem::create_directory(dir);
+  const std::string path = (dir / "missing" / "data.lpds").string();
+  EXPECT_THROW(save_store(path, *TraceStore::from_dataset(sample_dataset())),
+               std::runtime_error);
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+}
+
+// A failed save must not clobber an existing good file: readers can
+// keep loading the previous version.
+TEST(StoreIo, FailedSavePreservesExistingFile) {
+  const std::filesystem::path dir = std::filesystem::path(temp_path("atomic_keep"));
+  std::filesystem::create_directory(dir);
+  const std::string path = (dir / "data.lpds").string();
+  save_store(path, *TraceStore::from_dataset(sample_dataset()));
+  const std::vector<char> before = slurp(path);
+
+  // Force a failure mid-save by making the staging name unusable: the
+  // temp file is a sibling "<path>.tmp.<pid>.<n>", so an unwritable
+  // directory breaks the open. Read-only permission on the directory
+  // does that without touching the existing file.
+  std::filesystem::permissions(dir, std::filesystem::perms::owner_read |
+                                        std::filesystem::perms::owner_exec);
+  const bool threw = [&] {
+    try {
+      save_store(path, *TraceStore::from_dataset(Dataset{}));
+      return false;
+    } catch (const std::runtime_error&) {
+      return true;
+    }
+  }();
+  std::filesystem::permissions(dir, std::filesystem::perms::owner_all);
+  if (threw) {  // root (e.g. CI containers) may ignore directory modes
+    EXPECT_EQ(slurp(path), before);
+    EXPECT_FALSE(has_temp_leftovers(dir));
+  }
 }
 
 // --------------------------------------------- heap vs mmap sweep parity

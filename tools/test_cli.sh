@@ -30,6 +30,21 @@ grep -q "## Fitted model" "$DIR/report.md"
 grep -q "events/sec" "$DIR/serve.txt"
 grep -q "rejected_queue_full" "$DIR/telemetry.json"
 
+# Format conversion: CSV -> binary -> CSV, each leg verified in-process.
+"$CLI" convert --in "$DIR/data.csv" --out "$DIR/data.lpds" --check > "$DIR/convert.txt"
+grep -q "round-trip exactly" "$DIR/convert.txt"
+"$CLI" convert --in "$DIR/data.lpds" --out "$DIR/back.csv" --check > "$DIR/convert2.txt"
+grep -q "round-trip within csv precision" "$DIR/convert2.txt"
+
+# A corrupted binary dataset must make convert --check exit nonzero
+# (checksum catches the flipped byte on reload).
+cp "$DIR/data.lpds" "$DIR/corrupt.lpds"
+SIZE=$(wc -c < "$DIR/corrupt.lpds")
+printf '\xff' | dd of="$DIR/corrupt.lpds" bs=1 seek=$((SIZE - 1)) conv=notrunc 2>/dev/null
+if "$CLI" convert --in "$DIR/corrupt.lpds" --out "$DIR/junk.csv" --check 2>/dev/null; then
+  echo "corrupted dataset accepted"; exit 1
+fi
+
 # Error paths: unknown command and unknown option must fail loudly.
 if "$CLI" frobnicate 2>/dev/null; then echo "unknown command accepted"; exit 1; fi
 if "$CLI" generate --nope 1 --out /dev/null 2>/dev/null; then echo "unknown option accepted"; exit 1; fi
