@@ -1,0 +1,23 @@
+#include "net/error.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace locpriv::net {
+
+std::string errno_message(const char* what, int err) {
+  // strerror_r has two incompatible signatures; strerror on a local copy
+  // of errno is safe here (no interleaving call can clobber the buffer
+  // before we copy it) and portable.
+  std::string out(what);
+  out += ": ";
+  out += std::strerror(err);
+  out += " (errno ";
+  out += std::to_string(err);
+  out += ")";
+  return out;
+}
+
+std::string errno_message(const char* what) { return errno_message(what, errno); }
+
+}  // namespace locpriv::net

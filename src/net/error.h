@@ -1,0 +1,21 @@
+// errno-to-message helper for the network layer.
+//
+// The stdlib-iostream failure mode this library exists to avoid
+// (SNIPPETS.md snippet 3, dinit's dio rationale): every error condition
+// collapsing to one unhelpful message with the errno long gone. Every
+// syscall wrapper in net:: reports failures through errno_message(), so
+// an I/O failure always carries the operation, the strerror text and
+// the raw errno value.
+#pragma once
+
+#include <string>
+
+namespace locpriv::net {
+
+/// "accept: Connection reset by peer (errno 104)". `err` defaults to the
+/// calling thread's errno at invocation time; pass it explicitly when
+/// other calls may have clobbered errno in between.
+[[nodiscard]] std::string errno_message(const char* what, int err);
+[[nodiscard]] std::string errno_message(const char* what);
+
+}  // namespace locpriv::net

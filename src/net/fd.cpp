@@ -1,0 +1,37 @@
+#include "net/fd.h"
+
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace locpriv::net {
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+bool set_nonblocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int next = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (next == flags) return true;
+  return ::fcntl(fd, F_SETFL, next) == 0;
+}
+
+bool set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC) == 0;
+}
+
+void ignore_sigpipe() {
+  // Idempotent and thread-safe: the first caller installs SIG_IGN, later
+  // calls re-install the same disposition.
+  struct sigaction sa = {};
+  sa.sa_handler = SIG_IGN;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGPIPE, &sa, nullptr);
+}
+
+}  // namespace locpriv::net

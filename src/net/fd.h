@@ -1,0 +1,54 @@
+// RAII file descriptor and small fd-level utilities.
+#pragma once
+
+#include <utility>
+
+namespace locpriv::net {
+
+/// Owns one file descriptor; closes it on destruction. Move-only.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  /// Releases ownership without closing.
+  [[nodiscard]] int release() { return std::exchange(fd_, -1); }
+
+  /// Closes the held fd (if any) and adopts `fd`. close() is called at
+  /// most once per descriptor — on Linux the fd is freed even when close
+  /// reports EINTR, so retrying would race a concurrent open.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// O_NONBLOCK on/off. Returns false with errno set on failure.
+[[nodiscard]] bool set_nonblocking(int fd, bool nonblocking = true);
+
+/// FD_CLOEXEC on. Returns false with errno set on failure.
+[[nodiscard]] bool set_cloexec(int fd);
+
+/// Installs SIG_IGN for SIGPIPE, once per process. Every socket write in
+/// this library also passes MSG_NOSIGNAL; this is the belt to that
+/// suspenders, covering writes to pipes (where MSG_NOSIGNAL does not
+/// apply) and any third-party code sharing the process.
+void ignore_sigpipe();
+
+}  // namespace locpriv::net

@@ -1,0 +1,264 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "trace/store_io.h"
+
+namespace locpriv::net {
+namespace {
+
+// Explicit little-endian scalar codec. memcpy through a byte buffer is
+// the defined-behavior way to type-pun; the byte swizzle makes the wire
+// order independent of host order.
+void put_u16(std::uint16_t v, std::vector<std::uint8_t>& out) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::uint32_t v, std::vector<std::uint8_t>& out) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::uint64_t v, std::vector<std::uint8_t>& out) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_i64(std::int64_t v, std::vector<std::uint8_t>& out) {
+  put_u64(static_cast<std::uint64_t>(v), out);
+}
+
+void put_f64(double v, std::vector<std::uint8_t>& out) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(bits, out);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::int64_t get_i64(const std::uint8_t* p) { return static_cast<std::int64_t>(get_u64(p)); }
+
+double get_f64(const std::uint8_t* p) {
+  const std::uint64_t bits = get_u64(p);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+/// Bounds-checked sequential reader over a decode buffer. Every take
+/// checks remaining length first, so a truncated payload fails cleanly
+/// instead of reading past the end.
+class Cursor {
+ public:
+  Cursor(const std::uint8_t* data, std::size_t len) : p_(data), end_(data + len) {}
+
+  bool take_u8(std::uint8_t& v) {
+    if (remaining() < 1) return false;
+    v = *p_++;
+    return true;
+  }
+  bool skip(std::size_t n) {
+    if (remaining() < n) return false;
+    p_ += n;
+    return true;
+  }
+  bool take_u32(std::uint32_t& v) {
+    if (remaining() < 4) return false;
+    v = get_u32(p_);
+    p_ += 4;
+    return true;
+  }
+  bool take_u64(std::uint64_t& v) {
+    if (remaining() < 8) return false;
+    v = get_u64(p_);
+    p_ += 8;
+    return true;
+  }
+  bool take_i64(std::int64_t& v) {
+    if (remaining() < 8) return false;
+    v = get_i64(p_);
+    p_ += 8;
+    return true;
+  }
+  bool take_f64(double& v) {
+    if (remaining() < 8) return false;
+    v = get_f64(p_);
+    p_ += 8;
+    return true;
+  }
+  bool take_string(std::size_t n, std::string& out) {
+    if (remaining() < n) return false;
+    out.assign(reinterpret_cast<const char*>(p_), n);
+    p_ += n;
+    return true;
+  }
+  [[nodiscard]] std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+
+ private:
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+};
+
+constexpr std::uint8_t kMaxStatus = static_cast<std::uint8_t>(service::ReportStatus::degraded_fallback);
+
+}  // namespace
+
+bool frame_type_known(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(FrameType::kSubmit) &&
+         raw <= static_cast<std::uint8_t>(FrameType::kReady);
+}
+
+const char* to_string(FrameError e) {
+  switch (e) {
+    case FrameError::kNone: return "no error";
+    case FrameError::kBadMagic: return "bad magic";
+    case FrameError::kBadVersion: return "unsupported protocol version";
+    case FrameError::kBadType: return "unknown frame type";
+    case FrameError::kOversized: return "payload exceeds frame size bound";
+    case FrameError::kBadChecksum: return "payload checksum mismatch";
+  }
+  return "unknown frame error";
+}
+
+void encode_frame(FrameType type, const void* payload, std::size_t payload_len,
+                  std::vector<std::uint8_t>& out) {
+  out.reserve(out.size() + kFrameHeaderBytes + payload_len);
+  put_u32(kFrameMagic, out);
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  put_u16(0, out);
+  put_u32(static_cast<std::uint32_t>(payload_len), out);
+  put_u32(0, out);
+  put_u64(trace::fnv1a64(payload, payload_len), out);
+  const auto* p = static_cast<const std::uint8_t*>(payload);
+  out.insert(out.end(), p, p + payload_len);
+}
+
+void encode_frame(FrameType type, const std::string& payload, std::vector<std::uint8_t>& out) {
+  encode_frame(type, payload.data(), payload.size(), out);
+}
+
+std::optional<FrameHeader> decode_header(const std::uint8_t* buf, std::size_t len, FrameError* err) {
+  const auto fail = [&](FrameError e) {
+    if (err != nullptr) *err = e;
+    return std::nullopt;
+  };
+  if (len < kFrameHeaderBytes) return fail(FrameError::kBadMagic);
+  if (get_u32(buf) != kFrameMagic) return fail(FrameError::kBadMagic);
+  if (buf[4] != kProtocolVersion) return fail(FrameError::kBadVersion);
+  if (!frame_type_known(buf[5])) return fail(FrameError::kBadType);
+  const std::uint32_t payload_len = get_u32(buf + 8);
+  if (payload_len > kMaxFramePayload) return fail(FrameError::kOversized);
+  if (err != nullptr) *err = FrameError::kNone;
+  FrameHeader h;
+  h.type = static_cast<FrameType>(buf[5]);
+  h.payload_len = payload_len;
+  h.checksum = get_u64(buf + 16);
+  return h;
+}
+
+bool payload_checksum_ok(const FrameHeader& header, const void* payload, std::size_t len) {
+  return header.checksum == trace::fnv1a64(payload, len);
+}
+
+void FrameReader::feed(const void* data, std::size_t len) {
+  // Compact the consumed prefix before growing, so long-lived
+  // connections do not accumulate an unbounded consumed region.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > kFrameHeaderBytes + kMaxFramePayload) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + len);
+}
+
+FrameReader::Result FrameReader::next(Frame& out) {
+  if (err_ != FrameError::kNone) return Result::kBad;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderBytes) return Result::kNeedMore;
+  FrameError err = FrameError::kNone;
+  const auto header = decode_header(buf_.data() + pos_, avail, &err);
+  if (!header) {
+    err_ = err;
+    return Result::kBad;
+  }
+  if (avail < kFrameHeaderBytes + header->payload_len) return Result::kNeedMore;
+  const std::uint8_t* payload = buf_.data() + pos_ + kFrameHeaderBytes;
+  if (!payload_checksum_ok(*header, payload, header->payload_len)) {
+    err_ = FrameError::kBadChecksum;
+    return Result::kBad;
+  }
+  out.type = header->type;
+  out.payload.assign(payload, payload + header->payload_len);
+  pos_ += kFrameHeaderBytes + header->payload_len;
+  return Result::kFrame;
+}
+
+void encode_submit(const SubmitPayload& p, std::vector<std::uint8_t>& out) {
+  put_u64(p.tag, out);
+  put_i64(p.event.time, out);
+  put_f64(p.event.location.x, out);
+  put_f64(p.event.location.y, out);
+  put_u32(static_cast<std::uint32_t>(p.user_id.size()), out);
+  out.insert(out.end(), p.user_id.begin(), p.user_id.end());
+}
+
+std::optional<SubmitPayload> decode_submit(const std::uint8_t* data, std::size_t len) {
+  Cursor c(data, len);
+  SubmitPayload p;
+  std::uint32_t id_len = 0;
+  if (!c.take_u64(p.tag) || !c.take_i64(p.event.time) || !c.take_f64(p.event.location.x) ||
+      !c.take_f64(p.event.location.y) || !c.take_u32(id_len) || !c.take_string(id_len, p.user_id) ||
+      c.remaining() != 0 || p.user_id.empty()) {
+    return std::nullopt;
+  }
+  return p;
+}
+
+void encode_answer(const AnswerPayload& p, std::vector<std::uint8_t>& out) {
+  put_u64(p.tag, out);
+  put_u64(p.seq, out);
+  out.push_back(static_cast<std::uint8_t>(p.status));
+  out.push_back(p.protected_event.has_value() ? 1 : 0);
+  put_u16(0, out);
+  put_u32(p.downstream_attempts, out);
+  const trace::Event e = p.protected_event.value_or(trace::Event{});
+  put_i64(e.time, out);
+  put_f64(e.location.x, out);
+  put_f64(e.location.y, out);
+  put_u32(static_cast<std::uint32_t>(p.user_id.size()), out);
+  out.insert(out.end(), p.user_id.begin(), p.user_id.end());
+}
+
+std::optional<AnswerPayload> decode_answer(const std::uint8_t* data, std::size_t len) {
+  Cursor c(data, len);
+  AnswerPayload p;
+  std::uint8_t status = 0;
+  std::uint8_t has_protected = 0;
+  std::uint32_t id_len = 0;
+  trace::Event e;
+  if (!c.take_u64(p.tag) || !c.take_u64(p.seq) || !c.take_u8(status) || !c.take_u8(has_protected) ||
+      !c.skip(2) || !c.take_u32(p.downstream_attempts) || !c.take_i64(e.time) ||
+      !c.take_f64(e.location.x) || !c.take_f64(e.location.y) || !c.take_u32(id_len) ||
+      !c.take_string(id_len, p.user_id) || c.remaining() != 0 || status > kMaxStatus ||
+      has_protected > 1) {
+    return std::nullopt;
+  }
+  p.status = static_cast<service::ReportStatus>(status);
+  if (has_protected == 1) p.protected_event = e;
+  return p;
+}
+
+}  // namespace locpriv::net

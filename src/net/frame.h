@@ -1,0 +1,159 @@
+// The locpriv wire protocol (version 1): length-prefixed binary frames.
+//
+// Every message on a gateway connection — client to shard, client to
+// supervisor, supervisor to shard control channel — is one frame:
+//
+//   offset  size  field
+//   0       4     magic 0x4c505631 ("LPV1", u32 little-endian)
+//   4       1     protocol version (currently 1)
+//   5       1     frame type (FrameType)
+//   6       2     reserved (0 on the wire, ignored on read)
+//   8       4     payload length (u32, <= kMaxFramePayload)
+//   12      4     reserved (0 on the wire, ignored on read)
+//   16      8     payload checksum (u64, FNV-1a; seed checksum for an
+//                 empty payload)
+//   24      ...   payload
+//
+// All integers are explicit little-endian regardless of host order.
+// The bounded payload length is the robustness contract: a reader can
+// reject an oversized or garbage length prefix before allocating, so a
+// malicious or corrupted peer cannot make a shard balloon its memory.
+// Decoding never throws and never reads past the declared payload; any
+// violation is a decode failure, answered with kError and a close.
+//
+// See docs/NETWORK.md for payload layouts per frame type.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/gateway.h"
+#include "trace/event.h"
+
+namespace locpriv::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x4c505631u;  // "LPV1"
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 24;
+/// Hard ceiling on one frame's payload. Large enough for any telemetry
+/// snapshot or shard map; small enough that a hostile length prefix
+/// cannot drive an allocation spree.
+inline constexpr std::size_t kMaxFramePayload = 1u << 20;
+
+enum class FrameType : std::uint8_t {
+  kSubmit = 1,          ///< client -> shard: one location report
+  kAnswer = 2,          ///< shard -> client: the protected report
+  kTelemetryReq = 3,    ///< client -> shard/supervisor: snapshot request
+  kTelemetryReply = 4,  ///< reply: telemetry JSON payload
+  kDrainReq = 5,        ///< stop accepting, finish in-flight work
+  kDrainReply = 6,      ///< drain finished; JSON payload with counts
+  kShardMapReq = 7,     ///< client -> supervisor: where do users live?
+  kShardMapReply = 8,   ///< reply: JSON {shards, sockets[]}
+  kReload = 9,          ///< supervisor -> shard: re-read objectives/faults
+  kReloadReply = 10,    ///< reload applied; JSON payload
+  kError = 11,          ///< peer violated the protocol; text payload
+  kReady = 12,          ///< shard -> supervisor: serving socket is live
+};
+
+/// True for the type values this protocol version understands.
+[[nodiscard]] bool frame_type_known(std::uint8_t raw);
+
+/// One decoded frame header (host order, validated).
+struct FrameHeader {
+  FrameType type = FrameType::kError;
+  std::uint32_t payload_len = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Why a frame failed to parse — surfaced in the kError payload so a
+/// misbehaving client learns what it sent.
+enum class FrameError {
+  kNone,
+  kBadMagic,
+  kBadVersion,
+  kBadType,
+  kOversized,
+  kBadChecksum,
+};
+
+[[nodiscard]] const char* to_string(FrameError e);
+
+/// Serializes one frame (header + payload) into `out` (appended).
+void encode_frame(FrameType type, const void* payload, std::size_t payload_len,
+                  std::vector<std::uint8_t>& out);
+void encode_frame(FrameType type, const std::string& payload, std::vector<std::uint8_t>& out);
+
+/// Parses and validates a 24-byte header. On failure returns nullopt
+/// with *err set; the checksum is validated later, against the payload.
+[[nodiscard]] std::optional<FrameHeader> decode_header(const std::uint8_t* buf, std::size_t len,
+                                                       FrameError* err = nullptr);
+
+/// Checks a payload against the header checksum.
+[[nodiscard]] bool payload_checksum_ok(const FrameHeader& header, const void* payload,
+                                       std::size_t len);
+
+/// One complete inbound frame.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Incremental frame parser for non-blocking reads: feed() whatever
+/// bytes arrived, then pull frames with next() until it stops returning
+/// kFrame. After kBad the stream is unrecoverable (framing is lost) and
+/// the connection must be closed; error() says why.
+class FrameReader {
+ public:
+  enum class Result { kFrame, kNeedMore, kBad };
+
+  void feed(const void* data, std::size_t len);
+
+  /// Extracts the next complete frame into `out`.
+  [[nodiscard]] Result next(Frame& out);
+
+  [[nodiscard]] FrameError error() const { return err_; }
+  /// Bytes buffered but not yet consumed as frames.
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  FrameError err_ = FrameError::kNone;
+};
+
+// --- Payload codecs ------------------------------------------------------
+//
+// kSubmit and kAnswer carry fixed binary layouts (below); every other
+// type carries UTF-8 text (JSON or a message). The `tag` is an opaque
+// client-chosen correlator echoed back verbatim on the answer — answers
+// may arrive out of submission order across users.
+
+/// kSubmit payload: u64 tag, i64 time, f64 x, f64 y, u32 id_len, id bytes.
+struct SubmitPayload {
+  std::uint64_t tag = 0;
+  std::string user_id;
+  trace::Event event;
+};
+
+/// kAnswer payload: u64 tag, u64 seq, u8 status, u8 has_protected,
+/// u16 reserved, u32 downstream_attempts, i64 time, f64 x, f64 y
+/// (meaningful iff has_protected), u32 id_len, id bytes.
+struct AnswerPayload {
+  std::uint64_t tag = 0;
+  std::string user_id;
+  std::uint64_t seq = 0;
+  service::ReportStatus status = service::ReportStatus::delivered;
+  std::optional<trace::Event> protected_event;
+  std::uint32_t downstream_attempts = 0;
+};
+
+void encode_submit(const SubmitPayload& p, std::vector<std::uint8_t>& out);
+[[nodiscard]] std::optional<SubmitPayload> decode_submit(const std::uint8_t* data, std::size_t len);
+
+void encode_answer(const AnswerPayload& p, std::vector<std::uint8_t>& out);
+[[nodiscard]] std::optional<AnswerPayload> decode_answer(const std::uint8_t* data, std::size_t len);
+
+}  // namespace locpriv::net

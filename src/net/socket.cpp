@@ -1,0 +1,170 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "net/error.h"
+
+namespace locpriv::net {
+namespace {
+
+bool fill_unix_addr(const std::string& path, sockaddr_un& addr, std::string* err) {
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (err != nullptr) *err = "socket path too long: " + path;
+    return false;
+  }
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+bool fill_tcp_addr(const Endpoint& ep, sockaddr_in& addr, std::string* err) {
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    if (err != nullptr) *err = "not a numeric IPv4 address: " + ep.host;
+    return false;
+  }
+  return true;
+}
+
+Fd make_socket(int family, std::string* err) {
+  Fd fd(::socket(family, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid() && err != nullptr) *err = errno_message("socket");
+  return fd;
+}
+
+}  // namespace
+
+std::optional<Endpoint> Endpoint::parse(const std::string& spec, std::string* err) {
+  const auto fail = [&](const std::string& msg) {
+    if (err != nullptr) *err = msg + ": " + spec;
+    return std::nullopt;
+  };
+  if (spec.rfind("unix:", 0) == 0) {
+    Endpoint ep;
+    ep.kind = Kind::kUnix;
+    ep.path = spec.substr(5);
+    if (ep.path.empty()) return fail("empty socket path");
+    return ep;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0) return fail("expected tcp:host:port");
+    Endpoint ep;
+    ep.kind = Kind::kTcp;
+    ep.host = rest.substr(0, colon);
+    const std::string port_str = rest.substr(colon + 1);
+    char* end = nullptr;
+    const long port = std::strtol(port_str.c_str(), &end, 10);
+    if (end == port_str.c_str() || *end != '\0' || port < 1 || port > 65535) {
+      return fail("bad port");
+    }
+    ep.port = static_cast<std::uint16_t>(port);
+    return ep;
+  }
+  return fail("expected unix:<path> or tcp:<host>:<port>");
+}
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Endpoint Endpoint::shard_endpoint(std::size_t k) const {
+  Endpoint ep = *this;
+  if (kind == Kind::kUnix) {
+    ep.path += ".shard" + std::to_string(k);
+  } else {
+    ep.port = static_cast<std::uint16_t>(port + 1 + k);
+  }
+  return ep;
+}
+
+Fd listen_endpoint(const Endpoint& ep, int backlog, std::string* err) {
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un addr;
+    if (!fill_unix_addr(ep.path, addr, err)) return Fd();
+    Fd fd = make_socket(AF_UNIX, err);
+    if (!fd.valid()) return Fd();
+    ::unlink(ep.path.c_str());
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      if (err != nullptr) *err = errno_message(("bind " + ep.path).c_str());
+      return Fd();
+    }
+    if (::listen(fd.get(), backlog) != 0) {
+      if (err != nullptr) *err = errno_message("listen");
+      return Fd();
+    }
+    return fd;
+  }
+  sockaddr_in addr;
+  if (!fill_tcp_addr(ep, addr, err)) return Fd();
+  Fd fd = make_socket(AF_INET, err);
+  if (!fd.valid()) return Fd();
+  const int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (err != nullptr) *err = errno_message(("bind " + ep.to_string()).c_str());
+    return Fd();
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    if (err != nullptr) *err = errno_message("listen");
+    return Fd();
+  }
+  return fd;
+}
+
+Fd connect_endpoint(const Endpoint& ep, std::string* err) {
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un addr;
+    if (!fill_unix_addr(ep.path, addr, err)) return Fd();
+    Fd fd = make_socket(AF_UNIX, err);
+    if (!fd.valid()) return Fd();
+    int rc;
+    do {
+      rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      if (err != nullptr) *err = errno_message(("connect " + ep.path).c_str());
+      return Fd();
+    }
+    return fd;
+  }
+  sockaddr_in addr;
+  if (!fill_tcp_addr(ep, addr, err)) return Fd();
+  Fd fd = make_socket(AF_INET, err);
+  if (!fd.valid()) return Fd();
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    if (err != nullptr) *err = errno_message(("connect " + ep.to_string()).c_str());
+    return Fd();
+  }
+  return fd;
+}
+
+Fd accept_connection(int listen_fd) {
+  while (true) {
+    const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK);
+    if (fd >= 0) return Fd(fd);
+    if (errno != EINTR) return Fd();
+  }
+}
+
+void unlink_endpoint(const Endpoint& ep) {
+  if (ep.kind == Endpoint::Kind::kUnix) ::unlink(ep.path.c_str());
+}
+
+}  // namespace locpriv::net

@@ -1,0 +1,57 @@
+// Listening/connecting socket helpers over UDS and TCP, plus the
+// Endpoint spec shared by the CLI, the shard service, and clients.
+//
+// Endpoint spec grammar (CLI `--listen` / `--connect` syntax):
+//   unix:/path/to.sock      AF_UNIX stream socket at that path
+//   tcp:host:port           AF_INET stream socket (numeric host)
+//
+// Shard k of a service listening at endpoint E serves on
+// E.shard_endpoint(k): `<path>.shard<k>` for UDS, `port+1+k` for TCP —
+// a pure function of the base endpoint, so clients can locate every
+// shard from the supervisor spec plus the shard count in the shard map.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/fd.h"
+
+namespace locpriv::net {
+
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+
+  Kind kind = Kind::kUnix;
+  std::string path;  ///< UDS socket path (kUnix)
+  std::string host;  ///< numeric address, e.g. "127.0.0.1" (kTcp)
+  std::uint16_t port = 0;
+
+  /// Parses the spec grammar above; nullopt with *err set on failure.
+  [[nodiscard]] static std::optional<Endpoint> parse(const std::string& spec, std::string* err);
+
+  /// Round-trips back to the spec grammar.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Where shard `k` of a service rooted at this endpoint listens.
+  [[nodiscard]] Endpoint shard_endpoint(std::size_t k) const;
+};
+
+/// Binds and listens. UDS unlinks a stale socket path first; TCP sets
+/// SO_REUSEADDR and binds the numeric host. The returned fd is cloexec
+/// and blocking (callers flip non-blocking as needed). Invalid Fd with
+/// *err set on failure.
+[[nodiscard]] Fd listen_endpoint(const Endpoint& ep, int backlog, std::string* err);
+
+/// Blocking connect. Invalid Fd with *err set on failure.
+[[nodiscard]] Fd connect_endpoint(const Endpoint& ep, std::string* err);
+
+/// One accept, EINTR-retried, with CLOEXEC+NONBLOCK applied to the new
+/// fd. Invalid Fd when no connection is pending (EAGAIN) or on error;
+/// the two are distinguished by errno.
+[[nodiscard]] Fd accept_connection(int listen_fd);
+
+/// Removes a UDS socket file if the endpoint is kUnix; no-op for TCP.
+void unlink_endpoint(const Endpoint& ep);
+
+}  // namespace locpriv::net

@@ -8,32 +8,100 @@
 
 namespace locpriv::service {
 
+StreamAuditor::StreamAuditor(std::shared_ptr<const trace::TraceStore> store, AuditWindow window)
+    : window_(window), store_(std::move(store)) {
+  if (store_ == nullptr) throw std::invalid_argument("StreamAuditor: store must not be null");
+  store_users_.reserve(store_->user_count());
+  for (std::size_t u = 0; u < store_->user_count(); ++u) store_users_[store_->user_id(u)] = u;
+}
+
+std::int64_t StreamAuditor::find_in_arena(std::size_t u, const trace::Event& event) const {
+  const auto times = store_->times(u);
+  // Per-user times are nondecreasing (a store invariant); binary-search
+  // the first slot at event.time, then scan the equal-time run for a
+  // coordinate match — time alone is not identity when a user reports
+  // twice in one second.
+  const auto begin = times.begin();
+  auto it = std::lower_bound(begin, times.end(), event.time);
+  const auto xs = store_->xs(u);
+  const auto ys = store_->ys(u);
+  for (; it != times.end() && *it == event.time; ++it) {
+    const std::size_t i = static_cast<std::size_t>(it - begin);
+    if (xs[i] == event.location.x && ys[i] == event.location.y) {
+      return static_cast<std::int64_t>(store_->offsets()[u] + i);
+    }
+  }
+  return -1;
+}
+
+trace::Event StreamAuditor::original_of(const UserHistory& h, const Pair& p) const {
+  if (p.original_ref >= 0) {
+    const auto i = static_cast<std::size_t>(p.original_ref);
+    return {store_->times()[i], {store_->xs()[i], store_->ys()[i]}};
+  }
+  const auto owned_index = static_cast<std::uint64_t>(~p.original_ref);
+  return h.owned[owned_index - h.owned_base];
+}
+
 void StreamAuditor::record(const ProtectedReport& report) {
   if (!report.protected_event.has_value()) return;
   const std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = by_user_.try_emplace(report.user_id);
   if (inserted) user_order_.push_back(report.user_id);
-  it->second.push_back({report.seq, report.original, *report.protected_event});
-  if (window_.bounded()) evict(it->second);
+  UserHistory& h = it->second;
+
+  std::int64_t ref = -1;
+  if (store_ != nullptr) {
+    if (h.store_user == -1) {
+      const auto found = store_users_.find(report.user_id);
+      h.store_user = found != store_users_.end() ? static_cast<std::ptrdiff_t>(found->second) : -2;
+    }
+    if (h.store_user >= 0) {
+      ref = find_in_arena(static_cast<std::size_t>(h.store_user), report.original);
+    }
+  }
+  if (ref < 0) {
+    ref = ~static_cast<std::int64_t>(h.owned_base + h.owned.size());
+    h.owned.push_back(report.original);
+  }
+  h.pairs.push_back({report.seq, *report.protected_event, ref});
+  if (window_.bounded()) evict(h);
 }
 
-void StreamAuditor::evict(std::deque<Pair>& pairs) const {
+void StreamAuditor::evict(UserHistory& h) const {
+  const auto pop_front = [&h] {
+    if (h.pairs.front().original_ref < 0) {
+      h.owned.pop_front();
+      ++h.owned_base;
+    }
+    h.pairs.pop_front();
+  };
   if (window_.max_pairs > 0) {
-    while (pairs.size() > window_.max_pairs) pairs.pop_front();
+    while (h.pairs.size() > window_.max_pairs) pop_front();
   }
   if (window_.max_age_s > 0) {
     // Per-user original times are monotone (the gateway clamps), so the
     // newest pair is at the back and eviction pops from the front only.
-    const trace::Timestamp cutoff = pairs.back().original.time - window_.max_age_s;
-    while (pairs.front().original.time < cutoff) pairs.pop_front();
+    const trace::Timestamp cutoff = original_of(h, h.pairs.back()).time - window_.max_age_s;
+    while (original_of(h, h.pairs.front()).time < cutoff) pop_front();
   }
 }
 
 std::size_t StreamAuditor::recorded() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::size_t n = 0;
-  for (const auto& [user, pairs] : by_user_) n += pairs.size();
+  for (const auto& [user, h] : by_user_) n += h.pairs.size();
   return n;
+}
+
+StreamAuditor::StorageStats StreamAuditor::storage() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  StorageStats stats;
+  for (const auto& [user, h] : by_user_) {
+    stats.copied += h.owned.size();
+    stats.borrowed += h.pairs.size() - h.owned.size();
+  }
+  return stats;
 }
 
 std::vector<StreamAuditor::MetricValue> StreamAuditor::evaluate(
@@ -43,8 +111,8 @@ std::vector<StreamAuditor::MetricValue> StreamAuditor::evaluate(
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     for (const std::string& user : user_order_) {
-      const std::deque<Pair>& retained = by_user_.at(user);
-      std::vector<Pair> pairs(retained.begin(), retained.end());
+      const UserHistory& h = by_user_.at(user);
+      std::vector<Pair> pairs(h.pairs.begin(), h.pairs.end());
       std::sort(pairs.begin(), pairs.end(),
                 [](const Pair& a, const Pair& b) { return a.seq < b.seq; });
       std::vector<trace::Event> originals;
@@ -52,7 +120,7 @@ std::vector<StreamAuditor::MetricValue> StreamAuditor::evaluate(
       originals.reserve(pairs.size());
       delivered.reserve(pairs.size());
       for (const Pair& p : pairs) {
-        originals.push_back(p.original);
+        originals.push_back(original_of(h, p));
         delivered.push_back(p.protected_event);
       }
       actual.add(trace::Trace(user, std::move(originals)));

@@ -118,7 +118,7 @@ Gateway::Gateway(const GatewayConfig& cfg, SessionManager::SessionFactory factor
 
 Gateway::~Gateway() { drain(); }
 
-bool Gateway::submit(const std::string& user_id, const trace::Event& event) {
+bool Gateway::submit(const std::string& user_id, const trace::Event& event, std::uint64_t cookie) {
   obs::Span submit_span("service", "gateway.submit");
   static obs::Counter submitted_counter("service.submitted");
   static obs::Counter rejected_counter("service.rejected_queue_full");
@@ -128,6 +128,7 @@ bool Gateway::submit(const std::string& user_id, const trace::Event& event) {
   r.user_id = user_id;
   r.event = event;
   r.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  r.cookie = cookie;
   obs::Tracer& tracer = obs::Tracer::instance();
   if (tracer.enabled()) r.enqueue_ns = tracer.now_ns();
 
@@ -147,11 +148,46 @@ bool Gateway::submit(const std::string& user_id, const trace::Event& event) {
   out.seq = r.seq;
   out.original = event;
   out.status = ReportStatus::rejected_queue_full;
+  out.cookie = cookie;
   sink_(out);
   return false;
 }
 
 void Gateway::drain() { pool_->drain(); }
+
+void Gateway::reload(const GatewayConfig& next, SessionManager::SessionFactory factory) {
+  pool_->drain();
+
+  GatewayConfig cfg = next;
+  cfg.sessions = cfg_.sessions;  // the live SessionManager keeps its config
+  cfg.resilience.validate();
+  // Build the factory before committing anything: an invalid
+  // ObjectiveSpec throws here and the old configuration stays in force
+  // (workers are down either way; the caller decides whether to retry
+  // or tear the gateway down).
+  std::unique_ptr<adaptive::ControlLog> control_log;
+  if (cfg.objectives.has_value() && control_log_ == nullptr) {
+    control_log = std::make_unique<adaptive::ControlLog>();
+  }
+  adaptive::ControlLog* log = control_log_ != nullptr ? control_log_.get() : control_log.get();
+  if (!factory) {
+    factory = cfg.objectives.has_value() ? adaptive_factory(cfg, log) : default_factory(cfg);
+  }
+
+  cfg_ = cfg;
+  if (control_log != nullptr) control_log_ = std::move(control_log);
+  sessions_->set_factory(std::move(factory));
+  plan_.reset();
+  if (cfg_.faults.any()) {
+    const std::uint64_t fault_seed =
+        cfg_.fault_seed != 0 ? cfg_.fault_seed : stats::derive_seed(cfg_.seed, kFaultSeedStream);
+    plan_ = std::make_unique<FaultPlan>(cfg_.faults, fault_seed);
+  }
+  breakers_.assign(cfg_.workers, CircuitBreaker(cfg_.resilience.breaker));
+  pool_ = std::make_unique<WorkerPool>(
+      cfg_.workers, cfg_.queue_capacity,
+      [this](std::size_t worker, const Request& r) { handle(worker, r); });
+}
 
 void Gateway::handle(std::size_t worker, const Request& r) {
   obs::Span handle_span("service", "worker.handle");
@@ -262,6 +298,7 @@ void Gateway::handle(std::size_t worker, const Request& r) {
   out.protected_event = protected_event;
   out.status = status;
   out.downstream_attempts = attempts;
+  out.cookie = r.cookie;
   sink_(out);
 }
 

@@ -63,6 +63,9 @@ struct ProtectedReport {
   /// reached the downstream call: suppressed, rejected, or no
   /// downstream configured).
   std::uint32_t downstream_attempts = 0;
+  /// The cookie passed to submit(), echoed back verbatim (0 for the
+  /// cookie-less overload). See Request::cookie.
+  std::uint64_t cookie = 0;
 };
 
 struct GatewayConfig {
@@ -125,12 +128,27 @@ class Gateway {
   /// Submits one report. Never blocks: when the user's worker queue is
   /// full the report is answered immediately (from this thread) with
   /// rejected_queue_full and false is returned. True = accepted; the
-  /// answer will arrive through the sink.
-  bool submit(const std::string& user_id, const trace::Event& event);
+  /// answer will arrive through the sink. `cookie` is an opaque caller
+  /// correlator echoed back on the answer (ProtectedReport::cookie).
+  bool submit(const std::string& user_id, const trace::Event& event, std::uint64_t cookie = 0);
 
   /// Processes everything accepted so far and stops the workers.
   /// submit() refuses afterwards. Idempotent.
   void drain();
+
+  /// Hot-reloads policy without dropping session state: drains the
+  /// worker pool, swaps in `next`'s factory parameters, objectives,
+  /// fault schedule and resilience policy, then rebuilds breakers and
+  /// workers. The SessionManager survives — live sessions keep their ε
+  /// budgets and their old policy until evicted; only sessions created
+  /// after the reload see the new one (`next.sessions` is ignored for
+  /// the same reason). Pass a `factory` to swap in a custom session
+  /// factory; empty = the configured default. Not thread-safe against
+  /// submit(): the caller stops submitting, reloads, then resumes —
+  /// the shard server's event loop gives this for free. Throws
+  /// std::invalid_argument when `next` fails validation, leaving the
+  /// gateway drained but consistent.
+  void reload(const GatewayConfig& next, SessionManager::SessionFactory factory = {});
 
   [[nodiscard]] const Telemetry& telemetry() const { return *telemetry_; }
   [[nodiscard]] std::size_t active_sessions() const { return sessions_->session_count(); }

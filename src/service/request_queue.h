@@ -29,6 +29,10 @@ struct Request {
   /// Tracer timestamp at enqueue (obs::Tracer::now_ns). Zero when
   /// tracing is off; the worker span uses it to attribute queue wait.
   std::uint64_t enqueue_ns = 0;
+  /// Opaque caller correlator, echoed back on the ProtectedReport. The
+  /// network front end stores a connection handle here so an answer can
+  /// find its way back to the socket that submitted the report.
+  std::uint64_t cookie = 0;
 };
 
 /// Bounded multi-producer/multi-consumer FIFO.

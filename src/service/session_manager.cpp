@@ -21,6 +21,12 @@ SessionManager::SessionManager(SessionManagerConfig cfg, SessionFactory factory,
   }
 }
 
+void SessionManager::set_factory(SessionFactory factory) {
+  if (!factory) throw std::invalid_argument("SessionManager: factory must be callable");
+  std::lock_guard lock(factory_mutex_);
+  factory_ = std::move(factory);
+}
+
 SessionManager::Shard& SessionManager::shard_for(std::string_view user_id) {
   return *shards_[stable_hash64(user_id) % shards_.size()];
 }
@@ -52,7 +58,10 @@ SessionManager::LockedSession SessionManager::acquire(const std::string& user_id
   auto it = shard.sessions.find(user_id);
   if (it == shard.sessions.end()) {
     Entry entry;
-    entry.session = factory_(user_id);
+    {
+      std::lock_guard factory_lock(factory_mutex_);
+      entry.session = factory_(user_id);
+    }
     shard.lru.push_front(user_id);
     entry.lru_pos = shard.lru.begin();
     it = shard.sessions.emplace(user_id, std::move(entry)).first;

@@ -104,6 +104,12 @@ class SessionManager {
   /// exposed as LockedSession::monotonic_time().
   [[nodiscard]] LockedSession acquire(const std::string& user_id, trace::Timestamp now);
 
+  /// Replaces the session factory for sessions created from now on.
+  /// Existing sessions are untouched — a reload must not reset live ε
+  /// budgets — so users keep their current session until it is evicted.
+  /// Thread-safe against concurrent acquire().
+  void set_factory(SessionFactory factory);
+
   /// Number of live sessions across all shards.
   [[nodiscard]] std::size_t session_count() const;
 
@@ -127,6 +133,9 @@ class SessionManager {
   void evict_due(Shard& shard, trace::Timestamp now);
 
   SessionManagerConfig cfg_;
+  /// Guards factory_ against set_factory() racing the miss path of
+  /// acquire(); shard locks do not cover it (they are per-shard).
+  std::mutex factory_mutex_;
   SessionFactory factory_;
   Telemetry* telemetry_;
   std::vector<std::unique_ptr<Shard>> shards_;

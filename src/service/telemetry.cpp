@@ -1,6 +1,9 @@
 #include "service/telemetry.h"
 
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 
 namespace locpriv::service {
 namespace {
@@ -150,12 +153,29 @@ io::JsonValue Telemetry::to_json() const {
   backoff["p95_us"] = s.backoff_p95_us;
   resilience["backoff"] = std::move(backoff);
 
+  io::JsonObject process;
+  process["resident_set_kb"] = static_cast<double>(resident_set_kb());
+
   io::JsonObject root;
   root["counters"] = std::move(counters);
   root["latency"] = std::move(latency);
   root["eps_spend"] = std::move(eps);
   root["resilience"] = std::move(resilience);
+  root["process"] = std::move(process);
   return root;
+}
+
+std::uint64_t resident_set_kb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) != 0) continue;
+    // Format: "VmRSS:   123456 kB" — take the first integer run.
+    const std::size_t digit = line.find_first_of("0123456789");
+    if (digit == std::string::npos) return 0;
+    return std::strtoull(line.c_str() + digit, nullptr, 10);
+  }
+  return 0;
 }
 
 }  // namespace locpriv::service

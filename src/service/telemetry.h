@@ -127,7 +127,10 @@ class Telemetry {
 
   [[nodiscard]] TelemetrySnapshot snapshot() const;
 
-  /// Stable-schema JSON report (documented in docs/SERVICE.md).
+  /// Stable-schema JSON report (documented in docs/SERVICE.md). Includes
+  /// a `process` block with the caller's resident set, so a per-shard
+  /// snapshot doubles as the page-sharing evidence the service bench
+  /// collects.
   [[nodiscard]] io::JsonValue to_json() const;
 
  private:
@@ -160,5 +163,10 @@ class Telemetry {
   mutable std::mutex backoff_mutex_;
   stats::Histogram backoff_us_;
 };
+
+/// This process's resident set (VmRSS from /proc/self/status), in KiB.
+/// 0 when the value is unavailable (non-Linux). Cheap enough to call on
+/// every telemetry snapshot.
+[[nodiscard]] std::uint64_t resident_set_kb();
 
 }  // namespace locpriv::service

@@ -25,7 +25,8 @@ cmake -B "$BUILD_DIR" -S . -DLOCPRIV_SANITIZE="$SANITIZER" > /dev/null
 # sweeps it at 1 vs 8 threads — the optimal mechanism's race surface.
 TARGETS=(test_service_queue test_service_adaptive test_service_gateway test_service_resilience test_lppm_online
          test_metrics_eval_context test_obs_tracer test_core_experiment_determinism
-         test_attack_tracking test_synth_generators test_trace_store test_lppm_optimal)
+         test_attack_tracking test_synth_generators test_trace_store test_lppm_optimal
+         test_net_frame test_net_loop test_service_shard)
 if [ "$SCOPE" = "all" ]; then
   cmake --build "$BUILD_DIR" -j"$(nproc)"
   (cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)")

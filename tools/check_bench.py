@@ -4,9 +4,9 @@
 Dispatches on the document's "bench" field: "kernels" (the PR 5 hot-path
 suite, extended in PR 8 with the columnar-vs-heap kernel and dataset
 load-path sections; the default when the field is absent, for old files),
-"adaptive" (the closed-loop ε configuration bench, PR 6) or
+"adaptive" (the closed-loop ε configuration bench, PR 6),
 "generalization" (the train/test-split tracking-vs-POI adversary bench,
-PR 7).
+PR 7) or "service" (the shard-router network front end bench, PR 10).
 
 Two jobs, both meant for the CI bench-smoke lane:
 
@@ -223,6 +223,86 @@ def check_generalization_schema(doc: dict) -> None:
              "training users")
 
 
+# The network front end bench (PR 10): an N-process shard fleet over
+# unix sockets vs a single-shard baseline on the same per-report work.
+# The speedup floor carries the tentpole claim — shards overlap their
+# simulated downstream waits across process boundaries — and the RSS
+# ratio carries the mmap page-sharing claim: a shard's resident set
+# right after mapping the dataset must stay well below the dataset,
+# or N shards would cost N datasets of memory. The smoke fleet is small
+# enough that fork/connect overheads eat into the speedup, so its floor
+# is looser; users floors keep the committed full run at the promised
+# million-user scale.
+SERVICE_SPEEDUP_FLOOR = {"full": 3.0, "smoke": 1.5}
+SERVICE_USERS_FLOOR = {"full": 1000000, "smoke": 50000}
+SERVICE_REQS_FLOOR = {"full": 20000, "smoke": 5000}
+SERVICE_P99_CEILING_MS = {"full": 250.0, "smoke": 500.0}
+
+
+def check_service_schema(doc: dict) -> None:
+    check_preset(doc)
+    preset = str(doc.get("preset"))
+    require_true(doc, "uds")
+    require_true(doc, "all_answered")
+    require_number(doc, "cores", minimum=1)
+    require_number(doc, "downstream_us", minimum=1)
+    require_number(doc, "dataset.users", minimum=1)
+    require_number(doc, "dataset.events", minimum=1)
+    require_number(doc, "dataset.file_kb", minimum=1024)
+    for side in ("single", "sharded"):
+        require_number(doc, f"{side}.users", minimum=1)
+        require_number(doc, f"{side}.reports", minimum=1)
+        require_number(doc, f"{side}.wall_seconds", minimum=0)
+        require_number(doc, f"{side}.req_per_sec", minimum=1)
+        require_number(doc, f"{side}.p50_ms", minimum=0)
+        require_number(doc, f"{side}.p99_ms", minimum=0)
+        require_number(doc, f"{side}.delivered_fraction", minimum=0.999)
+        require_true(doc, f"{side}.every_tag_once")
+    single_shards = require_number(doc, "single.shards", minimum=1)
+    if single_shards is not None and single_shards != 1:
+        fail(f"single.shards = {single_shards}, the baseline must run one shard")
+    require_number(doc, "sharded.shards", minimum=4)
+    require_number(doc, "sharded.users",
+                   minimum=SERVICE_USERS_FLOOR.get(preset, 1000000))
+    require_number(doc, "sharded.req_per_sec",
+                   minimum=SERVICE_REQS_FLOOR.get(preset, 20000))
+    require_number(doc, "shard_speedup",
+                   minimum=SERVICE_SPEEDUP_FLOOR.get(preset, 3.0))
+    p99 = require_number(doc, "sharded.p99_ms")
+    ceiling = SERVICE_P99_CEILING_MS.get(preset, 250.0)
+    if p99 is not None and p99 > ceiling:
+        fail(f"sharded.p99_ms = {p99:.1f} above the {ceiling:.0f} ms ceiling "
+             f"for preset {preset!r}")
+    rss_ratio = require_number(doc, "rss_map_ratio", minimum=0)
+    if rss_ratio is not None and rss_ratio > 0.5:
+        fail(f"rss_map_ratio = {rss_ratio:.3f}: a freshly mapped shard is resident "
+             "for more than half the dataset — the map is not lazy/shared")
+
+
+def check_service_regressions(candidate: dict, baseline: dict, max_regression: float) -> None:
+    # Absolute floors already gate the speedup; the baseline comparison
+    # watches for a change that still clears the floor but gives back
+    # most of the multi-process scaling.
+    base = require_number(baseline, "shard_speedup")
+    cand = require_number(candidate, "shard_speedup")
+    if base is None or cand is None:
+        return
+    if candidate.get("preset") != baseline.get("preset"):
+        print("check_bench: preset mismatch "
+              f"({candidate.get('preset')} vs baseline {baseline.get('preset')}): "
+              "skipping the shard-speedup comparison")
+        return
+    if base <= 0:
+        return
+    drop = (base - cand) / base
+    status = "ok" if drop <= max_regression else "REGRESSION"
+    print(f"check_bench: shard_speedup: baseline {base:.2f}x candidate {cand:.2f}x "
+          f"({drop:+.1%} drop) {status}")
+    if drop > max_regression:
+        fail(f"shard speedup regressed {drop:.1%} "
+             f"(baseline {base:.2f}x -> {cand:.2f}x, limit {max_regression:.0%})")
+
+
 def check_schema(doc: dict) -> None:
     kind = doc.get("bench", "kernels")
     if kind == "kernels":
@@ -231,9 +311,11 @@ def check_schema(doc: dict) -> None:
         check_adaptive_schema(doc)
     elif kind == "generalization":
         check_generalization_schema(doc)
+    elif kind == "service":
+        check_service_schema(doc)
     else:
-        fail(f"'bench' is {doc.get('bench')!r}, expected 'kernels', 'adaptive' "
-             "or 'generalization'")
+        fail(f"'bench' is {doc.get('bench')!r}, expected 'kernels', 'adaptive', "
+             "'generalization' or 'service'")
 
 
 def check_adaptive_regressions(candidate: dict, baseline: dict, max_regression: float) -> None:
@@ -350,6 +432,8 @@ def main() -> None:
             check_adaptive_regressions(candidate, baseline, args.max_regression)
         elif candidate.get("bench", "kernels") == "generalization":
             check_generalization_regressions(candidate, baseline, args.max_regression)
+        elif candidate.get("bench", "kernels") == "service":
+            check_service_regressions(candidate, baseline, args.max_regression)
         else:
             check_regressions(candidate, baseline, args.max_regression)
 

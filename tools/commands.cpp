@@ -632,7 +632,8 @@ int cmd_convert(const Args& args) {
 
 int cmd_serve_sim(const Args& args) {
   io::ArgParser parser("serve-sim",
-                       "replay a workload through the concurrent obfuscation gateway");
+                       "single-process gateway simulation: replay a workload in-process "
+                       "(see `serve` for the real network front end)");
   parser.add({.name = "data", .help = "dataset CSV to replay (default: synthesize)"})
       .add({.name = "scenario", .help = "synthetic workload: taxi | commuter",
             .default_value = "taxi"})
@@ -932,7 +933,9 @@ std::string main_usage() {
      << "  compare    sweep several mechanisms and rank their trade-offs\n"
      << "  clean      drop GPS glitches and stuck fixes from a dataset CSV\n"
      << "  convert    convert a dataset between CSV and the binary format\n"
-     << "  serve-sim  replay a workload through the concurrent obfuscation gateway\n"
+     << "  serve-sim  single-process gateway simulation (replay a workload in-process)\n"
+     << "  serve      network front end: N shard processes over unix/tcp sockets\n"
+     << "  ping       probe a running serve instance (submit / telemetry / drain)\n"
      << "  list-mechanisms  built-in mechanisms with their ParameterSpecs\n"
      << "  list-metrics     built-in metrics with their ParameterSpecs\n\n"
      << "run `locpriv <command> --help`-free: any parse error prints that command's usage.\n";

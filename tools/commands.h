@@ -34,9 +34,16 @@ int cmd_clean(const Args& args);
 /// Converts a dataset between CSV and the binary columnar format,
 /// optionally verifying the round-trip.
 int cmd_convert(const Args& args);
-/// Simulated serving: replays a dataset through the concurrent
-/// obfuscation gateway and reports live telemetry.
+/// Simulated serving: replays a dataset through one in-process
+/// concurrent obfuscation gateway and reports live telemetry. See
+/// cmd_serve for the real multi-process network front end.
 int cmd_serve_sim(const Args& args);
+/// Real network serving: epoll event loop, binary wire protocol, N
+/// forked shard processes over a shared-mmap dataset arena.
+int cmd_serve(const Args& args);
+/// Client-side probe of a running `serve` instance: shard map, a
+/// round-trip report, aggregated telemetry, or a drain request.
+int cmd_ping(const Args& args);
 /// Lists built-in mechanisms with their ParameterSpecs.
 int cmd_list_mechanisms(const Args& args);
 /// Lists built-in metrics with their ParameterSpecs.

@@ -10,7 +10,9 @@
 //   locpriv validate   k-fold cross-validation of the model
 //   locpriv report     render a markdown report from sweep/model artifacts
 //   locpriv convert    convert a dataset between CSV and the binary format
-//   locpriv serve-sim  replay a workload through the concurrent obfuscation gateway
+//   locpriv serve-sim  single-process simulation of the obfuscation gateway
+//   locpriv serve      real network front end: N shard processes over UDS/TCP
+//   locpriv ping       probe a running serve instance
 #include <exception>
 #include <functional>
 #include <iostream>
@@ -28,7 +30,7 @@ int main(int argc, char** argv) {
       {"fit", cmd_fit},           {"configure", cmd_configure}, {"protect", cmd_protect},
       {"audit", cmd_audit},       {"validate", cmd_validate}, {"report", cmd_report},
       {"compare", cmd_compare}, {"clean", cmd_clean},     {"convert", cmd_convert},
-      {"serve-sim", cmd_serve_sim},
+      {"serve-sim", cmd_serve_sim}, {"serve", cmd_serve}, {"ping", cmd_ping},
       {"list-mechanisms", cmd_list_mechanisms}, {"list-metrics", cmd_list_metrics},
   };
 

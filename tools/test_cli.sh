@@ -45,6 +45,29 @@ if "$CLI" convert --in "$DIR/corrupt.lpds" --out "$DIR/junk.csv" --check 2>/dev/
   echo "corrupted dataset accepted"; exit 1
 fi
 
+# Real network front end over UDS: serve in the background, ping until
+# the supervisor answers, check routed submits and telemetry, drain.
+SOCK="$DIR/locpriv-cli.sock"
+"$CLI" serve --listen "unix:$SOCK" --shards 2 --workers 1 --data "$DIR/data.lpds" \
+  > "$DIR/serve_net.txt" 2>&1 &
+SERVE_PID=$!
+PING_OK=0
+for _ in $(seq 1 50); do
+  if "$CLI" ping --connect "unix:$SOCK" --user smoke --count 3 > "$DIR/ping.txt" 2>/dev/null; then
+    PING_OK=1; break
+  fi
+  sleep 0.2
+done
+[ "$PING_OK" = 1 ] || { echo "serve never became pingable"; kill "$SERVE_PID"; exit 1; }
+grep -q "2 shards via" "$DIR/ping.txt"
+grep -q "3 reports answered, last status delivered" "$DIR/ping.txt"
+"$CLI" ping --connect "unix:$SOCK" --telemetry --count 0 > "$DIR/ping_telemetry.txt"
+grep -q "resident_set_kb_per_shard" "$DIR/ping_telemetry.txt"
+"$CLI" ping --connect "unix:$SOCK" --drain > "$DIR/ping_drain.txt"
+grep -q "drained" "$DIR/ping_drain.txt"
+wait "$SERVE_PID"
+grep -q "drained, bye" "$DIR/serve_net.txt"
+
 # Error paths: unknown command and unknown option must fail loudly.
 if "$CLI" frobnicate 2>/dev/null; then echo "unknown command accepted"; exit 1; fi
 if "$CLI" generate --nope 1 --out /dev/null 2>/dev/null; then echo "unknown option accepted"; exit 1; fi
